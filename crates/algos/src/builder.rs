@@ -1,0 +1,69 @@
+//! Abstraction over node-property-map backends.
+
+use kimbap_comm::HostCtx;
+use kimbap_dist::DistGraph;
+use kimbap_npm::{NodePropMap, Npm, PropValue, ReduceOp, Variant};
+
+/// Constructs node-property maps for an algorithm.
+///
+/// Algorithms take a `MapBuilder` instead of a concrete map type so the
+/// identical algorithm source runs on every runtime of §6.4: the default
+/// Kimbap map and its ablation variants (via [`NpmBuilder`]) and the
+/// memcached-like store (via `kimbap-baselines`' builder).
+pub trait MapBuilder: Sync {
+    /// The map type produced for value type `T` and operator `Op`.
+    type Map<'g, T: PropValue, Op: ReduceOp<T>>: NodePropMap<T>
+    where
+        Self: 'g;
+
+    /// Creates a map over `dg`'s global node space. Collective: all hosts
+    /// construct their maps together.
+    fn build<'g, T: PropValue, Op: ReduceOp<T>>(
+        &'g self,
+        dg: &'g DistGraph,
+        ctx: &HostCtx,
+        op: Op,
+    ) -> Self::Map<'g, T, Op>;
+}
+
+/// Builds the standard [`Npm`] with a chosen runtime [`Variant`].
+///
+/// # Example
+///
+/// ```
+/// use kimbap_algos::NpmBuilder;
+/// use kimbap_npm::Variant;
+///
+/// let default = NpmBuilder::default(); // SGR+CF+GAR
+/// let ablation = NpmBuilder::new(Variant::SgrOnly);
+/// assert_ne!(default.variant(), ablation.variant());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NpmBuilder {
+    variant: Variant,
+}
+
+impl NpmBuilder {
+    /// A builder producing maps of the given variant.
+    pub fn new(variant: Variant) -> Self {
+        NpmBuilder { variant }
+    }
+
+    /// The variant this builder produces.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+}
+
+impl MapBuilder for NpmBuilder {
+    type Map<'g, T: PropValue, Op: ReduceOp<T>> = Npm<'g, T, Op>;
+
+    fn build<'g, T: PropValue, Op: ReduceOp<T>>(
+        &'g self,
+        dg: &'g DistGraph,
+        ctx: &HostCtx,
+        op: Op,
+    ) -> Npm<'g, T, Op> {
+        Npm::with_variant(dg, ctx, op, self.variant)
+    }
+}

@@ -1,0 +1,416 @@
+//! Deterministic distributed Leiden community detection (§6.1, LD) — the
+//! paper's first distributed Leiden implementation.
+//!
+//! Leiden improves Louvain's quality guarantee by inserting a *refinement*
+//! phase between local moving and aggregation (Traag et al. 2019): within
+//! each community, nodes are re-partitioned into well-connected
+//! *subcommunities*, and aggregation collapses subcommunities (not
+//! communities), carrying the community assignment to the next level as
+//! the initial partition. This prevents badly-connected communities from
+//! being locked in by aggregation.
+//!
+//! Determinism notes (this is a BSP formulation, like our Louvain):
+//!
+//! * refinement is merge-only — a node may join another subcommunity only
+//!   while it is still a singleton, and only a subcommunity with a smaller
+//!   id, which makes simultaneous decisions acyclic and convergent;
+//! * the well-connectedness gate `w(u, C∖u) ≥ γ·k_u·(tot_C − k_u)/M`
+//!   follows the Leiden paper.
+//!
+//! Five node-property maps are used per level (community, community total,
+//! subcommunity, subcommunity total/size, and the coarse-id map), matching
+//! the paper's "five node property maps for cluster and subcluster
+//! information".
+
+use crate::builder::MapBuilder;
+use crate::louvain::{
+    aggregate, local_moving, modularity_of, CommunityResult, LouvainConfig,
+};
+use kimbap_comm::HostCtx;
+use kimbap_dist::{assemble_dist_graph, DistGraph, Policy};
+use kimbap_graph::NodeId;
+use kimbap_npm::{Min, NodePropMap, Sum, SumReducer};
+use std::collections::HashMap;
+
+/// Maximum refinement (merge) rounds per level.
+const MAX_REFINE_ROUNDS: usize = 10;
+
+/// Runs deterministic distributed Leiden; returns this host's
+/// [`CommunityResult`]. Collective.
+pub fn leiden<B: MapBuilder>(
+    dg: &DistGraph,
+    ctx: &HostCtx,
+    b: &B,
+    cfg: &LouvainConfig,
+) -> CommunityResult {
+    let mut result = CommunityResult::default();
+    let mut owned: Option<DistGraph> = None;
+    let mut init_comm: Option<Vec<u64>> = None;
+    let mut pending_final: Option<Vec<(NodeId, NodeId)>> = None;
+
+    let local_w: u64 = dg
+        .master_nodes()
+        .chain(dg.mirror_nodes())
+        .map(|l| dg.weighted_degree(l))
+        .sum();
+    let m_total = ctx.all_reduce_u64(local_w, |a, b| a + b) as f64;
+
+    for _level in 0..cfg.max_levels {
+        let (mapping, coarse_edges, n_coarse, modularity, improved, init_pairs) = {
+            let cur = owned.as_ref().unwrap_or(dg);
+            run_level(cur, ctx, b, cfg, m_total, init_comm.as_deref())
+        };
+        result.modularity = modularity;
+        result.levels += 1;
+        result.final_nodes = n_coarse;
+        result.mappings.push(mapping);
+
+        let prev_n = owned
+            .as_ref()
+            .map(|d| d.num_global_nodes())
+            .unwrap_or(dg.num_global_nodes());
+        let shrunk = n_coarse < prev_n;
+
+        let next = assemble_dist_graph(ctx, n_coarse, Policy::EdgeCutBlocked, coarse_edges);
+
+        // Project the community partition onto the coarse graph: every
+        // coarse node (a subcommunity) starts the next level in the
+        // community it came from.
+        let mut init = b.build::<u64, Min>(&next, ctx, Min);
+        {
+            let im = &init;
+            ctx.par_for(0..init_pairs.len(), |tid, range| {
+                for i in range {
+                    let (coarse, label) = init_pairs[i];
+                    im.reduce(tid, coarse, label as u64);
+                }
+            });
+        }
+        init.reduce_sync(ctx);
+        let seed: Vec<u64> = next
+            .master_nodes()
+            .map(|m| {
+                let g = next.local_to_global(m);
+                let v = init.read(g);
+                // Coarse nodes always receive a label from some member.
+                debug_assert_ne!(v, u64::MAX, "coarse node {g} got no community");
+                v
+            })
+            .collect();
+        drop(init);
+
+        // Final projected labels for composition if we stop here.
+        let final_mapping: Vec<(NodeId, NodeId)> = next
+            .master_nodes()
+            .zip(seed.iter())
+            .map(|(m, &c)| (next.local_to_global(m), c as NodeId))
+            .collect();
+
+        init_comm = Some(seed);
+        owned = Some(next);
+        pending_final = Some(final_mapping);
+
+        if !improved || !shrunk || n_coarse <= 1 {
+            break;
+        }
+    }
+    // Close the label chain: map the final coarse nodes (subcommunities) to
+    // their projected communities, so composed labels are communities.
+    if let Some(fm) = pending_final {
+        result.mappings.push(fm);
+    }
+    result
+}
+
+/// One Leiden level: local moving → subcommunity refinement → aggregation
+/// by subcommunity. Returns `(mapping, coarse_edges, n_coarse, modularity,
+/// improved, init_pairs)` where `init_pairs` project communities onto
+/// coarse ids.
+#[allow(clippy::type_complexity)]
+fn run_level<B: MapBuilder>(
+    cur: &DistGraph,
+    ctx: &HostCtx,
+    b: &B,
+    cfg: &LouvainConfig,
+    m_total: f64,
+    init_comm: Option<&[u64]>,
+) -> (
+    Vec<(NodeId, NodeId)>,
+    Vec<(NodeId, NodeId, u64)>,
+    usize,
+    f64,
+    bool,
+    Vec<(NodeId, NodeId)>,
+) {
+    let masters = cur.num_masters();
+
+    // Phase 1: local moving (maps 1 and 2: comm, comm_tot).
+    let moving = local_moving(cur, ctx, b, cfg, m_total, init_comm);
+    let modularity = modularity_of(cur, ctx, b, &moving.cur_comm, &moving.comm, &moving.k, m_total);
+    let comm = &moving.comm;
+    let cur_comm = &moving.cur_comm;
+    let k = &moving.k;
+
+    // Community totals for the well-connectedness gate.
+    let mut comm_tot = b.build::<i64, Sum>(cur, ctx, Sum);
+    {
+        let ct = &comm_tot;
+        ctx.par_for(0..masters, |tid, range| {
+            for m in range {
+                if k[m] > 0 {
+                    ct.reduce(tid, cur_comm[m] as NodeId, k[m] as i64);
+                }
+            }
+        });
+    }
+    comm_tot.reduce_sync(ctx);
+
+    // Phase 2: refinement into subcommunities (maps 3-4: subcomm,
+    // subcomm size/total).
+    let mut sub: Vec<u64> = (0..masters)
+        .map(|m| cur.local_to_global(m as u32) as u64)
+        .collect();
+    let mut sub_map = b.build::<u64, Min>(cur, ctx, Min);
+    for (m, &s) in sub.iter().enumerate() {
+        sub_map.set(cur.local_to_global(m as u32), s);
+    }
+    sub_map.pin_mirrors(ctx);
+
+    let mut sub_size = b.build::<u64, Sum>(cur, ctx, Sum);
+    let merges = SumReducer::new();
+
+    for _round in 0..MAX_REFINE_ROUNDS {
+        // Subcommunity sizes (a singleton has size 1).
+        sub_size.reset_values(ctx);
+        {
+            let ss = &sub_size;
+            let sb = &sub;
+            ctx.par_for(0..masters, |tid, range| {
+                for m in range {
+                    ss.reduce(tid, sb[m] as NodeId, 1);
+                }
+            });
+        }
+        sub_size.reduce_sync(ctx);
+
+        // Request the community totals for the gate.
+        {
+            let ct = &comm_tot;
+            ctx.par_for(0..masters, |_tid, range| {
+                for m in range {
+                    ct.request(cur_comm[m] as NodeId);
+                }
+            });
+        }
+        comm_tot.request_sync(ctx);
+
+        // Merge decisions.
+        merges.set(0);
+        let decisions: Vec<parking_lot::Mutex<Vec<(usize, u64)>>> =
+            (0..ctx.threads()).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+        {
+            let (sm, ss, cm, ct) = (&sub_map, &sub_size, comm, &comm_tot);
+            let sb = &sub;
+            let decisions = &decisions;
+            let merges = &merges;
+            let gamma = cfg.resolution;
+            ctx.par_for(0..masters, |tid, range| {
+                let mut w_to: HashMap<u64, u64> = HashMap::new();
+                for m in range {
+                    let lid = m as u32;
+                    let g = cur.local_to_global(lid) as u64;
+                    // Merge-only: still a singleton?
+                    if sb[m] != g || ss.read(g as NodeId) != 1 || k[m] == 0 {
+                        continue;
+                    }
+                    // Well-connected to the community?
+                    let my_comm = cur_comm[m];
+                    let mut w_in_comm = 0u64;
+                    w_to.clear();
+                    for (dst, w) in cur.edges(lid) {
+                        let gv = cur.local_to_global(dst);
+                        if gv as u64 == g {
+                            continue;
+                        }
+                        if cm.read(gv) == my_comm {
+                            w_in_comm += w;
+                            let s = sm.read(gv);
+                            if s < g {
+                                *w_to.entry(s).or_default() += w;
+                            }
+                        }
+                    }
+                    let tot_c = ct.read(my_comm as NodeId) as f64;
+                    let gate = gamma * k[m] as f64 * (tot_c - k[m] as f64) / m_total;
+                    if (w_in_comm as f64) < gate {
+                        continue; // not well connected: stays singleton
+                    }
+                    // Join the best-connected smaller subcommunity.
+                    if let Some((&best, _)) = w_to
+                        .iter()
+                        .max_by_key(|&(&s, &w)| (w, std::cmp::Reverse(s)))
+                    {
+                        decisions[tid].lock().push((m, best));
+                        merges.reduce(1);
+                    }
+                }
+            });
+        }
+        sub_map.reset_updated();
+        for d in decisions {
+            for (m, s) in d.into_inner() {
+                sub[m] = s;
+                sub_map.set(cur.local_to_global(m as u32), s);
+            }
+        }
+        sub_map.broadcast_sync(ctx);
+
+        if merges.read(ctx) == 0 {
+            break;
+        }
+    }
+
+    // Phase 3: aggregate by subcommunity (map 5: the coarse-id map inside
+    // `aggregate`).
+    let (mapping, coarse_edges, n_coarse, _sub_improved) =
+        aggregate(cur, ctx, b, &sub, &sub_map);
+
+    // Project communities to coarse space: community label = smallest
+    // coarse id of any member subcommunity.
+    let mut comm_label = b.build::<u64, Min>(cur, ctx, Min);
+    let coarse_of: HashMap<NodeId, NodeId> = mapping.iter().copied().collect();
+    {
+        let cl = &comm_label;
+        ctx.par_for(0..masters, |tid, range| {
+            for m in range {
+                let g = cur.local_to_global(m as u32);
+                let coarse = coarse_of[&g];
+                cl.reduce(tid, cur_comm[m] as NodeId, coarse as u64);
+            }
+        });
+    }
+    comm_label.reduce_sync(ctx);
+    {
+        let cl = &comm_label;
+        ctx.par_for(0..masters, |_tid, range| {
+            for m in range {
+                cl.request(cur_comm[m] as NodeId);
+            }
+        });
+    }
+    comm_label.request_sync(ctx);
+
+    // (coarse id of u's subcommunity, coarse label of u's community).
+    let mut init_pairs: Vec<(NodeId, NodeId)> = (0..masters)
+        .map(|m| {
+            let g = cur.local_to_global(m as u32);
+            (
+                coarse_of[&g],
+                comm_label.read(cur_comm[m] as NodeId) as NodeId,
+            )
+        })
+        .collect();
+    init_pairs.sort_unstable();
+    init_pairs.dedup();
+
+    // Improvement: did local moving produce non-singleton communities?
+    let moved_local = cur_comm
+        .iter()
+        .enumerate()
+        .any(|(m, &c)| c != cur.local_to_global(m as u32) as u64);
+    let improved = ctx.all_reduce_or(moved_local);
+
+    (mapping, coarse_edges, n_coarse, modularity, improved, init_pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NpmBuilder;
+    use crate::louvain::{compose_labels, louvain};
+    use crate::refcheck;
+    use kimbap_comm::Cluster;
+    use kimbap_dist::partition;
+    use kimbap_graph::{builder::from_edges, gen, Graph};
+
+    fn run_leiden(g: &Graph, hosts: usize, threads: usize) -> (Vec<NodeId>, f64) {
+        let parts = partition(g, Policy::EdgeCutBlocked, hosts);
+        let b = NpmBuilder::default();
+        let cfg = LouvainConfig::default();
+        let results = Cluster::with_threads(hosts, threads)
+            .run(|ctx| leiden(&parts[ctx.host()], ctx, &b, &cfg));
+        let q = results[0].modularity;
+        let labels = compose_labels(g.num_nodes(), &results);
+        (labels, q)
+    }
+
+    #[test]
+    fn finds_ring_of_cliques() {
+        let mut edges = Vec::new();
+        for c in 0..4u32 {
+            let base = c * 6;
+            for a in 0..6 {
+                for b in (a + 1)..6 {
+                    edges.push((base + a, base + b, 1));
+                }
+            }
+            edges.push((base, ((c + 1) % 4) * 6, 1));
+        }
+        let g = from_edges(edges);
+        let (labels, q) = run_leiden(&g, 3, 2);
+        for c in 0..4u32 {
+            let base = (c * 6) as usize;
+            assert!(
+                (base..base + 6).all(|i| labels[i] == labels[base]),
+                "clique {c} split: {labels:?}"
+            );
+        }
+        assert!(q > 0.6, "q = {q}");
+    }
+
+    #[test]
+    fn quality_at_least_louvain_on_power_law() {
+        // Leiden's refinement must not lose quality vs plain Louvain.
+        let g = gen::rmat(7, 6, 17);
+        let (ld_labels, _) = run_leiden(&g, 2, 2);
+        let parts = partition(&g, Policy::EdgeCutBlocked, 2);
+        let b = NpmBuilder::default();
+        let cfg = LouvainConfig::default();
+        let lv = Cluster::with_threads(2, 2)
+            .run(|ctx| louvain(&parts[ctx.host()], ctx, &b, &cfg));
+        let lv_labels = compose_labels(g.num_nodes(), &lv);
+        let q_ld = refcheck::modularity(&g, &ld_labels);
+        let q_lv = refcheck::modularity(&g, &lv_labels);
+        assert!(
+            q_ld >= q_lv - 0.05,
+            "Leiden q {q_ld} far below Louvain q {q_lv}"
+        );
+    }
+
+    #[test]
+    fn reported_modularity_matches_reference() {
+        let g = gen::grid_road(8, 8, 7);
+        let (labels, q) = run_leiden(&g, 2, 2);
+        let q_ref = refcheck::modularity(&g, &labels);
+        assert!((q - q_ref).abs() < 1e-9, "q={q} ref={q_ref}");
+        assert!(q > 0.4);
+    }
+
+    #[test]
+    fn deterministic_across_host_counts() {
+        let g = gen::rmat(6, 4, 23);
+        let (l1, q1) = run_leiden(&g, 1, 1);
+        let (l2, q2) = run_leiden(&g, 3, 2);
+        assert!((q1 - q2).abs() < 1e-9, "q1={q1} q2={q2}");
+        let canon = |ls: &[NodeId]| {
+            let mut seen = HashMap::new();
+            ls.iter()
+                .map(|&l| {
+                    let next = seen.len() as u32;
+                    *seen.entry(l).or_insert(next)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(canon(&l1), canon(&l2));
+    }
+}

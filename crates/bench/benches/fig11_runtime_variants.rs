@@ -1,0 +1,119 @@
+//! Figure 11: the runtime ablation — Vite, MC (memcached), SGR-only,
+//! SGR+CF, SGR+CF+GAR — for LV and CC-SV on the medium graphs, with the
+//! computation/communication breakdown.
+//!
+//! Expected shapes (§6.4): MC slowest by far (per-key string ops + CAS
+//! retries); SGR-only beats MC ~an order of magnitude; CF pays off most on
+//! power-law/hub-heavy reductions; GAR adds ~another factor by keeping
+//! master reads local; Vite lands between MC and SGR-only (single-threaded
+//! inspection).
+
+use kimbap_algos as algos;
+use kimbap_algos::{LouvainConfig, NpmBuilder};
+use kimbap_baselines::{mckv::McBuilder, vite};
+use kimbap_bench::{print_row, print_title, run_timed, threads_per_host, Inputs};
+use kimbap_dist::{partition, Policy};
+use kimbap_graph::Graph;
+use kimbap_npm::Variant;
+
+fn fmt(secs: f64) -> String {
+    format!("{secs:.3}s")
+}
+
+fn skip_mc() -> bool {
+    std::env::var("KIMBAP_SKIP_MC").is_ok()
+}
+
+fn bench(name: &str, app: &str, g: &Graph, hosts: usize) {
+    let threads = threads_per_host();
+    let cfg = LouvainConfig::default();
+    let ec = partition(g, Policy::EdgeCutBlocked, hosts);
+
+    let row = |system: &str, secs: f64, comp: f64, comm: f64, overlapped: bool| {
+        let (c1, c2) = if overlapped {
+            ("(overlap)".to_string(), "(overlap)".to_string())
+        } else {
+            (fmt(comp), fmt(comm))
+        };
+        print_row(&[
+            app.into(),
+            name.into(),
+            system.into(),
+            hosts.to_string(),
+            fmt(secs),
+            c1,
+            c2,
+        ]);
+    };
+
+    // Vite (LV only; it is a Louvain implementation).
+    if app == "LV" {
+        let vcfg = vite::ViteConfig::default();
+        let (_, s) = run_timed(&ec, threads, |dg, ctx| vite::louvain(dg, ctx, &vcfg));
+        row("vite", s.secs, 0.0, 0.0, true);
+    }
+
+    // MC.
+    if !skip_mc() {
+        let mc = McBuilder::new(hosts);
+        let (_, s) = run_timed(&ec, threads, |dg, ctx| match app {
+            "LV" => {
+                algos::louvain(dg, ctx, &mc, &cfg);
+            }
+            _ => {
+                algos::cc::cc_sv(dg, ctx, &mc);
+            }
+        });
+        row("MC", s.secs, 0.0, 0.0, true);
+    }
+
+    // The three Kimbap runtime variants.
+    for (label, variant) in [
+        ("SGR-only", Variant::SgrOnly),
+        ("SGR+CF", Variant::SgrCf),
+        ("SGR+CF+GAR", Variant::SgrCfGar),
+    ] {
+        let b = NpmBuilder::new(variant);
+        let (_, s) = run_timed(&ec, threads, |dg, ctx| match app {
+            "LV" => {
+                algos::louvain(dg, ctx, &b, &cfg);
+            }
+            _ => {
+                algos::cc::cc_sv(dg, ctx, &b);
+            }
+        });
+        row(label, s.secs, s.comp_secs(), s.comm_secs, false);
+    }
+}
+
+fn main() {
+    let hosts_list = Inputs::medium_hosts();
+    print_title(
+        "Figure 11: runtime variants (comp/comm breakdown)",
+        "MC and Vite overlap computation with communication (single bar), like the paper",
+    );
+    print_row(&[
+        "app".into(),
+        "graph".into(),
+        "system".into(),
+        "hosts".into(),
+        "total".into(),
+        "comp".into(),
+        "comm".into(),
+    ]);
+    let road = Inputs::road();
+    let social = Inputs::social();
+    for &hosts in &hosts_list {
+        if hosts < 2 {
+            continue; // variants differ only with real distribution
+        }
+        bench("road", "LV", &road, hosts);
+        bench("social", "LV", &social, hosts);
+        bench("road", "CC-SV", &road, hosts);
+        bench("social", "CC-SV", &social, hosts);
+    }
+    println!(
+        "\nexpected order per group: MC >> vite > SGR-only > SGR+CF > SGR+CF+GAR\n\
+         (set KIMBAP_SKIP_MC to skip the slowest bars)"
+    );
+}

@@ -1,0 +1,74 @@
+//! Timing and reporting helpers for the figure/table benches.
+
+use kimbap_comm::{Cluster, HostCtx};
+use kimbap_dist::DistGraph;
+use std::time::Instant;
+
+/// One measured run: wall-clock split into computation and communication
+/// (the stacked bars of Figs. 11 and 12), plus traffic counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Total wall-clock seconds.
+    pub secs: f64,
+    /// Seconds inside communication calls (max over hosts).
+    pub comm_secs: f64,
+    /// Messages sent between hosts (sum).
+    pub messages: u64,
+    /// Payload bytes sent between hosts (sum).
+    pub bytes: u64,
+}
+
+impl RunStats {
+    /// Computation seconds (wall minus communication).
+    pub fn comp_secs(&self) -> f64 {
+        (self.secs - self.comm_secs).max(0.0)
+    }
+}
+
+/// Runs `f` SPMD over the pre-partitioned graph and measures it.
+pub fn run_timed<R: Send>(
+    parts: &[DistGraph],
+    threads: usize,
+    f: impl Fn(&DistGraph, &HostCtx) -> R + Sync,
+) -> (Vec<R>, RunStats) {
+    let hosts = parts.len();
+    let start = Instant::now();
+    let results = Cluster::with_threads(hosts, threads).run(|ctx| {
+        let r = f(&parts[ctx.host()], ctx);
+        (r, ctx.stats())
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let mut stats = RunStats {
+        secs,
+        ..RunStats::default()
+    };
+    let mut out = Vec::with_capacity(hosts);
+    for (r, s) in results {
+        stats.comm_secs = stats.comm_secs.max(s.comm_nanos as f64 / 1e9);
+        stats.messages += s.messages;
+        stats.bytes += s.bytes;
+        out.push(r);
+    }
+    (out, stats)
+}
+
+/// Prints a bench title banner.
+pub fn print_title(title: &str, note: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    if !note.is_empty() {
+        println!("{note}");
+    }
+    println!("================================================================");
+}
+
+/// Prints one aligned result row.
+pub fn print_row(cols: &[String]) {
+    let widths = [14usize, 22, 8, 10, 10, 10, 12, 12];
+    let mut line = String::new();
+    for (i, c) in cols.iter().enumerate() {
+        let w = widths.get(i).copied().unwrap_or(10);
+        line.push_str(&format!("{c:<w$} "));
+    }
+    println!("{}", line.trim_end());
+}

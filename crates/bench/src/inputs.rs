@@ -1,0 +1,125 @@
+//! Input-graph catalog: laptop-scale analogs of the paper's Table 1.
+
+use kimbap_graph::{gen, Graph};
+
+/// The four evaluation inputs, generated at the configured scale.
+///
+/// | paper input | shape | analog here |
+/// |---|---|---|
+/// | road-europe | high diameter, max degree 16 | 2-D grid |
+/// | friendster | power law, 3M max degree | R-MAT, edge factor ~16 |
+/// | clueweb12 | power law, denser | larger R-MAT |
+/// | wdc12 | largest, extreme hubs | largest R-MAT, skewed quadrants |
+#[derive(Debug)]
+pub struct Inputs;
+
+fn scale() -> &'static str {
+    match std::env::var("KIMBAP_SCALE").as_deref() {
+        Ok("tiny") => "tiny",
+        Ok("medium") => "medium",
+        _ => "small",
+    }
+}
+
+/// Worker threads per simulated host (`KIMBAP_THREADS`, default 2).
+pub fn threads_per_host() -> usize {
+    std::env::var("KIMBAP_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(2)
+}
+
+impl Inputs {
+    /// The road-network analog (medium size class).
+    pub fn road() -> Graph {
+        match scale() {
+            "tiny" => gen::grid_road(60, 60, 42),
+            "medium" => gen::grid_road(450, 450, 42),
+            _ => gen::grid_road(220, 220, 42),
+        }
+    }
+
+    /// The social-network analog (medium size class, power law).
+    pub fn social() -> Graph {
+        match scale() {
+            "tiny" => gen::rmat(11, 8, 42),
+            "medium" => gen::rmat(15, 16, 42),
+            _ => gen::rmat(13, 16, 42),
+        }
+    }
+
+    /// The web-crawl analog (large size class).
+    pub fn web() -> Graph {
+        match scale() {
+            "tiny" => gen::rmat(12, 12, 43),
+            "medium" => gen::rmat(16, 20, 43),
+            _ => gen::rmat(14, 20, 43),
+        }
+    }
+
+    /// The hyperlink-graph analog (largest input, most extreme hubs).
+    pub fn hyperlink() -> Graph {
+        let p = gen::RmatParams {
+            a: 0.65,
+            b: 0.15,
+            c: 0.15,
+        };
+        match scale() {
+            "tiny" => gen::rmat_with(12, 10, 44, p),
+            "medium" => gen::rmat_with(17, 16, 44, p),
+            _ => gen::rmat_with(15, 16, 44, p),
+        }
+    }
+
+    /// Weighted variant for spanning-forest workloads.
+    pub fn weighted(g: &Graph) -> Graph {
+        gen::with_random_weights(g, 100_000, 7)
+    }
+
+    /// Host counts for the medium-size strong-scaling sweeps (the paper's
+    /// 1–16; scaled to the simulator).
+    pub fn medium_hosts() -> Vec<usize> {
+        hosts_env("KIMBAP_HOSTS_MEDIUM", &[1, 2, 4])
+    }
+
+    /// Host counts for the large-size sweeps (the paper's 32–256).
+    pub fn large_hosts() -> Vec<usize> {
+        hosts_env("KIMBAP_HOSTS_LARGE", &[4, 8])
+    }
+}
+
+fn hosts_env(var: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(var)
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&h| h > 0)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_shapes() {
+        let road = Inputs::road();
+        assert!(road.max_degree() <= 4, "road analog must be low degree");
+        let social = Inputs::social();
+        let avg = social.num_edges() / social.num_nodes().max(1);
+        assert!(
+            social.max_degree() > 4 * avg,
+            "social analog must have hubs"
+        );
+    }
+
+    #[test]
+    fn hosts_parse() {
+        assert_eq!(hosts_env("KIMBAP_NO_SUCH_VAR", &[1, 2]), vec![1, 2]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Shared infrastructure for the paper-reproduction benchmarks.
+//!
+//! Every `[[bench]]` target in this crate regenerates one table or figure
+//! of the paper's evaluation (§6), printing the same rows/series the paper
+//! reports. Absolute numbers differ (the substrate is a simulated cluster,
+//! not Stampede2); the *shapes* — who wins, by roughly what factor, where
+//! crossovers fall — are the reproduction targets, recorded in
+//! `EXPERIMENTS.md`.
+//!
+//! Knobs (environment variables):
+//!
+//! * `KIMBAP_SCALE` — `tiny` | `small` (default) | `medium`: input sizes.
+//! * `KIMBAP_THREADS` — worker threads per simulated host (default 2).
+//! * `KIMBAP_SKIP_MC` — set to skip the (deliberately slow) memcached
+//!   variant in Fig. 11.
+
+pub mod harness;
+pub mod inputs;
+
+pub use harness::{print_row, print_title, run_timed, RunStats};
+pub use inputs::{threads_per_host, Inputs};

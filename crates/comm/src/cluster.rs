@@ -1,0 +1,477 @@
+//! The simulated cluster: hosts, mailboxes, and collectives.
+
+use crate::pool::WorkerPool;
+use crate::wire::{decode_slice, encode_slice, Wire};
+use parking_lot::Mutex;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// Per-host communication counters.
+///
+/// `comm_nanos` covers time spent inside collective calls (serialization,
+/// mailbox traffic, and waiting at the implied barriers); everything else a
+/// host does is computation. Bytes and messages count only *inter*-host
+/// traffic — a host delivering to itself models a local memcpy, which the
+/// paper's communication-volume numbers also exclude.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostStats {
+    /// Messages sent to other hosts.
+    pub messages: u64,
+    /// Payload bytes sent to other hosts.
+    pub bytes: u64,
+    /// Nanoseconds spent inside communication calls.
+    pub comm_nanos: u64,
+}
+
+impl HostStats {
+    /// Adds another host's counters into this one (for cluster-wide totals).
+    pub fn merge(&mut self, other: &HostStats) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.comm_nanos = self.comm_nanos.max(other.comm_nanos);
+    }
+}
+
+/// Shared state between hosts: one mailbox per (destination, source) pair
+/// plus a reusable barrier.
+struct Fabric {
+    /// `mailboxes[to][from]` holds messages in flight from `from` to `to`.
+    mailboxes: Vec<Vec<Mutex<Vec<Vec<u8>>>>>,
+    barrier: Barrier,
+}
+
+impl Fabric {
+    fn new(hosts: usize) -> Self {
+        Fabric {
+            mailboxes: (0..hosts)
+                .map(|_| (0..hosts).map(|_| Mutex::new(Vec::new())).collect())
+                .collect(),
+            barrier: Barrier::new(hosts),
+        }
+    }
+}
+
+/// A simulated cluster of `num_hosts` hosts, each with its own worker pool
+/// of `threads_per_host` threads.
+///
+/// [`Cluster::run`] spawns one OS thread per host, hands each a
+/// [`HostCtx`], and joins them, returning the per-host results in host
+/// order. The closure runs once on every host — exactly like an
+/// `mpirun`-launched SPMD program.
+#[derive(Debug)]
+pub struct Cluster {
+    num_hosts: usize,
+    threads_per_host: usize,
+}
+
+impl Cluster {
+    /// Creates a cluster of `num_hosts` hosts with one compute thread each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_hosts == 0`.
+    pub fn new(num_hosts: usize) -> Self {
+        Self::with_threads(num_hosts, 1)
+    }
+
+    /// Creates a cluster with `threads_per_host` compute threads per host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn with_threads(num_hosts: usize, threads_per_host: usize) -> Self {
+        assert!(num_hosts > 0, "cluster needs at least one host");
+        assert!(threads_per_host > 0, "hosts need at least one thread");
+        Cluster {
+            num_hosts,
+            threads_per_host,
+        }
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.num_hosts
+    }
+
+    /// Compute threads per host.
+    pub fn threads_per_host(&self) -> usize {
+        self.threads_per_host
+    }
+
+    /// Runs `f` once per host, in parallel, and returns the results in host
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics (after all hosts have been joined) if any host's closure
+    /// panicked.
+    pub fn run<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(&HostCtx) -> R + Sync,
+        R: Send,
+    {
+        let fabric = Fabric::new(self.num_hosts);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.num_hosts);
+            for host in 0..self.num_hosts {
+                let fabric = &fabric;
+                let f = &f;
+                let threads = self.threads_per_host;
+                let num_hosts = self.num_hosts;
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("kimbap-host-{host}"))
+                        .spawn_scoped(scope, move || {
+                            let ctx = HostCtx {
+                                host,
+                                num_hosts,
+                                fabric,
+                                pool: WorkerPool::new(threads),
+                                stats: StatCells::default(),
+                            };
+                            f(&ctx)
+                        })
+                        .expect("failed to spawn host thread"),
+                );
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("host thread panicked"))
+                .collect()
+        })
+    }
+}
+
+/// Per-host execution context: identity, collectives, intra-host
+/// parallelism, and counters.
+///
+/// A `HostCtx` is created by [`Cluster::run`] and borrowed by the host
+/// closure; it is not `Sync` across hosts (each host has its own), but its
+/// methods may be called freely from the host's main thread. Collectives
+/// must be called by **all hosts** in the same order — they contain
+/// barriers.
+pub struct HostCtx<'a> {
+    host: usize,
+    num_hosts: usize,
+    fabric: &'a Fabric,
+    pool: WorkerPool,
+    stats: StatCells,
+}
+
+/// Internal atomic counters backing [`HostStats`].
+#[derive(Debug, Default)]
+struct StatCells {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    comm_nanos: AtomicU64,
+}
+
+impl<'a> HostCtx<'a> {
+    /// This host's id in `0..num_hosts`.
+    pub fn host(&self) -> usize {
+        self.host
+    }
+
+    /// Number of hosts in the cluster.
+    pub fn num_hosts(&self) -> usize {
+        self.num_hosts
+    }
+
+    /// Number of intra-host compute threads.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The host's worker pool, for custom parallel patterns.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Runs `f(tid, chunk)` over `range` across the host's worker pool.
+    pub fn par_for<F>(&self, range: Range<usize>, f: F)
+    where
+        F: Fn(usize, Range<usize>) + Send + Sync,
+    {
+        self.pool.par_for(range, f);
+    }
+
+    /// Waits until all hosts reach this barrier. Counted as communication
+    /// time.
+    pub fn barrier(&self) {
+        let t = Instant::now();
+        self.fabric.barrier.wait();
+        self.add_comm_nanos(t.elapsed().as_nanos() as u64);
+    }
+
+    /// All-to-all exchange: `outgoing[h]` is delivered to host `h`; returns
+    /// the buffers received from every host (indexed by source), empty
+    /// buffers included.
+    ///
+    /// This is the collective underlying the paper's request-sync and
+    /// reduce-sync phases: exactly one message between every pair of hosts.
+    /// Empty payloads are not sent (and not counted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outgoing.len() != num_hosts()`.
+    pub fn exchange(&self, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        assert_eq!(outgoing.len(), self.num_hosts, "one buffer per host");
+        let t = Instant::now();
+        for (to, payload) in outgoing.into_iter().enumerate() {
+            if payload.is_empty() {
+                continue;
+            }
+            if to != self.host {
+                self.stats.messages.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+            }
+            self.fabric.mailboxes[to][self.host].lock().push(payload);
+        }
+        self.fabric.barrier.wait();
+        let received = self.fabric.mailboxes[self.host]
+            .iter()
+            .map(|mb| {
+                let mut msgs = mb.lock();
+                // At most one message per pair per exchange; concatenate
+                // defensively if a sender pushed multiple.
+                match msgs.len() {
+                    0 => Vec::new(),
+                    1 => msgs.pop().unwrap(),
+                    _ => msgs.drain(..).flatten().collect(),
+                }
+            })
+            .collect();
+        // Second barrier: nobody starts the next exchange while others are
+        // still draining this one.
+        self.fabric.barrier.wait();
+        self.add_comm_nanos(t.elapsed().as_nanos() as u64);
+        received
+    }
+
+    /// All-reduce over one wire value per host: every host receives
+    /// `combine` folded over all hosts' values (in host order).
+    pub fn all_reduce<T, F>(&self, value: T, combine: F) -> T
+    where
+        T: Wire,
+        F: Fn(T, T) -> T,
+    {
+        let buf = encode_slice(&[value]);
+        let outgoing = (0..self.num_hosts)
+            .map(|h| if h == self.host { Vec::new() } else { buf.clone() })
+            .collect();
+        let received = self.exchange(outgoing);
+        let mut acc = value;
+        for (h, buf) in received.iter().enumerate() {
+            if h == self.host {
+                continue;
+            }
+            let vals = decode_slice::<T>(buf);
+            assert_eq!(vals.len(), 1, "all_reduce expects one value per host");
+            // Fold in host order relative to our own position.
+            acc = if h < self.host {
+                combine(vals[0], acc)
+            } else {
+                combine(acc, vals[0])
+            };
+        }
+        acc
+    }
+
+    /// All-reduce specialized to `u64`.
+    pub fn all_reduce_u64<F: Fn(u64, u64) -> u64>(&self, v: u64, f: F) -> u64 {
+        self.all_reduce(v, f)
+    }
+
+    /// Logical-OR all-reduce over booleans — the quiescence check of
+    /// `IsUpdated()`.
+    pub fn all_reduce_or(&self, v: bool) -> bool {
+        self.all_reduce(v, |a, b| a || b)
+    }
+
+    /// Gathers one wire value from every host; every host receives the full
+    /// host-ordered vector.
+    pub fn all_gather<T: Wire>(&self, value: T) -> Vec<T> {
+        let buf = encode_slice(&[value]);
+        let outgoing = (0..self.num_hosts)
+            .map(|h| if h == self.host { Vec::new() } else { buf.clone() })
+            .collect();
+        let received = self.exchange(outgoing);
+        (0..self.num_hosts)
+            .map(|h| {
+                if h == self.host {
+                    value
+                } else {
+                    let vals = decode_slice::<T>(&received[h]);
+                    assert_eq!(vals.len(), 1, "all_gather expects one value per host");
+                    vals[0]
+                }
+            })
+            .collect()
+    }
+
+    /// Snapshot of this host's communication counters.
+    pub fn stats(&self) -> HostStats {
+        HostStats {
+            messages: self.stats.messages.load(Ordering::Relaxed),
+            bytes: self.stats.bytes.load(Ordering::Relaxed),
+            comm_nanos: self.stats.comm_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the communication counters (benchmarks call this after
+    /// warm-up/partitioning, which the paper excludes from timing).
+    pub fn reset_stats(&self) {
+        self.stats.messages.store(0, Ordering::Relaxed);
+        self.stats.bytes.store(0, Ordering::Relaxed);
+        self.stats.comm_nanos.store(0, Ordering::Relaxed);
+    }
+
+    /// Adds externally measured communication time (used by subsystems that
+    /// implement their own wire protocols, e.g. the memcached baseline).
+    pub fn add_comm_nanos(&self, nanos: u64) {
+        self.stats.comm_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Adds externally counted message/byte traffic (for subsystems modeling
+    /// per-operation messages outside [`HostCtx::exchange`]).
+    pub fn add_traffic(&self, messages: u64, bytes: u64) {
+        self.stats.messages.fetch_add(messages, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for HostCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostCtx")
+            .field("host", &self.host)
+            .field("num_hosts", &self.num_hosts)
+            .field("threads", &self.pool.threads())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_results_in_host_order() {
+        let c = Cluster::new(5);
+        let ids = c.run(|ctx| ctx.host());
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn exchange_delivers_point_to_point() {
+        let c = Cluster::new(4);
+        let ok = c.run(|ctx| {
+            // Host h sends "h*10 + to" to every host `to`.
+            let outgoing = (0..ctx.num_hosts())
+                .map(|to| encode_slice(&[(ctx.host() * 10 + to) as u64]))
+                .collect();
+            let received = ctx.exchange(outgoing);
+            (0..ctx.num_hosts()).all(|from| {
+                decode_slice::<u64>(&received[from]) == vec![(from * 10 + ctx.host()) as u64]
+            })
+        });
+        assert!(ok.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn exchange_repeated_rounds_do_not_leak() {
+        let c = Cluster::new(3);
+        let ok = c.run(|ctx| {
+            for round in 0..10u64 {
+                let outgoing = (0..ctx.num_hosts())
+                    .map(|_| encode_slice(&[round]))
+                    .collect();
+                let received = ctx.exchange(outgoing);
+                for buf in &received {
+                    if decode_slice::<u64>(buf) != vec![round] {
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        assert!(ok.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn all_reduce_sum_and_or() {
+        let c = Cluster::new(4);
+        let res = c.run(|ctx| {
+            let sum = ctx.all_reduce_u64(ctx.host() as u64 + 1, |a, b| a + b);
+            let any = ctx.all_reduce_or(ctx.host() == 2);
+            let none = ctx.all_reduce_or(false);
+            (sum, any, none)
+        });
+        assert!(res.iter().all(|&(s, a, n)| s == 10 && a && !n));
+    }
+
+    #[test]
+    fn all_gather_orders_by_host() {
+        let c = Cluster::new(3);
+        let res = c.run(|ctx| ctx.all_gather((ctx.host() as u32, 100 - ctx.host() as u64)));
+        for r in res {
+            assert_eq!(r, vec![(0, 100), (1, 99), (2, 98)]);
+        }
+    }
+
+    #[test]
+    fn stats_count_only_remote_traffic() {
+        let c = Cluster::new(2);
+        let stats = c.run(|ctx| {
+            let outgoing = (0..2).map(|_| vec![0u8; 16]).collect();
+            ctx.exchange(outgoing);
+            ctx.stats()
+        });
+        for s in stats {
+            assert_eq!(s.messages, 1); // self-send not counted
+            assert_eq!(s.bytes, 16);
+            assert!(s.comm_nanos > 0);
+        }
+    }
+
+    #[test]
+    fn empty_payloads_not_counted() {
+        let c = Cluster::new(3);
+        let stats = c.run(|ctx| {
+            ctx.exchange((0..3).map(|_| Vec::new()).collect());
+            ctx.stats()
+        });
+        for s in stats {
+            assert_eq!(s.messages, 0);
+            assert_eq!(s.bytes, 0);
+        }
+    }
+
+    #[test]
+    fn single_host_cluster_collectives() {
+        let c = Cluster::new(1);
+        let res = c.run(|ctx| {
+            let v = ctx.all_reduce_u64(7, |a, b| a + b);
+            let g = ctx.all_gather(9u32);
+            (v, g)
+        });
+        assert_eq!(res[0], (7, vec![9]));
+    }
+
+    #[test]
+    fn hosts_run_with_pools() {
+        let c = Cluster::with_threads(2, 3);
+        let sums = c.run(|ctx| {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            let acc = AtomicU64::new(0);
+            ctx.par_for(0..1000, |_tid, r| {
+                acc.fetch_add(r.len() as u64, Ordering::Relaxed);
+            });
+            acc.load(Ordering::Relaxed)
+        });
+        assert_eq!(sums, vec![1000, 1000]);
+    }
+}

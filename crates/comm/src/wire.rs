@@ -1,0 +1,169 @@
+//! Fixed-size binary encoding for values that cross host boundaries.
+//!
+//! Everything a host sends to another host is serialized through [`Wire`],
+//! so byte accounting in [`crate::HostStats`] reflects real message sizes.
+//! The encoding is little-endian and fixed-width per type, mirroring the
+//! packed buffers an MPI implementation would ship.
+
+/// A value with a fixed-size binary encoding.
+///
+/// # Example
+///
+/// ```
+/// use kimbap_comm::Wire;
+///
+/// let mut buf = Vec::new();
+/// (7u32, 42u64).write(&mut buf);
+/// assert_eq!(buf.len(), <(u32, u64)>::SIZE);
+/// assert_eq!(<(u32, u64)>::read(&buf), (7, 42));
+/// ```
+pub trait Wire: Sized + Copy {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+
+    /// Appends the encoding of `self` to `buf`.
+    fn write(&self, buf: &mut Vec<u8>);
+
+    /// Decodes a value from the front of `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`Wire::SIZE`].
+    fn read(buf: &[u8]) -> Self;
+}
+
+macro_rules! wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+
+            fn write(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+
+            fn read(buf: &[u8]) -> Self {
+                <$t>::from_le_bytes(buf[..Self::SIZE].try_into().unwrap())
+            }
+        }
+    )*};
+}
+
+wire_int!(u8, u16, u32, u64, i64, f64);
+
+impl Wire for bool {
+    const SIZE: usize = 1;
+
+    fn write(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+
+    fn read(buf: &[u8]) -> Self {
+        buf[0] != 0
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    const SIZE: usize = A::SIZE + B::SIZE;
+
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.0.write(buf);
+        self.1.write(buf);
+    }
+
+    fn read(buf: &[u8]) -> Self {
+        (A::read(buf), B::read(&buf[A::SIZE..]))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    const SIZE: usize = A::SIZE + B::SIZE + C::SIZE;
+
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.0.write(buf);
+        self.1.write(buf);
+        self.2.write(buf);
+    }
+
+    fn read(buf: &[u8]) -> Self {
+        (
+            A::read(buf),
+            B::read(&buf[A::SIZE..]),
+            C::read(&buf[A::SIZE + B::SIZE..]),
+        )
+    }
+}
+
+/// Encodes a slice of wire values into a fresh byte buffer.
+pub fn encode_slice<T: Wire>(items: &[T]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(items.len() * T::SIZE);
+    for it in items {
+        it.write(&mut buf);
+    }
+    buf
+}
+
+/// Decodes a byte buffer produced by [`encode_slice`].
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a multiple of `T::SIZE`.
+pub fn decode_slice<T: Wire>(buf: &[u8]) -> Vec<T> {
+    assert_eq!(
+        buf.len() % T::SIZE,
+        0,
+        "buffer length {} is not a multiple of element size {}",
+        buf.len(),
+        T::SIZE
+    );
+    buf.chunks_exact(T::SIZE).map(T::read).collect()
+}
+
+/// Iterates decoded values without allocating an output vector.
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a multiple of `T::SIZE`.
+pub fn iter_decoded<'a, T: Wire + 'a>(buf: &'a [u8]) -> impl Iterator<Item = T> + 'a {
+    assert_eq!(buf.len() % T::SIZE, 0, "misaligned wire buffer");
+    buf.chunks_exact(T::SIZE).map(T::read)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut buf = Vec::new();
+        0xdead_beefu32.write(&mut buf);
+        3.5f64.write(&mut buf);
+        true.write(&mut buf);
+        assert_eq!(u32::read(&buf), 0xdead_beef);
+        assert_eq!(f64::read(&buf[4..]), 3.5);
+        assert!(bool::read(&buf[12..]));
+    }
+
+    #[test]
+    fn roundtrip_tuples() {
+        let v = (1u32, (2u64, 3u64));
+        let mut buf = Vec::new();
+        v.write(&mut buf);
+        assert_eq!(<(u32, (u64, u64))>::read(&buf), v);
+        assert_eq!(buf.len(), <(u32, (u64, u64))>::SIZE);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let items: Vec<(u32, u64)> = (0..100).map(|i| (i, i as u64 * 7)).collect();
+        let buf = encode_slice(&items);
+        assert_eq!(buf.len(), 100 * <(u32, u64)>::SIZE);
+        assert_eq!(decode_slice::<(u32, u64)>(&buf), items);
+        assert_eq!(iter_decoded::<(u32, u64)>(&buf).count(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_decode_panics() {
+        decode_slice::<u64>(&[0u8; 7]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the simulated cluster's collectives.
+
+use kimbap_comm::wire::{decode_slice, encode_slice};
+use kimbap_comm::Cluster;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every payload arrives exactly once, at the right host, from the
+    /// right source, across multiple rounds.
+    #[test]
+    fn exchange_is_a_permutation(
+        hosts in 1usize..5,
+        rounds in 1usize..4,
+        payload in prop::collection::vec(0u64..1000, 0..20),
+    ) {
+        let ok = Cluster::new(hosts).run(|ctx| {
+            for round in 0..rounds as u64 {
+                // Host h sends [h, to, round, payload...] to each host.
+                let outgoing = (0..hosts)
+                    .map(|to| {
+                        let mut msg = vec![ctx.host() as u64, to as u64, round];
+                        msg.extend_from_slice(&payload);
+                        encode_slice(&msg)
+                    })
+                    .collect();
+                let received = ctx.exchange(outgoing);
+                for (from, buf) in received.iter().enumerate() {
+                    let msg = decode_slice::<u64>(buf);
+                    if msg[0] != from as u64
+                        || msg[1] != ctx.host() as u64
+                        || msg[2] != round
+                        || msg[3..] != payload[..]
+                    {
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        prop_assert!(ok.iter().all(|&b| b));
+    }
+
+    /// All-reduce is position-independent for commutative+associative ops
+    /// and every host sees the same result.
+    #[test]
+    fn all_reduce_consistent(
+        values in prop::collection::vec(0u64..10_000, 1..5),
+    ) {
+        let hosts = values.len();
+        let vals = &values;
+        let sums = Cluster::new(hosts).run(|ctx| {
+            ctx.all_reduce_u64(vals[ctx.host()], |a, b| a.wrapping_add(b))
+        });
+        let expected: u64 = values.iter().sum();
+        prop_assert!(sums.iter().all(|&s| s == expected));
+
+        let mins = Cluster::new(hosts).run(|ctx| {
+            ctx.all_reduce_u64(vals[ctx.host()], |a, b| a.min(b))
+        });
+        let expected_min = *values.iter().min().unwrap();
+        prop_assert!(mins.iter().all(|&m| m == expected_min));
+    }
+
+    /// All-gather returns host-ordered values everywhere.
+    #[test]
+    fn all_gather_ordered(values in prop::collection::vec(0u64..1000, 1..5)) {
+        let hosts = values.len();
+        let vals = &values;
+        let gathered = Cluster::new(hosts).run(|ctx| ctx.all_gather(vals[ctx.host()]));
+        for g in gathered {
+            prop_assert_eq!(&g, vals);
+        }
+    }
+
+    /// Byte accounting: bytes equals the sum of non-empty remote payload
+    /// lengths.
+    #[test]
+    fn traffic_accounting_exact(
+        hosts in 2usize..5,
+        sizes in prop::collection::vec(0usize..64, 2..5),
+    ) {
+        let sizes = &sizes;
+        let stats = Cluster::new(hosts).run(|ctx| {
+            let outgoing: Vec<Vec<u8>> = (0..hosts)
+                .map(|to| vec![0u8; sizes[to % sizes.len()]])
+                .collect();
+            let expected_bytes: u64 = (0..hosts)
+                .filter(|&to| to != ctx.host())
+                .map(|to| sizes[to % sizes.len()] as u64)
+                .sum();
+            let expected_msgs = (0..hosts)
+                .filter(|&to| to != ctx.host() && sizes[to % sizes.len()] > 0)
+                .count() as u64;
+            ctx.exchange(outgoing);
+            let s = ctx.stats();
+            s.bytes == expected_bytes && s.messages == expected_msgs
+        });
+        prop_assert!(stats.iter().all(|&b| b));
+    }
+}

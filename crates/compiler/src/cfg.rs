@@ -1,0 +1,205 @@
+//! Statement-level control-flow graph construction (§2.3).
+
+use crate::ir::Stmt;
+
+/// What a CFG node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Synthetic entry block (the `ParFor` header).
+    Entry,
+    /// Synthetic exit block.
+    Exit,
+    /// A `Let`.
+    Let,
+    /// A `Read`.
+    Read,
+    /// A `Reduce`.
+    Reduce,
+    /// A `Request`.
+    Request,
+    /// A `ReduceScalar`.
+    ReduceScalar,
+    /// An `If` condition.
+    If,
+    /// A `ForEdges` loop header.
+    ForEdges,
+}
+
+/// A statement-level control-flow graph for one operator body.
+///
+/// Node 0 is the entry, node 1 the exit; every statement (including `If`
+/// conditions and `ForEdges` headers) is one node. `path` records where
+/// each node's statement lives in the operator tree (indices into nested
+/// statement lists), letting analyses map CFG facts back to the IR.
+#[derive(Debug)]
+pub struct Cfg {
+    /// Node kinds, indexed by CFG node id.
+    pub kind: Vec<NodeKind>,
+    /// Tree path of each node's statement (empty for entry/exit).
+    pub path: Vec<Vec<usize>>,
+    /// Successor lists.
+    pub succ: Vec<Vec<usize>>,
+    /// Predecessor lists.
+    pub pred: Vec<Vec<usize>>,
+}
+
+/// The entry node id.
+pub const ENTRY: usize = 0;
+/// The exit node id.
+pub const EXIT: usize = 1;
+
+impl Cfg {
+    /// Builds the CFG of an operator body.
+    pub fn build(body: &[Stmt]) -> Cfg {
+        let mut cfg = Cfg {
+            kind: vec![NodeKind::Entry, NodeKind::Exit],
+            path: vec![Vec::new(), Vec::new()],
+            succ: vec![Vec::new(), Vec::new()],
+            pred: vec![Vec::new(), Vec::new()],
+        };
+        let tails = cfg.build_block(body, vec![ENTRY], &mut Vec::new());
+        for t in tails {
+            cfg.edge(t, EXIT);
+        }
+        cfg
+    }
+
+    fn add_node(&mut self, kind: NodeKind, path: &[usize]) -> usize {
+        self.kind.push(kind);
+        self.path.push(path.to_vec());
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        self.kind.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        self.succ[from].push(to);
+        self.pred[to].push(from);
+    }
+
+    /// Wires a statement list after `preds`; returns the dangling tails.
+    fn build_block(
+        &mut self,
+        stmts: &[Stmt],
+        mut preds: Vec<usize>,
+        path: &mut Vec<usize>,
+    ) -> Vec<usize> {
+        for (i, s) in stmts.iter().enumerate() {
+            path.push(i);
+            let kind = match s {
+                Stmt::Let { .. } => NodeKind::Let,
+                Stmt::Read { .. } => NodeKind::Read,
+                Stmt::Reduce { .. } => NodeKind::Reduce,
+                Stmt::Request { .. } => NodeKind::Request,
+                Stmt::ReduceScalar { .. } => NodeKind::ReduceScalar,
+                Stmt::If { .. } => NodeKind::If,
+                Stmt::ForEdges { .. } => NodeKind::ForEdges,
+            };
+            let node = self.add_node(kind, path);
+            for p in preds.drain(..) {
+                self.edge(p, node);
+            }
+            match s {
+                Stmt::If { then, .. } => {
+                    // Condition node branches into the then-block and past it.
+                    let tails = self.build_block(then, vec![node], path);
+                    preds = tails;
+                    preds.push(node);
+                }
+                Stmt::ForEdges { body } => {
+                    // Loop header: into the body, body tail back to header,
+                    // header onward.
+                    let tails = self.build_block(body, vec![node], path);
+                    for t in tails {
+                        self.edge(t, node);
+                    }
+                    preds = vec![node];
+                }
+                _ => preds = vec![node],
+            }
+            path.pop();
+        }
+        preds
+    }
+
+    /// Number of CFG nodes.
+    pub fn len(&self) -> usize {
+        self.kind.len()
+    }
+
+    /// `true` if the graph has only entry and exit.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 2
+    }
+
+    /// Ids of all nodes of a given kind, in insertion (program) order.
+    pub fn nodes_of_kind(&self, k: NodeKind) -> Vec<usize> {
+        (0..self.len()).filter(|&n| self.kind[n] == k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Expr};
+
+    fn read(dst: usize, key: Expr) -> Stmt {
+        Stmt::Read { dst, map: 0, key }
+    }
+
+    #[test]
+    fn straight_line() {
+        let body = vec![read(0, Expr::Node), read(1, Expr::Var(0))];
+        let cfg = Cfg::build(&body);
+        assert_eq!(cfg.len(), 4);
+        assert_eq!(cfg.succ[ENTRY], vec![2]);
+        assert_eq!(cfg.succ[2], vec![3]);
+        assert_eq!(cfg.succ[3], vec![EXIT]);
+        assert_eq!(cfg.path[3], vec![1]);
+    }
+
+    #[test]
+    fn if_branches_and_joins() {
+        let body = vec![
+            read(0, Expr::Node),
+            Stmt::If {
+                cond: Expr::bin(BinOp::Gt, Expr::Var(0), Expr::Const(0)),
+                then: vec![Stmt::Reduce {
+                    map: 0,
+                    key: Expr::Node,
+                    value: Expr::Var(0),
+                }],
+            },
+        ];
+        let cfg = Cfg::build(&body);
+        // entry, exit, read, if, reduce
+        assert_eq!(cfg.len(), 5);
+        let iff = cfg.nodes_of_kind(NodeKind::If)[0];
+        let red = cfg.nodes_of_kind(NodeKind::Reduce)[0];
+        // If branches to the reduce and (fall-through) to exit.
+        assert!(cfg.succ[iff].contains(&red));
+        assert!(cfg.succ[iff].contains(&EXIT));
+        assert!(cfg.succ[red].contains(&EXIT));
+    }
+
+    #[test]
+    fn for_edges_loops_back() {
+        let body = vec![Stmt::ForEdges {
+            body: vec![read(0, Expr::EdgeDst)],
+        }];
+        let cfg = Cfg::build(&body);
+        let hdr = cfg.nodes_of_kind(NodeKind::ForEdges)[0];
+        let rd = cfg.nodes_of_kind(NodeKind::Read)[0];
+        assert!(cfg.succ[hdr].contains(&rd));
+        assert!(cfg.succ[rd].contains(&hdr), "back edge missing");
+        assert!(cfg.succ[hdr].contains(&EXIT));
+        assert_eq!(cfg.path[rd], vec![0, 0]);
+    }
+
+    #[test]
+    fn empty_operator() {
+        let cfg = Cfg::build(&[]);
+        assert!(cfg.is_empty());
+        assert_eq!(cfg.succ[ENTRY], vec![EXIT]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Operator classification: adjacent-vertex vs trans-vertex (Table 2).
+//!
+//! An operator is **adjacent-vertex** when every property access — read or
+//! reduce — is keyed by the active node or one of its edge endpoints; it is
+//! **trans-vertex** when any access is keyed by a dynamically computed node
+//! id (§1). An application uses both types when some of its operators are
+//! purely adjacent and others are not.
+
+use crate::ir::{Program, Stmt, TopStmt};
+
+/// Classification of one operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperatorKind {
+    /// All reads and reduces are keyed by the active node or an edge
+    /// endpoint.
+    AdjacentVertex,
+    /// Some access is keyed by a dynamically computed node.
+    TransVertex,
+}
+
+/// Per-application summary — one Table 2 row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppClassification {
+    /// The application contains at least one purely adjacent operator.
+    pub uses_adjacent: bool,
+    /// The application contains at least one trans-vertex operator.
+    pub uses_trans: bool,
+    /// Number of operators examined.
+    pub num_operators: usize,
+}
+
+/// Classifies one operator body.
+pub fn classify_operator(body: &[Stmt]) -> OperatorKind {
+    fn adjacent_only(stmts: &[Stmt]) -> bool {
+        stmts.iter().all(|s| match s {
+            Stmt::Read { key, .. } => key.is_adjacent_key(),
+            Stmt::Reduce { key, .. } => key.is_adjacent_key(),
+            Stmt::Request { key, .. } => key.is_adjacent_key(),
+            Stmt::If { then, .. } => adjacent_only(then),
+            Stmt::ForEdges { body } => adjacent_only(body),
+            Stmt::Let { .. } | Stmt::ReduceScalar { .. } => true,
+        })
+    }
+    if adjacent_only(body) {
+        OperatorKind::AdjacentVertex
+    } else {
+        OperatorKind::TransVertex
+    }
+}
+
+/// Classifies every operator in a program (Table 2 row).
+pub fn classify_program(p: &Program) -> AppClassification {
+    fn operators<'a>(tops: &'a [TopStmt], out: &mut Vec<&'a [Stmt]>) {
+        for t in tops {
+            match t {
+                TopStmt::While(w) => out.push(&w.body),
+                TopStmt::ParForOnce { body } => out.push(body),
+                TopStmt::DoWhileScalar { body, .. } => operators(body, out),
+                _ => {}
+            }
+        }
+    }
+    let mut ops = Vec::new();
+    operators(&p.body, &mut ops);
+    let kinds: Vec<OperatorKind> = ops.iter().map(|b| classify_operator(b)).collect();
+    AppClassification {
+        uses_adjacent: kinds.contains(&OperatorKind::AdjacentVertex),
+        uses_trans: kinds.contains(&OperatorKind::TransVertex),
+        num_operators: kinds.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+
+    /// The expected Table 2 rows: (app, adjacent?, trans?).
+    #[test]
+    fn table2_matches_paper() {
+        let expectations = [
+            (programs::louvain_sketch(), true, true), // LV
+            (programs::leiden_sketch(), true, true),  // LD
+            (programs::msf_sketch(), false, true),    // MSF
+            (programs::cc_lp(), true, false),         // CC-LP
+            (programs::cc_sclp(), true, true),        // CC-SCLP
+            (programs::cc_sv(), false, true),         // CC-SV
+            (programs::mis(), true, false),           // MIS
+        ];
+        for (prog, adj, trans) in expectations {
+            let c = classify_program(&prog);
+            assert_eq!(
+                (c.uses_adjacent, c.uses_trans),
+                (adj, trans),
+                "{} misclassified: {c:?}",
+                prog.name
+            );
+        }
+    }
+
+    #[test]
+    fn hook_is_trans_vertex() {
+        let p = programs::cc_sv();
+        let loops = p.loops();
+        // Hook reduces into parent(src_parent): trans.
+        assert_eq!(classify_operator(&loops[0].body), OperatorKind::TransVertex);
+        // Shortcut reads parent(parent(n)): trans.
+        assert_eq!(classify_operator(&loops[1].body), OperatorKind::TransVertex);
+    }
+}

@@ -1,0 +1,202 @@
+//! Dominator and post-dominator analysis (§2.3) via the
+//! Cooper–Harvey–Kennedy iterative algorithm.
+
+use crate::cfg::{Cfg, ENTRY, EXIT};
+
+/// A dominator tree: `idom[n]` is the immediate dominator of node `n`
+/// (`None` for the root and for unreachable nodes).
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    idom: Vec<Option<usize>>,
+    root: usize,
+}
+
+impl DomTree {
+    /// Dominator tree of `cfg` rooted at the entry node.
+    pub fn dominators(cfg: &Cfg) -> DomTree {
+        Self::compute(cfg.len(), ENTRY, |n| &cfg.succ[n], |n| &cfg.pred[n])
+    }
+
+    /// Post-dominator tree of `cfg` rooted at the exit node (dominators of
+    /// the reversed CFG).
+    pub fn post_dominators(cfg: &Cfg) -> DomTree {
+        Self::compute(cfg.len(), EXIT, |n| &cfg.pred[n], |n| &cfg.succ[n])
+    }
+
+    fn compute<'a>(
+        n: usize,
+        root: usize,
+        succ: impl Fn(usize) -> &'a [usize] + Copy,
+        pred: impl Fn(usize) -> &'a [usize] + Copy,
+    ) -> DomTree {
+        // Reverse postorder from `root`.
+        let mut order = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut stack = vec![(root, 0usize)];
+        state[root] = 1;
+        while let Some(&mut (node, ref mut i)) = stack.last_mut() {
+            let ss = succ(node);
+            if *i < ss.len() {
+                let next = ss[*i];
+                *i += 1;
+                if state[next] == 0 {
+                    state[next] = 1;
+                    stack.push((next, 0));
+                }
+            } else {
+                state[node] = 2;
+                order.push(node);
+                stack.pop();
+            }
+        }
+        order.reverse(); // reverse postorder
+
+        let mut rpo_num = vec![usize::MAX; n];
+        for (i, &node) in order.iter().enumerate() {
+            rpo_num[node] = i;
+        }
+
+        let mut idom: Vec<Option<usize>> = vec![None; n];
+        idom[root] = Some(root);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &node in order.iter().skip(1) {
+                let mut new_idom = None;
+                for &p in pred(node) {
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_num, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[node] != Some(ni) {
+                        idom[node] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        idom[root] = None; // the root has no (immediate) dominator
+        DomTree { idom, root }
+    }
+
+    /// Immediate dominator of `n` (`None` for the root / unreachable).
+    pub fn idom(&self, n: usize) -> Option<usize> {
+        self.idom.get(n).copied().flatten()
+    }
+
+    /// `true` if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(next) => cur = next,
+                None => return cur == a && a == self.root,
+            }
+        }
+    }
+
+    /// Nodes dominated by `n` (including `n`), in arbitrary order.
+    pub fn dominated_by(&self, n: usize) -> Vec<usize> {
+        (0..self.idom.len())
+            .filter(|&m| self.dominates(n, m))
+            .collect()
+    }
+}
+
+fn intersect(idom: &[Option<usize>], rpo: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while rpo[a] > rpo[b] {
+            a = idom[a].expect("processed node has idom");
+        }
+        while rpo[b] > rpo[a] {
+            b = idom[b].expect("processed node has idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::NodeKind;
+    use crate::ir::{BinOp, Expr, Stmt};
+
+    fn diamond() -> Cfg {
+        // read; if { reduce }; read2 — diamond join at read2.
+        Cfg::build(&[
+            Stmt::Read { dst: 0, map: 0, key: Expr::Node },
+            Stmt::If {
+                cond: Expr::bin(BinOp::Gt, Expr::Var(0), Expr::Const(1)),
+                then: vec![Stmt::Reduce { map: 0, key: Expr::Node, value: Expr::Var(0) }],
+            },
+            Stmt::Read { dst: 1, map: 0, key: Expr::Var(0) },
+        ])
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let cfg = diamond();
+        let dom = DomTree::dominators(&cfg);
+        let reads = cfg.nodes_of_kind(NodeKind::Read);
+        let iff = cfg.nodes_of_kind(NodeKind::If)[0];
+        let red = cfg.nodes_of_kind(NodeKind::Reduce)[0];
+        // entry dominates everything.
+        for n in 0..cfg.len() {
+            assert!(dom.dominates(ENTRY, n));
+        }
+        // The If dominates the reduce and the join read.
+        assert!(dom.dominates(iff, red));
+        assert!(dom.dominates(iff, reads[1]));
+        // The reduce does NOT dominate the join (branch around it).
+        assert!(!dom.dominates(red, reads[1]));
+        assert_eq!(dom.idom(red), Some(iff));
+        assert_eq!(dom.idom(reads[1]), Some(iff));
+        assert_eq!(dom.idom(ENTRY), None);
+    }
+
+    #[test]
+    fn post_dominators_of_diamond() {
+        let cfg = diamond();
+        let pdom = DomTree::post_dominators(&cfg);
+        let reads = cfg.nodes_of_kind(NodeKind::Read);
+        let red = cfg.nodes_of_kind(NodeKind::Reduce)[0];
+        // The join read post-dominates the branch arms.
+        assert!(pdom.dominates(reads[1], red));
+        assert!(pdom.dominates(EXIT, ENTRY));
+        assert_eq!(pdom.idom(red), Some(reads[1]));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let cfg = Cfg::build(&[Stmt::ForEdges {
+            body: vec![Stmt::Read { dst: 0, map: 0, key: Expr::EdgeDst }],
+        }]);
+        let dom = DomTree::dominators(&cfg);
+        let hdr = cfg.nodes_of_kind(NodeKind::ForEdges)[0];
+        let rd = cfg.nodes_of_kind(NodeKind::Read)[0];
+        assert!(dom.dominates(hdr, rd));
+        assert!(!dom.dominates(rd, hdr));
+        // Body does not post-dominate the header (zero-trip possible).
+        let pdom = DomTree::post_dominators(&cfg);
+        assert!(!pdom.dominates(rd, hdr));
+        assert_eq!(pdom.idom(hdr), Some(EXIT));
+    }
+
+    #[test]
+    fn dominated_by_collects_subtree() {
+        let cfg = diamond();
+        let dom = DomTree::dominators(&cfg);
+        let iff = cfg.nodes_of_kind(NodeKind::If)[0];
+        let subtree = dom.dominated_by(iff);
+        assert!(subtree.contains(&iff));
+        assert_eq!(subtree.len(), 4); // if, reduce, join read, exit
+    }
+}

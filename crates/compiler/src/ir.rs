@@ -1,0 +1,304 @@
+//! The vertex-program intermediate representation.
+//!
+//! The paper's compiler consumes C++ `KimbapWhile … ParFor` constructs
+//! (Fig. 3). This reproduction consumes the same programs written in a
+//! small typed IR: a [`Program`] is a sequence of [`TopStmt`]s; each
+//! [`KimbapWhile`] holds one operator body of nested [`Stmt`]s evaluated
+//! once per active node. Property values are `u64` (node ids, labels,
+//! counters — everything the paper's executable examples need).
+//!
+//! Programs are written in SSA style: every [`Var`] is assigned exactly
+//! once per operator execution (the transformations rely on this to slice
+//! out request code).
+
+use kimbap_npm::DynReduceOp;
+
+/// A virtual register holding a `u64` within one operator application.
+pub type Var = usize;
+
+/// Index of a node-property map declared by the program.
+pub type MapId = usize;
+
+/// Index of a scalar reducer declared by the program.
+pub type ReducerId = usize;
+
+/// Binary operations in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `a < b` (1 or 0).
+    Lt,
+    /// `a > b` (1 or 0).
+    Gt,
+    /// `a != b` (1 or 0).
+    Ne,
+    /// `a == b` (1 or 0).
+    Eq,
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Minimum.
+    Min,
+}
+
+/// A side-effect-free expression over the active node, the current edge,
+/// and previously assigned variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A constant.
+    Const(u64),
+    /// A variable assigned by an earlier `Let` or `Read`.
+    Var(Var),
+    /// The active node's global id.
+    Node,
+    /// The current edge's destination node id (only valid inside
+    /// [`Stmt::ForEdges`]).
+    EdgeDst,
+    /// The current edge's weight (only valid inside [`Stmt::ForEdges`]).
+    EdgeWeight,
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience: `Bin(op, a, b)`.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Variables read by this expression.
+    pub fn vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Expr::Var(v) => out.push(*v),
+            Expr::Bin(_, a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            _ => {}
+        }
+    }
+
+    /// `true` if the expression depends only on the active node / edge /
+    /// constants — i.e. its value is known without reading any map.
+    pub fn is_positional(&self) -> bool {
+        match self {
+            Expr::Const(_) | Expr::Node | Expr::EdgeDst | Expr::EdgeWeight => true,
+            Expr::Var(_) => false,
+            Expr::Bin(_, a, b) => a.is_positional() && b.is_positional(),
+        }
+    }
+
+    /// `true` if the expression is exactly the active node or the current
+    /// edge destination — the *adjacent* keys of adjacent-vertex operators.
+    pub fn is_adjacent_key(&self) -> bool {
+        matches!(self, Expr::Node | Expr::EdgeDst)
+    }
+}
+
+/// One statement of an operator body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `dst = <expr>`.
+    Let {
+        /// Variable assigned.
+        dst: Var,
+        /// Value.
+        value: Expr,
+    },
+    /// `dst = map.Read(key)`.
+    Read {
+        /// Variable receiving the property value.
+        dst: Var,
+        /// Map read from.
+        map: MapId,
+        /// Key expression.
+        key: Expr,
+    },
+    /// `map.Reduce(key, value)` with the map's operator.
+    Reduce {
+        /// Map reduced into.
+        map: MapId,
+        /// Key expression.
+        key: Expr,
+        /// Value expression.
+        value: Expr,
+    },
+    /// `map.Request(key)` — only produced by the compiler.
+    Request {
+        /// Map requested from.
+        map: MapId,
+        /// Key expression.
+        key: Expr,
+    },
+    /// `reducer.Reduce(value)` on a scalar reducer (e.g. `work_done`).
+    ReduceScalar {
+        /// Reducer updated.
+        reducer: ReducerId,
+        /// Value (0 = false, non-zero = true / summed).
+        value: Expr,
+    },
+    /// `if (cond != 0) { … }`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then: Vec<Stmt>,
+    },
+    /// `for (edge : graph.Edges(node)) { … }`.
+    ForEdges {
+        /// Loop body, evaluated once per out-edge of the active node.
+        body: Vec<Stmt>,
+    },
+}
+
+/// Which nodes a `ParFor` iterates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeIterator {
+    /// All local proxies (the source program's `graph.Nodes()`).
+    #[default]
+    AllNodes,
+    /// Master proxies only (installed by the master-elision optimization).
+    Masters,
+}
+
+/// A `KimbapWhile (<map>) Updated ParFor (<iterator>) { <operator> }`
+/// construct (paper Fig. 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KimbapWhile {
+    /// The quiescence map: iterate until it stops updating.
+    pub quiesce_map: MapId,
+    /// Node iterator of the ParFor.
+    pub iterator: NodeIterator,
+    /// The operator body.
+    pub body: Vec<Stmt>,
+}
+
+/// Top-level program statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopStmt {
+    /// `ParFor (node) map.Set(node, <expr>)` — map initialization.
+    InitMap {
+        /// Map initialized.
+        map: MapId,
+        /// Value per node (may use `Expr::Node`).
+        value: Expr,
+    },
+    /// Reset a map's values to its operator identity — how programs model
+    /// per-round scratch maps (e.g. MIS's best-neighbor-priority map).
+    ResetMap {
+        /// Map reset.
+        map: MapId,
+    },
+    /// A single ParFor over all nodes (no quiescence loop) — used for
+    /// one-shot phases like degree counting.
+    ParForOnce {
+        /// The operator body.
+        body: Vec<Stmt>,
+    },
+    /// `reducer.Set(<value>)`.
+    SetScalar {
+        /// Reducer reset.
+        reducer: ReducerId,
+        /// New value.
+        value: u64,
+    },
+    /// A `KimbapWhile` loop.
+    While(KimbapWhile),
+    /// `do { … } while (reducer.Read())` — e.g. CC-SV's outer loop.
+    DoWhileScalar {
+        /// Loop body.
+        body: Vec<TopStmt>,
+        /// Controlling boolean reducer (loop repeats while it reads true).
+        reducer: ReducerId,
+    },
+}
+
+/// Declaration of a node-property map used by a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapDecl {
+    /// The reduction operator of the map.
+    pub op: DynReduceOp,
+    /// Human-readable name for diagnostics.
+    pub name: &'static str,
+}
+
+/// A whole vertex program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Program name (for reports).
+    pub name: &'static str,
+    /// Node-property maps, indexed by [`MapId`].
+    pub maps: Vec<MapDecl>,
+    /// Number of scalar reducers, indexed by [`ReducerId`].
+    pub num_reducers: usize,
+    /// Number of virtual registers used by any operator.
+    pub num_vars: usize,
+    /// The program body.
+    pub body: Vec<TopStmt>,
+}
+
+impl Program {
+    /// Iterates all `KimbapWhile` loops in the program (in textual order).
+    pub fn loops(&self) -> Vec<&KimbapWhile> {
+        fn walk<'a>(stmts: &'a [TopStmt], out: &mut Vec<&'a KimbapWhile>) {
+            for s in stmts {
+                match s {
+                    TopStmt::While(w) => out.push(w),
+                    TopStmt::DoWhileScalar { body, .. } => walk(body, out),
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.body, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_positional_and_adjacent() {
+        assert!(Expr::Node.is_positional());
+        assert!(Expr::EdgeDst.is_adjacent_key());
+        assert!(!Expr::Var(0).is_positional());
+        assert!(Expr::bin(BinOp::Add, Expr::Node, Expr::Const(1)).is_positional());
+        assert!(!Expr::bin(BinOp::Add, Expr::Node, Expr::Var(2)).is_positional());
+        assert!(!Expr::Const(3).is_adjacent_key());
+    }
+
+    #[test]
+    fn expr_vars_collects() {
+        let e = Expr::bin(BinOp::Min, Expr::Var(1), Expr::bin(BinOp::Add, Expr::Var(2), Expr::Node));
+        let mut vs = Vec::new();
+        e.vars(&mut vs);
+        assert_eq!(vs, vec![1, 2]);
+    }
+
+    #[test]
+    fn loops_walks_nested() {
+        let w = KimbapWhile {
+            quiesce_map: 0,
+            iterator: NodeIterator::AllNodes,
+            body: vec![],
+        };
+        let p = Program {
+            name: "t",
+            maps: vec![MapDecl { op: DynReduceOp::Min, name: "m" }],
+            num_reducers: 1,
+            num_vars: 0,
+            body: vec![
+                TopStmt::While(w.clone()),
+                TopStmt::DoWhileScalar {
+                    body: vec![TopStmt::While(w.clone())],
+                    reducer: 0,
+                },
+            ],
+        };
+        assert_eq!(p.loops().len(), 2);
+    }
+}

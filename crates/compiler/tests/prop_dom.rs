@@ -1,0 +1,154 @@
+//! Property-based validation of the dominator analysis: the iterative
+//! algorithm must agree with the brute-force definition ("every path from
+//! the entry to n passes through m") on randomly generated operators.
+
+use kimbap_compiler::cfg::{Cfg, ENTRY, EXIT};
+use kimbap_compiler::dom::DomTree;
+use kimbap_compiler::ir::{BinOp, Expr, Stmt};
+use proptest::prelude::*;
+
+/// Random structured operator bodies (depth-bounded).
+fn stmt_strategy(depth: u32) -> BoxedStrategy<Stmt> {
+    let leaf = prop_oneof![
+        Just(Stmt::Read {
+            dst: 0,
+            map: 0,
+            key: Expr::Node
+        }),
+        Just(Stmt::Reduce {
+            map: 0,
+            key: Expr::Node,
+            value: Expr::Const(1)
+        }),
+        Just(Stmt::Let {
+            dst: 1,
+            value: Expr::Const(7)
+        }),
+        Just(Stmt::ReduceScalar {
+            reducer: 0,
+            value: Expr::Const(1)
+        }),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = prop::collection::vec(stmt_strategy(depth - 1), 0..3);
+    prop_oneof![
+        4 => leaf,
+        1 => inner.clone().prop_map(|then| Stmt::If {
+            cond: Expr::bin(BinOp::Gt, Expr::Node, Expr::Const(0)),
+            then,
+        }),
+        1 => inner.prop_map(|body| Stmt::ForEdges { body }),
+    ]
+    .boxed()
+}
+
+fn body_strategy() -> impl Strategy<Value = Vec<Stmt>> {
+    prop::collection::vec(stmt_strategy(3), 0..6)
+}
+
+/// Brute force: does every entry→target path avoid `blocked`? If removing
+/// `blocked` makes `target` unreachable, `blocked` dominates `target`.
+fn reachable_avoiding(cfg: &Cfg, target: usize, blocked: usize) -> bool {
+    if target == blocked {
+        return false;
+    }
+    let mut seen = vec![false; cfg.len()];
+    let mut stack = vec![ENTRY];
+    if ENTRY == blocked {
+        return false;
+    }
+    seen[ENTRY] = true;
+    while let Some(n) = stack.pop() {
+        if n == target {
+            return true;
+        }
+        for &s in &cfg.succ[n] {
+            if s != blocked && !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dominators_match_path_definition(body in body_strategy()) {
+        let cfg = Cfg::build(&body);
+        let dom = DomTree::dominators(&cfg);
+        for m in 0..cfg.len() {
+            for n in 0..cfg.len() {
+                let brute = if m == n {
+                    true // dominance is reflexive
+                } else {
+                    // m dominates n iff n is unreachable without m.
+                    !reachable_avoiding(&cfg, n, m)
+                };
+                prop_assert_eq!(
+                    dom.dominates(m, n),
+                    brute,
+                    "dominates({}, {}) mismatch in {:?}",
+                    m,
+                    n,
+                    body
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn post_dominators_match_reverse_definition(body in body_strategy()) {
+        let cfg = Cfg::build(&body);
+        let pdom = DomTree::post_dominators(&cfg);
+        // Reverse reachability: n post-dominates m iff EXIT is unreachable
+        // from m when n is removed.
+        let reach_exit_avoiding = |from: usize, blocked: usize| -> bool {
+            if from == blocked {
+                return false;
+            }
+            let mut seen = vec![false; cfg.len()];
+            let mut stack = vec![from];
+            seen[from] = true;
+            while let Some(x) = stack.pop() {
+                if x == EXIT {
+                    return true;
+                }
+                for &s in &cfg.succ[x] {
+                    if s != blocked && !seen[s] {
+                        seen[s] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+            false
+        };
+        for m in 0..cfg.len() {
+            for n in 0..cfg.len() {
+                let brute = if m == n {
+                    true
+                } else {
+                    !reach_exit_avoiding(m, n)
+                };
+                prop_assert_eq!(pdom.dominates(n, m), brute);
+            }
+        }
+    }
+
+    #[test]
+    fn entry_dominates_everything(body in body_strategy()) {
+        let cfg = Cfg::build(&body);
+        let dom = DomTree::dominators(&cfg);
+        for n in 0..cfg.len() {
+            prop_assert!(dom.dominates(ENTRY, n));
+        }
+        let pdom = DomTree::post_dominators(&cfg);
+        for n in 0..cfg.len() {
+            prop_assert!(pdom.dominates(EXIT, n));
+        }
+    }
+}

@@ -1,0 +1,572 @@
+//! One host's partition of the graph.
+
+use crate::ownership::Ownership;
+use crate::policy::Policy;
+use kimbap_comm::wire::{encode_slice, iter_decoded};
+use kimbap_comm::HostCtx;
+use kimbap_graph::{Graph, NodeId, Weight};
+use std::fmt;
+
+/// Identifier of a proxy node local to one host. Local ids `0..num_masters`
+/// are masters (ordered by global id); the rest are mirrors (also ordered by
+/// global id).
+pub type LocalId = u32;
+
+/// One host's partition: a local CSR over proxy nodes, plus the metadata
+/// needed to translate ids and synchronize with other hosts.
+///
+/// Produced by [`partition`]. The local graph contains exactly the directed
+/// edges the [`Policy`] assigned to this host; proxies exist for all owned
+/// nodes (masters, even if locally isolated) and for every non-owned
+/// endpoint of a local edge (mirrors).
+pub struct DistGraph {
+    host: usize,
+    ownership: Ownership,
+    policy: Policy,
+    /// Global id of each local proxy; masters first, then mirrors, each
+    /// sorted by global id.
+    l2g: Vec<NodeId>,
+    num_masters: usize,
+    /// Local CSR.
+    offsets: Vec<u64>,
+    targets: Vec<LocalId>,
+    weights: Vec<Weight>,
+    /// For each peer host `h`: sorted global ids of *my masters* that have a
+    /// mirror proxy on `h` (what a broadcast to `h` must cover).
+    mirrors_on_peer: Vec<Vec<NodeId>>,
+}
+
+impl DistGraph {
+    /// This host's id.
+    pub fn host(&self) -> usize {
+        self.host
+    }
+
+    /// Number of hosts in the partitioning.
+    pub fn num_hosts(&self) -> usize {
+        self.ownership.num_hosts()
+    }
+
+    /// The node-ownership map shared by all hosts.
+    pub fn ownership(&self) -> &Ownership {
+        &self.ownership
+    }
+
+    /// The policy this partition was built with.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Total nodes in the *global* graph.
+    pub fn num_global_nodes(&self) -> usize {
+        self.ownership.num_nodes()
+    }
+
+    /// Number of local proxies (masters + mirrors).
+    pub fn num_local_nodes(&self) -> usize {
+        self.l2g.len()
+    }
+
+    /// Number of masters on this host.
+    pub fn num_masters(&self) -> usize {
+        self.num_masters
+    }
+
+    /// Number of mirror proxies on this host.
+    pub fn num_mirrors(&self) -> usize {
+        self.l2g.len() - self.num_masters
+    }
+
+    /// Number of directed edges stored on this host.
+    pub fn num_local_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Global id of local proxy `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn local_to_global(&self, l: LocalId) -> NodeId {
+        self.l2g[l as usize]
+    }
+
+    /// Local proxy id for global node `g`, if `g` has a proxy here.
+    pub fn global_to_local(&self, g: NodeId) -> Option<LocalId> {
+        if self.ownership.owner(g) == self.host {
+            return Some(self.ownership.master_offset(g) as LocalId);
+        }
+        let mirrors = &self.l2g[self.num_masters..];
+        mirrors
+            .binary_search(&g)
+            .ok()
+            .map(|i| (self.num_masters + i) as LocalId)
+    }
+
+    /// `true` if local proxy `l` is a master.
+    pub fn is_master(&self, l: LocalId) -> bool {
+        (l as usize) < self.num_masters
+    }
+
+    /// Iterates local ids of all proxies.
+    pub fn local_nodes(&self) -> impl Iterator<Item = LocalId> {
+        0..self.num_local_nodes() as LocalId
+    }
+
+    /// Iterates local ids of masters only.
+    pub fn master_nodes(&self) -> impl Iterator<Item = LocalId> {
+        0..self.num_masters as LocalId
+    }
+
+    /// Iterates local ids of mirrors only.
+    pub fn mirror_nodes(&self) -> impl Iterator<Item = LocalId> {
+        self.num_masters as LocalId..self.num_local_nodes() as LocalId
+    }
+
+    /// Global ids of this host's mirror proxies (sorted).
+    pub fn mirror_globals(&self) -> &[NodeId] {
+        &self.l2g[self.num_masters..]
+    }
+
+    /// Out-degree of local proxy `l` on this host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn degree(&self, l: LocalId) -> usize {
+        let l = l as usize;
+        (self.offsets[l + 1] - self.offsets[l]) as usize
+    }
+
+    /// Local out-neighbors of proxy `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn neighbors(&self, l: LocalId) -> &[LocalId] {
+        let l = l as usize;
+        &self.targets[self.offsets[l] as usize..self.offsets[l + 1] as usize]
+    }
+
+    /// Iterates `(local_neighbor, weight)` of proxy `l`'s out-edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn edges(&self, l: LocalId) -> impl Iterator<Item = (LocalId, Weight)> + '_ {
+        let l = l as usize;
+        let r = self.offsets[l] as usize..self.offsets[l + 1] as usize;
+        self.targets[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.weights[r].iter().copied())
+    }
+
+    /// Sum of local edge weights of proxy `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn weighted_degree(&self, l: LocalId) -> u64 {
+        let l = l as usize;
+        self.weights[self.offsets[l] as usize..self.offsets[l + 1] as usize]
+            .iter()
+            .sum()
+    }
+
+    /// Sorted global ids of this host's masters that have mirrors on peer
+    /// host `peer` — the recipients of a broadcast to that peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is out of range.
+    pub fn mirrors_on_peer(&self, peer: usize) -> &[NodeId] {
+        &self.mirrors_on_peer[peer]
+    }
+}
+
+impl fmt::Debug for DistGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DistGraph")
+            .field("host", &self.host)
+            .field("masters", &self.num_masters)
+            .field("mirrors", &self.num_mirrors())
+            .field("edges", &self.num_local_edges())
+            .finish()
+    }
+}
+
+/// Partitions `graph` across `num_hosts` hosts under `policy`, producing one
+/// [`DistGraph`] per host (indexed by host id).
+///
+/// Construction is deterministic. Like the paper, partitioning time is not
+/// part of any measured experiment, so this single-pass global construction
+/// (rather than a distributed streaming partitioner like CuSP) is a faithful
+/// substitution.
+///
+/// # Panics
+///
+/// Panics if `num_hosts == 0`.
+pub fn partition(graph: &Graph, policy: Policy, num_hosts: usize) -> Vec<DistGraph> {
+    assert!(num_hosts > 0, "need at least one host");
+    let n = graph.num_nodes();
+    let own = policy.ownership(n, num_hosts);
+
+    // Pass 1: assign every directed edge to a host.
+    let mut host_edges: Vec<Vec<(NodeId, NodeId, Weight)>> = vec![Vec::new(); num_hosts];
+    for (u, v, w) in graph.all_edges() {
+        host_edges[policy.assign(&own, u, v)].push((u, v, w));
+    }
+
+    // Pass 2: build each host's local graph.
+    let mut parts: Vec<DistGraph> = host_edges
+        .into_iter()
+        .enumerate()
+        .map(|(h, edges)| build_part(h, own, policy, &edges))
+        .collect();
+
+    // Pass 3: tell each owner which peers mirror its masters (in a real
+    // deployment this is the mirror-list exchange at partitioning time).
+    let all_mirrors: Vec<Vec<NodeId>> = parts
+        .iter()
+        .map(|p| p.mirror_globals().to_vec())
+        .collect();
+    for (peer, mirrored) in all_mirrors.iter().enumerate() {
+        for &g in mirrored {
+            let owner = own.owner(g);
+            parts[owner].mirrors_on_peer[peer].push(g);
+        }
+    }
+    for p in &mut parts {
+        for list in &mut p.mirrors_on_peer {
+            list.sort_unstable();
+        }
+    }
+    parts
+}
+
+/// Builds one host's [`DistGraph`] from the edges assigned to it, *without*
+/// the mirror-list exchange (callers fill `mirrors_on_peer`).
+fn build_part(
+    h: usize,
+    own: Ownership,
+    policy: Policy,
+    edges: &[(NodeId, NodeId, Weight)],
+) -> DistGraph {
+    let num_hosts = own.num_hosts();
+    let num_masters = own.num_masters(h);
+    let mut mirrors: Vec<NodeId> = edges
+        .iter()
+        .flat_map(|&(u, v, _)| [u, v])
+        .filter(|&x| own.owner(x) != h)
+        .collect();
+    mirrors.sort_unstable();
+    mirrors.dedup();
+
+    let mut l2g: Vec<NodeId> = own.masters(h).collect();
+    l2g.extend_from_slice(&mirrors);
+
+    let to_local = |g: NodeId| -> LocalId {
+        if own.owner(g) == h {
+            own.master_offset(g) as LocalId
+        } else {
+            (num_masters + mirrors.binary_search(&g).unwrap()) as LocalId
+        }
+    };
+
+    let nl = l2g.len();
+    let mut local_edges: Vec<(LocalId, LocalId, Weight)> = edges
+        .iter()
+        .map(|&(u, v, w)| (to_local(u), to_local(v), w))
+        .collect();
+    local_edges.sort_unstable_by_key(|&(s, d, _)| (s, d));
+    let mut offsets = vec![0u64; nl + 1];
+    for &(s, _, _) in &local_edges {
+        offsets[s as usize + 1] += 1;
+    }
+    for i in 0..nl {
+        offsets[i + 1] += offsets[i];
+    }
+    let targets = local_edges.iter().map(|&(_, d, _)| d).collect();
+    let weights = local_edges.iter().map(|&(_, _, w)| w).collect();
+
+    DistGraph {
+        host: h,
+        ownership: own,
+        policy,
+        l2g,
+        num_masters,
+        offsets,
+        targets,
+        weights,
+        mirrors_on_peer: vec![Vec::new(); num_hosts],
+    }
+}
+
+/// Distributed graph assembly: every host contributes the edges *it
+/// produced* (e.g. the coarse edges of a Louvain aggregation step); edges
+/// are routed to the hosts the `policy` assigns them to, and each host
+/// builds its own [`DistGraph`] over a global node space of `n_global`
+/// nodes, exchanging mirror lists with its peers.
+///
+/// This is the distributed analog of [`partition`] (a CuSP-style streaming
+/// partitioner): no host ever sees the whole graph. Collective — every host
+/// must call it together.
+///
+/// Duplicate edges contributed by different hosts are merged by summing
+/// weights (community-aggregation semantics).
+///
+/// # Panics
+///
+/// Panics if an edge references a node `>= n_global`.
+pub fn assemble_dist_graph(
+    ctx: &HostCtx,
+    n_global: usize,
+    policy: Policy,
+    produced_edges: Vec<(NodeId, NodeId, Weight)>,
+) -> DistGraph {
+    let num_hosts = ctx.num_hosts();
+    let host = ctx.host();
+    let own = policy.ownership(n_global, num_hosts);
+
+    // Route each produced edge to its assigned host.
+    let mut per_host: Vec<Vec<(NodeId, NodeId, Weight)>> = vec![Vec::new(); num_hosts];
+    for (u, v, w) in produced_edges {
+        assert!(
+            (u as usize) < n_global && (v as usize) < n_global,
+            "edge ({u},{v}) outside node space {n_global}"
+        );
+        per_host[policy.assign(&own, u, v)].push((u, v, w));
+    }
+    let outgoing = per_host
+        .iter()
+        .enumerate()
+        .map(|(h, edges)| {
+            if h == host {
+                Vec::new()
+            } else {
+                encode_slice(&edges.iter().map(|&(u, v, w)| (u, (v, w))).collect::<Vec<_>>())
+            }
+        })
+        .collect();
+    let received = ctx.exchange(outgoing);
+
+    // My edge set = locally produced + received; merge duplicates by sum.
+    let mut my_edges = std::mem::take(&mut per_host[host]);
+    for (h, buf) in received.iter().enumerate() {
+        if h == host {
+            continue;
+        }
+        for (u, (v, w)) in iter_decoded::<(NodeId, (NodeId, Weight))>(buf) {
+            my_edges.push((u, v, w));
+        }
+    }
+    my_edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+    my_edges.dedup_by(|next, acc| {
+        if acc.0 == next.0 && acc.1 == next.1 {
+            acc.2 += next.2;
+            true
+        } else {
+            false
+        }
+    });
+
+    let mut dg = build_part(host, own, policy, &my_edges);
+
+    // Mirror-list exchange: tell each node's owner that we mirror it.
+    let outgoing = (0..num_hosts)
+        .map(|peer| {
+            if peer == host {
+                return Vec::new();
+            }
+            let mine: Vec<NodeId> = dg
+                .mirror_globals()
+                .iter()
+                .copied()
+                .filter(|&g| own.owner(g) == peer)
+                .collect();
+            encode_slice(&mine)
+        })
+        .collect();
+    let received = ctx.exchange(outgoing);
+    for (peer, buf) in received.iter().enumerate() {
+        if peer == host {
+            continue;
+        }
+        let mut list: Vec<NodeId> = iter_decoded::<NodeId>(buf).collect();
+        list.sort_unstable();
+        dg.mirrors_on_peer[peer] = list;
+    }
+    dg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kimbap_graph::gen;
+
+    fn check_partition(g: &Graph, policy: Policy, hosts: usize) {
+        let parts = partition(g, policy, hosts);
+        assert_eq!(parts.len(), hosts);
+
+        // Edge conservation.
+        let total: usize = parts.iter().map(|p| p.num_local_edges()).sum();
+        assert_eq!(total, g.num_edges());
+
+        // Master conservation: each global node is a master exactly once.
+        let total_masters: usize = parts.iter().map(|p| p.num_masters()).sum();
+        assert_eq!(total_masters, g.num_nodes());
+
+        for p in &parts {
+            // Round-trip id mapping.
+            for l in p.local_nodes() {
+                let gid = p.local_to_global(l);
+                assert_eq!(p.global_to_local(gid), Some(l));
+                assert_eq!(p.is_master(l), p.ownership().owner(gid) == p.host());
+            }
+            // Local edges preserve global weights.
+            for l in p.local_nodes() {
+                for (t, w) in p.edges(l) {
+                    let (gu, gv) = (p.local_to_global(l), p.local_to_global(t));
+                    let found = g.edges(gu).any(|(x, xw)| x == gv && xw == w);
+                    assert!(found, "edge ({gu},{gv},{w}) not in global graph");
+                }
+            }
+            // Mirror lists point back correctly.
+            for (peer, peer_part) in parts.iter().enumerate() {
+                for &gid in p.mirrors_on_peer(peer) {
+                    assert_eq!(p.ownership().owner(gid), p.host());
+                    assert!(peer_part.mirror_globals().contains(&gid));
+                }
+            }
+        }
+
+        // Every mirror appears in its owner's mirror list for that peer.
+        for p in &parts {
+            for &gid in p.mirror_globals() {
+                let owner = p.ownership().owner(gid);
+                assert!(parts[owner].mirrors_on_peer(p.host()).contains(&gid));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_cut_blocked_partitions() {
+        let g = gen::grid_road(6, 6, 1);
+        for hosts in [1, 2, 3, 4] {
+            check_partition(&g, Policy::EdgeCutBlocked, hosts);
+        }
+    }
+
+    #[test]
+    fn edge_cut_hashed_partitions() {
+        let g = gen::rmat(7, 4, 2);
+        for hosts in [1, 2, 5] {
+            check_partition(&g, Policy::EdgeCutHashed, hosts);
+        }
+    }
+
+    #[test]
+    fn cvc_partitions() {
+        let g = gen::rmat(7, 4, 3);
+        for hosts in [1, 2, 4, 6] {
+            check_partition(&g, Policy::CartesianVertexCut, hosts);
+        }
+    }
+
+    #[test]
+    fn iec_mirrors_have_no_in_edges() {
+        let g = gen::rmat(7, 4, 4);
+        for p in partition(&g, Policy::EdgeCutIncoming, 4) {
+            let mut has_in = vec![false; p.num_local_nodes()];
+            for l in p.local_nodes() {
+                for (t, _) in p.edges(l) {
+                    has_in[t as usize] = true;
+                }
+            }
+            for m in p.mirror_nodes() {
+                assert!(!has_in[m as usize], "IEC mirror with in-edges");
+            }
+        }
+    }
+
+    #[test]
+    fn oec_mirrors_have_no_out_edges() {
+        let g = gen::rmat(7, 4, 4);
+        for p in partition(&g, Policy::EdgeCutBlocked, 4) {
+            for m in p.mirror_nodes() {
+                assert_eq!(p.degree(m), 0, "OEC mirror with out-edges");
+            }
+        }
+    }
+
+    #[test]
+    fn single_host_has_no_mirrors() {
+        let g = gen::grid_road(4, 4, 0);
+        let parts = partition(&g, Policy::CartesianVertexCut, 1);
+        assert_eq!(parts[0].num_mirrors(), 0);
+        assert_eq!(parts[0].num_local_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn assemble_matches_partition() {
+        // Distribute edge production arbitrarily across hosts; the
+        // assembled DistGraphs must match the global partitioner's output.
+        let g = gen::rmat(6, 4, 11);
+        let hosts = 3;
+        for policy in [Policy::EdgeCutBlocked, Policy::CartesianVertexCut] {
+            let reference = partition(&g, policy, hosts);
+            let assembled = kimbap_comm::Cluster::new(hosts).run(|ctx| {
+                // Host h contributes every third edge, offset by h.
+                let produced: Vec<_> = g
+                    .all_edges()
+                    .enumerate()
+                    .filter(|(i, _)| i % hosts == ctx.host())
+                    .map(|(_, e)| e)
+                    .collect();
+                assemble_dist_graph(ctx, g.num_nodes(), policy, produced)
+            });
+            for (a, r) in assembled.iter().zip(&reference) {
+                assert_eq!(a.num_masters(), r.num_masters());
+                assert_eq!(a.num_mirrors(), r.num_mirrors());
+                assert_eq!(a.num_local_edges(), r.num_local_edges());
+                assert_eq!(a.l2g, r.l2g);
+                assert_eq!(a.offsets, r.offsets);
+                assert_eq!(a.targets, r.targets);
+                assert_eq!(a.weights, r.weights);
+                assert_eq!(a.mirrors_on_peer, r.mirrors_on_peer);
+            }
+        }
+    }
+
+    #[test]
+    fn assemble_merges_duplicate_edges() {
+        // Both hosts contribute the same edge; weights must sum.
+        let out = kimbap_comm::Cluster::new(2).run(|ctx| {
+            let dg = assemble_dist_graph(
+                ctx,
+                4,
+                Policy::EdgeCutBlocked,
+                vec![(0, 1, 5), (1, 0, 5)],
+            );
+            if ctx.host() == 0 {
+                let l0 = dg.global_to_local(0).unwrap();
+                dg.edges(l0).collect::<Vec<_>>()
+            } else {
+                Vec::new()
+            }
+        });
+        let l1 = out[0][0];
+        assert_eq!(l1.1, 10); // two hosts x weight 5
+    }
+
+    #[test]
+    fn isolated_nodes_are_masters_somewhere() {
+        let mut b = kimbap_graph::GraphBuilder::new();
+        b.add_edge(0, 1, 1).ensure_nodes(10);
+        let g = b.symmetric(true).build();
+        let parts = partition(&g, Policy::EdgeCutBlocked, 3);
+        let total: usize = parts.iter().map(|p| p.num_masters()).sum();
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,211 @@
+//! The node → owning-host map.
+
+use kimbap_graph::NodeId;
+
+/// Maps every global node id to the host that owns its master proxy, and to
+/// a dense per-host *master offset*.
+///
+/// Both variants are pure arithmetic — no lookup tables — which is what lets
+/// the node-property map locate any master property with one division
+/// (the locality half of the paper's GAR optimization).
+///
+/// # Example
+///
+/// ```
+/// use kimbap_dist::Ownership;
+///
+/// let own = Ownership::blocked(10, 3); // hosts own [0,4) [4,8) [8,10)
+/// assert_eq!(own.owner(5), 1);
+/// assert_eq!(own.master_offset(5), 1);
+/// assert_eq!(own.num_masters(2), 2);
+/// assert_eq!(own.master_at(1, 1), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ownership {
+    /// Contiguous blocks of `ceil(n / hosts)` nodes per host.
+    Blocked {
+        /// Total node count.
+        n: usize,
+        /// Number of hosts.
+        hosts: usize,
+    },
+    /// Node `g` is owned by host `g % hosts` (the distribution used by the
+    /// memcached and SGR-only runtime variants, which hash keys instead of
+    /// exploiting the partition).
+    Hashed {
+        /// Total node count.
+        n: usize,
+        /// Number of hosts.
+        hosts: usize,
+    },
+}
+
+impl Ownership {
+    /// Blocked ownership over `n` nodes and `hosts` hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts == 0`.
+    pub fn blocked(n: usize, hosts: usize) -> Self {
+        assert!(hosts > 0, "need at least one host");
+        Ownership::Blocked { n, hosts }
+    }
+
+    /// Modulo-hashed ownership over `n` nodes and `hosts` hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts == 0`.
+    pub fn hashed(n: usize, hosts: usize) -> Self {
+        assert!(hosts > 0, "need at least one host");
+        Ownership::Hashed { n, hosts }
+    }
+
+    /// Total number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        match *self {
+            Ownership::Blocked { n, .. } | Ownership::Hashed { n, .. } => n,
+        }
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        match *self {
+            Ownership::Blocked { hosts, .. } | Ownership::Hashed { hosts, .. } => hosts,
+        }
+    }
+
+    fn block(&self) -> usize {
+        match *self {
+            Ownership::Blocked { n, hosts } => n.div_ceil(hosts).max(1),
+            Ownership::Hashed { .. } => unreachable!("hashed ownership has no block"),
+        }
+    }
+
+    /// Host owning node `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn owner(&self, g: NodeId) -> usize {
+        let g = g as usize;
+        assert!(g < self.num_nodes(), "node {g} out of range");
+        match *self {
+            Ownership::Blocked { .. } => g / self.block(),
+            Ownership::Hashed { hosts, .. } => g % hosts,
+        }
+    }
+
+    /// Dense index of `g` among its owner's masters (masters are ordered by
+    /// global id on every host).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn master_offset(&self, g: NodeId) -> usize {
+        let g = g as usize;
+        assert!(g < self.num_nodes(), "node {g} out of range");
+        match *self {
+            Ownership::Blocked { .. } => g % self.block(),
+            Ownership::Hashed { hosts, .. } => g / hosts,
+        }
+    }
+
+    /// Number of masters host `h` owns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h >= num_hosts()`.
+    pub fn num_masters(&self, h: usize) -> usize {
+        assert!(h < self.num_hosts(), "host {h} out of range");
+        match *self {
+            Ownership::Blocked { n, .. } => {
+                let b = self.block();
+                n.saturating_sub(h * b).min(b)
+            }
+            Ownership::Hashed { n, hosts } => {
+                if h < n % hosts {
+                    n / hosts + 1
+                } else {
+                    n / hosts
+                }
+            }
+        }
+    }
+
+    /// Global id of host `h`'s `i`-th master (inverse of
+    /// [`Ownership::master_offset`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` or `i` is out of range.
+    pub fn master_at(&self, h: usize, i: usize) -> NodeId {
+        assert!(i < self.num_masters(h), "master index {i} out of range");
+        match *self {
+            Ownership::Blocked { .. } => (h * self.block() + i) as NodeId,
+            Ownership::Hashed { hosts, .. } => (i * hosts + h) as NodeId,
+        }
+    }
+
+    /// Iterates the global ids of host `h`'s masters in ascending order.
+    pub fn masters(&self, h: usize) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_masters(h)).map(move |i| self.master_at(h, i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_consistency(own: Ownership) {
+        let n = own.num_nodes();
+        let hosts = own.num_hosts();
+        // Every node is owned by exactly one host, offsets are dense.
+        let mut total = 0;
+        for h in 0..hosts {
+            let masters: Vec<_> = own.masters(h).collect();
+            assert_eq!(masters.len(), own.num_masters(h));
+            assert!(masters.windows(2).all(|w| w[0] < w[1]), "sorted");
+            for (i, &g) in masters.iter().enumerate() {
+                assert_eq!(own.owner(g), h);
+                assert_eq!(own.master_offset(g), i);
+                assert_eq!(own.master_at(h, i), g);
+            }
+            total += masters.len();
+        }
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn blocked_consistent() {
+        for (n, h) in [(10, 3), (10, 1), (1, 4), (16, 4), (7, 8), (0, 2)] {
+            check_consistency(Ownership::blocked(n, h));
+        }
+    }
+
+    #[test]
+    fn hashed_consistent() {
+        for (n, h) in [(10, 3), (10, 1), (1, 4), (16, 4), (7, 8), (0, 2)] {
+            check_consistency(Ownership::hashed(n, h));
+        }
+    }
+
+    #[test]
+    fn blocked_is_contiguous() {
+        let own = Ownership::blocked(10, 3);
+        assert_eq!(own.masters(0).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(own.masters(2).collect::<Vec<_>>(), vec![8, 9]);
+    }
+
+    #[test]
+    fn hashed_strides() {
+        let own = Ownership::hashed(10, 3);
+        assert_eq!(own.masters(1).collect::<Vec<_>>(), vec![1, 4, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn owner_out_of_range() {
+        Ownership::blocked(5, 2).owner(5);
+    }
+}

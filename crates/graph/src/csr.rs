@@ -1,0 +1,276 @@
+//! Compressed-sparse-row graph representation.
+
+use std::fmt;
+
+/// Identifier of a node in a graph. Node ids are dense: a graph with `n`
+/// nodes uses ids `0..n`.
+pub type NodeId = u32;
+
+/// Weight of an edge.
+///
+/// Weights are integral: the paper's workloads either ignore weights
+/// (connected components, MIS), use unit weights that aggregate to integer
+/// sums under coarsening (Louvain/Leiden), or compare weights for minima
+/// (Boruvka). Integer weights keep reductions exact and deterministic.
+pub type Weight = u64;
+
+/// An immutable directed graph in compressed-sparse-row form, with one
+/// weight per edge.
+///
+/// All algorithms in this workspace treat the graph as *symmetric* (every
+/// edge has its reverse present); [`crate::GraphBuilder`] enforces that when
+/// asked. `Graph` itself does not require symmetry.
+///
+/// # Example
+///
+/// ```
+/// use kimbap_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(0, 1, 5);
+/// b.add_edge(1, 2, 7);
+/// let g = b.symmetric(true).build();
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 4); // both directions
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[u]..offsets[u+1]` is the range of `u`'s out-edges.
+    offsets: Vec<u64>,
+    /// Destination of each edge, grouped by source, sorted within a source.
+    targets: Vec<NodeId>,
+    /// Weight of each edge, parallel to `targets`.
+    weights: Vec<Weight>,
+}
+
+impl Graph {
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// Prefer [`crate::GraphBuilder`] unless you already hold CSR data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are inconsistent: `offsets` must be non-empty and
+    /// non-decreasing, its last element must equal `targets.len()`,
+    /// `weights.len()` must equal `targets.len()`, and every target must be a
+    /// valid node id.
+    pub fn from_csr(offsets: Vec<u64>, targets: Vec<NodeId>, weights: Vec<Weight>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            targets.len() as u64,
+            "last offset must equal the number of edges"
+        );
+        assert_eq!(weights.len(), targets.len(), "one weight per edge");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        let n = (offsets.len() - 1) as u64;
+        assert!(
+            targets.iter().all(|&t| (t as u64) < n),
+            "edge target out of range"
+        );
+        Graph {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of *directed* edges. A symmetric graph stores both directions
+    /// of each undirected edge, so this is twice the undirected edge count.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: NodeId) -> usize {
+        let (s, e) = self.edge_range(u);
+        e - s
+    }
+
+    /// Neighbors of `u`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let (s, e) = self.edge_range(u);
+        &self.targets[s..e]
+    }
+
+    /// Weights of `u`'s out-edges, parallel to [`Graph::neighbors`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn edge_weights(&self, u: NodeId) -> &[Weight] {
+        let (s, e) = self.edge_range(u);
+        &self.weights[s..e]
+    }
+
+    /// Iterates `(neighbor, weight)` pairs of `u`'s out-edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn edges(&self, u: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        self.neighbors(u)
+            .iter()
+            .copied()
+            .zip(self.edge_weights(u).iter().copied())
+    }
+
+    /// Sum of the weights of `u`'s out-edges (the *weighted degree* used by
+    /// modularity computations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn weighted_degree(&self, u: NodeId) -> u64 {
+        self.edge_weights(u).iter().sum()
+    }
+
+    /// Total weight of all directed edges.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// Maximum out-degree over all nodes, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes() as NodeId)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates all node ids `0..num_nodes()`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// Iterates every directed edge as `(src, dst, weight)`.
+    pub fn all_edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Weight)> + '_ {
+        self.nodes()
+            .flat_map(move |u| self.edges(u).map(move |(v, w)| (u, v, w)))
+    }
+
+    /// Returns `true` if every edge `(u, v, w)` has a reverse `(v, u, w)`.
+    pub fn is_symmetric(&self) -> bool {
+        self.all_edges().all(|(u, v, w)| {
+            self.edges(v).any(|(t, tw)| t == u && tw == w)
+        })
+    }
+
+    /// Approximate in-memory size in bytes (offsets + targets + weights).
+    pub fn size_bytes(&self) -> usize {
+        self.offsets.len() * 8 + self.targets.len() * 4 + self.weights.len() * 8
+    }
+
+    /// The raw CSR offsets array (length `num_nodes() + 1`).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw CSR targets array.
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    fn edge_range(&self, u: NodeId) -> (usize, usize) {
+        let u = u as usize;
+        assert!(u < self.num_nodes(), "node {u} out of range");
+        (self.offsets[u] as usize, self.offsets[u + 1] as usize)
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("num_nodes", &self.num_nodes())
+            .field("num_edges", &self.num_edges())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_csr(
+            vec![0, 2, 4, 6],
+            vec![1, 2, 0, 2, 0, 1],
+            vec![1, 1, 1, 1, 1, 1],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        assert_eq!(g.weighted_degree(0), 2);
+        assert_eq!(g.total_weight(), 6);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_csr(vec![0], vec![], vec![]);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let g = Graph::from_csr(vec![0, 0, 0, 1], vec![0], vec![9]);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.degree(2), 1);
+        assert_eq!(g.edges(2).collect::<Vec<_>>(), vec![(0, 9)]);
+        assert!(!g.is_symmetric());
+    }
+
+    #[test]
+    fn all_edges_enumerates_in_csr_order() {
+        let g = triangle();
+        let edges: Vec<_> = g.all_edges().collect();
+        assert_eq!(edges.len(), 6);
+        assert_eq!(edges[0], (0, 1, 1));
+        assert_eq!(edges[5], (2, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn degree_out_of_range_panics() {
+        triangle().degree(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge target out of range")]
+    fn bad_target_panics() {
+        Graph::from_csr(vec![0, 1], vec![5], vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "last offset")]
+    fn inconsistent_offsets_panic() {
+        Graph::from_csr(vec![0, 2], vec![0], vec![1]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Graph serialization: whitespace edge lists (the interchange format of
+//! SNAP / WebDataCommons dumps the paper's inputs ship as) and a compact
+//! binary CSR format for fast reloads.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId, Weight};
+use std::io::{self, BufRead, Read, Write};
+
+/// Writes `g` as a text edge list: one `src dst weight` triple per line,
+/// preceded by a `# nodes <n>` header that preserves isolated nodes.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> io::Result<()> {
+    writeln!(w, "# nodes {}", g.num_nodes())?;
+    for (u, v, wt) in g.all_edges() {
+        writeln!(w, "{u} {v} {wt}")?;
+    }
+    Ok(())
+}
+
+/// Reads a text edge list produced by [`write_edge_list`] (or any
+/// whitespace-separated `src dst [weight]` file; missing weights default
+/// to 1; lines starting with `#` or `%` are comments, except the
+/// `# nodes <n>` header).
+///
+/// The graph is **not** symmetrized — load exactly what the file says and
+/// symmetrize with [`GraphBuilder`] if needed.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed lines and propagates I/O errors.
+pub fn read_edge_list<R: BufRead>(r: R) -> io::Result<Graph> {
+    let mut b = GraphBuilder::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# nodes ") {
+            let n: usize = rest.trim().parse().map_err(|_| bad(lineno, line))?;
+            b.ensure_nodes(n);
+            continue;
+        }
+        if line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: NodeId = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad(lineno, line))?;
+        let v: NodeId = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad(lineno, line))?;
+        let w: Weight = match it.next() {
+            Some(t) => t.parse().map_err(|_| bad(lineno, line))?,
+            None => 1,
+        };
+        b.add_edge(u, v, w);
+    }
+    Ok(b.build())
+}
+
+fn bad(lineno: usize, line: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed edge list at line {}: {line:?}", lineno + 1),
+    )
+}
+
+const MAGIC: &[u8; 8] = b"KIMBAPG1";
+
+/// Writes `g` in the binary CSR format (magic, counts, then the raw
+/// offset/target/weight arrays, little-endian).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_binary<W: Write>(g: &Graph, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(g.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    for &o in g.offsets() {
+        w.write_all(&o.to_le_bytes())?;
+    }
+    for &t in g.targets() {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    for u in g.nodes() {
+        for wt in g.edge_weights(u) {
+            w.write_all(&wt.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a graph written by [`write_binary`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic number or truncated/inconsistent
+/// arrays, and propagates I/O errors.
+pub fn read_binary<R: Read>(mut r: R) -> io::Result<Graph> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a kimbap binary graph (bad magic)",
+        ));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(read_u64(&mut r)?);
+    }
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b)?;
+        targets.push(u32::from_le_bytes(b));
+    }
+    let mut weights = Vec::with_capacity(m);
+    for _ in 0..m {
+        weights.push(read_u64(&mut r)?);
+    }
+    if offsets.last().copied() != Some(m as u64) || targets.iter().any(|&t| t as usize >= n) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "inconsistent CSR arrays",
+        ));
+    }
+    Ok(Graph::from_csr(offsets, targets, weights))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = gen::rmat(7, 4, 3);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_preserves_isolated_nodes() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 5).ensure_nodes(10);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g2.num_nodes(), 10);
+    }
+
+    #[test]
+    fn edge_list_defaults_weight_and_skips_comments() {
+        let text = "% comment\n# another\n0 1\n1 2 7\n\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edges(0).next().unwrap(), (1, 1));
+        assert_eq!(g.edges(1).next().unwrap(), (2, 7));
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        let err = read_edge_list("0 x 1\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = gen::grid_road(9, 5, 2);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOTAGRAPH_______"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = gen::grid_road(4, 4, 0);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+}

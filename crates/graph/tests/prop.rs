@@ -1,0 +1,71 @@
+//! Property-based tests for graph construction invariants.
+
+use kimbap_graph::builder::{from_edges, MergePolicy};
+use kimbap_graph::{gen, GraphBuilder};
+use proptest::prelude::*;
+
+fn edge_list() -> impl Strategy<Value = Vec<(u32, u32, u64)>> {
+    prop::collection::vec((0u32..64, 0u32..64, 1u64..100), 0..200)
+}
+
+proptest! {
+    #[test]
+    fn built_graphs_are_symmetric(edges in edge_list()) {
+        let g = from_edges(edges);
+        prop_assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn neighbors_sorted_and_unique(edges in edge_list()) {
+        let g = from_edges(edges);
+        for u in g.nodes() {
+            let ns = g.neighbors(u);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn total_weight_preserved_by_sum_merge(edges in edge_list()) {
+        // Without symmetrization, SumWeights merging preserves total weight.
+        let expected: u64 = edges.iter().map(|&(_, _, w)| w).sum();
+        let mut b = GraphBuilder::new();
+        for (s, d, w) in &edges {
+            b.add_edge(*s, *d, *w);
+        }
+        let g = b.build();
+        prop_assert_eq!(g.total_weight(), expected);
+    }
+
+    #[test]
+    fn min_merge_keeps_minimum(edges in edge_list()) {
+        let mut b = GraphBuilder::new();
+        for (s, d, w) in &edges {
+            b.add_edge(*s, *d, *w);
+        }
+        b.merge_policy(MergePolicy::MinWeight);
+        let g = b.build();
+        for &(s, d, w) in &edges {
+            let stored = g
+                .edges(s)
+                .find(|&(t, _)| t == d)
+                .map(|(_, sw)| sw)
+                .expect("edge present");
+            prop_assert!(stored <= w);
+        }
+    }
+
+    #[test]
+    fn degree_sums_to_edge_count(edges in edge_list()) {
+        let g = from_edges(edges);
+        let sum: usize = g.nodes().map(|u| g.degree(u)).sum();
+        prop_assert_eq!(sum, g.num_edges());
+    }
+
+    #[test]
+    fn rmat_edge_bound(scale in 4u32..9, ef in 1usize..8, seed in 0u64..50) {
+        let g = gen::rmat(scale, ef, seed);
+        // Symmetrized and deduped: at most 2 * nominal edges.
+        prop_assert!(g.num_edges() <= 2 * ef * (1 << scale));
+        prop_assert!(g.is_symmetric());
+    }
+}

@@ -1,0 +1,248 @@
+//! The `kimbap` command-line tool: generate graphs, inspect them, run the
+//! distributed algorithms on a simulated cluster, and compile vertex
+//! programs.
+//!
+//! ```text
+//! kimbap gen --kind rmat --scale 12 --ef 8 --out g.kg
+//! kimbap stats g.kg
+//! kimbap run cc-sv g.kg --hosts 4 --threads 2
+//! kimbap run louvain g.kg --hosts 4
+//! kimbap compile program.kv [--no-opt]
+//! ```
+
+use kimbap::prelude::*;
+use kimbap_algos::{
+    cc, compose_labels, leiden, louvain, merge_master_values, mis, msf, LouvainConfig, NpmBuilder,
+};
+use kimbap_compiler::{classify_program, compile, frontend, OptLevel};
+use kimbap_graph::io;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("compile") => cmd_compile(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  kimbap gen --kind <rmat|grid|er> [--scale N] [--ef N] [--rows N] [--cols N]
+             [--nodes N] [--edges N] [--seed N] [--weights MAX] --out FILE
+  kimbap stats FILE
+  kimbap run <cc-sv|cc-lp|cc-sclp|mis|msf|louvain|leiden> FILE
+             [--hosts N] [--threads N]
+  kimbap compile FILE.kv [--no-opt]
+
+graphs are stored in the kimbap binary format (.kg) or may be text edge
+lists; vertex programs (.kv) use the surface syntax of kimbap-compiler's
+frontend.";
+
+type CliResult = Result<(), String>;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v}")),
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut r = BufReader::new(f);
+    if path.ends_with(".kg") {
+        io::read_binary(&mut r).map_err(|e| format!("read {path}: {e}"))
+    } else {
+        io::read_edge_list(r).map_err(|e| format!("read {path}: {e}"))
+    }
+}
+
+fn cmd_gen(args: &[String]) -> CliResult {
+    let kind = flag(args, "--kind").ok_or("missing --kind")?;
+    let seed = flag_num(args, "--seed", 42u64)?;
+    let out = flag(args, "--out").ok_or("missing --out")?;
+    let mut g = match kind.as_str() {
+        "rmat" => gen::rmat(
+            flag_num(args, "--scale", 12u32)?,
+            flag_num(args, "--ef", 8usize)?,
+            seed,
+        ),
+        "grid" => gen::grid_road(
+            flag_num(args, "--rows", 100usize)?,
+            flag_num(args, "--cols", 100usize)?,
+            seed,
+        ),
+        "er" => gen::erdos_renyi(
+            flag_num(args, "--nodes", 10_000usize)?,
+            flag_num(args, "--edges", 50_000usize)?,
+            seed,
+        ),
+        other => return Err(format!("unknown kind '{other}'")),
+    };
+    if let Some(maxw) = flag(args, "--weights") {
+        let maxw: u64 = maxw.parse().map_err(|_| "bad --weights")?;
+        g = gen::with_random_weights(&g, maxw, seed ^ WEIGHT_SEED_SALT);
+    }
+    let f = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
+    io::write_binary(&g, BufWriter::new(f)).map_err(|e| e.to_string())?;
+    println!("wrote {} ({})", out, GraphStats::of(&g));
+    Ok(())
+}
+
+/// Salt mixed into derived weight seeds.
+const WEIGHT_SEED_SALT: u64 = 0x5eed;
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("missing FILE")?;
+    let g = load_graph(path)?;
+    println!("{}", GraphStats::of(&g));
+    println!("symmetric: {}", g.is_symmetric());
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> CliResult {
+    let algo = args.first().ok_or("missing algorithm")?.clone();
+    let path = args.get(1).ok_or("missing FILE")?.clone();
+    let hosts: usize = flag_num(args, "--hosts", 2)?;
+    let threads: usize = flag_num(args, "--threads", 2)?;
+    let g = load_graph(&path)?;
+    println!("input: {}", GraphStats::of(&g));
+
+    let policy = match algo.as_str() {
+        "louvain" | "leiden" => Policy::EdgeCutBlocked,
+        _ => Policy::CartesianVertexCut,
+    };
+    let parts = partition(&g, policy, hosts);
+    let b = NpmBuilder::default();
+    let cluster = Cluster::with_threads(hosts, threads);
+    let t = Instant::now();
+    match algo.as_str() {
+        "cc-sv" | "cc-lp" | "cc-sclp" => {
+            let per_host = cluster.run(|ctx| {
+                let dg = &parts[ctx.host()];
+                match algo.as_str() {
+                    "cc-sv" => cc::cc_sv(dg, ctx, &b),
+                    "cc-lp" => cc::cc_lp(dg, ctx, &b),
+                    _ => cc::cc_sclp(dg, ctx, &b),
+                }
+            });
+            let labels = merge_master_values(g.num_nodes(), per_host);
+            let mut comps = labels.clone();
+            comps.sort_unstable();
+            comps.dedup();
+            println!("{} components in {:.2?}", comps.len(), t.elapsed());
+        }
+        "mis" => {
+            let per_host = cluster.run(|ctx| mis(&parts[ctx.host()], ctx, &b));
+            let set = merge_master_values(g.num_nodes(), per_host);
+            println!(
+                "independent set of {} nodes in {:.2?}",
+                set.iter().filter(|&&x| x).count(),
+                t.elapsed()
+            );
+        }
+        "msf" => {
+            let per_host = cluster.run(|ctx| msf(&parts[ctx.host()], ctx, &b));
+            let (edges, total) = kimbap_algos::msf::merge_forest(per_host);
+            println!(
+                "forest: {} edges, weight {total}, in {:.2?}",
+                edges.len(),
+                t.elapsed()
+            );
+        }
+        "louvain" | "leiden" => {
+            let cfg = LouvainConfig::default();
+            let results = cluster.run(|ctx| {
+                let dg = &parts[ctx.host()];
+                if algo == "louvain" {
+                    louvain(dg, ctx, &b, &cfg)
+                } else {
+                    leiden(dg, ctx, &b, &cfg)
+                }
+            });
+            let labels = compose_labels(g.num_nodes(), &results);
+            let mut comms = labels.clone();
+            comms.sort_unstable();
+            comms.dedup();
+            println!(
+                "q={:.4}, {} communities, {} levels, in {:.2?}",
+                results[0].modularity,
+                comms.len(),
+                results[0].levels,
+                t.elapsed()
+            );
+        }
+        other => return Err(format!("unknown algorithm '{other}'")),
+    }
+    Ok(())
+}
+
+fn cmd_compile(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("missing FILE")?;
+    let opt = if args.iter().any(|a| a == "--no-opt") {
+        OptLevel::None
+    } else {
+        OptLevel::Full
+    };
+    let src = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let prog = frontend::parse(&src).map_err(|e| e.to_string())?;
+    let class = classify_program(&prog);
+    println!(
+        "program {}: {} operators, adjacent={}, trans={}",
+        prog.name, class.num_operators, class.uses_adjacent, class.uses_trans
+    );
+    let plan = compile(&prog, opt);
+    println!("compiled at {opt:?}: {} top-level steps", plan.body.len());
+    for (i, top) in plan.body.iter().enumerate() {
+        println!("  [{i}] {}", describe(top));
+    }
+    Ok(())
+}
+
+fn describe(top: &kimbap_compiler::transform::CompiledTop) -> String {
+    use kimbap_compiler::transform::CompiledTop as T;
+    match top {
+        T::InitMap { map, .. } => format!("init map {map}"),
+        T::ResetMap { map } => format!("reset map {map}"),
+        T::SetScalar { reducer, value } => format!("set reducer {reducer} = {value}"),
+        T::Loop(l) => format!(
+            "while-updated loop: {:?}, {} request phase(s), pin {:?}, broadcast {:?}",
+            l.iterator,
+            l.request_phases.len(),
+            l.pinned_maps,
+            l.broadcast_maps
+        ),
+        T::Once(l) => format!(
+            "parfor: {:?}, {} request phase(s), pin {:?}",
+            l.iterator,
+            l.request_phases.len(),
+            l.pinned_maps
+        ),
+        T::DoWhileScalar { body, reducer } => {
+            format!("do {{ {} steps }} while reducer {reducer}", body.len())
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Concurrent bitset used to de-duplicate property requests.
+//!
+//! During request-compute, every thread that needs a remote property sets
+//! the node's bit (§4.1: "we use a concurrent bitset and set the *i*th bit
+//! if node *i* is requested, which avoids duplicate requests"). Setting an
+//! already-set bit is a cheap idempotent atomic OR, so a hub node requested
+//! by thousands of edges costs one entry in the request message.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-capacity bitset with lock-free concurrent `set`.
+///
+/// # Example
+///
+/// ```
+/// use kimbap_npm::ConcurrentBitset;
+///
+/// let bits = ConcurrentBitset::new(100);
+/// bits.set(7);
+/// bits.set(7); // idempotent
+/// bits.set(64);
+/// assert!(bits.get(7));
+/// assert_eq!(bits.iter_set().collect::<Vec<_>>(), vec![7, 64]);
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentBitset {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl ConcurrentBitset {
+    /// Creates a bitset holding `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        ConcurrentBitset {
+            words: (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            len,
+        }
+    }
+
+    /// Capacity in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the bitset has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`. Safe to call concurrently from any thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn set(&self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range");
+        self.words[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range");
+        self.words[i / 64].load(Ordering::Relaxed) & (1 << (i % 64)) != 0
+    }
+
+    /// Clears all bits. Requires exclusive access (called between BSP
+    /// phases, never concurrently with `set`).
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w.get_mut() = 0;
+        }
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn none_set(&self) -> bool {
+        self.words.iter().all(|w| w.load(Ordering::Relaxed) == 0)
+    }
+
+    /// Iterates the indices of set bits in ascending order.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let mut bits = w.load(Ordering::Relaxed);
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Number of set bits.
+    pub fn count_set(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let b = ConcurrentBitset::new(130);
+        for i in [0, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!b.get(i));
+            b.set(i);
+            assert!(b.get(i));
+        }
+        assert_eq!(b.count_set(), 8);
+    }
+
+    #[test]
+    fn iter_set_sorted() {
+        let b = ConcurrentBitset::new(200);
+        for i in [199, 3, 64, 70, 0] {
+            b.set(i);
+        }
+        assert_eq!(b.iter_set().collect::<Vec<_>>(), vec![0, 3, 64, 70, 199]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = ConcurrentBitset::new(65);
+        b.set(64);
+        assert!(!b.none_set());
+        b.clear();
+        assert!(b.none_set());
+        assert_eq!(b.count_set(), 0);
+    }
+
+    #[test]
+    fn concurrent_sets_all_land() {
+        let b = ConcurrentBitset::new(10_000);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let b = &b;
+                s.spawn(move || {
+                    for i in (t..10_000).step_by(8) {
+                        b.set(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.count_set(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        ConcurrentBitset::new(10).set(10);
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let b = ConcurrentBitset::new(0);
+        assert!(b.is_empty());
+        assert!(b.none_set());
+        assert_eq!(b.iter_set().count(), 0);
+    }
+}

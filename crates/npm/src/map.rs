@@ -1,0 +1,1246 @@
+//! The distributed node-property map implementation (§4 of the paper).
+
+use crate::bitset::ConcurrentBitset;
+use crate::ops::ReduceOp;
+use crate::value::PropValue;
+use kimbap_comm::wire::{decode_slice, encode_slice, iter_decoded};
+use kimbap_comm::HostCtx;
+use kimbap_dist::{DistGraph, Ownership};
+use kimbap_graph::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Which of the paper's runtime designs backs a map (§6.4).
+///
+/// All variants use scatter-gather-reduce (SGR) for distributed reductions;
+/// they differ in how in-memory reductions and reads are organized. The
+/// memcached variant (`MC`), which lacks even SGR, is a separate type in
+/// `kimbap-baselines`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Variant {
+    /// SGR only: one shared sharded-lock map per host collects partial
+    /// reductions (threads contend on hot keys), keys are distributed by
+    /// modulo hash, and *every* read goes through the remote cache or a
+    /// hash lookup.
+    SgrOnly,
+    /// SGR + conflict-free reductions: per-thread local maps during
+    /// reduce-compute, combined over disjoint key ranges during
+    /// reduce-sync. Keys still modulo-hashed; reads still hash lookups.
+    SgrCf,
+    /// SGR + CF + the graph-partition-aware representation: key ownership
+    /// follows the graph partition, master properties live in a dense
+    /// vector, remote properties in a sorted-vector cache. The default.
+    #[default]
+    SgrCfGar,
+}
+
+impl Variant {
+    /// `true` if this variant uses conflict-free thread-local reductions.
+    pub fn conflict_free(&self) -> bool {
+        !matches!(self, Variant::SgrOnly)
+    }
+
+    /// `true` if this variant uses the graph-partition-aware
+    /// representation.
+    pub fn partition_aware(&self) -> bool {
+        matches!(self, Variant::SgrCfGar)
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Variant::SgrOnly => "SGR-only",
+            Variant::SgrCf => "SGR+CF",
+            Variant::SgrCfGar => "SGR+CF+GAR",
+        })
+    }
+}
+
+/// How pinned mirrors are refreshed after a reduce-sync.
+///
+/// `Broadcast` is the general mechanism. `ResetToIdentity` implements
+/// Gluon's structural-invariant optimization (§2.2): under an outgoing
+/// edge-cut, mirrors of a push-style operator are never *semantically*
+/// read — their cached value only pre-filters redundant reductions — so
+/// instead of shipping the master value, each host locally reinitializes
+/// mirrors to the reduction identity.
+///
+/// In Gluon this is a clear win because mirrors accumulate reductions
+/// in place and only changed values ship. In Kimbap's node-property map
+/// the same trade usually *loses*: identity-valued mirrors disable the
+/// redundancy filter, so more distinct keys enter the thread-local maps
+/// and the reduce-sync ships more pairs than the broadcast saved. This is
+/// why `Broadcast` (plus the temporal invariant of sending only updated
+/// values) is the default and what the paper's pinned mirrors do; the
+/// option exists to measure that design choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MirrorSync {
+    /// Push updated master values to mirrors (the general mechanism).
+    #[default]
+    Broadcast,
+    /// Locally reset mirrors to the reduction identity (OEC push-style
+    /// invariant; no communication).
+    ResetToIdentity,
+}
+
+/// Read-locality counters (the measurement behind §4.2's motivation for
+/// GAR: 50–65% of reads hit master properties).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NpmReadStats {
+    /// Reads served by this host's own canonical (master) storage.
+    pub master_reads: u64,
+    /// Reads served by the remote-property cache.
+    pub remote_reads: u64,
+    /// Reduce calls issued.
+    pub reduce_calls: u64,
+    /// Keys requested across all request-syncs.
+    pub requested_keys: u64,
+}
+
+/// The shared-memory node-property map interface (paper Figs. 2 and 5).
+///
+/// `read`/`reduce`/`set` are the developer API; the remaining methods are
+/// the low-level API driven by compiler-generated code. All `*_sync`
+/// methods, `pin_mirrors`, and `is_updated` are **collectives**: every host
+/// must call them in the same order.
+pub trait NodePropMap<T: PropValue>: Send + Sync {
+    /// Initializes every master property via `f(global_id)` (the paper's
+    /// `Set` loop, e.g. `parent_npm.Set(node, node)` in Fig. 4).
+    fn init_masters(&mut self, f: &dyn Fn(NodeId) -> T);
+
+    /// Reads the property of `key`.
+    ///
+    /// Master properties are always readable. Remote properties must have
+    /// been requested (or be pinned mirrors); reads observe the value
+    /// materialized by the last `request_sync`/`broadcast_sync`, i.e. BSP
+    /// semantics — reductions from the current round are not yet visible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is a remote node that was never requested.
+    fn read(&self, key: NodeId) -> T;
+
+    /// Assigns `value` to `key`. For initialization only (§3.1): applied
+    /// only on `key`'s owner host, not synchronized, no race detection.
+    fn set(&mut self, key: NodeId, value: T);
+
+    /// Reduces `value` into `key`'s property using the map's operator.
+    /// `tid` is the calling pool thread's id. The result becomes visible
+    /// after the next `reduce_sync`.
+    fn reduce(&self, tid: usize, key: NodeId, value: T);
+
+    /// Marks `key` as needed by the next `request_sync`. Duplicate
+    /// requests are de-duplicated through a concurrent bitset.
+    fn request(&self, key: NodeId);
+
+    /// Collective: exchanges requests, serves them from canonical values,
+    /// and materializes the remote cache.
+    fn request_sync(&mut self, ctx: &HostCtx);
+
+    /// Collective: combines thread partials (CF), scatters them to owners
+    /// (SGR), reduces them onto canonical values, and drops unpinned cache
+    /// entries.
+    fn reduce_sync(&mut self, ctx: &HostCtx);
+
+    /// Collective: pushes updated master values to their mirrors (only
+    /// meaningful between `pin_mirrors`/`unpin_mirrors`).
+    fn broadcast_sync(&mut self, ctx: &HostCtx);
+
+    /// Collective: materializes all mirror properties in the cache and
+    /// keeps them resident, served by broadcast instead of
+    /// request/response.
+    fn pin_mirrors(&mut self, ctx: &HostCtx);
+
+    /// Drops pinned mirrors from the cache.
+    fn unpin_mirrors(&mut self);
+
+    /// Clears the per-round update flag (start of a BSP round).
+    fn reset_updated(&mut self);
+
+    /// Resets every canonical value to the operator's identity and drops
+    /// pending partials — equivalent to constructing a fresh map, which is
+    /// what the paper's programs do for per-phase maps (e.g. the per-round
+    /// neighbor-priority map in MIS or the per-level maps in Louvain);
+    /// reusing the allocation just avoids churn. Pinned mirrors stay pinned
+    /// and will hold identity until the next `broadcast_sync`.
+    fn reset_values(&mut self, ctx: &HostCtx);
+
+    /// Collective: `true` if any host's canonical value changed in the last
+    /// `reduce_sync` — the quiescence condition of `KimbapWhile`.
+    fn is_updated(&self, ctx: &HostCtx) -> bool;
+}
+
+/// Canonical (master) property storage.
+enum Canonical<T> {
+    /// GAR: dense vector indexed by master offset + per-master update bits.
+    Dense {
+        vals: Vec<T>,
+        updated: Vec<AtomicBool>,
+    },
+    /// Non-GAR: hash maps sharded by disjoint key range (one shard per pool
+    /// thread, so the gather-reduce stays conflict-free).
+    Sharded { shards: Vec<Mutex<HashMap<NodeId, T>>> },
+}
+
+/// A mutable slice writable from multiple threads at *disjoint* indices.
+struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: callers guarantee disjoint index sets per thread (enforced by the
+// key-range partition in reduce_sync's gather phase).
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    fn new(slice: &'a mut [T]) -> Self {
+        SharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// # Safety
+    ///
+    /// No two threads may pass the same `i` during one parallel region.
+    unsafe fn read_at(&self, i: usize) -> &T {
+        debug_assert!(i < self.len);
+        unsafe { &*self.ptr.add(i) }
+    }
+
+    /// # Safety
+    ///
+    /// No two threads may pass the same `i` during one parallel region.
+    unsafe fn write_at(&self, i: usize, v: T) {
+        debug_assert!(i < self.len);
+        unsafe { *self.ptr.add(i) = v }
+    }
+}
+
+/// Disjoint-range assignment of global keys to `parts` workers.
+fn range_owner(key: NodeId, parts: usize, n: usize) -> usize {
+    debug_assert!((key as usize) < n.max(1));
+    ((key as u64 * parts as u64) / n.max(1) as u64) as usize
+}
+
+/// The node-property map (see the [crate docs](crate) and
+/// [`NodePropMap`] for semantics).
+pub struct Npm<'g, T: PropValue, Op: ReduceOp<T>> {
+    dg: &'g DistGraph,
+    op: Op,
+    variant: Variant,
+    host: usize,
+    num_hosts: usize,
+    threads: usize,
+    /// Key-distribution map: the graph's ownership for GAR, modulo hash
+    /// otherwise.
+    key_own: Ownership,
+    canonical: Canonical<T>,
+    /// Remote cache: sorted keys + parallel values (paper Fig. 6).
+    cache_keys: Vec<NodeId>,
+    cache_vals: Vec<T>,
+    requests: ConcurrentBitset,
+    /// CF: per-thread partial maps.
+    tls: Vec<Mutex<HashMap<NodeId, T>>>,
+    /// SGR-only: the single shared (sharded-lock) partial map.
+    shared: Vec<Mutex<HashMap<NodeId, T>>>,
+    pinned: bool,
+    mirror_sync: MirrorSync,
+    /// Read-locality counting is off by default: the per-read atomic
+    /// increments contend across threads in the hottest loop of every
+    /// algorithm. The locality experiment switches it on.
+    count_reads: bool,
+    /// Keys kept resident in the cache while pinned: the graph mirrors
+    /// under GAR; *every* local proxy whose hashed key owner is remote for
+    /// the non-partition-aware variants (they cache "both master and
+    /// remote node properties", §6.4).
+    pin_set: Vec<NodeId>,
+    /// `Set()` calls targeting keys this host does not own (possible only
+    /// without GAR, where key owners ignore the graph partition); shipped
+    /// to owners at the next collective.
+    pending_sets: Mutex<Vec<(NodeId, T)>>,
+    /// Pin happened this round: the next broadcast must carry all mirror
+    /// values, not just updated ones.
+    broadcast_all: bool,
+    updated: AtomicBool,
+    master_reads: AtomicU64,
+    remote_reads: AtomicU64,
+    reduce_calls: AtomicU64,
+    requested_keys: AtomicU64,
+}
+
+/// Number of lock shards in the SGR-only shared map (mirrors the internal
+/// sharding of a concurrent hash map like `phmap::flat_hash_map`).
+const SHARED_SHARDS: usize = 64;
+
+impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
+    /// Creates a map over `dg`'s node space with the default
+    /// (SGR+CF+GAR) backend. Every master property starts at the
+    /// operator's identity.
+    pub fn new(dg: &'g DistGraph, ctx: &HostCtx, op: Op) -> Self {
+        Self::with_variant(dg, ctx, op, Variant::SgrCfGar)
+    }
+
+    /// Creates a map with an explicit runtime [`Variant`] (for the §6.4
+    /// ablations).
+    pub fn with_variant(dg: &'g DistGraph, ctx: &HostCtx, op: Op, variant: Variant) -> Self {
+        let n = dg.num_global_nodes();
+        let host = ctx.host();
+        let num_hosts = ctx.num_hosts();
+        let threads = ctx.threads();
+        let key_own = if variant.partition_aware() {
+            *dg.ownership()
+        } else {
+            Ownership::hashed(n, num_hosts)
+        };
+        let canonical = if variant.partition_aware() {
+            let m = key_own.num_masters(host);
+            Canonical::Dense {
+                vals: vec![op.identity(); m],
+                updated: (0..m).map(|_| AtomicBool::new(false)).collect(),
+            }
+        } else {
+            Canonical::Sharded {
+                shards: (0..threads).map(|_| Mutex::new(HashMap::new())).collect(),
+            }
+        };
+        let pin_set: Vec<NodeId> = if variant.partition_aware() {
+            dg.mirror_globals().to_vec()
+        } else {
+            let mut v: Vec<NodeId> = dg
+                .local_nodes()
+                .map(|l| dg.local_to_global(l))
+                .filter(|&g| key_own.owner(g) != host)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let auto_pinned = !variant.partition_aware();
+        let (cache_keys, cache_vals) = if auto_pinned {
+            (pin_set.clone(), vec![op.identity(); pin_set.len()])
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        Npm {
+            dg,
+            op,
+            variant,
+            host,
+            num_hosts,
+            threads,
+            key_own,
+            canonical,
+            cache_keys,
+            cache_vals,
+            requests: ConcurrentBitset::new(n),
+            tls: (0..threads).map(|_| Mutex::new(HashMap::new())).collect(),
+            shared: (0..SHARED_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            pinned: auto_pinned,
+            mirror_sync: MirrorSync::default(),
+            count_reads: false,
+            pin_set,
+            pending_sets: Mutex::new(Vec::new()),
+            broadcast_all: false,
+            updated: AtomicBool::new(false),
+            master_reads: AtomicU64::new(0),
+            remote_reads: AtomicU64::new(0),
+            reduce_calls: AtomicU64::new(0),
+            requested_keys: AtomicU64::new(0),
+        }
+    }
+
+    /// The backend variant.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// The map's reduction operator.
+    pub fn op(&self) -> Op {
+        self.op
+    }
+
+    /// Selects how pinned mirrors are refreshed (see [`MirrorSync`]).
+    /// Only meaningful for the partition-aware variant; ignored otherwise
+    /// (non-GAR variants have no broadcast path to elide).
+    pub fn set_mirror_sync(&mut self, mode: MirrorSync) {
+        self.mirror_sync = mode;
+    }
+
+    /// Enables master/remote read counting (see [`Npm::read_stats`]).
+    /// Off by default: the counters are shared atomics on the read hot
+    /// path.
+    pub fn enable_read_stats(&mut self) {
+        self.count_reads = true;
+    }
+
+    /// Read-locality counters accumulated so far.
+    pub fn read_stats(&self) -> NpmReadStats {
+        NpmReadStats {
+            master_reads: self.master_reads.load(Ordering::Relaxed),
+            remote_reads: self.remote_reads.load(Ordering::Relaxed),
+            reduce_calls: self.reduce_calls.load(Ordering::Relaxed),
+            requested_keys: self.requested_keys.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The value canonical storage holds for an owned `key` (identity if
+    /// never written).
+    fn canonical_get(&self, key: NodeId) -> T {
+        debug_assert_eq!(self.key_own.owner(key), self.host);
+        match &self.canonical {
+            Canonical::Dense { vals, .. } => vals[self.key_own.master_offset(key)],
+            Canonical::Sharded { shards } => {
+                let shard = range_owner(key, self.threads, self.key_own.num_nodes());
+                shards[shard]
+                    .lock()
+                    .get(&key)
+                    .copied()
+                    .unwrap_or_else(|| self.op.identity())
+            }
+        }
+    }
+
+    fn canonical_set(&mut self, key: NodeId, value: T) {
+        debug_assert_eq!(self.key_own.owner(key), self.host);
+        match &mut self.canonical {
+            Canonical::Dense { vals, .. } => {
+                vals[self.key_own.master_offset(key)] = value;
+            }
+            Canonical::Sharded { shards } => {
+                let shard = range_owner(key, self.threads, self.key_own.num_nodes());
+                shards[shard].get_mut().insert(key, value);
+            }
+        }
+    }
+
+    fn cache_lookup(&self, key: NodeId) -> Option<T> {
+        self.cache_keys
+            .binary_search(&key)
+            .ok()
+            .map(|i| self.cache_vals[i])
+    }
+
+    /// Replaces / merges the cache with `pairs` (sorted by key). Entries in
+    /// `pairs` win over existing ones; existing entries are retained only
+    /// when `keep_existing`.
+    fn merge_cache(&mut self, pairs: Vec<(NodeId, T)>, keep_existing: bool) {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+        if !keep_existing || self.cache_keys.is_empty() {
+            self.cache_keys = pairs.iter().map(|&(k, _)| k).collect();
+            self.cache_vals = pairs.iter().map(|&(_, v)| v).collect();
+            return;
+        }
+        let mut keys = Vec::with_capacity(self.cache_keys.len() + pairs.len());
+        let mut vals = Vec::with_capacity(keys.capacity());
+        let (mut i, mut j) = (0, 0);
+        while i < self.cache_keys.len() || j < pairs.len() {
+            let take_new = j < pairs.len()
+                && (i >= self.cache_keys.len() || pairs[j].0 <= self.cache_keys[i]);
+            if take_new {
+                if i < self.cache_keys.len() && pairs[j].0 == self.cache_keys[i] {
+                    i += 1; // new value supersedes old
+                }
+                keys.push(pairs[j].0);
+                vals.push(pairs[j].1);
+                j += 1;
+            } else {
+                keys.push(self.cache_keys[i]);
+                vals.push(self.cache_vals[i]);
+                i += 1;
+            }
+        }
+        self.cache_keys = keys;
+        self.cache_vals = vals;
+    }
+
+    /// Fetches current canonical values for `keys` (grouped per owner,
+    /// sorted) through the request/response protocol and returns the merged
+    /// sorted pair list. Shared by `request_sync` and the non-GAR
+    /// pin/broadcast fallback.
+    fn fetch_keys(&mut self, ctx: &HostCtx, keys_by_owner: Vec<Vec<NodeId>>) -> Vec<(NodeId, T)> {
+        // Round 1: ship request key lists.
+        let outgoing = keys_by_owner
+            .iter()
+            .enumerate()
+            .map(|(h, keys)| {
+                if h == self.host {
+                    Vec::new()
+                } else {
+                    encode_slice(keys)
+                }
+            })
+            .collect();
+        let incoming = ctx.exchange(outgoing);
+
+        // Serve: respond with values in request order.
+        let responses: Vec<Vec<u8>> = incoming
+            .iter()
+            .enumerate()
+            .map(|(h, buf)| {
+                if h == self.host {
+                    return Vec::new();
+                }
+                let mut resp = Vec::with_capacity(buf.len() / NodeId::SIZE_HINT * T::SIZE);
+                for key in iter_decoded::<NodeId>(buf) {
+                    self.canonical_get(key).write(&mut resp);
+                }
+                resp
+            })
+            .collect();
+
+        // Round 2: ship responses.
+        let answers = ctx.exchange(responses);
+
+        // Materialize.
+        let mut pairs: Vec<(NodeId, T)> = Vec::new();
+        for (h, keys) in keys_by_owner.iter().enumerate() {
+            if h == self.host {
+                for &k in keys {
+                    pairs.push((k, self.canonical_get(k)));
+                }
+            } else {
+                let vals = decode_slice::<T>(&answers[h]);
+                assert_eq!(vals.len(), keys.len(), "response length mismatch");
+                pairs.extend(keys.iter().copied().zip(vals));
+            }
+        }
+        pairs.sort_unstable_by_key(|&(k, _)| k);
+        pairs
+    }
+
+    /// Ships buffered `Set()` assignments to their key owners and applies
+    /// them. Collective (no-op exchange when nothing is pending anywhere).
+    fn flush_pending_sets(&mut self, ctx: &HostCtx) {
+        if self.variant.partition_aware() {
+            debug_assert!(self.pending_sets.get_mut().is_empty());
+            return;
+        }
+        let pending = std::mem::take(&mut *self.pending_sets.get_mut());
+        let mut per_host: Vec<Vec<u8>> = vec![Vec::new(); self.num_hosts];
+        for (k, v) in pending {
+            (k, v).write(&mut per_host[self.key_own.owner(k)]);
+        }
+        let received = ctx.exchange(per_host);
+        for buf in &received {
+            for (k, v) in iter_decoded::<(NodeId, T)>(buf) {
+                let changed = self.canonical_get(k) != v;
+                self.canonical_set(k, v);
+                if changed {
+                    self.updated.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Re-fetches the values of every resident (pin-set) key through the
+    /// request/response protocol — the broadcast substitute for variants
+    /// without the partition-aware representation. Collective.
+    fn refresh_resident(&mut self, ctx: &HostCtx) {
+        let mut keys_by_owner: Vec<Vec<NodeId>> = vec![Vec::new(); self.num_hosts];
+        for &m in &self.pin_set {
+            keys_by_owner[self.key_own.owner(m)].push(m);
+        }
+        let pairs = self.fetch_keys(ctx, keys_by_owner);
+        // Residents replace the whole cache (ad-hoc requests are stale now).
+        self.merge_cache(pairs, false);
+    }
+
+    /// Drains thread partials and returns combined, disjoint maps
+    /// (conflict-free combine of Fig. 7 for CF variants; the SGR-only
+    /// shared map is already combined).
+    fn drain_partials(&mut self, ctx: &HostCtx) -> Vec<HashMap<NodeId, T>> {
+        let n = self.key_own.num_nodes();
+        if !self.variant.conflict_free() {
+            return self
+                .shared
+                .iter_mut()
+                .map(|m| std::mem::take(&mut *m.get_mut()))
+                .collect();
+        }
+        let tls: Vec<HashMap<NodeId, T>> = self
+            .tls
+            .iter_mut()
+            .map(|m| std::mem::take(&mut *m.get_mut()))
+            .collect();
+        if self.threads == 1 {
+            return tls;
+        }
+        // Each thread combines the entries of *all* thread-local maps that
+        // fall in its disjoint key range into a fresh map.
+        let combined: Vec<Mutex<HashMap<NodeId, T>>> =
+            (0..self.threads).map(|_| Mutex::new(HashMap::new())).collect();
+        let op = self.op;
+        let threads = self.threads;
+        ctx.pool().run(|tid| {
+            let mut mine: HashMap<NodeId, T> = HashMap::new();
+            for m in &tls {
+                for (&k, &v) in m {
+                    if range_owner(k, threads, n) == tid {
+                        mine.entry(k)
+                            .and_modify(|e| *e = op.combine(*e, v))
+                            .or_insert(v);
+                    }
+                }
+            }
+            *combined[tid].lock() = mine;
+        });
+        combined.into_iter().map(|m| m.into_inner()).collect()
+    }
+}
+
+/// Helper giving `NodeId` a size constant usable in capacity hints.
+trait SizeHint {
+    const SIZE_HINT: usize;
+}
+impl SizeHint for NodeId {
+    const SIZE_HINT: usize = 4;
+}
+
+use kimbap_comm::Wire;
+
+impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
+    fn init_masters(&mut self, f: &dyn Fn(NodeId) -> T) {
+        for i in 0..self.key_own.num_masters(self.host) {
+            let g = self.key_own.master_at(self.host, i);
+            self.set(g, f(g));
+        }
+        if !self.variant.partition_aware() {
+            // The always-resident cache can be primed locally: `f` is the
+            // same pure function on every host.
+            for i in 0..self.cache_keys.len() {
+                self.cache_vals[i] = f(self.cache_keys[i]);
+            }
+        }
+    }
+
+    fn read(&self, key: NodeId) -> T {
+        // Under GAR the cache never holds owned keys (requests for them are
+        // elided), so the O(1) master path goes first; without GAR the
+        // resident cache is authoritative for everything fetched.
+        if self.variant.partition_aware() {
+            if self.key_own.owner(key) == self.host {
+                if self.count_reads {
+                    self.master_reads.fetch_add(1, Ordering::Relaxed);
+                }
+                return self.canonical_get(key);
+            }
+            if let Some(v) = self.cache_lookup(key) {
+                if self.count_reads {
+                    self.remote_reads.fetch_add(1, Ordering::Relaxed);
+                }
+                return v;
+            }
+        } else {
+            if let Some(v) = self.cache_lookup(key) {
+                if self.count_reads {
+                    self.remote_reads.fetch_add(1, Ordering::Relaxed);
+                }
+                return v;
+            }
+            if self.key_own.owner(key) == self.host {
+                if self.count_reads {
+                    self.master_reads.fetch_add(1, Ordering::Relaxed);
+                }
+                return self.canonical_get(key);
+            }
+        }
+        panic!(
+            "host {}: read of remote node {} that was neither requested nor pinned",
+            self.host, key
+        );
+    }
+
+    fn set(&mut self, key: NodeId, value: T) {
+        if self.key_own.owner(key) != self.host {
+            // Only possible without GAR (key owners ignore the graph
+            // partition): ship the assignment to the owner at the next
+            // collective.
+            self.pending_sets.get_mut().push((key, value));
+            return;
+        }
+        let changed = self.canonical_get(key) != value;
+        self.canonical_set(key, value);
+        if changed {
+            self.updated.store(true, Ordering::Relaxed);
+            if let Canonical::Dense { updated, .. } = &self.canonical {
+                updated[self.key_own.master_offset(key)].store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn reduce(&self, tid: usize, key: NodeId, value: T) {
+        debug_assert!((key as usize) < self.key_own.num_nodes());
+        if self.count_reads {
+            self.reduce_calls.fetch_add(1, Ordering::Relaxed);
+        }
+        let (slot, map_list) = if self.variant.conflict_free() {
+            (tid, &self.tls)
+        } else {
+            // Shared map: shard by key hash; hot keys contend.
+            let h = (key as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            ((h >> 32) as usize % SHARED_SHARDS, &self.shared)
+        };
+        let mut m = map_list[slot].lock();
+        match m.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let v = self.op.combine(*e.get(), value);
+                e.insert(v);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(value);
+            }
+        }
+    }
+
+    fn request(&self, key: NodeId) {
+        if self.variant.partition_aware() && self.key_own.owner(key) == self.host {
+            return; // masters are always materialized under GAR
+        }
+        self.requests.set(key as usize);
+    }
+
+    fn request_sync(&mut self, ctx: &HostCtx) {
+        // Without GAR, Set() calls targeting hashed-remote keys are still
+        // buffered; land them before any owner serves reads.
+        self.flush_pending_sets(ctx);
+        let mut keys_by_owner: Vec<Vec<NodeId>> = vec![Vec::new(); self.num_hosts];
+        for k in self.requests.iter_set() {
+            let k = k as NodeId;
+            keys_by_owner[self.key_own.owner(k)].push(k);
+        }
+        self.requested_keys.fetch_add(
+            keys_by_owner.iter().map(|v| v.len() as u64).sum(),
+            Ordering::Relaxed,
+        );
+        self.requests.clear();
+        let pairs = self.fetch_keys(ctx, keys_by_owner);
+        // Keep existing entries: a BSP round may chain several
+        // request-compute/request-sync phases (e.g. `parent(parent(n))`),
+        // and earlier phases' values stay valid until reduce-sync drops
+        // them. Fresh responses win on overlap.
+        self.merge_cache(pairs, true);
+    }
+
+    fn reduce_sync(&mut self, ctx: &HostCtx) {
+        self.flush_pending_sets(ctx);
+        let n = self.key_own.num_nodes();
+        let combined = self.drain_partials(ctx);
+
+        // Scatter: serialize (key, value) pairs per owner host. The
+        // combined maps are key-disjoint, so threads can append to
+        // per-host buffers with one short lock per (thread, host).
+        let per_host: Vec<Mutex<Vec<u8>>> =
+            (0..self.num_hosts).map(|_| Mutex::new(Vec::new())).collect();
+        {
+            let key_own = self.key_own;
+            let threads = self.threads;
+            let combined = &combined;
+            let per_host = &per_host;
+            ctx.pool().run(|tid| {
+                let mut local: Vec<Vec<u8>> = vec![Vec::new(); key_own.num_hosts()];
+                // Combined maps are key-disjoint; distribute them round-robin
+                // over the pool threads.
+                for m in combined.iter().skip(tid).step_by(threads) {
+                    for (&k, &v) in m {
+                        (k, v).write(&mut local[key_own.owner(k)]);
+                    }
+                }
+                for (h, buf) in local.into_iter().enumerate() {
+                    if !buf.is_empty() {
+                        per_host[h].lock().extend_from_slice(&buf);
+                    }
+                }
+            });
+        }
+        let outgoing: Vec<Vec<u8>> = per_host.into_iter().map(|m| m.into_inner()).collect();
+
+        let received = ctx.exchange(outgoing);
+
+        // Gather-reduce: threads own disjoint key ranges, scan every
+        // received buffer, and fold matching pairs onto canonical values.
+        let op = self.op;
+        let threads = self.threads;
+        let host = self.host;
+        let key_own = self.key_own;
+        let updated_any = &self.updated;
+        match &mut self.canonical {
+            Canonical::Dense { vals, updated } => {
+                let slice = SharedSlice::new(vals.as_mut_slice());
+                let updated = &*updated;
+                ctx.pool().run(|tid| {
+                    for buf in &received {
+                        for (k, v) in iter_decoded::<(NodeId, T)>(buf) {
+                            if range_owner(k, threads, n) != tid {
+                                continue;
+                            }
+                            debug_assert_eq!(key_own.owner(k), host);
+                            let off = key_own.master_offset(k);
+                            // SAFETY: `off` is unique to this thread's key
+                            // range for the duration of this parallel region.
+                            unsafe {
+                                let old = *slice.read_at(off);
+                                let new = op.combine(old, v);
+                                if new != old {
+                                    slice.write_at(off, new);
+                                    updated[off].store(true, Ordering::Relaxed);
+                                    updated_any.store(true, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            Canonical::Sharded { shards } => {
+                let shards = &*shards;
+                ctx.pool().run(|tid| {
+                    let mut shard = shards[tid].lock();
+                    for buf in &received {
+                        for (k, v) in iter_decoded::<(NodeId, T)>(buf) {
+                            if range_owner(k, threads, n) != tid {
+                                continue;
+                            }
+                            debug_assert_eq!(key_own.owner(k), host);
+                            let old = shard.get(&k).copied().unwrap_or_else(|| op.identity());
+                            let new = op.combine(old, v);
+                            if new != old {
+                                shard.insert(k, new);
+                                updated_any.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        }
+
+        // Cached remote properties are now stale: drop them.
+        if self.pinned && !self.variant.partition_aware() {
+            // Non-partition-aware variants keep every local property
+            // resident; without a broadcast path they must re-fetch it all
+            // through request/response — the communication overhead the
+            // GAR ablation measures.
+            self.refresh_resident(ctx);
+        } else if self.pinned {
+            // GAR: pinned mirrors stay resident with their (now stale)
+            // values; the following broadcast_sync refreshes them.
+            let pin_set = std::mem::take(&mut self.pin_set);
+            let mut keys = Vec::with_capacity(pin_set.len());
+            let mut vals = Vec::with_capacity(pin_set.len());
+            for &m in &pin_set {
+                keys.push(m);
+                vals.push(self.cache_lookup(m).unwrap_or_else(|| self.op.identity()));
+            }
+            self.pin_set = pin_set;
+            self.cache_keys = keys;
+            self.cache_vals = vals;
+        } else {
+            self.cache_keys.clear();
+            self.cache_vals.clear();
+        }
+    }
+
+    fn broadcast_sync(&mut self, ctx: &HostCtx) {
+        if !self.variant.partition_aware() {
+            // Without GAR, key owners do not align with the graph
+            // partition, so there is no one-way broadcast: flush pending
+            // assignments and re-fetch every resident property through
+            // request/response.
+            self.flush_pending_sets(ctx);
+            self.refresh_resident(ctx);
+            self.broadcast_all = false;
+            return;
+        }
+        if !self.pinned {
+            return;
+        }
+
+        // Structural-invariant elision: push-style programs under an
+        // outgoing edge-cut never semantically read mirror values, so
+        // reinitialize them locally instead of communicating. (The initial
+        // materialization after pin_mirrors still broadcasts so that the
+        // very first reads are exact.)
+        if self.mirror_sync == MirrorSync::ResetToIdentity && !self.broadcast_all {
+            let id = self.op.identity();
+            for v in self.cache_vals.iter_mut() {
+                *v = id;
+            }
+            // Peers may still be broadcasting to us this round; stay in the
+            // collective but send nothing.
+            let received = ctx.exchange(vec![Vec::new(); self.num_hosts]);
+            for buf in &received {
+                for (k, v) in iter_decoded::<(NodeId, T)>(buf) {
+                    if let Ok(i) = self.cache_keys.binary_search(&k) {
+                        self.cache_vals[i] = v;
+                    }
+                }
+            }
+            return;
+        }
+
+        // GAR: one-way push of master values to mirror hosts. The temporal
+        // invariant (partitions don't change) lets us send only values
+        // updated by the last reduce_sync — except right after pinning,
+        // when mirrors hold no values yet.
+        let all = self.broadcast_all;
+        self.broadcast_all = false;
+        let outgoing: Vec<Vec<u8>> = (0..self.num_hosts)
+            .map(|peer| {
+                if peer == self.host {
+                    return Vec::new();
+                }
+                let mut buf = Vec::new();
+                let updated = match &self.canonical {
+                    Canonical::Dense { updated, .. } => updated,
+                    Canonical::Sharded { .. } => unreachable!("GAR is dense"),
+                };
+                for &g in self.dg.mirrors_on_peer(peer) {
+                    let off = self.key_own.master_offset(g);
+                    if all || updated[off].load(Ordering::Relaxed) {
+                        (g, self.canonical_get(g)).write(&mut buf);
+                    }
+                }
+                buf
+            })
+            .collect();
+        let received = ctx.exchange(outgoing);
+        for buf in &received {
+            for (k, v) in iter_decoded::<(NodeId, T)>(buf) {
+                if let Ok(i) = self.cache_keys.binary_search(&k) {
+                    self.cache_vals[i] = v;
+                }
+            }
+        }
+    }
+
+    fn pin_mirrors(&mut self, ctx: &HostCtx) {
+        self.pinned = true;
+        if self.variant.partition_aware() {
+            // Materialize mirror keys with identity placeholders…
+            let id = self.op.identity();
+            let pairs: Vec<(NodeId, T)> =
+                self.pin_set.iter().map(|&m| (m, id)).collect();
+            self.merge_cache(pairs, false);
+        }
+        // …then pull in the real values: a full broadcast under GAR, a
+        // request-fetch otherwise.
+        self.broadcast_all = true;
+        self.broadcast_sync(ctx);
+    }
+
+    fn unpin_mirrors(&mut self) {
+        if !self.variant.partition_aware() {
+            return; // resident cache is permanent without GAR
+        }
+        self.pinned = false;
+        self.cache_keys.clear();
+        self.cache_vals.clear();
+    }
+
+    fn reset_updated(&mut self) {
+        self.updated.store(false, Ordering::Relaxed);
+        if let Canonical::Dense { updated, .. } = &mut self.canonical {
+            for u in updated.iter_mut() {
+                *u.get_mut() = false;
+            }
+        }
+    }
+
+    fn reset_values(&mut self, _ctx: &HostCtx) {
+        let id = self.op.identity();
+        match &mut self.canonical {
+            Canonical::Dense { vals, updated } => {
+                vals.fill(id);
+                for u in updated.iter_mut() {
+                    *u.get_mut() = false;
+                }
+            }
+            Canonical::Sharded { shards } => {
+                for s in shards.iter_mut() {
+                    s.get_mut().clear();
+                }
+            }
+        }
+        for m in self.tls.iter_mut() {
+            m.get_mut().clear();
+        }
+        for m in self.shared.iter_mut() {
+            m.get_mut().clear();
+        }
+        self.updated.store(false, Ordering::Relaxed);
+        if self.pinned {
+            // Mirror values are now stale everywhere; the next broadcast
+            // must resend everything.
+            for v in self.cache_vals.iter_mut() {
+                *v = id;
+            }
+            self.broadcast_all = true;
+        }
+    }
+
+    fn is_updated(&self, ctx: &HostCtx) -> bool {
+        ctx.all_reduce_or(self.updated.load(Ordering::Relaxed))
+    }
+}
+
+impl<T: PropValue, Op: ReduceOp<T>> std::fmt::Debug for Npm<'_, T, Op> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Npm")
+            .field("host", &self.host)
+            .field("variant", &self.variant)
+            .field("cached", &self.cache_keys.len())
+            .field("pinned", &self.pinned)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Min, Sum};
+    use kimbap_comm::Cluster;
+    use kimbap_dist::{partition, Policy};
+    use kimbap_graph::gen;
+
+    fn with_cluster<R: Send>(
+        hosts: usize,
+        threads: usize,
+        policy: Policy,
+        f: impl Fn(&HostCtx, &DistGraph) -> R + Sync,
+    ) -> Vec<R> {
+        let g = gen::grid_road(6, 6, 3);
+        let parts = partition(&g, policy, hosts);
+        Cluster::with_threads(hosts, threads).run(|ctx| f(ctx, &parts[ctx.host()]))
+    }
+
+    #[test]
+    fn set_and_read_masters() {
+        let out = with_cluster(3, 1, Policy::EdgeCutBlocked, |ctx, dg| {
+            let mut npm: Npm<u64, Min> = Npm::new(dg, ctx, Min);
+            npm.init_masters(&|g| g as u64 * 2);
+            dg.master_nodes()
+                .all(|m| npm.read(dg.local_to_global(m)) == dg.local_to_global(m) as u64 * 2)
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn reduce_sync_applies_min_across_hosts() {
+        let out = with_cluster(4, 2, Policy::EdgeCutBlocked, |ctx, dg| {
+            let mut npm: Npm<u64, Min> = Npm::new(dg, ctx, Min);
+            npm.init_masters(&|g| g as u64 + 100);
+            // Every host reduces (host id) into node 5.
+            npm.reduce(0, 5, ctx.host() as u64 + 10);
+            npm.reduce_sync(ctx);
+            npm.request(5);
+            npm.request_sync(ctx);
+            npm.read(5)
+        });
+        assert!(out.iter().all(|&v| v == 10));
+    }
+
+    #[test]
+    fn reduce_keeps_smaller_canonical() {
+        let out = with_cluster(2, 1, Policy::EdgeCutBlocked, |ctx, dg| {
+            let mut npm: Npm<u64, Min> = Npm::new(dg, ctx, Min);
+            npm.init_masters(&|_| 1); // canonical smaller than any reduce
+            npm.reduce(0, 3, 50);
+            npm.reduce_sync(ctx);
+            npm.request(3);
+            npm.request_sync(ctx);
+            npm.read(3)
+        });
+        assert!(out.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn is_updated_tracks_changes() {
+        let out = with_cluster(2, 1, Policy::EdgeCutBlocked, |ctx, dg| {
+            let mut npm: Npm<u64, Min> = Npm::new(dg, ctx, Min);
+            npm.init_masters(&|_| 100);
+            npm.reset_updated();
+            npm.reduce(0, 0, 5);
+            npm.reduce_sync(ctx);
+            let first = npm.is_updated(ctx);
+            npm.reset_updated();
+            // Reducing a larger value changes nothing.
+            npm.reduce(0, 0, 7);
+            npm.reduce_sync(ctx);
+            let second = npm.is_updated(ctx);
+            (first, second)
+        });
+        assert!(out.iter().all(|&(a, b)| a && !b));
+    }
+
+    #[test]
+    #[should_panic(expected = "host thread panicked")]
+    fn unrequested_remote_read_panics() {
+        // Node 0 is owned by host 0; host 1 reads it without requesting.
+        let g = gen::grid_road(4, 4, 0);
+        let parts = partition(&g, Policy::EdgeCutBlocked, 2);
+        let got: Vec<u64> = Cluster::new(2).run(|ctx| {
+            let npm: Npm<u64, Min> = Npm::new(&parts[ctx.host()], ctx, Min);
+            if ctx.host() == 1 {
+                npm.read(0)
+            } else {
+                0
+            }
+        });
+        drop(got);
+    }
+
+    #[test]
+    fn pinned_mirrors_follow_broadcast() {
+        for variant in [Variant::SgrOnly, Variant::SgrCf, Variant::SgrCfGar] {
+            let out = with_cluster(3, 2, Policy::EdgeCutBlocked, move |ctx, dg| {
+                let mut npm: Npm<u64, Min> =
+                    Npm::with_variant(dg, ctx, Min, variant);
+                npm.init_masters(&|g| g as u64 + 1000);
+                npm.pin_mirrors(ctx);
+                // All mirror reads now resolve to the owner's canonical.
+                let ok_initial = dg
+                    .mirror_globals()
+                    .iter()
+                    .all(|&m| npm.read(m) == m as u64 + 1000);
+                // Owners update node values; broadcast refreshes mirrors.
+                npm.reset_updated();
+                npm.reduce(0, 7, 3); // min: 3 < 1007
+                npm.reduce_sync(ctx);
+                npm.broadcast_sync(ctx);
+                let ok_after = dg
+                    .mirror_globals()
+                    .iter()
+                    .all(|&m| npm.read(m) == if m == 7 { 3 } else { m as u64 + 1000 });
+                npm.unpin_mirrors();
+                ok_initial && ok_after
+            });
+            assert!(out.iter().all(|&b| b), "variant {variant:?} failed");
+        }
+    }
+
+    #[test]
+    fn variants_agree_on_results() {
+        // The same reduction workload must produce identical values on all
+        // three backends.
+        let reference = run_workload(Variant::SgrCfGar);
+        assert_eq!(run_workload(Variant::SgrOnly), reference);
+        assert_eq!(run_workload(Variant::SgrCf), reference);
+    }
+
+    fn run_workload(variant: Variant) -> Vec<u64> {
+        let g = gen::rmat(6, 4, 9);
+        let n = g.num_nodes();
+        let parts = partition(&g, Policy::EdgeCutBlocked, 3);
+        let mut out = vec![0u64; n];
+        let per_host = Cluster::with_threads(3, 2).run(|ctx| {
+            let dg = &parts[ctx.host()];
+            let mut npm: Npm<u64, Min> = Npm::with_variant(dg, ctx, Min, variant);
+            npm.init_masters(&|g| g as u64 + 500);
+            // Deterministic scatter of reduces from every host.
+            ctx.par_for(0..n, |tid, range| {
+                for i in range {
+                    npm.reduce(tid, i as NodeId, ((i * 7 + ctx.host() * 13) % 600) as u64);
+                }
+            });
+            npm.reduce_sync(ctx);
+            // Collect this host's canonical values.
+            (0..npm.key_own.num_masters(ctx.host()))
+                .map(|i| {
+                    let g = npm.key_own.master_at(ctx.host(), i);
+                    (g, npm.canonical_get(g))
+                })
+                .collect::<Vec<_>>()
+        });
+        for host_vals in per_host {
+            for (g, v) in host_vals {
+                out[g as usize] = v;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sum_map_accumulates() {
+        let out = with_cluster(2, 2, Policy::EdgeCutBlocked, |ctx, dg| {
+            let mut npm: Npm<u64, Sum> = Npm::new(dg, ctx, Sum);
+            // 4 threads-worth of adds onto key 2 from both hosts.
+            ctx.par_for(0..100, |tid, range| {
+                for _ in range {
+                    npm.reduce(tid, 2, 1);
+                }
+            });
+            npm.reduce_sync(ctx);
+            npm.request(2);
+            npm.request_sync(ctx);
+            npm.read(2)
+        });
+        assert!(out.iter().all(|&v| v == 200));
+    }
+
+    #[test]
+    fn read_stats_classify_reads() {
+        let out = with_cluster(2, 1, Policy::EdgeCutBlocked, |ctx, dg| {
+            let mut npm: Npm<u64, Min> = Npm::new(dg, ctx, Min);
+            npm.enable_read_stats();
+            npm.init_masters(&|g| g as u64);
+            let my_master = dg.local_to_global(0);
+            npm.read(my_master);
+            npm.read(my_master);
+            // One remote read.
+            let remote = if ctx.host() == 0 { 20 } else { 0 };
+            npm.request(remote);
+            npm.request_sync(ctx);
+            npm.read(remote);
+            npm.read_stats()
+        });
+        for s in out {
+            assert_eq!(s.master_reads, 2);
+            assert_eq!(s.remote_reads, 1);
+            assert_eq!(s.requested_keys, 1);
+        }
+    }
+
+    #[test]
+    fn request_dedup_counts_once() {
+        let out = with_cluster(2, 2, Policy::EdgeCutBlocked, |ctx, dg| {
+            let npm_cell = parking_lot::Mutex::new(Npm::<u64, Min>::new(dg, ctx, Min));
+            {
+                let npm = npm_cell.lock();
+                let remote = if ctx.host() == 0 { 30u32 } else { 0 };
+                for _ in 0..1000 {
+                    npm.request(remote);
+                }
+            }
+            let mut npm = npm_cell.into_inner();
+            npm.request_sync(ctx);
+            npm.read_stats().requested_keys
+        });
+        assert!(out.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn cache_dropped_after_reduce_sync() {
+        let g = gen::grid_road(4, 4, 0);
+        let parts = partition(&g, Policy::EdgeCutBlocked, 2);
+        let panicked = Cluster::new(2).run(|ctx| {
+            let dg = &parts[ctx.host()];
+            let mut npm: Npm<u64, Min> = Npm::new(dg, ctx, Min);
+            npm.init_masters(&|g| g as u64);
+            let remote = if ctx.host() == 0 { 15u32 } else { 0 };
+            npm.request(remote);
+            npm.request_sync(ctx);
+            let _ = npm.read(remote);
+            npm.reduce_sync(ctx);
+            // Cache must be gone now.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| npm.read(remote))).is_err()
+        });
+        // Node 15 is remote to host 0 and node 0 is remote to host 1, so
+        // both post-sync reads must fail.
+        assert!(panicked[0]);
+        assert!(panicked[1]);
+    }
+}

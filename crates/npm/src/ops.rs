@@ -1,0 +1,192 @@
+//! Reduction operators.
+//!
+//! The paper's `Reduce(key, value, op)` takes an associative, commutative
+//! combining function (§3.1). Here the operator is fixed per map at
+//! construction time, which is what lets partial values serialize across
+//! hosts and lets pinned-mirror bookkeeping know the identity value.
+
+use crate::value::PropValue;
+
+/// An associative, commutative reduction with an identity element.
+///
+/// `combine` must satisfy `combine(a, identity()) == a`,
+/// `combine(a, b) == combine(b, a)`, and associativity — the runtime
+/// reduces partial values in arbitrary order across threads and hosts.
+pub trait ReduceOp<T>: Copy + Send + Sync + 'static {
+    /// The identity element of the reduction.
+    fn identity(&self) -> T;
+    /// Combines two values.
+    fn combine(&self, a: T, b: T) -> T;
+}
+
+/// Minimum reduction. Identity is the type's maximum value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Min;
+
+/// Maximum reduction. Identity is the type's minimum value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Max;
+
+/// Sum reduction. Identity is zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Sum;
+
+/// Logical-OR reduction over booleans. Identity is `false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Or;
+
+/// Values with ordered extremes, enabling [`Min`] / [`Max`].
+pub trait Bounded: PropValue + Ord {
+    /// Largest representable value.
+    const MAX_VALUE: Self;
+    /// Smallest representable value.
+    const MIN_VALUE: Self;
+}
+
+macro_rules! bounded_int {
+    ($($t:ty),*) => {$(
+        impl Bounded for $t {
+            const MAX_VALUE: Self = <$t>::MAX;
+            const MIN_VALUE: Self = <$t>::MIN;
+        }
+    )*};
+}
+bounded_int!(u8, u16, u32, u64, i64);
+
+impl<A: Bounded, B: Bounded> Bounded for (A, B) {
+    const MAX_VALUE: Self = (A::MAX_VALUE, B::MAX_VALUE);
+    const MIN_VALUE: Self = (A::MIN_VALUE, B::MIN_VALUE);
+}
+
+impl<A: Bounded, B: Bounded, C: Bounded> Bounded for (A, B, C) {
+    const MAX_VALUE: Self = (A::MAX_VALUE, B::MAX_VALUE, C::MAX_VALUE);
+    const MIN_VALUE: Self = (A::MIN_VALUE, B::MIN_VALUE, C::MIN_VALUE);
+}
+
+impl<T: Bounded> ReduceOp<T> for Min {
+    fn identity(&self) -> T {
+        T::MAX_VALUE
+    }
+
+    fn combine(&self, a: T, b: T) -> T {
+        a.min(b)
+    }
+}
+
+impl<T: Bounded> ReduceOp<T> for Max {
+    fn identity(&self) -> T {
+        T::MIN_VALUE
+    }
+
+    fn combine(&self, a: T, b: T) -> T {
+        a.max(b)
+    }
+}
+
+macro_rules! sum_int {
+    ($($t:ty),*) => {$(
+        impl ReduceOp<$t> for Sum {
+            fn identity(&self) -> $t {
+                0
+            }
+
+            fn combine(&self, a: $t, b: $t) -> $t {
+                a.wrapping_add(b)
+            }
+        }
+    )*};
+}
+sum_int!(u32, u64, i64);
+
+impl ReduceOp<f64> for Sum {
+    fn identity(&self) -> f64 {
+        0.0
+    }
+
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+impl ReduceOp<bool> for Or {
+    fn identity(&self) -> bool {
+        false
+    }
+
+    fn combine(&self, a: bool, b: bool) -> bool {
+        a || b
+    }
+}
+
+/// A reduction operator chosen at runtime over `u64` values — used by the
+/// compiler-generated plan interpreter, where the operator comes from the
+/// program text rather than the type system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynReduceOp {
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Wrapping sum.
+    Sum,
+}
+
+impl ReduceOp<u64> for DynReduceOp {
+    fn identity(&self) -> u64 {
+        match self {
+            DynReduceOp::Min => u64::MAX,
+            DynReduceOp::Max => u64::MIN,
+            DynReduceOp::Sum => 0,
+        }
+    }
+
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        match self {
+            DynReduceOp::Min => a.min(b),
+            DynReduceOp::Max => a.max(b),
+            DynReduceOp::Sum => a.wrapping_add(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_laws() {
+        assert_eq!(Min.combine(3u64, Min.identity()), 3);
+        assert_eq!(Max.combine(3u64, Max.identity()), 3);
+        assert_eq!(Min.combine(3u64, 5), 3);
+        assert_eq!(Max.combine(3u64, 5), 5);
+    }
+
+    #[test]
+    fn tuple_min_is_lexicographic() {
+        let a = (2u64, 9u32);
+        let b = (2u64, 3u32);
+        assert_eq!(Min.combine(a, b), b);
+        assert_eq!(Min.combine(a, Min.identity()), a);
+    }
+
+    #[test]
+    fn sum_identity_and_wrap() {
+        assert_eq!(Sum.combine(7u64, Sum.identity()), 7);
+        assert_eq!(Sum.combine(u64::MAX, 1), 0);
+        assert_eq!(Sum.combine(1.5f64, 2.5), 4.0);
+    }
+
+    #[test]
+    fn or_laws() {
+        assert!(!Or.combine(false, Or.identity()));
+        assert!(Or.combine(false, true));
+    }
+
+    #[test]
+    fn dyn_ops() {
+        assert_eq!(DynReduceOp::Min.combine(4, 2), 2);
+        assert_eq!(DynReduceOp::Max.combine(4, 2), 4);
+        assert_eq!(DynReduceOp::Sum.combine(4, 2), 6);
+        assert_eq!(DynReduceOp::Min.identity(), u64::MAX);
+    }
+}

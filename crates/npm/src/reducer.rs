@@ -1,0 +1,183 @@
+//! Distributed scalar reducers.
+//!
+//! The paper's programs use small distributed reducers alongside the
+//! node-property maps — e.g. the `BoolReducer` tracking `work_done` in
+//! CC-SV (Fig. 4), or global modularity sums in Louvain. A scalar reducer
+//! accumulates thread-locally during compute and combines across hosts on
+//! demand.
+
+use kimbap_comm::HostCtx;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A distributed logical-OR reducer over a boolean.
+///
+/// Threads call [`BoolReducer::reduce`] during compute;
+/// [`BoolReducer::read`] performs an OR all-reduce across hosts (all hosts
+/// must call it together, like any collective).
+///
+/// # Example
+///
+/// ```
+/// use kimbap_comm::Cluster;
+/// use kimbap_npm::BoolReducer;
+///
+/// let out = Cluster::new(3).run(|ctx| {
+///     let flag = BoolReducer::new();
+///     if ctx.host() == 1 {
+///         flag.reduce(true);
+///     }
+///     flag.read(ctx)
+/// });
+/// assert_eq!(out, vec![true, true, true]);
+/// ```
+#[derive(Debug, Default)]
+pub struct BoolReducer {
+    local: AtomicBool,
+}
+
+impl BoolReducer {
+    /// Creates a reducer holding `false`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the local value (all hosts must reset together to stay
+    /// consistent).
+    pub fn set(&self, v: bool) {
+        self.local.store(v, Ordering::Relaxed);
+    }
+
+    /// ORs `v` into the local value. Callable concurrently.
+    pub fn reduce(&self, v: bool) {
+        if v {
+            self.local.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// The local value, without communication.
+    pub fn local(&self) -> bool {
+        self.local.load(Ordering::Relaxed)
+    }
+
+    /// OR all-reduce across hosts. Collective: every host must call it.
+    pub fn read(&self, ctx: &HostCtx) -> bool {
+        ctx.all_reduce_or(self.local())
+    }
+}
+
+/// A distributed sum reducer over `u64`.
+#[derive(Debug, Default)]
+pub struct SumReducer {
+    local: AtomicU64,
+}
+
+impl SumReducer {
+    /// Creates a reducer holding zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the local value.
+    pub fn set(&self, v: u64) {
+        self.local.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `v` into the local value. Callable concurrently.
+    pub fn reduce(&self, v: u64) {
+        self.local.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// The local value, without communication.
+    pub fn local(&self) -> u64 {
+        self.local.load(Ordering::Relaxed)
+    }
+
+    /// Sum all-reduce across hosts. Collective: every host must call it.
+    pub fn read(&self, ctx: &HostCtx) -> u64 {
+        ctx.all_reduce_u64(self.local(), |a, b| a.wrapping_add(b))
+    }
+}
+
+/// A distributed minimum reducer over `u64`.
+#[derive(Debug)]
+pub struct MinReducer {
+    local: AtomicU64,
+}
+
+impl Default for MinReducer {
+    fn default() -> Self {
+        MinReducer {
+            local: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+impl MinReducer {
+    /// Creates a reducer holding `u64::MAX`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the local value.
+    pub fn set(&self, v: u64) {
+        self.local.store(v, Ordering::Relaxed);
+    }
+
+    /// Min-combines `v` into the local value. Callable concurrently.
+    pub fn reduce(&self, v: u64) {
+        self.local.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// The local value, without communication.
+    pub fn local(&self) -> u64 {
+        self.local.load(Ordering::Relaxed)
+    }
+
+    /// Min all-reduce across hosts. Collective: every host must call it.
+    pub fn read(&self, ctx: &HostCtx) -> u64 {
+        ctx.all_reduce_u64(self.local(), |a, b| a.min(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kimbap_comm::Cluster;
+
+    #[test]
+    fn bool_reducer_or_across_hosts() {
+        let out = Cluster::new(4).run(|ctx| {
+            let r = BoolReducer::new();
+            r.reduce(ctx.host() == 3);
+            let first = r.read(ctx);
+            r.set(false);
+            let second = r.read(ctx);
+            (first, second)
+        });
+        assert!(out.iter().all(|&(a, b)| a && !b));
+    }
+
+    #[test]
+    fn sum_reducer_totals() {
+        let out = Cluster::new(3).run(|ctx| {
+            let r = SumReducer::new();
+            ctx.par_for(0..100, |_, range| {
+                for _ in range {
+                    r.reduce(1);
+                }
+            });
+            r.read(ctx)
+        });
+        assert_eq!(out, vec![300, 300, 300]);
+    }
+
+    #[test]
+    fn min_reducer() {
+        let out = Cluster::new(3).run(|ctx| {
+            let r = MinReducer::new();
+            r.reduce(10 + ctx.host() as u64);
+            r.read(ctx)
+        });
+        assert_eq!(out, vec![10, 10, 10]);
+    }
+}

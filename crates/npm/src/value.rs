@@ -1,0 +1,34 @@
+//! The bound on property value types.
+
+use kimbap_comm::Wire;
+use std::fmt::Debug;
+
+/// Types usable as node-property values.
+///
+/// Properties must be cheap to copy (they flow through thread-local maps
+/// and wire buffers by value), comparable (the runtime detects whether a
+/// reduction changed a canonical value to drive the quiescence check), and
+/// wire-encodable (they cross host boundaries in reduce/broadcast/response
+/// messages).
+///
+/// This trait is blanket-implemented; never implement it manually.
+pub trait PropValue: Copy + Send + Sync + PartialEq + Debug + Wire + 'static {}
+
+impl<T> PropValue for T where T: Copy + Send + Sync + PartialEq + Debug + Wire + 'static {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_prop<T: PropValue>() {}
+
+    #[test]
+    fn common_types_are_prop_values() {
+        assert_prop::<u32>();
+        assert_prop::<u64>();
+        assert_prop::<f64>();
+        assert_prop::<bool>();
+        assert_prop::<(u64, u32)>();
+        assert_prop::<(u64, u32, u32)>();
+    }
+}

@@ -1,0 +1,231 @@
+//! Property-based tests for node-property map invariants.
+
+use kimbap_comm::Cluster;
+use kimbap_dist::{partition, Policy};
+use kimbap_graph::{builder::from_edges, NodeId};
+use kimbap_npm::{Min, NodePropMap, Npm, Sum, Variant};
+use proptest::prelude::*;
+
+/// A randomized workload: per host, a list of (key, value) reductions.
+fn workload(n: u32) -> impl Strategy<Value = Vec<Vec<(u32, u64)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0..n, 0u64..1000), 0..120),
+        3, // hosts
+    )
+}
+
+fn graph(n: u32) -> kimbap_graph::Graph {
+    // A ring so every node exists and has edges.
+    from_edges((0..n).map(|i| (i, (i + 1) % n, 1)))
+}
+
+/// Applies a host-partitioned workload on a chosen backend and returns the
+/// canonical value of every node.
+fn run_min(
+    variant: Variant,
+    n: u32,
+    loads: &[Vec<(u32, u64)>],
+    threads: usize,
+) -> Vec<u64> {
+    let g = graph(n);
+    let parts = partition(&g, Policy::EdgeCutBlocked, loads.len());
+    let out = Cluster::with_threads(loads.len(), threads).run(|ctx| {
+        let dg = &parts[ctx.host()];
+        let mut npm: Npm<u64, Min> = Npm::with_variant(dg, ctx, Min, variant);
+        npm.init_masters(&|g| g as u64 + 10_000);
+        let my = &loads[ctx.host()];
+        ctx.par_for(0..my.len(), |tid, range| {
+            for i in range {
+                let (k, v) = my[i];
+                npm.reduce(tid, k, v);
+            }
+        });
+        npm.reduce_sync(ctx);
+        // Every host reads its own masters.
+        dg.master_nodes()
+            .map(|m| {
+                let g = dg.local_to_global(m);
+                (g, npm.read(g))
+            })
+            .collect::<Vec<(NodeId, u64)>>()
+    });
+    let mut vals = vec![0u64; n as usize];
+    for host in out {
+        for (g, v) in host {
+            vals[g as usize] = v;
+        }
+    }
+    vals
+}
+
+/// Sequential model of the same reduction.
+fn model_min(n: u32, loads: &[Vec<(u32, u64)>]) -> Vec<u64> {
+    let mut vals: Vec<u64> = (0..n as u64).map(|g| g + 10_000).collect();
+    for host in loads {
+        for &(k, v) in host {
+            vals[k as usize] = vals[k as usize].min(v);
+        }
+    }
+    vals
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn all_variants_match_sequential_model(loads in workload(64)) {
+        let expected = model_min(64, &loads);
+        for variant in [Variant::SgrOnly, Variant::SgrCf, Variant::SgrCfGar] {
+            let got = run_min(variant, 64, &loads, 2);
+            prop_assert_eq!(&got, &expected, "variant {} diverged", variant);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results(loads in workload(48)) {
+        let a = run_min(Variant::SgrCfGar, 48, &loads, 1);
+        let b = run_min(Variant::SgrCfGar, 48, &loads, 4);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sum_reductions_are_exact(loads in workload(32)) {
+        // Sum is sensitive to duplication/loss: totals must match exactly.
+        let g = graph(32);
+        let parts = partition(&g, Policy::EdgeCutBlocked, loads.len());
+        let loads_ref = &loads;
+        let out = Cluster::with_threads(loads.len(), 2).run(|ctx| {
+            let dg = &parts[ctx.host()];
+            let mut npm: Npm<u64, Sum> = Npm::new(dg, ctx, Sum);
+            let my = &loads_ref[ctx.host()];
+            ctx.par_for(0..my.len(), |tid, range| {
+                for i in range {
+                    let (k, v) = my[i];
+                    npm.reduce(tid, k, v);
+                }
+            });
+            npm.reduce_sync(ctx);
+            dg.master_nodes()
+                .map(|m| {
+                    let g = dg.local_to_global(m);
+                    npm.read(g)
+                })
+                .sum::<u64>()
+        });
+        let total: u64 = out.iter().sum();
+        let expected: u64 = loads.iter().flatten().map(|&(_, v)| v).sum();
+        prop_assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn requests_see_post_sync_values(keys in prop::collection::vec(0u32..40, 1..30)) {
+        // After reduce_sync + request_sync, any host can read any key and
+        // sees the canonical minimum.
+        let g = graph(40);
+        let parts = partition(&g, Policy::EdgeCutBlocked, 2);
+        let keys_ref = &keys;
+        let ok = Cluster::new(2).run(|ctx| {
+            let dg = &parts[ctx.host()];
+            let mut npm: Npm<u64, Min> = Npm::new(dg, ctx, Min);
+            npm.init_masters(&|g| g as u64 + 100);
+            for (i, &k) in keys_ref.iter().enumerate() {
+                npm.reduce(0, k, (ctx.host() as u64) * 50 + i as u64);
+            }
+            npm.reduce_sync(ctx);
+            for &k in keys_ref.iter() {
+                npm.request(k);
+            }
+            npm.request_sync(ctx);
+            // Model: min over both hosts' reduces and the init value.
+            keys_ref.iter().all(|&k| {
+                let mut expect = k as u64 + 100;
+                for h in 0..2u64 {
+                    for (j, &kk) in keys_ref.iter().enumerate() {
+                        if kk == k {
+                            expect = expect.min(h * 50 + j as u64);
+                        }
+                    }
+                }
+                npm.read(k) == expect
+            })
+        });
+        prop_assert!(ok.iter().all(|&b| b));
+    }
+}
+
+mod mirror_reset {
+    use kimbap_comm::Cluster;
+    use kimbap_dist::{partition, Policy};
+    use kimbap_graph::{gen, NodeId};
+    use kimbap_npm::{Min, MirrorSync, NodePropMap, Npm};
+
+    /// Push-style label propagation with mirror reset must produce the
+    /// same labels as broadcast. (Total traffic usually *grows* — the
+    /// disabled redundancy filter inflates reduce-sync — which is exactly
+    /// why broadcast is Kimbap's default; see `MirrorSync` docs.)
+    #[test]
+    fn reset_to_identity_preserves_push_lp() {
+        let g = gen::rmat(7, 4, 77);
+        let hosts = 3;
+        let parts = partition(&g, Policy::EdgeCutBlocked, hosts);
+        let run = |mode: MirrorSync| -> (Vec<u64>, u64) {
+            let out = Cluster::with_threads(hosts, 2).run(|ctx| {
+                let dg = &parts[ctx.host()];
+                let mut label: Npm<u64, Min> = Npm::new(dg, ctx, Min);
+                label.set_mirror_sync(mode);
+                label.init_masters(&|g| g as u64);
+                label.pin_mirrors(ctx);
+                loop {
+                    label.reset_updated();
+                    let l = &label;
+                    ctx.par_for(0..dg.num_local_nodes(), |tid, range| {
+                        for lid in range {
+                            let lid = lid as u32;
+                            if dg.degree(lid) == 0 {
+                                continue;
+                            }
+                            let my = l.read(dg.local_to_global(lid));
+                            for (dst, _) in dg.edges(lid) {
+                                let dst_g = dg.local_to_global(dst);
+                                // Push-style: the mirror read only filters
+                                // redundant reduces; identity (MAX) makes
+                                // the filter pass, which is harmless.
+                                if my < l.read(dst_g) {
+                                    l.reduce(tid, dst_g, my);
+                                }
+                            }
+                        }
+                    });
+                    label.reduce_sync(ctx);
+                    label.broadcast_sync(ctx);
+                    if !label.is_updated(ctx) {
+                        break;
+                    }
+                }
+                let labels: Vec<(NodeId, u64)> = dg
+                    .master_nodes()
+                    .map(|m| {
+                        let gid = dg.local_to_global(m);
+                        (gid, label.read(gid))
+                    })
+                    .collect();
+                (labels, ctx.stats().bytes)
+            });
+            let mut labels = vec![0u64; g.num_nodes()];
+            let mut bytes = 0;
+            for (host_labels, b) in out {
+                bytes += b;
+                for (gid, v) in host_labels {
+                    labels[gid as usize] = v;
+                }
+            }
+            (labels, bytes)
+        };
+        let (broadcast_labels, broadcast_bytes) = run(MirrorSync::Broadcast);
+        let (reset_labels, reset_bytes) = run(MirrorSync::ResetToIdentity);
+        assert_eq!(broadcast_labels, reset_labels);
+        // Both modes must have moved real data; the byte *direction* is a
+        // documented trade-off, not an invariant.
+        assert!(broadcast_bytes > 0 && reset_bytes > 0);
+    }
+}

@@ -1,0 +1,3 @@
+//! Umbrella crate for the Kimbap reproduction workspace: hosts the
+//! cross-crate integration tests in `tests/` and the runnable examples in
+//! `examples/`. Re-exports nothing; depend on the member crates directly.
