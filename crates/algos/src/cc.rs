@@ -34,6 +34,8 @@ pub fn cc_lp<B: MapBuilder>(dg: &DistGraph, ctx: &HostCtx, b: &B) -> Vec<(NodeId
     label.init_masters(&|g| g as u64);
     label.pin_mirrors(ctx);
     loop {
+        // Publish the BSP round so fault plans can target it.
+        ctx.set_round(ctx.current_round() + 1);
         label.reset_updated();
         let l = &label;
         ctx.par_for(0..dg.num_local_nodes(), |tid, range| {
@@ -73,6 +75,7 @@ fn hook<M: NodePropMap<u64>>(
 ) {
     parent.pin_mirrors(ctx);
     loop {
+        ctx.set_round(ctx.current_round() + 1);
         parent.reset_updated();
         let p = &*parent;
         ctx.par_for(0..dg.num_local_nodes(), |tid, range| {
@@ -106,6 +109,7 @@ fn hook<M: NodePropMap<u64>>(
 /// compiler's master-elision restricts the iterator to masters.
 pub(crate) fn shortcut<M: NodePropMap<u64>>(parent: &mut M, dg: &DistGraph, ctx: &HostCtx) {
     loop {
+        ctx.set_round(ctx.current_round() + 1);
         parent.reset_updated();
         let p = &*parent;
         ctx.par_for(0..dg.num_masters(), |_tid, range| {
@@ -168,6 +172,7 @@ pub fn cc_sclp<B: MapBuilder>(dg: &DistGraph, ctx: &HostCtx, b: &B) -> Vec<(Node
     label.init_masters(&|g| g as u64);
     loop {
         // LP sweep.
+        ctx.set_round(ctx.current_round() + 1);
         label.pin_mirrors(ctx);
         label.reset_updated();
         let l = &label;

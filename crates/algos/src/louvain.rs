@@ -192,6 +192,8 @@ pub(crate) fn local_moving<'g, B: MapBuilder>(
     let moves = SumReducer::new();
 
     for round in 0..cfg.max_rounds {
+        // Publish the BSP round so fault plans can target it.
+        ctx.set_round(ctx.current_round() + 1);
         // (1) Rebuild community totals from scratch (Sum reductions keyed
         // by community representative — trans-vertex writes).
         comm_tot.reset_values(ctx);

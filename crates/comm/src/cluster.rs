@@ -1,12 +1,32 @@
-//! The simulated cluster: hosts, mailboxes, and collectives.
+//! The simulated cluster: hosts, mailboxes, and failure-aware collectives.
+//!
+//! Every inter-host payload travels inside a checksummed frame
+//! ([`crate::wire::frame_payload`]); receivers validate length and CRC and
+//! re-request damaged or missing frames from the sender's retained outbox,
+//! so a [`crate::FaultPlan`] dropping, duplicating, delaying, or corrupting
+//! frames is survived transparently (visible only in
+//! [`HostStats::retransmits`]). Host crashes are survived too: a panicking
+//! host marks the shared barrier failed so sibling hosts observe
+//! [`CommError::HostFailure`] instead of deadlocking, and
+//! [`HostCtx::run_recovering`] restarts all hosts from a consistent state.
 
+use crate::fault::{FaultPlan, FaultState, SendAction};
 use crate::pool::WorkerPool;
-use crate::wire::{decode_slice, encode_slice, Wire};
+use crate::wire::{encode_slice, frame_payload, parse_frame, Wire};
 use parking_lot::Mutex;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Barrier;
-use std::time::Instant;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+/// Retransmission attempts per exchange before the collective fails with
+/// [`CommError::FrameLoss`].
+const MAX_ATTEMPTS: u32 = 4;
+
+/// Crash recoveries per [`HostCtx::run_recovering`] call before the panic
+/// is propagated unchanged.
+const MAX_RECOVERIES: u32 = 8;
 
 /// Per-host communication counters.
 ///
@@ -14,7 +34,9 @@ use std::time::Instant;
 /// mailbox traffic, and waiting at the implied barriers); everything else a
 /// host does is computation. Bytes and messages count only *inter*-host
 /// traffic — a host delivering to itself models a local memcpy, which the
-/// paper's communication-volume numbers also exclude.
+/// paper's communication-volume numbers also exclude. Retransmissions
+/// triggered by injected faults count only in `retransmits`, keeping
+/// `messages`/`bytes` equal to the fault-free logical volume.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HostStats {
     /// Messages sent to other hosts.
@@ -23,6 +45,8 @@ pub struct HostStats {
     pub bytes: u64,
     /// Nanoseconds spent inside communication calls.
     pub comm_nanos: u64,
+    /// Frames re-sent after a receiver reported loss or corruption.
+    pub retransmits: u64,
 }
 
 impl HostStats {
@@ -31,24 +55,338 @@ impl HostStats {
         self.messages += other.messages;
         self.bytes += other.bytes;
         self.comm_nanos = self.comm_nanos.max(other.comm_nanos);
+        self.retransmits += other.retransmits;
     }
 }
 
-/// Shared state between hosts: one mailbox per (destination, source) pair
-/// plus a reusable barrier.
+/// A communication failure observed by a collective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// One or more hosts failed (panicked) while this host was inside a
+    /// collective; the listed hosts are the known casualties.
+    HostFailure {
+        /// Hosts that have failed.
+        hosts: Vec<usize>,
+    },
+    /// A frame could not be delivered within the retry budget. Every host
+    /// in the exchange returns this same error — the collective fails as a
+    /// unit, never leaving hosts disagreeing about whether it completed.
+    FrameLoss {
+        /// Hosts that were still missing a frame when the budget ran out.
+        hosts: Vec<usize>,
+        /// Retransmission attempts performed.
+        attempts: u32,
+    },
+    /// The caller violated the collective's contract (wrong buffer count
+    /// or a malformed peer payload).
+    Protocol {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::HostFailure { hosts } => write!(f, "host failure: hosts {hosts:?} down"),
+            CommError::FrameLoss { hosts, attempts } => write!(
+                f,
+                "frame loss: hosts {hosts:?} missing frames after {attempts} retransmits"
+            ),
+            CommError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// The panic payload used for recoverable host failures.
+///
+/// [`HostCtx::run_recovering`] catches exactly this type: injected crashes
+/// and communication failures escalated by the infallible collective
+/// wrappers. Any other panic (a real bug) propagates unchanged.
+#[derive(Debug, Clone)]
+pub enum CrashSignal {
+    /// A [`crate::FaultKind::CrashHost`] fault fired on this host.
+    Injected {
+        /// The crashed host.
+        host: usize,
+        /// The round it was entering.
+        round: u64,
+    },
+    /// An infallible collective wrapper observed a communication error.
+    Comm(CommError),
+}
+
+impl std::fmt::Display for CrashSignal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashSignal::Injected { host, round } => {
+                write!(f, "injected crash of host {host} at round {round}")
+            }
+            CrashSignal::Comm(e) => write!(f, "communication failed: {e}"),
+        }
+    }
+}
+
+/// A host closure's failure, as reported by [`Cluster::try_run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostError {
+    /// The failed host.
+    pub host: usize,
+    /// The panic message (or [`CrashSignal`] description).
+    pub message: String,
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "host {}: {}", self.host, self.message)
+    }
+}
+
+impl std::error::Error for HostError {}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(sig) = payload.downcast_ref::<CrashSignal>() {
+        sig.to_string()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "host closure panicked".to_string()
+    }
+}
+
+/// A barrier that reports peer failures instead of deadlocking.
+///
+/// Semantically a generation-counted barrier over the *live* hosts: when
+/// [`FtBarrier::mark_failed`] records a casualty, every current and future
+/// waiter gets `Err` with the casualty list until [`FtBarrier::heal`]
+/// resets the barrier (which recovery does once all live hosts are
+/// realigned and no waiter can exist).
+struct FtBarrier {
+    state: StdMutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    live: usize,
+    failed: Vec<bool>,
+}
+
+impl BarrierState {
+    fn failed_hosts(&self) -> Vec<usize> {
+        (0..self.failed.len()).filter(|&h| self.failed[h]).collect()
+    }
+}
+
+impl FtBarrier {
+    fn new(hosts: usize) -> Self {
+        FtBarrier {
+            state: StdMutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                live: hosts,
+                failed: vec![false; hosts],
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Waits for all live hosts; `Err` lists the failed hosts if any host
+    /// has failed (now or while waiting).
+    fn wait(&self) -> Result<(), Vec<usize>> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.live < s.failed.len() {
+            return Err(s.failed_hosts());
+        }
+        s.arrived += 1;
+        if s.arrived >= s.live {
+            s.arrived = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = s.generation;
+        loop {
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+            // Failure check first: a casualty may make `arrived >= live`
+            // true without completing the generation.
+            if s.live < s.failed.len() {
+                return Err(s.failed_hosts());
+            }
+            if s.generation != gen {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Records that `host` died; wakes all waiters so they observe the
+    /// failure. Idempotent.
+    fn mark_failed(&self, host: usize) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.failed[host] {
+            return;
+        }
+        s.failed[host] = true;
+        s.live -= 1;
+        self.cv.notify_all();
+    }
+
+    /// Resets the barrier to all-alive. Only sound when no host is waiting
+    /// on it — recovery guarantees this by healing under the [`Gate`] lock
+    /// while every live host is parked at the gate.
+    fn heal(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.live = s.failed.len();
+        for f in &mut s.failed {
+            *f = false;
+        }
+        s.arrived = 0;
+    }
+}
+
+/// Recovery-alignment barrier, independent of the (possibly failed)
+/// [`FtBarrier`].
+///
+/// Hosts that complete their closure (or die unrecoverably) are marked
+/// *departed*; once any host departs, recovery can never realign the full
+/// cluster, so gate waits report the departed hosts instead of hanging.
+struct Gate {
+    state: StdMutex<GateState>,
+    cv: Condvar,
+}
+
+struct GateState {
+    arrived: usize,
+    generation: u64,
+    departed: Vec<bool>,
+    ndeparted: usize,
+}
+
+impl GateState {
+    fn departed_hosts(&self) -> Vec<usize> {
+        (0..self.departed.len())
+            .filter(|&h| self.departed[h])
+            .collect()
+    }
+}
+
+impl Gate {
+    fn new(hosts: usize) -> Self {
+        Gate {
+            state: StdMutex::new(GateState {
+                arrived: 0,
+                generation: 0,
+                departed: vec![false; hosts],
+                ndeparted: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Waits for all non-departed hosts, running `f` under the gate lock
+    /// when the last one arrives (before anyone is released).
+    fn wait_then<F: FnOnce()>(&self, f: F) -> Result<(), Vec<usize>> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.ndeparted > 0 {
+            return Err(s.departed_hosts());
+        }
+        s.arrived += 1;
+        if s.arrived >= s.departed.len() - s.ndeparted {
+            f();
+            s.arrived = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = s.generation;
+        loop {
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+            if s.ndeparted > 0 {
+                return Err(s.departed_hosts());
+            }
+            if s.generation != gen {
+                return Ok(());
+            }
+        }
+    }
+
+    fn wait(&self) -> Result<(), Vec<usize>> {
+        self.wait_then(|| {})
+    }
+
+    /// Records that `host` left the run for good. Idempotent.
+    fn mark_departed(&self, host: usize) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.departed[host] {
+            return;
+        }
+        s.departed[host] = true;
+        s.ndeparted += 1;
+        self.cv.notify_all();
+    }
+}
+
+/// Shared state between hosts: framed mailboxes, retransmission plumbing,
+/// the fault injector, and the failure-aware barrier.
 struct Fabric {
-    /// `mailboxes[to][from]` holds messages in flight from `from` to `to`.
+    /// `mailboxes[to][from]` holds frames in flight from `from` to `to`.
     mailboxes: Vec<Vec<Mutex<Vec<Vec<u8>>>>>,
-    barrier: Barrier,
+    /// `delayed[from][to]`: frames a `DelayFrame` fault held back; flushed
+    /// into the mailbox at the start of the sender's next exchange, where
+    /// their stale sequence numbers get them ignored.
+    delayed: Vec<Vec<Mutex<Vec<Vec<u8>>>>>,
+    /// `outbox[from][to]`: the last frame sent on the pair, retained for
+    /// retransmission.
+    outbox: Vec<Vec<Mutex<Vec<u8>>>>,
+    /// Next sequence number per directed pair, sender side.
+    send_seq: Vec<Vec<AtomicU64>>,
+    /// `recv_seq[to][from]`: the sequence number `to` will accept next.
+    recv_seq: Vec<Vec<AtomicU64>>,
+    /// `retx[sender][requester]`: requester asks sender to re-send.
+    retx: Vec<Vec<AtomicBool>>,
+    /// Per-host "I am still missing a frame" flag, read collectively.
+    missing: Vec<AtomicBool>,
+    /// Per-host published BSP round (for fault matching).
+    round: Vec<AtomicU64>,
+    barrier: FtBarrier,
+    gate: Gate,
+    faults: FaultState,
 }
 
 impl Fabric {
-    fn new(hosts: usize) -> Self {
+    fn new(hosts: usize, plan: FaultPlan) -> Self {
+        let square_mutexes =
+            || -> Vec<Vec<Mutex<Vec<Vec<u8>>>>> {
+                (0..hosts)
+                    .map(|_| (0..hosts).map(|_| Mutex::new(Vec::new())).collect())
+                    .collect()
+            };
         Fabric {
-            mailboxes: (0..hosts)
+            mailboxes: square_mutexes(),
+            delayed: square_mutexes(),
+            outbox: (0..hosts)
                 .map(|_| (0..hosts).map(|_| Mutex::new(Vec::new())).collect())
                 .collect(),
-            barrier: Barrier::new(hosts),
+            send_seq: (0..hosts)
+                .map(|_| (0..hosts).map(|_| AtomicU64::new(0)).collect())
+                .collect(),
+            recv_seq: (0..hosts)
+                .map(|_| (0..hosts).map(|_| AtomicU64::new(0)).collect())
+                .collect(),
+            retx: (0..hosts)
+                .map(|_| (0..hosts).map(|_| AtomicBool::new(false)).collect())
+                .collect(),
+            missing: (0..hosts).map(|_| AtomicBool::new(false)).collect(),
+            round: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
+            barrier: FtBarrier::new(hosts),
+            gate: Gate::new(hosts),
+            faults: FaultState::new(plan),
         }
     }
 }
@@ -112,7 +450,55 @@ impl Cluster {
         F: Fn(&HostCtx) -> R + Sync,
         R: Send,
     {
-        let fabric = Fabric::new(self.num_hosts);
+        self.run_with_faults(FaultPlan::default(), f)
+    }
+
+    /// Like [`Cluster::run`], with a [`FaultPlan`] injected into the
+    /// fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics (after all hosts have been joined) if any host's closure
+    /// panicked — including unrecovered injected crashes.
+    pub fn run_with_faults<F, R>(&self, plan: FaultPlan, f: F) -> Vec<R>
+    where
+        F: Fn(&HostCtx) -> R + Sync,
+        R: Send,
+    {
+        let mut failures = Vec::new();
+        let mut out = Vec::with_capacity(self.num_hosts);
+        for r in self.try_run_with_faults(plan, f) {
+            match r {
+                Ok(v) => out.push(v),
+                Err(e) => failures.push(e.to_string()),
+            }
+        }
+        if !failures.is_empty() {
+            panic!("host thread panicked: {}", failures.join("; "));
+        }
+        out
+    }
+
+    /// Runs `f` once per host, catching per-host panics: each host yields
+    /// `Ok(result)` or `Err` describing its failure. Sibling hosts of a
+    /// failed host observe [`CommError::HostFailure`] from any collective
+    /// they are in instead of deadlocking.
+    pub fn try_run<F, R>(&self, f: F) -> Vec<Result<R, HostError>>
+    where
+        F: Fn(&HostCtx) -> R + Sync,
+        R: Send,
+    {
+        self.try_run_with_faults(FaultPlan::default(), f)
+    }
+
+    /// Like [`Cluster::try_run`], with a [`FaultPlan`] injected into the
+    /// fabric.
+    pub fn try_run_with_faults<F, R>(&self, plan: FaultPlan, f: F) -> Vec<Result<R, HostError>>
+    where
+        F: Fn(&HostCtx) -> R + Sync,
+        R: Send,
+    {
+        let fabric = Fabric::new(self.num_hosts, plan);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.num_hosts);
             for host in 0..self.num_hosts {
@@ -131,14 +517,31 @@ impl Cluster {
                                 pool: WorkerPool::new(threads),
                                 stats: StatCells::default(),
                             };
-                            f(&ctx)
+                            let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                            match result {
+                                Ok(v) => {
+                                    // A departed host can never rejoin a
+                                    // recovery alignment; make that a
+                                    // reported failure, not a deadlock.
+                                    fabric.gate.mark_departed(host);
+                                    Ok(v)
+                                }
+                                Err(payload) => {
+                                    fabric.barrier.mark_failed(host);
+                                    fabric.gate.mark_departed(host);
+                                    Err(HostError {
+                                        host,
+                                        message: panic_message(&*payload),
+                                    })
+                                }
+                            }
                         })
                         .expect("failed to spawn host thread"),
                 );
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("host thread panicked"))
+                .map(|h| h.join().expect("failed to join host thread"))
                 .collect()
         })
     }
@@ -166,6 +569,7 @@ struct StatCells {
     messages: AtomicU64,
     bytes: AtomicU64,
     comm_nanos: AtomicU64,
+    retransmits: AtomicU64,
 }
 
 impl<'a> HostCtx<'a> {
@@ -197,12 +601,91 @@ impl<'a> HostCtx<'a> {
         self.pool.par_for(range, f);
     }
 
+    /// Publishes this host's current BSP round, consumed by round-targeted
+    /// faults in the [`FaultPlan`]. Code that never calls this runs in
+    /// round 0.
+    pub fn set_round(&self, round: u64) {
+        self.fabric.round[self.host].store(round, Ordering::Relaxed);
+    }
+
+    /// The round last published via [`HostCtx::set_round`].
+    pub fn current_round(&self) -> u64 {
+        self.fabric.round[self.host].load(Ordering::Relaxed)
+    }
+
+    /// Escalates a communication error into a recoverable host failure:
+    /// marks this host failed (so siblings' collectives error out rather
+    /// than deadlock) and panics with a [`CrashSignal`], which
+    /// [`HostCtx::run_recovering`] knows how to catch.
+    fn fail_with(&self, signal: CrashSignal) -> ! {
+        self.fabric.barrier.mark_failed(self.host);
+        // resume_unwind skips the panic hook: injected crashes and comm
+        // failures are expected control flow (recovered or reported as
+        // CommError), so they must not spray backtraces on stderr.
+        std::panic::resume_unwind(Box::new(signal));
+    }
+
+    /// Unwraps a collective result for the infallible wrappers.
+    fn unwrap_comm<T>(&self, r: Result<T, CommError>) -> T {
+        match r {
+            Ok(v) => v,
+            Err(e) => self.fail_with(CrashSignal::Comm(e)),
+        }
+    }
+
+    /// Fires a pending injected crash for this host's current round.
+    fn check_crash(&self) {
+        let round = self.current_round();
+        if self.fabric.faults.crash_due(self.host, round) {
+            self.fail_with(CrashSignal::Injected {
+                host: self.host,
+                round,
+            });
+        }
+    }
+
+    /// Barrier over live hosts, translating peer failure into `CommError`.
+    fn ft_wait(&self) -> Result<(), CommError> {
+        self.fabric
+            .barrier
+            .wait()
+            .map_err(|hosts| CommError::HostFailure { hosts })
+    }
+
+    /// Sends one frame through the fault injector.
+    fn transmit(&self, to: usize, round: u64, seq: u64, attempt: u32, mut frame: Vec<u8>) {
+        let fab = self.fabric;
+        match fab.faults.on_send(self.host, to, round, seq, attempt, &mut frame) {
+            SendAction::Drop => {}
+            SendAction::Duplicate => {
+                let mut mb = fab.mailboxes[to][self.host].lock();
+                mb.push(frame.clone());
+                mb.push(frame);
+            }
+            SendAction::Delay => fab.delayed[self.host][to].lock().push(frame),
+            SendAction::Deliver => fab.mailboxes[to][self.host].lock().push(frame),
+        }
+    }
+
     /// Waits until all hosts reach this barrier. Counted as communication
     /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a recoverable [`CrashSignal`] if a peer host has failed
+    /// (see [`HostCtx::try_barrier`] for the non-panicking form).
     pub fn barrier(&self) {
+        let r = self.try_barrier();
+        self.unwrap_comm(r);
+    }
+
+    /// Failure-aware barrier: `Err` if a peer host has failed.
+    pub fn try_barrier(&self) -> Result<(), CommError> {
+        self.check_crash();
         let t = Instant::now();
-        self.fabric.barrier.wait();
+        let r = self.ft_wait();
         self.add_comm_nanos(t.elapsed().as_nanos() as u64);
+        r
     }
 
     /// All-to-all exchange: `outgoing[h]` is delivered to host `h`; returns
@@ -211,50 +694,166 @@ impl<'a> HostCtx<'a> {
     ///
     /// This is the collective underlying the paper's request-sync and
     /// reduce-sync phases: exactly one message between every pair of hosts.
-    /// Empty payloads are not sent (and not counted).
+    /// Empty payloads still travel as (header-only) frames so loss is
+    /// detectable, but are not counted in the traffic stats.
     ///
     /// # Panics
     ///
-    /// Panics if `outgoing.len() != num_hosts()`.
+    /// Panics if `outgoing.len() != num_hosts()`, and with a recoverable
+    /// [`CrashSignal`] on communication failure (see
+    /// [`HostCtx::try_exchange`] for the non-panicking form).
     pub fn exchange(&self, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
         assert_eq!(outgoing.len(), self.num_hosts, "one buffer per host");
+        let r = self.try_exchange(outgoing);
+        self.unwrap_comm(r)
+    }
+
+    /// Failure-aware all-to-all exchange.
+    ///
+    /// Each payload is framed with a sequence number, length, and CRC32.
+    /// Receivers accept exactly the next sequence number per sender —
+    /// duplicates, stale delayed frames, and corrupted frames are all
+    /// rejected — and missing frames are re-requested from the sender's
+    /// retained outbox with bounded backoff. The retry decision is made
+    /// collectively (all hosts read the same missing-flags snapshot between
+    /// two barriers), so either every host completes the exchange or every
+    /// host returns the same [`CommError::FrameLoss`].
+    pub fn try_exchange(&self, outgoing: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, CommError> {
+        if outgoing.len() != self.num_hosts {
+            return Err(CommError::Protocol {
+                detail: format!(
+                    "exchange needs one buffer per host ({}), got {}",
+                    self.num_hosts,
+                    outgoing.len()
+                ),
+            });
+        }
+        self.check_crash();
         let t = Instant::now();
+        let me = self.host;
+        let fab = self.fabric;
+        let round = self.current_round();
+
+        // Flush frames a DelayFrame fault held back from an earlier
+        // exchange. Their sequence numbers are stale by now, so receivers
+        // ignore them — exactly the late-delivery semantics being modeled.
+        for to in 0..self.num_hosts {
+            let mut held = fab.delayed[me][to].lock();
+            if !held.is_empty() {
+                fab.mailboxes[to][me].lock().append(&mut held);
+            }
+        }
+
+        let mut result: Vec<Vec<u8>> = vec![Vec::new(); self.num_hosts];
+        let mut got = vec![false; self.num_hosts];
+
         for (to, payload) in outgoing.into_iter().enumerate() {
-            if payload.is_empty() {
+            if to == me {
+                // Self-delivery is a local memcpy: no frame, no stats.
+                result[me] = payload;
+                got[me] = true;
                 continue;
             }
-            if to != self.host {
+            if !payload.is_empty() {
                 self.stats.messages.fetch_add(1, Ordering::Relaxed);
                 self.stats
                     .bytes
                     .fetch_add(payload.len() as u64, Ordering::Relaxed);
             }
-            self.fabric.mailboxes[to][self.host].lock().push(payload);
+            let seq = fab.send_seq[me][to].fetch_add(1, Ordering::Relaxed);
+            let frame = frame_payload(seq, &payload);
+            *fab.outbox[me][to].lock() = frame.clone();
+            self.transmit(to, round, seq, 0, frame);
         }
-        self.fabric.barrier.wait();
-        let received = self.fabric.mailboxes[self.host]
-            .iter()
-            .map(|mb| {
-                let mut msgs = mb.lock();
-                // At most one message per pair per exchange; concatenate
-                // defensively if a sender pushed multiple.
-                match msgs.len() {
-                    0 => Vec::new(),
-                    1 => msgs.pop().unwrap(),
-                    _ => msgs.drain(..).flatten().collect(),
+
+        self.ft_wait()?;
+
+        let mut attempt: u32 = 0;
+        loop {
+            // Drain everything that arrived; accept only the expected
+            // sequence number with a valid checksum.
+            for from in 0..self.num_hosts {
+                if from == me {
+                    continue;
                 }
-            })
-            .collect();
-        // Second barrier: nobody starts the next exchange while others are
-        // still draining this one.
-        self.fabric.barrier.wait();
+                let arrived = std::mem::take(&mut *fab.mailboxes[me][from].lock());
+                if got[from] {
+                    continue;
+                }
+                let want = fab.recv_seq[me][from].load(Ordering::Relaxed);
+                for frame in &arrived {
+                    if let Ok((seq, payload)) = parse_frame(frame) {
+                        if seq == want {
+                            result[from] = payload.to_vec();
+                            got[from] = true;
+                            break;
+                        }
+                    }
+                }
+                if !got[from] {
+                    fab.retx[from][me].store(true, Ordering::Relaxed);
+                }
+            }
+            fab.missing[me].store(!got.iter().all(|&g| g), Ordering::Relaxed);
+            self.ft_wait()?;
+
+            // All missing flags are now published; every host computes the
+            // same verdict from the same snapshot.
+            let missing_hosts: Vec<usize> = (0..self.num_hosts)
+                .filter(|&h| fab.missing[h].load(Ordering::Relaxed))
+                .collect();
+            if missing_hosts.is_empty() {
+                break;
+            }
+            if attempt >= MAX_ATTEMPTS {
+                // Identical on every host: the collective fails as a unit.
+                return Err(CommError::FrameLoss {
+                    hosts: missing_hosts,
+                    attempts: attempt,
+                });
+            }
+            attempt += 1;
+            std::thread::sleep(Duration::from_micros(20 << attempt.min(6)));
+            for requester in 0..self.num_hosts {
+                if fab.retx[me][requester].swap(false, Ordering::Relaxed) {
+                    let frame = fab.outbox[me][requester].lock().clone();
+                    let seq = fab.send_seq[me][requester].load(Ordering::Relaxed) - 1;
+                    self.stats.retransmits.fetch_add(1, Ordering::Relaxed);
+                    self.transmit(requester, round, seq, attempt, frame);
+                }
+            }
+            // Barrier before re-draining: retransmissions are complete, and
+            // no host re-reads flags while others still write them.
+            self.ft_wait()?;
+        }
+
+        for from in 0..self.num_hosts {
+            if from != me {
+                fab.recv_seq[me][from].fetch_add(1, Ordering::Relaxed);
+            }
+        }
         self.add_comm_nanos(t.elapsed().as_nanos() as u64);
-        received
+        Ok(result)
     }
 
     /// All-reduce over one wire value per host: every host receives
     /// `combine` folded over all hosts' values (in host order).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a recoverable [`CrashSignal`] on communication failure
+    /// (see [`HostCtx::try_all_reduce`] for the non-panicking form).
     pub fn all_reduce<T, F>(&self, value: T, combine: F) -> T
+    where
+        T: Wire,
+        F: Fn(T, T) -> T,
+    {
+        let r = self.try_all_reduce(value, combine);
+        self.unwrap_comm(r)
+    }
+
+    /// Failure-aware all-reduce.
+    pub fn try_all_reduce<T, F>(&self, value: T, combine: F) -> Result<T, CommError>
     where
         T: Wire,
         F: Fn(T, T) -> T,
@@ -263,22 +862,30 @@ impl<'a> HostCtx<'a> {
         let outgoing = (0..self.num_hosts)
             .map(|h| if h == self.host { Vec::new() } else { buf.clone() })
             .collect();
-        let received = self.exchange(outgoing);
+        let received = self.try_exchange(outgoing)?;
         let mut acc = value;
         for (h, buf) in received.iter().enumerate() {
             if h == self.host {
                 continue;
             }
-            let vals = decode_slice::<T>(buf);
-            assert_eq!(vals.len(), 1, "all_reduce expects one value per host");
+            if buf.len() != T::SIZE {
+                return Err(CommError::Protocol {
+                    detail: format!(
+                        "all_reduce expected {} bytes from host {h}, got {}",
+                        T::SIZE,
+                        buf.len()
+                    ),
+                });
+            }
+            let v = T::read(buf);
             // Fold in host order relative to our own position.
             acc = if h < self.host {
-                combine(vals[0], acc)
+                combine(v, acc)
             } else {
-                combine(acc, vals[0])
+                combine(acc, v)
             };
         }
-        acc
+        Ok(acc)
     }
 
     /// All-reduce specialized to `u64`.
@@ -294,23 +901,110 @@ impl<'a> HostCtx<'a> {
 
     /// Gathers one wire value from every host; every host receives the full
     /// host-ordered vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a recoverable [`CrashSignal`] on communication failure
+    /// (see [`HostCtx::try_all_gather`] for the non-panicking form).
     pub fn all_gather<T: Wire>(&self, value: T) -> Vec<T> {
+        let r = self.try_all_gather(value);
+        self.unwrap_comm(r)
+    }
+
+    /// Failure-aware all-gather.
+    pub fn try_all_gather<T: Wire>(&self, value: T) -> Result<Vec<T>, CommError> {
         let buf = encode_slice(&[value]);
         let outgoing = (0..self.num_hosts)
             .map(|h| if h == self.host { Vec::new() } else { buf.clone() })
             .collect();
-        let received = self.exchange(outgoing);
-        (0..self.num_hosts)
-            .map(|h| {
-                if h == self.host {
-                    value
-                } else {
-                    let vals = decode_slice::<T>(&received[h]);
-                    assert_eq!(vals.len(), 1, "all_gather expects one value per host");
-                    vals[0]
+        let received = self.try_exchange(outgoing)?;
+        let mut out = Vec::with_capacity(self.num_hosts);
+        for (h, buf) in received.iter().enumerate() {
+            if h == self.host {
+                out.push(value);
+            } else {
+                if buf.len() != T::SIZE {
+                    return Err(CommError::Protocol {
+                        detail: format!(
+                            "all_gather expected {} bytes from host {h}, got {}",
+                            T::SIZE,
+                            buf.len()
+                        ),
+                    });
                 }
-            })
-            .collect()
+                out.push(T::read(buf));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Realigns all live hosts after a recoverable failure and heals the
+    /// fabric: pending frames, delayed frames, retransmission flags, and
+    /// sequence numbers are reset, and the failed barrier is restored.
+    ///
+    /// Must be called by **every** live host (it contains barriers).
+    /// [`HostCtx::run_recovering`] calls it automatically.
+    pub fn recover_align(&self) -> Result<(), CommError> {
+        let fab = self.fabric;
+        let me = self.host;
+        // Phase 1: every live host stops issuing traffic.
+        fab.gate
+            .wait()
+            .map_err(|hosts| CommError::HostFailure { hosts })?;
+        // Phase 2: each host clears its own rows of the fabric state; the
+        // rows are disjoint, and together the hosts cover every cell.
+        for h in 0..self.num_hosts {
+            fab.mailboxes[me][h].lock().clear();
+            fab.delayed[me][h].lock().clear();
+            fab.outbox[me][h].lock().clear();
+            fab.send_seq[me][h].store(0, Ordering::Relaxed);
+            fab.recv_seq[me][h].store(0, Ordering::Relaxed);
+            fab.retx[me][h].store(false, Ordering::Relaxed);
+        }
+        fab.missing[me].store(false, Ordering::Relaxed);
+        fab.round[me].store(0, Ordering::Relaxed);
+        // Phase 3: the last arriver heals the barrier under the gate lock,
+        // before any host is released to use it.
+        fab.gate
+            .wait_then(|| fab.barrier.heal())
+            .map_err(|hosts| CommError::HostFailure { hosts })
+    }
+
+    /// Runs `f`, restarting it after recoverable host failures (injected
+    /// crashes and the communication failures they cause on sibling
+    /// hosts).
+    ///
+    /// All hosts must call this with the same deterministic `f`: after a
+    /// failure, every live host realigns via [`HostCtx::recover_align`]
+    /// and re-executes `f` from the top, so a deterministic `f` reproduces
+    /// the exact fault-free result. (The engine layers round-level
+    /// checkpointing on top of this so it resumes mid-computation instead
+    /// of from scratch.)
+    ///
+    /// # Panics
+    ///
+    /// Propagates non-[`CrashSignal`] panics (real bugs) unchanged, and
+    /// gives up after [`MAX_RECOVERIES`] restarts.
+    pub fn run_recovering<F, R>(&self, mut f: F) -> R
+    where
+        F: FnMut(&HostCtx) -> R,
+    {
+        let mut recoveries = 0;
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| f(self))) {
+                Ok(v) => return v,
+                Err(payload) => {
+                    if recoveries >= MAX_RECOVERIES || !payload.is::<CrashSignal>() {
+                        resume_unwind(payload);
+                    }
+                    recoveries += 1;
+                    if self.recover_align().is_err() {
+                        // A host departed for good; recovery is impossible.
+                        resume_unwind(payload);
+                    }
+                }
+            }
+        }
     }
 
     /// Snapshot of this host's communication counters.
@@ -319,6 +1013,7 @@ impl<'a> HostCtx<'a> {
             messages: self.stats.messages.load(Ordering::Relaxed),
             bytes: self.stats.bytes.load(Ordering::Relaxed),
             comm_nanos: self.stats.comm_nanos.load(Ordering::Relaxed),
+            retransmits: self.stats.retransmits.load(Ordering::Relaxed),
         }
     }
 
@@ -328,6 +1023,7 @@ impl<'a> HostCtx<'a> {
         self.stats.messages.store(0, Ordering::Relaxed);
         self.stats.bytes.store(0, Ordering::Relaxed);
         self.stats.comm_nanos.store(0, Ordering::Relaxed);
+        self.stats.retransmits.store(0, Ordering::Relaxed);
     }
 
     /// Adds externally measured communication time (used by subsystems that
@@ -357,6 +1053,8 @@ impl std::fmt::Debug for HostCtx<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{Fault, FaultKind};
+    use crate::wire::decode_slice;
 
     #[test]
     fn run_returns_results_in_host_order() {
@@ -433,6 +1131,7 @@ mod tests {
         for s in stats {
             assert_eq!(s.messages, 1); // self-send not counted
             assert_eq!(s.bytes, 16);
+            assert_eq!(s.retransmits, 0);
             assert!(s.comm_nanos > 0);
         }
     }
@@ -473,5 +1172,148 @@ mod tests {
             acc.load(Ordering::Relaxed)
         });
         assert_eq!(sums, vec![1000, 1000]);
+    }
+
+    // ----- fault tolerance ------------------------------------------------
+
+    /// The exchange every fault test runs: host h sends h*10+to to host to.
+    fn tagged_exchange(ctx: &HostCtx) -> bool {
+        let outgoing = (0..ctx.num_hosts())
+            .map(|to| encode_slice(&[(ctx.host() * 10 + to) as u64]))
+            .collect();
+        let received = ctx.exchange(outgoing);
+        (0..ctx.num_hosts())
+            .all(|from| decode_slice::<u64>(&received[from]) == vec![(from * 10 + ctx.host()) as u64])
+    }
+
+    #[test]
+    fn panicking_host_does_not_deadlock_siblings() {
+        // Regression test for the barrier-poisoning hazard: with a plain
+        // std barrier, a panicking host left siblings blocked forever.
+        let c = Cluster::new(3);
+        let res = c.try_run(|ctx| {
+            if ctx.host() == 1 {
+                panic!("boom-host-1");
+            }
+            ctx.try_barrier()
+        });
+        for survivor in [0, 2] {
+            match &res[survivor] {
+                Ok(Err(CommError::HostFailure { hosts })) => assert!(hosts.contains(&1)),
+                other => panic!("survivor {survivor} got {other:?}"),
+            }
+        }
+        let err = res[1].as_ref().unwrap_err();
+        assert_eq!(err.host, 1);
+        assert!(err.message.contains("boom-host-1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "host thread panicked")]
+    fn run_panics_on_host_failure() {
+        Cluster::new(2).run(|ctx| {
+            if ctx.host() == 0 {
+                panic!("kaboom");
+            }
+            let _ = ctx.try_barrier();
+        });
+    }
+
+    #[test]
+    fn dropped_frame_is_retransmitted() {
+        let plan = FaultPlan::new().drop_frame(0, 1, 0);
+        let res = Cluster::new(3).run_with_faults(plan, |ctx| {
+            (tagged_exchange(ctx), ctx.stats().retransmits)
+        });
+        assert!(res.iter().all(|r| r.0));
+        assert!(res[0].1 >= 1, "host 0 should have retransmitted to host 1");
+    }
+
+    #[test]
+    fn duplicate_delay_and_corrupt_are_survived() {
+        let plan = FaultPlan::new()
+            .duplicate_frame(2, 0, 0)
+            .delay_frame(1, 2, 0)
+            .corrupt_frame(0, 2, 0, 77);
+        let res = Cluster::new(3).run_with_faults(plan, |ctx| {
+            // Two exchanges: the delayed frame from the first arrives
+            // stale during the second and must be ignored.
+            tagged_exchange(ctx) && tagged_exchange(ctx)
+        });
+        assert!(res.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn random_fault_soup_is_survived() {
+        let plan = FaultPlan::new()
+            .with_seed(7)
+            .drop_rate(0.05)
+            .duplicate_rate(0.05)
+            .corrupt_rate(0.05);
+        let res = Cluster::new(4).run_with_faults(plan, |ctx| {
+            (0..20).all(|_| tagged_exchange(ctx))
+        });
+        assert!(res.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn persistent_loss_fails_identically_on_all_hosts() {
+        // A link that drops every frame (and every retransmit) exhausts the
+        // retry budget; the collective must fail with the same error
+        // everywhere instead of leaving hosts disagreeing.
+        let plan = FaultPlan::new().fault(Fault {
+            kind: FaultKind::DropFrame,
+            from: Some(0),
+            to: Some(1),
+            round: None,
+            times: u32::MAX,
+        });
+        let res = Cluster::new(2).try_run_with_faults(plan, |ctx| {
+            let outgoing = (0..2).map(|_| vec![9u8; 8]).collect();
+            ctx.try_exchange(outgoing)
+        });
+        let expected = CommError::FrameLoss {
+            hosts: vec![1],
+            attempts: MAX_ATTEMPTS,
+        };
+        for r in res {
+            assert_eq!(r.unwrap().unwrap_err(), expected);
+        }
+    }
+
+    #[test]
+    fn injected_crash_recovers_bit_identically() {
+        let work = |ctx: &HostCtx| {
+            let mut acc = 0u64;
+            for round in 1..=3u64 {
+                ctx.set_round(round);
+                acc = acc * 31 + ctx.all_reduce_u64(ctx.host() as u64 + round, |a, b| a + b);
+            }
+            acc
+        };
+        let baseline = Cluster::new(3).run(work);
+        let plan = FaultPlan::new().crash_host(1, 2);
+        let recovered = Cluster::new(3)
+            .run_with_faults(plan, |ctx| ctx.run_recovering(work));
+        assert_eq!(recovered, baseline);
+    }
+
+    #[test]
+    #[should_panic(expected = "host thread panicked")]
+    fn unrecovered_crash_fails_the_run() {
+        let plan = FaultPlan::new().crash_host(0, 0);
+        // No run_recovering: the injected crash surfaces like any panic.
+        Cluster::new(2).run_with_faults(plan, |ctx| ctx.all_reduce_u64(1, |a, b| a + b));
+    }
+
+    #[test]
+    fn set_round_is_per_host() {
+        let c = Cluster::new(2);
+        let rounds = c.run(|ctx| {
+            assert_eq!(ctx.current_round(), 0);
+            ctx.set_round(ctx.host() as u64 + 5);
+            ctx.current_round()
+        });
+        assert_eq!(rounds, vec![5, 6]);
     }
 }

@@ -1,0 +1,377 @@
+//! Deterministic fault injection for the simulated fabric.
+//!
+//! A [`FaultPlan`] describes, ahead of a run, which failures the fabric
+//! should inject: targeted single faults (drop/duplicate/delay/corrupt a
+//! specific sender→receiver frame in a specific round, or crash a host at
+//! a round boundary) and seeded random background fault rates. The fabric
+//! consults the plan on every send and at every barrier, so any failure
+//! scenario is a reproducible unit test: the same plan against the same
+//! program yields the same injected faults.
+//!
+//! Round numbers come from [`crate::HostCtx::set_round`]; algorithms and
+//! the engine publish their BSP round before each round's collectives.
+//! Code that never calls `set_round` runs entirely in round 0, so plans
+//! targeting round 0 (or `any_round`) still apply.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// What a single targeted fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The frame is silently discarded.
+    DropFrame,
+    /// The frame is delivered twice.
+    DuplicateFrame,
+    /// The frame is held back and delivered during the sender's *next*
+    /// exchange (where it arrives stale and is rejected by sequence
+    /// number) — modeling reordering/late delivery.
+    DelayFrame,
+    /// One bit of the frame (header or payload) is flipped in flight.
+    CorruptFrame {
+        /// Bit index to flip, taken modulo the frame's bit length.
+        bit: u32,
+    },
+    /// The host panics (simulated crash) on entry to its next collective.
+    CrashHost,
+}
+
+/// One targeted fault: a kind plus a match condition.
+#[derive(Debug, Clone)]
+pub struct Fault {
+    /// What to do.
+    pub kind: FaultKind,
+    /// Sending host (crashing host for [`FaultKind::CrashHost`]); `None`
+    /// matches any. Plans meant for exact replay should pin this: with
+    /// `None`, which host claims the firing budget first depends on thread
+    /// scheduling.
+    pub from: Option<usize>,
+    /// Receiving host; `None` matches any. Ignored for crashes.
+    pub to: Option<usize>,
+    /// BSP round to fire in; `None` matches any round.
+    pub round: Option<u64>,
+    /// How many times the fault fires before it is spent.
+    pub times: u32,
+}
+
+impl Fault {
+    fn matches(&self, from: usize, to: usize, round: u64) -> bool {
+        self.from.is_none_or(|f| f == from)
+            && self.to.is_none_or(|t| t == to)
+            && self.round.is_none_or(|r| r == round)
+    }
+}
+
+/// A deterministic fault schedule for one cluster run.
+///
+/// Built with the `FaultPlan::drop_frame`-style methods; an empty
+/// (default) plan injects nothing and costs one branch per send.
+///
+/// # Example
+///
+/// ```
+/// use kimbap_comm::FaultPlan;
+///
+/// let plan = FaultPlan::new()
+///     .drop_frame(0, 1, 2)        // drop host 0 -> host 1 in round 2
+///     .corrupt_frame(1, 0, 3, 17) // flip bit 17 of a 1 -> 0 frame in round 3
+///     .crash_host(2, 4);          // crash host 2 entering round 4
+/// assert!(!plan.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    pub(crate) faults: Vec<Fault>,
+    pub(crate) seed: u64,
+    pub(crate) drop_rate: f64,
+    pub(crate) duplicate_rate: f64,
+    pub(crate) corrupt_rate: f64,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+            && self.drop_rate == 0.0
+            && self.duplicate_rate == 0.0
+            && self.corrupt_rate == 0.0
+    }
+
+    /// Adds an arbitrary targeted fault.
+    pub fn fault(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    fn pair_fault(self, kind: FaultKind, from: usize, to: usize, round: u64) -> Self {
+        self.fault(Fault {
+            kind,
+            from: Some(from),
+            to: Some(to),
+            round: Some(round),
+            times: 1,
+        })
+    }
+
+    /// Drops one `from -> to` frame in `round`.
+    pub fn drop_frame(self, from: usize, to: usize, round: u64) -> Self {
+        self.pair_fault(FaultKind::DropFrame, from, to, round)
+    }
+
+    /// Delivers one `from -> to` frame twice in `round`.
+    pub fn duplicate_frame(self, from: usize, to: usize, round: u64) -> Self {
+        self.pair_fault(FaultKind::DuplicateFrame, from, to, round)
+    }
+
+    /// Delays one `from -> to` frame in `round` until the sender's next
+    /// exchange.
+    pub fn delay_frame(self, from: usize, to: usize, round: u64) -> Self {
+        self.pair_fault(FaultKind::DelayFrame, from, to, round)
+    }
+
+    /// Flips bit `bit` (mod frame length) of one `from -> to` frame in
+    /// `round`.
+    pub fn corrupt_frame(self, from: usize, to: usize, round: u64, bit: u32) -> Self {
+        self.pair_fault(FaultKind::CorruptFrame { bit }, from, to, round)
+    }
+
+    /// Crashes `host` when it enters its first collective of `round`.
+    pub fn crash_host(self, host: usize, round: u64) -> Self {
+        self.fault(Fault {
+            kind: FaultKind::CrashHost,
+            from: Some(host),
+            to: None,
+            round: Some(round),
+            times: 1,
+        })
+    }
+
+    /// Seeds the random background faults (irrelevant if all rates are 0).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Drops each frame independently with probability `p`. Retransmits
+    /// draw fresh coins, so `p < 1` converges under bounded retry.
+    pub fn drop_rate(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "rate must be in [0, 1)");
+        self.drop_rate = p;
+        self
+    }
+
+    /// Duplicates each frame independently with probability `p`.
+    pub fn duplicate_rate(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "rate must be in [0, 1)");
+        self.duplicate_rate = p;
+        self
+    }
+
+    /// Flips one pseudorandom bit of each frame independently with
+    /// probability `p`.
+    pub fn corrupt_rate(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "rate must be in [0, 1)");
+        self.corrupt_rate = p;
+        self
+    }
+}
+
+/// What the fabric should do with a frame about to be sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SendAction {
+    Deliver,
+    Drop,
+    Duplicate,
+    Delay,
+}
+
+/// Runtime state of a plan: per-fault firing budgets.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    fired: Vec<AtomicU32>,
+}
+
+/// splitmix64 finalizer: decorrelates the (seed, from, to, seq, attempt)
+/// coordinates into an independent coin per physical transmission.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        let fired = plan.faults.iter().map(|_| AtomicU32::new(0)).collect();
+        FaultState { plan, fired }
+    }
+
+    /// Tries to claim one firing of fault `i`; false once the budget is
+    /// spent.
+    fn claim(&self, i: usize) -> bool {
+        let budget = self.plan.faults[i].times;
+        self.fired[i]
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < budget).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    /// Decides the fate of a frame from `from` to `to`, mutating it in
+    /// place for corruption faults. Self-sends are never faulted.
+    pub(crate) fn on_send(
+        &self,
+        from: usize,
+        to: usize,
+        round: u64,
+        seq: u64,
+        attempt: u32,
+        frame: &mut [u8],
+    ) -> SendAction {
+        if from == to || (self.plan.is_empty()) {
+            return SendAction::Deliver;
+        }
+        // Targeted faults first, in plan order.
+        for (i, fault) in self.plan.faults.iter().enumerate() {
+            if matches!(fault.kind, FaultKind::CrashHost) || !fault.matches(from, to, round) {
+                continue;
+            }
+            if !self.claim(i) {
+                continue;
+            }
+            match fault.kind {
+                FaultKind::DropFrame => return SendAction::Drop,
+                FaultKind::DuplicateFrame => return SendAction::Duplicate,
+                FaultKind::DelayFrame => return SendAction::Delay,
+                FaultKind::CorruptFrame { bit } => {
+                    flip_bit(frame, bit as u64);
+                    return SendAction::Deliver;
+                }
+                FaultKind::CrashHost => unreachable!(),
+            }
+        }
+        // Random background faults: one coin per physical transmission, so
+        // a retransmit (attempt > 0) is not doomed to repeat its fate.
+        let p = self.plan.drop_rate + self.plan.duplicate_rate + self.plan.corrupt_rate;
+        if p > 0.0 {
+            let h = mix(
+                self.plan
+                    .seed
+                    .wrapping_add(mix((from as u64) << 40 | (to as u64) << 20 | attempt as u64))
+                    .wrapping_add(mix(seq.wrapping_mul(0x2545_F491_4F6C_DD1D))),
+            );
+            let r = unit(h);
+            if r < self.plan.drop_rate {
+                return SendAction::Drop;
+            }
+            if r < self.plan.drop_rate + self.plan.duplicate_rate {
+                return SendAction::Duplicate;
+            }
+            if r < p {
+                flip_bit(frame, mix(h));
+                return SendAction::Deliver;
+            }
+        }
+        SendAction::Deliver
+    }
+
+    /// True exactly once when `host` has a pending crash for `round`.
+    pub(crate) fn crash_due(&self, host: usize, round: u64) -> bool {
+        for (i, fault) in self.plan.faults.iter().enumerate() {
+            if matches!(fault.kind, FaultKind::CrashHost)
+                && fault.from.is_none_or(|h| h == host)
+                && fault.round.is_none_or(|r| r == round)
+                && self.claim(i)
+            {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn flip_bit(frame: &mut [u8], bit: u64) {
+    if frame.is_empty() {
+        return;
+    }
+    let bit = (bit % (frame.len() as u64 * 8)) as usize;
+    frame[bit / 8] ^= 1 << (bit % 8);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_always_delivers() {
+        let st = FaultState::new(FaultPlan::new());
+        let mut frame = vec![0u8; 8];
+        for seq in 0..100 {
+            assert_eq!(st.on_send(0, 1, 0, seq, 0, &mut frame), SendAction::Deliver);
+        }
+        assert_eq!(frame, vec![0u8; 8]);
+    }
+
+    #[test]
+    fn targeted_drop_fires_once() {
+        let st = FaultState::new(FaultPlan::new().drop_frame(0, 1, 3));
+        let mut f = vec![0u8; 4];
+        // Wrong round, wrong pair: deliver.
+        assert_eq!(st.on_send(0, 1, 2, 0, 0, &mut f), SendAction::Deliver);
+        assert_eq!(st.on_send(1, 0, 3, 0, 0, &mut f), SendAction::Deliver);
+        // Match: drop, but only the first time.
+        assert_eq!(st.on_send(0, 1, 3, 1, 0, &mut f), SendAction::Drop);
+        assert_eq!(st.on_send(0, 1, 3, 2, 1, &mut f), SendAction::Deliver);
+    }
+
+    #[test]
+    fn corruption_mutates_frame() {
+        let st = FaultState::new(FaultPlan::new().corrupt_frame(0, 1, 0, 9));
+        let mut f = vec![0u8; 4];
+        assert_eq!(st.on_send(0, 1, 0, 0, 0, &mut f), SendAction::Deliver);
+        assert_eq!(f, vec![0, 2, 0, 0]); // bit 9 = byte 1, bit 1
+    }
+
+    #[test]
+    fn self_sends_never_faulted() {
+        let st = FaultState::new(FaultPlan::new().drop_rate(0.999999).with_seed(1));
+        let mut f = vec![0u8; 4];
+        assert_eq!(st.on_send(2, 2, 0, 0, 0, &mut f), SendAction::Deliver);
+    }
+
+    #[test]
+    fn crash_fires_once_at_round() {
+        let st = FaultState::new(FaultPlan::new().crash_host(1, 5));
+        assert!(!st.crash_due(1, 4));
+        assert!(!st.crash_due(0, 5));
+        assert!(st.crash_due(1, 5));
+        assert!(!st.crash_due(1, 5), "crash budget spent");
+    }
+
+    #[test]
+    fn random_rates_are_deterministic_and_attempt_sensitive() {
+        let plan = FaultPlan::new().drop_rate(0.3).with_seed(42);
+        let a = FaultState::new(plan.clone());
+        let b = FaultState::new(plan);
+        let mut f = vec![0u8; 4];
+        let fate_a: Vec<_> = (0..64).map(|s| a.on_send(0, 1, 0, s, 0, &mut f)).collect();
+        let fate_b: Vec<_> = (0..64).map(|s| b.on_send(0, 1, 0, s, 0, &mut f)).collect();
+        assert_eq!(fate_a, fate_b, "same plan, same fates");
+        assert!(fate_a.contains(&SendAction::Drop));
+        assert!(fate_a.contains(&SendAction::Deliver));
+        // A dropped frame's retransmit (attempt 1) is a fresh coin: over
+        // all dropped seqs, at least one retransmit survives.
+        let retries_survive = (0..64)
+            .filter(|&s| fate_a[s as usize] == SendAction::Drop)
+            .any(|s| a.on_send(0, 1, 0, s, 1, &mut f) == SendAction::Deliver);
+        assert!(retries_survive);
+    }
+}

@@ -31,9 +31,11 @@
 //! ```
 
 pub mod cluster;
+pub mod fault;
 pub mod pool;
 pub mod wire;
 
-pub use cluster::{Cluster, HostCtx, HostStats};
+pub use cluster::{Cluster, CommError, CrashSignal, HostCtx, HostError, HostStats};
+pub use fault::{Fault, FaultKind, FaultPlan};
 pub use pool::WorkerPool;
-pub use wire::Wire;
+pub use wire::{FrameError, Wire};

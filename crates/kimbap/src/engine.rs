@@ -8,12 +8,30 @@
 //! exactly the same distributed machinery as the hand-written algorithms
 //! in `kimbap-algos` (whose outputs they are tested to match).
 
-use kimbap_comm::HostCtx;
+use kimbap_comm::{CrashSignal, HostCtx};
 use kimbap_compiler::ir::{BinOp, Expr, NodeIterator, Stmt};
 use kimbap_compiler::transform::{CompiledLoop, CompiledProgram, CompiledTop, RequestPhase};
 use kimbap_dist::{DistGraph, LocalId};
 use kimbap_graph::NodeId;
-use kimbap_npm::{DynReduceOp, NodePropMap, Npm, SumReducer};
+use kimbap_npm::{DynReduceOp, MapSnapshot, NodePropMap, Npm, SumReducer};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Crash recoveries per compiled loop before the failure is propagated.
+const MAX_RECOVERIES: u32 = 8;
+
+/// A round-level checkpoint: everything needed to replay a BSP loop from
+/// its last completed round after a host failure.
+///
+/// Taken on every host at each reduce-sync boundary (end of a round, after
+/// the quiescence check). Master properties and scalar reducers are the
+/// whole durable state: remote caches are re-materialized by the replayed
+/// round's request phase, and pinned mirrors by re-pinning.
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    maps: Vec<MapSnapshot<u64>>,
+    reducers: Vec<u64>,
+    rounds: u64,
+}
 
 /// Per-host output of a program run.
 #[derive(Debug, Clone, Default)]
@@ -139,37 +157,90 @@ impl<'g> Engine<'g> {
         }
     }
 
-    fn exec_loop(&mut self, ctx: &HostCtx, l: &CompiledLoop, repeat: bool) {
-        for m in &l.pinned_maps {
-            self.maps[*m].pin_mirrors(ctx);
+    /// Captures the engine's durable state at a round boundary.
+    fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            maps: self.maps.iter().map(|m| m.snapshot()).collect(),
+            reducers: self.reducers.iter().map(|r| r.local()).collect(),
+            rounds: self.rounds,
         }
+    }
+
+    /// Rewinds the engine to `cp` (after [`HostCtx::recover_align`] has
+    /// healed the fabric).
+    fn restore(&mut self, cp: &Checkpoint) {
+        for (m, s) in self.maps.iter_mut().zip(&cp.maps) {
+            m.restore(s);
+        }
+        for (r, &v) in self.reducers.iter().zip(&cp.reducers) {
+            r.set(v);
+        }
+        self.rounds = cp.rounds;
+    }
+
+    fn exec_loop(&mut self, ctx: &HostCtx, l: &CompiledLoop, repeat: bool) {
+        let mut cp = self.checkpoint();
+        let mut need_pin = true;
+        let mut recoveries = 0u32;
         loop {
-            self.rounds += 1;
-            self.maps[l.quiesce_map].reset_updated();
-
-            for phase in &l.request_phases {
-                self.exec_parfor(ctx, l.iterator, &phase.body);
-                for m in &phase.sync_maps {
-                    self.maps[*m].request_sync(ctx);
+            match catch_unwind(AssertUnwindSafe(|| self.loop_step(ctx, l, repeat, need_pin))) {
+                Ok(done) => {
+                    need_pin = false;
+                    cp = self.checkpoint();
+                    if done {
+                        break;
+                    }
                 }
-            }
-
-            self.exec_parfor(ctx, l.iterator, &l.body);
-
-            for m in &l.reduce_maps {
-                self.maps[*m].reduce_sync(ctx);
-            }
-            for m in &l.broadcast_maps {
-                self.maps[*m].broadcast_sync(ctx);
-            }
-
-            if !repeat || !self.maps[l.quiesce_map].is_updated(ctx) {
-                break;
+                Err(payload) => {
+                    // Only recoverable host failures are handled; real bugs
+                    // (assertion failures etc.) propagate unchanged, as does
+                    // anything beyond the recovery budget.
+                    if recoveries >= MAX_RECOVERIES || !payload.is::<CrashSignal>() {
+                        resume_unwind(payload);
+                    }
+                    recoveries += 1;
+                    if ctx.recover_align().is_err() {
+                        resume_unwind(payload);
+                    }
+                    self.restore(&cp);
+                    need_pin = true;
+                }
             }
         }
         for m in &l.pinned_maps {
             self.maps[*m].unpin_mirrors();
         }
+    }
+
+    /// Executes one BSP round of `l` (pinning mirrors first on the initial
+    /// round and after a recovery); returns `true` when the loop is done.
+    fn loop_step(&mut self, ctx: &HostCtx, l: &CompiledLoop, repeat: bool, pin: bool) -> bool {
+        if pin {
+            for m in &l.pinned_maps {
+                self.maps[*m].pin_mirrors(ctx);
+            }
+        }
+        self.rounds += 1;
+        ctx.set_round(self.rounds);
+        self.maps[l.quiesce_map].reset_updated();
+
+        for phase in &l.request_phases {
+            self.exec_parfor(ctx, l.iterator, &phase.body);
+            for m in &phase.sync_maps {
+                self.maps[*m].request_sync(ctx);
+            }
+        }
+
+        self.exec_parfor(ctx, l.iterator, &l.body);
+
+        for m in &l.reduce_maps {
+            self.maps[*m].reduce_sync(ctx);
+        }
+        for m in &l.broadcast_maps {
+            self.maps[*m].broadcast_sync(ctx);
+        }
+
+        !repeat || !self.maps[l.quiesce_map].is_updated(ctx)
     }
 
     fn exec_parfor(&self, ctx: &HostCtx, iterator: NodeIterator, body: &[Stmt]) {

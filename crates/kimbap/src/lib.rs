@@ -38,7 +38,7 @@ pub mod engine;
 
 /// One-stop imports for applications built on Kimbap.
 pub mod prelude {
-    pub use kimbap_comm::{Cluster, HostCtx, HostStats};
+    pub use kimbap_comm::{Cluster, CommError, FaultPlan, HostCtx, HostStats};
     pub use kimbap_dist::{assemble_dist_graph, partition, DistGraph, Policy};
     pub use kimbap_graph::{gen, Graph, GraphBuilder, GraphStats, NodeId, Weight};
     pub use kimbap_npm::{

@@ -1,0 +1,217 @@
+//! End-to-end fault injection: whole algorithms run under seeded fault
+//! plans and must produce output bit-identical to a fault-free run.
+//!
+//! Three recovery mechanisms are exercised:
+//! * frame-level faults (drop/duplicate/delay/corrupt) survived
+//!   transparently by the retransmitting exchange;
+//! * host crashes survived by full replay (`HostCtx::run_recovering`,
+//!   used by the hand-written algorithms);
+//! * host crashes survived by round-level checkpoint replay (the engine's
+//!   recovery path for compiled plans).
+
+use kimbap::engine::Engine;
+use kimbap_algos::{self as algos, cc::cc_lp, merge_master_values, NpmBuilder};
+use kimbap_comm::{Cluster, FaultPlan};
+use kimbap_compiler::{compile, programs, OptLevel};
+use kimbap_dist::{partition, Policy};
+use kimbap_graph::gen;
+
+const HOSTS: usize = 3;
+
+/// Runs cc_lp on the cluster under `plan` and returns the merged labels.
+fn cc_lp_labels(g: &kimbap_graph::Graph, plan: FaultPlan, recovering: bool) -> Vec<u64> {
+    let parts = partition(g, Policy::EdgeCutBlocked, HOSTS);
+    let b = NpmBuilder::default();
+    let per_host = Cluster::with_threads(HOSTS, 2).run_with_faults(plan, |ctx| {
+        if recovering {
+            ctx.run_recovering(|ctx| cc_lp(&parts[ctx.host()], ctx, &b))
+        } else {
+            cc_lp(&parts[ctx.host()], ctx, &b)
+        }
+    });
+    merge_master_values(g.num_nodes(), per_host)
+}
+
+/// Runs louvain under `plan` (always inside `run_recovering`) and returns
+/// (composed labels, modularity bits).
+fn louvain_result(g: &kimbap_graph::Graph, plan: FaultPlan) -> (Vec<u32>, u64) {
+    let parts = partition(g, Policy::EdgeCutBlocked, HOSTS);
+    let b = NpmBuilder::default();
+    let cfg = algos::LouvainConfig::default();
+    let results = Cluster::with_threads(HOSTS, 2).run_with_faults(plan, |ctx| {
+        ctx.run_recovering(|ctx| algos::louvain(&parts[ctx.host()], ctx, &b, &cfg))
+    });
+    let modularity = results[0].modularity;
+    let labels = algos::compose_labels(g.num_nodes(), &results);
+    (labels, modularity.to_bits())
+}
+
+#[test]
+fn cc_lp_survives_targeted_frame_faults() {
+    let g = gen::rmat(7, 4, 31);
+    let baseline = cc_lp_labels(&g, FaultPlan::new(), false);
+    // One of each frame fault, spread over early rounds and host pairs.
+    let plan = FaultPlan::new()
+        .drop_frame(0, 1, 1)
+        .duplicate_frame(2, 0, 1)
+        .delay_frame(1, 2, 2)
+        .corrupt_frame(2, 1, 2, 123);
+    let faulted = cc_lp_labels(&g, plan, false);
+    assert_eq!(faulted, baseline);
+}
+
+#[test]
+fn cc_lp_reports_retransmits_under_drops() {
+    let g = gen::grid_road(6, 6, 3);
+    let parts = partition(&g, Policy::EdgeCutBlocked, HOSTS);
+    let b = NpmBuilder::default();
+    let plan = FaultPlan::new().drop_frame(0, 1, 1).corrupt_frame(1, 0, 1, 9);
+    let retx = Cluster::new(HOSTS).run_with_faults(plan, |ctx| {
+        cc_lp(&parts[ctx.host()], ctx, &b);
+        ctx.stats().retransmits
+    });
+    assert!(
+        retx.iter().sum::<u64>() >= 2,
+        "dropped and corrupted frames must be retransmitted, got {retx:?}"
+    );
+}
+
+#[test]
+fn cc_lp_survives_random_fault_soup() {
+    let g = gen::rmat(6, 4, 9);
+    let baseline = cc_lp_labels(&g, FaultPlan::new(), false);
+    for seed in [1u64, 42, 1337] {
+        let plan = FaultPlan::new()
+            .with_seed(seed)
+            .drop_rate(0.03)
+            .duplicate_rate(0.03)
+            .corrupt_rate(0.03);
+        assert_eq!(
+            cc_lp_labels(&g, plan, false),
+            baseline,
+            "seed {seed} diverged"
+        );
+    }
+}
+
+#[test]
+fn cc_lp_recovers_from_mid_run_crash() {
+    let g = gen::rmat(7, 4, 31);
+    let baseline = cc_lp_labels(&g, FaultPlan::new(), false);
+    // Host 1 crashes entering round 2; all hosts replay from the top.
+    let plan = FaultPlan::new().crash_host(1, 2);
+    let recovered = cc_lp_labels(&g, plan, true);
+    assert_eq!(recovered, baseline);
+}
+
+#[test]
+fn engine_checkpoint_replay_matches_fault_free() {
+    // The compiled cc_sv plan under a mid-run host crash: the engine
+    // checkpoints master properties and scalar reducers at every round
+    // boundary, so the crashed round replays from the checkpoint instead
+    // of restarting the program.
+    let g = gen::rmat(7, 4, 31);
+    let plan = compile(&programs::cc_sv(), OptLevel::Full);
+    let parts = partition(&g, Policy::EdgeCutBlocked, HOSTS);
+    let run = |faults: FaultPlan| {
+        let outs = Cluster::with_threads(HOSTS, 2).run_with_faults(faults, |ctx| {
+            Engine::new(&parts[ctx.host()], ctx, &plan).run(ctx)
+        });
+        let labels = merge_master_values(
+            g.num_nodes(),
+            outs.iter().map(|o| o.map_values[0].clone()).collect(),
+        );
+        (labels, outs[0].rounds)
+    };
+    let (baseline, rounds) = run(FaultPlan::new());
+    assert!(rounds >= 3, "need a multi-round run to crash mid-way");
+    assert_eq!(baseline, kimbap_algos::refcheck::connected_components(&g));
+
+    for crash_round in [2, 3] {
+        let (labels, replayed_rounds) = run(FaultPlan::new().crash_host(1, crash_round));
+        assert_eq!(labels, baseline, "crash at round {crash_round} diverged");
+        // Replayed rounds are not double-counted.
+        assert_eq!(replayed_rounds, rounds);
+    }
+}
+
+#[test]
+fn engine_recovers_from_crash_plus_frame_faults() {
+    let g = gen::grid_road(7, 7, 3);
+    let plan = compile(&programs::cc_lp(), OptLevel::Full);
+    let parts = partition(&g, Policy::EdgeCutBlocked, HOSTS);
+    let run = |faults: FaultPlan| {
+        let outs = Cluster::new(HOSTS).run_with_faults(faults, |ctx| {
+            Engine::new(&parts[ctx.host()], ctx, &plan).run(ctx)
+        });
+        merge_master_values(
+            g.num_nodes(),
+            outs.into_iter().map(|o| o.map_values[0].clone()).collect(),
+        )
+    };
+    let baseline = run(FaultPlan::new());
+    let faults = FaultPlan::new()
+        .drop_frame(0, 2, 1)
+        .corrupt_frame(2, 0, 1, 321)
+        .crash_host(2, 2)
+        .with_seed(5)
+        .drop_rate(0.02);
+    assert_eq!(run(faults), baseline);
+}
+
+#[test]
+fn louvain_recovers_from_mid_run_crash() {
+    let g = gen::rmat(6, 6, 4);
+    let baseline = louvain_result(&g, FaultPlan::new());
+    let plan = FaultPlan::new().crash_host(0, 3);
+    let recovered = louvain_result(&g, plan);
+    assert_eq!(recovered.0, baseline.0, "community labels diverged");
+    assert_eq!(recovered.1, baseline.1, "modularity diverged");
+}
+
+#[test]
+fn louvain_survives_frame_faults() {
+    let g = gen::rmat(6, 6, 4);
+    let baseline = louvain_result(&g, FaultPlan::new());
+    let plan = FaultPlan::new()
+        .drop_frame(1, 0, 1)
+        .duplicate_frame(0, 2, 2)
+        .with_seed(11)
+        .corrupt_rate(0.02);
+    assert_eq!(louvain_result(&g, plan), baseline);
+}
+
+/// The fixed-seed fault matrix run by scripts/ci.sh: three plans (drops,
+/// corruption, mid-run crash) x two algorithms (cc, louvain).
+#[test]
+fn fault_matrix_smoke() {
+    let g = gen::rmat(6, 4, 9);
+    let plans = || {
+        [
+            FaultPlan::new().drop_frame(0, 1, 1).with_seed(1).drop_rate(0.02),
+            FaultPlan::new()
+                .corrupt_frame(1, 2, 1, 55)
+                .with_seed(2)
+                .corrupt_rate(0.02),
+            FaultPlan::new().crash_host(1, 2),
+        ]
+    };
+
+    let cc_baseline = cc_lp_labels(&g, FaultPlan::new(), true);
+    for (i, plan) in plans().into_iter().enumerate() {
+        assert_eq!(
+            cc_lp_labels(&g, plan, true),
+            cc_baseline,
+            "cc diverged under plan {i}"
+        );
+    }
+
+    let louvain_baseline = louvain_result(&g, FaultPlan::new());
+    for (i, plan) in plans().into_iter().enumerate() {
+        assert_eq!(
+            louvain_result(&g, plan),
+            louvain_baseline,
+            "louvain diverged under plan {i}"
+        );
+    }
+}

@@ -173,6 +173,21 @@ pub trait NodePropMap<T: PropValue>: Send + Sync {
     fn is_updated(&self, ctx: &HostCtx) -> bool;
 }
 
+/// A copy of a map's canonical (master) state, taken by [`Npm::snapshot`]
+/// and reapplied by [`Npm::restore`] — the per-map payload of the engine's
+/// round-level checkpoints.
+///
+/// Only canonical values are captured: caches, pending partials, and
+/// request sets are transient within a BSP round, and a checkpoint is only
+/// taken at round boundaries where they are empty or reconstructible.
+#[derive(Debug, Clone)]
+pub enum MapSnapshot<T> {
+    /// GAR backend: the dense master-value vector.
+    Dense(Vec<T>),
+    /// Non-GAR backends: the sharded canonical hash maps.
+    Sharded(Vec<HashMap<NodeId, T>>),
+}
+
 /// Canonical (master) property storage.
 enum Canonical<T> {
     /// GAR: dense vector indexed by master offset + per-master update bits.
@@ -549,6 +564,75 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
         let pairs = self.fetch_keys(ctx, keys_by_owner);
         // Residents replace the whole cache (ad-hoc requests are stale now).
         self.merge_cache(pairs, false);
+    }
+
+    /// Captures this host's canonical (master) values for checkpointing.
+    ///
+    /// Call at a BSP round boundary (after `reduce_sync`): the snapshot
+    /// deliberately excludes the remote cache, pending partials, buffered
+    /// `Set()`s, and the request set, which are all empty or
+    /// reconstructible there.
+    pub fn snapshot(&self) -> MapSnapshot<T> {
+        match &self.canonical {
+            Canonical::Dense { vals, .. } => MapSnapshot::Dense(vals.clone()),
+            Canonical::Sharded { shards } => {
+                MapSnapshot::Sharded(shards.iter().map(|s| s.lock().clone()).collect())
+            }
+        }
+    }
+
+    /// Rewinds this host's map to a [`Npm::snapshot`]: canonical values are
+    /// reapplied and every transient (cache, partials, requests, buffered
+    /// `Set()`s, update flags, pin state) is reset as if the map had just
+    /// reached that round boundary.
+    ///
+    /// Mirrors are dropped: callers that had mirrors pinned must call
+    /// `pin_mirrors` again (the engine's recovery path does), which
+    /// re-materializes them from the restored canonical values. For the
+    /// non-partition-aware variants the always-resident cache is reset to
+    /// identity and likewise refreshed by the next `pin_mirrors` /
+    /// `broadcast_sync`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot came from a map with a different backend
+    /// [`Variant`] or node space.
+    pub fn restore(&mut self, snap: &MapSnapshot<T>) {
+        match (&mut self.canonical, snap) {
+            (Canonical::Dense { vals, updated }, MapSnapshot::Dense(saved)) => {
+                assert_eq!(vals.len(), saved.len(), "snapshot from a different map");
+                vals.copy_from_slice(saved);
+                for u in updated.iter_mut() {
+                    *u.get_mut() = false;
+                }
+            }
+            (Canonical::Sharded { shards }, MapSnapshot::Sharded(saved)) => {
+                assert_eq!(shards.len(), saved.len(), "snapshot from a different map");
+                for (shard, s) in shards.iter_mut().zip(saved) {
+                    *shard.get_mut() = s.clone();
+                }
+            }
+            _ => panic!("snapshot taken from a different backend variant"),
+        }
+        let auto_pinned = !self.variant.partition_aware();
+        if auto_pinned {
+            self.cache_keys = self.pin_set.clone();
+            self.cache_vals = vec![self.op.identity(); self.pin_set.len()];
+        } else {
+            self.cache_keys.clear();
+            self.cache_vals.clear();
+        }
+        self.requests.clear();
+        for m in self.tls.iter_mut() {
+            m.get_mut().clear();
+        }
+        for m in self.shared.iter_mut() {
+            m.get_mut().clear();
+        }
+        self.pending_sets.get_mut().clear();
+        self.pinned = auto_pinned;
+        self.broadcast_all = false;
+        self.updated.store(false, Ordering::Relaxed);
     }
 
     /// Drains thread partials and returns combined, disjoint maps
@@ -1220,6 +1304,35 @@ mod tests {
             npm.read_stats().requested_keys
         });
         assert!(out.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_canonical_state() {
+        for variant in [Variant::SgrCfGar, Variant::SgrCf, Variant::SgrOnly] {
+            let out = with_cluster(3, 2, Policy::EdgeCutBlocked, move |ctx, dg| {
+                let mut npm: Npm<u64, Min> = Npm::with_variant(dg, ctx, Min, variant);
+                npm.init_masters(&|g| g as u64 + 50);
+                let snap = npm.snapshot();
+                // Diverge: reductions, requests, and a pin all mutate state.
+                npm.reduce(0, 4, 1);
+                npm.reduce_sync(ctx);
+                npm.pin_mirrors(ctx);
+                npm.restore(&snap);
+                npm.pin_mirrors(ctx); // recovery path: re-materialize mirrors
+                let ok_values = dg
+                    .local_nodes()
+                    .map(|l| dg.local_to_global(l))
+                    .all(|g| npm.read(g) == g as u64 + 50);
+                // The restored map must behave identically going forward.
+                npm.reset_updated();
+                npm.reduce(0, 4, 1);
+                npm.reduce_sync(ctx);
+                npm.request(4);
+                npm.request_sync(ctx);
+                ok_values && npm.read(4) == 1
+            });
+            assert!(out.iter().all(|&b| b), "variant {variant:?} failed");
+        }
     }
 
     #[test]

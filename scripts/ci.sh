@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build, full test suite, lints, and the fixed-seed
+# fault-injection matrix (3 plans x 2 algorithms; see
+# crates/kimbap/tests/fault_injection.rs::fault_matrix_smoke).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> fault-matrix smoke (fixed seeds)"
+cargo test --release -q -p kimbap --test fault_injection fault_matrix_smoke
+
+echo "==> CI green"

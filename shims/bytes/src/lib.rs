@@ -1,0 +1,5 @@
+//! Offline stub for the `bytes` crate (see `shims/README.md`).
+//!
+//! `kimbap-comm` declares this dependency but does not use it; the wire
+//! format is hand-rolled over `Vec<u8>`. The stub exists only so the
+//! manifest resolves without registry access.

@@ -1,0 +1,138 @@
+//! Offline shim for the `criterion` crate (see `shims/README.md`).
+//!
+//! Implements the subset this workspace's benches use: benchmark groups,
+//! `iter` / `iter_batched` / `iter_custom`, and the `criterion_group!` /
+//! `criterion_main!` macros. Instead of criterion's statistical sampling
+//! it runs a small fixed number of iterations and prints mean ns/iter —
+//! enough to smoke-run every bench target and eyeball relative costs, not
+//! to publish numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Iterations per measurement. Small: the shim is a smoke runner.
+const ITERS: u64 = 10;
+
+/// The benchmark driver handle passed to each bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Mirrors `Criterion::configure_from_args`; the shim has no CLI.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _c: self }
+    }
+}
+
+/// A named collection of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_iter = (b.elapsed.as_nanos() as u64).checked_div(b.iters).unwrap_or(0);
+        println!("  {id}: {per_iter} ns/iter ({} iters)", b.iters);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// How `iter_batched` amortizes setup; the shim sets up per iteration
+/// regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timer handle given to the measured closure.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += t.elapsed();
+        self.iters += ITERS;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..ITERS {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += t.elapsed();
+        }
+        self.iters += ITERS;
+    }
+
+    /// Lets `routine` time itself: it receives an iteration count and
+    /// returns the total elapsed time for that many iterations.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        self.elapsed += routine(ITERS);
+        self.iters += ITERS;
+    }
+}
+
+/// Bundles bench functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,94 @@
+//! Offline shim for the `crossbeam` crate (see `shims/README.md`).
+//!
+//! Provides `channel::{bounded, Sender, Receiver}` over
+//! `std::sync::mpsc::sync_channel`. The std receiver is `!Sync`, so the
+//! shim wraps it in a mutex; this workspace only ever receives from one
+//! thread at a time per receiver, so the lock is uncontended.
+
+/// Multi-producer bounded channels.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::Mutex;
+
+    /// Error returned when the receiving side has disconnected.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned when the sending side has disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of a bounded channel. Cloneable.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is accepted (rendezvous when the
+        /// capacity is zero) or the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: Mutex<mpsc::Receiver<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let rx = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates a bounded channel of the given capacity. Capacity zero is a
+    /// rendezvous channel: each send blocks until a receiver takes it.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Mutex::new(rx),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn rendezvous_roundtrip() {
+        let (tx, rx) = channel::bounded::<u32>(0);
+        let t = std::thread::spawn(move || tx.send(7));
+        assert_eq!(rx.recv(), Ok(7));
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn recv_errors_after_senders_drop() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(rx.recv().is_err());
+    }
+}
