@@ -11,7 +11,7 @@
 use kimbap_algos as algos;
 use kimbap_algos::{LouvainConfig, NpmBuilder};
 use kimbap_baselines::{mckv::McBuilder, vite};
-use kimbap_bench::{print_row, print_title, run_timed, threads_per_host, Inputs};
+use kimbap_bench::{json, print_row, print_title, run_timed, threads_per_host, Inputs};
 use kimbap_dist::{partition, Policy};
 use kimbap_graph::Graph;
 use kimbap_npm::Variant;
@@ -22,6 +22,12 @@ fn fmt(secs: f64) -> String {
 
 fn skip_mc() -> bool {
     std::env::var("KIMBAP_SKIP_MC").is_ok()
+}
+
+/// Smoke mode (`KIMBAP_BENCH_SMOKE`): one tiny graph, one app, one host
+/// count — just enough to prove the bench runs and emits JSON records.
+fn smoke() -> bool {
+    std::env::var("KIMBAP_BENCH_SMOKE").is_ok()
 }
 
 fn bench(name: &str, app: &str, g: &Graph, hosts: usize) {
@@ -46,11 +52,14 @@ fn bench(name: &str, app: &str, g: &Graph, hosts: usize) {
         ]);
     };
 
+    let case = format!("{name}/{app}");
+
     // Vite (LV only; it is a Louvain implementation).
     if app == "LV" {
         let vcfg = vite::ViteConfig::default();
         let (_, s) = run_timed(&ec, threads, |dg, ctx| vite::louvain(dg, ctx, &vcfg));
         row("vite", s.secs, 0.0, 0.0, true);
+        json::record("fig11_runtime_variants", &case, "vite", hosts, &s);
     }
 
     // MC.
@@ -65,13 +74,14 @@ fn bench(name: &str, app: &str, g: &Graph, hosts: usize) {
             }
         });
         row("MC", s.secs, 0.0, 0.0, true);
+        json::record("fig11_runtime_variants", &case, "mc", hosts, &s);
     }
 
     // The three Kimbap runtime variants.
-    for (label, variant) in [
-        ("SGR-only", Variant::SgrOnly),
-        ("SGR+CF", Variant::SgrCf),
-        ("SGR+CF+GAR", Variant::SgrCfGar),
+    for (label, system, variant) in [
+        ("SGR-only", "sgr_only", Variant::SgrOnly),
+        ("SGR+CF", "sgr_cf", Variant::SgrCf),
+        ("SGR+CF+GAR", "sgr_cf_gar", Variant::SgrCfGar),
     ] {
         let b = NpmBuilder::new(variant);
         let (_, s) = run_timed(&ec, threads, |dg, ctx| match app {
@@ -83,6 +93,7 @@ fn bench(name: &str, app: &str, g: &Graph, hosts: usize) {
             }
         });
         row(label, s.secs, s.comp_secs(), s.comm_secs, false);
+        json::record("fig11_runtime_variants", &case, system, hosts, &s);
     }
 }
 
@@ -102,6 +113,11 @@ fn main() {
         "comm".into(),
     ]);
     let road = Inputs::road();
+    if smoke() {
+        // CI smoke: prove the harness runs end to end and emits records.
+        bench("road", "CC-SV", &road, hosts_list.iter().copied().find(|&h| h >= 2).unwrap_or(2));
+        return;
+    }
     let social = Inputs::social();
     for &hosts in &hosts_list {
         if hosts < 2 {

@@ -4,6 +4,7 @@
 //! shared sharded-lock map, and the request-dedup bitset vs a hash set.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use kimbap_bench::json;
 use kimbap_comm::Cluster;
 use kimbap_dist::{partition, Policy};
 use kimbap_graph::gen;
@@ -130,6 +131,92 @@ fn parking_lot_mutex_set() -> parking_lot::Mutex<HashSet<usize>> {
     parking_lot::Mutex::new(HashSet::new())
 }
 
+/// Reduce-compute hot path of the default (SGR+CF+GAR) backend: per-call
+/// cost of `Npm::reduce` on a hub-heavy workload mixing owned keys (the
+/// dense local range) and remote keys. This is the bench the perf
+/// trajectory in `BENCH_*.json` tracks for the CF buffer rebuild.
+fn bench_reduce_compute_gar(c: &mut Criterion) {
+    let g = gen::rmat(10, 8, 3);
+    let hosts = 2;
+    let parts = partition(&g, Policy::EdgeCutBlocked, hosts);
+    let mut group = c.benchmark_group("reduce_compute");
+    group.sample_size(10);
+    group.bench_function("sgr_cf_gar", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let parts = &parts;
+                let times = Cluster::with_threads(hosts, 4).run(|ctx| {
+                    let dg = &parts[ctx.host()];
+                    let npm: Npm<u64, Sum> =
+                        Npm::with_variant(dg, ctx, Sum, Variant::SgrCfGar);
+                    let n = dg.num_global_nodes() as u32;
+                    let t = Instant::now();
+                    ctx.par_for(0..400_000, |tid, range| {
+                        for i in range {
+                            // 90% of reduces hit 8 hub keys; the rest
+                            // scatter across the whole (owned + remote)
+                            // key space.
+                            let key =
+                                if i % 10 != 0 { (i % 8) as u32 } else { (i as u32 * 7919) % n };
+                            npm.reduce(tid, key, 1);
+                        }
+                    });
+                    t.elapsed()
+                });
+                total += times.into_iter().max().unwrap();
+            }
+            json::record_micro(
+                "micro_npm",
+                "reduce_compute/sgr_cf_gar",
+                total.as_nanos() as f64 / iters as f64,
+            );
+            total
+        })
+    });
+    group.finish();
+}
+
+/// Materialized-mirror reads under GAR: per-call cost of `Npm::read` for a
+/// pinned mirror (served by the remote cache). The second bench the perf
+/// trajectory in `BENCH_*.json` tracks.
+fn bench_mirror_reads(c: &mut Criterion) {
+    let g = gen::rmat(10, 8, 5);
+    let hosts = 4;
+    let parts = partition(&g, Policy::EdgeCutBlocked, hosts);
+    let mut group = c.benchmark_group("mirror_reads");
+    group.sample_size(10);
+    group.bench_function("sgr_cf_gar_pinned", |b| {
+        b.iter_custom(|iters| {
+            let parts = &parts;
+            let times = Cluster::with_threads(hosts, 2).run(|ctx| {
+                let dg = &parts[ctx.host()];
+                let mut npm: Npm<u64, Min> = Npm::new(dg, ctx, Min);
+                npm.init_masters(&|g| g as u64);
+                npm.pin_mirrors(ctx);
+                let mirrors = dg.mirror_globals();
+                let t = Instant::now();
+                let mut acc = 0u64;
+                for _ in 0..iters {
+                    for &m in mirrors {
+                        acc = acc.wrapping_add(npm.read(m));
+                    }
+                }
+                black_box(acc);
+                t.elapsed()
+            });
+            let total = times.into_iter().max().unwrap();
+            json::record_micro(
+                "micro_npm",
+                "mirror_reads/sgr_cf_gar_pinned",
+                total.as_nanos() as f64 / iters as f64,
+            );
+            total
+        })
+    });
+    group.finish();
+}
+
 /// End-to-end sync cost of one BSP reduce round at increasing host counts.
 fn bench_reduce_sync_round(c: &mut Criterion) {
     let g = gen::rmat(10, 8, 5);
@@ -170,6 +257,8 @@ criterion_group!(
     bench_read_layouts,
     bench_reduce_contention,
     bench_request_dedup,
+    bench_reduce_compute_gar,
+    bench_mirror_reads,
     bench_reduce_sync_round
 );
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 use kimbap_algos as algos;
 use kimbap_algos::{LouvainConfig, NpmBuilder};
 use kimbap_baselines::galois;
-use kimbap_bench::{print_row, print_title, run_timed, threads_per_host, Inputs};
+use kimbap_bench::{json, print_row, print_title, run_timed, threads_per_host, Inputs, RunStats};
 use kimbap_dist::{partition, Policy};
 use kimbap_graph::Graph;
 use std::time::Instant;
@@ -39,14 +39,17 @@ fn bench_graph(name: &str, g: &Graph, cluster_hosts: usize) {
     let one_w = partition(&weighted, Policy::CartesianVertexCut, 1);
     let many_w = partition(&weighted, Policy::CartesianVertexCut, cluster_hosts);
 
-    let row = |app: &str, ga: String, k1: f64, kn: f64| {
+    let row = |app: &str, ga: String, k1: &RunStats, kn: &RunStats| {
         print_row(&[
             app.into(),
             name.into(),
             ga,
-            fmt(k1),
-            fmt(kn),
+            fmt(k1.secs),
+            fmt(kn.secs),
         ]);
+        let case = format!("{name}/{app}");
+        json::record("table3_single_host", &case, "kimbap", 1, k1);
+        json::record("table3_single_host", &case, "kimbap", cluster_hosts, kn);
     };
 
     // LV.
@@ -55,7 +58,7 @@ fn bench_graph(name: &str, g: &Graph, cluster_hosts: usize) {
     });
     let (_, k1) = run_timed(&one_ec, threads, |dg, ctx| algos::louvain(dg, ctx, &b, &cfg));
     let (_, kn) = run_timed(&many_ec, threads, |dg, ctx| algos::louvain(dg, ctx, &b, &cfg));
-    row("LV", ga, k1.secs, kn.secs);
+    row("LV", ga, &k1, &kn);
 
     // LD.
     let ga = galois_time(|| {
@@ -63,7 +66,7 @@ fn bench_graph(name: &str, g: &Graph, cluster_hosts: usize) {
     });
     let (_, k1) = run_timed(&one_ec, threads, |dg, ctx| algos::leiden(dg, ctx, &b, &cfg));
     let (_, kn) = run_timed(&many_ec, threads, |dg, ctx| algos::leiden(dg, ctx, &b, &cfg));
-    row("LD", ga, k1.secs, kn.secs);
+    row("LD", ga, &k1, &kn);
 
     // MSF.
     let ga = galois_time(|| {
@@ -71,7 +74,7 @@ fn bench_graph(name: &str, g: &Graph, cluster_hosts: usize) {
     });
     let (_, k1) = run_timed(&one_w, threads, |dg, ctx| algos::msf(dg, ctx, &b));
     let (_, kn) = run_timed(&many_w, threads, |dg, ctx| algos::msf(dg, ctx, &b));
-    row("MSF", ga, k1.secs, kn.secs);
+    row("MSF", ga, &k1, &kn);
 
     // CC-LP.
     let ga = galois_time(|| {
@@ -79,7 +82,7 @@ fn bench_graph(name: &str, g: &Graph, cluster_hosts: usize) {
     });
     let (_, k1) = run_timed(&one_cvc, threads, |dg, ctx| algos::cc::cc_lp(dg, ctx, &b));
     let (_, kn) = run_timed(&many_cvc, threads, |dg, ctx| algos::cc::cc_lp(dg, ctx, &b));
-    row("CC-LP", ga, k1.secs, kn.secs);
+    row("CC-LP", ga, &k1, &kn);
 
     // CC-SV.
     let ga = galois_time(|| {
@@ -87,7 +90,7 @@ fn bench_graph(name: &str, g: &Graph, cluster_hosts: usize) {
     });
     let (_, k1) = run_timed(&one_cvc, threads, |dg, ctx| algos::cc::cc_sv(dg, ctx, &b));
     let (_, kn) = run_timed(&many_cvc, threads, |dg, ctx| algos::cc::cc_sv(dg, ctx, &b));
-    row("CC-SV", ga, k1.secs, kn.secs);
+    row("CC-SV", ga, &k1, &kn);
 
     // MIS.
     let ga = galois_time(|| {
@@ -95,7 +98,7 @@ fn bench_graph(name: &str, g: &Graph, cluster_hosts: usize) {
     });
     let (_, k1) = run_timed(&one_cvc, threads, |dg, ctx| algos::mis(dg, ctx, &b));
     let (_, kn) = run_timed(&many_cvc, threads, |dg, ctx| algos::mis(dg, ctx, &b));
-    row("MIS", ga, k1.secs, kn.secs);
+    row("MIS", ga, &k1, &kn);
 }
 
 fn main() {

@@ -5,10 +5,12 @@ use kimbap_dist::DistGraph;
 use std::time::Instant;
 
 /// One measured run: wall-clock split into computation and communication
-/// (the stacked bars of Figs. 11 and 12), plus traffic counters.
+/// (the stacked bars of Figs. 11 and 12), plus traffic counters and the
+/// per-phase breakdown engines report through `HostCtx::add_phase_nanos`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunStats {
-    /// Total wall-clock seconds.
+    /// Total wall-clock seconds (max over hosts, measured inside the SPMD
+    /// closure — cluster spawn/teardown is excluded).
     pub secs: f64,
     /// Seconds inside communication calls (max over hosts).
     pub comm_secs: f64,
@@ -16,6 +18,15 @@ pub struct RunStats {
     pub messages: u64,
     /// Payload bytes sent between hosts (sum).
     pub bytes: u64,
+    /// Seconds in the request-compute phase (max over hosts; zero unless
+    /// the workload reports phases).
+    pub request_compute_secs: f64,
+    /// Seconds in request-sync collectives (max over hosts).
+    pub request_sync_secs: f64,
+    /// Seconds in the reduce-compute phase (max over hosts).
+    pub reduce_compute_secs: f64,
+    /// Seconds in reduce-sync/broadcast-sync collectives (max over hosts).
+    pub reduce_sync_secs: f64,
 }
 
 impl RunStats {
@@ -26,27 +37,37 @@ impl RunStats {
 }
 
 /// Runs `f` SPMD over the pre-partitioned graph and measures it.
+///
+/// Timing starts *inside* the SPMD closure, after a barrier and a stats
+/// reset, and `secs` is the max of the per-host elapsed times — so thread
+/// spawn and cluster teardown never pollute the measurement, and counters
+/// accumulated by earlier runs on a reused context are discarded.
 pub fn run_timed<R: Send>(
     parts: &[DistGraph],
     threads: usize,
     f: impl Fn(&DistGraph, &HostCtx) -> R + Sync,
 ) -> (Vec<R>, RunStats) {
     let hosts = parts.len();
-    let start = Instant::now();
     let results = Cluster::with_threads(hosts, threads).run(|ctx| {
+        ctx.barrier();
+        ctx.reset_stats();
+        let start = Instant::now();
         let r = f(&parts[ctx.host()], ctx);
-        (r, ctx.stats())
+        (r, start.elapsed().as_secs_f64(), ctx.stats())
     });
-    let secs = start.elapsed().as_secs_f64();
-    let mut stats = RunStats {
-        secs,
-        ..RunStats::default()
-    };
+    let mut stats = RunStats::default();
     let mut out = Vec::with_capacity(hosts);
-    for (r, s) in results {
+    for (r, secs, s) in results {
+        stats.secs = stats.secs.max(secs);
         stats.comm_secs = stats.comm_secs.max(s.comm_nanos as f64 / 1e9);
         stats.messages += s.messages;
         stats.bytes += s.bytes;
+        stats.request_compute_secs =
+            stats.request_compute_secs.max(s.request_compute_nanos as f64 / 1e9);
+        stats.request_sync_secs = stats.request_sync_secs.max(s.request_sync_nanos as f64 / 1e9);
+        stats.reduce_compute_secs =
+            stats.reduce_compute_secs.max(s.reduce_compute_nanos as f64 / 1e9);
+        stats.reduce_sync_secs = stats.reduce_sync_secs.max(s.reduce_sync_nanos as f64 / 1e9);
         out.push(r);
     }
     (out, stats)

@@ -1,0 +1,125 @@
+//! Machine-readable bench records for the tracked `BENCH_<date>.json`.
+//!
+//! The figure/table benches print human-oriented tables; CI and the perf
+//! history additionally want numbers a script can diff. When the
+//! `KIMBAP_BENCH_JSON` environment variable names a file, every measured
+//! case appends one JSON object per line (JSONL) there; `scripts/bench.sh`
+//! wraps the lines into the committed `BENCH_<date>.json`. With the
+//! variable unset, recording is a no-op, so `cargo bench` behaves exactly
+//! as before.
+
+use crate::RunStats;
+use std::fs::OpenOptions;
+use std::io::Write;
+
+/// The environment variable naming the JSONL sink.
+pub const ENV_JSON: &str = "KIMBAP_BENCH_JSON";
+
+fn escape(s: &str) -> String {
+    // Bench/case names are ASCII identifiers and paths; escape the two
+    // characters that could break a JSON string anyway.
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn append_line(path: &str, line: &str) {
+    let file = OpenOptions::new().create(true).append(true).open(path);
+    match file {
+        Ok(mut f) => {
+            if let Err(e) = writeln!(f, "{line}") {
+                eprintln!("warning: failed to write bench record to {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("warning: failed to open bench record file {path}: {e}"),
+    }
+}
+
+fn record_run_to(path: &str, bench: &str, case: &str, system: &str, hosts: usize, s: &RunStats) {
+    append_line(
+        path,
+        &format!(
+            concat!(
+                "{{\"bench\":\"{}\",\"case\":\"{}\",\"system\":\"{}\",\"hosts\":{},",
+                "\"secs\":{:.6},\"comm_secs\":{:.6},\"messages\":{},\"bytes\":{},",
+                "\"request_compute_secs\":{:.6},\"request_sync_secs\":{:.6},",
+                "\"reduce_compute_secs\":{:.6},\"reduce_sync_secs\":{:.6}}}"
+            ),
+            escape(bench),
+            escape(case),
+            escape(system),
+            hosts,
+            s.secs,
+            s.comm_secs,
+            s.messages,
+            s.bytes,
+            s.request_compute_secs,
+            s.request_sync_secs,
+            s.reduce_compute_secs,
+            s.reduce_sync_secs,
+        ),
+    );
+}
+
+fn record_micro_to(path: &str, bench: &str, case: &str, ns_per_iter: f64) {
+    append_line(
+        path,
+        &format!(
+            "{{\"bench\":\"{}\",\"case\":\"{}\",\"ns_per_iter\":{:.1}}}",
+            escape(bench),
+            escape(case),
+            ns_per_iter,
+        ),
+    );
+}
+
+/// Records one measured macro-bench case (a `run_timed` result) if
+/// `KIMBAP_BENCH_JSON` is set.
+pub fn record(bench: &str, case: &str, system: &str, hosts: usize, stats: &RunStats) {
+    if let Ok(path) = std::env::var(ENV_JSON) {
+        record_run_to(&path, bench, case, system, hosts, stats);
+    }
+}
+
+/// Records one micro-bench result (nanoseconds per iteration) if
+/// `KIMBAP_BENCH_JSON` is set.
+pub fn record_micro(bench: &str, case: &str, ns_per_iter: f64) {
+    if let Ok(path) = std::env::var(ENV_JSON) {
+        record_micro_to(&path, bench, case, ns_per_iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_one_json_object_per_line() {
+        let path = std::env::temp_dir().join(format!(
+            "kimbap-bench-json-test-{}.jsonl",
+            std::process::id()
+        ));
+        let path_s = path.to_str().unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        let stats = RunStats {
+            secs: 1.5,
+            comm_secs: 0.25,
+            messages: 42,
+            bytes: 1024,
+            reduce_sync_secs: 0.125,
+            ..RunStats::default()
+        };
+        record_run_to(path_s, "fig11", "road/cc_sv", "sgr_cf_gar", 4, &stats);
+        record_micro_to(path_s, "micro_npm", "reduce_compute/\"quoted\"", 3524165.0);
+
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"bench\":\"fig11\""));
+        assert!(lines[0].contains("\"hosts\":4"));
+        assert!(lines[0].contains("\"messages\":42"));
+        assert!(lines[0].contains("\"reduce_sync_secs\":0.125000"));
+        assert!(lines[1].contains("\\\"quoted\\\""));
+        assert!(lines[1].contains("\"ns_per_iter\":3524165.0"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

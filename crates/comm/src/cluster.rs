@@ -47,6 +47,30 @@ pub struct HostStats {
     pub comm_nanos: u64,
     /// Frames re-sent after a receiver reported loss or corruption.
     pub retransmits: u64,
+    /// Nanoseconds spent in the request-compute phase (engines report
+    /// these via [`HostCtx::add_phase_nanos`]; zero if never reported).
+    pub request_compute_nanos: u64,
+    /// Nanoseconds spent in request-sync collectives.
+    pub request_sync_nanos: u64,
+    /// Nanoseconds spent in the reduce-compute (operator body) phase.
+    pub reduce_compute_nanos: u64,
+    /// Nanoseconds spent in reduce-sync/broadcast-sync collectives.
+    pub reduce_sync_nanos: u64,
+}
+
+/// The four phases of one NPM BSP round (Fig. 6 of the paper), used to
+/// attribute wall-clock time via [`HostCtx::add_phase_nanos`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPhase {
+    /// Scanning edges and marking remote properties to fetch.
+    RequestCompute,
+    /// Exchanging request keys and fetched values (`request_sync`).
+    RequestSync,
+    /// Running the operator body and folding partials (`reduce`).
+    ReduceCompute,
+    /// Combining partials and exchanging them (`reduce_sync` and any
+    /// trailing `broadcast_sync`).
+    ReduceSync,
 }
 
 impl HostStats {
@@ -56,6 +80,12 @@ impl HostStats {
         self.bytes += other.bytes;
         self.comm_nanos = self.comm_nanos.max(other.comm_nanos);
         self.retransmits += other.retransmits;
+        // Phase times, like comm_nanos, answer "how long did the cluster
+        // spend here" — the slowest host gates the barrier, so max.
+        self.request_compute_nanos = self.request_compute_nanos.max(other.request_compute_nanos);
+        self.request_sync_nanos = self.request_sync_nanos.max(other.request_sync_nanos);
+        self.reduce_compute_nanos = self.reduce_compute_nanos.max(other.reduce_compute_nanos);
+        self.reduce_sync_nanos = self.reduce_sync_nanos.max(other.reduce_sync_nanos);
     }
 }
 
@@ -570,6 +600,10 @@ struct StatCells {
     bytes: AtomicU64,
     comm_nanos: AtomicU64,
     retransmits: AtomicU64,
+    request_compute_nanos: AtomicU64,
+    request_sync_nanos: AtomicU64,
+    reduce_compute_nanos: AtomicU64,
+    reduce_sync_nanos: AtomicU64,
 }
 
 impl<'a> HostCtx<'a> {
@@ -1014,6 +1048,10 @@ impl<'a> HostCtx<'a> {
             bytes: self.stats.bytes.load(Ordering::Relaxed),
             comm_nanos: self.stats.comm_nanos.load(Ordering::Relaxed),
             retransmits: self.stats.retransmits.load(Ordering::Relaxed),
+            request_compute_nanos: self.stats.request_compute_nanos.load(Ordering::Relaxed),
+            request_sync_nanos: self.stats.request_sync_nanos.load(Ordering::Relaxed),
+            reduce_compute_nanos: self.stats.reduce_compute_nanos.load(Ordering::Relaxed),
+            reduce_sync_nanos: self.stats.reduce_sync_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -1024,6 +1062,23 @@ impl<'a> HostCtx<'a> {
         self.stats.bytes.store(0, Ordering::Relaxed);
         self.stats.comm_nanos.store(0, Ordering::Relaxed);
         self.stats.retransmits.store(0, Ordering::Relaxed);
+        self.stats.request_compute_nanos.store(0, Ordering::Relaxed);
+        self.stats.request_sync_nanos.store(0, Ordering::Relaxed);
+        self.stats.reduce_compute_nanos.store(0, Ordering::Relaxed);
+        self.stats.reduce_sync_nanos.store(0, Ordering::Relaxed);
+    }
+
+    /// Attributes `nanos` of wall-clock time to one NPM round phase. Called
+    /// by engines that drive the BSP loop; the cluster itself never guesses
+    /// phase boundaries.
+    pub fn add_phase_nanos(&self, phase: SyncPhase, nanos: u64) {
+        let cell = match phase {
+            SyncPhase::RequestCompute => &self.stats.request_compute_nanos,
+            SyncPhase::RequestSync => &self.stats.request_sync_nanos,
+            SyncPhase::ReduceCompute => &self.stats.reduce_compute_nanos,
+            SyncPhase::ReduceSync => &self.stats.reduce_sync_nanos,
+        };
+        cell.fetch_add(nanos, Ordering::Relaxed);
     }
 
     /// Adds externally measured communication time (used by subsystems that

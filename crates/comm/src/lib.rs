@@ -35,7 +35,7 @@ pub mod fault;
 pub mod pool;
 pub mod wire;
 
-pub use cluster::{Cluster, CommError, CrashSignal, HostCtx, HostError, HostStats};
+pub use cluster::{Cluster, CommError, CrashSignal, HostCtx, HostError, HostStats, SyncPhase};
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use pool::WorkerPool;
 pub use wire::{FrameError, Wire};

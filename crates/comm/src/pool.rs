@@ -137,6 +137,32 @@ impl WorkerPool {
         assert!(!any_panicked, "a worker thread panicked during the job");
     }
 
+    /// Runs `f(tid)` on every worker and collects the per-thread results,
+    /// indexed by thread id — the fork-join building block for parallel
+    /// bucketing passes that each produce a partial result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread has panicked and disconnected.
+    pub fn run_map<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Send + Sync,
+    {
+        if self.threads == 1 {
+            return vec![f(0)];
+        }
+        let slots: Vec<parking_lot::Mutex<Option<R>>> =
+            (0..self.threads).map(|_| parking_lot::Mutex::new(None)).collect();
+        self.run(|tid| {
+            *slots[tid].lock() = Some(f(tid));
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("worker produced no result"))
+            .collect()
+    }
+
     /// Splits `range` into dynamically scheduled chunks and runs `f(tid,
     /// chunk)` across the pool. Dynamic scheduling balances skewed work
     /// (power-law graphs make static splits pathological).

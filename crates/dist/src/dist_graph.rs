@@ -34,7 +34,16 @@ pub struct DistGraph {
     /// For each peer host `h`: sorted global ids of *my masters* that have a
     /// mirror proxy on `h` (what a broadcast to `h` must cover).
     mirrors_on_peer: Vec<Vec<NodeId>>,
+    /// Dense global-id → mirror-slot table (`NO_MIRROR` = no mirror proxy
+    /// here). Mirror slot `s` is local id `num_masters + s`. Trades one
+    /// `u32` per global node for O(1) mirror resolution on the read hot
+    /// path — the sorted `l2g` tail stays authoritative for iteration
+    /// order and the wire format.
+    mirror_slot_of: Vec<u32>,
 }
+
+/// Vacant entry in [`DistGraph::mirror_slot_of`].
+const NO_MIRROR: u32 = u32::MAX;
 
 impl DistGraph {
     /// This host's id.
@@ -96,11 +105,22 @@ impl DistGraph {
         if self.ownership.owner(g) == self.host {
             return Some(self.ownership.master_offset(g) as LocalId);
         }
-        let mirrors = &self.l2g[self.num_masters..];
-        mirrors
-            .binary_search(&g)
-            .ok()
-            .map(|i| (self.num_masters + i) as LocalId)
+        self.mirror_slot(g)
+            .map(|s| self.num_masters as LocalId + s)
+    }
+
+    /// Dense mirror slot of global node `g` (`0 .. num_mirrors`, ordered
+    /// by global id), or `None` if `g` has no mirror proxy here. O(1):
+    /// backed by a dense per-global-node table. Mirror slot `s`
+    /// corresponds to local id `num_masters + s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is outside the global node space.
+    #[inline]
+    pub fn mirror_slot(&self, g: NodeId) -> Option<u32> {
+        let s = self.mirror_slot_of[g as usize];
+        (s != NO_MIRROR).then_some(s)
     }
 
     /// `true` if local proxy `l` is a master.
@@ -290,6 +310,11 @@ fn build_part(
     let targets = local_edges.iter().map(|&(_, d, _)| d).collect();
     let weights = local_edges.iter().map(|&(_, _, w)| w).collect();
 
+    let mut mirror_slot_of = vec![NO_MIRROR; own.num_nodes()];
+    for (slot, &g) in mirrors.iter().enumerate() {
+        mirror_slot_of[g as usize] = slot as u32;
+    }
+
     DistGraph {
         host: h,
         ownership: own,
@@ -300,6 +325,7 @@ fn build_part(
         targets,
         weights,
         mirrors_on_peer: vec![Vec::new(); num_hosts],
+        mirror_slot_of,
     }
 }
 

@@ -8,13 +8,14 @@
 //! exactly the same distributed machinery as the hand-written algorithms
 //! in `kimbap-algos` (whose outputs they are tested to match).
 
-use kimbap_comm::{CrashSignal, HostCtx};
+use kimbap_comm::{CrashSignal, HostCtx, SyncPhase};
 use kimbap_compiler::ir::{BinOp, Expr, NodeIterator, Stmt};
 use kimbap_compiler::transform::{CompiledLoop, CompiledProgram, CompiledTop, RequestPhase};
 use kimbap_dist::{DistGraph, LocalId};
 use kimbap_graph::NodeId;
 use kimbap_npm::{DynReduceOp, MapSnapshot, NodePropMap, Npm, SumReducer};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 /// Crash recoveries per compiled loop before the failure is propagated.
 const MAX_RECOVERIES: u32 = 8;
@@ -224,21 +225,32 @@ impl<'g> Engine<'g> {
         ctx.set_round(self.rounds);
         self.maps[l.quiesce_map].reset_updated();
 
+        // Each segment of the round reports its wall-clock time to the
+        // per-phase counters (Fig. 6 attribution); pinning and the
+        // quiescence check sit outside the four phases.
         for phase in &l.request_phases {
+            let t = Instant::now();
             self.exec_parfor(ctx, l.iterator, &phase.body);
+            ctx.add_phase_nanos(SyncPhase::RequestCompute, t.elapsed().as_nanos() as u64);
+            let t = Instant::now();
             for m in &phase.sync_maps {
                 self.maps[*m].request_sync(ctx);
             }
+            ctx.add_phase_nanos(SyncPhase::RequestSync, t.elapsed().as_nanos() as u64);
         }
 
+        let t = Instant::now();
         self.exec_parfor(ctx, l.iterator, &l.body);
+        ctx.add_phase_nanos(SyncPhase::ReduceCompute, t.elapsed().as_nanos() as u64);
 
+        let t = Instant::now();
         for m in &l.reduce_maps {
             self.maps[*m].reduce_sync(ctx);
         }
         for m in &l.broadcast_maps {
             self.maps[*m].broadcast_sync(ctx);
         }
+        ctx.add_phase_nanos(SyncPhase::ReduceSync, t.elapsed().as_nanos() as u64);
 
         !repeat || !self.maps[l.quiesce_map].is_updated(ctx)
     }
@@ -425,6 +437,33 @@ mod tests {
             v
         };
         assert_eq!(get(&a), get(&b));
+    }
+
+    #[test]
+    fn engine_populates_phase_counters() {
+        let g = gen::rmat(7, 4, 31);
+        let plan = compile(&programs::cc_sv(), OptLevel::Full);
+        let parts = partition(&g, Policy::EdgeCutBlocked, 2);
+        let stats = Cluster::with_threads(2, 2).run(|ctx| {
+            ctx.reset_stats();
+            Engine::new(&parts[ctx.host()], ctx, &plan).run(ctx);
+            ctx.stats()
+        });
+        for (h, s) in stats.iter().enumerate() {
+            // CC-SV's plan has request phases and reduce syncs every round,
+            // so all four phases must have accumulated time on every host.
+            assert!(s.request_compute_nanos > 0, "host {h}: no request-compute time");
+            assert!(s.request_sync_nanos > 0, "host {h}: no request-sync time");
+            assert!(s.reduce_compute_nanos > 0, "host {h}: no reduce-compute time");
+            assert!(s.reduce_sync_nanos > 0, "host {h}: no reduce-sync time");
+        }
+        // merge() takes the max across hosts for phase times.
+        let mut total = kimbap_comm::HostStats::default();
+        for s in &stats {
+            total.merge(s);
+        }
+        let max_rc = stats.iter().map(|s| s.reduce_compute_nanos).max().unwrap();
+        assert_eq!(total.reduce_compute_nanos, max_rc);
     }
 
     #[test]

@@ -80,9 +80,31 @@ impl ConcurrentBitset {
         self.words.iter().all(|w| w.load(Ordering::Relaxed) == 0)
     }
 
+    /// Number of 64-bit words backing the set — the unit of
+    /// [`ConcurrentBitset::iter_set_words`] chunking.
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
     /// Iterates the indices of set bits in ascending order.
     pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, w)| {
+        self.iter_set_words(0..self.words.len())
+    }
+
+    /// Iterates the indices of set bits within the word range `words`
+    /// (bits `64 * words.start .. 64 * words.end`), in ascending order.
+    /// Disjoint word ranges cover disjoint bits, so threads can scan
+    /// chunks of the set in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.end > num_words()`.
+    pub fn iter_set_words(
+        &self,
+        words: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = usize> + '_ {
+        let lo = words.start;
+        self.words[words].iter().enumerate().flat_map(move |(wi, w)| {
             let mut bits = w.load(Ordering::Relaxed);
             std::iter::from_fn(move || {
                 if bits == 0 {
@@ -90,7 +112,7 @@ impl ConcurrentBitset {
                 } else {
                     let b = bits.trailing_zeros() as usize;
                     bits &= bits - 1;
-                    Some(wi * 64 + b)
+                    Some((lo + wi) * 64 + b)
                 }
             })
         })

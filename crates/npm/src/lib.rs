@@ -60,6 +60,7 @@
 pub mod bitset;
 pub mod map;
 pub mod ops;
+mod partial;
 pub mod reducer;
 pub mod value;
 

@@ -2,6 +2,7 @@
 
 use crate::bitset::ConcurrentBitset;
 use crate::ops::ReduceOp;
+use crate::partial::{PartialBuf, ThreadOwned};
 use crate::value::PropValue;
 use kimbap_comm::wire::{decode_slice, encode_slice, iter_decoded};
 use kimbap_comm::HostCtx;
@@ -188,6 +189,9 @@ pub enum MapSnapshot<T> {
     Sharded(Vec<HashMap<NodeId, T>>),
 }
 
+/// One (source thread, destination thread) spill cell of the CF combine.
+type BucketCell<T> = Mutex<Vec<(NodeId, T)>>;
+
 /// Canonical (master) property storage.
 enum Canonical<T> {
     /// GAR: dense vector indexed by master offset + per-master update bits.
@@ -239,9 +243,73 @@ impl<'a, T> SharedSlice<'a, T> {
 }
 
 /// Disjoint-range assignment of global keys to `parts` workers.
+#[inline]
 fn range_owner(key: NodeId, parts: usize, n: usize) -> usize {
     debug_assert!((key as usize) < n.max(1));
     ((key as u64 * parts as u64) / n.max(1) as u64) as usize
+}
+
+/// Precomputed is-mine test for this host's key-distribution map.
+///
+/// [`Ownership`]'s arithmetic answers "who owns key `k`" for *any* host,
+/// with asserted bounds checks — fine for collectives, too slow for the
+/// per-call `reduce`/`read` fast paths, which only ever ask "is `k` mine,
+/// and at which master offset". `FastOwn` pre-resolves this host's block
+/// bounds (blocked ownership) or modulus residue (hashed ownership) into
+/// two branch-light operations.
+#[derive(Debug, Clone, Copy)]
+enum FastOwn {
+    /// Blocked ownership: this host owns the contiguous range
+    /// `lo .. lo + len`.
+    Block { lo: u32, len: u32 },
+    /// Hashed ownership: this host owns keys `≡ host (mod hosts)`.
+    Mod { hosts: u32, host: u32 },
+}
+
+impl FastOwn {
+    fn new(own: &Ownership, host: usize) -> Self {
+        let len = own.num_masters(host) as u32;
+        match *own {
+            Ownership::Blocked { .. } => {
+                let lo = if len == 0 {
+                    // A host past the end of a short node space owns
+                    // nothing; any `lo` works with `len == 0`.
+                    0
+                } else {
+                    own.master_at(host, 0)
+                };
+                FastOwn::Block { lo, len }
+            }
+            Ownership::Hashed { hosts, .. } => FastOwn::Mod {
+                hosts: hosts as u32,
+                host: host as u32,
+            },
+        }
+    }
+
+    /// This host's master offset for `key`, or `None` if `key` is remote.
+    #[inline]
+    fn local_offset(self, key: NodeId) -> Option<u32> {
+        match self {
+            FastOwn::Block { lo, len } => {
+                let d = key.wrapping_sub(lo);
+                (d < len).then_some(d)
+            }
+            FastOwn::Mod { hosts, host } => {
+                (key % hosts == host).then(|| key / hosts)
+            }
+        }
+    }
+
+    /// Inverse of [`FastOwn::local_offset`]: the global key at master
+    /// offset `off`.
+    #[inline]
+    fn key_at(self, off: u32) -> NodeId {
+        match self {
+            FastOwn::Block { lo, .. } => lo + off,
+            FastOwn::Mod { hosts, host } => off * hosts + host,
+        }
+    }
 }
 
 /// The node-property map (see the [crate docs](crate) and
@@ -256,13 +324,35 @@ pub struct Npm<'g, T: PropValue, Op: ReduceOp<T>> {
     /// Key-distribution map: the graph's ownership for GAR, modulo hash
     /// otherwise.
     key_own: Ownership,
+    /// Precomputed is-mine test derived from `key_own` for the hot paths.
+    fast_own: FastOwn,
     canonical: Canonical<T>,
-    /// Remote cache: sorted keys + parallel values (paper Fig. 6).
+    /// Remote cache: sorted keys + parallel values (paper Fig. 6). Under
+    /// GAR this only spills requested keys that have *no* mirror proxy
+    /// (trans-vertex requests); mirror values live in `mirror_vals`.
     cache_keys: Vec<NodeId>,
     cache_vals: Vec<T>,
+    /// GAR: dense mirror-value table indexed by the partition's mirror
+    /// slot, with presence bits. O(1) reads for materialized mirrors; the
+    /// paper's sorted-pair form survives only on the wire. Empty without
+    /// GAR.
+    mirror_vals: Vec<T>,
+    mirror_has: Vec<bool>,
     requests: ConcurrentBitset,
-    /// CF: per-thread partial maps.
-    tls: Vec<Mutex<HashMap<NodeId, T>>>,
+    /// CF: per-thread lock-free partial buffers (dense local range +
+    /// open-addressed remote table).
+    tls: ThreadOwned<PartialBuf<T>>,
+    /// CF combine: spill cell per (source thread, destination thread).
+    /// Region A of `cf_combine_scatter` fills row `tid`; region B drains
+    /// column `tid`. Uncontended locks by construction.
+    bucket_cells: Vec<Vec<BucketCell<T>>>,
+    /// CF combine: per-destination-thread owned pairs that skip the wire
+    /// and are applied locally after the exchange (self-delivery was
+    /// always an uncounted memcpy).
+    local_pairs: ThreadOwned<Vec<(NodeId, T)>>,
+    /// Bytes serialized to each host by the previous reduce-sync: the
+    /// capacity hint for this round's scatter buffers.
+    prev_out_bytes: Vec<usize>,
     /// SGR-only: the single shared (sharded-lock) partial map.
     shared: Vec<Mutex<HashMap<NodeId, T>>>,
     pinned: bool,
@@ -342,6 +432,18 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
         } else {
             (Vec::new(), Vec::new())
         };
+        let (mirror_vals, mirror_has) = if variant.partition_aware() {
+            let m = dg.num_mirrors();
+            (vec![op.identity(); m], vec![false; m])
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let fast_own = FastOwn::new(&key_own, host);
+        let cf_local = if variant.conflict_free() {
+            key_own.num_masters(host)
+        } else {
+            0
+        };
         Npm {
             dg,
             op,
@@ -350,11 +452,19 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
             num_hosts,
             threads,
             key_own,
+            fast_own,
             canonical,
             cache_keys,
             cache_vals,
+            mirror_vals,
+            mirror_has,
             requests: ConcurrentBitset::new(n),
-            tls: (0..threads).map(|_| Mutex::new(HashMap::new())).collect(),
+            tls: ThreadOwned::new(threads, || PartialBuf::new(cf_local, op.identity())),
+            bucket_cells: (0..threads)
+                .map(|_| (0..threads).map(|_| Mutex::new(Vec::new())).collect())
+                .collect(),
+            local_pairs: ThreadOwned::new(threads, Vec::new),
+            prev_out_bytes: vec![0; num_hosts],
             shared: (0..SHARED_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             pinned: auto_pinned,
             mirror_sync: MirrorSync::default(),
@@ -621,11 +731,11 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
         } else {
             self.cache_keys.clear();
             self.cache_vals.clear();
+            self.mirror_vals.fill(self.op.identity());
+            self.mirror_has.fill(false);
         }
         self.requests.clear();
-        for m in self.tls.iter_mut() {
-            m.get_mut().clear();
-        }
+        self.clear_partials();
         for m in self.shared.iter_mut() {
             m.get_mut().clear();
         }
@@ -635,46 +745,193 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
         self.updated.store(false, Ordering::Relaxed);
     }
 
-    /// Drains thread partials and returns combined, disjoint maps
-    /// (conflict-free combine of Fig. 7 for CF variants; the SGR-only
-    /// shared map is already combined).
-    fn drain_partials(&mut self, ctx: &HostCtx) -> Vec<HashMap<NodeId, T>> {
-        let n = self.key_own.num_nodes();
-        if !self.variant.conflict_free() {
-            return self
-                .shared
-                .iter_mut()
-                .map(|m| std::mem::take(&mut *m.get_mut()))
-                .collect();
+    /// Resets every CF transient (thread buffers, combine cells, owned
+    /// pairs), keeping allocations.
+    fn clear_partials(&mut self) {
+        for b in self.tls.iter_mut() {
+            b.clear();
         }
-        let tls: Vec<HashMap<NodeId, T>> = self
-            .tls
+        for row in self.bucket_cells.iter_mut() {
+            for cell in row.iter_mut() {
+                cell.get_mut().clear();
+            }
+        }
+        for p in self.local_pairs.iter_mut() {
+            p.clear();
+        }
+    }
+
+    /// CF scatter half of reduce-sync: drains every thread's partial
+    /// buffer, combines partials over disjoint destination key ranges
+    /// (Fig. 7), and serializes remote-owned pairs per destination host.
+    ///
+    /// The combine touches each entry exactly twice — once when its source
+    /// thread buckets it by `range_owner` (region A), once when its
+    /// destination thread folds the bucket into its own emptied buffer
+    /// (region B) — O(entries) total, instead of the previous
+    /// all-threads-rescan-everything O(threads × entries).
+    ///
+    /// Keys this host owns never reach the wire: they land in
+    /// `local_pairs` and are folded during the gather. (They were
+    /// previously self-delivered, which the traffic stats never counted,
+    /// so observable message/byte counts are unchanged.)
+    fn cf_combine_scatter(&mut self, ctx: &HostCtx) -> Vec<Vec<u8>> {
+        let n = self.key_own.num_nodes();
+        let threads = self.threads;
+        let op = self.op;
+        let fast = self.fast_own;
+        let key_own = self.key_own;
+        let num_hosts = self.num_hosts;
+        let host = self.host;
+        let prev_bytes = self.prev_out_bytes.clone();
+        let per_host: Vec<Mutex<Vec<u8>>> = prev_bytes
+            .iter()
+            .map(|&b| Mutex::new(Vec::with_capacity(b)))
+            .collect();
+        {
+            let tls = &self.tls;
+            let cells = &self.bucket_cells;
+            // Region A: each thread drains its own buffer, pre-bucketing
+            // every entry by its destination combine thread.
+            ctx.pool().run(|tid| {
+                // SAFETY: WorkerPool hands each worker a distinct dense
+                // thread id, so no two threads share a slot.
+                let buf = unsafe { tls.slot(tid) };
+                let mut row: Vec<_> = cells[tid].iter().map(|c| c.lock()).collect();
+                buf.drain_local(|off, v| {
+                    let k = fast.key_at(off);
+                    row[range_owner(k, threads, n)].push((k, v));
+                });
+                buf.drain_remote(|k, v| {
+                    row[range_owner(k, threads, n)].push((k, v));
+                });
+            });
+            let tls = &self.tls;
+            let local_pairs = &self.local_pairs;
+            let per_host = &per_host;
+            let prev_bytes = &prev_bytes;
+            // Region B: each thread folds its incoming buckets into its
+            // own (drained) buffer, then serializes — owned keys into
+            // `local_pairs`, remote keys into per-destination-host wire
+            // buffers.
+            ctx.pool().run(|tid| {
+                // SAFETY: distinct tids per worker; region A's barrier has
+                // passed, so every buffer is drained and reusable as this
+                // thread's combine accumulator.
+                let acc = unsafe { tls.slot(tid) };
+                debug_assert!(acc.is_empty());
+                for src_cells in cells.iter() {
+                    let mut cell = src_cells[tid].lock();
+                    for &(k, v) in cell.iter() {
+                        match fast.local_offset(k) {
+                            Some(off) => acc.reduce_local(off, v, |a, b| op.combine(a, b)),
+                            None => acc.reduce_remote(k, v, |a, b| op.combine(a, b)),
+                        }
+                    }
+                    cell.clear(); // keep capacity for the next round
+                }
+                // SAFETY: distinct tids per worker.
+                let mine = unsafe { local_pairs.slot(tid) };
+                debug_assert!(mine.is_empty());
+                let mut wire: Vec<Vec<u8>> = (0..num_hosts)
+                    .map(|h| Vec::with_capacity(prev_bytes[h] / threads))
+                    .collect();
+                acc.drain_local(|off, v| mine.push((fast.key_at(off), v)));
+                acc.drain_remote(|k, v| (k, v).write(&mut wire[key_own.owner(k)]));
+                for (h, w) in wire.into_iter().enumerate() {
+                    debug_assert!(h != host || w.is_empty(), "owned key serialized");
+                    if !w.is_empty() {
+                        per_host[h].lock().extend_from_slice(&w);
+                    }
+                }
+            });
+        }
+        let outgoing: Vec<Vec<u8>> = per_host.into_iter().map(|m| m.into_inner()).collect();
+        for (prev, out) in self.prev_out_bytes.iter_mut().zip(&outgoing) {
+            *prev = out.len();
+        }
+        outgoing
+    }
+
+    /// SGR-only scatter half of reduce-sync: the shared sharded map is
+    /// already combined; serialize every pair per owner host (including
+    /// this host — self-delivery is an uncounted memcpy).
+    fn shared_scatter(&mut self, ctx: &HostCtx) -> Vec<Vec<u8>> {
+        let combined: Vec<HashMap<NodeId, T>> = self
+            .shared
             .iter_mut()
             .map(|m| std::mem::take(&mut *m.get_mut()))
             .collect();
-        if self.threads == 1 {
-            return tls;
-        }
-        // Each thread combines the entries of *all* thread-local maps that
-        // fall in its disjoint key range into a fresh map.
-        let combined: Vec<Mutex<HashMap<NodeId, T>>> =
-            (0..self.threads).map(|_| Mutex::new(HashMap::new())).collect();
-        let op = self.op;
-        let threads = self.threads;
-        ctx.pool().run(|tid| {
-            let mut mine: HashMap<NodeId, T> = HashMap::new();
-            for m in &tls {
-                for (&k, &v) in m {
-                    if range_owner(k, threads, n) == tid {
-                        mine.entry(k)
-                            .and_modify(|e| *e = op.combine(*e, v))
-                            .or_insert(v);
+        let per_host: Vec<Mutex<Vec<u8>>> = self
+            .prev_out_bytes
+            .iter()
+            .map(|&b| Mutex::new(Vec::with_capacity(b)))
+            .collect();
+        {
+            let key_own = self.key_own;
+            let threads = self.threads;
+            let combined = &combined;
+            let per_host = &per_host;
+            ctx.pool().run(|tid| {
+                let mut local: Vec<Vec<u8>> = vec![Vec::new(); key_own.num_hosts()];
+                // Combined maps are key-disjoint; distribute them
+                // round-robin over the pool threads.
+                for m in combined.iter().skip(tid).step_by(threads) {
+                    for (&k, &v) in m {
+                        (k, v).write(&mut local[key_own.owner(k)]);
                     }
                 }
+                for (h, buf) in local.into_iter().enumerate() {
+                    if !buf.is_empty() {
+                        per_host[h].lock().extend_from_slice(&buf);
+                    }
+                }
+            });
+        }
+        let outgoing: Vec<Vec<u8>> = per_host.into_iter().map(|m| m.into_inner()).collect();
+        for (prev, out) in self.prev_out_bytes.iter_mut().zip(&outgoing) {
+            *prev = out.len();
+        }
+        outgoing
+    }
+
+    /// SGR-only reduce path: shard the shared map by key hash; hot keys
+    /// contend (the cost the CF ablation measures).
+    fn reduce_shared(&self, key: NodeId, value: T) {
+        let h = (key as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let slot = (h >> 32) as usize % SHARED_SHARDS;
+        let mut m = self.shared[slot].lock();
+        match m.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let v = self.op.combine(*e.get(), value);
+                e.insert(v);
             }
-            *combined[tid].lock() = mine;
-        });
-        combined.into_iter().map(|m| m.into_inner()).collect()
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(value);
+            }
+        }
+    }
+
+    /// Stores a broadcast value into the mirror table if `key`'s mirror is
+    /// materialized (GAR receive path).
+    fn mirror_store(&mut self, key: NodeId, value: T) {
+        if let Some(slot) = self.dg.mirror_slot(key) {
+            let slot = slot as usize;
+            if self.mirror_has[slot] {
+                self.mirror_vals[slot] = value;
+            }
+        }
+    }
+
+    /// Read slow path: `key` is remote and was neither requested nor
+    /// pinned.
+    #[cold]
+    #[inline(never)]
+    fn read_miss(&self, key: NodeId) -> ! {
+        panic!(
+            "host {}: read of remote node {} that was neither requested nor pinned",
+            self.host, key
+        );
     }
 }
 
@@ -703,17 +960,35 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
         }
     }
 
+    #[inline]
     fn read(&self, key: NodeId) -> T {
         // Under GAR the cache never holds owned keys (requests for them are
         // elided), so the O(1) master path goes first; without GAR the
         // resident cache is authoritative for everything fetched.
         if self.variant.partition_aware() {
-            if self.key_own.owner(key) == self.host {
+            // Masters: O(1) dense canonical via precomputed ownership.
+            if let Some(off) = self.fast_own.local_offset(key) {
                 if self.count_reads {
                     self.master_reads.fetch_add(1, Ordering::Relaxed);
                 }
-                return self.canonical_get(key);
+                return match &self.canonical {
+                    Canonical::Dense { vals, .. } => vals[off as usize],
+                    Canonical::Sharded { .. } => unreachable!("GAR canonical is dense"),
+                };
             }
+            // Materialized mirrors: O(1) dense table indexed by the
+            // partition's mirror slot.
+            if let Some(slot) = self.dg.mirror_slot(key) {
+                let slot = slot as usize;
+                if self.mirror_has[slot] {
+                    if self.count_reads {
+                        self.remote_reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return self.mirror_vals[slot];
+                }
+            }
+            // Requested keys without a mirror proxy (trans-vertex
+            // requests): sorted spill, binary search.
             if let Some(v) = self.cache_lookup(key) {
                 if self.count_reads {
                     self.remote_reads.fetch_add(1, Ordering::Relaxed);
@@ -734,10 +1009,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
                 return self.canonical_get(key);
             }
         }
-        panic!(
-            "host {}: read of remote node {} that was neither requested nor pinned",
-            self.host, key
-        );
+        self.read_miss(key)
     }
 
     fn set(&mut self, key: NodeId, value: T) {
@@ -758,27 +1030,24 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
         }
     }
 
+    #[inline]
     fn reduce(&self, tid: usize, key: NodeId, value: T) {
         debug_assert!((key as usize) < self.key_own.num_nodes());
         if self.count_reads {
             self.reduce_calls.fetch_add(1, Ordering::Relaxed);
         }
-        let (slot, map_list) = if self.variant.conflict_free() {
-            (tid, &self.tls)
+        if self.variant.conflict_free() {
+            let op = self.op;
+            // SAFETY: `tid` is the caller's pool thread id; WorkerPool
+            // hands each worker a distinct dense id, so no two concurrent
+            // callers share a slot.
+            let buf = unsafe { self.tls.slot(tid) };
+            match self.fast_own.local_offset(key) {
+                Some(off) => buf.reduce_local(off, value, |a, b| op.combine(a, b)),
+                None => buf.reduce_remote(key, value, |a, b| op.combine(a, b)),
+            }
         } else {
-            // Shared map: shard by key hash; hot keys contend.
-            let h = (key as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-            ((h >> 32) as usize % SHARED_SHARDS, &self.shared)
-        };
-        let mut m = map_list[slot].lock();
-        match m.entry(key) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                let v = self.op.combine(*e.get(), value);
-                e.insert(v);
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(value);
-            }
+            self.reduce_shared(key, value);
         }
     }
 
@@ -793,89 +1062,120 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
         // Without GAR, Set() calls targeting hashed-remote keys are still
         // buffered; land them before any owner serves reads.
         self.flush_pending_sets(ctx);
-        let mut keys_by_owner: Vec<Vec<NodeId>> = vec![Vec::new(); self.num_hosts];
-        for k in self.requests.iter_set() {
-            let k = k as NodeId;
-            keys_by_owner[self.key_own.owner(k)].push(k);
-        }
+        // Bucket requested keys per owner host, in parallel over word
+        // chunks of the request bitset. Chunks are ascending in key space,
+        // and both ownership kinds are monotone within a chunk, so
+        // chunk-order concatenation keeps every per-host list sorted.
+        let keys_by_owner: Vec<Vec<NodeId>> = {
+            let requests = &self.requests;
+            let key_own = self.key_own;
+            let num_hosts = self.num_hosts;
+            let num_words = requests.num_words();
+            let chunk = num_words.div_ceil(self.threads).max(1);
+            let parts = ctx.pool().run_map(|tid| {
+                let lo = (tid * chunk).min(num_words);
+                let hi = ((tid + 1) * chunk).min(num_words);
+                let mut per: Vec<Vec<NodeId>> = vec![Vec::new(); num_hosts];
+                for k in requests.iter_set_words(lo..hi) {
+                    let k = k as NodeId;
+                    per[key_own.owner(k)].push(k);
+                }
+                per
+            });
+            let mut merged: Vec<Vec<NodeId>> = vec![Vec::new(); num_hosts];
+            for per in parts {
+                for (h, mut keys) in per.into_iter().enumerate() {
+                    merged[h].append(&mut keys);
+                }
+            }
+            merged
+        };
         self.requested_keys.fetch_add(
             keys_by_owner.iter().map(|v| v.len() as u64).sum(),
             Ordering::Relaxed,
         );
         self.requests.clear();
         let pairs = self.fetch_keys(ctx, keys_by_owner);
-        // Keep existing entries: a BSP round may chain several
-        // request-compute/request-sync phases (e.g. `parent(parent(n))`),
-        // and earlier phases' values stay valid until reduce-sync drops
-        // them. Fresh responses win on overlap.
-        self.merge_cache(pairs, true);
+        if self.variant.partition_aware() {
+            // Mirror-proxied keys materialize straight into the dense
+            // mirror table; only trans-vertex requests (no proxy) go to
+            // the sorted spill.
+            let mut spill: Vec<(NodeId, T)> = Vec::new();
+            for (k, v) in pairs {
+                if let Some(slot) = self.dg.mirror_slot(k) {
+                    self.mirror_vals[slot as usize] = v;
+                    self.mirror_has[slot as usize] = true;
+                } else {
+                    spill.push((k, v));
+                }
+            }
+            self.merge_cache(spill, true);
+        } else {
+            // Keep existing entries: a BSP round may chain several
+            // request-compute/request-sync phases (e.g. `parent(parent(n))`),
+            // and earlier phases' values stay valid until reduce-sync drops
+            // them. Fresh responses win on overlap.
+            self.merge_cache(pairs, true);
+        }
     }
 
     fn reduce_sync(&mut self, ctx: &HostCtx) {
         self.flush_pending_sets(ctx);
         let n = self.key_own.num_nodes();
-        let combined = self.drain_partials(ctx);
 
-        // Scatter: serialize (key, value) pairs per owner host. The
-        // combined maps are key-disjoint, so threads can append to
-        // per-host buffers with one short lock per (thread, host).
-        let per_host: Vec<Mutex<Vec<u8>>> =
-            (0..self.num_hosts).map(|_| Mutex::new(Vec::new())).collect();
-        {
-            let key_own = self.key_own;
-            let threads = self.threads;
-            let combined = &combined;
-            let per_host = &per_host;
-            ctx.pool().run(|tid| {
-                let mut local: Vec<Vec<u8>> = vec![Vec::new(); key_own.num_hosts()];
-                // Combined maps are key-disjoint; distribute them round-robin
-                // over the pool threads.
-                for m in combined.iter().skip(tid).step_by(threads) {
-                    for (&k, &v) in m {
-                        (k, v).write(&mut local[key_own.owner(k)]);
-                    }
-                }
-                for (h, buf) in local.into_iter().enumerate() {
-                    if !buf.is_empty() {
-                        per_host[h].lock().extend_from_slice(&buf);
-                    }
-                }
-            });
-        }
-        let outgoing: Vec<Vec<u8>> = per_host.into_iter().map(|m| m.into_inner()).collect();
+        // Scatter: combine thread partials over disjoint key ranges and
+        // serialize (key, value) pairs per owner host.
+        let outgoing = if self.variant.conflict_free() {
+            self.cf_combine_scatter(ctx)
+        } else {
+            self.shared_scatter(ctx)
+        };
 
         let received = ctx.exchange(outgoing);
 
-        // Gather-reduce: threads own disjoint key ranges, scan every
-        // received buffer, and fold matching pairs onto canonical values.
+        // Gather-reduce: threads own disjoint key ranges, fold their
+        // locally retained pairs (CF fast path) plus matching pairs from
+        // every received buffer onto canonical values.
         let op = self.op;
         let threads = self.threads;
         let host = self.host;
         let key_own = self.key_own;
+        let fast = self.fast_own;
         let updated_any = &self.updated;
+        let local_pairs = &self.local_pairs;
         match &mut self.canonical {
             Canonical::Dense { vals, updated } => {
                 let slice = SharedSlice::new(vals.as_mut_slice());
                 let updated = &*updated;
                 ctx.pool().run(|tid| {
+                    let apply = |k: NodeId, v: T| {
+                        debug_assert_eq!(key_own.owner(k), host);
+                        let off = fast.local_offset(k).expect("gather key not owned") as usize;
+                        // SAFETY: `off` is unique to this thread's key
+                        // range for the duration of this parallel region.
+                        unsafe {
+                            let old = *slice.read_at(off);
+                            let new = op.combine(old, v);
+                            if new != old {
+                                slice.write_at(off, new);
+                                updated[off].store(true, Ordering::Relaxed);
+                                updated_any.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    };
+                    // SAFETY: distinct tids per worker.
+                    let mine = unsafe { local_pairs.slot(tid) };
+                    for &(k, v) in mine.iter() {
+                        debug_assert_eq!(range_owner(k, threads, n), tid);
+                        apply(k, v);
+                    }
+                    mine.clear();
                     for buf in &received {
                         for (k, v) in iter_decoded::<(NodeId, T)>(buf) {
                             if range_owner(k, threads, n) != tid {
                                 continue;
                             }
-                            debug_assert_eq!(key_own.owner(k), host);
-                            let off = key_own.master_offset(k);
-                            // SAFETY: `off` is unique to this thread's key
-                            // range for the duration of this parallel region.
-                            unsafe {
-                                let old = *slice.read_at(off);
-                                let new = op.combine(old, v);
-                                if new != old {
-                                    slice.write_at(off, new);
-                                    updated[off].store(true, Ordering::Relaxed);
-                                    updated_any.store(true, Ordering::Relaxed);
-                                }
-                            }
+                            apply(k, v);
                         }
                     }
                 });
@@ -884,18 +1184,28 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
                 let shards = &*shards;
                 ctx.pool().run(|tid| {
                     let mut shard = shards[tid].lock();
+                    let mut apply = |k: NodeId, v: T| {
+                        debug_assert_eq!(key_own.owner(k), host);
+                        let old = shard.get(&k).copied().unwrap_or_else(|| op.identity());
+                        let new = op.combine(old, v);
+                        if new != old {
+                            shard.insert(k, new);
+                            updated_any.store(true, Ordering::Relaxed);
+                        }
+                    };
+                    // SAFETY: distinct tids per worker.
+                    let mine = unsafe { local_pairs.slot(tid) };
+                    for &(k, v) in mine.iter() {
+                        debug_assert_eq!(range_owner(k, threads, n), tid);
+                        apply(k, v);
+                    }
+                    mine.clear();
                     for buf in &received {
                         for (k, v) in iter_decoded::<(NodeId, T)>(buf) {
                             if range_owner(k, threads, n) != tid {
                                 continue;
                             }
-                            debug_assert_eq!(key_own.owner(k), host);
-                            let old = shard.get(&k).copied().unwrap_or_else(|| op.identity());
-                            let new = op.combine(old, v);
-                            if new != old {
-                                shard.insert(k, new);
-                                updated_any.store(true, Ordering::Relaxed);
-                            }
+                            apply(k, v);
                         }
                     }
                 });
@@ -909,19 +1219,17 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
             // through request/response — the communication overhead the
             // GAR ablation measures.
             self.refresh_resident(ctx);
-        } else if self.pinned {
-            // GAR: pinned mirrors stay resident with their (now stale)
-            // values; the following broadcast_sync refreshes them.
-            let pin_set = std::mem::take(&mut self.pin_set);
-            let mut keys = Vec::with_capacity(pin_set.len());
-            let mut vals = Vec::with_capacity(pin_set.len());
-            for &m in &pin_set {
-                keys.push(m);
-                vals.push(self.cache_lookup(m).unwrap_or_else(|| self.op.identity()));
+        } else if self.variant.partition_aware() {
+            // GAR: ad-hoc requested (non-mirror) values always drop. The
+            // mirror table stays resident while pinned — its (now stale)
+            // values are refreshed by the following broadcast_sync — and
+            // is invalidated wholesale through the presence bits
+            // otherwise.
+            self.cache_keys.clear();
+            self.cache_vals.clear();
+            if !self.pinned {
+                self.mirror_has.fill(false);
             }
-            self.pin_set = pin_set;
-            self.cache_keys = keys;
-            self.cache_vals = vals;
         } else {
             self.cache_keys.clear();
             self.cache_vals.clear();
@@ -949,18 +1257,13 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
         // materialization after pin_mirrors still broadcasts so that the
         // very first reads are exact.)
         if self.mirror_sync == MirrorSync::ResetToIdentity && !self.broadcast_all {
-            let id = self.op.identity();
-            for v in self.cache_vals.iter_mut() {
-                *v = id;
-            }
+            self.mirror_vals.fill(self.op.identity());
             // Peers may still be broadcasting to us this round; stay in the
             // collective but send nothing.
             let received = ctx.exchange(vec![Vec::new(); self.num_hosts]);
             for buf in &received {
                 for (k, v) in iter_decoded::<(NodeId, T)>(buf) {
-                    if let Ok(i) = self.cache_keys.binary_search(&k) {
-                        self.cache_vals[i] = v;
-                    }
+                    self.mirror_store(k, v);
                 }
             }
             return;
@@ -994,9 +1297,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
         let received = ctx.exchange(outgoing);
         for buf in &received {
             for (k, v) in iter_decoded::<(NodeId, T)>(buf) {
-                if let Ok(i) = self.cache_keys.binary_search(&k) {
-                    self.cache_vals[i] = v;
-                }
+                self.mirror_store(k, v);
             }
         }
     }
@@ -1004,11 +1305,12 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
     fn pin_mirrors(&mut self, ctx: &HostCtx) {
         self.pinned = true;
         if self.variant.partition_aware() {
-            // Materialize mirror keys with identity placeholders…
-            let id = self.op.identity();
-            let pairs: Vec<(NodeId, T)> =
-                self.pin_set.iter().map(|&m| (m, id)).collect();
-            self.merge_cache(pairs, false);
+            // Materialize the whole mirror table with identity
+            // placeholders (ad-hoc spilled requests are superseded)…
+            self.mirror_vals.fill(self.op.identity());
+            self.mirror_has.fill(true);
+            self.cache_keys.clear();
+            self.cache_vals.clear();
         }
         // …then pull in the real values: a full broadcast under GAR, a
         // request-fetch otherwise.
@@ -1021,6 +1323,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
             return; // resident cache is permanent without GAR
         }
         self.pinned = false;
+        self.mirror_has.fill(false);
         self.cache_keys.clear();
         self.cache_vals.clear();
     }
@@ -1049,9 +1352,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
                 }
             }
         }
-        for m in self.tls.iter_mut() {
-            m.get_mut().clear();
-        }
+        self.clear_partials();
         for m in self.shared.iter_mut() {
             m.get_mut().clear();
         }
@@ -1059,6 +1360,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
         if self.pinned {
             // Mirror values are now stale everywhere; the next broadcast
             // must resend everything.
+            self.mirror_vals.fill(id);
             for v in self.cache_vals.iter_mut() {
                 *v = id;
             }

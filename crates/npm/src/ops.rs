@@ -64,20 +64,24 @@ impl<A: Bounded, B: Bounded, C: Bounded> Bounded for (A, B, C) {
 }
 
 impl<T: Bounded> ReduceOp<T> for Min {
+    #[inline]
     fn identity(&self) -> T {
         T::MAX_VALUE
     }
 
+    #[inline]
     fn combine(&self, a: T, b: T) -> T {
         a.min(b)
     }
 }
 
 impl<T: Bounded> ReduceOp<T> for Max {
+    #[inline]
     fn identity(&self) -> T {
         T::MIN_VALUE
     }
 
+    #[inline]
     fn combine(&self, a: T, b: T) -> T {
         a.max(b)
     }
@@ -86,10 +90,12 @@ impl<T: Bounded> ReduceOp<T> for Max {
 macro_rules! sum_int {
     ($($t:ty),*) => {$(
         impl ReduceOp<$t> for Sum {
+            #[inline]
             fn identity(&self) -> $t {
                 0
             }
 
+            #[inline]
             fn combine(&self, a: $t, b: $t) -> $t {
                 a.wrapping_add(b)
             }
@@ -99,20 +105,24 @@ macro_rules! sum_int {
 sum_int!(u32, u64, i64);
 
 impl ReduceOp<f64> for Sum {
+    #[inline]
     fn identity(&self) -> f64 {
         0.0
     }
 
+    #[inline]
     fn combine(&self, a: f64, b: f64) -> f64 {
         a + b
     }
 }
 
 impl ReduceOp<bool> for Or {
+    #[inline]
     fn identity(&self) -> bool {
         false
     }
 
+    #[inline]
     fn combine(&self, a: bool, b: bool) -> bool {
         a || b
     }
@@ -132,6 +142,7 @@ pub enum DynReduceOp {
 }
 
 impl ReduceOp<u64> for DynReduceOp {
+    #[inline]
     fn identity(&self) -> u64 {
         match self {
             DynReduceOp::Min => u64::MAX,
@@ -140,6 +151,7 @@ impl ReduceOp<u64> for DynReduceOp {
         }
     }
 
+    #[inline]
     fn combine(&self, a: u64, b: u64) -> u64 {
         match self {
             DynReduceOp::Min => a.min(b),

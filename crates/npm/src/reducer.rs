@@ -48,6 +48,7 @@ impl BoolReducer {
     }
 
     /// ORs `v` into the local value. Callable concurrently.
+    #[inline]
     pub fn reduce(&self, v: bool) {
         if v {
             self.local.store(true, Ordering::Relaxed);
@@ -55,6 +56,7 @@ impl BoolReducer {
     }
 
     /// The local value, without communication.
+    #[inline]
     pub fn local(&self) -> bool {
         self.local.load(Ordering::Relaxed)
     }
@@ -83,11 +85,13 @@ impl SumReducer {
     }
 
     /// Adds `v` into the local value. Callable concurrently.
+    #[inline]
     pub fn reduce(&self, v: u64) {
         self.local.fetch_add(v, Ordering::Relaxed);
     }
 
     /// The local value, without communication.
+    #[inline]
     pub fn local(&self) -> u64 {
         self.local.load(Ordering::Relaxed)
     }
@@ -124,11 +128,13 @@ impl MinReducer {
     }
 
     /// Min-combines `v` into the local value. Callable concurrently.
+    #[inline]
     pub fn reduce(&self, v: u64) {
         self.local.fetch_min(v, Ordering::Relaxed);
     }
 
     /// The local value, without communication.
+    #[inline]
     pub fn local(&self) -> u64 {
         self.local.load(Ordering::Relaxed)
     }

@@ -69,6 +69,92 @@ fn model_min(n: u32, loads: &[Vec<(u32, u64)>]) -> Vec<u64> {
     vals
 }
 
+/// One multi-round program: per round, each of the 3 hosts gets a reduce
+/// list and a list of keys to request (and read back after the syncs).
+type Round = (Vec<Vec<(u32, u64)>>, Vec<Vec<u32>>);
+
+fn program(n: u32) -> impl Strategy<Value = Vec<Round>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(prop::collection::vec((0..n, 0u64..1000), 0..60), 3),
+            prop::collection::vec(prop::collection::vec(0..n, 0..20), 3),
+        ),
+        1..4, // rounds
+    )
+}
+
+/// Differential check of a full round pipeline: every host runs the same
+/// randomized reduce → reduce_sync → request → request_sync → read
+/// sequence on the real backend, and every observed value must equal the
+/// sequential reference model's snapshot at that round. Returns the final
+/// merged canonical values for the end-of-program comparison.
+fn run_program(variant: Variant, n: u32, rounds: &[Round], threads: usize) -> Vec<u64> {
+    // Reference model: per-round snapshots of the canonical values.
+    let mut model: Vec<u64> = (0..n as u64).map(|g| g + 10_000).collect();
+    let mut snapshots: Vec<Vec<u64>> = Vec::with_capacity(rounds.len());
+    for (reduces, _) in rounds {
+        for host in reduces {
+            for &(k, v) in host {
+                model[k as usize] = model[k as usize].min(v);
+            }
+        }
+        snapshots.push(model.clone());
+    }
+
+    let g = graph(n);
+    let parts = partition(&g, Policy::EdgeCutBlocked, 3);
+    let snaps = &snapshots;
+    let out = Cluster::with_threads(3, threads).run(|ctx| {
+        let dg = &parts[ctx.host()];
+        let mut npm: Npm<u64, Min> = Npm::with_variant(dg, ctx, Min, variant);
+        npm.init_masters(&|g| g as u64 + 10_000);
+        for (r, (reduces, requests)) in rounds.iter().enumerate() {
+            let my = &reduces[ctx.host()];
+            ctx.par_for(0..my.len(), |tid, range| {
+                for i in range {
+                    let (k, v) = my[i];
+                    npm.reduce(tid, k, v);
+                }
+            });
+            npm.reduce_sync(ctx);
+            for &k in &requests[ctx.host()] {
+                npm.request(k);
+            }
+            npm.request_sync(ctx);
+            // Requested keys and own masters must both show the model's
+            // post-reduce_sync value for this round.
+            for &k in &requests[ctx.host()] {
+                assert_eq!(
+                    npm.read(k),
+                    snaps[r][k as usize],
+                    "{variant}: requested key {k} wrong in round {r}"
+                );
+            }
+            for m in dg.master_nodes() {
+                let gk = dg.local_to_global(m);
+                assert_eq!(
+                    npm.read(gk),
+                    snaps[r][gk as usize],
+                    "{variant}: master {gk} wrong in round {r}"
+                );
+            }
+        }
+        dg.master_nodes()
+            .map(|m| {
+                let gk = dg.local_to_global(m);
+                (gk, npm.read(gk))
+            })
+            .collect::<Vec<(NodeId, u64)>>()
+    });
+    let mut vals = vec![0u64; n as usize];
+    for host in out {
+        for (gk, v) in host {
+            vals[gk as usize] = v;
+        }
+    }
+    vals
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -86,6 +172,31 @@ proptest! {
         let a = run_min(Variant::SgrCfGar, 48, &loads, 1);
         let b = run_min(Variant::SgrCfGar, 48, &loads, 4);
         prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn round_pipeline_matches_model_all_variants(
+        rounds in program(56),
+        threads in 1usize..9,
+    ) {
+        // The differential gate for the hot-path rebuild: randomized
+        // reduce/request/read/sync programs observe bit-identical values
+        // on every backend, at every thread count, in every round.
+        let expected = {
+            let mut m: Vec<u64> = (0..56u64).map(|g| g + 10_000).collect();
+            for (reduces, _) in &rounds {
+                for host in reduces {
+                    for &(k, v) in host {
+                        m[k as usize] = m[k as usize].min(v);
+                    }
+                }
+            }
+            m
+        };
+        for variant in [Variant::SgrOnly, Variant::SgrCf, Variant::SgrCfGar] {
+            let got = run_program(variant, 56, &rounds, threads);
+            prop_assert_eq!(&got, &expected, "variant {} diverged", variant);
+        }
     }
 
     #[test]

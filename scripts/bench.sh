@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Tracked benchmark harness: runs the perf-trajectory benches with JSON
+# recording enabled (see crates/bench/src/json.rs) and wraps the records
+# into BENCH_<date>.json at the repo root.
+#
+#   scripts/bench.sh            full run; writes BENCH_$(date +%F).json
+#   scripts/bench.sh --smoke    CI mode: one tiny graph through the fig11
+#                               harness, asserts records were emitted,
+#                               writes nothing to the repo
+#
+# Knobs: KIMBAP_SCALE / KIMBAP_THREADS / KIMBAP_SKIP_MC as usual, plus
+# KIMBAP_BENCH_BASELINE=<jsonl file> to embed before-numbers (e.g. from a
+# run on the previous commit) as a "baseline" array in the output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+[ "${1:-}" = "--smoke" ] && SMOKE=1
+
+TMP_JSONL="$(mktemp /tmp/kimbap-bench-XXXXXX.jsonl)"
+trap 'rm -f "$TMP_JSONL"' EXIT
+export KIMBAP_BENCH_JSON="$TMP_JSONL"
+
+if [ "$SMOKE" = 1 ]; then
+    export KIMBAP_SCALE=tiny KIMBAP_SKIP_MC=1 KIMBAP_HOSTS_MEDIUM=2 KIMBAP_BENCH_SMOKE=1
+    cargo bench -q -p kimbap-bench --bench fig11_runtime_variants
+    lines=$(wc -l < "$TMP_JSONL")
+    if [ "$lines" -lt 1 ]; then
+        echo "bench smoke: no JSON records produced" >&2
+        exit 1
+    fi
+    echo "bench smoke: $lines JSON record(s) produced OK"
+    exit 0
+fi
+
+cargo bench -q -p kimbap-bench --bench micro_npm
+cargo bench -q -p kimbap-bench --bench fig11_runtime_variants
+cargo bench -q -p kimbap-bench --bench table3_single_host
+
+OUT="BENCH_$(date +%F).json"
+{
+    echo "{"
+    echo "  \"date\": \"$(date +%F)\","
+    echo "  \"scale\": \"${KIMBAP_SCALE:-small}\","
+    echo "  \"threads_per_host\": ${KIMBAP_THREADS:-2},"
+    if [ -n "${KIMBAP_BENCH_BASELINE:-}" ] && [ -f "$KIMBAP_BENCH_BASELINE" ]; then
+        echo "  \"baseline\": ["
+        sed 's/^/    /;$!s/$/,/' "$KIMBAP_BENCH_BASELINE"
+        echo "  ],"
+    fi
+    echo "  \"records\": ["
+    sed 's/^/    /;$!s/$/,/' "$TMP_JSONL"
+    echo "  ]"
+    echo "}"
+} > "$OUT"
+echo "wrote $OUT ($(wc -l < "$TMP_JSONL") records)"

@@ -14,7 +14,16 @@ cargo test -q --workspace
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> cargo clippy --workspace --benches --tests -- -D warnings"
+cargo clippy --workspace --benches --tests -- -D warnings
+
+echo "==> cargo bench --no-run (bench targets must compile)"
+cargo bench -q --workspace --no-run
+
 echo "==> fault-matrix smoke (fixed seeds)"
 cargo test --release -q -p kimbap --test fault_injection fault_matrix_smoke
+
+echo "==> bench harness smoke (tiny graph, JSON records)"
+scripts/bench.sh --smoke
 
 echo "==> CI green"
