@@ -59,6 +59,55 @@ fn record_run_to(path: &str, bench: &str, case: &str, system: &str, hosts: usize
     );
 }
 
+/// One BSP round of a frontier-execution record: how many nodes the
+/// round's reduce-compute actually ran, cluster-wide.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundRecord {
+    /// Global round number (1-based).
+    pub round: u64,
+    /// Nodes executed, summed across hosts.
+    pub active: u64,
+    /// Dense iterator extent, summed across hosts.
+    pub total: u64,
+    /// Whether every host took the sparse path this round.
+    pub sparse: bool,
+    /// Reduce-compute seconds (max over hosts).
+    pub reduce_compute_secs: f64,
+}
+
+fn record_rounds_to(
+    path: &str,
+    bench: &str,
+    case: &str,
+    system: &str,
+    hosts: usize,
+    rounds: &[RoundRecord],
+) {
+    let items: Vec<String> = rounds
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "{{\"round\":{},\"active\":{},\"total\":{},",
+                    "\"sparse\":{},\"reduce_compute_secs\":{:.6}}}"
+                ),
+                r.round, r.active, r.total, r.sparse, r.reduce_compute_secs,
+            )
+        })
+        .collect();
+    append_line(
+        path,
+        &format!(
+            "{{\"bench\":\"{}\",\"case\":\"{}\",\"system\":\"{}\",\"hosts\":{},\"rounds\":[{}]}}",
+            escape(bench),
+            escape(case),
+            escape(system),
+            hosts,
+            items.join(","),
+        ),
+    );
+}
+
 fn record_micro_to(path: &str, bench: &str, case: &str, ns_per_iter: f64) {
     append_line(
         path,
@@ -87,6 +136,14 @@ pub fn record_micro(bench: &str, case: &str, ns_per_iter: f64) {
     }
 }
 
+/// Records a per-round activity trace for one measured case if
+/// `KIMBAP_BENCH_JSON` is set.
+pub fn record_rounds(bench: &str, case: &str, system: &str, hosts: usize, rounds: &[RoundRecord]) {
+    if let Ok(path) = std::env::var(ENV_JSON) {
+        record_rounds_to(&path, bench, case, system, hosts, rounds);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,16 +167,42 @@ mod tests {
         };
         record_run_to(path_s, "fig11", "road/cc_sv", "sgr_cf_gar", 4, &stats);
         record_micro_to(path_s, "micro_npm", "reduce_compute/\"quoted\"", 3524165.0);
+        record_rounds_to(
+            path_s,
+            "frontier_cclp",
+            "social/CC-LP",
+            "sparse",
+            2,
+            &[
+                RoundRecord {
+                    round: 1,
+                    active: 512,
+                    total: 512,
+                    sparse: false,
+                    reduce_compute_secs: 0.25,
+                },
+                RoundRecord {
+                    round: 2,
+                    active: 37,
+                    total: 512,
+                    sparse: true,
+                    reduce_compute_secs: 0.0625,
+                },
+            ],
+        );
 
         let body = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = body.lines().collect();
-        assert_eq!(lines.len(), 2);
+        assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("{\"bench\":\"fig11\""));
         assert!(lines[0].contains("\"hosts\":4"));
         assert!(lines[0].contains("\"messages\":42"));
         assert!(lines[0].contains("\"reduce_sync_secs\":0.125000"));
         assert!(lines[1].contains("\\\"quoted\\\""));
         assert!(lines[1].contains("\"ns_per_iter\":3524165.0"));
+        assert!(lines[2].starts_with("{\"bench\":\"frontier_cclp\""));
+        assert!(lines[2].contains("\"rounds\":[{\"round\":1,"));
+        assert!(lines[2].contains("\"active\":37,\"total\":512,\"sparse\":true"));
         std::fs::remove_file(&path).unwrap();
     }
 }

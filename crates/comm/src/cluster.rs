@@ -56,6 +56,14 @@ pub struct HostStats {
     pub reduce_compute_nanos: u64,
     /// Nanoseconds spent in reduce-sync/broadcast-sync collectives.
     pub reduce_sync_nanos: u64,
+    /// Nodes actually executed by reduce-compute `ParFor`s (engines report
+    /// these via [`HostCtx::add_parfor_activity`]; zero if never reported).
+    pub active_nodes: u64,
+    /// Nodes the same `ParFor`s would have executed densely — the
+    /// denominator of the frontier density `active_nodes / parfor_nodes`.
+    pub parfor_nodes: u64,
+    /// Rounds that iterated a sparse frontier instead of all nodes.
+    pub sparse_rounds: u64,
 }
 
 /// The four phases of one NPM BSP round (Fig. 6 of the paper), used to
@@ -86,6 +94,12 @@ impl HostStats {
         self.request_sync_nanos = self.request_sync_nanos.max(other.request_sync_nanos);
         self.reduce_compute_nanos = self.reduce_compute_nanos.max(other.reduce_compute_nanos);
         self.reduce_sync_nanos = self.reduce_sync_nanos.max(other.reduce_sync_nanos);
+        // Work counts are cluster-wide totals, like traffic: sum. Sparse
+        // rounds happen per host at the same round cadence, so max keeps
+        // the count in units of rounds.
+        self.active_nodes += other.active_nodes;
+        self.parfor_nodes += other.parfor_nodes;
+        self.sparse_rounds = self.sparse_rounds.max(other.sparse_rounds);
     }
 }
 
@@ -604,6 +618,9 @@ struct StatCells {
     request_sync_nanos: AtomicU64,
     reduce_compute_nanos: AtomicU64,
     reduce_sync_nanos: AtomicU64,
+    active_nodes: AtomicU64,
+    parfor_nodes: AtomicU64,
+    sparse_rounds: AtomicU64,
 }
 
 impl<'a> HostCtx<'a> {
@@ -1052,6 +1069,9 @@ impl<'a> HostCtx<'a> {
             request_sync_nanos: self.stats.request_sync_nanos.load(Ordering::Relaxed),
             reduce_compute_nanos: self.stats.reduce_compute_nanos.load(Ordering::Relaxed),
             reduce_sync_nanos: self.stats.reduce_sync_nanos.load(Ordering::Relaxed),
+            active_nodes: self.stats.active_nodes.load(Ordering::Relaxed),
+            parfor_nodes: self.stats.parfor_nodes.load(Ordering::Relaxed),
+            sparse_rounds: self.stats.sparse_rounds.load(Ordering::Relaxed),
         }
     }
 
@@ -1066,6 +1086,9 @@ impl<'a> HostCtx<'a> {
         self.stats.request_sync_nanos.store(0, Ordering::Relaxed);
         self.stats.reduce_compute_nanos.store(0, Ordering::Relaxed);
         self.stats.reduce_sync_nanos.store(0, Ordering::Relaxed);
+        self.stats.active_nodes.store(0, Ordering::Relaxed);
+        self.stats.parfor_nodes.store(0, Ordering::Relaxed);
+        self.stats.sparse_rounds.store(0, Ordering::Relaxed);
     }
 
     /// Attributes `nanos` of wall-clock time to one NPM round phase. Called
@@ -1079,6 +1102,17 @@ impl<'a> HostCtx<'a> {
             SyncPhase::ReduceSync => &self.stats.reduce_sync_nanos,
         };
         cell.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Records one reduce-compute `ParFor`'s activity: `active` nodes ran
+    /// out of a dense extent of `total`, via a sparse frontier or not.
+    /// Engines report this per round alongside the phase times.
+    pub fn add_parfor_activity(&self, active: u64, total: u64, sparse: bool) {
+        self.stats.active_nodes.fetch_add(active, Ordering::Relaxed);
+        self.stats.parfor_nodes.fetch_add(total, Ordering::Relaxed);
+        if sparse {
+            self.stats.sparse_rounds.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Adds externally measured communication time (used by subsystems that

@@ -179,6 +179,16 @@ impl WorkerPool {
             f(0, start..start + n);
             return;
         }
+        // A range no larger than one chunk would be claimed whole by the
+        // first worker anyway; run it inline and skip the fan-out/ack
+        // round-trip entirely. Tiny sparse frontiers hit this constantly.
+        // (`run`/`run_map` must NOT take this shortcut: their contract is
+        // that every thread id participates — e.g. request-sync bucketing
+        // scans a word chunk per tid.)
+        if n <= 256 {
+            f(0, start..start + n);
+            return;
+        }
         let grain = (n / (self.threads * 8)).max(256);
         let cursor = AtomicUsize::new(0);
         self.run(|tid| loop {
@@ -253,6 +263,22 @@ mod tests {
                 hits[i].fetch_add(1, Ordering::Relaxed);
             }
         });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_for_small_range_runs_inline() {
+        let pool = WorkerPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let tid_seen = AtomicUsize::new(usize::MAX);
+        pool.par_for(0..100, |tid, r| {
+            tid_seen.store(tid, Ordering::Relaxed);
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        // A sub-chunk range is served by the calling thread as tid 0.
+        assert_eq!(tid_seen.load(Ordering::Relaxed), 0);
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 

@@ -6,7 +6,8 @@
 //! id (§1). An application uses both types when some of its operators are
 //! purely adjacent and others are not.
 
-use crate::ir::{Program, Stmt, TopStmt};
+use crate::ir::{Expr, MapId, Program, Stmt, TopStmt};
+use std::collections::BTreeMap;
 
 /// Classification of one operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +28,53 @@ pub struct AppClassification {
     pub uses_trans: bool,
     /// Number of operators examined.
     pub num_operators: usize,
+}
+
+/// How an operator body's reads depend on one map's keys — which nodes
+/// must re-run when a key of that map changes (the frontier fan-in).
+///
+/// The variants are ordered from most to least precise; joining two
+/// observations of the same map takes the `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ReadDep {
+    /// Every read of the map is keyed by the active node: a changed key
+    /// activates only that node.
+    SelfKey,
+    /// Reads are keyed by the active node and/or the current edge
+    /// destination: a changed key activates the key itself plus its
+    /// in-neighbors (the nodes whose out-edges reach it).
+    Adjacent,
+    /// Some read is keyed by a computed (trans-vertex) expression: the
+    /// dependence is not statically bounded, so sparse iteration over a
+    /// changed-key frontier is unsound.
+    Trans,
+}
+
+/// Classifies, per map read by `body`, how the body depends on its keys.
+/// Sorted by map id; maps that are only reduced into (never read) do not
+/// appear.
+pub fn classify_map_reads(body: &[Stmt]) -> Vec<(MapId, ReadDep)> {
+    fn walk(stmts: &[Stmt], deps: &mut BTreeMap<MapId, ReadDep>) {
+        for s in stmts {
+            match s {
+                Stmt::Read { map, key, .. } => {
+                    let dep = match key {
+                        Expr::Node => ReadDep::SelfKey,
+                        Expr::EdgeDst => ReadDep::Adjacent,
+                        _ => ReadDep::Trans,
+                    };
+                    let e = deps.entry(*map).or_insert(dep);
+                    *e = (*e).max(dep);
+                }
+                Stmt::If { then, .. } => walk(then, deps),
+                Stmt::ForEdges { body } => walk(body, deps),
+                _ => {}
+            }
+        }
+    }
+    let mut deps = BTreeMap::new();
+    walk(body, &mut deps);
+    deps.into_iter().collect()
 }
 
 /// Classifies one operator body.
@@ -106,5 +154,22 @@ mod tests {
         assert_eq!(classify_operator(&loops[0].body), OperatorKind::TransVertex);
         // Shortcut reads parent(parent(n)): trans.
         assert_eq!(classify_operator(&loops[1].body), OperatorKind::TransVertex);
+    }
+
+    #[test]
+    fn map_read_deps_join_to_the_weakest_kind() {
+        // CC-LP reads label(node) and label(edge.dst): Adjacent.
+        let lp = programs::cc_lp();
+        assert_eq!(
+            classify_map_reads(&lp.loops()[0].body),
+            vec![(0, ReadDep::Adjacent)]
+        );
+        // CC-SV shortcut reads parent(node) then parent(parent(node)):
+        // the computed key degrades the map to Trans.
+        let sv = programs::cc_sv();
+        assert_eq!(
+            classify_map_reads(&sv.loops()[1].body),
+            vec![(0, ReadDep::Trans)]
+        );
     }
 }

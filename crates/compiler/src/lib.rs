@@ -41,6 +41,6 @@ pub mod ir;
 pub mod programs;
 pub mod transform;
 
-pub use classify::{classify_operator, classify_program, AppClassification, OperatorKind};
+pub use classify::{classify_map_reads, classify_operator, classify_program, AppClassification, OperatorKind, ReadDep};
 pub use frontend::{parse, ParseError};
-pub use transform::{compile, CompiledProgram, OptLevel};
+pub use transform::{compile, CompiledProgram, OptLevel, SparsePlan};

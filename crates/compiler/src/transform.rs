@@ -28,7 +28,9 @@
 //! dominator/post-dominator trees and the tests cross-check the slices
 //! against them.
 
+use crate::classify::{classify_map_reads, ReadDep};
 use crate::ir::{Expr, KimbapWhile, MapDecl, MapId, NodeIterator, Program, Stmt, TopStmt, Var};
+use kimbap_npm::DynReduceOp;
 use std::collections::{HashMap, HashSet};
 
 /// Whether the §5.2 optimizations are applied — the OPT / NO-OPT axis of
@@ -52,6 +54,18 @@ pub struct RequestPhase {
     pub sync_maps: Vec<MapId>,
 }
 
+/// The compiler's certificate that frontier (active-set) execution of a
+/// loop is sound: emitted only when skipping nodes whose read inputs did
+/// not change in the previous round provably yields the same result as
+/// dense iteration. Absent (`None` on [`CompiledLoop::sparse`]) the engine
+/// must iterate densely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsePlan {
+    /// Per read map (sorted by id): how the body depends on its keys,
+    /// i.e. which nodes a changed key of that map activates.
+    pub read_deps: Vec<(MapId, ReadDep)>,
+}
+
 /// A compiled `KimbapWhile`: the BSP do-while of §4.1.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledLoop {
@@ -69,6 +83,8 @@ pub struct CompiledLoop {
     pub reduce_maps: Vec<MapId>,
     /// Maps to `BroadcastSync()` after reduce-sync (pinned ∩ reduced).
     pub broadcast_maps: Vec<MapId>,
+    /// Sparse-execution certificate, when frontier iteration is sound.
+    pub sparse: Option<SparsePlan>,
 }
 
 /// A compiled top-level statement.
@@ -131,12 +147,12 @@ pub fn compile(p: &Program, opt: OptLevel) -> CompiledProgram {
         maps: p.maps.clone(),
         num_reducers: p.num_reducers,
         num_vars: p.num_vars,
-        body: compile_tops(&p.body, opt),
+        body: compile_tops(&p.body, &p.maps, opt),
         opt,
     }
 }
 
-fn compile_tops(tops: &[TopStmt], opt: OptLevel) -> Vec<CompiledTop> {
+fn compile_tops(tops: &[TopStmt], maps: &[MapDecl], opt: OptLevel) -> Vec<CompiledTop> {
     tops.iter()
         .map(|t| match t {
             TopStmt::InitMap { map, value } => CompiledTop::InitMap {
@@ -154,11 +170,12 @@ fn compile_tops(tops: &[TopStmt], opt: OptLevel) -> Vec<CompiledTop> {
                     iterator: NodeIterator::AllNodes,
                     body: body.clone(),
                 },
+                maps,
                 opt,
             )),
-            TopStmt::While(w) => CompiledTop::Loop(compile_while(w, opt)),
+            TopStmt::While(w) => CompiledTop::Loop(compile_while(w, maps, opt)),
             TopStmt::DoWhileScalar { body, reducer } => CompiledTop::DoWhileScalar {
-                body: compile_tops(body, opt),
+                body: compile_tops(body, maps, opt),
                 reducer: *reducer,
             },
         })
@@ -178,6 +195,8 @@ struct BodyFacts {
     read_levels: HashMap<Vec<usize>, usize>,
     /// Highest request level.
     max_level: Option<usize>,
+    /// Does the operator reduce into a scalar reducer?
+    has_reduce_scalar: bool,
 }
 
 fn expr_uses_edge(e: &Expr) -> bool {
@@ -241,6 +260,7 @@ fn gather_facts(body: &[Stmt]) -> BodyFacts {
                     if expr_uses_edge(value) {
                         f.touches_edges = true;
                     }
+                    f.has_reduce_scalar = true;
                 }
                 Stmt::If { cond, then } => {
                     if expr_uses_edge(cond) {
@@ -397,7 +417,57 @@ fn requested_maps(body: &[Stmt]) -> Vec<MapId> {
     out
 }
 
-fn compile_while(w: &KimbapWhile, opt: OptLevel) -> CompiledLoop {
+/// Decides whether a loop may run over a changed-key frontier instead of
+/// all nodes, and if so how changed keys map to nodes that must re-run.
+///
+/// The conditions are the soundness argument of DESIGN.md §10:
+///
+/// * `Full` only — NO-OPT plans exist to measure unoptimized communication
+///   and stay dense;
+/// * every reduced map's operator is idempotent (Min/Max): a skipped
+///   node's unchanged contribution is already folded into the canonical
+///   value, so omitting the re-reduce cannot change the result. Sum is
+///   not idempotent — skipping would under-count;
+/// * no scalar reductions: they observe every iteration, skipped or not;
+/// * no request phases: request-materialized values change outside the
+///   maps' per-key delta tracking;
+/// * every read is covered by the delta — under `Masters` all reads are
+///   self-keyed master reads (tracked by the owner's master bits); under
+///   `AllNodes` every read map must be pinned, so remote-key changes
+///   arrive through the broadcast delta. Trans-vertex reads are never
+///   covered.
+fn sparse_plan(
+    opt: OptLevel,
+    iterator: NodeIterator,
+    pinned_maps: &[MapId],
+    request_phases: &[RequestPhase],
+    facts: &BodyFacts,
+    body: &[Stmt],
+    maps: &[MapDecl],
+) -> Option<SparsePlan> {
+    if opt != OptLevel::Full || facts.has_reduce_scalar || !request_phases.is_empty() {
+        return None;
+    }
+    let idempotent = |op: DynReduceOp| matches!(op, DynReduceOp::Min | DynReduceOp::Max);
+    if facts.reduced_maps.iter().any(|&m| !idempotent(maps[m].op)) {
+        return None;
+    }
+    let read_deps = classify_map_reads(body);
+    for &(m, dep) in &read_deps {
+        let covered = match (iterator, dep) {
+            (_, ReadDep::Trans) => false,
+            (NodeIterator::Masters, ReadDep::SelfKey) => true,
+            (NodeIterator::Masters, ReadDep::Adjacent) => false,
+            (NodeIterator::AllNodes, _) => pinned_maps.contains(&m),
+        };
+        if !covered {
+            return None;
+        }
+    }
+    Some(SparsePlan { read_deps })
+}
+
+fn compile_while(w: &KimbapWhile, maps: &[MapDecl], opt: OptLevel) -> CompiledLoop {
     let facts = gather_facts(&w.body);
 
     // §5.2 master elision: no edge accesses -> masters only.
@@ -448,6 +518,16 @@ fn compile_while(w: &KimbapWhile, opt: OptLevel) -> CompiledLoop {
         .filter(|m| facts.reduced_maps.contains(m))
         .collect();
 
+    let sparse = sparse_plan(
+        opt,
+        iterator,
+        &pinned_maps,
+        &request_phases,
+        &facts,
+        &w.body,
+        maps,
+    );
+
     CompiledLoop {
         quiesce_map: w.quiesce_map,
         iterator,
@@ -456,6 +536,7 @@ fn compile_while(w: &KimbapWhile, opt: OptLevel) -> CompiledLoop {
         body: w.body.clone(),
         reduce_maps: facts.reduced_maps.clone(),
         broadcast_maps,
+        sparse,
     }
 }
 
@@ -629,6 +710,93 @@ mod tests {
         // request derived from the dominated read.
         let (_, sc) = sv_loops(OptLevel::Full);
         assert_eq!(sc.request_phases[0].body.len(), 2);
+    }
+
+    fn loops_of(body: &[CompiledTop]) -> Vec<&CompiledLoop> {
+        let mut out = Vec::new();
+        for t in body {
+            match t {
+                CompiledTop::Loop(l) => out.push(l),
+                CompiledTop::DoWhileScalar { body, .. } => out.extend(loops_of(body)),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sparse_plan_certifies_cc_lp_only_under_full_opt() {
+        // CC-LP under Full: one idempotent (Min) map, pinned, no request
+        // phases, adjacent reads -> sparse execution is sound.
+        let plan = compile(&programs::cc_lp(), OptLevel::Full);
+        let CompiledTop::Loop(lp) = &plan.body[1] else {
+            panic!()
+        };
+        assert_eq!(
+            lp.sparse,
+            Some(SparsePlan {
+                read_deps: vec![(0, ReadDep::Adjacent)]
+            })
+        );
+        // NO-OPT keeps request phases and nothing pinned -> dense.
+        let noopt = compile(&programs::cc_lp(), OptLevel::None);
+        let CompiledTop::Loop(lp0) = &noopt.body[1] else {
+            panic!()
+        };
+        assert_eq!(lp0.sparse, None);
+    }
+
+    #[test]
+    fn trans_and_scalar_operators_stay_dense() {
+        // CC-SV: the hook counts work in a scalar reducer and reduces
+        // through a computed key; the shortcut reads parent(parent(n)).
+        let (hook, shortcut) = sv_loops(OptLevel::Full);
+        assert_eq!(hook.sparse, None);
+        assert_eq!(shortcut.sparse, None);
+        // CC-SCLP: every loop carries a scalar work counter.
+        let sclp = compile(&programs::cc_sclp(), OptLevel::Full);
+        for l in loops_of(&sclp.body) {
+            assert_eq!(l.sparse, None, "CC-SCLP loop must stay dense");
+        }
+    }
+
+    #[test]
+    fn non_idempotent_reduction_stays_dense() {
+        // A Sum-reduced map forbids skipping: a skipped node's contribution
+        // from the previous round is not re-folded, so totals would drift.
+        let p = Program {
+            name: "sum-loop",
+            maps: vec![MapDecl {
+                op: kimbap_npm::DynReduceOp::Sum,
+                name: "acc",
+            }],
+            num_reducers: 0,
+            num_vars: 1,
+            body: vec![TopStmt::While(KimbapWhile {
+                quiesce_map: 0,
+                iterator: NodeIterator::AllNodes,
+                body: vec![Stmt::ForEdges {
+                    body: vec![
+                        Stmt::Read {
+                            dst: 0,
+                            map: 0,
+                            key: Expr::EdgeDst,
+                        },
+                        Stmt::Reduce {
+                            map: 0,
+                            key: Expr::Node,
+                            value: Expr::Var(0),
+                        },
+                    ],
+                }],
+            })],
+        };
+        let plan = compile(&p, OptLevel::Full);
+        let CompiledTop::Loop(l) = &plan.body[0] else {
+            panic!()
+        };
+        assert!(l.request_phases.is_empty(), "adjacent reads are pinned");
+        assert_eq!(l.sparse, None);
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct DistGraph {
     offsets: Vec<u64>,
     targets: Vec<LocalId>,
     weights: Vec<Weight>,
+    /// Transpose of the local CSR: for each proxy, the local sources of
+    /// its in-edges. Maps an updated node to the dependents that read it
+    /// through `ForEdges` — the fan-in the frontier scheduler follows.
+    in_offsets: Vec<u64>,
+    in_sources: Vec<LocalId>,
     /// For each peer host `h`: sorted global ids of *my masters* that have a
     /// mirror proxy on `h` (what a broadcast to `h` must cover).
     mirrors_on_peer: Vec<Vec<NodeId>>,
@@ -182,6 +187,29 @@ impl DistGraph {
             .zip(self.weights[r].iter().copied())
     }
 
+    /// In-degree of local proxy `l` (edges of the local CSR ending at `l`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn in_degree(&self, l: LocalId) -> usize {
+        let l = l as usize;
+        (self.in_offsets[l + 1] - self.in_offsets[l]) as usize
+    }
+
+    /// Local in-neighbors of proxy `l`: every proxy with a local out-edge
+    /// ending at `l` (sorted; parallel edges contribute one entry each).
+    /// When a property keyed by `l` changes, these are the nodes whose
+    /// adjacent-key reads observe the change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn in_neighbors(&self, l: LocalId) -> &[LocalId] {
+        let l = l as usize;
+        &self.in_sources[self.in_offsets[l] as usize..self.in_offsets[l + 1] as usize]
+    }
+
     /// Sum of local edge weights of proxy `l`.
     ///
     /// # Panics
@@ -307,8 +335,24 @@ fn build_part(
     for i in 0..nl {
         offsets[i + 1] += offsets[i];
     }
-    let targets = local_edges.iter().map(|&(_, d, _)| d).collect();
+    let targets: Vec<LocalId> = local_edges.iter().map(|&(_, d, _)| d).collect();
     let weights = local_edges.iter().map(|&(_, _, w)| w).collect();
+
+    // Transpose CSR: bucket every edge by destination. Scanning edges in
+    // (s, d) order fills each destination's bucket with ascending sources.
+    let mut in_offsets = vec![0u64; nl + 1];
+    for &(_, d, _) in &local_edges {
+        in_offsets[d as usize + 1] += 1;
+    }
+    for i in 0..nl {
+        in_offsets[i + 1] += in_offsets[i];
+    }
+    let mut in_sources = vec![0 as LocalId; targets.len()];
+    let mut cursor = in_offsets.clone();
+    for &(s, d, _) in &local_edges {
+        in_sources[cursor[d as usize] as usize] = s;
+        cursor[d as usize] += 1;
+    }
 
     let mut mirror_slot_of = vec![NO_MIRROR; own.num_nodes()];
     for (slot, &g) in mirrors.iter().enumerate() {
@@ -324,6 +368,8 @@ fn build_part(
         offsets,
         targets,
         weights,
+        in_offsets,
+        in_sources,
         mirrors_on_peer: vec![Vec::new(); num_hosts],
         mirror_slot_of,
     }
@@ -522,6 +568,36 @@ mod tests {
         for p in partition(&g, Policy::EdgeCutBlocked, 4) {
             for m in p.mirror_nodes() {
                 assert_eq!(p.degree(m), 0, "OEC mirror with out-edges");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_inverts_local_edges() {
+        let g = gen::rmat(7, 4, 8);
+        for policy in [Policy::EdgeCutBlocked, Policy::CartesianVertexCut] {
+            for p in partition(&g, policy, 3) {
+                // Every out-edge (s, d) appears exactly once as d's
+                // in-neighbor s, and nothing else does.
+                let mut expected: Vec<Vec<LocalId>> =
+                    vec![Vec::new(); p.num_local_nodes()];
+                for s in p.local_nodes() {
+                    for &d in p.neighbors(s) {
+                        expected[d as usize].push(s);
+                    }
+                }
+                for d in p.local_nodes() {
+                    expected[d as usize].sort_unstable();
+                    assert_eq!(
+                        p.in_neighbors(d),
+                        expected[d as usize].as_slice(),
+                        "in-edges of local {d} diverge from transpose"
+                    );
+                    assert_eq!(p.in_degree(d), expected[d as usize].len());
+                }
+                let total_in: usize =
+                    p.local_nodes().map(|l| p.in_degree(l)).sum();
+                assert_eq!(total_in, p.num_local_edges());
             }
         }
     }

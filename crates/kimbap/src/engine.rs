@@ -10,15 +10,60 @@
 
 use kimbap_comm::{CrashSignal, HostCtx, SyncPhase};
 use kimbap_compiler::ir::{BinOp, Expr, NodeIterator, Stmt};
-use kimbap_compiler::transform::{CompiledLoop, CompiledProgram, CompiledTop, RequestPhase};
+use kimbap_compiler::transform::{CompiledLoop, CompiledProgram, CompiledTop};
+use kimbap_compiler::ReadDep;
 use kimbap_dist::{DistGraph, LocalId};
 use kimbap_graph::NodeId;
-use kimbap_npm::{DynReduceOp, MapSnapshot, NodePropMap, Npm, SumReducer};
+use kimbap_npm::{ChangedKeys, DynReduceOp, MapSnapshot, NodePropMap, Npm, SumReducer, Variant};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Crash recoveries per compiled loop before the failure is propagated.
 const MAX_RECOVERIES: u32 = 8;
+
+/// Execution options for [`Engine`], orthogonal to the compiled plan.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Runtime variant backing every program map.
+    pub variant: Variant,
+    /// Allow sparse (active-set) rounds for loops the compiler certified
+    /// with a [`kimbap_compiler::SparsePlan`]. When false every round runs
+    /// dense, regardless of the plan.
+    pub sparse: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            variant: Variant::SgrCfGar,
+            sparse: true,
+        }
+    }
+}
+
+/// What one BSP round's reduce-compute `ParFor` actually executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundActivity {
+    /// Global round number (1-based, shared across the program's loops).
+    pub round: u64,
+    /// Nodes the operator body ran on.
+    pub active: u64,
+    /// Dense extent of the loop's iterator on this host.
+    pub total: u64,
+    /// Whether the round iterated a sparse active set.
+    pub sparse: bool,
+    /// Wall-clock time of the reduce-compute phase.
+    pub reduce_compute_nanos: u64,
+}
+
+/// The nodes a sparse round executes — Ligra's two frontier shapes.
+enum ActiveSet {
+    /// Sorted local ids; chosen when the frontier is far enough below the
+    /// extent that per-node dispatch beats scanning a bitmap.
+    List(Vec<LocalId>),
+    /// Bitmap over the iterator extent, scanned word by word.
+    Bits { words: Vec<u64>, count: usize },
+}
 
 /// A round-level checkpoint: everything needed to replay a BSP loop from
 /// its last completed round after a host failure.
@@ -32,6 +77,9 @@ struct Checkpoint {
     maps: Vec<MapSnapshot<u64>>,
     reducers: Vec<u64>,
     rounds: u64,
+    /// Activity records accumulated at checkpoint time; a restore
+    /// truncates back to here so replayed rounds are not double-counted.
+    activity_len: usize,
 }
 
 /// Per-host output of a program run.
@@ -41,6 +89,8 @@ pub struct EngineOutput {
     pub map_values: Vec<Vec<(NodeId, u64)>>,
     /// Total BSP rounds executed across all loops.
     pub rounds: u64,
+    /// Per-round execution record, in round order.
+    pub activity: Vec<RoundActivity>,
 }
 
 /// Evaluation context for one statement application.
@@ -83,15 +133,28 @@ pub struct Engine<'g> {
     maps: Vec<Npm<'g, u64, DynReduceOp>>,
     reducers: Vec<SumReducer>,
     rounds: u64,
+    config: EngineConfig,
+    activity: Vec<RoundActivity>,
 }
 
 impl<'g> Engine<'g> {
-    /// Creates an engine for `plan` on this host's partition. Collective.
+    /// Creates an engine for `plan` on this host's partition with the
+    /// default configuration (GAR runtime, sparse rounds on). Collective.
     pub fn new(dg: &'g DistGraph, ctx: &HostCtx, plan: &'g CompiledProgram) -> Self {
+        Self::with_config(dg, ctx, plan, EngineConfig::default())
+    }
+
+    /// Creates an engine with an explicit [`EngineConfig`]. Collective.
+    pub fn with_config(
+        dg: &'g DistGraph,
+        ctx: &HostCtx,
+        plan: &'g CompiledProgram,
+        config: EngineConfig,
+    ) -> Self {
         let maps = plan
             .maps
             .iter()
-            .map(|d| Npm::new(dg, ctx, d.op))
+            .map(|d| Npm::with_variant(dg, ctx, d.op, config.variant))
             .collect();
         Engine {
             dg,
@@ -99,6 +162,8 @@ impl<'g> Engine<'g> {
             maps,
             reducers: (0..plan.num_reducers).map(|_| SumReducer::new()).collect(),
             rounds: 0,
+            config,
+            activity: Vec::new(),
         }
     }
 
@@ -123,6 +188,7 @@ impl<'g> Engine<'g> {
         EngineOutput {
             map_values,
             rounds: self.rounds,
+            activity: self.activity,
         }
     }
 
@@ -164,6 +230,7 @@ impl<'g> Engine<'g> {
             maps: self.maps.iter().map(|m| m.snapshot()).collect(),
             reducers: self.reducers.iter().map(|r| r.local()).collect(),
             rounds: self.rounds,
+            activity_len: self.activity.len(),
         }
     }
 
@@ -177,6 +244,7 @@ impl<'g> Engine<'g> {
             r.set(v);
         }
         self.rounds = cp.rounds;
+        self.activity.truncate(cp.activity_len);
     }
 
     fn exec_loop(&mut self, ctx: &HostCtx, l: &CompiledLoop, repeat: bool) {
@@ -223,14 +291,34 @@ impl<'g> Engine<'g> {
         }
         self.rounds += 1;
         ctx.set_round(self.rounds);
+
+        // Consume the previous round's changed-key delta into a frontier
+        // *before* opening the next tracking window. Pin rounds (first
+        // round and post-recovery replays) and one-shot loops always run
+        // dense: every node must execute at least once for the inductive
+        // skip argument to hold.
+        let frontier = if repeat && !pin {
+            self.build_active_set(l)
+        } else {
+            None
+        };
         self.maps[l.quiesce_map].reset_updated();
+        if let Some(plan) = &l.sparse {
+            // Open a fresh delta window on every read map so the next
+            // round's frontier reflects exactly this round's changes.
+            for &(m, _) in &plan.read_deps {
+                if m != l.quiesce_map {
+                    self.maps[m].reset_updated();
+                }
+            }
+        }
 
         // Each segment of the round reports its wall-clock time to the
         // per-phase counters (Fig. 6 attribution); pinning and the
         // quiescence check sit outside the four phases.
         for phase in &l.request_phases {
             let t = Instant::now();
-            self.exec_parfor(ctx, l.iterator, &phase.body);
+            self.exec_parfor(ctx, l.iterator, &phase.body, None);
             ctx.add_phase_nanos(SyncPhase::RequestCompute, t.elapsed().as_nanos() as u64);
             let t = Instant::now();
             for m in &phase.sync_maps {
@@ -240,8 +328,17 @@ impl<'g> Engine<'g> {
         }
 
         let t = Instant::now();
-        self.exec_parfor(ctx, l.iterator, &l.body);
-        ctx.add_phase_nanos(SyncPhase::ReduceCompute, t.elapsed().as_nanos() as u64);
+        let (active, total) = self.exec_parfor(ctx, l.iterator, &l.body, frontier.as_ref());
+        let reduce_compute_nanos = t.elapsed().as_nanos() as u64;
+        ctx.add_phase_nanos(SyncPhase::ReduceCompute, reduce_compute_nanos);
+        ctx.add_parfor_activity(active, total, frontier.is_some());
+        self.activity.push(RoundActivity {
+            round: self.rounds,
+            active,
+            total,
+            sparse: frontier.is_some(),
+            reduce_compute_nanos,
+        });
 
         let t = Instant::now();
         for m in &l.reduce_maps {
@@ -255,23 +352,136 @@ impl<'g> Engine<'g> {
         !repeat || !self.maps[l.quiesce_map].is_updated(ctx)
     }
 
-    fn exec_parfor(&self, ctx: &HostCtx, iterator: NodeIterator, body: &[Stmt]) {
+    /// Builds the active set for one round of `l` from the changed-key
+    /// deltas of the maps its body reads, or `None` when the round must
+    /// run dense: no certified [`kimbap_compiler::SparsePlan`], sparse
+    /// execution disabled, or a read map's delta window was invalidated
+    /// by an untracked mutation.
+    fn build_active_set(&self, l: &CompiledLoop) -> Option<ActiveSet> {
+        let plan = l.sparse.as_ref()?;
+        if !self.config.sparse {
+            return None;
+        }
+        let n = match l.iterator {
+            NodeIterator::AllNodes => self.dg.num_local_nodes(),
+            NodeIterator::Masters => self.dg.num_masters(),
+        };
+        let num_masters = self.dg.num_masters();
+
+        fn activate(words: &mut [u64], count: &mut usize, n: usize, lid: usize) {
+            if lid < n && words[lid / 64] & (1u64 << (lid % 64)) == 0 {
+                words[lid / 64] |= 1u64 << (lid % 64);
+                *count += 1;
+            }
+        }
+
+        let mut words = vec![0u64; n.div_ceil(64)];
+        let mut count = 0usize;
+        for &(m, dep) in &plan.read_deps {
+            let ChangedKeys::Tracked { masters, remote } = self.maps[m].changed_keys() else {
+                return None;
+            };
+            // Under GAR a master's bit offset *is* its local id — both
+            // are the rank of the global id among this host's owned
+            // nodes — and a changed remote key `g` is the mirror proxy
+            // `num_masters + slot(g)`. A changed key re-activates its own
+            // reader; an adjacent-keyed read additionally re-activates
+            // the in-neighbors whose edge reads observe it.
+            for off in masters.iter_set() {
+                activate(&mut words, &mut count, n, off);
+                if dep == ReadDep::Adjacent {
+                    for &src in self.dg.in_neighbors(off as LocalId) {
+                        activate(&mut words, &mut count, n, src as usize);
+                    }
+                }
+            }
+            for &g in remote {
+                let Some(slot) = self.dg.mirror_slot(g) else {
+                    continue;
+                };
+                let lid = num_masters + slot as usize;
+                activate(&mut words, &mut count, n, lid);
+                if dep == ReadDep::Adjacent {
+                    for &src in self.dg.in_neighbors(lid as LocalId) {
+                        activate(&mut words, &mut count, n, src as usize);
+                    }
+                }
+            }
+        }
+
+        // Ligra-style shape switch: materialize a list only well below
+        // the break-even where per-node dispatch beats scanning the
+        // bitmap (1/20th of the extent, mirroring Ligra's threshold).
+        Some(if count * 20 < n {
+            let mut list = Vec::with_capacity(count);
+            for (w, &word) in words.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    list.push((w * 64 + bits.trailing_zeros() as usize) as LocalId);
+                    bits &= bits - 1;
+                }
+            }
+            ActiveSet::List(list)
+        } else {
+            ActiveSet::Bits { words, count }
+        })
+    }
+
+    /// Runs `body` over the iterator's extent — dense, or restricted to
+    /// `active` — and returns `(nodes executed, dense extent)`.
+    fn exec_parfor(
+        &self,
+        ctx: &HostCtx,
+        iterator: NodeIterator,
+        body: &[Stmt],
+        active: Option<&ActiveSet>,
+    ) -> (u64, u64) {
         let n = match iterator {
             NodeIterator::AllNodes => self.dg.num_local_nodes(),
             NodeIterator::Masters => self.dg.num_masters(),
         };
         let num_vars = self.plan.num_vars;
-        ctx.par_for(0..n, |tid, range| {
-            let mut env = vec![0u64; num_vars];
-            for l in range {
-                let lid = l as LocalId;
-                let c = EvalCtx {
-                    node: self.dg.local_to_global(lid) as u64,
-                    edge: None,
-                };
-                self.exec_stmts(body, lid, tid, c, &mut env);
+        let run_one = |lid: LocalId, tid: usize, env: &mut Vec<u64>| {
+            let c = EvalCtx {
+                node: self.dg.local_to_global(lid) as u64,
+                edge: None,
+            };
+            self.exec_stmts(body, lid, tid, c, env);
+        };
+        match active {
+            None => {
+                ctx.par_for(0..n, |tid, range| {
+                    let mut env = vec![0u64; num_vars];
+                    for l in range {
+                        run_one(l as LocalId, tid, &mut env);
+                    }
+                });
+                (n as u64, n as u64)
             }
-        });
+            Some(ActiveSet::List(list)) => {
+                ctx.par_for(0..list.len(), |tid, range| {
+                    let mut env = vec![0u64; num_vars];
+                    for i in range {
+                        run_one(list[i], tid, &mut env);
+                    }
+                });
+                (list.len() as u64, n as u64)
+            }
+            Some(ActiveSet::Bits { words, count }) => {
+                ctx.par_for(0..words.len(), |tid, wrange| {
+                    let mut env = vec![0u64; num_vars];
+                    for w in wrange {
+                        let mut bits = words[w];
+                        while bits != 0 {
+                            let lid = (w * 64 + bits.trailing_zeros() as usize) as LocalId;
+                            bits &= bits - 1;
+                            run_one(lid, tid, &mut env);
+                        }
+                    }
+                });
+                (*count as u64, n as u64)
+            }
+        }
     }
 
     fn exec_stmts(&self, stmts: &[Stmt], lid: LocalId, tid: usize, c: EvalCtx, env: &mut [u64]) {
@@ -309,10 +519,43 @@ impl<'g> Engine<'g> {
     }
 }
 
-/// Compiles `phase` metadata for display (used by benches to show request
-/// phase counts per loop).
-pub fn phase_summary(phases: &[RequestPhase]) -> String {
-    format!("{} request phase(s)", phases.len())
+/// One displayable line of a loop's execution profile: the plan's static
+/// shape (request phases per round) joined with what a round actually ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundSummary {
+    /// Request phases the loop executes each round.
+    pub request_phases: usize,
+    /// Nodes the round's reduce-compute phase ran the operator on.
+    pub active: u64,
+    /// Dense extent of the loop's iterator.
+    pub total: u64,
+    /// Whether the round iterated a sparse active set.
+    pub sparse: bool,
+}
+
+impl RoundSummary {
+    /// Summarizes one recorded round of `l`.
+    pub fn new(l: &CompiledLoop, a: &RoundActivity) -> Self {
+        RoundSummary {
+            request_phases: l.request_phases.len(),
+            active: a.active,
+            total: a.total,
+            sparse: a.sparse,
+        }
+    }
+}
+
+impl std::fmt::Display for RoundSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} request phase(s), {}/{} nodes ({})",
+            self.request_phases,
+            self.active,
+            self.total,
+            if self.sparse { "sparse" } else { "dense" }
+        )
+    }
 }
 
 #[cfg(test)]
@@ -464,6 +707,83 @@ mod tests {
         }
         let max_rc = stats.iter().map(|s| s.reduce_compute_nanos).max().unwrap();
         assert_eq!(total.reduce_compute_nanos, max_rc);
+    }
+
+    #[test]
+    fn cc_lp_runs_sparse_tail_rounds_and_matches_dense() {
+        let g = gen::rmat(8, 6, 11);
+        let plan = compile(&programs::cc_lp(), OptLevel::Full);
+        let parts = partition(&g, Policy::EdgeCutBlocked, 2);
+        let run_cfg = |sparse: bool| {
+            Cluster::with_threads(2, 2).run(|ctx| {
+                let cfg = EngineConfig {
+                    sparse,
+                    ..EngineConfig::default()
+                };
+                Engine::with_config(&parts[ctx.host()], ctx, &plan, cfg).run(ctx)
+            })
+        };
+        let sparse_outs = run_cfg(true);
+        let dense_outs = run_cfg(false);
+        // Identical results, round for round.
+        assert_eq!(
+            merged_map0(g.num_nodes(), &sparse_outs),
+            merged_map0(g.num_nodes(), &dense_outs)
+        );
+        assert_eq!(sparse_outs[0].rounds, dense_outs[0].rounds);
+        // The dense run never leaves the dense path…
+        assert!(dense_outs.iter().all(|o| o.activity.iter().all(|a| !a.sparse)));
+        // …while the sparse run shrinks its tail rounds: everything after
+        // the pin round is sparse, and later frontiers are strict subsets.
+        for o in &sparse_outs {
+            let tail: Vec<_> = o.activity.iter().skip(1).collect();
+            assert!(!tail.is_empty(), "label propagation needs multiple rounds");
+            assert!(tail.iter().all(|a| a.sparse && a.active <= a.total));
+            let last = tail.last().unwrap();
+            // The final round observed a quiesced frontier-to-be: nothing
+            // changed, so the previous delta had shrunk well below dense.
+            assert!(last.active < last.total);
+        }
+    }
+
+    #[test]
+    fn trans_vertex_programs_never_go_sparse() {
+        // CC-SV reads parent(parent(n)): the compiler refuses to certify a
+        // sparse plan, so every round must report dense even with sparse
+        // execution enabled (the default).
+        let g = gen::rmat(7, 4, 31);
+        let outs = run_plan(&programs::cc_sv(), OptLevel::Full, &g, 2, 2, Policy::EdgeCutBlocked);
+        assert!(outs.iter().all(|o| o.activity.iter().all(|a| !a.sparse)));
+        assert!(outs.iter().all(|o| o.activity.len() as u64 == o.rounds));
+    }
+
+    #[test]
+    fn round_summary_reports_active_fraction() {
+        let g = gen::grid_road(7, 7, 3);
+        let plan = compile(&programs::cc_lp(), OptLevel::Full);
+        let l = plan
+            .body
+            .iter()
+            .find_map(|t| match t {
+                CompiledTop::Loop(l) => Some(l),
+                _ => None,
+            })
+            .expect("cc-lp has a propagation loop");
+        let parts = partition(&g, Policy::EdgeCutBlocked, 2);
+        let outs = Cluster::with_threads(2, 1)
+            .run(|ctx| Engine::new(&parts[ctx.host()], ctx, &plan).run(ctx));
+        let a = outs[0].activity.last().unwrap();
+        let s = RoundSummary::new(l, a);
+        assert_eq!(s.request_phases, 0);
+        assert_eq!(
+            s.to_string(),
+            format!(
+                "0 request phase(s), {}/{} nodes ({})",
+                a.active,
+                a.total,
+                if a.sparse { "sparse" } else { "dense" }
+            )
+        );
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Property-based differential test of active-set (frontier) execution:
+//! for random sparse-eligible vertex programs, sparse rounds must be
+//! round-for-round identical to dense execution — same final maps, same
+//! round count — across every runtime variant and thread count. Sparse
+//! iteration only skips nodes whose read inputs provably did not change,
+//! so any divergence is an engine soundness bug, not a tolerance issue.
+
+use kimbap::engine::{Engine, EngineConfig, EngineOutput};
+use kimbap_comm::Cluster;
+use kimbap_compiler::ir::{
+    BinOp, Expr, KimbapWhile, MapDecl, NodeIterator, Program, Stmt, TopStmt,
+};
+use kimbap_compiler::transform::CompiledTop;
+use kimbap_compiler::{compile, OptLevel};
+use kimbap_dist::{partition, Policy};
+use kimbap_graph::builder::from_edges;
+use kimbap_npm::{DynReduceOp, Variant};
+use proptest::prelude::*;
+
+/// A random monotone *adjacent-vertex* operator: reads keyed only by the
+/// active node and the current edge destination, min-reduce to an
+/// adjacent key. At `OptLevel::Full` the compiler certifies these for
+/// sparse execution (the read map is pinned, reductions idempotent).
+fn adjacent_operator_strategy() -> impl Strategy<Value = Vec<Stmt>> {
+    let reduce_key = prop_oneof![Just(Expr::Node), Just(Expr::EdgeDst)];
+    let guard = prop_oneof![
+        Just(Expr::bin(BinOp::Gt, Expr::Var(0), Expr::Var(1))),
+        Just(Expr::bin(BinOp::Ne, Expr::Var(0), Expr::Var(1))),
+        Just(Expr::bin(BinOp::Lt, Expr::Var(1), Expr::Var(0))),
+    ];
+    (reduce_key, guard, prop::bool::ANY).prop_map(|(rkey, cond, reduce_min_of_both)| {
+        let reduce_value = if reduce_min_of_both {
+            Expr::bin(BinOp::Min, Expr::Var(0), Expr::Var(1))
+        } else {
+            Expr::Var(1)
+        };
+        vec![
+            Stmt::Read {
+                dst: 0,
+                map: 0,
+                key: Expr::Node,
+            },
+            Stmt::ForEdges {
+                body: vec![
+                    Stmt::Read {
+                        dst: 1,
+                        map: 0,
+                        key: Expr::EdgeDst,
+                    },
+                    Stmt::If {
+                        cond,
+                        then: vec![Stmt::Reduce {
+                            map: 0,
+                            key: rkey,
+                            value: reduce_value,
+                        }],
+                    },
+                ],
+            },
+        ]
+    })
+}
+
+fn program_of(ops: Vec<Vec<Stmt>>) -> Program {
+    Program {
+        name: "random-frontier",
+        maps: vec![MapDecl {
+            op: DynReduceOp::Min,
+            name: "m",
+        }],
+        num_reducers: 0,
+        num_vars: 2,
+        body: std::iter::once(TopStmt::InitMap {
+            map: 0,
+            value: Expr::Node,
+        })
+        .chain(ops.into_iter().map(|body| {
+            TopStmt::While(KimbapWhile {
+                quiesce_map: 0,
+                iterator: NodeIterator::AllNodes,
+                body,
+            })
+        }))
+        .collect(),
+    }
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    prop::collection::vec(adjacent_operator_strategy(), 1..3).prop_map(program_of)
+}
+
+fn edge_list() -> impl Strategy<Value = Vec<(u32, u32, u64)>> {
+    prop::collection::vec((0u32..24, 0u32..24, Just(1u64)), 1..60)
+}
+
+fn variant_strategy() -> impl Strategy<Value = Variant> {
+    prop_oneof![
+        Just(Variant::SgrOnly),
+        Just(Variant::SgrCf),
+        Just(Variant::SgrCfGar),
+    ]
+}
+
+fn run_cfg(
+    program: &Program,
+    edges: &[(u32, u32, u64)],
+    hosts: usize,
+    threads: usize,
+    cfg: EngineConfig,
+) -> (Vec<u64>, Vec<EngineOutput>) {
+    let g = from_edges(edges.iter().copied());
+    let parts = partition(&g, Policy::EdgeCutBlocked, hosts);
+    let plan = compile(program, OptLevel::Full);
+    let outs = Cluster::with_threads(hosts, threads)
+        .run(|ctx| Engine::with_config(&parts[ctx.host()], ctx, &plan, cfg).run(ctx));
+    let mut vals = vec![0u64; g.num_nodes()];
+    for o in &outs {
+        for (gid, v) in &o.map_values[0] {
+            vals[*gid as usize] = *v;
+        }
+    }
+    (vals, outs)
+}
+
+/// Number of `While` loops in the program (each contributes one dense pin
+/// round per invocation).
+fn num_loops(p: &Program) -> usize {
+    p.body
+        .iter()
+        .filter(|t| matches!(t, TopStmt::While(_)))
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sparse_execution_matches_dense(
+        program in program_strategy(),
+        edges in edge_list(),
+        variant in variant_strategy(),
+        threads in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+    ) {
+        let sparse_cfg = EngineConfig { variant, sparse: true };
+        let dense_cfg = EngineConfig { variant, sparse: false };
+        let (sv, souts) = run_cfg(&program, &edges, 2, threads, sparse_cfg);
+        let (dv, douts) = run_cfg(&program, &edges, 2, threads, dense_cfg);
+        prop_assert_eq!(sv, dv);
+        prop_assert_eq!(souts[0].rounds, douts[0].rounds);
+
+        // Dense runs, and any run on a non-GAR variant (no changed-key
+        // tracking), must never report a sparse round.
+        prop_assert!(douts.iter().all(|o| o.activity.iter().all(|a| !a.sparse)));
+        if variant != Variant::SgrCfGar {
+            prop_assert!(souts.iter().all(|o| o.activity.iter().all(|a| !a.sparse)));
+        } else {
+            // Under GAR every certified loop goes sparse right after its
+            // pin round: only the per-loop pin rounds stay dense.
+            let plan = compile(&program, OptLevel::Full);
+            let certified = plan.body.iter().all(|t| match t {
+                CompiledTop::Loop(l) => l.sparse.is_some(),
+                _ => true,
+            });
+            prop_assert!(certified, "adjacent min programs must certify at Full");
+            let pins = num_loops(&program) as u64;
+            for o in &souts {
+                let sparse_rounds =
+                    o.activity.iter().filter(|a| a.sparse).count() as u64;
+                prop_assert_eq!(sparse_rounds, o.rounds - pins);
+            }
+        }
+    }
+}
+
+/// A trans-vertex read (`m[m[n]]`) makes sparse iteration unsound; the
+/// compiler must refuse to certify the loop and the engine must stay
+/// dense even with sparse execution enabled, while still agreeing with
+/// the dense run.
+#[test]
+fn trans_vertex_program_falls_back_to_dense() {
+    let body = vec![
+        Stmt::Read {
+            dst: 0,
+            map: 0,
+            key: Expr::Node,
+        },
+        Stmt::Read {
+            dst: 1,
+            map: 0,
+            key: Expr::Var(0), // chained: key computed from a prior read
+        },
+        Stmt::If {
+            cond: Expr::bin(BinOp::Lt, Expr::Var(1), Expr::Var(0)),
+            then: vec![Stmt::Reduce {
+                map: 0,
+                key: Expr::Node,
+                value: Expr::Var(1),
+            }],
+        },
+        Stmt::ForEdges {
+            body: vec![
+                Stmt::Read {
+                    dst: 1,
+                    map: 0,
+                    key: Expr::EdgeDst,
+                },
+                Stmt::If {
+                    cond: Expr::bin(BinOp::Lt, Expr::Var(1), Expr::Var(0)),
+                    then: vec![Stmt::Reduce {
+                        map: 0,
+                        key: Expr::Node,
+                        value: Expr::Var(1),
+                    }],
+                },
+            ],
+        },
+    ];
+    let program = program_of(vec![body]);
+    let plan = compile(&program, OptLevel::Full);
+    for t in &plan.body {
+        if let CompiledTop::Loop(l) = t {
+            assert!(l.sparse.is_none(), "trans-vertex loop must not certify");
+        }
+    }
+    let edges: Vec<(u32, u32, u64)> = (0..40).map(|i| (i % 20, (i * 7 + 3) % 20, 1)).collect();
+    let (sv, souts) = run_cfg(
+        &program,
+        &edges,
+        3,
+        2,
+        EngineConfig {
+            variant: Variant::SgrCfGar,
+            sparse: true,
+        },
+    );
+    let (dv, _) = run_cfg(
+        &program,
+        &edges,
+        3,
+        2,
+        EngineConfig {
+            variant: Variant::SgrCfGar,
+            sparse: false,
+        },
+    );
+    assert_eq!(sv, dv);
+    assert!(souts.iter().all(|o| o.activity.iter().all(|a| !a.sparse)));
+}

@@ -65,7 +65,7 @@ pub mod reducer;
 pub mod value;
 
 pub use bitset::ConcurrentBitset;
-pub use map::{MapSnapshot, MirrorSync, NodePropMap, Npm, NpmReadStats, Variant};
+pub use map::{ChangedKeys, MapSnapshot, MirrorSync, NodePropMap, Npm, NpmReadStats, Variant};
 pub use ops::{DynReduceOp, Max, Min, Or, ReduceOp, Sum};
 pub use reducer::{BoolReducer, MinReducer, SumReducer};
 pub use value::PropValue;

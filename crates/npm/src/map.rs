@@ -101,6 +101,36 @@ pub struct NpmReadStats {
     pub requested_keys: u64,
 }
 
+/// The keys whose readable values changed since the last
+/// [`NodePropMap::reset_updated`] — the per-round delta behind the engine's
+/// frontier (active-set) execution.
+///
+/// `Tracked` borrows bookkeeping the map maintains anyway: `masters` is the
+/// per-master update bitset written by `set`/`reduce_sync` (bit index =
+/// master offset in the map's key distribution, which under the
+/// partition-aware representation equals the `DistGraph` local id), and
+/// `remote` lists the global ids of pinned mirrors whose cached value
+/// changed in the last `broadcast_sync`. Together they cover every key
+/// whose *readable* value differs from the start of the round.
+///
+/// `Untracked` means the map cannot vouch for a complete delta — either
+/// the backend keeps no per-key bits (non-partition-aware variants), or an
+/// untracked mutation (a `request_sync` materialization, `reset_values`,
+/// a checkpoint restore) happened inside the window. Callers must then
+/// treat every key as potentially changed.
+#[derive(Debug, Clone, Copy)]
+pub enum ChangedKeys<'a> {
+    /// No complete delta is available: assume everything changed.
+    Untracked,
+    /// The complete set of keys whose readable value changed.
+    Tracked {
+        /// Per-master update bits; bit index = master offset.
+        masters: &'a ConcurrentBitset,
+        /// Global ids of pinned mirrors updated by the last broadcast.
+        remote: &'a [NodeId],
+    },
+}
+
 /// The shared-memory node-property map interface (paper Figs. 2 and 5).
 ///
 /// `read`/`reduce`/`set` are the developer API; the remaining methods are
@@ -158,8 +188,18 @@ pub trait NodePropMap<T: PropValue>: Send + Sync {
     /// Drops pinned mirrors from the cache.
     fn unpin_mirrors(&mut self);
 
-    /// Clears the per-round update flag (start of a BSP round).
+    /// Clears the per-round update flag and per-key delta (start of a BSP
+    /// round): the window observed by [`NodePropMap::changed_keys`] begins
+    /// here.
     fn reset_updated(&mut self);
+
+    /// The keys whose readable values changed since the last
+    /// [`NodePropMap::reset_updated`], as a cheap borrowed view. The
+    /// default reports [`ChangedKeys::Untracked`], which is always sound
+    /// (callers fall back to dense iteration).
+    fn changed_keys(&self) -> ChangedKeys<'_> {
+        ChangedKeys::Untracked
+    }
 
     /// Resets every canonical value to the operator's identity and drops
     /// pending partials — equivalent to constructing a fresh map, which is
@@ -194,10 +234,12 @@ type BucketCell<T> = Mutex<Vec<(NodeId, T)>>;
 
 /// Canonical (master) property storage.
 enum Canonical<T> {
-    /// GAR: dense vector indexed by master offset + per-master update bits.
+    /// GAR: dense vector indexed by master offset + per-master update bits
+    /// (shared by the broadcast temporal invariant and the frontier delta
+    /// view).
     Dense {
         vals: Vec<T>,
-        updated: Vec<AtomicBool>,
+        updated: ConcurrentBitset,
     },
     /// Non-GAR: hash maps sharded by disjoint key range (one shard per pool
     /// thread, so the gather-reduce stays conflict-free).
@@ -373,6 +415,14 @@ pub struct Npm<'g, T: PropValue, Op: ReduceOp<T>> {
     /// Pin happened this round: the next broadcast must carry all mirror
     /// values, not just updated ones.
     broadcast_all: bool,
+    /// Pinned mirrors whose cached value changed in the last
+    /// `broadcast_sync` — the remote half of [`ChangedKeys::Tracked`].
+    changed_remote: Vec<NodeId>,
+    /// The current delta window is complete: no untracked mutation
+    /// (request-sync materialization, value reset, restore) has happened
+    /// since the last `reset_updated`. Cleared events force
+    /// [`ChangedKeys::Untracked`] until the window rolls over.
+    delta_tracked: bool,
     updated: AtomicBool,
     master_reads: AtomicU64,
     remote_reads: AtomicU64,
@@ -408,7 +458,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
             let m = key_own.num_masters(host);
             Canonical::Dense {
                 vals: vec![op.identity(); m],
-                updated: (0..m).map(|_| AtomicBool::new(false)).collect(),
+                updated: ConcurrentBitset::new(m),
             }
         } else {
             Canonical::Sharded {
@@ -472,6 +522,8 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
             pin_set,
             pending_sets: Mutex::new(Vec::new()),
             broadcast_all: false,
+            changed_remote: Vec::new(),
+            delta_tracked: true,
             updated: AtomicBool::new(false),
             master_reads: AtomicU64::new(0),
             remote_reads: AtomicU64::new(0),
@@ -712,9 +764,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
             (Canonical::Dense { vals, updated }, MapSnapshot::Dense(saved)) => {
                 assert_eq!(vals.len(), saved.len(), "snapshot from a different map");
                 vals.copy_from_slice(saved);
-                for u in updated.iter_mut() {
-                    *u.get_mut() = false;
-                }
+                updated.clear();
             }
             (Canonical::Sharded { shards }, MapSnapshot::Sharded(saved)) => {
                 assert_eq!(shards.len(), saved.len(), "snapshot from a different map");
@@ -742,6 +792,10 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
         self.pending_sets.get_mut().clear();
         self.pinned = auto_pinned;
         self.broadcast_all = false;
+        self.changed_remote.clear();
+        // The rewind is not a tracked mutation; the next round must run
+        // dense before delta windows resume.
+        self.delta_tracked = false;
         self.updated.store(false, Ordering::Relaxed);
     }
 
@@ -913,11 +967,15 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
     }
 
     /// Stores a broadcast value into the mirror table if `key`'s mirror is
-    /// materialized (GAR receive path).
+    /// materialized (GAR receive path), recording actual changes in the
+    /// remote delta.
     fn mirror_store(&mut self, key: NodeId, value: T) {
         if let Some(slot) = self.dg.mirror_slot(key) {
             let slot = slot as usize;
             if self.mirror_has[slot] {
+                if self.mirror_vals[slot] != value {
+                    self.changed_remote.push(key);
+                }
                 self.mirror_vals[slot] = value;
             }
         }
@@ -1025,7 +1083,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
         if changed {
             self.updated.store(true, Ordering::Relaxed);
             if let Canonical::Dense { updated, .. } = &self.canonical {
-                updated[self.key_own.master_offset(key)].store(true, Ordering::Relaxed);
+                updated.set(self.key_own.master_offset(key));
             }
         }
     }
@@ -1097,6 +1155,12 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
         self.requests.clear();
         let pairs = self.fetch_keys(ctx, keys_by_owner);
         if self.variant.partition_aware() {
+            // Request materialization changes readable values outside the
+            // per-key delta bookkeeping: the current window can no longer
+            // vouch for completeness.
+            if !pairs.is_empty() {
+                self.delta_tracked = false;
+            }
             // Mirror-proxied keys materialize straight into the dense
             // mirror table; only trans-vertex requests (no proxy) go to
             // the sorted spill.
@@ -1158,7 +1222,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
                             let new = op.combine(old, v);
                             if new != old {
                                 slice.write_at(off, new);
-                                updated[off].store(true, Ordering::Relaxed);
+                                updated.set(off);
                                 updated_any.store(true, Ordering::Relaxed);
                             }
                         }
@@ -1257,6 +1321,8 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
         // materialization after pin_mirrors still broadcasts so that the
         // very first reads are exact.)
         if self.mirror_sync == MirrorSync::ResetToIdentity && !self.broadcast_all {
+            // The local reinitialization is an untracked mirror mutation.
+            self.delta_tracked = false;
             self.mirror_vals.fill(self.op.identity());
             // Peers may still be broadcasting to us this round; stay in the
             // collective but send nothing.
@@ -1287,7 +1353,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
                 };
                 for &g in self.dg.mirrors_on_peer(peer) {
                     let off = self.key_own.master_offset(g);
-                    if all || updated[off].load(Ordering::Relaxed) {
+                    if all || updated.get(off) {
                         (g, self.canonical_get(g)).write(&mut buf);
                     }
                 }
@@ -1331,10 +1397,12 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
     fn reset_updated(&mut self) {
         self.updated.store(false, Ordering::Relaxed);
         if let Canonical::Dense { updated, .. } = &mut self.canonical {
-            for u in updated.iter_mut() {
-                *u.get_mut() = false;
-            }
+            updated.clear();
         }
+        self.changed_remote.clear();
+        // A fresh window begins: the per-key delta is complete from here
+        // until the next untracked mutation.
+        self.delta_tracked = true;
     }
 
     fn reset_values(&mut self, _ctx: &HostCtx) {
@@ -1342,9 +1410,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
         match &mut self.canonical {
             Canonical::Dense { vals, updated } => {
                 vals.fill(id);
-                for u in updated.iter_mut() {
-                    *u.get_mut() = false;
-                }
+                updated.clear();
             }
             Canonical::Sharded { shards } => {
                 for s in shards.iter_mut() {
@@ -1357,6 +1423,10 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
             m.get_mut().clear();
         }
         self.updated.store(false, Ordering::Relaxed);
+        self.changed_remote.clear();
+        // A wholesale reinitialization changes values without per-key
+        // bookkeeping: invalidate the window.
+        self.delta_tracked = false;
         if self.pinned {
             // Mirror values are now stale everywhere; the next broadcast
             // must resend everything.
@@ -1365,6 +1435,16 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
                 *v = id;
             }
             self.broadcast_all = true;
+        }
+    }
+
+    fn changed_keys(&self) -> ChangedKeys<'_> {
+        match &self.canonical {
+            Canonical::Dense { updated, .. } if self.delta_tracked => ChangedKeys::Tracked {
+                masters: updated,
+                remote: &self.changed_remote,
+            },
+            _ => ChangedKeys::Untracked,
         }
     }
 
@@ -1606,6 +1686,82 @@ mod tests {
             npm.read_stats().requested_keys
         });
         assert!(out.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn changed_keys_tracks_round_delta() {
+        let out = with_cluster(2, 2, Policy::EdgeCutBlocked, |ctx, dg| {
+            let mut npm: Npm<u64, Min> = Npm::new(dg, ctx, Min);
+            npm.init_masters(&|g| g as u64 + 100);
+            npm.pin_mirrors(ctx);
+            npm.reset_updated();
+            // Quiet round: nothing changes anywhere.
+            npm.reduce_sync(ctx);
+            npm.broadcast_sync(ctx);
+            let quiet = match npm.changed_keys() {
+                ChangedKeys::Tracked { masters, remote } => {
+                    masters.none_set() && remote.is_empty()
+                }
+                ChangedKeys::Untracked => false,
+            };
+            npm.reset_updated();
+            // Node 3 (owned by host 0) improves under Min.
+            npm.reduce(0, 3, 1);
+            npm.reduce_sync(ctx);
+            npm.broadcast_sync(ctx);
+            let delta_ok = match npm.changed_keys() {
+                ChangedKeys::Tracked { masters, remote } => {
+                    if npm.key_own.owner(3) == ctx.host() {
+                        masters.get(npm.key_own.master_offset(3))
+                            && masters.count_set() == 1
+                            && remote.is_empty()
+                    } else {
+                        // The non-owner sees the change exactly when node 3
+                        // is mirrored here.
+                        let expect: Vec<NodeId> =
+                            if dg.mirror_slot(3).is_some() { vec![3] } else { vec![] };
+                        masters.none_set() && remote == expect.as_slice()
+                    }
+                }
+                ChangedKeys::Untracked => false,
+            };
+            quiet && delta_ok
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn changed_keys_invalidated_by_untracked_mutations() {
+        let out = with_cluster(2, 1, Policy::EdgeCutBlocked, |ctx, dg| {
+            let mut npm: Npm<u64, Min> = Npm::new(dg, ctx, Min);
+            npm.init_masters(&|g| g as u64);
+            npm.reset_updated();
+            // Request materialization mutates readable values outside the
+            // delta bookkeeping.
+            let remote = if ctx.host() == 0 { 20u32 } else { 0 };
+            npm.request(remote);
+            npm.request_sync(ctx);
+            let after_request = matches!(npm.changed_keys(), ChangedKeys::Untracked);
+            npm.reset_updated();
+            let after_reset = matches!(npm.changed_keys(), ChangedKeys::Tracked { .. });
+            npm.reset_values(ctx);
+            let after_reset_values = matches!(npm.changed_keys(), ChangedKeys::Untracked);
+            after_request && after_reset && after_reset_values
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn non_gar_variants_report_untracked() {
+        for variant in [Variant::SgrOnly, Variant::SgrCf] {
+            let out = with_cluster(2, 1, Policy::EdgeCutBlocked, move |ctx, dg| {
+                let mut npm: Npm<u64, Min> = Npm::with_variant(dg, ctx, Min, variant);
+                npm.init_masters(&|g| g as u64);
+                npm.reset_updated();
+                matches!(npm.changed_keys(), ChangedKeys::Untracked)
+            });
+            assert!(out.iter().all(|&b| b), "variant {variant:?}");
+        }
     }
 
     #[test]

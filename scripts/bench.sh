@@ -24,18 +24,27 @@ export KIMBAP_BENCH_JSON="$TMP_JSONL"
 if [ "$SMOKE" = 1 ]; then
     export KIMBAP_SCALE=tiny KIMBAP_SKIP_MC=1 KIMBAP_HOSTS_MEDIUM=2 KIMBAP_BENCH_SMOKE=1
     cargo bench -q -p kimbap-bench --bench fig11_runtime_variants
+    # The frontier bench asserts internally that rounds after round 2 ran a
+    # strict subset of the node space; here we additionally check that its
+    # records made it into the JSONL with the sparse flag set.
+    cargo bench -q -p kimbap-bench --bench frontier_cclp
+    if ! grep -q '"system":"sparse".*"sparse":true' "$TMP_JSONL"; then
+        echo "bench smoke: sparse frontier path not exercised" >&2
+        exit 1
+    fi
     lines=$(wc -l < "$TMP_JSONL")
     if [ "$lines" -lt 1 ]; then
         echo "bench smoke: no JSON records produced" >&2
         exit 1
     fi
-    echo "bench smoke: $lines JSON record(s) produced OK"
+    echo "bench smoke: $lines JSON record(s) produced OK (sparse path exercised)"
     exit 0
 fi
 
 cargo bench -q -p kimbap-bench --bench micro_npm
 cargo bench -q -p kimbap-bench --bench fig11_runtime_variants
 cargo bench -q -p kimbap-bench --bench table3_single_host
+cargo bench -q -p kimbap-bench --bench frontier_cclp
 
 OUT="BENCH_$(date +%F).json"
 {
