@@ -18,6 +18,15 @@ pub struct RunStats {
     pub messages: u64,
     /// Payload bytes sent between hosts (sum).
     pub bytes: u64,
+    /// Frames re-sent after loss or corruption (sum over hosts; zero in
+    /// fault-free runs).
+    pub retransmits: u64,
+    /// Received frames rejected by length/CRC validation (sum over hosts).
+    pub crc_rejects: u64,
+    /// Collectives aborted on heartbeat suspicion (sum over hosts).
+    pub heartbeat_suspicions: u64,
+    /// Collectives aborted on a phase deadline (sum over hosts).
+    pub timeout_aborts: u64,
     /// Seconds in the request-compute phase (max over hosts; zero unless
     /// the workload reports phases).
     pub request_compute_secs: f64,
@@ -62,6 +71,10 @@ pub fn run_timed<R: Send>(
         stats.comm_secs = stats.comm_secs.max(s.comm_nanos as f64 / 1e9);
         stats.messages += s.messages;
         stats.bytes += s.bytes;
+        stats.retransmits += s.retransmits;
+        stats.crc_rejects += s.crc_rejects;
+        stats.heartbeat_suspicions += s.heartbeat_suspicions;
+        stats.timeout_aborts += s.timeout_aborts;
         stats.request_compute_secs =
             stats.request_compute_secs.max(s.request_compute_nanos as f64 / 1e9);
         stats.request_sync_secs = stats.request_sync_secs.max(s.request_sync_nanos as f64 / 1e9);

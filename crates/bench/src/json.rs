@@ -40,6 +40,8 @@ fn record_run_to(path: &str, bench: &str, case: &str, system: &str, hosts: usize
             concat!(
                 "{{\"bench\":\"{}\",\"case\":\"{}\",\"system\":\"{}\",\"hosts\":{},",
                 "\"secs\":{:.6},\"comm_secs\":{:.6},\"messages\":{},\"bytes\":{},",
+                "\"retransmits\":{},\"crc_rejects\":{},",
+                "\"heartbeat_suspicions\":{},\"timeout_aborts\":{},",
                 "\"request_compute_secs\":{:.6},\"request_sync_secs\":{:.6},",
                 "\"reduce_compute_secs\":{:.6},\"reduce_sync_secs\":{:.6}}}"
             ),
@@ -51,6 +53,10 @@ fn record_run_to(path: &str, bench: &str, case: &str, system: &str, hosts: usize
             s.comm_secs,
             s.messages,
             s.bytes,
+            s.retransmits,
+            s.crc_rejects,
+            s.heartbeat_suspicions,
+            s.timeout_aborts,
             s.request_compute_secs,
             s.request_sync_secs,
             s.reduce_compute_secs,
@@ -162,6 +168,8 @@ mod tests {
             comm_secs: 0.25,
             messages: 42,
             bytes: 1024,
+            retransmits: 3,
+            crc_rejects: 1,
             reduce_sync_secs: 0.125,
             ..RunStats::default()
         };
@@ -197,6 +205,8 @@ mod tests {
         assert!(lines[0].starts_with("{\"bench\":\"fig11\""));
         assert!(lines[0].contains("\"hosts\":4"));
         assert!(lines[0].contains("\"messages\":42"));
+        assert!(lines[0].contains("\"retransmits\":3,\"crc_rejects\":1"));
+        assert!(lines[0].contains("\"heartbeat_suspicions\":0,\"timeout_aborts\":0"));
         assert!(lines[0].contains("\"reduce_sync_secs\":0.125000"));
         assert!(lines[1].contains("\\\"quoted\\\""));
         assert!(lines[1].contains("\"ns_per_iter\":3524165.0"));

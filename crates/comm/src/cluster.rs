@@ -1,4 +1,4 @@
-//! The simulated cluster: hosts, mailboxes, and failure-aware collectives.
+//! The cluster runtime: hosts, transports, and failure-aware collectives.
 //!
 //! Every inter-host payload travels inside a checksummed frame
 //! ([`crate::wire::frame_payload`]); receivers validate length and CRC and
@@ -6,18 +6,34 @@
 //! so a [`crate::FaultPlan`] dropping, duplicating, delaying, or corrupting
 //! frames is survived transparently (visible only in
 //! [`HostStats::retransmits`]). Host crashes are survived too: a panicking
-//! host marks the shared barrier failed so sibling hosts observe
+//! host marks itself failed so sibling hosts observe
 //! [`CommError::HostFailure`] instead of deadlocking, and
 //! [`HostCtx::run_recovering`] restarts all hosts from a consistent state.
+//!
+//! The bytes themselves move through a pluggable
+//! [`Transport`](crate::transport::Transport): the default in-proc fabric
+//! (shared memory, deterministic, zero configuration) or a TCP mesh
+//! ([`Backend::TcpLoopback`] in-process, or true multi-process via
+//! `kimbap run --transport tcp`). The exchange protocol — sequencing,
+//! CRC validation, fault injection, retransmission, the collective retry
+//! verdict — lives here, above the trait, so both backends share it
+//! verbatim. Robustness is layered the same way: phase
+//! [`Deadline`]s turn hung peers into [`CommError::Timeout`], the optional
+//! heartbeat detector turns silent peers into [`CommError::PeerDown`], and
+//! retries back off with seeded decorrelated jitter
+//! ([`crate::transport::Backoff`]).
 
 use crate::fault::{FaultPlan, FaultState, SendAction};
 use crate::pool::WorkerPool;
+use crate::transport::inproc::{InProcFabric, InProcTransport};
+use crate::transport::tcp::TcpTransport;
+use crate::transport::{Backoff, Deadline, Transport, TransportConfig};
 use crate::wire::{encode_slice, frame_payload, parse_frame, Wire};
 use parking_lot::Mutex;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex as StdMutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Retransmission attempts per exchange before the collective fails with
@@ -47,6 +63,14 @@ pub struct HostStats {
     pub comm_nanos: u64,
     /// Frames re-sent after a receiver reported loss or corruption.
     pub retransmits: u64,
+    /// Received frames rejected by length/CRC validation.
+    pub crc_rejects: u64,
+    /// Collectives this host aborted because the heartbeat detector
+    /// flagged a silent peer ([`CommError::PeerDown`]).
+    pub heartbeat_suspicions: u64,
+    /// Collectives this host aborted on a phase deadline
+    /// ([`CommError::Timeout`]).
+    pub timeout_aborts: u64,
     /// Nanoseconds spent in the request-compute phase (engines report
     /// these via [`HostCtx::add_phase_nanos`]; zero if never reported).
     pub request_compute_nanos: u64,
@@ -88,6 +112,9 @@ impl HostStats {
         self.bytes += other.bytes;
         self.comm_nanos = self.comm_nanos.max(other.comm_nanos);
         self.retransmits += other.retransmits;
+        self.crc_rejects += other.crc_rejects;
+        self.heartbeat_suspicions += other.heartbeat_suspicions;
+        self.timeout_aborts += other.timeout_aborts;
         // Phase times, like comm_nanos, answer "how long did the cluster
         // spend here" — the slowest host gates the barrier, so max.
         self.request_compute_nanos = self.request_compute_nanos.max(other.request_compute_nanos);
@@ -112,6 +139,20 @@ pub enum CommError {
         /// Hosts that have failed.
         hosts: Vec<usize>,
     },
+    /// The heartbeat failure detector flagged silent peers: they stopped
+    /// announcing liveness for longer than the configured suspect
+    /// threshold, without reporting a crash.
+    PeerDown {
+        /// The suspected-silent hosts.
+        hosts: Vec<usize>,
+    },
+    /// A collective did not complete within its phase [`Deadline`].
+    Timeout {
+        /// The phase label carried by the deadline.
+        phase: &'static str,
+        /// Hosts that had not arrived when the deadline passed.
+        hosts: Vec<usize>,
+    },
     /// A frame could not be delivered within the retry budget. Every host
     /// in the exchange returns this same error — the collective fails as a
     /// unit, never leaving hosts disagreeing about whether it completed.
@@ -133,6 +174,12 @@ impl std::fmt::Display for CommError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CommError::HostFailure { hosts } => write!(f, "host failure: hosts {hosts:?} down"),
+            CommError::PeerDown { hosts } => {
+                write!(f, "peer down: hosts {hosts:?} silent past the heartbeat threshold")
+            }
+            CommError::Timeout { phase, hosts } => {
+                write!(f, "timeout: phase {phase} missing hosts {hosts:?} at deadline")
+            }
             CommError::FrameLoss { hosts, attempts } => write!(
                 f,
                 "frame loss: hosts {hosts:?} missing frames after {attempts} retransmits"
@@ -203,249 +250,33 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// A barrier that reports peer failures instead of deadlocking.
-///
-/// Semantically a generation-counted barrier over the *live* hosts: when
-/// [`FtBarrier::mark_failed`] records a casualty, every current and future
-/// waiter gets `Err` with the casualty list until [`FtBarrier::heal`]
-/// resets the barrier (which recovery does once all live hosts are
-/// realigned and no waiter can exist).
-struct FtBarrier {
-    state: StdMutex<BarrierState>,
-    cv: Condvar,
+/// Which transport backend a [`Cluster`] runs its hosts over.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Shared-memory fabric within the process (the default).
+    #[default]
+    InProc,
+    /// A real TCP mesh over `127.0.0.1`, still one thread per host in this
+    /// process — the bridge between the simulator and `kimbap run
+    /// --transport tcp` multi-process mode, and the backend the
+    /// cross-backend determinism tests exercise.
+    TcpLoopback,
 }
 
-struct BarrierState {
-    arrived: usize,
-    generation: u64,
-    live: usize,
-    failed: Vec<bool>,
-}
-
-impl BarrierState {
-    fn failed_hosts(&self) -> Vec<usize> {
-        (0..self.failed.len()).filter(|&h| self.failed[h]).collect()
-    }
-}
-
-impl FtBarrier {
-    fn new(hosts: usize) -> Self {
-        FtBarrier {
-            state: StdMutex::new(BarrierState {
-                arrived: 0,
-                generation: 0,
-                live: hosts,
-                failed: vec![false; hosts],
-            }),
-            cv: Condvar::new(),
-        }
-    }
-
-    /// Waits for all live hosts; `Err` lists the failed hosts if any host
-    /// has failed (now or while waiting).
-    fn wait(&self) -> Result<(), Vec<usize>> {
-        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if s.live < s.failed.len() {
-            return Err(s.failed_hosts());
-        }
-        s.arrived += 1;
-        if s.arrived >= s.live {
-            s.arrived = 0;
-            s.generation += 1;
-            self.cv.notify_all();
-            return Ok(());
-        }
-        let gen = s.generation;
-        loop {
-            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
-            // Failure check first: a casualty may make `arrived >= live`
-            // true without completing the generation.
-            if s.live < s.failed.len() {
-                return Err(s.failed_hosts());
-            }
-            if s.generation != gen {
-                return Ok(());
-            }
-        }
-    }
-
-    /// Records that `host` died; wakes all waiters so they observe the
-    /// failure. Idempotent.
-    fn mark_failed(&self, host: usize) {
-        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if s.failed[host] {
-            return;
-        }
-        s.failed[host] = true;
-        s.live -= 1;
-        self.cv.notify_all();
-    }
-
-    /// Resets the barrier to all-alive. Only sound when no host is waiting
-    /// on it — recovery guarantees this by healing under the [`Gate`] lock
-    /// while every live host is parked at the gate.
-    fn heal(&self) {
-        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        s.live = s.failed.len();
-        for f in &mut s.failed {
-            *f = false;
-        }
-        s.arrived = 0;
-    }
-}
-
-/// Recovery-alignment barrier, independent of the (possibly failed)
-/// [`FtBarrier`].
-///
-/// Hosts that complete their closure (or die unrecoverably) are marked
-/// *departed*; once any host departs, recovery can never realign the full
-/// cluster, so gate waits report the departed hosts instead of hanging.
-struct Gate {
-    state: StdMutex<GateState>,
-    cv: Condvar,
-}
-
-struct GateState {
-    arrived: usize,
-    generation: u64,
-    departed: Vec<bool>,
-    ndeparted: usize,
-}
-
-impl GateState {
-    fn departed_hosts(&self) -> Vec<usize> {
-        (0..self.departed.len())
-            .filter(|&h| self.departed[h])
-            .collect()
-    }
-}
-
-impl Gate {
-    fn new(hosts: usize) -> Self {
-        Gate {
-            state: StdMutex::new(GateState {
-                arrived: 0,
-                generation: 0,
-                departed: vec![false; hosts],
-                ndeparted: 0,
-            }),
-            cv: Condvar::new(),
-        }
-    }
-
-    /// Waits for all non-departed hosts, running `f` under the gate lock
-    /// when the last one arrives (before anyone is released).
-    fn wait_then<F: FnOnce()>(&self, f: F) -> Result<(), Vec<usize>> {
-        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if s.ndeparted > 0 {
-            return Err(s.departed_hosts());
-        }
-        s.arrived += 1;
-        if s.arrived >= s.departed.len() - s.ndeparted {
-            f();
-            s.arrived = 0;
-            s.generation += 1;
-            self.cv.notify_all();
-            return Ok(());
-        }
-        let gen = s.generation;
-        loop {
-            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
-            if s.ndeparted > 0 {
-                return Err(s.departed_hosts());
-            }
-            if s.generation != gen {
-                return Ok(());
-            }
-        }
-    }
-
-    fn wait(&self) -> Result<(), Vec<usize>> {
-        self.wait_then(|| {})
-    }
-
-    /// Records that `host` left the run for good. Idempotent.
-    fn mark_departed(&self, host: usize) {
-        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if s.departed[host] {
-            return;
-        }
-        s.departed[host] = true;
-        s.ndeparted += 1;
-        self.cv.notify_all();
-    }
-}
-
-/// Shared state between hosts: framed mailboxes, retransmission plumbing,
-/// the fault injector, and the failure-aware barrier.
-struct Fabric {
-    /// `mailboxes[to][from]` holds frames in flight from `from` to `to`.
-    mailboxes: Vec<Vec<Mutex<Vec<Vec<u8>>>>>,
-    /// `delayed[from][to]`: frames a `DelayFrame` fault held back; flushed
-    /// into the mailbox at the start of the sender's next exchange, where
-    /// their stale sequence numbers get them ignored.
-    delayed: Vec<Vec<Mutex<Vec<Vec<u8>>>>>,
-    /// `outbox[from][to]`: the last frame sent on the pair, retained for
-    /// retransmission.
-    outbox: Vec<Vec<Mutex<Vec<u8>>>>,
-    /// Next sequence number per directed pair, sender side.
-    send_seq: Vec<Vec<AtomicU64>>,
-    /// `recv_seq[to][from]`: the sequence number `to` will accept next.
-    recv_seq: Vec<Vec<AtomicU64>>,
-    /// `retx[sender][requester]`: requester asks sender to re-send.
-    retx: Vec<Vec<AtomicBool>>,
-    /// Per-host "I am still missing a frame" flag, read collectively.
-    missing: Vec<AtomicBool>,
-    /// Per-host published BSP round (for fault matching).
-    round: Vec<AtomicU64>,
-    barrier: FtBarrier,
-    gate: Gate,
-    faults: FaultState,
-}
-
-impl Fabric {
-    fn new(hosts: usize, plan: FaultPlan) -> Self {
-        let square_mutexes =
-            || -> Vec<Vec<Mutex<Vec<Vec<u8>>>>> {
-                (0..hosts)
-                    .map(|_| (0..hosts).map(|_| Mutex::new(Vec::new())).collect())
-                    .collect()
-            };
-        Fabric {
-            mailboxes: square_mutexes(),
-            delayed: square_mutexes(),
-            outbox: (0..hosts)
-                .map(|_| (0..hosts).map(|_| Mutex::new(Vec::new())).collect())
-                .collect(),
-            send_seq: (0..hosts)
-                .map(|_| (0..hosts).map(|_| AtomicU64::new(0)).collect())
-                .collect(),
-            recv_seq: (0..hosts)
-                .map(|_| (0..hosts).map(|_| AtomicU64::new(0)).collect())
-                .collect(),
-            retx: (0..hosts)
-                .map(|_| (0..hosts).map(|_| AtomicBool::new(false)).collect())
-                .collect(),
-            missing: (0..hosts).map(|_| AtomicBool::new(false)).collect(),
-            round: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
-            barrier: FtBarrier::new(hosts),
-            gate: Gate::new(hosts),
-            faults: FaultState::new(plan),
-        }
-    }
-}
-
-/// A simulated cluster of `num_hosts` hosts, each with its own worker pool
-/// of `threads_per_host` threads.
+/// A cluster of `num_hosts` hosts, each with its own worker pool of
+/// `threads_per_host` threads.
 ///
 /// [`Cluster::run`] spawns one OS thread per host, hands each a
 /// [`HostCtx`], and joins them, returning the per-host results in host
 /// order. The closure runs once on every host — exactly like an
-/// `mpirun`-launched SPMD program.
+/// `mpirun`-launched SPMD program. By default hosts talk over the in-proc
+/// fabric; [`Cluster::tcp`] switches them to a loopback TCP mesh.
 #[derive(Debug)]
 pub struct Cluster {
     num_hosts: usize,
     threads_per_host: usize,
+    backend: Backend,
+    transport_cfg: TransportConfig,
 }
 
 impl Cluster {
@@ -469,7 +300,28 @@ impl Cluster {
         Cluster {
             num_hosts,
             threads_per_host,
+            backend: Backend::InProc,
+            transport_cfg: TransportConfig::default(),
         }
+    }
+
+    /// Switches the hosts onto a loopback TCP mesh
+    /// ([`Backend::TcpLoopback`]).
+    pub fn tcp(mut self) -> Self {
+        self.backend = Backend::TcpLoopback;
+        self
+    }
+
+    /// Sets transport options (e.g. the heartbeat failure detector) for
+    /// whichever backend is selected.
+    pub fn with_transport_config(mut self, cfg: TransportConfig) -> Self {
+        self.transport_cfg = cfg;
+        self
+    }
+
+    /// The selected transport backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Number of hosts.
@@ -498,7 +350,7 @@ impl Cluster {
     }
 
     /// Like [`Cluster::run`], with a [`FaultPlan`] injected into the
-    /// fabric.
+    /// transport boundary.
     ///
     /// # Panics
     ///
@@ -536,59 +388,144 @@ impl Cluster {
     }
 
     /// Like [`Cluster::try_run`], with a [`FaultPlan`] injected into the
-    /// fabric.
+    /// transport boundary.
     pub fn try_run_with_faults<F, R>(&self, plan: FaultPlan, f: F) -> Vec<Result<R, HostError>>
     where
         F: Fn(&HostCtx) -> R + Sync,
         R: Send,
     {
-        let fabric = Fabric::new(self.num_hosts, plan);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.num_hosts);
-            for host in 0..self.num_hosts {
-                let fabric = &fabric;
-                let f = &f;
-                let threads = self.threads_per_host;
-                let num_hosts = self.num_hosts;
-                handles.push(
-                    std::thread::Builder::new()
-                        .name(format!("kimbap-host-{host}"))
-                        .spawn_scoped(scope, move || {
-                            let ctx = HostCtx {
-                                host,
-                                num_hosts,
-                                fabric,
-                                pool: WorkerPool::new(threads),
-                                stats: StatCells::default(),
-                            };
-                            let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
-                            match result {
-                                Ok(v) => {
-                                    // A departed host can never rejoin a
-                                    // recovery alignment; make that a
-                                    // reported failure, not a deadlock.
-                                    fabric.gate.mark_departed(host);
-                                    Ok(v)
-                                }
-                                Err(payload) => {
-                                    fabric.barrier.mark_failed(host);
-                                    fabric.gate.mark_departed(host);
-                                    Err(HostError {
-                                        host,
-                                        message: panic_message(&*payload),
-                                    })
-                                }
-                            }
-                        })
-                        .expect("failed to spawn host thread"),
-                );
+        // One FaultState shared by every host, whichever backend carries
+        // the bytes: the same seeded plan fires the same schedule over the
+        // in-proc fabric and the TCP loopback mesh.
+        let faults = Arc::new(FaultState::new(plan));
+        match self.backend {
+            Backend::InProc => {
+                let fabric = Arc::new(InProcFabric::new(self.num_hosts, self.transport_cfg.clone()));
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(self.num_hosts);
+                    for host in 0..self.num_hosts {
+                        let fabric = fabric.clone();
+                        let faults = faults.clone();
+                        let f = &f;
+                        let threads = self.threads_per_host;
+                        handles.push(
+                            std::thread::Builder::new()
+                                .name(format!("kimbap-host-{host}"))
+                                .spawn_scoped(scope, move || {
+                                    let transport = InProcTransport::new(fabric, host);
+                                    run_host(&transport, threads, faults, |ctx| f(ctx))
+                                })
+                                .expect("failed to spawn host thread"),
+                        );
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("failed to join host thread"))
+                        .collect()
+                })
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("failed to join host thread"))
-                .collect()
-        })
+            Backend::TcpLoopback => {
+                let (listeners, ports) = TcpTransport::loopback_listeners(self.num_hosts)
+                    .expect("failed to bind loopback listeners");
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(self.num_hosts);
+                    for (host, listener) in listeners.into_iter().enumerate() {
+                        let faults = faults.clone();
+                        let ports = ports.clone();
+                        let cfg = self.transport_cfg.clone();
+                        let f = &f;
+                        let threads = self.threads_per_host;
+                        let num_hosts = self.num_hosts;
+                        handles.push(
+                            std::thread::Builder::new()
+                                .name(format!("kimbap-host-{host}"))
+                                .spawn_scoped(scope, move || {
+                                    let transport = TcpTransport::with_listener(
+                                        host, num_hosts, listener, &ports, cfg,
+                                    )
+                                    .expect("failed to build tcp loopback mesh");
+                                    run_host(&transport, threads, faults, |ctx| f(ctx))
+                                })
+                                .expect("failed to spawn host thread"),
+                        );
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("failed to join host thread"))
+                        .collect()
+                })
+            }
+        }
     }
+}
+
+/// Runs one host closure over an already-connected transport, with the
+/// cluster's crash accounting: a panic marks the host failed (so peers'
+/// collectives error out) and departed (so recovery alignment reports it
+/// instead of hanging); a clean return marks it departed only.
+///
+/// This is the per-host harness [`Cluster`] uses internally; the `kimbap`
+/// binary's multi-process mode calls [`run_transport_host`] to get the
+/// identical harness around a [`TcpTransport`] it built itself.
+fn run_host<R, F>(
+    transport: &dyn Transport,
+    threads: usize,
+    faults: Arc<FaultState>,
+    f: F,
+) -> Result<R, HostError>
+where
+    F: FnOnce(&HostCtx) -> R,
+{
+    let host = transport.host();
+    let num_hosts = transport.num_hosts();
+    let ctx = HostCtx {
+        host,
+        num_hosts,
+        transport,
+        faults,
+        pool: WorkerPool::new(threads),
+        stats: StatCells::default(),
+        outbox: (0..num_hosts).map(|_| Mutex::new(Vec::new())).collect(),
+        delayed: (0..num_hosts).map(|_| Mutex::new(Vec::new())).collect(),
+        send_seq: (0..num_hosts).map(|_| AtomicU64::new(0)).collect(),
+        recv_seq: (0..num_hosts).map(|_| AtomicU64::new(0)).collect(),
+        round: AtomicU64::new(0),
+        deadline: Mutex::new(Deadline::none()),
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+    match result {
+        Ok(v) => {
+            // A departed host can never rejoin a recovery alignment; make
+            // that a reported failure, not a deadlock.
+            transport.mark_departed();
+            Ok(v)
+        }
+        Err(payload) => {
+            transport.mark_failed();
+            transport.mark_departed();
+            Err(HostError {
+                host,
+                message: panic_message(&*payload),
+            })
+        }
+    }
+}
+
+/// Runs one host closure over a caller-built transport with the standard
+/// per-host harness (crash accounting, fault injection, [`HostCtx`]
+/// plumbing). The `kimbap` binary's `_worker` subcommand uses this to run
+/// one host of a multi-process TCP mesh.
+pub fn run_transport_host<T, R, F>(
+    transport: &T,
+    threads: usize,
+    plan: FaultPlan,
+    f: F,
+) -> Result<R, HostError>
+where
+    T: Transport,
+    F: FnOnce(&HostCtx) -> R,
+{
+    run_host(transport, threads, Arc::new(FaultState::new(plan)), f)
 }
 
 /// Per-host execution context: identity, collectives, intra-host
@@ -602,9 +539,26 @@ impl Cluster {
 pub struct HostCtx<'a> {
     host: usize,
     num_hosts: usize,
-    fabric: &'a Fabric,
+    transport: &'a dyn Transport,
+    faults: Arc<FaultState>,
     pool: WorkerPool,
     stats: StatCells,
+    /// `outbox[to]`: the last frame sent to `to`, retained for
+    /// retransmission.
+    outbox: Vec<Mutex<Vec<u8>>>,
+    /// `delayed[to]`: frames a `DelayFrame` fault held back; flushed to the
+    /// transport at the start of this host's next exchange, where their
+    /// stale sequence numbers get them ignored.
+    delayed: Vec<Mutex<Vec<Vec<u8>>>>,
+    /// Next sequence number per destination.
+    send_seq: Vec<AtomicU64>,
+    /// `recv_seq[from]`: the sequence number this host will accept next.
+    recv_seq: Vec<AtomicU64>,
+    /// This host's published BSP round (for fault matching).
+    round: AtomicU64,
+    /// Ambient phase deadline applied by the unsuffixed collectives; the
+    /// engine re-stamps it each phase from `EngineConfig::phase_timeout`.
+    deadline: Mutex<Deadline>,
 }
 
 /// Internal atomic counters backing [`HostStats`].
@@ -614,6 +568,9 @@ struct StatCells {
     bytes: AtomicU64,
     comm_nanos: AtomicU64,
     retransmits: AtomicU64,
+    crc_rejects: AtomicU64,
+    heartbeat_suspicions: AtomicU64,
+    timeout_aborts: AtomicU64,
     request_compute_nanos: AtomicU64,
     request_sync_nanos: AtomicU64,
     reduce_compute_nanos: AtomicU64,
@@ -656,12 +613,31 @@ impl<'a> HostCtx<'a> {
     /// faults in the [`FaultPlan`]. Code that never calls this runs in
     /// round 0.
     pub fn set_round(&self, round: u64) {
-        self.fabric.round[self.host].store(round, Ordering::Relaxed);
+        self.round.store(round, Ordering::Relaxed);
     }
 
     /// The round last published via [`HostCtx::set_round`].
     pub fn current_round(&self) -> u64 {
-        self.fabric.round[self.host].load(Ordering::Relaxed)
+        self.round.load(Ordering::Relaxed)
+    }
+
+    /// Sets the ambient phase deadline applied by every unsuffixed
+    /// collective ([`HostCtx::barrier`], [`HostCtx::exchange`], the
+    /// `all_*` family) until re-stamped. [`Deadline::none`] — the initial
+    /// value — waits forever.
+    pub fn set_deadline(&self, deadline: Deadline) {
+        *self.deadline.lock() = deadline;
+    }
+
+    /// The current ambient phase deadline.
+    pub fn deadline(&self) -> Deadline {
+        *self.deadline.lock()
+    }
+
+    /// Test hook: suppresses this host's heartbeats for `d`, as a hung
+    /// (but not crashed) host would.
+    pub fn silence_for(&self, d: Duration) {
+        self.transport.silence(d);
     }
 
     /// Escalates a communication error into a recoverable host failure:
@@ -669,7 +645,7 @@ impl<'a> HostCtx<'a> {
     /// than deadlock) and panics with a [`CrashSignal`], which
     /// [`HostCtx::run_recovering`] knows how to catch.
     fn fail_with(&self, signal: CrashSignal) -> ! {
-        self.fabric.barrier.mark_failed(self.host);
+        self.transport.mark_failed();
         // resume_unwind skips the panic hook: injected crashes and comm
         // failures are expected control flow (recovered or reported as
         // CommError), so they must not spray backtraces on stderr.
@@ -684,10 +660,17 @@ impl<'a> HostCtx<'a> {
         }
     }
 
-    /// Fires a pending injected crash for this host's current round.
-    fn check_crash(&self) {
+    /// Fires pending injected host faults (stall, then crash) for this
+    /// host's current round.
+    fn check_faults(&self) {
         let round = self.current_round();
-        if self.fabric.faults.crash_due(self.host, round) {
+        if let Some(stall) = self.faults.stall_due(self.host, round) {
+            // Go completely quiet — no heartbeats, no traffic — for the
+            // stall duration, like a host wedged in a GC pause or IO hang.
+            self.transport.silence(stall);
+            std::thread::sleep(stall);
+        }
+        if self.faults.crash_due(self.host, round) {
             self.fail_with(CrashSignal::Injected {
                 host: self.host,
                 round,
@@ -695,26 +678,38 @@ impl<'a> HostCtx<'a> {
         }
     }
 
-    /// Barrier over live hosts, translating peer failure into `CommError`.
-    fn ft_wait(&self) -> Result<(), CommError> {
-        self.fabric
-            .barrier
-            .wait()
-            .map_err(|hosts| CommError::HostFailure { hosts })
+    /// Funnels a collective's error into the robustness counters.
+    fn note_err<T>(&self, r: Result<T, CommError>) -> Result<T, CommError> {
+        if let Err(e) = &r {
+            match e {
+                CommError::Timeout { .. } => {
+                    self.stats.timeout_aborts.fetch_add(1, Ordering::Relaxed);
+                }
+                CommError::PeerDown { .. } => {
+                    self.stats
+                        .heartbeat_suspicions
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+        }
+        r
     }
 
-    /// Sends one frame through the fault injector.
+    /// Sends one frame through the fault injector at the transport
+    /// boundary.
     fn transmit(&self, to: usize, round: u64, seq: u64, attempt: u32, mut frame: Vec<u8>) {
-        let fab = self.fabric;
-        match fab.faults.on_send(self.host, to, round, seq, attempt, &mut frame) {
+        match self
+            .faults
+            .on_send(self.host, to, round, seq, attempt, &mut frame)
+        {
             SendAction::Drop => {}
             SendAction::Duplicate => {
-                let mut mb = fab.mailboxes[to][self.host].lock();
-                mb.push(frame.clone());
-                mb.push(frame);
+                self.transport.send(to, frame.clone());
+                self.transport.send(to, frame);
             }
-            SendAction::Delay => fab.delayed[self.host][to].lock().push(frame),
-            SendAction::Deliver => fab.mailboxes[to][self.host].lock().push(frame),
+            SendAction::Delay => self.delayed[to].lock().push(frame),
+            SendAction::Deliver => self.transport.send(to, frame),
         }
     }
 
@@ -730,11 +725,18 @@ impl<'a> HostCtx<'a> {
         self.unwrap_comm(r);
     }
 
-    /// Failure-aware barrier: `Err` if a peer host has failed.
+    /// Failure-aware barrier under the ambient deadline: `Err` if a peer
+    /// host has failed, been flagged by the failure detector, or the
+    /// deadline passed.
     pub fn try_barrier(&self) -> Result<(), CommError> {
-        self.check_crash();
+        self.try_barrier_by(&self.deadline())
+    }
+
+    /// [`HostCtx::try_barrier`] with an explicit [`Deadline`].
+    pub fn try_barrier_by(&self, deadline: &Deadline) -> Result<(), CommError> {
+        self.check_faults();
         let t = Instant::now();
-        let r = self.ft_wait();
+        let r = self.note_err(self.transport.barrier(deadline));
         self.add_comm_nanos(t.elapsed().as_nanos() as u64);
         r
     }
@@ -759,17 +761,26 @@ impl<'a> HostCtx<'a> {
         self.unwrap_comm(r)
     }
 
-    /// Failure-aware all-to-all exchange.
+    /// Failure-aware all-to-all exchange under the ambient deadline.
     ///
     /// Each payload is framed with a sequence number, length, and CRC32.
     /// Receivers accept exactly the next sequence number per sender —
     /// duplicates, stale delayed frames, and corrupted frames are all
     /// rejected — and missing frames are re-requested from the sender's
-    /// retained outbox with bounded backoff. The retry decision is made
-    /// collectively (all hosts read the same missing-flags snapshot between
-    /// two barriers), so either every host completes the exchange or every
-    /// host returns the same [`CommError::FrameLoss`].
+    /// retained outbox with jittered exponential backoff. The retry
+    /// decision is made collectively (all hosts read the same missing-flags
+    /// snapshot), so either every host completes the exchange or every host
+    /// returns the same [`CommError::FrameLoss`].
     pub fn try_exchange(&self, outgoing: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, CommError> {
+        self.try_exchange_by(outgoing, &self.deadline())
+    }
+
+    /// [`HostCtx::try_exchange`] with an explicit [`Deadline`].
+    pub fn try_exchange_by(
+        &self,
+        outgoing: Vec<Vec<u8>>,
+        deadline: &Deadline,
+    ) -> Result<Vec<Vec<u8>>, CommError> {
         if outgoing.len() != self.num_hosts {
             return Err(CommError::Protocol {
                 detail: format!(
@@ -779,19 +790,21 @@ impl<'a> HostCtx<'a> {
                 ),
             });
         }
-        self.check_crash();
+        self.check_faults();
         let t = Instant::now();
         let me = self.host;
-        let fab = self.fabric;
         let round = self.current_round();
 
         // Flush frames a DelayFrame fault held back from an earlier
         // exchange. Their sequence numbers are stale by now, so receivers
         // ignore them — exactly the late-delivery semantics being modeled.
         for to in 0..self.num_hosts {
-            let mut held = fab.delayed[me][to].lock();
-            if !held.is_empty() {
-                fab.mailboxes[to][me].lock().append(&mut held);
+            if to == me {
+                continue;
+            }
+            let mut held = self.delayed[to].lock();
+            for frame in held.drain(..) {
+                self.transport.send(to, frame);
             }
         }
 
@@ -811,15 +824,16 @@ impl<'a> HostCtx<'a> {
                     .bytes
                     .fetch_add(payload.len() as u64, Ordering::Relaxed);
             }
-            let seq = fab.send_seq[me][to].fetch_add(1, Ordering::Relaxed);
+            let seq = self.send_seq[to].fetch_add(1, Ordering::Relaxed);
             let frame = frame_payload(seq, &payload);
-            *fab.outbox[me][to].lock() = frame.clone();
+            *self.outbox[to].lock() = frame.clone();
             self.transmit(to, round, seq, 0, frame);
         }
 
-        self.ft_wait()?;
+        self.note_err(self.transport.barrier(deadline))?;
 
         let mut attempt: u32 = 0;
+        let mut backoff = Backoff::retransmit(me);
         loop {
             // Drain everything that arrived; accept only the expected
             // sequence number with a valid checksum.
@@ -827,32 +841,35 @@ impl<'a> HostCtx<'a> {
                 if from == me {
                     continue;
                 }
-                let arrived = std::mem::take(&mut *fab.mailboxes[me][from].lock());
+                let arrived = self.transport.drain(from);
                 if got[from] {
                     continue;
                 }
-                let want = fab.recv_seq[me][from].load(Ordering::Relaxed);
+                let want = self.recv_seq[from].load(Ordering::Relaxed);
                 for frame in &arrived {
-                    if let Ok((seq, payload)) = parse_frame(frame) {
-                        if seq == want {
+                    match parse_frame(frame) {
+                        Ok((seq, payload)) if seq == want => {
                             result[from] = payload.to_vec();
                             got[from] = true;
                             break;
                         }
+                        Ok(_) => {} // duplicate or stale: ignore
+                        Err(_) => {
+                            self.stats.crc_rejects.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
                 if !got[from] {
-                    fab.retx[from][me].store(true, Ordering::Relaxed);
+                    self.transport.request_retx(from);
                 }
             }
-            fab.missing[me].store(!got.iter().all(|&g| g), Ordering::Relaxed);
-            self.ft_wait()?;
+            let still_missing = !got.iter().all(|&g| g);
+            let flags = self.note_err(self.transport.sync_missing(still_missing, deadline))?;
 
-            // All missing flags are now published; every host computes the
-            // same verdict from the same snapshot.
-            let missing_hosts: Vec<usize> = (0..self.num_hosts)
-                .filter(|&h| fab.missing[h].load(Ordering::Relaxed))
-                .collect();
+            // All missing flags are in the snapshot; every host computes
+            // the same verdict from the same generation.
+            let missing_hosts: Vec<usize> =
+                (0..self.num_hosts).filter(|&h| flags[h]).collect();
             if missing_hosts.is_empty() {
                 break;
             }
@@ -864,23 +881,21 @@ impl<'a> HostCtx<'a> {
                 });
             }
             attempt += 1;
-            std::thread::sleep(Duration::from_micros(20 << attempt.min(6)));
-            for requester in 0..self.num_hosts {
-                if fab.retx[me][requester].swap(false, Ordering::Relaxed) {
-                    let frame = fab.outbox[me][requester].lock().clone();
-                    let seq = fab.send_seq[me][requester].load(Ordering::Relaxed) - 1;
-                    self.stats.retransmits.fetch_add(1, Ordering::Relaxed);
-                    self.transmit(requester, round, seq, attempt, frame);
-                }
+            backoff.sleep();
+            for requester in self.transport.take_retx_requests() {
+                let frame = self.outbox[requester].lock().clone();
+                let seq = self.send_seq[requester].load(Ordering::Relaxed) - 1;
+                self.stats.retransmits.fetch_add(1, Ordering::Relaxed);
+                self.transmit(requester, round, seq, attempt, frame);
             }
-            // Barrier before re-draining: retransmissions are complete, and
-            // no host re-reads flags while others still write them.
-            self.ft_wait()?;
+            // Barrier before re-draining: retransmissions are complete
+            // everywhere before any host re-checks its inbox.
+            self.note_err(self.transport.barrier(deadline))?;
         }
 
         for from in 0..self.num_hosts {
             if from != me {
-                fab.recv_seq[me][from].fetch_add(1, Ordering::Relaxed);
+                self.recv_seq[from].fetch_add(1, Ordering::Relaxed);
             }
         }
         self.add_comm_nanos(t.elapsed().as_nanos() as u64);
@@ -903,7 +918,7 @@ impl<'a> HostCtx<'a> {
         self.unwrap_comm(r)
     }
 
-    /// Failure-aware all-reduce.
+    /// Failure-aware all-reduce (under the ambient deadline).
     pub fn try_all_reduce<T, F>(&self, value: T, combine: F) -> Result<T, CommError>
     where
         T: Wire,
@@ -962,7 +977,7 @@ impl<'a> HostCtx<'a> {
         self.unwrap_comm(r)
     }
 
-    /// Failure-aware all-gather.
+    /// Failure-aware all-gather (under the ambient deadline).
     pub fn try_all_gather<T: Wire>(&self, value: T) -> Result<Vec<T>, CommError> {
         let buf = encode_slice(&[value]);
         let outgoing = (0..self.num_hosts)
@@ -990,40 +1005,36 @@ impl<'a> HostCtx<'a> {
     }
 
     /// Realigns all live hosts after a recoverable failure and heals the
-    /// fabric: pending frames, delayed frames, retransmission flags, and
+    /// transport: pending frames, delayed frames, retransmission flags, and
     /// sequence numbers are reset, and the failed barrier is restored.
     ///
     /// Must be called by **every** live host (it contains barriers).
     /// [`HostCtx::run_recovering`] calls it automatically.
     pub fn recover_align(&self) -> Result<(), CommError> {
-        let fab = self.fabric;
-        let me = self.host;
+        // The ambient deadline that aborted the failed phase is typically
+        // expired by now; recovery itself must not race it.
+        self.set_deadline(Deadline::none());
+        let unbounded = Deadline::none();
         // Phase 1: every live host stops issuing traffic.
-        fab.gate
-            .wait()
-            .map_err(|hosts| CommError::HostFailure { hosts })?;
-        // Phase 2: each host clears its own rows of the fabric state; the
-        // rows are disjoint, and together the hosts cover every cell.
+        self.transport.gate_align(&unbounded)?;
+        // Phase 2: each host clears its own protocol state and tells the
+        // transport to drop everything in flight; no host is sending.
         for h in 0..self.num_hosts {
-            fab.mailboxes[me][h].lock().clear();
-            fab.delayed[me][h].lock().clear();
-            fab.outbox[me][h].lock().clear();
-            fab.send_seq[me][h].store(0, Ordering::Relaxed);
-            fab.recv_seq[me][h].store(0, Ordering::Relaxed);
-            fab.retx[me][h].store(false, Ordering::Relaxed);
+            self.outbox[h].lock().clear();
+            self.delayed[h].lock().clear();
+            self.send_seq[h].store(0, Ordering::Relaxed);
+            self.recv_seq[h].store(0, Ordering::Relaxed);
         }
-        fab.missing[me].store(false, Ordering::Relaxed);
-        fab.round[me].store(0, Ordering::Relaxed);
-        // Phase 3: the last arriver heals the barrier under the gate lock,
-        // before any host is released to use it.
-        fab.gate
-            .wait_then(|| fab.barrier.heal())
-            .map_err(|hosts| CommError::HostFailure { hosts })
+        self.round.store(0, Ordering::Relaxed);
+        self.transport.recover_reset();
+        // Phase 3: wait for every host to finish resetting, then heal the
+        // failure state so collectives work again.
+        self.transport.gate_heal(&unbounded)
     }
 
     /// Runs `f`, restarting it after recoverable host failures (injected
-    /// crashes and the communication failures they cause on sibling
-    /// hosts).
+    /// crashes, detector- or deadline-triggered aborts, and the
+    /// communication failures they cause on sibling hosts).
     ///
     /// All hosts must call this with the same deterministic `f`: after a
     /// failure, every live host realigns via [`HostCtx::recover_align`]
@@ -1065,6 +1076,9 @@ impl<'a> HostCtx<'a> {
             bytes: self.stats.bytes.load(Ordering::Relaxed),
             comm_nanos: self.stats.comm_nanos.load(Ordering::Relaxed),
             retransmits: self.stats.retransmits.load(Ordering::Relaxed),
+            crc_rejects: self.stats.crc_rejects.load(Ordering::Relaxed),
+            heartbeat_suspicions: self.stats.heartbeat_suspicions.load(Ordering::Relaxed),
+            timeout_aborts: self.stats.timeout_aborts.load(Ordering::Relaxed),
             request_compute_nanos: self.stats.request_compute_nanos.load(Ordering::Relaxed),
             request_sync_nanos: self.stats.request_sync_nanos.load(Ordering::Relaxed),
             reduce_compute_nanos: self.stats.reduce_compute_nanos.load(Ordering::Relaxed),
@@ -1082,6 +1096,9 @@ impl<'a> HostCtx<'a> {
         self.stats.bytes.store(0, Ordering::Relaxed);
         self.stats.comm_nanos.store(0, Ordering::Relaxed);
         self.stats.retransmits.store(0, Ordering::Relaxed);
+        self.stats.crc_rejects.store(0, Ordering::Relaxed);
+        self.stats.heartbeat_suspicions.store(0, Ordering::Relaxed);
+        self.stats.timeout_aborts.store(0, Ordering::Relaxed);
         self.stats.request_compute_nanos.store(0, Ordering::Relaxed);
         self.stats.request_sync_nanos.store(0, Ordering::Relaxed);
         self.stats.reduce_compute_nanos.store(0, Ordering::Relaxed);
@@ -1404,5 +1421,153 @@ mod tests {
             ctx.current_round()
         });
         assert_eq!(rounds, vec![5, 6]);
+    }
+
+    // ----- transport backends ---------------------------------------------
+
+    #[test]
+    fn tcp_loopback_runs_the_same_collectives() {
+        let c = Cluster::new(3).tcp();
+        let res = c.run(|ctx| {
+            let sum = ctx.all_reduce_u64(ctx.host() as u64 + 1, |a, b| a + b);
+            let gathered = ctx.all_gather(ctx.host() as u32);
+            ctx.barrier();
+            (sum, gathered, tagged_exchange(ctx))
+        });
+        for (sum, gathered, ok) in res {
+            assert_eq!(sum, 6);
+            assert_eq!(gathered, vec![0, 1, 2]);
+            assert!(ok);
+        }
+    }
+
+    #[test]
+    fn tcp_loopback_survives_targeted_faults() {
+        let plan = FaultPlan::new()
+            .drop_frame(0, 1, 0)
+            .duplicate_frame(2, 0, 0)
+            .corrupt_frame(1, 2, 0, 33);
+        let res = Cluster::new(3).tcp().run_with_faults(plan, |ctx| {
+            (tagged_exchange(ctx), ctx.stats().retransmits)
+        });
+        assert!(res.iter().all(|r| r.0));
+        assert!(res.iter().map(|r| r.1).sum::<u64>() >= 1);
+    }
+
+    #[test]
+    fn tcp_loopback_recovers_injected_crash() {
+        let work = |ctx: &HostCtx| {
+            let mut acc = 0u64;
+            for round in 1..=3u64 {
+                ctx.set_round(round);
+                acc = acc * 31 + ctx.all_reduce_u64(ctx.host() as u64 + round, |a, b| a + b);
+            }
+            acc
+        };
+        let baseline = Cluster::new(3).run(work);
+        let plan = FaultPlan::new().crash_host(1, 2);
+        let recovered = Cluster::new(3)
+            .tcp()
+            .run_with_faults(plan, |ctx| ctx.run_recovering(work));
+        assert_eq!(recovered, baseline);
+    }
+
+    #[test]
+    fn barrier_timeout_reports_phase_and_laggards() {
+        let c = Cluster::new(2);
+        let res = c.try_run(|ctx| {
+            if ctx.host() == 0 {
+                let d = Deadline::after("probe", Duration::from_millis(50));
+                let r = ctx.try_barrier_by(&d);
+                // Complete the generation so host 1 is not stranded.
+                let _ = ctx.try_barrier();
+                (r, ctx.stats().timeout_aborts)
+            } else {
+                std::thread::sleep(Duration::from_millis(250));
+                (ctx.try_barrier(), 0)
+            }
+        });
+        let (r0, aborts) = res[0].as_ref().unwrap();
+        match r0 {
+            Err(CommError::Timeout { phase, hosts }) => {
+                assert_eq!(*phase, "probe");
+                assert_eq!(hosts, &vec![1]);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert_eq!(*aborts, 1);
+        assert!(res[1].as_ref().unwrap().0.is_ok());
+    }
+
+    #[test]
+    fn ambient_deadline_applies_to_unsuffixed_collectives() {
+        let c = Cluster::new(2);
+        let res = c.try_run(|ctx| {
+            if ctx.host() == 0 {
+                ctx.set_deadline(Deadline::after("ambient", Duration::from_millis(50)));
+                let r = ctx.try_barrier();
+                ctx.set_deadline(Deadline::none());
+                let _ = ctx.try_barrier();
+                r
+            } else {
+                std::thread::sleep(Duration::from_millis(250));
+                ctx.try_barrier()
+            }
+        });
+        match res[0].as_ref().unwrap() {
+            Err(CommError::Timeout { phase, .. }) => assert_eq!(*phase, "ambient"),
+            other => panic!("expected ambient timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stalled_host_is_flagged_by_heartbeat_and_recovery_completes() {
+        use crate::transport::{HeartbeatConfig, TransportConfig};
+        let work = |ctx: &HostCtx| {
+            let mut acc = 0u64;
+            for round in 1..=3u64 {
+                ctx.set_round(round);
+                acc = acc * 31 + ctx.all_reduce_u64(ctx.host() as u64 + round, |a, b| a + b);
+            }
+            acc
+        };
+        let baseline = Cluster::new(3).run(work);
+        let plan = FaultPlan::new().stall_host(1, 2, 400);
+        let cfg = TransportConfig::with_heartbeat(HeartbeatConfig {
+            interval: Duration::from_millis(10),
+            suspect_after: Duration::from_millis(80),
+        });
+        let res = Cluster::new(3)
+            .with_transport_config(cfg)
+            .run_with_faults(plan, |ctx| {
+                (ctx.run_recovering(work), ctx.stats().heartbeat_suspicions)
+            });
+        let values: Vec<u64> = res.iter().map(|r| r.0).collect();
+        assert_eq!(values, baseline);
+        let suspicions: u64 = res.iter().map(|r| r.1).sum();
+        assert!(suspicions >= 1, "some host should have aborted on PeerDown");
+    }
+
+    #[test]
+    fn stalled_host_is_flagged_by_deadline_and_recovery_completes() {
+        let work = |ctx: &HostCtx| {
+            ctx.set_deadline(Deadline::maybe("round", Some(Duration::from_millis(150))));
+            let mut acc = 0u64;
+            for round in 1..=3u64 {
+                ctx.set_round(round);
+                ctx.set_deadline(Deadline::after("round", Duration::from_millis(150)));
+                acc = acc * 31 + ctx.all_reduce_u64(ctx.host() as u64 + round, |a, b| a + b);
+            }
+            acc
+        };
+        let baseline = Cluster::new(3).run(work);
+        let plan = FaultPlan::new().stall_host(0, 2, 400);
+        let res = Cluster::new(3).run_with_faults(plan, |ctx| {
+            (ctx.run_recovering(work), ctx.stats().timeout_aborts)
+        });
+        let values: Vec<u64> = res.iter().map(|r| r.0).collect();
+        assert_eq!(values, baseline);
+        let aborts: u64 = res.iter().map(|r| r.1).sum();
+        assert!(aborts >= 1, "some host should have aborted on deadline");
     }
 }

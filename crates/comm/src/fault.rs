@@ -33,6 +33,14 @@ pub enum FaultKind {
     },
     /// The host panics (simulated crash) on entry to its next collective.
     CrashHost,
+    /// The host goes silent (stops sending, including heartbeats) for the
+    /// given duration on entry to its next collective — modeling a hung
+    /// (but not crashed) worker. Detected by the heartbeat failure
+    /// detector or by phase deadlines, never by the host itself.
+    StallHost {
+        /// How long the host stays silent, in milliseconds.
+        millis: u32,
+    },
 }
 
 /// One targeted fault: a kind plus a match condition.
@@ -84,6 +92,7 @@ pub struct FaultPlan {
     pub(crate) drop_rate: f64,
     pub(crate) duplicate_rate: f64,
     pub(crate) corrupt_rate: f64,
+    pub(crate) delay_rate: f64,
 }
 
 impl FaultPlan {
@@ -98,6 +107,7 @@ impl FaultPlan {
             && self.drop_rate == 0.0
             && self.duplicate_rate == 0.0
             && self.corrupt_rate == 0.0
+            && self.delay_rate == 0.0
     }
 
     /// Adds an arbitrary targeted fault.
@@ -149,6 +159,20 @@ impl FaultPlan {
         })
     }
 
+    /// Hangs `host` for `millis` milliseconds when it enters its first
+    /// collective of `round`: the host stops responding (and heartbeating)
+    /// without crashing, so only the failure detector or a phase deadline
+    /// can flag it.
+    pub fn stall_host(self, host: usize, round: u64, millis: u32) -> Self {
+        self.fault(Fault {
+            kind: FaultKind::StallHost { millis },
+            from: Some(host),
+            to: None,
+            round: Some(round),
+            times: 1,
+        })
+    }
+
     /// Seeds the random background faults (irrelevant if all rates are 0).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -177,6 +201,15 @@ impl FaultPlan {
         self.corrupt_rate = p;
         self
     }
+
+    /// Delays each frame independently with probability `p` until the
+    /// sender's next exchange (seeded jitter — the same seed always delays
+    /// the same frames, like the other rate faults).
+    pub fn delay_rate(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "rate must be in [0, 1)");
+        self.delay_rate = p;
+        self
+    }
 }
 
 /// What the fabric should do with a frame about to be sent.
@@ -196,8 +229,9 @@ pub(crate) struct FaultState {
 }
 
 /// splitmix64 finalizer: decorrelates the (seed, from, to, seq, attempt)
-/// coordinates into an independent coin per physical transmission.
-fn mix(mut z: u64) -> u64 {
+/// coordinates into an independent coin per physical transmission (also
+/// the PRNG behind the transport layer's jittered backoff).
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -241,7 +275,9 @@ impl FaultState {
         }
         // Targeted faults first, in plan order.
         for (i, fault) in self.plan.faults.iter().enumerate() {
-            if matches!(fault.kind, FaultKind::CrashHost) || !fault.matches(from, to, round) {
+            if matches!(fault.kind, FaultKind::CrashHost | FaultKind::StallHost { .. })
+                || !fault.matches(from, to, round)
+            {
                 continue;
             }
             if !self.claim(i) {
@@ -255,12 +291,15 @@ impl FaultState {
                     flip_bit(frame, bit as u64);
                     return SendAction::Deliver;
                 }
-                FaultKind::CrashHost => unreachable!(),
+                FaultKind::CrashHost | FaultKind::StallHost { .. } => unreachable!(),
             }
         }
         // Random background faults: one coin per physical transmission, so
         // a retransmit (attempt > 0) is not doomed to repeat its fate.
-        let p = self.plan.drop_rate + self.plan.duplicate_rate + self.plan.corrupt_rate;
+        let p = self.plan.drop_rate
+            + self.plan.duplicate_rate
+            + self.plan.corrupt_rate
+            + self.plan.delay_rate;
         if p > 0.0 {
             let h = mix(
                 self.plan
@@ -275,9 +314,12 @@ impl FaultState {
             if r < self.plan.drop_rate + self.plan.duplicate_rate {
                 return SendAction::Duplicate;
             }
-            if r < p {
+            if r < self.plan.drop_rate + self.plan.duplicate_rate + self.plan.corrupt_rate {
                 flip_bit(frame, mix(h));
                 return SendAction::Deliver;
+            }
+            if r < p {
+                return SendAction::Delay;
             }
         }
         SendAction::Deliver
@@ -295,6 +337,22 @@ impl FaultState {
             }
         }
         false
+    }
+
+    /// The stall duration, exactly once per budgeted firing, when `host`
+    /// has a pending [`FaultKind::StallHost`] for `round`.
+    pub(crate) fn stall_due(&self, host: usize, round: u64) -> Option<std::time::Duration> {
+        for (i, fault) in self.plan.faults.iter().enumerate() {
+            if let FaultKind::StallHost { millis } = fault.kind {
+                if fault.from.is_none_or(|h| h == host)
+                    && fault.round.is_none_or(|r| r == round)
+                    && self.claim(i)
+                {
+                    return Some(std::time::Duration::from_millis(millis as u64));
+                }
+            }
+        }
+        None
     }
 }
 
@@ -354,6 +412,57 @@ mod tests {
         assert!(!st.crash_due(0, 5));
         assert!(st.crash_due(1, 5));
         assert!(!st.crash_due(1, 5), "crash budget spent");
+    }
+
+    #[test]
+    fn delay_rate_schedule_is_seed_deterministic() {
+        let plan = FaultPlan::new()
+            .drop_rate(0.1)
+            .duplicate_rate(0.1)
+            .corrupt_rate(0.1)
+            .delay_rate(0.2)
+            .with_seed(7);
+        let a = FaultState::new(plan.clone());
+        let b = FaultState::new(plan.clone());
+        let mut fa = vec![0u8; 16];
+        let mut fb = vec![0u8; 16];
+        let fate_a: Vec<_> = (0..256)
+            .map(|s| a.on_send(0, 1, 0, s, 0, &mut fa))
+            .collect();
+        let fate_b: Vec<_> = (0..256)
+            .map(|s| b.on_send(0, 1, 0, s, 0, &mut fb))
+            .collect();
+        assert_eq!(fate_a, fate_b, "identical seeds, identical schedules");
+        assert_eq!(fa, fb, "identical corruption under identical seeds");
+        assert!(fate_a.contains(&SendAction::Delay));
+        assert!(fate_a.contains(&SendAction::Drop));
+        assert!(fate_a.contains(&SendAction::Deliver));
+        // A different seed yields a different schedule.
+        let c = FaultState::new(plan.with_seed(8));
+        let mut fc = vec![0u8; 16];
+        let fate_c: Vec<_> = (0..256)
+            .map(|s| c.on_send(0, 1, 0, s, 0, &mut fc))
+            .collect();
+        assert_ne!(fate_a, fate_c, "different seeds diverge");
+        // delay_rate = 0 leaves the drop/dup/corrupt schedule untouched:
+        // delay occupies the tail of the unit interval.
+        let base = FaultPlan::new()
+            .drop_rate(0.1)
+            .duplicate_rate(0.1)
+            .corrupt_rate(0.1)
+            .with_seed(7);
+        let d = FaultState::new(base);
+        let mut fd = vec![0u8; 16];
+        let fate_d: Vec<_> = (0..256)
+            .map(|s| d.on_send(0, 1, 0, s, 0, &mut fd))
+            .collect();
+        for (x, y) in fate_a.iter().zip(fate_d.iter()) {
+            if *x != SendAction::Delay {
+                assert_eq!(x, y, "non-delay fates unchanged by delay_rate");
+            } else {
+                assert_eq!(*y, SendAction::Deliver);
+            }
+        }
     }
 
     #[test]

@@ -33,9 +33,15 @@
 pub mod cluster;
 pub mod fault;
 pub mod pool;
+pub mod transport;
 pub mod wire;
 
-pub use cluster::{Cluster, CommError, CrashSignal, HostCtx, HostError, HostStats, SyncPhase};
+pub use cluster::{
+    run_transport_host, Backend, Cluster, CommError, CrashSignal, HostCtx, HostError, HostStats,
+    SyncPhase,
+};
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use pool::WorkerPool;
+pub use transport::tcp::TcpTransport;
+pub use transport::{Backoff, Deadline, HeartbeatConfig, Transport, TransportConfig};
 pub use wire::{FrameError, Wire};

@@ -1,0 +1,527 @@
+//! The in-process transport: shared-memory mailboxes, a failure-aware
+//! barrier, and a recovery gate — the original simulated fabric, now
+//! behind the [`Transport`] trait.
+//!
+//! With the default [`TransportConfig`] this backend behaves exactly like
+//! the pre-transport cluster: no extra threads, unbounded waits, identical
+//! synchronization structure. Deadlines and the heartbeat detector are
+//! opt-in layers on the same primitives.
+
+use super::{Deadline, Transport, TransportConfig};
+use crate::cluster::CommError;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+/// How a blocking fabric wait ended early.
+enum WaitBreak {
+    /// Hosts have failed; `suspected` is the subset flagged only by the
+    /// heartbeat detector.
+    Failed {
+        failed: Vec<usize>,
+        suspected: Vec<usize>,
+    },
+    /// The deadline passed; `laggards` had not arrived.
+    TimedOut { laggards: Vec<usize> },
+    /// Hosts departed for good (recovery gate only).
+    Departed { departed: Vec<usize> },
+}
+
+impl WaitBreak {
+    fn into_comm_error(self, deadline: &Deadline) -> CommError {
+        match self {
+            WaitBreak::Failed { failed, suspected } => {
+                if !suspected.is_empty() && suspected.len() == failed.len() {
+                    CommError::PeerDown { hosts: suspected }
+                } else {
+                    CommError::HostFailure { hosts: failed }
+                }
+            }
+            WaitBreak::TimedOut { laggards } => CommError::Timeout {
+                phase: deadline.phase(),
+                hosts: laggards,
+            },
+            WaitBreak::Departed { departed } => CommError::HostFailure { hosts: departed },
+        }
+    }
+}
+
+/// A barrier that reports peer failures instead of deadlocking.
+///
+/// Semantically a generation-counted barrier over the *live* hosts: when
+/// [`FtBarrier::mark_failed`] records a casualty, every current and future
+/// waiter gets `Err` with the casualty list until [`FtBarrier::heal`]
+/// resets the barrier (which recovery does once all live hosts are
+/// realigned and no waiter can exist). Waits additionally honor a
+/// [`Deadline`]: a timed-out waiter withdraws its arrival and reports the
+/// hosts that never showed up.
+struct FtBarrier {
+    state: StdMutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    live: usize,
+    failed: Vec<bool>,
+    suspected: Vec<bool>,
+    here: Vec<bool>,
+}
+
+impl BarrierState {
+    fn failure(&self) -> WaitBreak {
+        WaitBreak::Failed {
+            failed: (0..self.failed.len()).filter(|&h| self.failed[h]).collect(),
+            suspected: (0..self.suspected.len())
+                .filter(|&h| self.suspected[h])
+                .collect(),
+        }
+    }
+
+    fn any_failed(&self) -> bool {
+        self.live < self.failed.len()
+    }
+}
+
+impl FtBarrier {
+    fn new(hosts: usize) -> Self {
+        FtBarrier {
+            state: StdMutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                live: hosts,
+                failed: vec![false; hosts],
+                suspected: vec![false; hosts],
+                here: vec![false; hosts],
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Waits for all live hosts; `Err` if any host has failed (now or
+    /// while waiting) or the deadline passes first.
+    fn wait(&self, host: usize, deadline: &Deadline) -> Result<(), WaitBreak> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.any_failed() {
+            return Err(s.failure());
+        }
+        s.arrived += 1;
+        s.here[host] = true;
+        if s.arrived >= s.live {
+            s.arrived = 0;
+            s.here.iter_mut().for_each(|h| *h = false);
+            s.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = s.generation;
+        loop {
+            s = match deadline.remaining() {
+                None => self.cv.wait(s).unwrap_or_else(|e| e.into_inner()),
+                Some(rem) if rem.is_zero() => {
+                    // Withdraw the arrival so the generation stays sound for
+                    // whoever keeps waiting (checks below ran last wake).
+                    s.arrived -= 1;
+                    s.here[host] = false;
+                    let laggards = (0..s.here.len())
+                        .filter(|&h| h != host && !s.here[h] && !s.failed[h])
+                        .collect();
+                    return Err(WaitBreak::TimedOut { laggards });
+                }
+                Some(rem) => {
+                    self.cv
+                        .wait_timeout(s, rem)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0
+                }
+            };
+            // Failure check first: a casualty may make `arrived >= live`
+            // true without completing the generation.
+            if s.any_failed() {
+                return Err(s.failure());
+            }
+            if s.generation != gen {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Records that `host` died; wakes all waiters so they observe the
+    /// failure. Idempotent; upgrades a suspicion into a hard failure.
+    fn mark_failed(&self, host: usize) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.failed[host] {
+            s.suspected[host] = false;
+            return;
+        }
+        s.failed[host] = true;
+        s.live -= 1;
+        self.cv.notify_all();
+    }
+
+    /// Records a heartbeat suspicion of `host`: like a failure, but
+    /// reported as [`CommError::PeerDown`]. Idempotent; never downgrades a
+    /// hard failure.
+    fn suspect(&self, host: usize) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.failed[host] {
+            return;
+        }
+        s.failed[host] = true;
+        s.suspected[host] = true;
+        s.live -= 1;
+        self.cv.notify_all();
+    }
+
+    /// Resets the barrier to all-alive. Only sound when no host is waiting
+    /// on it — recovery guarantees this by healing under the [`Gate`] lock
+    /// while every live host is parked at the gate.
+    fn heal(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.live = s.failed.len();
+        for f in &mut s.failed {
+            *f = false;
+        }
+        for f in &mut s.suspected {
+            *f = false;
+        }
+        for h in &mut s.here {
+            *h = false;
+        }
+        s.arrived = 0;
+    }
+}
+
+/// Recovery-alignment barrier, independent of the (possibly failed)
+/// [`FtBarrier`].
+///
+/// Hosts that complete their closure (or die unrecoverably) are marked
+/// *departed*; once any host departs, recovery can never realign the full
+/// cluster, so gate waits report the departed hosts instead of hanging.
+struct Gate {
+    state: StdMutex<GateState>,
+    cv: Condvar,
+}
+
+struct GateState {
+    arrived: usize,
+    generation: u64,
+    departed: Vec<bool>,
+    ndeparted: usize,
+    here: Vec<bool>,
+}
+
+impl GateState {
+    fn departure(&self) -> WaitBreak {
+        WaitBreak::Departed {
+            departed: (0..self.departed.len())
+                .filter(|&h| self.departed[h])
+                .collect(),
+        }
+    }
+}
+
+impl Gate {
+    fn new(hosts: usize) -> Self {
+        Gate {
+            state: StdMutex::new(GateState {
+                arrived: 0,
+                generation: 0,
+                departed: vec![false; hosts],
+                ndeparted: 0,
+                here: vec![false; hosts],
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Waits for all non-departed hosts, running `f` under the gate lock
+    /// when the last one arrives (before anyone is released).
+    fn wait_then<F: FnOnce()>(
+        &self,
+        host: usize,
+        deadline: &Deadline,
+        f: F,
+    ) -> Result<(), WaitBreak> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.ndeparted > 0 {
+            return Err(s.departure());
+        }
+        s.arrived += 1;
+        s.here[host] = true;
+        if s.arrived >= s.departed.len() - s.ndeparted {
+            f();
+            s.arrived = 0;
+            s.here.iter_mut().for_each(|h| *h = false);
+            s.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = s.generation;
+        loop {
+            s = match deadline.remaining() {
+                None => self.cv.wait(s).unwrap_or_else(|e| e.into_inner()),
+                Some(rem) if rem.is_zero() => {
+                    s.arrived -= 1;
+                    s.here[host] = false;
+                    let laggards = (0..s.here.len())
+                        .filter(|&h| h != host && !s.here[h] && !s.departed[h])
+                        .collect();
+                    return Err(WaitBreak::TimedOut { laggards });
+                }
+                Some(rem) => {
+                    self.cv
+                        .wait_timeout(s, rem)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0
+                }
+            };
+            if s.ndeparted > 0 {
+                return Err(s.departure());
+            }
+            if s.generation != gen {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Records that `host` left the run for good. Idempotent.
+    fn mark_departed(&self, host: usize) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.departed[host] {
+            return;
+        }
+        s.departed[host] = true;
+        s.ndeparted += 1;
+        self.cv.notify_all();
+    }
+
+    fn is_departed(&self, host: usize) -> bool {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).departed[host]
+    }
+}
+
+/// Shared state between the in-process hosts: framed mailboxes,
+/// retransmission plumbing, the failure-aware barrier, the recovery gate,
+/// and (when enabled) the heartbeat ledger.
+pub struct InProcFabric {
+    hosts: usize,
+    cfg: TransportConfig,
+    /// `mailboxes[to][from]` holds frames in flight from `from` to `to`.
+    mailboxes: Vec<Vec<Mutex<Vec<Vec<u8>>>>>,
+    /// `retx[sender][requester]`: requester asks sender to re-send.
+    retx: Vec<Vec<AtomicBool>>,
+    /// Per-host "I am still missing a frame" flag, read collectively.
+    missing: Vec<AtomicBool>,
+    barrier: FtBarrier,
+    gate: Gate,
+    /// Heartbeat ledger: nanoseconds since `epoch` of each host's last
+    /// announced beat.
+    last_beat: Vec<AtomicU64>,
+    /// Per-host silence deadline (nanoseconds since `epoch`) for the
+    /// hang-simulation test hook.
+    silence_until: Vec<AtomicU64>,
+    epoch: Instant,
+}
+
+impl InProcFabric {
+    /// Creates the shared fabric for `hosts` in-process hosts.
+    pub fn new(hosts: usize, cfg: TransportConfig) -> Self {
+        InProcFabric {
+            hosts,
+            cfg,
+            mailboxes: (0..hosts)
+                .map(|_| (0..hosts).map(|_| Mutex::new(Vec::new())).collect())
+                .collect(),
+            retx: (0..hosts)
+                .map(|_| (0..hosts).map(|_| AtomicBool::new(false)).collect())
+                .collect(),
+            missing: (0..hosts).map(|_| AtomicBool::new(false)).collect(),
+            barrier: FtBarrier::new(hosts),
+            gate: Gate::new(hosts),
+            last_beat: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
+            silence_until: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
+            epoch: Instant::now(),
+        }
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+impl std::fmt::Debug for InProcFabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InProcFabric")
+            .field("hosts", &self.hosts)
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+/// Joins the per-host heartbeat thread on drop.
+struct HeartbeatGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for HeartbeatGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One host's handle to the shared [`InProcFabric`].
+pub struct InProcTransport {
+    fabric: Arc<InProcFabric>,
+    host: usize,
+    _heartbeat: Option<HeartbeatGuard>,
+}
+
+impl InProcTransport {
+    /// Creates host `host`'s transport, spawning its heartbeat thread if
+    /// the fabric's config enables the detector.
+    pub fn new(fabric: Arc<InProcFabric>, host: usize) -> Self {
+        let heartbeat = fabric.cfg.heartbeat.map(|hb| {
+            let stop = Arc::new(AtomicBool::new(false));
+            let fab = fabric.clone();
+            let flag = stop.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("kimbap-hb-{host}"))
+                .spawn(move || {
+                    while !flag.load(Ordering::Relaxed) {
+                        let now = fab.now_nanos();
+                        // Beat unless silenced (the hang-simulation hook).
+                        if fab.silence_until[host].load(Ordering::Relaxed) <= now {
+                            fab.last_beat[host].store(now, Ordering::Relaxed);
+                        }
+                        // Monitor the peers: prolonged silence is suspicion.
+                        let limit = hb.suspect_after.as_nanos() as u64;
+                        for peer in 0..fab.hosts {
+                            if peer == host || fab.gate.is_departed(peer) {
+                                continue;
+                            }
+                            let seen = fab.last_beat[peer].load(Ordering::Relaxed);
+                            if now.saturating_sub(seen) > limit {
+                                fab.barrier.suspect(peer);
+                            }
+                        }
+                        std::thread::sleep(hb.interval);
+                    }
+                })
+                .expect("failed to spawn heartbeat thread");
+            HeartbeatGuard {
+                stop,
+                handle: Some(handle),
+            }
+        });
+        InProcTransport {
+            fabric,
+            host,
+            _heartbeat: heartbeat,
+        }
+    }
+}
+
+impl std::fmt::Debug for InProcTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InProcTransport")
+            .field("host", &self.host)
+            .field("hosts", &self.fabric.hosts)
+            .finish()
+    }
+}
+
+impl Transport for InProcTransport {
+    fn host(&self) -> usize {
+        self.host
+    }
+
+    fn num_hosts(&self) -> usize {
+        self.fabric.hosts
+    }
+
+    fn send(&self, to: usize, frame: Vec<u8>) {
+        self.fabric.mailboxes[to][self.host].lock().push(frame);
+    }
+
+    fn drain(&self, from: usize) -> Vec<Vec<u8>> {
+        std::mem::take(&mut *self.fabric.mailboxes[self.host][from].lock())
+    }
+
+    fn request_retx(&self, from: usize) {
+        self.fabric.retx[from][self.host].store(true, Ordering::Relaxed);
+    }
+
+    fn take_retx_requests(&self) -> Vec<usize> {
+        (0..self.fabric.hosts)
+            .filter(|&r| self.fabric.retx[self.host][r].swap(false, Ordering::Relaxed))
+            .collect()
+    }
+
+    fn barrier(&self, deadline: &Deadline) -> Result<(), CommError> {
+        self.fabric
+            .barrier
+            .wait(self.host, deadline)
+            .map_err(|b| b.into_comm_error(deadline))
+    }
+
+    fn sync_missing(&self, missing: bool, deadline: &Deadline) -> Result<Vec<bool>, CommError> {
+        let fab = &self.fabric;
+        fab.missing[self.host].store(missing, Ordering::Relaxed);
+        self.barrier(deadline)?;
+        // All flags are now published; every host reads the same snapshot.
+        Ok((0..fab.hosts)
+            .map(|h| fab.missing[h].load(Ordering::Relaxed))
+            .collect())
+    }
+
+    fn mark_failed(&self) {
+        self.fabric.barrier.mark_failed(self.host);
+    }
+
+    fn mark_departed(&self) {
+        self.fabric.gate.mark_departed(self.host);
+    }
+
+    fn gate_align(&self, deadline: &Deadline) -> Result<(), CommError> {
+        self.fabric
+            .gate
+            .wait_then(self.host, deadline, || {})
+            .map_err(|b| b.into_comm_error(deadline))
+    }
+
+    fn recover_reset(&self) {
+        let fab = &self.fabric;
+        let me = self.host;
+        // Each host clears its own rows; the rows are disjoint, and
+        // together the hosts cover every cell.
+        for h in 0..fab.hosts {
+            fab.mailboxes[me][h].lock().clear();
+            fab.retx[me][h].store(false, Ordering::Relaxed);
+        }
+        fab.missing[me].store(false, Ordering::Relaxed);
+        // A recovering host is alive by definition: refresh its beat so a
+        // pre-recovery silence is not re-flagged after the heal.
+        fab.last_beat[me].store(fab.now_nanos(), Ordering::Relaxed);
+    }
+
+    fn gate_heal(&self, deadline: &Deadline) -> Result<(), CommError> {
+        let fab = &self.fabric;
+        // The last arriver heals the barrier under the gate lock, before
+        // any host is released to use it.
+        fab.gate
+            .wait_then(self.host, deadline, || fab.barrier.heal())
+            .map_err(|b| b.into_comm_error(deadline))
+    }
+
+    fn silence(&self, d: Duration) {
+        let until = self.fabric.now_nanos() + d.as_nanos() as u64;
+        self.fabric.silence_until[self.host].store(until, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,307 @@
+//! The pluggable host-to-host transport behind the cluster's collectives.
+//!
+//! [`crate::HostCtx`]'s exchange protocol — framing, sequencing, CRC
+//! validation, fault injection, retransmission from the retained outbox,
+//! and the collective retry verdict — is backend-agnostic; everything that
+//! actually moves bytes between hosts sits behind the [`Transport`] trait.
+//! Two backends implement it:
+//!
+//! * [`inproc::InProcTransport`] — the original in-memory fabric (shared
+//!   mailboxes, a failure-aware barrier, a recovery gate), the default and
+//!   the deterministic test backend;
+//! * [`tcp::TcpTransport`] — a real TCP mesh (one connection per host
+//!   pair) for multi-process runs via `kimbap run --transport tcp`.
+//!
+//! Robustness is layered on the trait boundary, not per backend: phase
+//! [`Deadline`]s bound every blocking wait (a hung peer surfaces as
+//! [`crate::CommError::Timeout`] instead of wedging the round), an
+//! optional heartbeat failure detector turns silent peers into
+//! [`crate::CommError::PeerDown`], and retries use [`Backoff`] with
+//! exponential growth and decorrelated jitter.
+
+use crate::cluster::CommError;
+use crate::fault::mix;
+use std::time::{Duration, Instant};
+
+pub mod inproc;
+pub mod tcp;
+
+/// A phase deadline carried into every blocking transport wait.
+///
+/// `Deadline::none()` (the default) waits forever — exactly the pre-PR
+/// behavior. A bounded deadline makes the wait return
+/// [`CommError::Timeout`] naming the phase and the laggard hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+    phase: &'static str,
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Deadline::none()
+    }
+}
+
+impl Deadline {
+    /// An unbounded deadline: waits block until the condition resolves.
+    pub const fn none() -> Self {
+        Deadline {
+            at: None,
+            phase: "",
+        }
+    }
+
+    /// A deadline `timeout` from now, attributed to `phase`.
+    pub fn after(phase: &'static str, timeout: Duration) -> Self {
+        Deadline {
+            at: Instant::now().checked_add(timeout),
+            phase,
+        }
+    }
+
+    /// [`Deadline::after`] when a timeout is configured, otherwise
+    /// [`Deadline::none`].
+    pub fn maybe(phase: &'static str, timeout: Option<Duration>) -> Self {
+        match timeout {
+            Some(t) => Deadline::after(phase, t),
+            None => Deadline {
+                at: None,
+                phase,
+            },
+        }
+    }
+
+    /// The phase label used in [`CommError::Timeout`].
+    pub fn phase(&self) -> &'static str {
+        if self.phase.is_empty() {
+            "collective"
+        } else {
+            self.phase
+        }
+    }
+
+    /// Time left before expiry; `None` means unbounded.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at.map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// True once a bounded deadline has passed.
+    pub fn expired(&self) -> bool {
+        matches!(self.remaining(), Some(d) if d.is_zero())
+    }
+}
+
+/// Exponential backoff with decorrelated jitter (seeded, hence
+/// deterministic): each delay is drawn uniformly from
+/// `[base, 3 * previous]` and clamped to `cap`.
+///
+/// Replaces fixed `20µs << attempt` retry sleeps: jitter decorrelates the
+/// retry storms of hosts that failed together, while the seed keeps any
+/// single host's schedule reproducible.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    cur: Duration,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A backoff starting at `base` and never exceeding `cap`.
+    pub fn new(seed: u64, base: Duration, cap: Duration) -> Self {
+        Backoff {
+            base,
+            cap,
+            cur: base,
+            rng: mix(seed),
+        }
+    }
+
+    /// The default retransmission backoff for `host` (tens of microseconds
+    /// up to ~2ms — the in-proc exchange retry scale).
+    pub fn retransmit(host: usize) -> Self {
+        Backoff::new(
+            host as u64 ^ 0x7261_6e73_6d69_7473,
+            Duration::from_micros(20),
+            Duration::from_millis(2),
+        )
+    }
+
+    /// The default reconnect backoff for `host` (milliseconds up to a
+    /// second — TCP connection establishment scale).
+    pub fn reconnect(host: usize) -> Self {
+        Backoff::new(
+            host as u64 ^ 0x7265_636f_6e6e_6563,
+            Duration::from_millis(2),
+            Duration::from_secs(1),
+        )
+    }
+
+    /// Draws the next delay.
+    pub fn next_delay(&mut self) -> Duration {
+        self.rng = mix(self.rng);
+        let lo = self.base.as_nanos() as u64;
+        let hi = (self.cur.as_nanos() as u64).saturating_mul(3).max(lo + 1);
+        let nanos = lo + self.rng % (hi - lo);
+        self.cur = Duration::from_nanos(nanos).min(self.cap);
+        self.cur
+    }
+
+    /// Sleeps for the next delay.
+    pub fn sleep(&mut self) {
+        std::thread::sleep(self.next_delay());
+    }
+}
+
+/// Heartbeat failure-detector settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// How often each host announces liveness.
+    pub interval: Duration,
+    /// Silence longer than this marks the peer suspected
+    /// ([`CommError::PeerDown`]).
+    pub suspect_after: Duration,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            interval: Duration::from_millis(25),
+            suspect_after: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Transport-level options, shared by both backends.
+///
+/// The default disables the heartbeat detector: no extra threads, no
+/// timing sensitivity, bit-identical behavior to the pre-transport
+/// cluster. Tests and the multi-process launcher opt in explicitly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransportConfig {
+    /// Run the heartbeat failure detector with these settings; `None`
+    /// (default) disables it.
+    pub heartbeat: Option<HeartbeatConfig>,
+}
+
+impl TransportConfig {
+    /// A config with the heartbeat detector enabled at `hb`.
+    pub fn with_heartbeat(hb: HeartbeatConfig) -> Self {
+        TransportConfig {
+            heartbeat: Some(hb),
+        }
+    }
+}
+
+/// Moves framed bytes between hosts and implements the collective
+/// synchronization primitives the exchange protocol is built on.
+///
+/// One instance exists per host (it knows its own identity). Methods are
+/// called from the host's main thread; implementations must be `Sync`
+/// because [`crate::HostCtx`] is shared with intra-host worker closures.
+///
+/// The generic layer in `cluster.rs` owns everything above this trait:
+/// sequence numbers, the retained outbox, delayed-frame buffers, CRC
+/// validation, fault injection, and the retry loop. Implementations only
+/// move bytes and synchronize.
+pub trait Transport: Sync {
+    /// This host's id in `0..num_hosts`.
+    fn host(&self) -> usize;
+
+    /// Number of hosts in the mesh.
+    fn num_hosts(&self) -> usize;
+
+    /// Queues one raw frame for delivery to `to`. Best-effort: loss is
+    /// detected (and repaired) by the generic retransmission layer, and
+    /// dead peers surface from the next collective wait.
+    fn send(&self, to: usize, frame: Vec<u8>);
+
+    /// Takes every frame that has arrived from `from`.
+    fn drain(&self, from: usize) -> Vec<Vec<u8>>;
+
+    /// Asks `from` to re-send its retained frame for this host.
+    fn request_retx(&self, from: usize);
+
+    /// The peers that asked this host to re-send since the last call
+    /// (clearing the requests).
+    fn take_retx_requests(&self) -> Vec<usize>;
+
+    /// Failure-aware barrier over all hosts, bounded by `deadline`.
+    fn barrier(&self, deadline: &Deadline) -> Result<(), CommError>;
+
+    /// Collective missing-flag sync: publishes this host's flag, waits for
+    /// every host's, and returns the host-indexed snapshot (own flag
+    /// included). Doubles as a barrier: every host sees the same snapshot.
+    fn sync_missing(&self, missing: bool, deadline: &Deadline) -> Result<Vec<bool>, CommError>;
+
+    /// Marks this host failed, waking every peer's collective waits with
+    /// [`CommError::HostFailure`]. Idempotent.
+    fn mark_failed(&self);
+
+    /// Marks this host as permanently gone (closure finished or died
+    /// unrecoverably); recovery alignment reports it instead of hanging.
+    /// Idempotent.
+    fn mark_departed(&self);
+
+    /// Recovery alignment, phase 1: waits until every non-departed host
+    /// has stopped issuing traffic and entered recovery.
+    fn gate_align(&self, deadline: &Deadline) -> Result<(), CommError>;
+
+    /// Recovery alignment, phase 2: discards this host's transport-side
+    /// state (undelivered frames, retransmission requests, barrier
+    /// progress). Called between [`Transport::gate_align`] and
+    /// [`Transport::gate_heal`], when no host is sending.
+    fn recover_reset(&self);
+
+    /// Recovery alignment, phase 3: waits for every non-departed host to
+    /// finish resetting, then heals the failure state so collectives work
+    /// again.
+    fn gate_heal(&self, deadline: &Deadline) -> Result<(), CommError>;
+
+    /// Test hook: suppresses this host's heartbeats for `d`, simulating a
+    /// host that has gone silent without crashing.
+    fn silence(&self, d: Duration);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_deadline_never_expires() {
+        let d = Deadline::none();
+        assert_eq!(d.remaining(), None);
+        assert!(!d.expired());
+        assert_eq!(d.phase(), "collective");
+        assert_eq!(Deadline::maybe("x", None).remaining(), None);
+        assert_eq!(Deadline::maybe("x", None).phase(), "x");
+    }
+
+    #[test]
+    fn bounded_deadline_expires() {
+        let d = Deadline::after("probe", Duration::from_millis(1));
+        assert_eq!(d.phase(), "probe");
+        assert!(d.remaining().is_some());
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_jittered() {
+        let mk = || Backoff::new(9, Duration::from_micros(20), Duration::from_millis(2));
+        let (mut a, mut b) = (mk(), mk());
+        let da: Vec<_> = (0..32).map(|_| a.next_delay()).collect();
+        let db: Vec<_> = (0..32).map(|_| b.next_delay()).collect();
+        assert_eq!(da, db, "same seed, same schedule");
+        assert!(da.iter().all(|d| *d >= Duration::from_micros(20)));
+        assert!(da.iter().all(|d| *d <= Duration::from_millis(2)));
+        // Jitter: the schedule is not a fixed geometric ladder.
+        assert!(da.windows(2).any(|w| w[0] != w[1]));
+        // Decorrelated across seeds.
+        let mut c = Backoff::new(10, Duration::from_micros(20), Duration::from_millis(2));
+        let dc: Vec<_> = (0..32).map(|_| c.next_delay()).collect();
+        assert_ne!(da, dc);
+    }
+}

@@ -1,0 +1,766 @@
+//! The TCP transport: a full mesh of host-pair connections carrying the
+//! same wire-format frames as the in-proc fabric, for multi-process runs.
+//!
+//! # Stream protocol
+//!
+//! Each connection carries tagged messages: `[tag u8][len u32 LE][body]`.
+//! `DATA` bodies are untouched `wire.rs` frames (the generic layer still
+//! validates their CRC); control tags implement the collective primitives:
+//!
+//! * `BARRIER(gen u64)` / `GATE(gen u64)` — generation-highwater barriers:
+//!   arrival `g` broadcasts the generation, completion waits until every
+//!   live peer's announced generation reaches `g`. TCP's per-connection
+//!   ordering makes the highwater monotone per peer.
+//! * `MISSING(gen u64, flag u8)` — the collective retransmission verdict;
+//!   flags are keyed by generation in a per-peer map so a fast host's next
+//!   verdict can never overwrite one a slow host has not read yet.
+//! * `RETX` — peer asks us to re-send our retained frame.
+//! * `FAILED(epoch u64)` — sender crashed; stamped with its failure epoch
+//!   so a stale notice cannot re-fail a healed mesh.
+//! * `DEPARTED` — sender finished for good (clean exit or unrecoverable
+//!   death). EOF without `DEPARTED` is treated as process death.
+//! * `HB` — heartbeat; any received message counts as liveness, this one
+//!   just guarantees a minimum rate.
+//!
+//! # Recovery
+//!
+//! `recover_reset` zeroes the barrier/missing generations along with the
+//! inbox: hosts abort a failed round at different collective counts, so
+//! the counters must be realigned, and the three-phase recovery gate
+//! (align → reset → heal) guarantees no live traffic is in flight while
+//! they are. Gate generations are *never* reset — recovery itself
+//! synchronizes on them. Healing bumps the failure epoch, which
+//! invalidates any `FAILED` notice from before the heal.
+
+use super::{Backoff, Deadline, Transport, TransportConfig};
+use crate::cluster::CommError;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+const TAG_DATA: u8 = 1;
+const TAG_BARRIER: u8 = 2;
+const TAG_MISSING: u8 = 3;
+const TAG_RETX: u8 = 4;
+const TAG_HB: u8 = 5;
+const TAG_FAILED: u8 = 6;
+const TAG_DEPARTED: u8 = 7;
+const TAG_GATE: u8 = 8;
+
+/// Upper bound on a single stream message body; anything larger means a
+/// corrupted length header, and the connection is dropped.
+const MAX_BODY: usize = 1 << 31;
+
+/// How long mesh construction waits for every peer to show up.
+const SETUP_TIMEOUT: Duration = Duration::from_secs(30);
+
+struct State {
+    /// Received data frames, per sending peer.
+    inbox: Vec<Vec<Vec<u8>>>,
+    /// Highest barrier generation announced by each peer.
+    barrier_seen: Vec<u64>,
+    /// Highest gate generation announced by each peer.
+    gate_seen: Vec<u64>,
+    /// Missing-flag announcements per peer, keyed by generation.
+    missing: Vec<BTreeMap<u64, bool>>,
+    /// Peers that asked us to retransmit.
+    retx: Vec<bool>,
+    failed: Vec<bool>,
+    suspected: Vec<bool>,
+    departed: Vec<bool>,
+    /// Current failure epoch; `FAILED(e)` is honored only if `e >= epoch`.
+    epoch: u64,
+    /// This host's completed barrier generation.
+    bar_gen: u64,
+    /// This host's completed gate generation (never reset).
+    gate_gen: u64,
+    /// This host's completed missing-sync generation.
+    miss_gen: u64,
+}
+
+impl State {
+    fn new(hosts: usize) -> Self {
+        State {
+            inbox: vec![Vec::new(); hosts],
+            barrier_seen: vec![0; hosts],
+            gate_seen: vec![0; hosts],
+            missing: vec![BTreeMap::new(); hosts],
+            retx: vec![false; hosts],
+            failed: vec![false; hosts],
+            suspected: vec![false; hosts],
+            departed: vec![false; hosts],
+            epoch: 0,
+            bar_gen: 0,
+            gate_gen: 0,
+            miss_gen: 0,
+        }
+    }
+
+    /// The failure verdict, if any host has failed: all-suspected maps to
+    /// `PeerDown`, anything harder to `HostFailure`.
+    fn failure(&self) -> Option<CommError> {
+        let failed: Vec<usize> = (0..self.failed.len()).filter(|&h| self.failed[h]).collect();
+        if failed.is_empty() {
+            return None;
+        }
+        let suspected: Vec<usize> = (0..self.suspected.len())
+            .filter(|&h| self.suspected[h])
+            .collect();
+        Some(if !suspected.is_empty() && suspected.len() == failed.len() {
+            CommError::PeerDown { hosts: suspected }
+        } else {
+            CommError::HostFailure { hosts: failed }
+        })
+    }
+}
+
+struct Inner {
+    host: usize,
+    hosts: usize,
+    cfg: TransportConfig,
+    ports: Vec<u16>,
+    state: StdMutex<State>,
+    cv: Condvar,
+    /// Per-peer write handles, locked independently of `state`: a socket
+    /// write may block on a full send buffer, and holding the state lock
+    /// across it would wedge our readers and deadlock the mesh.
+    writers: Vec<StdMutex<Option<TcpStream>>>,
+    shutdown: AtomicBool,
+    epoch0: Instant,
+    /// Nanoseconds (since `epoch0`) of the last message from each peer.
+    last_rx: Vec<AtomicU64>,
+    /// Heartbeats are suppressed until this time (hang-simulation hook).
+    silence_until: AtomicU64,
+    threads: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Inner {
+    fn now_nanos(&self) -> u64 {
+        self.epoch0.elapsed().as_nanos() as u64
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Transport over a TCP mesh (one connection per host pair), for
+/// multi-process runs and in-process loopback testing.
+pub struct TcpTransport {
+    inner: Arc<Inner>,
+}
+
+fn read_exact(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<()> {
+    stream.read_exact(buf)
+}
+
+fn reader_loop(inner: Arc<Inner>, peer: usize, mut stream: TcpStream) {
+    let mut hdr = [0u8; 5];
+    loop {
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        if read_exact(&mut stream, &mut hdr).is_err() {
+            break;
+        }
+        let tag = hdr[0];
+        let len = u32::from_le_bytes([hdr[1], hdr[2], hdr[3], hdr[4]]) as usize;
+        if len > MAX_BODY {
+            break;
+        }
+        let mut body = vec![0u8; len];
+        if read_exact(&mut stream, &mut body).is_err() {
+            break;
+        }
+        inner.last_rx[peer].store(inner.now_nanos(), Ordering::Relaxed);
+        apply(&inner, peer, tag, body);
+    }
+    if inner.shutdown.load(Ordering::Relaxed) {
+        return;
+    }
+    // EOF without a DEPARTED notice means the peer process died.
+    let mut st = inner.lock();
+    if !st.departed[peer] && !st.failed[peer] {
+        st.failed[peer] = true;
+        st.departed[peer] = true;
+    }
+    drop(st);
+    inner.cv.notify_all();
+}
+
+fn apply(inner: &Inner, peer: usize, tag: u8, body: Vec<u8>) {
+    let u64_at = |b: &[u8]| -> Option<u64> { Some(u64::from_le_bytes(b.get(..8)?.try_into().ok()?)) };
+    let mut st = inner.lock();
+    match tag {
+        TAG_DATA => st.inbox[peer].push(body),
+        TAG_BARRIER => {
+            if let Some(g) = u64_at(&body) {
+                st.barrier_seen[peer] = st.barrier_seen[peer].max(g);
+            }
+        }
+        TAG_GATE => {
+            if let Some(g) = u64_at(&body) {
+                st.gate_seen[peer] = st.gate_seen[peer].max(g);
+            }
+        }
+        TAG_MISSING => {
+            if let (Some(g), Some(&flag)) = (u64_at(&body), body.get(8)) {
+                st.missing[peer].insert(g, flag != 0);
+            }
+        }
+        TAG_RETX => st.retx[peer] = true,
+        TAG_HB => {}
+        TAG_FAILED => {
+            if let Some(e) = u64_at(&body) {
+                if e >= st.epoch {
+                    st.failed[peer] = true;
+                    st.suspected[peer] = false;
+                }
+            }
+        }
+        TAG_DEPARTED => st.departed[peer] = true,
+        _ => {}
+    }
+    drop(st);
+    inner.cv.notify_all();
+}
+
+fn handshake_connect(inner: &Inner, peer: usize) -> io::Result<TcpStream> {
+    let addr = SocketAddr::from(([127, 0, 0, 1], inner.ports[peer]));
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    (&stream).write_all(&[inner.host as u8])?;
+    Ok(stream)
+}
+
+/// Installs `stream` as the connection to `peer`: write half into the
+/// writer slot, read half into a fresh reader thread.
+fn install(inner: &Arc<Inner>, peer: usize, stream: TcpStream) {
+    let reader = stream.try_clone().expect("tcp stream clone");
+    inner.last_rx[peer].store(inner.now_nanos(), Ordering::Relaxed);
+    *inner.writers[peer].lock().unwrap_or_else(|e| e.into_inner()) = Some(stream);
+    let inner2 = inner.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("kimbap-tcp-rx-{}-{peer}", inner.host))
+        .spawn(move || reader_loop(inner2, peer, reader))
+        .expect("failed to spawn tcp reader");
+    inner
+        .threads
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(handle);
+}
+
+fn acceptor_loop(inner: Arc<Inner>, listener: TcpListener) {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    while !inner.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // The accepted socket must block for the reader thread.
+                if stream.set_nonblocking(false).is_err() || stream.set_nodelay(true).is_err() {
+                    continue;
+                }
+                let mut id = [0u8; 1];
+                let mut s = stream;
+                let _ = s.set_read_timeout(Some(Duration::from_secs(2)));
+                if read_exact(&mut s, &mut id).is_err() {
+                    continue;
+                }
+                let _ = s.set_read_timeout(None);
+                let peer = id[0] as usize;
+                if peer >= inner.hosts || peer == inner.host {
+                    continue;
+                }
+                install(&inner, peer, s);
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+fn heartbeat_loop(inner: Arc<Inner>, hb: super::HeartbeatConfig) {
+    let limit = hb.suspect_after.as_nanos() as u64;
+    while !inner.shutdown.load(Ordering::Relaxed) {
+        let now = inner.now_nanos();
+        if inner.silence_until.load(Ordering::Relaxed) <= now {
+            for peer in 0..inner.hosts {
+                if peer != inner.host {
+                    send_on(&inner, peer, TAG_HB, &[]);
+                }
+            }
+        }
+        // Monitor: prolonged silence from a live peer is suspicion.
+        let mut st = inner.lock();
+        let mut woke = false;
+        for peer in 0..inner.hosts {
+            if peer == inner.host || st.failed[peer] || st.departed[peer] {
+                continue;
+            }
+            let seen = inner.last_rx[peer].load(Ordering::Relaxed);
+            if now.saturating_sub(seen) > limit {
+                st.failed[peer] = true;
+                st.suspected[peer] = true;
+                woke = true;
+            }
+        }
+        drop(st);
+        if woke {
+            inner.cv.notify_all();
+        }
+        std::thread::sleep(hb.interval);
+    }
+}
+
+/// Writes one tagged message to `peer`, reconnecting (client side) or
+/// waiting for the acceptor to restore the link (server side) on failure.
+fn send_on(inner: &Arc<Inner>, peer: usize, tag: u8, body: &[u8]) {
+    let mut buf = Vec::with_capacity(5 + body.len());
+    buf.push(tag);
+    buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    buf.extend_from_slice(body);
+    {
+        let guard = inner.writers[peer].lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(s) = guard.as_ref() {
+            if { s }.write_all(&buf).is_ok() {
+                return;
+            }
+        }
+    }
+    revive(inner, peer, &buf);
+}
+
+/// Re-establishes the connection to `peer` with exponential backoff and
+/// decorrelated jitter, then retries the write once per attempt. Marks the
+/// peer failed if the link cannot be restored.
+fn revive(inner: &Arc<Inner>, peer: usize, buf: &[u8]) {
+    let mut backoff = Backoff::reconnect(inner.host);
+    for _ in 0..8 {
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        if peer < inner.host {
+            // We are the client for this pair: reconnect and re-handshake.
+            if let Ok(stream) = handshake_connect(inner, peer) {
+                install(inner, peer, stream);
+            }
+        }
+        // Server side (or post-reconnect): use whatever writer is present —
+        // the acceptor installs replacements as the peer redials.
+        {
+            let guard = inner.writers[peer].lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(s) = guard.as_ref() {
+                if { s }.write_all(buf).is_ok() {
+                    return;
+                }
+            }
+        }
+        backoff.sleep();
+    }
+    let mut st = inner.lock();
+    if !st.failed[peer] {
+        st.failed[peer] = true;
+    }
+    drop(st);
+    inner.cv.notify_all();
+}
+
+impl TcpTransport {
+    /// Builds the transport for `host` from a pre-bound listener and the
+    /// full port table (one loopback port per host). Used by the
+    /// in-process TCP-loopback cluster mode, where all listeners are bound
+    /// on port 0 up front.
+    pub fn with_listener(
+        host: usize,
+        num_hosts: usize,
+        listener: TcpListener,
+        ports: &[u16],
+        cfg: TransportConfig,
+    ) -> io::Result<Self> {
+        assert!(num_hosts <= 255, "tcp transport addresses hosts by one byte");
+        assert_eq!(ports.len(), num_hosts);
+        let inner = Arc::new(Inner {
+            host,
+            hosts: num_hosts,
+            cfg,
+            ports: ports.to_vec(),
+            state: StdMutex::new(State::new(num_hosts)),
+            cv: Condvar::new(),
+            writers: (0..num_hosts).map(|_| StdMutex::new(None)).collect(),
+            shutdown: AtomicBool::new(false),
+            epoch0: Instant::now(),
+            last_rx: (0..num_hosts).map(|_| AtomicU64::new(0)).collect(),
+            silence_until: AtomicU64::new(0),
+            threads: StdMutex::new(Vec::new()),
+        });
+        {
+            let inner2 = inner.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("kimbap-tcp-acc-{host}"))
+                .spawn(move || acceptor_loop(inner2, listener))
+                .expect("failed to spawn tcp acceptor");
+            inner
+                .threads
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(handle);
+        }
+        // Client side of each pair: the higher id dials the lower.
+        for peer in 0..host {
+            let mut backoff = Backoff::reconnect(host);
+            let start = Instant::now();
+            loop {
+                match handshake_connect(&inner, peer) {
+                    Ok(stream) => {
+                        install(&inner, peer, stream);
+                        break;
+                    }
+                    Err(e) if start.elapsed() > SETUP_TIMEOUT => return Err(e),
+                    Err(_) => backoff.sleep(),
+                }
+            }
+        }
+        // Wait for the server side of each pair (installed by the acceptor).
+        let start = Instant::now();
+        loop {
+            let connected = (0..num_hosts).filter(|&p| p != host).all(|p| {
+                inner.writers[p]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .is_some()
+            });
+            if connected {
+                break;
+            }
+            if start.elapsed() > SETUP_TIMEOUT {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("host {host}: peers did not connect within {SETUP_TIMEOUT:?}"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if let Some(hb) = inner.cfg.heartbeat {
+            let inner2 = inner.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("kimbap-tcp-hb-{host}"))
+                .spawn(move || heartbeat_loop(inner2, hb))
+                .expect("failed to spawn tcp heartbeat");
+            inner
+                .threads
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(handle);
+        }
+        Ok(TcpTransport { inner })
+    }
+
+    /// Binds `127.0.0.1:port_base + host` (retrying while the port is in
+    /// `TIME_WAIT`) and joins the mesh. Used by `kimbap run _worker`
+    /// multi-process mode, where every worker derives the same port table
+    /// from `port_base`.
+    pub fn bind(
+        host: usize,
+        num_hosts: usize,
+        port_base: u16,
+        cfg: TransportConfig,
+    ) -> io::Result<Self> {
+        let ports: Vec<u16> = (0..num_hosts)
+            .map(|h| {
+                port_base
+                    .checked_add(h as u16)
+                    .expect("port range overflows u16")
+            })
+            .collect();
+        let addr = SocketAddr::from(([127, 0, 0, 1], ports[host]));
+        let start = Instant::now();
+        let listener = loop {
+            match TcpListener::bind(addr) {
+                Ok(l) => break l,
+                Err(e) if start.elapsed() > Duration::from_secs(5) => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        };
+        TcpTransport::with_listener(host, num_hosts, listener, &ports, cfg)
+    }
+
+    /// Binds one loopback listener per host on ephemeral ports; returns
+    /// the listeners and the resolved port table. The cluster's TCP
+    /// loopback mode hands one listener (plus the table) to each host
+    /// thread.
+    pub fn loopback_listeners(num_hosts: usize) -> io::Result<(Vec<TcpListener>, Vec<u16>)> {
+        let mut listeners = Vec::with_capacity(num_hosts);
+        let mut ports = Vec::with_capacity(num_hosts);
+        for _ in 0..num_hosts {
+            let l = TcpListener::bind(SocketAddr::from(([127, 0, 0, 1], 0)))?;
+            ports.push(l.local_addr()?.port());
+            listeners.push(l);
+        }
+        Ok((listeners, ports))
+    }
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("host", &self.inner.host)
+            .field("hosts", &self.inner.hosts)
+            .field("ports", &self.inner.ports)
+            .finish()
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        for w in &self.inner.writers {
+            if let Some(s) = w.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+        let handles = std::mem::take(
+            &mut *self
+                .inner
+                .threads
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl TcpTransport {
+    fn broadcast(&self, tag: u8, body: &[u8]) {
+        for peer in 0..self.inner.hosts {
+            if peer != self.inner.host {
+                send_on(&self.inner, peer, tag, body);
+            }
+        }
+    }
+
+    /// Waits until `done(state)` holds, erroring on failure or deadline.
+    fn wait_for<F, G>(&self, deadline: &Deadline, done: F, laggards: G) -> Result<(), CommError>
+    where
+        F: Fn(&mut State) -> bool,
+        G: Fn(&State) -> Vec<usize>,
+    {
+        let mut st = self.inner.lock();
+        loop {
+            if let Some(err) = st.failure() {
+                return Err(err);
+            }
+            if done(&mut st) {
+                return Ok(());
+            }
+            st = match deadline.remaining() {
+                None => self.inner.cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+                Some(rem) if rem.is_zero() => {
+                    return Err(CommError::Timeout {
+                        phase: deadline.phase(),
+                        hosts: laggards(&st),
+                    });
+                }
+                Some(rem) => {
+                    self.inner
+                        .cv
+                        .wait_timeout(st, rem)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0
+                }
+            };
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn host(&self) -> usize {
+        self.inner.host
+    }
+
+    fn num_hosts(&self) -> usize {
+        self.inner.hosts
+    }
+
+    fn send(&self, to: usize, frame: Vec<u8>) {
+        send_on(&self.inner, to, TAG_DATA, &frame);
+    }
+
+    fn drain(&self, from: usize) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.inner.lock().inbox[from])
+    }
+
+    fn request_retx(&self, from: usize) {
+        send_on(&self.inner, from, TAG_RETX, &[]);
+    }
+
+    fn take_retx_requests(&self) -> Vec<usize> {
+        let mut st = self.inner.lock();
+        (0..self.inner.hosts)
+            .filter(|&r| std::mem::take(&mut st.retx[r]))
+            .collect()
+    }
+
+    fn barrier(&self, deadline: &Deadline) -> Result<(), CommError> {
+        let me = self.inner.host;
+        let arrival = self.inner.lock().bar_gen + 1;
+        self.broadcast(TAG_BARRIER, &arrival.to_le_bytes());
+        self.wait_for(
+            deadline,
+            |st| {
+                let done = (0..st.barrier_seen.len())
+                    .all(|p| p == me || st.barrier_seen[p] >= arrival);
+                if done {
+                    st.bar_gen = arrival;
+                }
+                done
+            },
+            |st| {
+                (0..st.barrier_seen.len())
+                    .filter(|&p| p != me && st.barrier_seen[p] < arrival && !st.failed[p])
+                    .collect()
+            },
+        )
+    }
+
+    fn sync_missing(&self, missing: bool, deadline: &Deadline) -> Result<Vec<bool>, CommError> {
+        let me = self.inner.host;
+        let gen = self.inner.lock().miss_gen + 1;
+        let mut body = gen.to_le_bytes().to_vec();
+        body.push(missing as u8);
+        self.broadcast(TAG_MISSING, &body);
+        self.wait_for(
+            deadline,
+            |st| {
+                (0..st.missing.len()).all(|p| p == me || st.missing[p].contains_key(&gen))
+            },
+            |st| {
+                (0..st.missing.len())
+                    .filter(|&p| p != me && !st.missing[p].contains_key(&gen) && !st.failed[p])
+                    .collect()
+            },
+        )?;
+        let mut st = self.inner.lock();
+        let flags = (0..self.inner.hosts)
+            .map(|p| {
+                if p == me {
+                    missing
+                } else {
+                    st.missing[p][&gen]
+                }
+            })
+            .collect();
+        // Prune consumed generations; later ones (fast peers) are kept.
+        for p in 0..self.inner.hosts {
+            st.missing[p] = st.missing[p].split_off(&(gen + 1));
+        }
+        st.miss_gen = gen;
+        Ok(flags)
+    }
+
+    fn mark_failed(&self) {
+        let epoch = self.inner.lock().epoch;
+        self.broadcast(TAG_FAILED, &epoch.to_le_bytes());
+    }
+
+    fn mark_departed(&self) {
+        self.broadcast(TAG_DEPARTED, &[]);
+    }
+
+    fn gate_align(&self, deadline: &Deadline) -> Result<(), CommError> {
+        self.gate_wait(deadline, false)
+    }
+
+    fn recover_reset(&self) {
+        let mut st = self.inner.lock();
+        for row in &mut st.inbox {
+            row.clear();
+        }
+        for m in &mut st.missing {
+            m.clear();
+        }
+        for r in &mut st.retx {
+            *r = false;
+        }
+        st.barrier_seen.iter_mut().for_each(|g| *g = 0);
+        st.bar_gen = 0;
+        st.miss_gen = 0;
+        drop(st);
+        // A recovering host is alive: refresh peer liveness so the stall
+        // that triggered recovery is not immediately re-flagged.
+        let now = self.inner.now_nanos();
+        for rx in &self.inner.last_rx {
+            rx.store(now, Ordering::Relaxed);
+        }
+    }
+
+    fn gate_heal(&self, deadline: &Deadline) -> Result<(), CommError> {
+        self.gate_wait(deadline, true)
+    }
+
+    fn silence(&self, d: Duration) {
+        let until = self.inner.now_nanos() + d.as_nanos() as u64;
+        self.inner.silence_until.store(until, Ordering::Relaxed);
+    }
+}
+
+impl TcpTransport {
+    /// Gate arrival + wait; with `heal`, clears the failure state and bumps
+    /// the epoch once every peer has arrived. Unlike the in-proc gate this
+    /// heals per-host local state, which is sound because each host resets
+    /// *before* announcing its heal-gate arrival: by the time every arrival
+    /// is visible here, every reset has happened, and `FAILED` notices from
+    /// before the heal carry a stale epoch.
+    fn gate_wait(&self, deadline: &Deadline, heal: bool) -> Result<(), CommError> {
+        let me = self.inner.host;
+        let arrival = self.inner.lock().gate_gen + 1;
+        self.broadcast(TAG_GATE, &arrival.to_le_bytes());
+        let mut st = self.inner.lock();
+        loop {
+            let gone: Vec<usize> = (0..self.inner.hosts)
+                .filter(|&p| st.departed[p])
+                .collect();
+            if !gone.is_empty() {
+                return Err(CommError::HostFailure { hosts: gone });
+            }
+            let done =
+                (0..self.inner.hosts).all(|p| p == me || st.gate_seen[p] >= arrival);
+            if done {
+                st.gate_gen = arrival;
+                if heal {
+                    st.epoch += 1;
+                    st.failed.iter_mut().for_each(|f| *f = false);
+                    st.suspected.iter_mut().for_each(|f| *f = false);
+                }
+                return Ok(());
+            }
+            st = match deadline.remaining() {
+                None => self.inner.cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+                Some(rem) if rem.is_zero() => {
+                    let laggards = (0..self.inner.hosts)
+                        .filter(|&p| p != me && st.gate_seen[p] < arrival)
+                        .collect();
+                    return Err(CommError::Timeout {
+                        phase: deadline.phase(),
+                        hosts: laggards,
+                    });
+                }
+                Some(rem) => {
+                    self.inner
+                        .cv
+                        .wait_timeout(st, rem)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0
+                }
+            };
+        }
+    }
+}

@@ -24,12 +24,22 @@ pub trait Wire: Sized + Copy {
     /// Appends the encoding of `self` to `buf`.
     fn write(&self, buf: &mut Vec<u8>);
 
+    /// Decodes a value from the front of `buf`, rejecting short buffers.
+    ///
+    /// This is the decoding entry point for bytes that crossed a host
+    /// boundary: a truncated or garbage peer payload surfaces as
+    /// [`FrameError::Truncated`] instead of a panic.
+    fn try_read(buf: &[u8]) -> Result<Self, FrameError>;
+
     /// Decodes a value from the front of `buf`.
     ///
     /// # Panics
     ///
-    /// Panics if `buf` is shorter than [`Wire::SIZE`].
-    fn read(buf: &[u8]) -> Self;
+    /// Panics if `buf` is shorter than [`Wire::SIZE`]. Use
+    /// [`Wire::try_read`] for untrusted input.
+    fn read(buf: &[u8]) -> Self {
+        Self::try_read(buf).expect("buffer shorter than Wire::SIZE")
+    }
 }
 
 macro_rules! wire_int {
@@ -41,8 +51,11 @@ macro_rules! wire_int {
                 buf.extend_from_slice(&self.to_le_bytes());
             }
 
-            fn read(buf: &[u8]) -> Self {
-                <$t>::from_le_bytes(buf[..Self::SIZE].try_into().unwrap())
+            fn try_read(buf: &[u8]) -> Result<Self, FrameError> {
+                match buf.get(..Self::SIZE) {
+                    Some(bytes) => Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized slice"))),
+                    None => Err(FrameError::Truncated),
+                }
             }
         }
     )*};
@@ -57,8 +70,11 @@ impl Wire for bool {
         buf.push(*self as u8);
     }
 
-    fn read(buf: &[u8]) -> Self {
-        buf[0] != 0
+    fn try_read(buf: &[u8]) -> Result<Self, FrameError> {
+        match buf.first() {
+            Some(&b) => Ok(b != 0),
+            None => Err(FrameError::Truncated),
+        }
     }
 }
 
@@ -70,8 +86,11 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
         self.1.write(buf);
     }
 
-    fn read(buf: &[u8]) -> Self {
-        (A::read(buf), B::read(&buf[A::SIZE..]))
+    fn try_read(buf: &[u8]) -> Result<Self, FrameError> {
+        if buf.len() < Self::SIZE {
+            return Err(FrameError::Truncated);
+        }
+        Ok((A::try_read(buf)?, B::try_read(&buf[A::SIZE..])?))
     }
 }
 
@@ -84,12 +103,15 @@ impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
         self.2.write(buf);
     }
 
-    fn read(buf: &[u8]) -> Self {
-        (
-            A::read(buf),
-            B::read(&buf[A::SIZE..]),
-            C::read(&buf[A::SIZE + B::SIZE..]),
-        )
+    fn try_read(buf: &[u8]) -> Result<Self, FrameError> {
+        if buf.len() < Self::SIZE {
+            return Err(FrameError::Truncated);
+        }
+        Ok((
+            A::try_read(buf)?,
+            B::try_read(&buf[A::SIZE..])?,
+            C::try_read(&buf[A::SIZE + B::SIZE..])?,
+        ))
     }
 }
 
@@ -102,11 +124,25 @@ pub fn encode_slice<T: Wire>(items: &[T]) -> Vec<u8> {
     buf
 }
 
+/// Decodes a byte buffer produced by [`encode_slice`], rejecting buffers
+/// whose length is not a multiple of the element size.
+///
+/// This is the decoding entry point for peer payloads: a truncated or
+/// garbage buffer surfaces as [`FrameError::LengthMismatch`] instead of a
+/// panic.
+pub fn try_decode_slice<T: Wire>(buf: &[u8]) -> Result<Vec<T>, FrameError> {
+    if !buf.len().is_multiple_of(T::SIZE) {
+        return Err(FrameError::LengthMismatch);
+    }
+    buf.chunks_exact(T::SIZE).map(T::try_read).collect()
+}
+
 /// Decodes a byte buffer produced by [`encode_slice`].
 ///
 /// # Panics
 ///
-/// Panics if `buf.len()` is not a multiple of `T::SIZE`.
+/// Panics if `buf.len()` is not a multiple of `T::SIZE`. Use
+/// [`try_decode_slice`] for untrusted input.
 pub fn decode_slice<T: Wire>(buf: &[u8]) -> Vec<T> {
     assert_eq!(
         buf.len() % T::SIZE,
@@ -257,7 +293,9 @@ pub fn parse_frame(frame: &[u8]) -> Result<(u64, &[u8]), FrameError> {
     }
     let seq = u64::read(&frame[4..]);
     let len = u32::read(&frame[12..]) as usize;
-    if frame.len() != FRAME_HEADER + len {
+    // Checked subtraction: `FRAME_HEADER + len` could overflow on 32-bit
+    // targets for a hostile length field.
+    if frame.len().checked_sub(FRAME_HEADER) != Some(len) {
         return Err(FrameError::LengthMismatch);
     }
     let stored = u32::read(&frame[16..]);
@@ -355,5 +393,39 @@ mod tests {
     fn crc32_known_vector() {
         // The standard IEEE test vector.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn try_read_rejects_short_buffers() {
+        assert_eq!(u64::try_read(&[0u8; 7]), Err(FrameError::Truncated));
+        assert_eq!(bool::try_read(&[]), Err(FrameError::Truncated));
+        assert_eq!(
+            <(u32, u64)>::try_read(&[0u8; 11]),
+            Err(FrameError::Truncated)
+        );
+        assert_eq!(u32::try_read(&[1, 0, 0, 0, 9]), Ok(1));
+    }
+
+    #[test]
+    fn try_decode_slice_rejects_misaligned() {
+        assert_eq!(
+            try_decode_slice::<u64>(&[0u8; 7]),
+            Err(FrameError::LengthMismatch)
+        );
+        let buf = encode_slice(&[3u64, 4]);
+        assert_eq!(try_decode_slice::<u64>(&buf), Ok(vec![3, 4]));
+    }
+
+    #[test]
+    fn parse_frame_rejects_garbage_without_panicking() {
+        // Arbitrary byte soups, including ones that look header-shaped.
+        for n in 0..64usize {
+            let junk: Vec<u8> = (0..n).map(|i| (i * 37 + n) as u8).collect();
+            assert!(parse_frame(&junk).is_err());
+        }
+        // A frame whose header claims more payload than arrived.
+        let mut frame = frame_payload(3, b"abcdef");
+        frame.truncate(FRAME_HEADER + 2);
+        assert!(parse_frame(&frame).is_err());
     }
 }

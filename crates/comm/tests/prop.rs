@@ -124,6 +124,44 @@ proptest! {
         );
     }
 
+    /// Hostile input never panics the frame parser: truncating a valid
+    /// frame at any point, xor-ing arbitrary bit-flip masks over it, or
+    /// feeding pure garbage bytes all yield a clean `Err`, while the
+    /// untouched frame still round-trips. This is the safety contract the
+    /// TCP backend relies on when a connection delivers torn or mangled
+    /// bytes.
+    #[test]
+    fn parser_survives_truncation_and_garbage(
+        seq in 0u64..u64::MAX,
+        payload in prop::collection::vec(0u8..=255, 0..64),
+        cut in 0usize..1000,
+        flips in prop::collection::vec((0usize..1000, 0u8..=255), 0..8),
+        garbage in prop::collection::vec(0u8..=255, 0..96),
+    ) {
+        let frame = frame_payload(seq, &payload);
+        prop_assert!(parse_frame(&frame).is_ok());
+
+        // Truncation at every possible boundary is a parse error, never a
+        // panic (the full-length case parses and is checked above).
+        let cut = cut % frame.len();
+        prop_assert!(parse_frame(&frame[..cut]).is_err());
+
+        // Arbitrary multi-byte mangling either leaves the frame intact
+        // (all masks were zero) or is rejected; parse_frame must not
+        // panic or mis-accept different bytes.
+        let mut mangled = frame.clone();
+        for &(pos, mask) in &flips {
+            mangled[pos % frame.len()] ^= mask;
+        }
+        if let Ok((s, p)) = parse_frame(&mangled) {
+            prop_assert_eq!(s, seq);
+            prop_assert_eq!(p, &payload[..]);
+        }
+
+        // Pure garbage (no magic, random lengths) never panics.
+        prop_assert!(parse_frame(&garbage).is_err() || garbage == frame);
+    }
+
     /// Exchanges complete with correct contents under seeded random frame
     /// faults, for any seed.
     #[test]

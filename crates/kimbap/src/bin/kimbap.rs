@@ -6,18 +6,27 @@
 //! kimbap gen --kind rmat --scale 12 --ef 8 --out g.kg
 //! kimbap stats g.kg
 //! kimbap run cc-sv g.kg --hosts 4 --threads 2
+//! kimbap run cc-lp g.kg --hosts 3 --transport tcp --faults drop --seed 1
 //! kimbap run louvain g.kg --hosts 4
 //! kimbap compile program.kv [--no-opt]
 //! ```
+//!
+//! `--transport tcp` runs each host as its own OS process connected over
+//! TCP loopback: the launcher re-executes this binary with the hidden
+//! `_worker` subcommand once per host, each worker binds
+//! `127.0.0.1:port_base+host`, and the launcher merges the per-host master
+//! values after all workers exit. The same seeded `--faults` plans run on
+//! either transport and must produce identical labels.
 
 use kimbap::prelude::*;
 use kimbap_algos::{
     cc, compose_labels, leiden, louvain, merge_master_values, mis, msf, LouvainConfig, NpmBuilder,
 };
+use kimbap_comm::{run_transport_host, TcpTransport, TransportConfig};
 use kimbap_compiler::{classify_program, compile, frontend, OptLevel};
 use kimbap_graph::io;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -27,6 +36,7 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("_worker") => cmd_worker(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
@@ -48,12 +58,17 @@ usage:
              [--nodes N] [--edges N] [--seed N] [--weights MAX] --out FILE
   kimbap stats FILE
   kimbap run <cc-sv|cc-lp|cc-sclp|mis|msf|louvain|leiden> FILE
-             [--hosts N] [--threads N]
+             [--hosts N] [--threads N] [--transport inproc|tcp]
+             [--faults none|drop|corrupt|crash] [--seed N]
+             [--port-base N] [--out FILE]
   kimbap compile FILE.kv [--no-opt]
 
 graphs are stored in the kimbap binary format (.kg) or may be text edge
 lists; vertex programs (.kv) use the surface syntax of kimbap-compiler's
-frontend.";
+frontend. --transport tcp spawns one worker process per host over TCP
+loopback; --faults/--out (connected-components algorithms only) inject a
+seeded fault plan and write one label per node for diffing across
+transports.";
 
 type CliResult = Result<(), String>;
 
@@ -123,11 +138,147 @@ fn cmd_stats(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Builds one of the named, seeded fault plans shared by `--faults` on
+/// both transports; the names match the fixed plans of the in-proc fault
+/// matrix so CLI runs can be diffed against the test suite's expectations.
+fn fault_plan(name: &str, seed: u64, hosts: usize) -> Result<FaultPlan, String> {
+    if hosts < 2 && name != "none" {
+        return Err("--faults needs at least 2 hosts".into());
+    }
+    Ok(match name {
+        "none" => FaultPlan::new(),
+        "drop" => FaultPlan::new()
+            .drop_frame(0, 1, 1)
+            .with_seed(seed)
+            .drop_rate(0.02),
+        "corrupt" => FaultPlan::new()
+            .corrupt_frame(1, (hosts - 1).min(2), 1, 55)
+            .with_seed(seed)
+            .corrupt_rate(0.02),
+        "crash" => FaultPlan::new().crash_host(1, 2),
+        other => return Err(format!("unknown fault plan '{other}'")),
+    })
+}
+
+/// Runs one cc-family algorithm SPMD on the calling host's context.
+fn run_cc(algo: &str, dg: &kimbap_dist::DistGraph, ctx: &HostCtx) -> Vec<(NodeId, u64)> {
+    let b = NpmBuilder::default();
+    match algo {
+        "cc-sv" => cc::cc_sv(dg, ctx, &b),
+        "cc-lp" => cc::cc_lp(dg, ctx, &b),
+        _ => cc::cc_sclp(dg, ctx, &b),
+    }
+}
+
+/// Launches `hosts` worker processes of this same binary connected over
+/// TCP loopback, waits for all of them, and collects their per-host
+/// master labels. Workers write `node label` lines to per-host files in
+/// a temp directory; any worker exiting non-zero fails the whole run.
+fn run_tcp_cc(
+    algo: &str,
+    path: &str,
+    hosts: usize,
+    threads: usize,
+    port_base: u16,
+    faults: &str,
+    seed: u64,
+) -> Result<Vec<Vec<(NodeId, u64)>>, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("locate own binary: {e}"))?;
+    let dir = std::env::temp_dir().join(format!("kimbap-tcp-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let mut children = Vec::with_capacity(hosts);
+    for h in 0..hosts {
+        let part = dir.join(format!("host{h}.txt"));
+        let child = std::process::Command::new(&exe)
+            .arg("_worker")
+            .arg(algo)
+            .arg(path)
+            .args(["--hosts", &hosts.to_string()])
+            .args(["--host", &h.to_string()])
+            .args(["--threads", &threads.to_string()])
+            .args(["--port-base", &port_base.to_string()])
+            .args(["--faults", faults])
+            .args(["--seed", &seed.to_string()])
+            .args(["--out", part.to_str().ok_or("non-UTF-8 temp dir")?])
+            .spawn()
+            .map_err(|e| format!("spawn worker {h}: {e}"))?;
+        children.push((h, child));
+    }
+    let mut failed = Vec::new();
+    for (h, mut child) in children {
+        let status = child.wait().map_err(|e| format!("wait worker {h}: {e}"))?;
+        if !status.success() {
+            failed.push(format!("worker {h} exited with {status}"));
+        }
+    }
+    if !failed.is_empty() {
+        return Err(failed.join("; "));
+    }
+    let mut per_host = Vec::with_capacity(hosts);
+    for h in 0..hosts {
+        let part = dir.join(format!("host{h}.txt"));
+        let body = std::fs::read_to_string(&part)
+            .map_err(|e| format!("read {}: {e}", part.display()))?;
+        let mut vals = Vec::new();
+        for line in body.lines() {
+            let (node, label) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("worker {h}: malformed line '{line}'"))?;
+            let node: NodeId = node.parse().map_err(|_| format!("worker {h}: bad node"))?;
+            let label: u64 = label.parse().map_err(|_| format!("worker {h}: bad label"))?;
+            vals.push((node, label));
+        }
+        per_host.push(vals);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(per_host)
+}
+
+/// Hidden subcommand: one TCP host process spawned by [`run_tcp_cc`].
+fn cmd_worker(args: &[String]) -> CliResult {
+    let algo = args.first().ok_or("missing algorithm")?.clone();
+    let path = args.get(1).ok_or("missing FILE")?.clone();
+    let hosts: usize = flag_num(args, "--hosts", 2)?;
+    let host: usize = flag_num(args, "--host", 0)?;
+    let threads: usize = flag_num(args, "--threads", 2)?;
+    let port_base: u16 = flag_num(args, "--port-base", 46000)?;
+    let faults = flag(args, "--faults").unwrap_or_else(|| "none".into());
+    let seed: u64 = flag_num(args, "--seed", 1)?;
+    let out = flag(args, "--out").ok_or("missing --out")?;
+    let g = load_graph(&path)?;
+    let parts = partition(&g, Policy::CartesianVertexCut, hosts);
+    let plan = fault_plan(&faults, seed, hosts)?;
+    let transport = TcpTransport::bind(host, hosts, port_base, TransportConfig::default())
+        .map_err(|e| format!("host {host}: bind tcp transport: {e}"))?;
+    let vals = run_transport_host(&transport, threads, plan, |ctx| {
+        ctx.run_recovering(|ctx| run_cc(&algo, &parts[ctx.host()], ctx))
+    })
+    .map_err(|e| format!("host {host}: {e}"))?;
+    let f = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
+    let mut w = BufWriter::new(f);
+    for (node, label) in vals {
+        writeln!(w, "{node} {label}").map_err(|e| format!("write {out}: {e}"))?;
+    }
+    Ok(())
+}
+
 fn cmd_run(args: &[String]) -> CliResult {
     let algo = args.first().ok_or("missing algorithm")?.clone();
     let path = args.get(1).ok_or("missing FILE")?.clone();
     let hosts: usize = flag_num(args, "--hosts", 2)?;
     let threads: usize = flag_num(args, "--threads", 2)?;
+    let transport = flag(args, "--transport").unwrap_or_else(|| "inproc".into());
+    let faults = flag(args, "--faults").unwrap_or_else(|| "none".into());
+    let seed: u64 = flag_num(args, "--seed", 1)?;
+    let port_base: u16 = flag_num(args, "--port-base", 46000)?;
+    let out = flag(args, "--out");
+    let is_cc = matches!(algo.as_str(), "cc-sv" | "cc-lp" | "cc-sclp");
+    if !matches!(transport.as_str(), "inproc" | "tcp") {
+        return Err(format!("unknown transport '{transport}'"));
+    }
+    if (transport == "tcp" || faults != "none" || out.is_some()) && !is_cc {
+        return Err("--transport tcp, --faults, and --out support cc-* algorithms only".into());
+    }
     let g = load_graph(&path)?;
     println!("input: {}", GraphStats::of(&g));
 
@@ -141,16 +292,23 @@ fn cmd_run(args: &[String]) -> CliResult {
     let t = Instant::now();
     match algo.as_str() {
         "cc-sv" | "cc-lp" | "cc-sclp" => {
-            let per_host = cluster.run(|ctx| {
-                let dg = &parts[ctx.host()];
-                match algo.as_str() {
-                    "cc-sv" => cc::cc_sv(dg, ctx, &b),
-                    "cc-lp" => cc::cc_lp(dg, ctx, &b),
-                    _ => cc::cc_sclp(dg, ctx, &b),
-                }
-            });
+            let per_host = if transport == "tcp" {
+                run_tcp_cc(&algo, &path, hosts, threads, port_base, &faults, seed)?
+            } else {
+                let plan = fault_plan(&faults, seed, hosts)?;
+                cluster.run_with_faults(plan, |ctx| {
+                    ctx.run_recovering(|ctx| run_cc(&algo, &parts[ctx.host()], ctx))
+                })
+            };
             let labels = merge_master_values(g.num_nodes(), per_host);
-            let mut comps = labels.clone();
+            if let Some(out) = &out {
+                let f = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+                let mut w = BufWriter::new(f);
+                for label in &labels {
+                    writeln!(w, "{label}").map_err(|e| format!("write {out}: {e}"))?;
+                }
+            }
+            let mut comps = labels;
             comps.sort_unstable();
             comps.dedup();
             println!("{} components in {:.2?}", comps.len(), t.elapsed());

@@ -8,7 +8,7 @@
 //! exactly the same distributed machinery as the hand-written algorithms
 //! in `kimbap-algos` (whose outputs they are tested to match).
 
-use kimbap_comm::{CrashSignal, HostCtx, SyncPhase};
+use kimbap_comm::{CrashSignal, Deadline, HostCtx, SyncPhase};
 use kimbap_compiler::ir::{BinOp, Expr, NodeIterator, Stmt};
 use kimbap_compiler::transform::{CompiledLoop, CompiledProgram, CompiledTop};
 use kimbap_compiler::ReadDep;
@@ -16,7 +16,7 @@ use kimbap_dist::{DistGraph, LocalId};
 use kimbap_graph::NodeId;
 use kimbap_npm::{ChangedKeys, DynReduceOp, MapSnapshot, NodePropMap, Npm, SumReducer, Variant};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Crash recoveries per compiled loop before the failure is propagated.
 const MAX_RECOVERIES: u32 = 8;
@@ -30,6 +30,12 @@ pub struct EngineConfig {
     /// with a [`kimbap_compiler::SparsePlan`]. When false every round runs
     /// dense, regardless of the plan.
     pub sparse: bool,
+    /// Deadline applied to every sync phase of every round: a host that
+    /// does not complete the phase's collectives within this budget aborts
+    /// with [`kimbap_comm::CommError::Timeout`] and recovers via
+    /// checkpoint replay, instead of wedging the round forever behind a
+    /// hung peer. `None` (the default) waits indefinitely.
+    pub phase_timeout: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -37,6 +43,7 @@ impl Default for EngineConfig {
         EngineConfig {
             variant: Variant::SgrCfGar,
             sparse: true,
+            phase_timeout: None,
         }
     }
 }
@@ -284,7 +291,9 @@ impl<'g> Engine<'g> {
     /// Executes one BSP round of `l` (pinning mirrors first on the initial
     /// round and after a recovery); returns `true` when the loop is done.
     fn loop_step(&mut self, ctx: &HostCtx, l: &CompiledLoop, repeat: bool, pin: bool) -> bool {
+        let timeout = self.config.phase_timeout;
         if pin {
+            ctx.set_deadline(Deadline::maybe("pin_mirrors", timeout));
             for m in &l.pinned_maps {
                 self.maps[*m].pin_mirrors(ctx);
             }
@@ -321,6 +330,7 @@ impl<'g> Engine<'g> {
             self.exec_parfor(ctx, l.iterator, &phase.body, None);
             ctx.add_phase_nanos(SyncPhase::RequestCompute, t.elapsed().as_nanos() as u64);
             let t = Instant::now();
+            ctx.set_deadline(Deadline::maybe("request_sync", timeout));
             for m in &phase.sync_maps {
                 self.maps[*m].request_sync(ctx);
             }
@@ -341,6 +351,7 @@ impl<'g> Engine<'g> {
         });
 
         let t = Instant::now();
+        ctx.set_deadline(Deadline::maybe("reduce_sync", timeout));
         for m in &l.reduce_maps {
             self.maps[*m].reduce_sync(ctx);
         }
@@ -349,7 +360,12 @@ impl<'g> Engine<'g> {
         }
         ctx.add_phase_nanos(SyncPhase::ReduceSync, t.elapsed().as_nanos() as u64);
 
-        !repeat || !self.maps[l.quiesce_map].is_updated(ctx)
+        ctx.set_deadline(Deadline::maybe("quiesce", timeout));
+        let done = !repeat || !self.maps[l.quiesce_map].is_updated(ctx);
+        // The loop may be followed by non-engine collectives (stats
+        // gathers, result merges) that should not inherit a stale bound.
+        ctx.set_deadline(Deadline::none());
+        done
     }
 
     /// Builds the active set for one round of `l` from the changed-key

@@ -141,8 +141,8 @@ proptest! {
         variant in variant_strategy(),
         threads in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
     ) {
-        let sparse_cfg = EngineConfig { variant, sparse: true };
-        let dense_cfg = EngineConfig { variant, sparse: false };
+        let sparse_cfg = EngineConfig { variant, sparse: true, ..EngineConfig::default() };
+        let dense_cfg = EngineConfig { variant, sparse: false, ..EngineConfig::default() };
         let (sv, souts) = run_cfg(&program, &edges, 2, threads, sparse_cfg);
         let (dv, douts) = run_cfg(&program, &edges, 2, threads, dense_cfg);
         prop_assert_eq!(sv, dv);
@@ -231,6 +231,7 @@ fn trans_vertex_program_falls_back_to_dense() {
         EngineConfig {
             variant: Variant::SgrCfGar,
             sparse: true,
+            ..EngineConfig::default()
         },
     );
     let (dv, _) = run_cfg(
@@ -241,6 +242,7 @@ fn trans_vertex_program_falls_back_to_dense() {
         EngineConfig {
             variant: Variant::SgrCfGar,
             sparse: false,
+            ..EngineConfig::default()
         },
     );
     assert_eq!(sv, dv);

@@ -1,0 +1,158 @@
+//! Cross-backend robustness: the transport abstraction must not change
+//! algorithm output, and recovery must behave identically whether hosts
+//! are threads with in-memory mailboxes or threads connected over real
+//! TCP loopback sockets.
+//!
+//! Two properties are checked end to end:
+//! * the fixed-seed fault matrix (drops, corruption, mid-run crash x
+//!   cc_lp, louvain) produces bit-identical output on both backends;
+//! * a hung host is flagged — by the phase deadline or by the heartbeat
+//!   failure detector — and checkpoint replay restores the fault-free
+//!   answer on both backends.
+
+use kimbap::engine::{Engine, EngineConfig};
+use kimbap_algos::{self as algos, cc::cc_lp, merge_master_values, NpmBuilder};
+use kimbap_comm::{Cluster, FaultPlan, HeartbeatConfig, TransportConfig};
+use kimbap_compiler::{compile, programs, OptLevel};
+use kimbap_dist::{partition, Policy};
+use kimbap_graph::gen;
+use std::time::Duration;
+
+const HOSTS: usize = 3;
+
+/// The two cluster configurations under test: in-memory mailboxes and
+/// TCP loopback sockets, otherwise identical.
+fn backends() -> [(&'static str, Cluster); 2] {
+    [
+        ("inproc", Cluster::with_threads(HOSTS, 2)),
+        ("tcp", Cluster::with_threads(HOSTS, 2).tcp()),
+    ]
+}
+
+/// The same three seeded plans as `fault_injection::fault_matrix_smoke`.
+fn matrix_plans() -> [FaultPlan; 3] {
+    [
+        FaultPlan::new().drop_frame(0, 1, 1).with_seed(1).drop_rate(0.02),
+        FaultPlan::new()
+            .corrupt_frame(1, 2, 1, 55)
+            .with_seed(2)
+            .corrupt_rate(0.02),
+        FaultPlan::new().crash_host(1, 2),
+    ]
+}
+
+fn cc_lp_labels(g: &kimbap_graph::Graph, cluster: &Cluster, plan: FaultPlan) -> Vec<u64> {
+    let parts = partition(g, Policy::EdgeCutBlocked, HOSTS);
+    let b = NpmBuilder::default();
+    let per_host = cluster.run_with_faults(plan, |ctx| {
+        ctx.run_recovering(|ctx| cc_lp(&parts[ctx.host()], ctx, &b))
+    });
+    merge_master_values(g.num_nodes(), per_host)
+}
+
+fn louvain_labels(g: &kimbap_graph::Graph, cluster: &Cluster, plan: FaultPlan) -> (Vec<u32>, u64) {
+    let parts = partition(g, Policy::EdgeCutBlocked, HOSTS);
+    let b = NpmBuilder::default();
+    let cfg = algos::LouvainConfig::default();
+    let results = cluster.run_with_faults(plan, |ctx| {
+        ctx.run_recovering(|ctx| algos::louvain(&parts[ctx.host()], ctx, &b, &cfg))
+    });
+    let modularity = results[0].modularity.to_bits();
+    (algos::compose_labels(g.num_nodes(), &results), modularity)
+}
+
+/// The PR's acceptance matrix: three seeded plans x two algorithms must
+/// produce identical output on the in-proc and TCP-loopback backends.
+#[test]
+fn fault_matrix_is_transport_invariant() {
+    let g = gen::rmat(6, 4, 9);
+    let cc_baseline = cc_lp_labels(&g, &Cluster::with_threads(HOSTS, 2), FaultPlan::new());
+    let louvain_baseline = louvain_labels(&g, &Cluster::with_threads(HOSTS, 2), FaultPlan::new());
+    for (name, cluster) in backends() {
+        for (i, plan) in matrix_plans().into_iter().enumerate() {
+            assert_eq!(
+                cc_lp_labels(&g, &cluster, plan),
+                cc_baseline,
+                "cc diverged under plan {i} on {name}"
+            );
+        }
+        for (i, plan) in matrix_plans().into_iter().enumerate() {
+            assert_eq!(
+                louvain_labels(&g, &cluster, plan),
+                louvain_baseline,
+                "louvain diverged under plan {i} on {name}"
+            );
+        }
+    }
+}
+
+/// Runs the compiled cc_sv plan and merges the label map, reporting the
+/// per-host robustness counters alongside.
+fn engine_cc_sv(
+    g: &kimbap_graph::Graph,
+    cluster: &Cluster,
+    plan: FaultPlan,
+    config: EngineConfig,
+) -> (Vec<u64>, u64, u64) {
+    let compiled = compile(&programs::cc_sv(), OptLevel::Full);
+    let parts = partition(g, Policy::EdgeCutBlocked, HOSTS);
+    let outs = cluster.run_with_faults(plan, |ctx| {
+        let out = Engine::with_config(&parts[ctx.host()], ctx, &compiled, config).run(ctx);
+        let s = ctx.stats();
+        (out, s.timeout_aborts, s.heartbeat_suspicions)
+    });
+    let timeouts = outs.iter().map(|(_, t, _)| t).sum();
+    let suspicions = outs.iter().map(|(_, _, s)| s).sum();
+    let labels = merge_master_values(
+        g.num_nodes(),
+        outs.into_iter().map(|(o, _, _)| o.map_values[0].clone()).collect(),
+    );
+    (labels, timeouts, suspicions)
+}
+
+/// A host that stalls mid-round is flagged by the phase deadline; every
+/// host aborts the round and checkpoint replay restores the fault-free
+/// labels. Must hold on both backends.
+#[test]
+fn engine_hung_host_recovers_via_deadline_on_both_backends() {
+    let g = gen::rmat(7, 4, 31);
+    let config = EngineConfig {
+        phase_timeout: Some(Duration::from_millis(150)),
+        ..EngineConfig::default()
+    };
+    let (baseline, t0, _) =
+        engine_cc_sv(&g, &Cluster::with_threads(HOSTS, 2), FaultPlan::new(), config);
+    assert_eq!(t0, 0, "fault-free run must not trip the deadline");
+    for (name, cluster) in backends() {
+        let plan = FaultPlan::new().stall_host(1, 2, 400);
+        let (labels, timeouts, _) = engine_cc_sv(&g, &cluster, plan, config);
+        assert_eq!(labels, baseline, "stall recovery diverged on {name}");
+        assert!(timeouts >= 1, "no timeout abort recorded on {name}");
+    }
+}
+
+/// The same hung host flagged by the heartbeat failure detector instead:
+/// no phase deadline configured, but the stalled host goes silent past
+/// `suspect_after` and peers abort with `PeerDown`. Must hold on both
+/// backends.
+#[test]
+fn engine_hung_host_recovers_via_heartbeat_on_both_backends() {
+    let g = gen::rmat(7, 4, 31);
+    let hb = TransportConfig::with_heartbeat(HeartbeatConfig {
+        interval: Duration::from_millis(10),
+        suspect_after: Duration::from_millis(80),
+    });
+    let (baseline, _, _) = engine_cc_sv(
+        &g,
+        &Cluster::with_threads(HOSTS, 2),
+        FaultPlan::new(),
+        EngineConfig::default(),
+    );
+    for (name, cluster) in backends() {
+        let cluster = cluster.with_transport_config(hb.clone());
+        let plan = FaultPlan::new().stall_host(1, 2, 400);
+        let (labels, _, suspicions) = engine_cc_sv(&g, &cluster, plan, EngineConfig::default());
+        assert_eq!(labels, baseline, "heartbeat recovery diverged on {name}");
+        assert!(suspicions >= 1, "no heartbeat suspicion recorded on {name}");
+    }
+}

@@ -23,6 +23,22 @@ cargo bench -q --workspace --no-run
 echo "==> fault-matrix smoke (fixed seeds)"
 cargo test --release -q -p kimbap --test fault_injection fault_matrix_smoke
 
+echo "==> cross-backend fault matrix (in-proc vs TCP loopback)"
+cargo test --release -q -p kimbap --test transport_robustness
+
+echo "==> TCP-loopback smoke (multi-process kimbap bin vs in-proc, diffed)"
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./target/release/kimbap gen --kind rmat --scale 8 --ef 4 --seed 9 \
+    --out "$SMOKE_DIR/g.kg"
+./target/release/kimbap run cc-lp "$SMOKE_DIR/g.kg" --hosts 3 --threads 2 \
+    --faults drop --seed 1 --out "$SMOKE_DIR/inproc.txt"
+./target/release/kimbap run cc-lp "$SMOKE_DIR/g.kg" --hosts 3 --threads 2 \
+    --transport tcp --port-base 46800 --faults drop --seed 1 \
+    --out "$SMOKE_DIR/tcp.txt"
+diff "$SMOKE_DIR/inproc.txt" "$SMOKE_DIR/tcp.txt"
+echo "    in-proc and TCP labels identical"
+
 echo "==> bench harness smoke (tiny graph, JSON records)"
 scripts/bench.sh --smoke
 
