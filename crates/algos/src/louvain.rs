@@ -521,11 +521,15 @@ pub(crate) fn aggregate<B: MapBuilder>(
             }
         });
     }
-    let coarse_edges: Vec<(NodeId, NodeId, Weight)> = agg
+    // Sort: HashMap iteration order is per-process random, and these
+    // edges go over the wire — unsorted they break byte-level replay
+    // determinism on the simulation backend.
+    let mut coarse_edges: Vec<(NodeId, NodeId, Weight)> = agg
         .into_inner()
         .into_iter()
         .map(|((u, v), w)| (u, v, w))
         .collect();
+    coarse_edges.sort_unstable();
 
     // Improvement check: did anyone leave its singleton?
     let moved_local = mapping_changes_anything(cur, cur_comm);

@@ -1,0 +1,155 @@
+//! Time as a pluggable service: the [`Clock`] trait and its ambient
+//! (thread-local) installation.
+//!
+//! Everything in the runtime that needs "now" or "wait a bit" — phase
+//! [`Deadline`](crate::Deadline)s, [`Backoff`](crate::Backoff) sleeps,
+//! heartbeat ledgers, injected stalls, the engine's phase timers — goes
+//! through the free functions [`now_nanos`] and [`sleep`] instead of
+//! `Instant::now()` / `thread::sleep`. On a normal run they resolve to
+//! [`RealClock`] (wall time against a process-global epoch); on the
+//! deterministic simulation backend each host thread installs a virtual
+//! [`Clock`] whose time only advances when the discrete-event scheduler
+//! says so, which makes heartbeat and timeout paths fire in microseconds
+//! of wall time and — more importantly — makes them replayable.
+//!
+//! The clock is ambient rather than threaded through every call because
+//! `Deadline` values are created deep inside the engine and evaluated deep
+//! inside transports; both ends always execute on the host's own thread,
+//! so a thread-local is exactly the right scope.
+
+use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A source of monotonic time and blocking waits.
+///
+/// `now_nanos` must be monotone non-decreasing; the absolute epoch is
+/// arbitrary but fixed for the clock's lifetime. `sleep` blocks the
+/// calling host for (at least) `d` *in this clock's timeline* — wall time
+/// for [`RealClock`], virtual time for the simulation clock.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's epoch.
+    fn now_nanos(&self) -> u64;
+    /// Blocks the caller for `d` of this clock's time.
+    fn sleep(&self, d: Duration);
+}
+
+/// Wall-clock time against a process-global epoch (the first use).
+///
+/// A shared epoch — rather than one per fabric — lets `u64` nanotimes
+/// from different components compare meaningfully within one process.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealClock;
+
+fn real_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+impl Clock for RealClock {
+    fn now_nanos(&self) -> u64 {
+        real_epoch().elapsed().as_nanos() as u64
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+thread_local! {
+    static AMBIENT: RefCell<Option<Arc<dyn Clock>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previous ambient clock even if `f` unwinds.
+struct Restore(Option<Arc<dyn Clock>>);
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        let prev = self.0.take();
+        AMBIENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Runs `f` with `clock` installed as this thread's ambient clock.
+///
+/// The previous ambient clock (if any) is restored when `f` returns or
+/// unwinds. The simulation backend wraps each host closure in this so the
+/// whole stack beneath it — deadlines, backoff, stalls, phase timers —
+/// runs on virtual time.
+pub fn with_clock<R>(clock: Arc<dyn Clock>, f: impl FnOnce() -> R) -> R {
+    let prev = AMBIENT.with(|c| c.borrow_mut().replace(clock));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Nanoseconds since the ambient clock's epoch ([`RealClock`] if none is
+/// installed).
+pub fn now_nanos() -> u64 {
+    AMBIENT.with(|c| match &*c.borrow() {
+        Some(clock) => clock.now_nanos(),
+        None => RealClock.now_nanos(),
+    })
+}
+
+/// Sleeps on the ambient clock ([`RealClock`] if none is installed).
+pub fn sleep(d: Duration) {
+    // Clone the Arc out rather than sleeping under the RefCell borrow: a
+    // virtual clock's sleep can run arbitrary scheduler code on this
+    // thread, and nested `now_nanos` calls must not re-borrow a held cell.
+    let ambient = AMBIENT.with(|c| c.borrow().clone());
+    match ambient {
+        Some(clock) => clock.sleep(d),
+        None => RealClock.sleep(d),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct FixedClock(AtomicU64);
+
+    impl Clock for FixedClock {
+        fn now_nanos(&self) -> u64 {
+            self.0.load(Ordering::Relaxed)
+        }
+        fn sleep(&self, d: Duration) {
+            self.0.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn real_clock_is_monotone() {
+        let a = now_nanos();
+        let b = now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn ambient_clock_overrides_and_restores() {
+        let fixed = Arc::new(FixedClock(AtomicU64::new(42)));
+        let inside = with_clock(fixed.clone(), || {
+            sleep(Duration::from_nanos(8));
+            now_nanos()
+        });
+        assert_eq!(inside, 50, "ambient clock governs now/sleep");
+        // Outside the scope the real clock is back (and far past 50 only
+        // if the process has run a while — just check it's not the fixed
+        // clock by advancing the fixed one and seeing no effect).
+        fixed.0.store(7, Ordering::Relaxed);
+        let outside = now_nanos();
+        assert_ne!(outside, 7);
+    }
+
+    #[test]
+    fn nested_ambient_clocks_unwind_in_order() {
+        let a = Arc::new(FixedClock(AtomicU64::new(1)));
+        let b = Arc::new(FixedClock(AtomicU64::new(2)));
+        with_clock(a, || {
+            assert_eq!(now_nanos(), 1);
+            with_clock(b, || assert_eq!(now_nanos(), 2));
+            assert_eq!(now_nanos(), 1);
+        });
+    }
+}

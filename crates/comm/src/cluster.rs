@@ -23,9 +23,11 @@
 //! retries back off with seeded decorrelated jitter
 //! ([`crate::transport::Backoff`]).
 
+use crate::clock;
 use crate::fault::{FaultPlan, FaultState, SendAction};
 use crate::pool::WorkerPool;
 use crate::transport::inproc::{InProcFabric, InProcTransport};
+use crate::transport::sim::{SimFabric, SimTransport, TraceSink};
 use crate::transport::tcp::TcpTransport;
 use crate::transport::{Backoff, Deadline, Transport, TransportConfig};
 use crate::wire::{encode_slice, frame_payload, parse_frame, Wire};
@@ -34,7 +36,7 @@ use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Retransmission attempts per exchange before the collective fails with
 /// [`CommError::FrameLoss`].
@@ -261,6 +263,14 @@ pub enum Backend {
     /// --transport tcp` multi-process mode, and the backend the
     /// cross-backend determinism tests exercise.
     TcpLoopback,
+    /// The deterministic simulation fabric: hosts run cooperatively under
+    /// a seeded discrete-event scheduler with a virtual clock, so the
+    /// whole run — delivery order, faults, heartbeats, timeouts — is a
+    /// pure function of the seed and replays exactly.
+    Sim {
+        /// Seed driving the scheduler's host interleaving.
+        seed: u64,
+    },
 }
 
 /// A cluster of `num_hosts` hosts, each with its own worker pool of
@@ -277,6 +287,7 @@ pub struct Cluster {
     threads_per_host: usize,
     backend: Backend,
     transport_cfg: TransportConfig,
+    trace_sink: Option<TraceSink>,
 }
 
 impl Cluster {
@@ -302,6 +313,7 @@ impl Cluster {
             threads_per_host,
             backend: Backend::InProc,
             transport_cfg: TransportConfig::default(),
+            trace_sink: None,
         }
     }
 
@@ -309,6 +321,21 @@ impl Cluster {
     /// ([`Backend::TcpLoopback`]).
     pub fn tcp(mut self) -> Self {
         self.backend = Backend::TcpLoopback;
+        self
+    }
+
+    /// Switches the hosts onto the deterministic simulation fabric
+    /// ([`Backend::Sim`]) scheduled by `seed`.
+    pub fn sim(mut self, seed: u64) -> Self {
+        self.backend = Backend::Sim { seed };
+        self
+    }
+
+    /// Collects the simulation backend's linearized event trace into
+    /// `sink` after each run (replacing its previous contents). Ignored by
+    /// the other backends.
+    pub fn with_trace_sink(mut self, sink: TraceSink) -> Self {
+        self.trace_sink = Some(sink);
         self
     }
 
@@ -454,6 +481,47 @@ impl Cluster {
                         .map(|h| h.join().expect("failed to join host thread"))
                         .collect()
                 })
+            }
+            Backend::Sim { seed } => {
+                let fabric = Arc::new(SimFabric::new(
+                    self.num_hosts,
+                    self.transport_cfg.clone(),
+                    seed,
+                ));
+                let results = std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(self.num_hosts);
+                    for host in 0..self.num_hosts {
+                        let fabric = fabric.clone();
+                        let faults = faults.clone();
+                        let f = &f;
+                        let threads = self.threads_per_host;
+                        handles.push(
+                            std::thread::Builder::new()
+                                .name(format!("kimbap-host-{host}"))
+                                .spawn_scoped(scope, move || {
+                                    let transport = SimTransport::new(fabric.clone(), host);
+                                    // The whole host stack — deadlines,
+                                    // backoff, stalls, phase timers — runs
+                                    // on this host's virtual clock.
+                                    clock::with_clock(transport.clock(), || {
+                                        fabric.register(host);
+                                        let r = run_host(&transport, threads, faults, |ctx| f(ctx));
+                                        fabric.finish(host);
+                                        r
+                                    })
+                                })
+                                .expect("failed to spawn host thread"),
+                        );
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("failed to join host thread"))
+                        .collect()
+                });
+                if let Some(sink) = &self.trace_sink {
+                    *sink.lock() = fabric.take_trace();
+                }
+                results
             }
         }
     }
@@ -667,10 +735,15 @@ impl<'a> HostCtx<'a> {
         if let Some(stall) = self.faults.stall_due(self.host, round) {
             // Go completely quiet — no heartbeats, no traffic — for the
             // stall duration, like a host wedged in a GC pause or IO hang.
+            // The sleep runs on the ambient clock: virtual (and instant in
+            // wall time) under the simulation backend.
+            self.transport
+                .note("stall", format!("round={round} millis={}", stall.as_millis()));
             self.transport.silence(stall);
-            std::thread::sleep(stall);
+            clock::sleep(stall);
         }
         if self.faults.crash_due(self.host, round) {
+            self.transport.note("crash", format!("round={round}"));
             self.fail_with(CrashSignal::Injected {
                 host: self.host,
                 round,
@@ -703,12 +776,26 @@ impl<'a> HostCtx<'a> {
             .faults
             .on_send(self.host, to, round, seq, attempt, &mut frame)
         {
-            SendAction::Drop => {}
+            SendAction::Drop => {
+                self.transport
+                    .note("fault_drop", format!("to={to} seq={seq} attempt={attempt}"));
+            }
             SendAction::Duplicate => {
+                self.transport
+                    .note("fault_dup", format!("to={to} seq={seq} attempt={attempt}"));
                 self.transport.send(to, frame.clone());
                 self.transport.send(to, frame);
             }
-            SendAction::Delay => self.delayed[to].lock().push(frame),
+            SendAction::Delay => {
+                self.transport
+                    .note("fault_delay", format!("to={to} seq={seq} attempt={attempt}"));
+                self.delayed[to].lock().push(frame);
+            }
+            SendAction::Corrupt => {
+                self.transport
+                    .note("fault_corrupt", format!("to={to} seq={seq} attempt={attempt}"));
+                self.transport.send(to, frame);
+            }
             SendAction::Deliver => self.transport.send(to, frame),
         }
     }
@@ -735,9 +822,9 @@ impl<'a> HostCtx<'a> {
     /// [`HostCtx::try_barrier`] with an explicit [`Deadline`].
     pub fn try_barrier_by(&self, deadline: &Deadline) -> Result<(), CommError> {
         self.check_faults();
-        let t = Instant::now();
+        let t = clock::now_nanos();
         let r = self.note_err(self.transport.barrier(deadline));
-        self.add_comm_nanos(t.elapsed().as_nanos() as u64);
+        self.add_comm_nanos(clock::now_nanos().saturating_sub(t));
         r
     }
 
@@ -791,7 +878,7 @@ impl<'a> HostCtx<'a> {
             });
         }
         self.check_faults();
-        let t = Instant::now();
+        let t = clock::now_nanos();
         let me = self.host;
         let round = self.current_round();
 
@@ -898,7 +985,7 @@ impl<'a> HostCtx<'a> {
                 self.recv_seq[from].fetch_add(1, Ordering::Relaxed);
             }
         }
-        self.add_comm_nanos(t.elapsed().as_nanos() as u64);
+        self.add_comm_nanos(clock::now_nanos().saturating_sub(t));
         Ok(result)
     }
 
@@ -1160,6 +1247,7 @@ impl std::fmt::Debug for HostCtx<'_> {
 mod tests {
     use super::*;
     use crate::fault::{Fault, FaultKind};
+    use crate::transport::sim::TraceEvent;
     use crate::wire::decode_slice;
 
     #[test]
@@ -1569,5 +1657,129 @@ mod tests {
         assert_eq!(values, baseline);
         let aborts: u64 = res.iter().map(|r| r.1).sum();
         assert!(aborts >= 1, "some host should have aborted on deadline");
+    }
+
+    // ----- simulation backend ---------------------------------------------
+
+    #[test]
+    fn sim_backend_runs_collectives() {
+        let res = Cluster::new(3).sim(7).run(|ctx| {
+            let ok = tagged_exchange(ctx);
+            let sum = ctx.all_reduce_u64(ctx.host() as u64, |a, b| a + b);
+            (ok, sum)
+        });
+        for (ok, sum) in res {
+            assert!(ok);
+            assert_eq!(sum, 3);
+        }
+    }
+
+    #[test]
+    fn sim_backend_same_seed_identical_trace() {
+        let run = |seed: u64| {
+            let sink: TraceSink = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let plan = FaultPlan::new().with_seed(5).drop_rate(0.05);
+            let res = Cluster::new(3)
+                .sim(seed)
+                .with_trace_sink(sink.clone())
+                .run_with_faults(plan, |ctx| {
+                    let mut acc = 0u64;
+                    for round in 1..=3u64 {
+                        ctx.set_round(round);
+                        acc =
+                            acc * 31 + ctx.all_reduce_u64(ctx.host() as u64 + round, |a, b| a + b);
+                    }
+                    (acc, ctx.stats().retransmits)
+                });
+            let trace = std::mem::take(&mut *sink.lock());
+            (res, trace)
+        };
+        let (r1, t1) = run(11);
+        let (r2, t2) = run(11);
+        assert!(!t1.is_empty(), "trace sink should be filled");
+        assert_eq!(r1, r2, "same seed must produce identical results");
+        assert_eq!(t1, t2, "same seed must replay the same schedule");
+        let j1: Vec<String> = t1.iter().map(TraceEvent::to_json).collect();
+        let j2: Vec<String> = t2.iter().map(TraceEvent::to_json).collect();
+        assert_eq!(j1, j2, "JSONL serialization must be byte-identical");
+        let (_, t3) = run(12);
+        assert_ne!(t1, t3, "a different seed should change the schedule");
+    }
+
+    #[test]
+    fn sim_backend_resolves_heartbeat_stall_in_virtual_time() {
+        use crate::transport::{HeartbeatConfig, TransportConfig};
+        let work = |ctx: &HostCtx| {
+            let mut acc = 0u64;
+            for round in 1..=3u64 {
+                ctx.set_round(round);
+                acc = acc * 31 + ctx.all_reduce_u64(ctx.host() as u64 + round, |a, b| a + b);
+            }
+            acc
+        };
+        let baseline = Cluster::new(3).run(work);
+        let wall = std::time::Instant::now();
+        let plan = FaultPlan::new().stall_host(1, 2, 400);
+        let cfg = TransportConfig::with_heartbeat(HeartbeatConfig {
+            interval: Duration::from_millis(10),
+            suspect_after: Duration::from_millis(80),
+        });
+        let res = Cluster::new(3)
+            .sim(21)
+            .with_transport_config(cfg)
+            .run_with_faults(plan, |ctx| {
+                (ctx.run_recovering(work), ctx.stats().heartbeat_suspicions)
+            });
+        let values: Vec<u64> = res.iter().map(|r| r.0).collect();
+        assert_eq!(values, baseline);
+        let suspicions: u64 = res.iter().map(|r| r.1).sum();
+        assert!(suspicions >= 1, "the stall should be flagged by heartbeat");
+        // The 400ms stall and 80ms suspicion threshold elapse on the
+        // virtual clock; wall time stays far below the injected delays.
+        assert!(
+            wall.elapsed() < Duration::from_millis(350),
+            "virtual time leaked into wall time: {:?}",
+            wall.elapsed()
+        );
+    }
+
+    #[test]
+    fn sim_backend_resolves_deadline_stall_in_virtual_time() {
+        let work = |ctx: &HostCtx| {
+            let mut acc = 0u64;
+            for round in 1..=3u64 {
+                ctx.set_round(round);
+                ctx.set_deadline(Deadline::after("round", Duration::from_millis(150)));
+                acc = acc * 31 + ctx.all_reduce_u64(ctx.host() as u64 + round, |a, b| a + b);
+            }
+            acc
+        };
+        let baseline = Cluster::new(3).run(work);
+        let plan = FaultPlan::new().stall_host(0, 2, 400);
+        let res = Cluster::new(3).sim(33).run_with_faults(plan, |ctx| {
+            (ctx.run_recovering(work), ctx.stats().timeout_aborts)
+        });
+        let values: Vec<u64> = res.iter().map(|r| r.0).collect();
+        assert_eq!(values, baseline);
+        let aborts: u64 = res.iter().map(|r| r.1).sum();
+        assert!(aborts >= 1, "the stall should trip the phase deadline");
+    }
+
+    #[test]
+    fn sim_backend_survives_injected_crash() {
+        let work = |ctx: &HostCtx| {
+            let mut acc = 0u64;
+            for round in 1..=3u64 {
+                ctx.set_round(round);
+                acc = acc * 31 + ctx.all_reduce_u64(ctx.host() as u64 + round, |a, b| a + b);
+            }
+            acc
+        };
+        let baseline = Cluster::new(3).run(work);
+        let plan = FaultPlan::new().crash_host(1, 2);
+        let res = Cluster::new(3)
+            .sim(55)
+            .run_with_faults(plan, |ctx| ctx.run_recovering(work));
+        assert_eq!(res, baseline);
     }
 }

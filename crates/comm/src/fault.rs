@@ -219,6 +219,9 @@ pub(crate) enum SendAction {
     Drop,
     Duplicate,
     Delay,
+    /// Deliver the (already bit-flipped) frame; distinct from `Deliver`
+    /// so the send path can trace that corruption happened.
+    Corrupt,
 }
 
 /// Runtime state of a plan: per-fault firing budgets.
@@ -289,7 +292,7 @@ impl FaultState {
                 FaultKind::DelayFrame => return SendAction::Delay,
                 FaultKind::CorruptFrame { bit } => {
                     flip_bit(frame, bit as u64);
-                    return SendAction::Deliver;
+                    return SendAction::Corrupt;
                 }
                 FaultKind::CrashHost | FaultKind::StallHost { .. } => unreachable!(),
             }
@@ -316,7 +319,7 @@ impl FaultState {
             }
             if r < self.plan.drop_rate + self.plan.duplicate_rate + self.plan.corrupt_rate {
                 flip_bit(frame, mix(h));
-                return SendAction::Deliver;
+                return SendAction::Corrupt;
             }
             if r < p {
                 return SendAction::Delay;
@@ -394,7 +397,7 @@ mod tests {
     fn corruption_mutates_frame() {
         let st = FaultState::new(FaultPlan::new().corrupt_frame(0, 1, 0, 9));
         let mut f = vec![0u8; 4];
-        assert_eq!(st.on_send(0, 1, 0, 0, 0, &mut f), SendAction::Deliver);
+        assert_eq!(st.on_send(0, 1, 0, 0, 0, &mut f), SendAction::Corrupt);
         assert_eq!(f, vec![0, 2, 0, 0]); // bit 9 = byte 1, bit 1
     }
 

@@ -30,18 +30,21 @@
 //! assert_eq!(sums, vec![6, 6, 6, 6]);
 //! ```
 
+pub mod clock;
 pub mod cluster;
 pub mod fault;
 pub mod pool;
 pub mod transport;
 pub mod wire;
 
+pub use clock::{Clock, RealClock};
 pub use cluster::{
     run_transport_host, Backend, Cluster, CommError, CrashSignal, HostCtx, HostError, HostStats,
     SyncPhase,
 };
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use pool::WorkerPool;
+pub use transport::sim::{new_trace_sink, SimTransport, TraceEvent, TraceSink};
 pub use transport::tcp::TcpTransport;
 pub use transport::{Backoff, Deadline, HeartbeatConfig, Transport, TransportConfig};
 pub use wire::{FrameError, Wire};

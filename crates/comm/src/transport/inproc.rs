@@ -8,14 +8,15 @@
 //! opt-in layers on the same primitives.
 
 use super::{Deadline, Transport, TransportConfig};
+use crate::clock;
 use crate::cluster::CommError;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How a blocking fabric wait ended early.
-enum WaitBreak {
+pub(crate) enum WaitBreak {
     /// Hosts have failed; `suspected` is the subset flagged only by the
     /// heartbeat detector.
     Failed {
@@ -29,7 +30,7 @@ enum WaitBreak {
 }
 
 impl WaitBreak {
-    fn into_comm_error(self, deadline: &Deadline) -> CommError {
+    pub(crate) fn into_comm_error(self, deadline: &Deadline) -> CommError {
         match self {
             WaitBreak::Failed { failed, suspected } => {
                 if !suspected.is_empty() && suspected.len() == failed.len() {
@@ -317,18 +318,21 @@ pub struct InProcFabric {
     missing: Vec<AtomicBool>,
     barrier: FtBarrier,
     gate: Gate,
-    /// Heartbeat ledger: nanoseconds since `epoch` of each host's last
-    /// announced beat.
+    /// Heartbeat ledger: clock-nanoseconds of each host's last announced
+    /// beat.
     last_beat: Vec<AtomicU64>,
-    /// Per-host silence deadline (nanoseconds since `epoch`) for the
+    /// Per-host silence deadline (clock-nanoseconds) for the
     /// hang-simulation test hook.
     silence_until: Vec<AtomicU64>,
-    epoch: Instant,
 }
 
 impl InProcFabric {
     /// Creates the shared fabric for `hosts` in-process hosts.
     pub fn new(hosts: usize, cfg: TransportConfig) -> Self {
+        // Seed the beat ledger with "now": the clock's epoch is process
+        // global, so a zero ledger would read as an ancient silence and
+        // trip the detector before the first real beat.
+        let now = clock::now_nanos();
         InProcFabric {
             hosts,
             cfg,
@@ -341,14 +345,13 @@ impl InProcFabric {
             missing: (0..hosts).map(|_| AtomicBool::new(false)).collect(),
             barrier: FtBarrier::new(hosts),
             gate: Gate::new(hosts),
-            last_beat: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
+            last_beat: (0..hosts).map(|_| AtomicU64::new(now)).collect(),
             silence_until: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
-            epoch: Instant::now(),
         }
     }
 
     fn now_nanos(&self) -> u64 {
-        self.epoch.elapsed().as_nanos() as u64
+        clock::now_nanos()
     }
 }
 
@@ -411,7 +414,7 @@ impl InProcTransport {
                                 fab.barrier.suspect(peer);
                             }
                         }
-                        std::thread::sleep(hb.interval);
+                        clock::sleep(hb.interval);
                     }
                 })
                 .expect("failed to spawn heartbeat thread");

@@ -21,9 +21,10 @@
 
 use crate::cluster::CommError;
 use crate::fault::mix;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 pub mod inproc;
+pub mod sim;
 pub mod tcp;
 
 /// A phase deadline carried into every blocking transport wait.
@@ -31,9 +32,14 @@ pub mod tcp;
 /// `Deadline::none()` (the default) waits forever — exactly the pre-PR
 /// behavior. A bounded deadline makes the wait return
 /// [`CommError::Timeout`] naming the phase and the laggard hosts.
+///
+/// Expiry is stored as nanoseconds on the ambient [`crate::clock::Clock`]
+/// rather than an `Instant`, so a deadline stamped inside the simulation
+/// backend expires in virtual time — microseconds of wall time — while a
+/// deadline stamped on a real run behaves exactly as before.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Deadline {
-    at: Option<Instant>,
+    at: Option<u64>,
     phase: &'static str,
 }
 
@@ -52,10 +58,11 @@ impl Deadline {
         }
     }
 
-    /// A deadline `timeout` from now, attributed to `phase`.
+    /// A deadline `timeout` from now (on the ambient clock), attributed to
+    /// `phase`.
     pub fn after(phase: &'static str, timeout: Duration) -> Self {
         Deadline {
-            at: Instant::now().checked_add(timeout),
+            at: crate::clock::now_nanos().checked_add(timeout.as_nanos() as u64),
             phase,
         }
     }
@@ -81,9 +88,18 @@ impl Deadline {
         }
     }
 
-    /// Time left before expiry; `None` means unbounded.
+    /// Time left before expiry (on the ambient clock); `None` means
+    /// unbounded.
     pub fn remaining(&self) -> Option<Duration> {
-        self.at.map(|at| at.saturating_duration_since(Instant::now()))
+        self.at
+            .map(|at| Duration::from_nanos(at.saturating_sub(crate::clock::now_nanos())))
+    }
+
+    /// Absolute expiry in ambient-clock nanoseconds; `None` means
+    /// unbounded. The simulation backend uses this to register timer
+    /// events instead of polling `remaining`.
+    pub fn at_nanos(&self) -> Option<u64> {
+        self.at
     }
 
     /// True once a bounded deadline has passed.
@@ -148,9 +164,10 @@ impl Backoff {
         self.cur
     }
 
-    /// Sleeps for the next delay.
+    /// Sleeps for the next delay on the ambient clock (virtual time under
+    /// the simulation backend).
     pub fn sleep(&mut self) {
-        std::thread::sleep(self.next_delay());
+        crate::clock::sleep(self.next_delay());
     }
 }
 
@@ -262,6 +279,12 @@ pub trait Transport: Sync {
     /// Test hook: suppresses this host's heartbeats for `d`, simulating a
     /// host that has gone silent without crashing.
     fn silence(&self, d: Duration);
+
+    /// Trace hook: the generic layer reports decisions it made above the
+    /// transport (fault-injection verdicts, injected crashes and stalls)
+    /// so a recording backend can linearize them into its event trace.
+    /// Default: ignored — only the simulation backend records.
+    fn note(&self, _kind: &'static str, _detail: String) {}
 }
 
 #[cfg(test)]

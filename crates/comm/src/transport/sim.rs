@@ -1,0 +1,847 @@
+//! The deterministic simulation transport: a seeded discrete-event
+//! scheduler that runs all hosts cooperatively on a virtual clock.
+//!
+//! FoundationDB-style simulation testing for the cluster: every host is
+//! still an OS thread (so host closures run unmodified), but only **one
+//! host runs at a time** — a run token is handed from host to host by the
+//! scheduler, and a host gives it up only inside a transport wait
+//! (barrier, gate, or a virtual sleep). Hosts interact with each other
+//! exclusively through the transport, so serializing those interaction
+//! points serializes the whole run: which host runs next is drawn from a
+//! seeded RNG, and everything else follows deterministically. The same
+//! seed therefore reproduces the same interleaving, the same fault
+//! verdicts, the same heartbeat suspicions, the same timeouts — byte for
+//! byte.
+//!
+//! # Virtual time
+//!
+//! The fabric owns a clock that only advances when no host is runnable:
+//! the scheduler pops the earliest pending timer (a sleep expiry, a phase
+//! deadline, a heartbeat tick) from its event queue and jumps `now` to
+//! it. A 400 ms injected stall or an 80 ms heartbeat suspicion threshold
+//! costs microseconds of wall time. Each host thread installs a
+//! [`crate::clock::Clock`] view of this virtual clock while it runs, so
+//! `Deadline`s, `Backoff` sleeps, and injected stalls all land in the
+//! event queue instead of the OS scheduler.
+//!
+//! # Heartbeats and deadlines without threads
+//!
+//! The real backends run detector threads; here both are timer events.
+//! A heartbeat tick refreshes every live, unsilenced host's beat and
+//! suspects peers silent past `suspect_after` — identical semantics to
+//! the in-proc detector, minus the races. A phase deadline is registered
+//! when a host blocks and fires only if that host is still blocked on the
+//! same barrier generation, withdrawing its arrival exactly like the
+//! in-proc barrier does.
+//!
+//! # The trace
+//!
+//! Every scheduling decision, send, fault verdict, barrier event,
+//! suspicion, and timeout is appended to a linearized [`TraceEvent`] log
+//! (dumpable as JSONL via [`TraceEvent::to_json`]). Two runs with the
+//! same seed produce identical traces; a diff of two traces is a diff of
+//! two schedules.
+
+use super::{Deadline, Transport, TransportConfig};
+use crate::clock::Clock;
+use crate::cluster::CommError;
+use crate::fault::mix;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
+use std::time::Duration;
+
+/// Idle timer fires tolerated without any host becoming runnable before
+/// the scheduler declares the run wedged and breaks every wait. With a
+/// 10 ms heartbeat this is ~100 virtual seconds of pure ticking.
+const MAX_IDLE_FIRES: usize = 10_000;
+
+/// One linearized simulator event. `seq` totally orders the trace; `t` is
+/// virtual nanoseconds. Two runs with the same seed and inputs produce
+/// element-identical (and therefore byte-identical, via
+/// [`TraceEvent::to_json`]) traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time in nanoseconds since the run started.
+    pub t: u64,
+    /// Position in the trace's total order.
+    pub seq: u64,
+    /// The acting (or affected, for suspicions) host.
+    pub host: usize,
+    /// Event kind: `schedule`, `send`, `barrier_arrive`,
+    /// `barrier_complete`, `sync_missing`, `sleep`, `timeout`, `suspect`,
+    /// `mark_failed`, `departed`, `gate_*`, `heal`, `silence`,
+    /// `recover_reset`, `retx_request`, `fault_*`, `crash`, `stall`,
+    /// `finish`, `deadlock`.
+    pub kind: &'static str,
+    /// Kind-specific detail, deterministic for a given schedule.
+    pub detail: String,
+}
+
+impl TraceEvent {
+    /// Serializes the event as one JSON object (one JSONL line).
+    pub fn to_json(&self) -> String {
+        let mut detail = String::with_capacity(self.detail.len());
+        for c in self.detail.chars() {
+            match c {
+                '"' => detail.push_str("\\\""),
+                '\\' => detail.push_str("\\\\"),
+                c if (c as u32) < 0x20 => detail.push_str(&format!("\\u{:04x}", c as u32)),
+                c => detail.push(c),
+            }
+        }
+        format!(
+            "{{\"t\":{},\"seq\":{},\"host\":{},\"kind\":\"{}\",\"detail\":\"{}\"}}",
+            self.t, self.seq, self.host, self.kind, detail
+        )
+    }
+}
+
+/// Shared sink a [`crate::Cluster`] fills with the simulation trace after
+/// a run (see `Cluster::with_trace_sink`).
+pub type TraceSink = Arc<parking_lot::Mutex<Vec<TraceEvent>>>;
+
+/// Creates an empty [`TraceSink`] for `Cluster::with_trace_sink`, saving
+/// callers a direct `parking_lot` dependency.
+pub fn new_trace_sink() -> TraceSink {
+    Arc::new(parking_lot::Mutex::new(Vec::new()))
+}
+
+/// What a blocked host is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocked {
+    /// In the failure-aware barrier, generation `gen`.
+    Barrier { gen: u64 },
+    /// In the recovery gate, generation `gen`.
+    Gate { gen: u64 },
+    /// Virtual sleep `id` (distinguishes stale wake timers).
+    Sleep { id: u64 },
+}
+
+/// A host's scheduling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Thread not yet at the startup latch.
+    Registering,
+    /// Runnable, waiting to be handed the token.
+    Ready,
+    /// Holds the run token.
+    Running,
+    /// Parked in a transport wait.
+    Blocked(Blocked),
+    /// Closure finished (or died); never scheduled again.
+    Done,
+}
+
+/// A pending virtual-time event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TimerKind {
+    /// End of a virtual sleep.
+    Wake { host: usize, id: u64 },
+    /// Phase deadline for a host blocked in barrier generation `gen`.
+    BarrierDeadline {
+        host: usize,
+        gen: u64,
+        phase: &'static str,
+    },
+    /// Phase deadline for a host blocked in gate generation `gen`.
+    GateDeadline {
+        host: usize,
+        gen: u64,
+        phase: &'static str,
+    },
+    /// Global heartbeat tick: refresh beats, suspect the silent.
+    HeartbeatTick,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Timer {
+    at: u64,
+    /// Insertion order; ties on `at` resolve deterministically.
+    seq: u64,
+    kind: TimerKind,
+}
+
+impl Ord for Timer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Timer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct SimState {
+    /// Virtual nanoseconds since the run started.
+    now: u64,
+    /// Scheduler RNG (splitmix64 walk from the seed).
+    rng: u64,
+    /// Next timer insertion sequence.
+    timer_seq: u64,
+    /// Next trace sequence.
+    trace_seq: u64,
+    /// Next sleep id.
+    sleep_seq: u64,
+    /// Startup latch: hosts registered so far.
+    registered: usize,
+    /// The host currently holding the run token.
+    running: Option<usize>,
+    /// Hosts ready to be scheduled.
+    runnable: Vec<usize>,
+    status: Vec<Status>,
+    /// Result delivered to a woken host (set by `wake`, taken in `block`).
+    wake: Vec<Option<Result<(), CommError>>>,
+    timers: BinaryHeap<Reverse<Timer>>,
+    /// `mailboxes[to][from]`: frames in flight (delivery is instantaneous
+    /// in virtual time; ordering and interleaving come from the seeded
+    /// scheduler, loss/delay/reordering from the fault plan above).
+    mailboxes: Vec<Vec<Vec<Vec<u8>>>>,
+    /// `retx[sender][requester]`.
+    retx: Vec<Vec<bool>>,
+    missing: Vec<bool>,
+    // Failure-aware barrier (mirrors the in-proc `FtBarrier`).
+    bar_arrived: usize,
+    bar_gen: u64,
+    live: usize,
+    failed: Vec<bool>,
+    suspected: Vec<bool>,
+    here: Vec<bool>,
+    // Recovery gate (mirrors the in-proc `Gate`).
+    gate_arrived: usize,
+    gate_gen: u64,
+    departed: Vec<bool>,
+    ndeparted: usize,
+    gate_here: Vec<bool>,
+    // Heartbeat ledger, in virtual nanoseconds.
+    last_beat: Vec<u64>,
+    silence_until: Vec<u64>,
+    trace: Vec<TraceEvent>,
+}
+
+impl SimState {
+    fn any_failed(&self) -> bool {
+        self.live < self.failed.len()
+    }
+
+    /// The failure verdict (mirrors the in-proc mapping): all-suspected is
+    /// `PeerDown`, anything harder is `HostFailure`.
+    fn failure_error(&self) -> CommError {
+        let failed: Vec<usize> = (0..self.failed.len()).filter(|&h| self.failed[h]).collect();
+        let suspected: Vec<usize> = (0..self.suspected.len())
+            .filter(|&h| self.suspected[h])
+            .collect();
+        if !suspected.is_empty() && suspected.len() == failed.len() {
+            CommError::PeerDown { hosts: suspected }
+        } else {
+            CommError::HostFailure { hosts: failed }
+        }
+    }
+
+    fn departed_error(&self) -> CommError {
+        CommError::HostFailure {
+            hosts: (0..self.departed.len())
+                .filter(|&h| self.departed[h])
+                .collect(),
+        }
+    }
+}
+
+/// The shared discrete-event fabric behind [`SimTransport`]: the virtual
+/// clock, the event queue, the run token, the mailboxes, and the trace.
+/// Created by `Cluster::sim`; one per run.
+pub struct SimFabric {
+    hosts: usize,
+    cfg: TransportConfig,
+    state: StdMutex<SimState>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for SimFabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimFabric")
+            .field("hosts", &self.hosts)
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+/// Order-sensitive digest of a frame's bytes, recorded with each traced
+/// send so divergent payloads (not just divergent schedules) show up in a
+/// trace diff.
+fn frame_digest(frame: &[u8]) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for &b in frame {
+        acc = mix(acc ^ b as u64);
+    }
+    acc
+}
+
+impl SimFabric {
+    /// Creates the fabric for `hosts` cooperatively scheduled hosts,
+    /// interleaved by `seed`.
+    pub fn new(hosts: usize, cfg: TransportConfig, seed: u64) -> Self {
+        SimFabric {
+            hosts,
+            cfg,
+            state: StdMutex::new(SimState {
+                now: 0,
+                rng: mix(seed ^ 0x73696d_u64),
+                timer_seq: 0,
+                trace_seq: 0,
+                sleep_seq: 0,
+                registered: 0,
+                running: None,
+                runnable: Vec::new(),
+                status: vec![Status::Registering; hosts],
+                wake: (0..hosts).map(|_| None).collect(),
+                timers: BinaryHeap::new(),
+                mailboxes: (0..hosts)
+                    .map(|_| (0..hosts).map(|_| Vec::new()).collect())
+                    .collect(),
+                retx: (0..hosts).map(|_| vec![false; hosts]).collect(),
+                missing: vec![false; hosts],
+                bar_arrived: 0,
+                bar_gen: 0,
+                live: hosts,
+                failed: vec![false; hosts],
+                suspected: vec![false; hosts],
+                here: vec![false; hosts],
+                gate_arrived: 0,
+                gate_gen: 0,
+                departed: vec![false; hosts],
+                ndeparted: 0,
+                gate_here: vec![false; hosts],
+                last_beat: vec![0; hosts],
+                silence_until: vec![0; hosts],
+                trace: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SimState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn trace(&self, s: &mut SimState, host: usize, kind: &'static str, detail: String) {
+        let ev = TraceEvent {
+            t: s.now,
+            seq: s.trace_seq,
+            host,
+            kind,
+            detail,
+        };
+        s.trace_seq += 1;
+        s.trace.push(ev);
+    }
+
+    fn push_timer(&self, s: &mut SimState, at: u64, kind: TimerKind) {
+        let seq = s.timer_seq;
+        s.timer_seq += 1;
+        s.timers.push(Reverse(Timer { at, seq, kind }));
+    }
+
+    /// Moves a blocked host back onto the runnable list with `result`
+    /// waiting for it.
+    fn wake(&self, s: &mut SimState, host: usize, result: Result<(), CommError>) {
+        debug_assert!(matches!(s.status[host], Status::Blocked(_)));
+        s.status[host] = Status::Ready;
+        s.wake[host] = Some(result);
+        s.runnable.push(host);
+    }
+
+    /// Errors every host blocked in the barrier with the current failure
+    /// verdict (arrivals stay counted — recovery's heal resets them, same
+    /// as the in-proc barrier).
+    fn break_barrier_waiters(&self, s: &mut SimState) {
+        let err = s.failure_error();
+        for h in 0..self.hosts {
+            if matches!(s.status[h], Status::Blocked(Blocked::Barrier { .. })) {
+                self.wake(s, h, Err(err.clone()));
+            }
+        }
+    }
+
+    /// Records a heartbeat suspicion of `peer` (never downgrades a hard
+    /// failure) and breaks barrier waits.
+    fn suspect(&self, s: &mut SimState, peer: usize) {
+        if s.failed[peer] {
+            return;
+        }
+        s.failed[peer] = true;
+        s.suspected[peer] = true;
+        s.live -= 1;
+        self.trace(s, peer, "suspect", String::new());
+        self.break_barrier_waiters(s);
+    }
+
+    /// Hands the run token to a seeded-random runnable host; when none is
+    /// runnable, advances virtual time by firing the earliest timers until
+    /// one is (or declares the run wedged and breaks every wait).
+    fn schedule(&self, s: &mut SimState) {
+        debug_assert!(s.running.is_none());
+        let mut idle_fires = 0usize;
+        loop {
+            if !s.runnable.is_empty() {
+                s.rng = mix(s.rng);
+                let i = (s.rng % s.runnable.len() as u64) as usize;
+                let host = s.runnable.swap_remove(i);
+                s.running = Some(host);
+                s.status[host] = Status::Running;
+                self.trace(s, host, "schedule", String::new());
+                self.cv.notify_all();
+                return;
+            }
+            if s.status.iter().all(|st| *st == Status::Done) {
+                // Run over; drop whatever timers remain (heartbeats).
+                s.timers.clear();
+                self.cv.notify_all();
+                return;
+            }
+            match s.timers.pop() {
+                Some(Reverse(timer)) => {
+                    s.now = s.now.max(timer.at);
+                    self.fire(s, timer.kind);
+                    idle_fires += 1;
+                    if idle_fires > MAX_IDLE_FIRES && s.runnable.is_empty() {
+                        self.break_deadlock(s, "no progress after repeated timer fires");
+                    }
+                }
+                None => self.break_deadlock(s, "event queue empty with hosts blocked"),
+            }
+        }
+    }
+
+    /// "Never hang": wakes every blocked host — sleepers resume, collective
+    /// waiters get a protocol error that surfaces as a reported host
+    /// failure instead of a wedged process.
+    fn break_deadlock(&self, s: &mut SimState, why: &str) {
+        self.trace(s, usize::from(self.hosts == 0), "deadlock", why.to_string());
+        let err = CommError::Protocol {
+            detail: format!("sim deadlock at t={}ns: {why}", s.now),
+        };
+        let mut woke = false;
+        for h in 0..self.hosts {
+            match s.status[h] {
+                Status::Blocked(Blocked::Sleep { .. }) => {
+                    self.wake(s, h, Ok(()));
+                    woke = true;
+                }
+                Status::Blocked(_) => {
+                    self.wake(s, h, Err(err.clone()));
+                    woke = true;
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            woke,
+            "sim scheduler wedged with no blocked hosts: {why} (status {:?})",
+            s.status
+        );
+    }
+
+    /// Fires one timer event.
+    fn fire(&self, s: &mut SimState, kind: TimerKind) {
+        match kind {
+            TimerKind::Wake { host, id } => {
+                if s.status[host] == Status::Blocked(Blocked::Sleep { id }) {
+                    self.wake(s, host, Ok(()));
+                }
+            }
+            TimerKind::BarrierDeadline { host, gen, phase } => {
+                if s.status[host] == Status::Blocked(Blocked::Barrier { gen }) {
+                    // Withdraw the arrival, exactly like the in-proc wait.
+                    s.bar_arrived -= 1;
+                    s.here[host] = false;
+                    let laggards = (0..self.hosts)
+                        .filter(|&h| h != host && !s.here[h] && !s.failed[h])
+                        .collect();
+                    self.trace(s, host, "timeout", format!("phase={phase}"));
+                    self.wake(s, host, Err(CommError::Timeout { phase, hosts: laggards }));
+                }
+            }
+            TimerKind::GateDeadline { host, gen, phase } => {
+                if s.status[host] == Status::Blocked(Blocked::Gate { gen }) {
+                    s.gate_arrived -= 1;
+                    s.gate_here[host] = false;
+                    let laggards = (0..self.hosts)
+                        .filter(|&h| h != host && !s.gate_here[h] && !s.departed[h])
+                        .collect();
+                    self.trace(s, host, "timeout", format!("phase={phase} at=gate"));
+                    self.wake(s, host, Err(CommError::Timeout { phase, hosts: laggards }));
+                }
+            }
+            TimerKind::HeartbeatTick => {
+                let Some(hb) = self.cfg.heartbeat else { return };
+                // Every live, unsilenced host beats — same as each host's
+                // detector thread on the real backends.
+                for h in 0..self.hosts {
+                    if !s.departed[h] && s.silence_until[h] <= s.now {
+                        s.last_beat[h] = s.now;
+                    }
+                }
+                let limit = hb.suspect_after.as_nanos() as u64;
+                for peer in 0..self.hosts {
+                    if s.departed[peer] || s.failed[peer] {
+                        continue;
+                    }
+                    if s.now.saturating_sub(s.last_beat[peer]) > limit {
+                        self.suspect(s, peer);
+                    }
+                }
+                if s.status.iter().any(|st| *st != Status::Done) {
+                    let at = s.now.saturating_add(hb.interval.as_nanos() as u64);
+                    self.push_timer(s, at, TimerKind::HeartbeatTick);
+                }
+            }
+        }
+    }
+
+    /// Startup latch: parks the calling host thread until every host has
+    /// registered and the scheduler hands it the token for the first time.
+    /// The initial runnable set is `0..hosts` regardless of thread startup
+    /// order, so the first pick is already seed-determined.
+    pub fn register(&self, host: usize) {
+        let mut s = self.lock();
+        assert_eq!(s.status[host], Status::Registering, "double register");
+        s.status[host] = Status::Ready;
+        s.registered += 1;
+        if s.registered == self.hosts {
+            s.runnable = (0..self.hosts).collect();
+            if let Some(hb) = self.cfg.heartbeat {
+                let at = s.now + hb.interval.as_nanos() as u64;
+                self.push_timer(&mut s, at, TimerKind::HeartbeatTick);
+            }
+            self.schedule(&mut s);
+        }
+        while s.running != Some(host) {
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Marks the host's closure finished and releases the token for good.
+    pub fn finish(&self, host: usize) {
+        let mut s = self.lock();
+        debug_assert_eq!(s.running, Some(host), "finish without the token");
+        s.status[host] = Status::Done;
+        s.running = None;
+        self.trace(&mut s, host, "finish", String::new());
+        self.schedule(&mut s);
+    }
+
+    /// Takes the recorded trace (the run must be over).
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.lock().trace)
+    }
+
+    /// Parks `host`, hands the token away, and waits to be woken with a
+    /// result.
+    fn block(
+        &self,
+        mut s: MutexGuard<'_, SimState>,
+        host: usize,
+        b: Blocked,
+    ) -> Result<(), CommError> {
+        debug_assert_eq!(s.running, Some(host), "blocking without the token");
+        s.status[host] = Status::Blocked(b);
+        s.running = None;
+        self.schedule(&mut s);
+        while s.running != Some(host) {
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.wake[host].take().expect("scheduled without a wake result")
+    }
+
+    fn now(&self) -> u64 {
+        self.lock().now
+    }
+
+    /// Virtual sleep: the host gives up the token until `now + d`.
+    fn sleep(&self, host: usize, d: Duration) {
+        if d.is_zero() {
+            return;
+        }
+        let mut s = self.lock();
+        let id = s.sleep_seq;
+        s.sleep_seq += 1;
+        let at = s.now.saturating_add(d.as_nanos() as u64);
+        self.trace(&mut s, host, "sleep", format!("until={at}"));
+        self.push_timer(&mut s, at, TimerKind::Wake { host, id });
+        // A deadlock-break resumes the sleeper early with Ok; either way
+        // there is nothing to propagate from a sleep.
+        let _ = self.block(s, host, Blocked::Sleep { id });
+    }
+
+    fn barrier(&self, host: usize, deadline: &Deadline) -> Result<(), CommError> {
+        let mut s = self.lock();
+        if s.any_failed() {
+            return Err(s.failure_error());
+        }
+        s.bar_arrived += 1;
+        s.here[host] = true;
+        let arrive_gen = s.bar_gen;
+        self.trace(&mut s, host, "barrier_arrive", format!("gen={arrive_gen}"));
+        if s.bar_arrived >= s.live {
+            s.bar_arrived = 0;
+            for h in &mut s.here {
+                *h = false;
+            }
+            s.bar_gen += 1;
+            let done_gen = s.bar_gen;
+            self.trace(&mut s, host, "barrier_complete", format!("gen={done_gen}"));
+            for h in 0..self.hosts {
+                if matches!(s.status[h], Status::Blocked(Blocked::Barrier { .. })) {
+                    self.wake(&mut s, h, Ok(()));
+                }
+            }
+            return Ok(());
+        }
+        let gen = s.bar_gen;
+        if let Some(at) = deadline.at_nanos() {
+            self.push_timer(
+                &mut s,
+                at,
+                TimerKind::BarrierDeadline {
+                    host,
+                    gen,
+                    phase: deadline.phase(),
+                },
+            );
+        }
+        self.block(s, host, Blocked::Barrier { gen })
+    }
+
+    /// Gate arrival + wait; with `heal`, the last arriver restores the
+    /// barrier to all-alive before anyone is released (mirrors the
+    /// in-proc `Gate::wait_then(.., || barrier.heal())`).
+    fn gate(&self, host: usize, deadline: &Deadline, heal: bool) -> Result<(), CommError> {
+        let mut s = self.lock();
+        if s.ndeparted > 0 {
+            return Err(s.departed_error());
+        }
+        s.gate_arrived += 1;
+        s.gate_here[host] = true;
+        let kind = if heal { "gate_heal" } else { "gate_align" };
+        let arrive_gen = s.gate_gen;
+        self.trace(&mut s, host, kind, format!("gen={arrive_gen}"));
+        if s.gate_arrived >= self.hosts - s.ndeparted {
+            if heal {
+                s.live = self.hosts;
+                for f in &mut s.failed {
+                    *f = false;
+                }
+                for f in &mut s.suspected {
+                    *f = false;
+                }
+                for h in &mut s.here {
+                    *h = false;
+                }
+                s.bar_arrived = 0;
+                self.trace(&mut s, host, "heal", String::new());
+            }
+            s.gate_arrived = 0;
+            for h in &mut s.gate_here {
+                *h = false;
+            }
+            s.gate_gen += 1;
+            for h in 0..self.hosts {
+                if matches!(s.status[h], Status::Blocked(Blocked::Gate { .. })) {
+                    self.wake(&mut s, h, Ok(()));
+                }
+            }
+            return Ok(());
+        }
+        let gen = s.gate_gen;
+        if let Some(at) = deadline.at_nanos() {
+            self.push_timer(
+                &mut s,
+                at,
+                TimerKind::GateDeadline {
+                    host,
+                    gen,
+                    phase: deadline.phase(),
+                },
+            );
+        }
+        self.block(s, host, Blocked::Gate { gen })
+    }
+}
+
+/// One host's handle to the shared [`SimFabric`]. Only valid under
+/// `Cluster::sim`'s cooperative runner: methods assume the calling host
+/// currently holds the run token.
+pub struct SimTransport {
+    fabric: Arc<SimFabric>,
+    host: usize,
+}
+
+impl std::fmt::Debug for SimTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimTransport")
+            .field("host", &self.host)
+            .field("hosts", &self.fabric.hosts)
+            .finish()
+    }
+}
+
+impl SimTransport {
+    /// Creates host `host`'s handle.
+    pub fn new(fabric: Arc<SimFabric>, host: usize) -> Self {
+        SimTransport { fabric, host }
+    }
+
+    /// This host's view of the fabric's virtual clock, for
+    /// [`crate::clock::with_clock`].
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::new(SimClock {
+            fabric: self.fabric.clone(),
+            host: self.host,
+        })
+    }
+}
+
+impl Transport for SimTransport {
+    fn host(&self) -> usize {
+        self.host
+    }
+
+    fn num_hosts(&self) -> usize {
+        self.fabric.hosts
+    }
+
+    fn send(&self, to: usize, frame: Vec<u8>) {
+        let fab = &self.fabric;
+        let mut s = fab.lock();
+        fab.trace(
+            &mut s,
+            self.host,
+            "send",
+            format!("to={to} len={} digest={:016x}", frame.len(), frame_digest(&frame)),
+        );
+        s.mailboxes[to][self.host].push(frame);
+    }
+
+    fn drain(&self, from: usize) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.fabric.lock().mailboxes[self.host][from])
+    }
+
+    fn request_retx(&self, from: usize) {
+        let fab = &self.fabric;
+        let mut s = fab.lock();
+        fab.trace(&mut s, self.host, "retx_request", format!("from={from}"));
+        s.retx[from][self.host] = true;
+    }
+
+    fn take_retx_requests(&self) -> Vec<usize> {
+        let mut s = self.fabric.lock();
+        (0..self.fabric.hosts)
+            .filter(|&r| std::mem::take(&mut s.retx[self.host][r]))
+            .collect()
+    }
+
+    fn barrier(&self, deadline: &Deadline) -> Result<(), CommError> {
+        self.fabric.barrier(self.host, deadline)
+    }
+
+    fn sync_missing(&self, missing: bool, deadline: &Deadline) -> Result<Vec<bool>, CommError> {
+        let fab = &self.fabric;
+        {
+            let mut s = fab.lock();
+            s.missing[self.host] = missing;
+            fab.trace(&mut s, self.host, "sync_missing", format!("missing={missing}"));
+        }
+        // The barrier below separates this host's publish from every
+        // peer's snapshot read; no host can republish before all reads
+        // because the next publish is itself preceded by a barrier.
+        fab.barrier(self.host, deadline)?;
+        let s = fab.lock();
+        Ok((0..fab.hosts).map(|h| s.missing[h]).collect())
+    }
+
+    fn mark_failed(&self) {
+        let fab = &self.fabric;
+        let mut s = fab.lock();
+        if s.failed[self.host] {
+            s.suspected[self.host] = false;
+            return;
+        }
+        s.failed[self.host] = true;
+        s.live -= 1;
+        fab.trace(&mut s, self.host, "mark_failed", String::new());
+        fab.break_barrier_waiters(&mut s);
+    }
+
+    fn mark_departed(&self) {
+        let fab = &self.fabric;
+        let mut s = fab.lock();
+        if s.departed[self.host] {
+            return;
+        }
+        s.departed[self.host] = true;
+        s.ndeparted += 1;
+        fab.trace(&mut s, self.host, "departed", String::new());
+        let err = s.departed_error();
+        for h in 0..fab.hosts {
+            if matches!(s.status[h], Status::Blocked(Blocked::Gate { .. })) {
+                fab.wake(&mut s, h, Err(err.clone()));
+            }
+        }
+    }
+
+    fn gate_align(&self, deadline: &Deadline) -> Result<(), CommError> {
+        self.fabric.gate(self.host, deadline, false)
+    }
+
+    fn recover_reset(&self) {
+        let fab = &self.fabric;
+        let mut s = fab.lock();
+        let me = self.host;
+        for h in 0..fab.hosts {
+            s.mailboxes[me][h].clear();
+            s.retx[me][h] = false;
+        }
+        s.missing[me] = false;
+        // A recovering host is alive: refresh its beat so the silence
+        // that triggered recovery is not re-flagged after the heal.
+        s.last_beat[me] = s.now;
+        fab.trace(&mut s, me, "recover_reset", String::new());
+    }
+
+    fn gate_heal(&self, deadline: &Deadline) -> Result<(), CommError> {
+        self.fabric.gate(self.host, deadline, true)
+    }
+
+    fn silence(&self, d: Duration) {
+        let fab = &self.fabric;
+        let mut s = fab.lock();
+        let until = s.now.saturating_add(d.as_nanos() as u64);
+        s.silence_until[self.host] = until;
+        fab.trace(&mut s, self.host, "silence", format!("until={until}"));
+    }
+
+    fn note(&self, kind: &'static str, detail: String) {
+        let fab = &self.fabric;
+        let mut s = fab.lock();
+        fab.trace(&mut s, self.host, kind, detail);
+    }
+}
+
+/// A host's view of the fabric's virtual clock.
+struct SimClock {
+    fabric: Arc<SimFabric>,
+    host: usize,
+}
+
+impl Clock for SimClock {
+    fn now_nanos(&self) -> u64 {
+        self.fabric.now()
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.fabric.sleep(self.host, d);
+    }
+}

@@ -33,13 +33,14 @@
 //! invalidates any `FAILED` notice from before the heal.
 
 use super::{Backoff, Deadline, Transport, TransportConfig};
+use crate::clock;
 use crate::cluster::CommError;
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 const TAG_DATA: u8 = 1;
 const TAG_BARRIER: u8 = 2;
@@ -129,8 +130,7 @@ struct Inner {
     /// across it would wedge our readers and deadlock the mesh.
     writers: Vec<StdMutex<Option<TcpStream>>>,
     shutdown: AtomicBool,
-    epoch0: Instant,
-    /// Nanoseconds (since `epoch0`) of the last message from each peer.
+    /// Clock-nanoseconds of the last message from each peer.
     last_rx: Vec<AtomicU64>,
     /// Heartbeats are suppressed until this time (hang-simulation hook).
     silence_until: AtomicU64,
@@ -139,7 +139,7 @@ struct Inner {
 
 impl Inner {
     fn now_nanos(&self) -> u64 {
-        self.epoch0.elapsed().as_nanos() as u64
+        clock::now_nanos()
     }
 
     fn lock(&self) -> MutexGuard<'_, State> {
@@ -315,7 +315,7 @@ fn heartbeat_loop(inner: Arc<Inner>, hb: super::HeartbeatConfig) {
         if woke {
             inner.cv.notify_all();
         }
-        std::thread::sleep(hb.interval);
+        clock::sleep(hb.interval);
     }
 }
 
@@ -395,8 +395,11 @@ impl TcpTransport {
             cv: Condvar::new(),
             writers: (0..num_hosts).map(|_| StdMutex::new(None)).collect(),
             shutdown: AtomicBool::new(false),
-            epoch0: Instant::now(),
-            last_rx: (0..num_hosts).map(|_| AtomicU64::new(0)).collect(),
+            // Seed liveness with "now": the clock epoch is process global,
+            // so zero would read as ancient silence to the detector.
+            last_rx: (0..num_hosts)
+                .map(|_| AtomicU64::new(clock::now_nanos()))
+                .collect(),
             silence_until: AtomicU64::new(0),
             threads: StdMutex::new(Vec::new()),
         });
@@ -415,20 +418,25 @@ impl TcpTransport {
         // Client side of each pair: the higher id dials the lower.
         for peer in 0..host {
             let mut backoff = Backoff::reconnect(host);
-            let start = Instant::now();
+            let start = clock::now_nanos();
             loop {
                 match handshake_connect(&inner, peer) {
                     Ok(stream) => {
                         install(&inner, peer, stream);
                         break;
                     }
-                    Err(e) if start.elapsed() > SETUP_TIMEOUT => return Err(e),
+                    Err(e)
+                        if clock::now_nanos().saturating_sub(start)
+                            > SETUP_TIMEOUT.as_nanos() as u64 =>
+                    {
+                        return Err(e)
+                    }
                     Err(_) => backoff.sleep(),
                 }
             }
         }
         // Wait for the server side of each pair (installed by the acceptor).
-        let start = Instant::now();
+        let start = clock::now_nanos();
         loop {
             let connected = (0..num_hosts).filter(|&p| p != host).all(|p| {
                 inner.writers[p]
@@ -439,7 +447,7 @@ impl TcpTransport {
             if connected {
                 break;
             }
-            if start.elapsed() > SETUP_TIMEOUT {
+            if clock::now_nanos().saturating_sub(start) > SETUP_TIMEOUT.as_nanos() as u64 {
                 return Err(io::Error::new(
                     io::ErrorKind::TimedOut,
                     format!("host {host}: peers did not connect within {SETUP_TIMEOUT:?}"),
@@ -480,11 +488,16 @@ impl TcpTransport {
             })
             .collect();
         let addr = SocketAddr::from(([127, 0, 0, 1], ports[host]));
-        let start = Instant::now();
+        let start = clock::now_nanos();
         let listener = loop {
             match TcpListener::bind(addr) {
                 Ok(l) => break l,
-                Err(e) if start.elapsed() > Duration::from_secs(5) => return Err(e),
+                Err(e)
+                    if clock::now_nanos().saturating_sub(start)
+                        > Duration::from_secs(5).as_nanos() as u64 =>
+                {
+                    return Err(e)
+                }
                 Err(_) => std::thread::sleep(Duration::from_millis(50)),
             }
         };

@@ -19,10 +19,14 @@
 //! either transport and must produce identical labels.
 
 use kimbap::prelude::*;
+use kimbap::simfuzz;
 use kimbap_algos::{
-    cc, compose_labels, leiden, louvain, merge_master_values, mis, msf, LouvainConfig, NpmBuilder,
+    cc, compose_labels, leiden, louvain, merge_master_values, mis, msf, refcheck, LouvainConfig,
+    NpmBuilder,
 };
-use kimbap_comm::{run_transport_host, TcpTransport, TransportConfig};
+use kimbap_comm::{
+    new_trace_sink, run_transport_host, HostError, TcpTransport, TransportConfig,
+};
 use kimbap_compiler::{classify_program, compile, frontend, OptLevel};
 use kimbap_graph::io;
 use std::fs::File;
@@ -36,6 +40,7 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("sim") => cmd_sim(&args[1..]),
         Some("_worker") => cmd_worker(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         _ => {
@@ -61,6 +66,9 @@ usage:
              [--hosts N] [--threads N] [--transport inproc|tcp]
              [--faults none|drop|corrupt|crash] [--seed N]
              [--port-base N] [--out FILE]
+  kimbap sim [--algo <cc-sv|cc-lp|cc-sclp|mis|msf|louvain|leiden>]
+             [--seed N] [--seeds N] [--hosts N] [--threads N]
+             [--scale N] [--ef N] [--trace FILE] [--out FILE]
   kimbap compile FILE.kv [--no-opt]
 
 graphs are stored in the kimbap binary format (.kg) or may be text edge
@@ -68,7 +76,16 @@ lists; vertex programs (.kv) use the surface syntax of kimbap-compiler's
 frontend. --transport tcp spawns one worker process per host over TCP
 loopback; --faults/--out (connected-components algorithms only) inject a
 seeded fault plan and write one label per node for diffing across
-transports.";
+transports.
+
+kimbap sim replays a fully deterministic multi-host schedule on the
+discrete-event simulation backend: the seed fixes the R-MAT input graph,
+a randomized fault plan (drops, dups, corruption, delays, crashes,
+stalls), and every scheduling decision, so the same seed reproduces the
+same run byte for byte. Each seed must either converge to the fault-free
+reference labels or surface a communication failure — anything else (and
+any divergence) fails with the exact command that replays it. --seeds N
+fuzzes N consecutive seeds; --trace dumps the event schedule as JSONL.";
 
 type CliResult = Result<(), String>;
 
@@ -259,6 +276,237 @@ fn cmd_worker(args: &[String]) -> CliResult {
     for (node, label) in vals {
         writeln!(w, "{node} {label}").map_err(|e| format!("write {out}: {e}"))?;
     }
+    Ok(())
+}
+
+/// Per-host values from a faulted run: either every host finished, or at
+/// least one aborted with a *communication-rooted* error. Faults must
+/// surface as timeouts / failed peers — a non-communication panic is a
+/// bug and fails the run.
+enum HostValues<R> {
+    /// Every host returned a value.
+    All(Vec<R>),
+    /// A host aborted cleanly on a communication failure (its message).
+    Aborted(String),
+}
+
+fn host_values<R>(res: Vec<Result<R, HostError>>) -> Result<HostValues<R>, String> {
+    let mut vals = Vec::with_capacity(res.len());
+    for r in res {
+        match r {
+            Ok(v) => vals.push(v),
+            Err(e)
+                if e.message.starts_with("communication failed")
+                    || e.message.starts_with("injected crash") =>
+            {
+                return Ok(HostValues::Aborted(e.to_string()));
+            }
+            Err(e) => return Err(format!("non-communication host panic: {e}")),
+        }
+    }
+    Ok(HostValues::All(vals))
+}
+
+/// What one simulated run produced.
+enum SimOutcome {
+    /// Converged: a canonical `u64` fingerprint of the merged output
+    /// (labels for cc/louvain, membership for MIS, the sorted forest and
+    /// total weight for MSF).
+    Labels(Vec<u64>),
+    /// Surfaced a communication failure instead of converging.
+    Aborted(String),
+}
+
+/// Runs `algo` on `cluster` under `plan` and canonicalizes the output.
+/// Structural validity (MIS independence/maximality, community labels)
+/// is checked against the single-threaded reference right here; exact
+/// output equality is the caller's job.
+fn sim_outcome(
+    algo: &str,
+    g: &Graph,
+    cluster: &Cluster,
+    plan: FaultPlan,
+) -> Result<SimOutcome, String> {
+    let policy = match algo {
+        "louvain" | "leiden" => Policy::EdgeCutBlocked,
+        _ => Policy::CartesianVertexCut,
+    };
+    let parts = partition(g, policy, cluster.num_hosts());
+    let b = NpmBuilder::default();
+    let n = g.num_nodes();
+    Ok(match algo {
+        "cc-sv" | "cc-lp" | "cc-sclp" => {
+            match host_values(cluster.try_run_with_faults(plan, |ctx| {
+                ctx.run_recovering(|ctx| run_cc(algo, &parts[ctx.host()], ctx))
+            }))? {
+                HostValues::Aborted(m) => SimOutcome::Aborted(m),
+                HostValues::All(ph) => SimOutcome::Labels(merge_master_values(n, ph)),
+            }
+        }
+        "mis" => {
+            match host_values(cluster.try_run_with_faults(plan, |ctx| {
+                ctx.run_recovering(|ctx| mis(&parts[ctx.host()], ctx, &b))
+            }))? {
+                HostValues::Aborted(m) => SimOutcome::Aborted(m),
+                HostValues::All(ph) => {
+                    let set = merge_master_values(n, ph);
+                    refcheck::check_mis(g, &set).map_err(|e| format!("invalid MIS: {e}"))?;
+                    SimOutcome::Labels(set.into_iter().map(u64::from).collect())
+                }
+            }
+        }
+        "msf" => {
+            match host_values(cluster.try_run_with_faults(plan, |ctx| {
+                ctx.run_recovering(|ctx| msf(&parts[ctx.host()], ctx, &b))
+            }))? {
+                HostValues::Aborted(m) => SimOutcome::Aborted(m),
+                HostValues::All(ph) => {
+                    let (mut edges, total) = kimbap_algos::msf::merge_forest(ph);
+                    edges.sort_unstable();
+                    let mut fp = vec![total, edges.len() as u64];
+                    for (u, v, w) in edges {
+                        fp.extend([u as u64, v as u64, w]);
+                    }
+                    SimOutcome::Labels(fp)
+                }
+            }
+        }
+        "louvain" | "leiden" => {
+            let cfg = LouvainConfig::default();
+            match host_values(cluster.try_run_with_faults(plan, |ctx| {
+                ctx.run_recovering(|ctx| {
+                    let dg = &parts[ctx.host()];
+                    if algo == "louvain" {
+                        louvain(dg, ctx, &b, &cfg)
+                    } else {
+                        leiden(dg, ctx, &b, &cfg)
+                    }
+                })
+            }))? {
+                HostValues::Aborted(m) => SimOutcome::Aborted(m),
+                HostValues::All(ph) => {
+                    let labels = compose_labels(n, &ph);
+                    refcheck::check_communities(g, &labels)
+                        .map_err(|e| format!("invalid communities: {e}"))?;
+                    SimOutcome::Labels(labels.into_iter().map(u64::from).collect())
+                }
+            }
+        }
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+/// Runs one seed end-to-end: generate the graph, compute the fault-free
+/// reference, replay the seeded faulty schedule on the sim backend, dump
+/// the trace (before verdicts, so a failing seed leaves its schedule on
+/// disk), and check convergence. Returns the outcome plus the trace
+/// length.
+#[allow(clippy::too_many_arguments)]
+fn run_sim_seed(
+    algo: &str,
+    seed: u64,
+    hosts: usize,
+    threads: usize,
+    scale: u32,
+    ef: usize,
+    trace_path: Option<&str>,
+    out: Option<&str>,
+) -> Result<(SimOutcome, usize), String> {
+    let mut g = gen::rmat(scale, ef, seed);
+    if algo == "msf" {
+        g = gen::with_random_weights(&g, 1 << 16, seed ^ WEIGHT_SEED_SALT);
+    }
+    // Fault-free reference on the in-proc backend (a standing one-seed
+    // conformance check between the two local backends).
+    let baseline = match sim_outcome(
+        algo,
+        &g,
+        &Cluster::with_threads(hosts, threads),
+        FaultPlan::new(),
+    )? {
+        SimOutcome::Labels(l) => l,
+        SimOutcome::Aborted(m) => return Err(format!("fault-free baseline aborted: {m}")),
+    };
+    if matches!(algo, "cc-sv" | "cc-lp" | "cc-sclp")
+        && baseline != refcheck::connected_components(&g)
+    {
+        return Err("in-proc labels diverge from the single-threaded reference".into());
+    }
+    let sink = new_trace_sink();
+    let cluster = Cluster::with_threads(hosts, threads)
+        .sim(seed)
+        .with_transport_config(simfuzz::sim_transport_config())
+        .with_trace_sink(sink.clone());
+    let outcome = sim_outcome(algo, &g, &cluster, simfuzz::random_fault_plan(seed, hosts))?;
+    let trace = std::mem::take(&mut *sink.lock());
+    if let Some(path) = trace_path {
+        let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        let mut w = BufWriter::new(f);
+        for ev in &trace {
+            writeln!(w, "{}", ev.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        }
+    }
+    if let SimOutcome::Labels(labels) = &outcome {
+        if *labels != baseline {
+            return Err("labels diverge from the fault-free baseline".into());
+        }
+        if let Some(path) = out {
+            let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            let mut w = BufWriter::new(f);
+            for label in labels {
+                writeln!(w, "{label}").map_err(|e| format!("write {path}: {e}"))?;
+            }
+        }
+    }
+    Ok((outcome, trace.len()))
+}
+
+fn cmd_sim(args: &[String]) -> CliResult {
+    let algo = flag(args, "--algo").unwrap_or_else(|| "cc-lp".into());
+    let hosts: usize = flag_num(args, "--hosts", 3)?;
+    // One worker thread per host by default: intra-host pools are real
+    // threads even under simulation, and single-threaded hosts keep the
+    // whole run (not just the schedule) bit-reproducible.
+    let threads: usize = flag_num(args, "--threads", 1)?;
+    let scale: u32 = flag_num(args, "--scale", 6)?;
+    let ef: usize = flag_num(args, "--ef", 4)?;
+    let seed: u64 = flag_num(args, "--seed", 1)?;
+    let nseeds: u64 = flag_num(args, "--seeds", 1)?;
+    let trace_path = flag(args, "--trace");
+    let out = flag(args, "--out");
+    let t = Instant::now();
+    let (mut converged, mut aborted) = (0u64, 0u64);
+    for s in seed..seed.saturating_add(nseeds) {
+        let replay = format!(
+            "replay: {}",
+            simfuzz::replay_command(&algo, s, hosts, threads, scale, ef)
+        );
+        let (outcome, events) = run_sim_seed(
+            &algo,
+            s,
+            hosts,
+            threads,
+            scale,
+            ef,
+            trace_path.as_deref(),
+            out.as_deref(),
+        )
+        .map_err(|e| format!("seed {s}: {e}\n{replay}"))?;
+        match outcome {
+            SimOutcome::Labels(_) => {
+                converged += 1;
+                println!("seed {s}: converged ({events} events)");
+            }
+            SimOutcome::Aborted(m) => {
+                aborted += 1;
+                println!("seed {s}: surfaced failure ({events} events): {m}");
+            }
+        }
+    }
+    println!(
+        "{nseeds} seed(s) in {:.2?}: {converged} converged, {aborted} surfaced failures, 0 diverged",
+        t.elapsed()
+    );
     Ok(())
 }
 

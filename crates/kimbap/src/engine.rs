@@ -8,7 +8,7 @@
 //! exactly the same distributed machinery as the hand-written algorithms
 //! in `kimbap-algos` (whose outputs they are tested to match).
 
-use kimbap_comm::{CrashSignal, Deadline, HostCtx, SyncPhase};
+use kimbap_comm::{clock, CrashSignal, Deadline, HostCtx, SyncPhase};
 use kimbap_compiler::ir::{BinOp, Expr, NodeIterator, Stmt};
 use kimbap_compiler::transform::{CompiledLoop, CompiledProgram, CompiledTop};
 use kimbap_compiler::ReadDep;
@@ -16,7 +16,7 @@ use kimbap_dist::{DistGraph, LocalId};
 use kimbap_graph::NodeId;
 use kimbap_npm::{ChangedKeys, DynReduceOp, MapSnapshot, NodePropMap, Npm, SumReducer, Variant};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Crash recoveries per compiled loop before the failure is propagated.
 const MAX_RECOVERIES: u32 = 8;
@@ -326,20 +326,20 @@ impl<'g> Engine<'g> {
         // per-phase counters (Fig. 6 attribution); pinning and the
         // quiescence check sit outside the four phases.
         for phase in &l.request_phases {
-            let t = Instant::now();
+            let t = clock::now_nanos();
             self.exec_parfor(ctx, l.iterator, &phase.body, None);
-            ctx.add_phase_nanos(SyncPhase::RequestCompute, t.elapsed().as_nanos() as u64);
-            let t = Instant::now();
+            ctx.add_phase_nanos(SyncPhase::RequestCompute, clock::now_nanos().saturating_sub(t));
+            let t = clock::now_nanos();
             ctx.set_deadline(Deadline::maybe("request_sync", timeout));
             for m in &phase.sync_maps {
                 self.maps[*m].request_sync(ctx);
             }
-            ctx.add_phase_nanos(SyncPhase::RequestSync, t.elapsed().as_nanos() as u64);
+            ctx.add_phase_nanos(SyncPhase::RequestSync, clock::now_nanos().saturating_sub(t));
         }
 
-        let t = Instant::now();
+        let t = clock::now_nanos();
         let (active, total) = self.exec_parfor(ctx, l.iterator, &l.body, frontier.as_ref());
-        let reduce_compute_nanos = t.elapsed().as_nanos() as u64;
+        let reduce_compute_nanos = clock::now_nanos().saturating_sub(t);
         ctx.add_phase_nanos(SyncPhase::ReduceCompute, reduce_compute_nanos);
         ctx.add_parfor_activity(active, total, frontier.is_some());
         self.activity.push(RoundActivity {
@@ -350,7 +350,7 @@ impl<'g> Engine<'g> {
             reduce_compute_nanos,
         });
 
-        let t = Instant::now();
+        let t = clock::now_nanos();
         ctx.set_deadline(Deadline::maybe("reduce_sync", timeout));
         for m in &l.reduce_maps {
             self.maps[*m].reduce_sync(ctx);
@@ -358,7 +358,7 @@ impl<'g> Engine<'g> {
         for m in &l.broadcast_maps {
             self.maps[*m].broadcast_sync(ctx);
         }
-        ctx.add_phase_nanos(SyncPhase::ReduceSync, t.elapsed().as_nanos() as u64);
+        ctx.add_phase_nanos(SyncPhase::ReduceSync, clock::now_nanos().saturating_sub(t));
 
         ctx.set_deadline(Deadline::maybe("quiesce", timeout));
         let done = !repeat || !self.maps[l.quiesce_map].is_updated(ctx);

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod engine;
+pub mod simfuzz;
 
 /// One-stop imports for applications built on Kimbap.
 pub mod prelude {

@@ -1,0 +1,105 @@
+//! Seed-derived fuzz inputs for the deterministic simulation backend,
+//! shared by the `kimbap sim` subcommand and the simulation test suites.
+//!
+//! Everything here is a pure function of the seed: the fault plan a fuzz
+//! run injects, the heartbeat configuration it runs under, and the CLI
+//! command that replays it. Tests that fail on a seed print the replay
+//! command and the CLI reconstructs the identical run — same graph, same
+//! faults, same schedule — because both sides derive from this module.
+
+use kimbap_comm::{FaultPlan, HeartbeatConfig, TransportConfig};
+use std::time::Duration;
+
+/// One splitmix64 step: advances `z` and returns a well-mixed draw.
+pub fn splitmix(z: &mut u64) -> u64 {
+    *z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut x = *z;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Derives the randomized fault plan a simulated fuzz run injects for
+/// `seed`: always some background frame noise (drop/duplicate/corrupt/
+/// delay rates), plus a crash and/or a stall in the first few rounds
+/// about a quarter of the time each. Pure function of the seed, so a
+/// replay reconstructs the identical plan.
+pub fn random_fault_plan(seed: u64, hosts: usize) -> FaultPlan {
+    let mut z = seed ^ 0x5eed_fa57;
+    let mut rate = |hi: u64| (splitmix(&mut z) % hi) as f64 / 1000.0;
+    let mut plan = FaultPlan::new()
+        .with_seed(seed ^ 0x0bad_cafe)
+        .drop_rate(rate(30))
+        .duplicate_rate(rate(20))
+        .corrupt_rate(rate(20))
+        .delay_rate(rate(50));
+    if hosts >= 2 {
+        if splitmix(&mut z) % 100 < 25 {
+            let h = 1 + (splitmix(&mut z) as usize) % (hosts - 1);
+            plan = plan.crash_host(h, 1 + splitmix(&mut z) % 3);
+        }
+        if splitmix(&mut z) % 100 < 25 {
+            let h = (splitmix(&mut z) as usize) % hosts;
+            let round = 1 + splitmix(&mut z) % 3;
+            let millis = (150 + splitmix(&mut z) % 350) as u32;
+            plan = plan.stall_host(h, round, millis);
+        }
+    }
+    plan
+}
+
+/// The transport configuration simulated fuzz runs use: a fast heartbeat
+/// (10 ms interval, 80 ms suspicion) so injected stalls are detected —
+/// both delays elapse on the virtual clock, costing microseconds of wall
+/// time.
+pub fn sim_transport_config() -> TransportConfig {
+    TransportConfig::with_heartbeat(HeartbeatConfig {
+        interval: Duration::from_millis(10),
+        suspect_after: Duration::from_millis(80),
+    })
+}
+
+/// The exact CLI invocation that replays one simulated fuzz seed.
+pub fn replay_command(
+    algo: &str,
+    seed: u64,
+    hosts: usize,
+    threads: usize,
+    scale: u32,
+    ef: usize,
+) -> String {
+    format!(
+        "kimbap sim --algo {algo} --seed {seed} --hosts {hosts} --threads {threads} \
+         --scale {scale} --ef {ef} --trace trace.jsonl"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plans_are_seed_deterministic() {
+        for seed in 0..64 {
+            assert_eq!(
+                format!("{:?}", random_fault_plan(seed, 3)),
+                format!("{:?}", random_fault_plan(seed, 3))
+            );
+        }
+    }
+
+    #[test]
+    fn fault_plans_vary_with_seed() {
+        let distinct = (0..64)
+            .map(|s| format!("{:?}", random_fault_plan(s, 3)))
+            .collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 32, "plans should differ across seeds");
+    }
+
+    #[test]
+    fn single_host_plans_have_no_structured_faults() {
+        // With one host there is no peer to crash or stall relative to.
+        let plan = random_fault_plan(9, 1);
+        assert_eq!(format!("{plan:?}"), format!("{:?}", random_fault_plan(9, 1)));
+    }
+}

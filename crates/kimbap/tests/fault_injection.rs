@@ -8,9 +8,15 @@
 //!   used by the hand-written algorithms);
 //! * host crashes survived by round-level checkpoint replay (the engine's
 //!   recovery path for compiled plans).
+//!
+//! The fixed-seed fault matrix (`fault_matrix_smoke`) runs four
+//! algorithms — cc_lp, louvain, msf, mis — on the deterministic
+//! simulation backend, with fault-free baselines computed on the in-proc
+//! backend: every matrix cell is simultaneously a recovery check and a
+//! cross-backend conformance check.
 
 use kimbap::engine::Engine;
-use kimbap_algos::{self as algos, cc::cc_lp, merge_master_values, NpmBuilder};
+use kimbap_algos::{self as algos, cc::cc_lp, merge_master_values, msf, NpmBuilder};
 use kimbap_comm::{Cluster, FaultPlan};
 use kimbap_compiler::{compile, programs, OptLevel};
 use kimbap_dist::{partition, Policy};
@@ -18,11 +24,19 @@ use kimbap_graph::gen;
 
 const HOSTS: usize = 3;
 
-/// Runs cc_lp on the cluster under `plan` and returns the merged labels.
-fn cc_lp_labels(g: &kimbap_graph::Graph, plan: FaultPlan, recovering: bool) -> Vec<u64> {
+/// Scheduler seed for matrix runs on the simulation backend.
+const SIM_SEED: u64 = 7;
+
+/// Runs cc_lp on `cluster` under `plan` and returns the merged labels.
+fn cc_lp_labels(
+    g: &kimbap_graph::Graph,
+    cluster: &Cluster,
+    plan: FaultPlan,
+    recovering: bool,
+) -> Vec<u64> {
     let parts = partition(g, Policy::EdgeCutBlocked, HOSTS);
     let b = NpmBuilder::default();
-    let per_host = Cluster::with_threads(HOSTS, 2).run_with_faults(plan, |ctx| {
+    let per_host = cluster.run_with_faults(plan, |ctx| {
         if recovering {
             ctx.run_recovering(|ctx| cc_lp(&parts[ctx.host()], ctx, &b))
         } else {
@@ -34,11 +48,11 @@ fn cc_lp_labels(g: &kimbap_graph::Graph, plan: FaultPlan, recovering: bool) -> V
 
 /// Runs louvain under `plan` (always inside `run_recovering`) and returns
 /// (composed labels, modularity bits).
-fn louvain_result(g: &kimbap_graph::Graph, plan: FaultPlan) -> (Vec<u32>, u64) {
+fn louvain_result(g: &kimbap_graph::Graph, cluster: &Cluster, plan: FaultPlan) -> (Vec<u32>, u64) {
     let parts = partition(g, Policy::EdgeCutBlocked, HOSTS);
     let b = NpmBuilder::default();
     let cfg = algos::LouvainConfig::default();
-    let results = Cluster::with_threads(HOSTS, 2).run_with_faults(plan, |ctx| {
+    let results = cluster.run_with_faults(plan, |ctx| {
         ctx.run_recovering(|ctx| algos::louvain(&parts[ctx.host()], ctx, &b, &cfg))
     });
     let modularity = results[0].modularity;
@@ -46,17 +60,49 @@ fn louvain_result(g: &kimbap_graph::Graph, plan: FaultPlan) -> (Vec<u32>, u64) {
     (labels, modularity.to_bits())
 }
 
+/// Runs msf under `plan` inside `run_recovering` and returns the
+/// canonical (sorted edges, total weight) forest.
+fn msf_forest(
+    g: &kimbap_graph::Graph,
+    cluster: &Cluster,
+    plan: FaultPlan,
+) -> (Vec<(u32, u32, u64)>, u64) {
+    let parts = partition(g, Policy::CartesianVertexCut, HOSTS);
+    let b = NpmBuilder::default();
+    let per_host = cluster.run_with_faults(plan, |ctx| {
+        ctx.run_recovering(|ctx| algos::msf(&parts[ctx.host()], ctx, &b))
+    });
+    let (mut edges, total) = msf::merge_forest(per_host);
+    edges.sort_unstable();
+    (edges, total)
+}
+
+/// Runs mis under `plan` inside `run_recovering` and returns the merged
+/// membership vector.
+fn mis_set(g: &kimbap_graph::Graph, cluster: &Cluster, plan: FaultPlan) -> Vec<bool> {
+    let parts = partition(g, Policy::CartesianVertexCut, HOSTS);
+    let b = NpmBuilder::default();
+    let per_host = cluster.run_with_faults(plan, |ctx| {
+        ctx.run_recovering(|ctx| algos::mis(&parts[ctx.host()], ctx, &b))
+    });
+    merge_master_values(g.num_nodes(), per_host)
+}
+
+fn inproc() -> Cluster {
+    Cluster::with_threads(HOSTS, 2)
+}
+
 #[test]
 fn cc_lp_survives_targeted_frame_faults() {
     let g = gen::rmat(7, 4, 31);
-    let baseline = cc_lp_labels(&g, FaultPlan::new(), false);
+    let baseline = cc_lp_labels(&g, &inproc(), FaultPlan::new(), false);
     // One of each frame fault, spread over early rounds and host pairs.
     let plan = FaultPlan::new()
         .drop_frame(0, 1, 1)
         .duplicate_frame(2, 0, 1)
         .delay_frame(1, 2, 2)
         .corrupt_frame(2, 1, 2, 123);
-    let faulted = cc_lp_labels(&g, plan, false);
+    let faulted = cc_lp_labels(&g, &inproc(), plan, false);
     assert_eq!(faulted, baseline);
 }
 
@@ -79,7 +125,7 @@ fn cc_lp_reports_retransmits_under_drops() {
 #[test]
 fn cc_lp_survives_random_fault_soup() {
     let g = gen::rmat(6, 4, 9);
-    let baseline = cc_lp_labels(&g, FaultPlan::new(), false);
+    let baseline = cc_lp_labels(&g, &inproc(), FaultPlan::new(), false);
     for seed in [1u64, 42, 1337] {
         let plan = FaultPlan::new()
             .with_seed(seed)
@@ -87,7 +133,7 @@ fn cc_lp_survives_random_fault_soup() {
             .duplicate_rate(0.03)
             .corrupt_rate(0.03);
         assert_eq!(
-            cc_lp_labels(&g, plan, false),
+            cc_lp_labels(&g, &inproc(), plan, false),
             baseline,
             "seed {seed} diverged"
         );
@@ -97,10 +143,10 @@ fn cc_lp_survives_random_fault_soup() {
 #[test]
 fn cc_lp_recovers_from_mid_run_crash() {
     let g = gen::rmat(7, 4, 31);
-    let baseline = cc_lp_labels(&g, FaultPlan::new(), false);
+    let baseline = cc_lp_labels(&g, &inproc(), FaultPlan::new(), false);
     // Host 1 crashes entering round 2; all hosts replay from the top.
     let plan = FaultPlan::new().crash_host(1, 2);
-    let recovered = cc_lp_labels(&g, plan, true);
+    let recovered = cc_lp_labels(&g, &inproc(), plan, true);
     assert_eq!(recovered, baseline);
 }
 
@@ -162,9 +208,9 @@ fn engine_recovers_from_crash_plus_frame_faults() {
 #[test]
 fn louvain_recovers_from_mid_run_crash() {
     let g = gen::rmat(6, 6, 4);
-    let baseline = louvain_result(&g, FaultPlan::new());
+    let baseline = louvain_result(&g, &inproc(), FaultPlan::new());
     let plan = FaultPlan::new().crash_host(0, 3);
-    let recovered = louvain_result(&g, plan);
+    let recovered = louvain_result(&g, &inproc(), plan);
     assert_eq!(recovered.0, baseline.0, "community labels diverged");
     assert_eq!(recovered.1, baseline.1, "modularity diverged");
 }
@@ -172,20 +218,23 @@ fn louvain_recovers_from_mid_run_crash() {
 #[test]
 fn louvain_survives_frame_faults() {
     let g = gen::rmat(6, 6, 4);
-    let baseline = louvain_result(&g, FaultPlan::new());
+    let baseline = louvain_result(&g, &inproc(), FaultPlan::new());
     let plan = FaultPlan::new()
         .drop_frame(1, 0, 1)
         .duplicate_frame(0, 2, 2)
         .with_seed(11)
         .corrupt_rate(0.02);
-    assert_eq!(louvain_result(&g, plan), baseline);
+    assert_eq!(louvain_result(&g, &inproc(), plan), baseline);
 }
 
 /// The fixed-seed fault matrix run by scripts/ci.sh: three plans (drops,
-/// corruption, mid-run crash) x two algorithms (cc, louvain).
+/// corruption, mid-run crash) x four algorithms (cc_lp, louvain, msf,
+/// mis), executed on the deterministic simulation backend against
+/// fault-free in-proc baselines.
 #[test]
 fn fault_matrix_smoke() {
     let g = gen::rmat(6, 4, 9);
+    let gw = gen::with_random_weights(&g, 1 << 16, 9 ^ 0x5eed);
     let plans = || {
         [
             FaultPlan::new().drop_frame(0, 1, 1).with_seed(1).drop_rate(0.02),
@@ -196,22 +245,42 @@ fn fault_matrix_smoke() {
             FaultPlan::new().crash_host(1, 2),
         ]
     };
+    let sim = || Cluster::with_threads(HOSTS, 2).sim(SIM_SEED);
 
-    let cc_baseline = cc_lp_labels(&g, FaultPlan::new(), true);
+    let cc_baseline = cc_lp_labels(&g, &inproc(), FaultPlan::new(), true);
     for (i, plan) in plans().into_iter().enumerate() {
         assert_eq!(
-            cc_lp_labels(&g, plan, true),
+            cc_lp_labels(&g, &sim(), plan, true),
             cc_baseline,
             "cc diverged under plan {i}"
         );
     }
 
-    let louvain_baseline = louvain_result(&g, FaultPlan::new());
+    let louvain_baseline = louvain_result(&g, &inproc(), FaultPlan::new());
     for (i, plan) in plans().into_iter().enumerate() {
         assert_eq!(
-            louvain_result(&g, plan),
+            louvain_result(&g, &sim(), plan),
             louvain_baseline,
             "louvain diverged under plan {i}"
+        );
+    }
+
+    let msf_baseline = msf_forest(&gw, &inproc(), FaultPlan::new());
+    for (i, plan) in plans().into_iter().enumerate() {
+        assert_eq!(
+            msf_forest(&gw, &sim(), plan),
+            msf_baseline,
+            "msf diverged under plan {i}"
+        );
+    }
+
+    let mis_baseline = mis_set(&g, &inproc(), FaultPlan::new());
+    kimbap_algos::refcheck::check_mis(&g, &mis_baseline).expect("baseline MIS invalid");
+    for (i, plan) in plans().into_iter().enumerate() {
+        assert_eq!(
+            mis_set(&g, &sim(), plan),
+            mis_baseline,
+            "mis diverged under plan {i}"
         );
     }
 }

@@ -1,0 +1,138 @@
+//! Simulation-backed property tests: under ANY partition policy and ANY
+//! randomized fault schedule (drops, duplicates, delays, crashes,
+//! stalls), a simulated cc_lp run must either converge to the
+//! single-threaded reference labels or surface a communication error
+//! (`Timeout` / `PeerDown` / `HostFailure`) — it must never hang and
+//! never silently diverge. Failures print the `kimbap sim` command that
+//! replays the offending schedule.
+
+use kimbap::simfuzz;
+use kimbap_algos::{cc::cc_lp, merge_master_values, refcheck, NpmBuilder};
+use kimbap_comm::{Cluster, FaultPlan};
+use kimbap_dist::{partition, Policy};
+use kimbap_graph::gen;
+use proptest::prelude::*;
+
+const HOSTS: usize = 3;
+
+fn policies() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::EdgeCutBlocked),
+        Just(Policy::EdgeCutIncoming),
+        Just(Policy::EdgeCutHashed),
+        Just(Policy::CartesianVertexCut),
+    ]
+}
+
+/// `Some(inner)` half the time, `None` the other half — the vendored
+/// proptest has no `prop::option`, so build it from a weighted union.
+fn maybe<S>(inner: S) -> impl Strategy<Value = Option<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: Clone + 'static,
+{
+    prop_oneof![
+        Just(None),
+        inner.prop_map(Some).boxed(),
+    ]
+}
+
+/// Random fault schedules: per-mille frame-noise rates plus optional
+/// structured crash and stall faults in the early rounds.
+fn fault_plans() -> impl Strategy<Value = FaultPlan> {
+    (
+        (0u64..=u64::MAX, 0u64..=40, 0u64..=30, 0u64..=50),
+        maybe((1usize..HOSTS, 1u64..4)),
+        maybe((0usize..HOSTS, 1u64..4, 150u32..450)),
+    )
+        .prop_map(|((seed, drop, dup, delay), crash, stall)| {
+            let mut plan = FaultPlan::new()
+                .with_seed(seed)
+                .drop_rate(drop as f64 / 1000.0)
+                .duplicate_rate(dup as f64 / 1000.0)
+                .delay_rate(delay as f64 / 1000.0);
+            if let Some((h, r)) = crash {
+                plan = plan.crash_host(h, r);
+            }
+            if let Some((h, r, ms)) = stall {
+                plan = plan.stall_host(h, r, ms);
+            }
+            plan
+        })
+}
+
+/// Runs cc_lp on the simulation backend and classifies the outcome:
+/// `Ok(Some(labels))` converged, `Ok(None)` surfaced a communication
+/// failure, `Err` a non-communication panic (a real bug).
+fn sim_cc_lp(
+    g: &kimbap_graph::Graph,
+    policy: Policy,
+    plan: FaultPlan,
+    sim_seed: u64,
+) -> Result<Option<Vec<u64>>, String> {
+    let parts = partition(g, policy, HOSTS);
+    let b = NpmBuilder::default();
+    let cluster = Cluster::with_threads(HOSTS, 1)
+        .sim(sim_seed)
+        .with_transport_config(simfuzz::sim_transport_config());
+    let res = cluster.try_run_with_faults(plan, |ctx| {
+        ctx.run_recovering(|ctx| cc_lp(&parts[ctx.host()], ctx, &b))
+    });
+    let mut vals = Vec::with_capacity(HOSTS);
+    for r in res {
+        match r {
+            Ok(v) => vals.push(v),
+            Err(e)
+                if e.message.starts_with("communication failed")
+                    || e.message.starts_with("injected crash") =>
+            {
+                return Ok(None);
+            }
+            Err(e) => return Err(format!("non-communication panic: {e}")),
+        }
+    }
+    Ok(Some(merge_master_values(g.num_nodes(), vals)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary (policy, fault schedule, scheduler seed, graph): the run
+    /// converges to the reference labels or aborts with a surfaced
+    /// communication error.
+    #[test]
+    fn cc_lp_converges_or_surfaces(
+        policy in policies(),
+        plan in fault_plans(),
+        sim_seed in 0u64..=u64::MAX,
+        graph_seed in 0u64..64,
+    ) {
+        let g = gen::rmat(6, 4, graph_seed);
+        match sim_cc_lp(&g, policy, plan, sim_seed) {
+            Ok(Some(labels)) => {
+                prop_assert_eq!(labels, refcheck::connected_components(&g),
+                    "converged labels diverged from reference");
+            }
+            Ok(None) => {} // surfaced cleanly — acceptable under faults
+            Err(bug) => panic!("{bug}"),
+        }
+    }
+
+    /// The CLI fuzz path: everything — graph, fault plan, schedule — is
+    /// derived from ONE seed, so a failure here is replayed exactly by
+    /// the printed `kimbap sim` command.
+    #[test]
+    fn cli_fuzz_seed_converges_or_surfaces(seed in 0u64..=u64::MAX) {
+        let replay = simfuzz::replay_command("cc-lp", seed, HOSTS, 1, 6, 4);
+        let g = gen::rmat(6, 4, seed);
+        let plan = simfuzz::random_fault_plan(seed, HOSTS);
+        match sim_cc_lp(&g, Policy::CartesianVertexCut, plan, seed) {
+            Ok(Some(labels)) => {
+                prop_assert_eq!(labels, refcheck::connected_components(&g),
+                    "labels diverged from reference; replay: {}", replay);
+            }
+            Ok(None) => {}
+            Err(bug) => panic!("{bug}; replay: {replay}"),
+        }
+    }
+}

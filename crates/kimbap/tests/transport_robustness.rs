@@ -1,17 +1,23 @@
 //! Cross-backend robustness: the transport abstraction must not change
 //! algorithm output, and recovery must behave identically whether hosts
-//! are threads with in-memory mailboxes or threads connected over real
-//! TCP loopback sockets.
+//! are threads with in-memory mailboxes, threads connected over real TCP
+//! loopback sockets, or cooperatively scheduled hosts inside the
+//! deterministic simulation.
 //!
-//! Two properties are checked end to end:
+//! Three properties are checked end to end:
 //! * the fixed-seed fault matrix (drops, corruption, mid-run crash x
-//!   cc_lp, louvain) produces bit-identical output on both backends;
+//!   cc_lp, louvain, msf) produces bit-identical output on all three
+//!   backends, and the injecting plans actually exercise the repair path
+//!   (nonzero retransmission counters);
 //! * a hung host is flagged — by the phase deadline or by the heartbeat
 //!   failure detector — and checkpoint replay restores the fault-free
-//!   answer on both backends.
+//!   answer. Each detector is checked on the simulation backend (where
+//!   the stall elapses in virtual time) plus one real backend, so both
+//!   real transports stay covered without paying every wall-clock stall
+//!   twice.
 
 use kimbap::engine::{Engine, EngineConfig};
-use kimbap_algos::{self as algos, cc::cc_lp, merge_master_values, NpmBuilder};
+use kimbap_algos::{self as algos, cc::cc_lp, merge_master_values, msf, NpmBuilder};
 use kimbap_comm::{Cluster, FaultPlan, HeartbeatConfig, TransportConfig};
 use kimbap_compiler::{compile, programs, OptLevel};
 use kimbap_dist::{partition, Policy};
@@ -20,12 +26,18 @@ use std::time::Duration;
 
 const HOSTS: usize = 3;
 
-/// The two cluster configurations under test: in-memory mailboxes and
-/// TCP loopback sockets, otherwise identical.
-fn backends() -> [(&'static str, Cluster); 2] {
+/// Scheduler seed for the simulation backend in the conformance matrix;
+/// conformance must hold for any seed, this pins one for reproducibility.
+const SIM_SEED: u64 = 0xC0FFEE;
+
+/// The three cluster configurations under test: in-memory mailboxes, TCP
+/// loopback sockets, and the deterministic simulation — otherwise
+/// identical.
+fn backends() -> [(&'static str, Cluster); 3] {
     [
         ("inproc", Cluster::with_threads(HOSTS, 2)),
         ("tcp", Cluster::with_threads(HOSTS, 2).tcp()),
+        ("sim", Cluster::with_threads(HOSTS, 2).sim(SIM_SEED)),
     ]
 }
 
@@ -41,13 +53,20 @@ fn matrix_plans() -> [FaultPlan; 3] {
     ]
 }
 
-fn cc_lp_labels(g: &kimbap_graph::Graph, cluster: &Cluster, plan: FaultPlan) -> Vec<u64> {
+/// cc_lp labels plus the cluster-wide retransmission count.
+fn cc_lp_labels(g: &kimbap_graph::Graph, cluster: &Cluster, plan: FaultPlan) -> (Vec<u64>, u64) {
     let parts = partition(g, Policy::EdgeCutBlocked, HOSTS);
     let b = NpmBuilder::default();
     let per_host = cluster.run_with_faults(plan, |ctx| {
-        ctx.run_recovering(|ctx| cc_lp(&parts[ctx.host()], ctx, &b))
+        let labels = ctx.run_recovering(|ctx| cc_lp(&parts[ctx.host()], ctx, &b));
+        (labels, ctx.stats().retransmits)
     });
-    merge_master_values(g.num_nodes(), per_host)
+    let retransmits = per_host.iter().map(|(_, r)| r).sum();
+    let labels = merge_master_values(
+        g.num_nodes(),
+        per_host.into_iter().map(|(l, _)| l).collect(),
+    );
+    (labels, retransmits)
 }
 
 fn louvain_labels(g: &kimbap_graph::Graph, cluster: &Cluster, plan: FaultPlan) -> (Vec<u32>, u64) {
@@ -61,26 +80,57 @@ fn louvain_labels(g: &kimbap_graph::Graph, cluster: &Cluster, plan: FaultPlan) -
     (algos::compose_labels(g.num_nodes(), &results), modularity)
 }
 
-/// The PR's acceptance matrix: three seeded plans x two algorithms must
-/// produce identical output on the in-proc and TCP-loopback backends.
+/// The minimum spanning forest as a canonical (sorted edges, total
+/// weight) pair.
+fn msf_forest(
+    g: &kimbap_graph::Graph,
+    cluster: &Cluster,
+    plan: FaultPlan,
+) -> (Vec<(u32, u32, u64)>, u64) {
+    let parts = partition(g, Policy::CartesianVertexCut, HOSTS);
+    let b = NpmBuilder::default();
+    let per_host = cluster.run_with_faults(plan, |ctx| {
+        ctx.run_recovering(|ctx| algos::msf(&parts[ctx.host()], ctx, &b))
+    });
+    let (mut edges, total) = msf::merge_forest(per_host);
+    edges.sort_unstable();
+    (edges, total)
+}
+
+/// The PR's acceptance matrix: three seeded plans x three algorithms must
+/// produce identical output on the in-proc, TCP-loopback, and simulation
+/// backends — and the frame-injecting plans must actually exercise the
+/// retransmission path on every backend.
 #[test]
 fn fault_matrix_is_transport_invariant() {
     let g = gen::rmat(6, 4, 9);
-    let cc_baseline = cc_lp_labels(&g, &Cluster::with_threads(HOSTS, 2), FaultPlan::new());
-    let louvain_baseline = louvain_labels(&g, &Cluster::with_threads(HOSTS, 2), FaultPlan::new());
+    let gw = gen::with_random_weights(&g, 1 << 16, 9 ^ 0x5eed);
+    let baseline = Cluster::with_threads(HOSTS, 2);
+    let (cc_baseline, _) = cc_lp_labels(&g, &baseline, FaultPlan::new());
+    let louvain_baseline = louvain_labels(&g, &baseline, FaultPlan::new());
+    let msf_baseline = msf_forest(&gw, &baseline, FaultPlan::new());
     for (name, cluster) in backends() {
         for (i, plan) in matrix_plans().into_iter().enumerate() {
-            assert_eq!(
-                cc_lp_labels(&g, &cluster, plan),
-                cc_baseline,
-                "cc diverged under plan {i} on {name}"
-            );
+            let (labels, retransmits) = cc_lp_labels(&g, &cluster, plan);
+            assert_eq!(labels, cc_baseline, "cc diverged under plan {i} on {name}");
+            if i == 0 {
+                // The drop plan removes a frame outright: repair must go
+                // through the retransmission path, on every backend.
+                assert!(retransmits >= 1, "drop plan caused no retransmits on {name}");
+            }
         }
         for (i, plan) in matrix_plans().into_iter().enumerate() {
             assert_eq!(
                 louvain_labels(&g, &cluster, plan),
                 louvain_baseline,
                 "louvain diverged under plan {i} on {name}"
+            );
+        }
+        for (i, plan) in matrix_plans().into_iter().enumerate() {
+            assert_eq!(
+                msf_forest(&gw, &cluster, plan),
+                msf_baseline,
+                "msf diverged under plan {i} on {name}"
             );
         }
     }
@@ -112,9 +162,10 @@ fn engine_cc_sv(
 
 /// A host that stalls mid-round is flagged by the phase deadline; every
 /// host aborts the round and checkpoint replay restores the fault-free
-/// labels. Must hold on both backends.
+/// labels. Checked on the simulation backend (virtual time) and in-proc
+/// (real clock).
 #[test]
-fn engine_hung_host_recovers_via_deadline_on_both_backends() {
+fn engine_hung_host_recovers_via_deadline() {
     let g = gen::rmat(7, 4, 31);
     let config = EngineConfig {
         phase_timeout: Some(Duration::from_millis(150)),
@@ -123,7 +174,11 @@ fn engine_hung_host_recovers_via_deadline_on_both_backends() {
     let (baseline, t0, _) =
         engine_cc_sv(&g, &Cluster::with_threads(HOSTS, 2), FaultPlan::new(), config);
     assert_eq!(t0, 0, "fault-free run must not trip the deadline");
-    for (name, cluster) in backends() {
+    let backends = [
+        ("sim", Cluster::with_threads(HOSTS, 2).sim(SIM_SEED)),
+        ("inproc", Cluster::with_threads(HOSTS, 2)),
+    ];
+    for (name, cluster) in backends {
         let plan = FaultPlan::new().stall_host(1, 2, 400);
         let (labels, timeouts, _) = engine_cc_sv(&g, &cluster, plan, config);
         assert_eq!(labels, baseline, "stall recovery diverged on {name}");
@@ -133,10 +188,11 @@ fn engine_hung_host_recovers_via_deadline_on_both_backends() {
 
 /// The same hung host flagged by the heartbeat failure detector instead:
 /// no phase deadline configured, but the stalled host goes silent past
-/// `suspect_after` and peers abort with `PeerDown`. Must hold on both
-/// backends.
+/// `suspect_after` and peers abort with `PeerDown`. Checked on the
+/// simulation backend (virtual time) and TCP loopback (real detector
+/// threads).
 #[test]
-fn engine_hung_host_recovers_via_heartbeat_on_both_backends() {
+fn engine_hung_host_recovers_via_heartbeat() {
     let g = gen::rmat(7, 4, 31);
     let hb = TransportConfig::with_heartbeat(HeartbeatConfig {
         interval: Duration::from_millis(10),
@@ -148,7 +204,11 @@ fn engine_hung_host_recovers_via_heartbeat_on_both_backends() {
         FaultPlan::new(),
         EngineConfig::default(),
     );
-    for (name, cluster) in backends() {
+    let backends = [
+        ("sim", Cluster::with_threads(HOSTS, 2).sim(SIM_SEED)),
+        ("tcp", Cluster::with_threads(HOSTS, 2).tcp()),
+    ];
+    for (name, cluster) in backends {
         let cluster = cluster.with_transport_config(hb.clone());
         let plan = FaultPlan::new().stall_host(1, 2, 400);
         let (labels, _, suspicions) = engine_cc_sv(&g, &cluster, plan, EngineConfig::default());

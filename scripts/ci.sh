@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: build, full test suite, lints, and the fixed-seed
-# fault-injection matrix (3 plans x 2 algorithms; see
-# crates/kimbap/tests/fault_injection.rs::fault_matrix_smoke).
+# Tier-1 CI gate: build, full test suite, lints, the fixed-seed
+# fault-injection matrix (3 plans x 4 algorithms on the simulation
+# backend; see crates/kimbap/tests/fault_injection.rs::fault_matrix_smoke),
+# and a seed-replayable simulation fuzz smoke.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,8 +24,12 @@ cargo bench -q --workspace --no-run
 echo "==> fault-matrix smoke (fixed seeds)"
 cargo test --release -q -p kimbap --test fault_injection fault_matrix_smoke
 
-echo "==> cross-backend fault matrix (in-proc vs TCP loopback)"
+echo "==> cross-backend fault matrix (sim vs in-proc vs TCP loopback)"
 cargo test --release -q -p kimbap --test transport_robustness
+
+echo "==> simulation fuzz smoke (seed-replayable; failures print a replay cmd)"
+./target/release/kimbap sim --algo cc-lp --seeds 50
+./target/release/kimbap sim --algo msf --seeds 50
 
 echo "==> TCP-loopback smoke (multi-process kimbap bin vs in-proc, diffed)"
 SMOKE_DIR=$(mktemp -d)
