@@ -27,6 +27,14 @@ pub struct RunStats {
     pub heartbeat_suspicions: u64,
     /// Collectives aborted on a phase deadline (sum over hosts).
     pub timeout_aborts: u64,
+    /// Membership generations agreed past permanent host loss (max over
+    /// hosts: every survivor of the same shrink counts it once).
+    pub membership_changes: u64,
+    /// BSP rounds executed on a shrunk membership (max over hosts).
+    pub degraded_rounds: u64,
+    /// Master keys received from other hosts by re-shard exchanges after
+    /// a shrink (sum over hosts).
+    pub resharded_keys: u64,
     /// Seconds in the request-compute phase (max over hosts; zero unless
     /// the workload reports phases).
     pub request_compute_secs: f64,
@@ -75,6 +83,9 @@ pub fn run_timed<R: Send>(
         stats.crc_rejects += s.crc_rejects;
         stats.heartbeat_suspicions += s.heartbeat_suspicions;
         stats.timeout_aborts += s.timeout_aborts;
+        stats.membership_changes = stats.membership_changes.max(s.membership_changes);
+        stats.degraded_rounds = stats.degraded_rounds.max(s.degraded_rounds);
+        stats.resharded_keys += s.resharded_keys;
         stats.request_compute_secs =
             stats.request_compute_secs.max(s.request_compute_nanos as f64 / 1e9);
         stats.request_sync_secs = stats.request_sync_secs.max(s.request_sync_nanos as f64 / 1e9);

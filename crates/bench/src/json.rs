@@ -42,6 +42,8 @@ fn record_run_to(path: &str, bench: &str, case: &str, system: &str, hosts: usize
                 "\"secs\":{:.6},\"comm_secs\":{:.6},\"messages\":{},\"bytes\":{},",
                 "\"retransmits\":{},\"crc_rejects\":{},",
                 "\"heartbeat_suspicions\":{},\"timeout_aborts\":{},",
+                "\"membership_changes\":{},\"degraded_rounds\":{},",
+                "\"resharded_keys\":{},",
                 "\"request_compute_secs\":{:.6},\"request_sync_secs\":{:.6},",
                 "\"reduce_compute_secs\":{:.6},\"reduce_sync_secs\":{:.6}}}"
             ),
@@ -57,6 +59,9 @@ fn record_run_to(path: &str, bench: &str, case: &str, system: &str, hosts: usize
             s.crc_rejects,
             s.heartbeat_suspicions,
             s.timeout_aborts,
+            s.membership_changes,
+            s.degraded_rounds,
+            s.resharded_keys,
             s.request_compute_secs,
             s.request_sync_secs,
             s.reduce_compute_secs,
@@ -170,6 +175,9 @@ mod tests {
             bytes: 1024,
             retransmits: 3,
             crc_rejects: 1,
+            membership_changes: 1,
+            degraded_rounds: 5,
+            resharded_keys: 128,
             reduce_sync_secs: 0.125,
             ..RunStats::default()
         };
@@ -207,6 +215,8 @@ mod tests {
         assert!(lines[0].contains("\"messages\":42"));
         assert!(lines[0].contains("\"retransmits\":3,\"crc_rejects\":1"));
         assert!(lines[0].contains("\"heartbeat_suspicions\":0,\"timeout_aborts\":0"));
+        assert!(lines[0]
+            .contains("\"membership_changes\":1,\"degraded_rounds\":5,\"resharded_keys\":128"));
         assert!(lines[0].contains("\"reduce_sync_secs\":0.125000"));
         assert!(lines[1].contains("\\\"quoted\\\""));
         assert!(lines[1].contains("\"ns_per_iter\":3524165.0"));

@@ -90,6 +90,15 @@ pub struct HostStats {
     pub parfor_nodes: u64,
     /// Rounds that iterated a sparse frontier instead of all nodes.
     pub sparse_rounds: u64,
+    /// Membership shrinks this host agreed to at the shrink gate (one per
+    /// generation bump; see [`HostCtx::recover_shrink`]).
+    pub membership_changes: u64,
+    /// BSP rounds executed on a degraded (shrunk) membership.
+    pub degraded_rounds: u64,
+    /// Master keys this host adopted or redistributed while re-sharding a
+    /// departed host's state (engines report these via
+    /// [`HostCtx::add_resharded_keys`]).
+    pub resharded_keys: u64,
 }
 
 /// The four phases of one NPM BSP round (Fig. 6 of the paper), used to
@@ -129,6 +138,13 @@ impl HostStats {
         self.active_nodes += other.active_nodes;
         self.parfor_nodes += other.parfor_nodes;
         self.sparse_rounds = self.sparse_rounds.max(other.sparse_rounds);
+        // Shrinks are cluster-wide events every survivor counts once, and
+        // degraded rounds run at the same cadence everywhere: max keeps
+        // both in units of events/rounds. Resharded keys are per-host
+        // adoption work, so they sum like traffic.
+        self.membership_changes = self.membership_changes.max(other.membership_changes);
+        self.degraded_rounds = self.degraded_rounds.max(other.degraded_rounds);
+        self.resharded_keys += other.resharded_keys;
     }
 }
 
@@ -170,6 +186,15 @@ pub enum CommError {
         /// Human-readable description of the violation.
         detail: String,
     },
+    /// One or more hosts departed permanently: recovery within the current
+    /// membership is impossible. Callers may shrink onto the survivors
+    /// ([`HostCtx::recover_shrink`] / [`HostCtx::run_elastic`]) or abort.
+    MembershipLost {
+        /// The permanently departed hosts (physical ids).
+        departed: Vec<usize>,
+        /// The membership generation in which the loss was observed.
+        generation: u64,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -187,6 +212,13 @@ impl std::fmt::Display for CommError {
                 "frame loss: hosts {hosts:?} missing frames after {attempts} retransmits"
             ),
             CommError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+            CommError::MembershipLost {
+                departed,
+                generation,
+            } => write!(
+                f,
+                "membership lost: hosts {departed:?} permanently departed (generation {generation})"
+            ),
         }
     }
 }
@@ -207,6 +239,16 @@ pub enum CrashSignal {
         /// The round it was entering.
         round: u64,
     },
+    /// A [`crate::FaultKind::KillHost`] fault fired on this host: the loss
+    /// is permanent, so no recovery path may restart this host. Survivors
+    /// observe it as [`CommError::MembershipLost`] once their recovery
+    /// alignment fails.
+    Killed {
+        /// The killed host (physical id).
+        host: usize,
+        /// The round it was entering.
+        round: u64,
+    },
     /// An infallible collective wrapper observed a communication error.
     Comm(CommError),
 }
@@ -216,6 +258,9 @@ impl std::fmt::Display for CrashSignal {
         match self {
             CrashSignal::Injected { host, round } => {
                 write!(f, "injected crash of host {host} at round {round}")
+            }
+            CrashSignal::Killed { host, round } => {
+                write!(f, "permanent host loss: host {host} killed at round {round}")
             }
             CrashSignal::Comm(e) => write!(f, "communication failed: {e}"),
         }
@@ -238,6 +283,51 @@ impl std::fmt::Display for HostError {
 }
 
 impl std::error::Error for HostError {}
+
+/// The agreed outcome of a membership shrink
+/// ([`HostCtx::recover_shrink`]): who departed and where this host stood
+/// in the old membership, in **old logical ranks** so state-adoption code
+/// (checkpoint replicas keyed by old ownership) can relocate every
+/// departed shard deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShrinkOutcome {
+    /// Old logical ranks of the hosts that permanently departed.
+    pub departed: Vec<usize>,
+    /// This host's logical rank in the old membership.
+    pub my_old_rank: usize,
+    /// The old membership size.
+    pub old_count: usize,
+    /// The new membership generation (bumped by this shrink).
+    pub generation: u64,
+}
+
+/// The full membership mask for an `n`-host cluster (saturated past 64
+/// hosts, where shrinking is unsupported).
+fn full_mask(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Whether physical host `h` is in `mask` (hosts past bit 63 are always
+/// members — clusters that large never shrink).
+fn in_mask(mask: u64, h: usize) -> bool {
+    h >= 64 || mask & (1u64 << h) != 0
+}
+
+/// Set when the current process hosts exactly one member of a
+/// multi-process mesh (`run_transport_host`): a permanent kill fault then
+/// exits the process instead of unwinding, so peers observe a real dead
+/// worker (EOF on every connection) rather than an in-process panic.
+static PROCESS_PER_HOST: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// The exit code a killed multi-process worker dies with (see
+/// [`crate::FaultKind::KillHost`]); launchers treat it as an injected
+/// permanent loss rather than a harness bug.
+pub const KILLED_EXIT_CODE: i32 = 86;
 
 /// Best-effort extraction of a panic payload's message.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -559,6 +649,8 @@ where
         recv_seq: (0..num_hosts).map(|_| AtomicU64::new(0)).collect(),
         round: AtomicU64::new(0),
         deadline: Mutex::new(Deadline::none()),
+        member_mask: AtomicU64::new(full_mask(num_hosts)),
+        generation: AtomicU64::new(0),
     };
     let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
     match result {
@@ -593,6 +685,7 @@ where
     T: Transport,
     F: FnOnce(&HostCtx) -> R,
 {
+    PROCESS_PER_HOST.store(true, Ordering::Relaxed);
     run_host(transport, threads, Arc::new(FaultState::new(plan)), f)
 }
 
@@ -627,6 +720,13 @@ pub struct HostCtx<'a> {
     /// Ambient phase deadline applied by the unsuffixed collectives; the
     /// engine re-stamps it each phase from `EngineConfig::phase_timeout`.
     deadline: Mutex<Deadline>,
+    /// Bitmask of physical host ids still in the membership (bit `h` set ⇔
+    /// host `h` is a member). Starts full; [`HostCtx::recover_shrink`]
+    /// clears departed hosts' bits. Clusters of more than 64 hosts run with
+    /// a saturated mask and cannot shrink.
+    member_mask: AtomicU64,
+    /// Membership generation: bumped once per agreed shrink.
+    generation: AtomicU64,
 }
 
 /// Internal atomic counters backing [`HostStats`].
@@ -646,17 +746,65 @@ struct StatCells {
     active_nodes: AtomicU64,
     parfor_nodes: AtomicU64,
     sparse_rounds: AtomicU64,
+    membership_changes: AtomicU64,
+    degraded_rounds: AtomicU64,
+    resharded_keys: AtomicU64,
 }
 
 impl<'a> HostCtx<'a> {
-    /// This host's id in `0..num_hosts`.
+    /// This host's **logical** rank in `0..num_hosts()`.
+    ///
+    /// Equal to the physical host id until a shrink; afterwards ranks are
+    /// compacted over the surviving membership (survivor with the lowest
+    /// physical id becomes rank 0, and so on), so SPMD code that
+    /// partitions work by `host()/num_hosts()` transparently covers the
+    /// whole key space on the shrunk cluster.
     pub fn host(&self) -> usize {
+        let mask = self.member_mask.load(Ordering::Relaxed);
+        if mask == full_mask(self.num_hosts) {
+            return self.host;
+        }
+        (0..self.host).filter(|&h| in_mask(mask, h)).count()
+    }
+
+    /// Number of hosts in the current membership (the cluster size until a
+    /// shrink, the survivor count after).
+    pub fn num_hosts(&self) -> usize {
+        let mask = self.member_mask.load(Ordering::Relaxed);
+        if mask == full_mask(self.num_hosts) {
+            return self.num_hosts;
+        }
+        (0..self.num_hosts).filter(|&h| in_mask(mask, h)).count()
+    }
+
+    /// This host's fixed physical id in the original `0..cluster_size`
+    /// launch (the id transports and fault plans address).
+    pub fn physical_host(&self) -> usize {
         self.host
     }
 
-    /// Number of hosts in the cluster.
-    pub fn num_hosts(&self) -> usize {
-        self.num_hosts
+    /// The physical host ids of the current membership, ascending; logical
+    /// rank `r` is `members()[r]`.
+    pub fn members(&self) -> Vec<usize> {
+        let mask = self.member_mask.load(Ordering::Relaxed);
+        (0..self.num_hosts).filter(|&h| in_mask(mask, h)).collect()
+    }
+
+    /// The current membership generation (0 until the first shrink).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Physical ids of hosts that permanently departed but are not yet
+    /// excluded by a shrink verdict. Non-empty exactly when the next
+    /// recovery must shrink the membership instead of realigning it.
+    pub fn pending_departures(&self) -> Vec<usize> {
+        self.transport.departed_hosts()
+    }
+
+    /// Whether the membership has shrunk below the launched cluster size.
+    fn degraded(&self) -> bool {
+        self.member_mask.load(Ordering::Relaxed) != full_mask(self.num_hosts)
     }
 
     /// Number of intra-host compute threads.
@@ -681,6 +829,9 @@ impl<'a> HostCtx<'a> {
     /// faults in the [`FaultPlan`]. Code that never calls this runs in
     /// round 0.
     pub fn set_round(&self, round: u64) {
+        if self.degraded() {
+            self.stats.degraded_rounds.fetch_add(1, Ordering::Relaxed);
+        }
         self.round.store(round, Ordering::Relaxed);
     }
 
@@ -741,6 +892,18 @@ impl<'a> HostCtx<'a> {
                 .note("stall", format!("round={round} millis={}", stall.as_millis()));
             self.transport.silence(stall);
             clock::sleep(stall);
+        }
+        if self.faults.kill_due(self.host, round) {
+            self.transport.note("kill", format!("round={round}"));
+            if PROCESS_PER_HOST.load(Ordering::Relaxed) {
+                // A multi-process worker dies for real: peers see EOF on
+                // every connection, exactly like a machine loss.
+                std::process::exit(KILLED_EXIT_CODE);
+            }
+            self.fail_with(CrashSignal::Killed {
+                host: self.host,
+                round,
+            });
         }
         if self.faults.crash_due(self.host, round) {
             self.transport.note("crash", format!("round={round}"));
@@ -843,7 +1006,7 @@ impl<'a> HostCtx<'a> {
     /// [`CrashSignal`] on communication failure (see
     /// [`HostCtx::try_exchange`] for the non-panicking form).
     pub fn exchange(&self, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
-        assert_eq!(outgoing.len(), self.num_hosts, "one buffer per host");
+        assert_eq!(outgoing.len(), self.num_hosts(), "one buffer per host");
         let r = self.try_exchange(outgoing);
         self.unwrap_comm(r)
     }
@@ -868,11 +1031,16 @@ impl<'a> HostCtx<'a> {
         outgoing: Vec<Vec<u8>>,
         deadline: &Deadline,
     ) -> Result<Vec<Vec<u8>>, CommError> {
-        if outgoing.len() != self.num_hosts {
+        // Buffers, results, and indices are all **logical**: position `r`
+        // talks to the host of logical rank `r` in the current membership.
+        // The physical arrays (outbox, sequence numbers, transport sends)
+        // keep their launch-time indexing underneath.
+        let members = self.members();
+        let k = members.len();
+        if outgoing.len() != k {
             return Err(CommError::Protocol {
                 detail: format!(
-                    "exchange needs one buffer per host ({}), got {}",
-                    self.num_hosts,
+                    "exchange needs one buffer per member host ({k}), got {}",
                     outgoing.len()
                 ),
             });
@@ -885,7 +1053,7 @@ impl<'a> HostCtx<'a> {
         // Flush frames a DelayFrame fault held back from an earlier
         // exchange. Their sequence numbers are stale by now, so receivers
         // ignore them — exactly the late-delivery semantics being modeled.
-        for to in 0..self.num_hosts {
+        for &to in &members {
             if to == me {
                 continue;
             }
@@ -895,14 +1063,15 @@ impl<'a> HostCtx<'a> {
             }
         }
 
-        let mut result: Vec<Vec<u8>> = vec![Vec::new(); self.num_hosts];
-        let mut got = vec![false; self.num_hosts];
+        let mut result: Vec<Vec<u8>> = vec![Vec::new(); k];
+        let mut got = vec![false; k];
 
-        for (to, payload) in outgoing.into_iter().enumerate() {
+        for (li, payload) in outgoing.into_iter().enumerate() {
+            let to = members[li];
             if to == me {
                 // Self-delivery is a local memcpy: no frame, no stats.
-                result[me] = payload;
-                got[me] = true;
+                result[li] = payload;
+                got[li] = true;
                 continue;
             }
             if !payload.is_empty() {
@@ -924,20 +1093,20 @@ impl<'a> HostCtx<'a> {
         loop {
             // Drain everything that arrived; accept only the expected
             // sequence number with a valid checksum.
-            for from in 0..self.num_hosts {
+            for (li, &from) in members.iter().enumerate() {
                 if from == me {
                     continue;
                 }
                 let arrived = self.transport.drain(from);
-                if got[from] {
+                if got[li] {
                     continue;
                 }
                 let want = self.recv_seq[from].load(Ordering::Relaxed);
                 for frame in &arrived {
                     match parse_frame(frame) {
                         Ok((seq, payload)) if seq == want => {
-                            result[from] = payload.to_vec();
-                            got[from] = true;
+                            result[li] = payload.to_vec();
+                            got[li] = true;
                             break;
                         }
                         Ok(_) => {} // duplicate or stale: ignore
@@ -946,7 +1115,7 @@ impl<'a> HostCtx<'a> {
                         }
                     }
                 }
-                if !got[from] {
+                if !got[li] {
                     self.transport.request_retx(from);
                 }
             }
@@ -954,9 +1123,10 @@ impl<'a> HostCtx<'a> {
             let flags = self.note_err(self.transport.sync_missing(still_missing, deadline))?;
 
             // All missing flags are in the snapshot; every host computes
-            // the same verdict from the same generation.
+            // the same verdict from the same generation. Flags left behind
+            // by hosts outside the membership are ignored.
             let missing_hosts: Vec<usize> =
-                (0..self.num_hosts).filter(|&h| flags[h]).collect();
+                members.iter().copied().filter(|&h| flags[h]).collect();
             if missing_hosts.is_empty() {
                 break;
             }
@@ -980,7 +1150,7 @@ impl<'a> HostCtx<'a> {
             self.note_err(self.transport.barrier(deadline))?;
         }
 
-        for from in 0..self.num_hosts {
+        for &from in &members {
             if from != me {
                 self.recv_seq[from].fetch_add(1, Ordering::Relaxed);
             }
@@ -1011,14 +1181,15 @@ impl<'a> HostCtx<'a> {
         T: Wire,
         F: Fn(T, T) -> T,
     {
+        let me = self.host();
         let buf = encode_slice(&[value]);
-        let outgoing = (0..self.num_hosts)
-            .map(|h| if h == self.host { Vec::new() } else { buf.clone() })
+        let outgoing = (0..self.num_hosts())
+            .map(|h| if h == me { Vec::new() } else { buf.clone() })
             .collect();
         let received = self.try_exchange(outgoing)?;
         let mut acc = value;
         for (h, buf) in received.iter().enumerate() {
-            if h == self.host {
+            if h == me {
                 continue;
             }
             if buf.len() != T::SIZE {
@@ -1032,11 +1203,7 @@ impl<'a> HostCtx<'a> {
             }
             let v = T::read(buf);
             // Fold in host order relative to our own position.
-            acc = if h < self.host {
-                combine(v, acc)
-            } else {
-                combine(acc, v)
-            };
+            acc = if h < me { combine(v, acc) } else { combine(acc, v) };
         }
         Ok(acc)
     }
@@ -1066,14 +1233,15 @@ impl<'a> HostCtx<'a> {
 
     /// Failure-aware all-gather (under the ambient deadline).
     pub fn try_all_gather<T: Wire>(&self, value: T) -> Result<Vec<T>, CommError> {
+        let me = self.host();
         let buf = encode_slice(&[value]);
-        let outgoing = (0..self.num_hosts)
-            .map(|h| if h == self.host { Vec::new() } else { buf.clone() })
+        let outgoing = (0..self.num_hosts())
+            .map(|h| if h == me { Vec::new() } else { buf.clone() })
             .collect();
         let received = self.try_exchange(outgoing)?;
-        let mut out = Vec::with_capacity(self.num_hosts);
+        let mut out = Vec::with_capacity(received.len());
         for (h, buf) in received.iter().enumerate() {
-            if h == self.host {
+            if h == me {
                 out.push(value);
             } else {
                 if buf.len() != T::SIZE {
@@ -1146,9 +1314,126 @@ impl<'a> HostCtx<'a> {
                     if recoveries >= MAX_RECOVERIES || !payload.is::<CrashSignal>() {
                         resume_unwind(payload);
                     }
+                    if matches!(
+                        payload.downcast_ref::<CrashSignal>(),
+                        Some(CrashSignal::Killed { .. })
+                    ) {
+                        // This host was permanently killed: it must die,
+                        // not rejoin the recovery gate.
+                        resume_unwind(payload);
+                    }
                     recoveries += 1;
                     if self.recover_align().is_err() {
-                        // A host departed for good; recovery is impossible.
+                        let departed = self.transport.departed_hosts();
+                        if !departed.is_empty() {
+                            // A host departed for good: surface the typed
+                            // verdict so callers can shrink
+                            // ([`HostCtx::run_elastic`]) or abort, instead
+                            // of a generic terminal error.
+                            self.fail_with(CrashSignal::Comm(CommError::MembershipLost {
+                                departed,
+                                generation: self.generation(),
+                            }));
+                        }
+                        resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Agrees a membership shrink with the other survivors and heals the
+    /// transport onto the reduced host set: the departed hosts are excluded
+    /// from every future collective, the membership generation is bumped,
+    /// and logical ranks ([`HostCtx::host`] / [`HostCtx::num_hosts`]) are
+    /// compacted over the survivors.
+    ///
+    /// Must be called by **every** survivor (it contains barriers),
+    /// typically after observing [`CommError::MembershipLost`].
+    /// [`HostCtx::run_elastic`] calls it automatically.
+    pub fn recover_shrink(&self) -> Result<ShrinkOutcome, CommError> {
+        if self.num_hosts > 64 {
+            return Err(CommError::Protocol {
+                detail: "membership shrink supports at most 64 hosts".to_string(),
+            });
+        }
+        self.set_deadline(Deadline::none());
+        let unbounded = Deadline::none();
+        let old_members = self.members();
+        let my_old_rank = self.host();
+        // Phase 1: every survivor stops at the shrink gate and agrees the
+        // verdict — the set of permanently departed hosts, excluded from
+        // the transport's collectives atomically with the agreement.
+        let verdict = self.transport.gate_shrink(&unbounded)?;
+        if verdict.is_empty() {
+            return Err(CommError::Protocol {
+                detail: "shrink gate agreed an empty departure set".to_string(),
+            });
+        }
+        let mut mask = self.member_mask.load(Ordering::Relaxed);
+        for &h in &verdict {
+            mask &= !(1u64 << h);
+        }
+        self.member_mask.store(mask, Ordering::Relaxed);
+        let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats.membership_changes.fetch_add(1, Ordering::Relaxed);
+        // Phase 2: clear this host's protocol state, like recover_align.
+        for h in 0..self.num_hosts {
+            self.outbox[h].lock().clear();
+            self.delayed[h].lock().clear();
+            self.send_seq[h].store(0, Ordering::Relaxed);
+            self.recv_seq[h].store(0, Ordering::Relaxed);
+        }
+        self.round.store(0, Ordering::Relaxed);
+        self.transport.recover_reset();
+        // Phase 3: heal the failure state over the survivors.
+        self.transport.shrink_heal(&unbounded)?;
+        let departed = verdict
+            .iter()
+            .map(|&h| {
+                old_members
+                    .iter()
+                    .position(|&m| m == h)
+                    .expect("shrink verdict host was not a member")
+            })
+            .collect();
+        Ok(ShrinkOutcome {
+            departed,
+            my_old_rank,
+            old_count: old_members.len(),
+            generation,
+        })
+    }
+
+    /// Runs `f` like [`HostCtx::run_recovering`], additionally surviving
+    /// **permanent** host loss: when recovery within the current membership
+    /// is impossible ([`CommError::MembershipLost`]), the survivors agree a
+    /// shrink via [`HostCtx::recover_shrink`] and re-execute `f` on the
+    /// reduced membership.
+    ///
+    /// `f` must partition its work by [`HostCtx::host`] /
+    /// [`HostCtx::num_hosts`] *inside* the closure (they change across a
+    /// shrink) and be deterministic given any membership, so the survivors
+    /// reproduce the fault-free result. Killed hosts propagate their own
+    /// [`CrashSignal::Killed`] unchanged.
+    pub fn run_elastic<F, R>(&self, mut f: F) -> R
+    where
+        F: FnMut(&HostCtx) -> R,
+    {
+        let mut shrinks = 0;
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| self.run_recovering(&mut f))) {
+                Ok(v) => return v,
+                Err(payload) => {
+                    let lost = matches!(
+                        payload.downcast_ref::<CrashSignal>(),
+                        Some(CrashSignal::Comm(CommError::MembershipLost { .. }))
+                    );
+                    if shrinks >= MAX_RECOVERIES || !lost {
+                        resume_unwind(payload);
+                    }
+                    shrinks += 1;
+                    if self.recover_shrink().is_err() {
                         resume_unwind(payload);
                     }
                 }
@@ -1173,6 +1458,9 @@ impl<'a> HostCtx<'a> {
             active_nodes: self.stats.active_nodes.load(Ordering::Relaxed),
             parfor_nodes: self.stats.parfor_nodes.load(Ordering::Relaxed),
             sparse_rounds: self.stats.sparse_rounds.load(Ordering::Relaxed),
+            membership_changes: self.stats.membership_changes.load(Ordering::Relaxed),
+            degraded_rounds: self.stats.degraded_rounds.load(Ordering::Relaxed),
+            resharded_keys: self.stats.resharded_keys.load(Ordering::Relaxed),
         }
     }
 
@@ -1193,6 +1481,9 @@ impl<'a> HostCtx<'a> {
         self.stats.active_nodes.store(0, Ordering::Relaxed);
         self.stats.parfor_nodes.store(0, Ordering::Relaxed);
         self.stats.sparse_rounds.store(0, Ordering::Relaxed);
+        self.stats.membership_changes.store(0, Ordering::Relaxed);
+        self.stats.degraded_rounds.store(0, Ordering::Relaxed);
+        self.stats.resharded_keys.store(0, Ordering::Relaxed);
     }
 
     /// Attributes `nanos` of wall-clock time to one NPM round phase. Called
@@ -1230,6 +1521,12 @@ impl<'a> HostCtx<'a> {
     pub fn add_traffic(&self, messages: u64, bytes: u64) {
         self.stats.messages.fetch_add(messages, Ordering::Relaxed);
         self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records master keys adopted or redistributed while re-sharding a
+    /// departed host's state (engines report these after a shrink).
+    pub fn add_resharded_keys(&self, keys: u64) {
+        self.stats.resharded_keys.fetch_add(keys, Ordering::Relaxed);
     }
 }
 
@@ -1781,5 +2078,102 @@ mod tests {
             .sim(55)
             .run_with_faults(plan, |ctx| ctx.run_recovering(work));
         assert_eq!(res, baseline);
+    }
+
+    // ----- permanent host loss / membership shrink ------------------------
+
+    /// Membership-independent SPMD work: each host sums the keys it owns
+    /// under `key % num_hosts() == host()`, so the all-reduced total is the
+    /// same whatever the membership — the shrunk survivors must reproduce
+    /// the fault-free value exactly.
+    fn partitioned_sum(ctx: &HostCtx) -> u64 {
+        let mut acc = 0u64;
+        for round in 1..=4u64 {
+            ctx.set_round(round);
+            let k = ctx.num_hosts();
+            let me = ctx.host();
+            let local: u64 = (0..1000u64)
+                .filter(|v| (*v as usize) % k == me)
+                .map(|v| v.wrapping_mul(round))
+                .sum();
+            acc = acc.wrapping_mul(31).wrapping_add(
+                ctx.all_reduce_u64(local, |a, b| a.wrapping_add(b)),
+            );
+        }
+        acc
+    }
+
+    fn assert_shrink_survives(cluster: Cluster) {
+        let baseline = Cluster::new(4).run(partitioned_sum);
+        let plan = FaultPlan::new().kill_host(1, 2);
+        let res = cluster.try_run_with_faults(plan, |ctx| {
+            let v = ctx.run_elastic(partitioned_sum);
+            (v, ctx.stats(), ctx.members(), ctx.generation())
+        });
+        for h in [0usize, 2, 3] {
+            let (v, stats, members, generation) =
+                res[h].as_ref().unwrap_or_else(|e| panic!("host {h}: {e}"));
+            assert_eq!(*v, baseline[0], "survivor {h} diverged");
+            assert_eq!(members, &vec![0, 2, 3]);
+            assert_eq!(*generation, 1);
+            assert_eq!(stats.membership_changes, 1);
+            assert!(stats.degraded_rounds >= 1, "no degraded rounds counted");
+        }
+        let err = res[1].as_ref().unwrap_err();
+        assert!(
+            err.message.contains("permanent host loss"),
+            "victim reported: {}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn killed_host_shrinks_inproc() {
+        assert_shrink_survives(Cluster::new(4));
+    }
+
+    #[test]
+    fn killed_host_shrinks_sim() {
+        assert_shrink_survives(Cluster::new(4).sim(77));
+    }
+
+    #[test]
+    fn killed_host_shrinks_tcp_loopback() {
+        assert_shrink_survives(Cluster::new(4).tcp());
+    }
+
+    #[test]
+    fn killed_host_shrink_is_seed_reproducible() {
+        let run = || {
+            Cluster::new(4)
+                .sim(99)
+                .try_run_with_faults(FaultPlan::new().kill_host(2, 3), |ctx| {
+                    ctx.run_elastic(partitioned_sum)
+                })
+                .into_iter()
+                .map(|r| r.map_err(|e| e.message))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn membership_lost_without_shrink_is_typed() {
+        // Without run_elastic, survivors surface the typed verdict instead
+        // of a generic terminal error.
+        let plan = FaultPlan::new().kill_host(1, 2);
+        let res = Cluster::new(3).try_run_with_faults(plan, |ctx| {
+            ctx.run_recovering(partitioned_sum)
+        });
+        // The victim is host 1; survivors may additionally list each other
+        // (whichever survivor aborts first departs too, cascading).
+        for h in [0usize, 2] {
+            let err = res[h].as_ref().unwrap_err();
+            assert!(
+                err.message.contains("membership lost") && err.message.contains('1'),
+                "survivor {h} reported: {}",
+                err.message
+            );
+        }
     }
 }

@@ -33,6 +33,12 @@ pub enum FaultKind {
     },
     /// The host panics (simulated crash) on entry to its next collective.
     CrashHost,
+    /// The host is lost permanently on entry to its next collective: it
+    /// never participates in recovery alignment again, so survivors must
+    /// either shrink the membership (`--allow-shrink`) or abort with
+    /// `CommError::MembershipLost`. In multi-process mode the worker
+    /// process exits instead of panicking, modeling a machine death.
+    KillHost,
     /// The host goes silent (stops sending, including heartbeats) for the
     /// given duration on entry to its next collective — modeling a hung
     /// (but not crashed) worker. Detected by the heartbeat failure
@@ -159,6 +165,20 @@ impl FaultPlan {
         })
     }
 
+    /// Permanently kills `host` when it enters its first collective of
+    /// `round`. Unlike [`FaultPlan::crash_host`], the victim never returns:
+    /// recovery alignment cannot complete and the run either shrinks onto
+    /// the survivors or surfaces `CommError::MembershipLost`.
+    pub fn kill_host(self, host: usize, round: u64) -> Self {
+        self.fault(Fault {
+            kind: FaultKind::KillHost,
+            from: Some(host),
+            to: None,
+            round: Some(round),
+            times: 1,
+        })
+    }
+
     /// Hangs `host` for `millis` milliseconds when it enters its first
     /// collective of `round`: the host stops responding (and heartbeating)
     /// without crashing, so only the failure detector or a phase deadline
@@ -278,8 +298,10 @@ impl FaultState {
         }
         // Targeted faults first, in plan order.
         for (i, fault) in self.plan.faults.iter().enumerate() {
-            if matches!(fault.kind, FaultKind::CrashHost | FaultKind::StallHost { .. })
-                || !fault.matches(from, to, round)
+            if matches!(
+                fault.kind,
+                FaultKind::CrashHost | FaultKind::KillHost | FaultKind::StallHost { .. }
+            ) || !fault.matches(from, to, round)
             {
                 continue;
             }
@@ -294,7 +316,9 @@ impl FaultState {
                     flip_bit(frame, bit as u64);
                     return SendAction::Corrupt;
                 }
-                FaultKind::CrashHost | FaultKind::StallHost { .. } => unreachable!(),
+                FaultKind::CrashHost | FaultKind::KillHost | FaultKind::StallHost { .. } => {
+                    unreachable!()
+                }
             }
         }
         // Random background faults: one coin per physical transmission, so
@@ -332,6 +356,21 @@ impl FaultState {
     pub(crate) fn crash_due(&self, host: usize, round: u64) -> bool {
         for (i, fault) in self.plan.faults.iter().enumerate() {
             if matches!(fault.kind, FaultKind::CrashHost)
+                && fault.from.is_none_or(|h| h == host)
+                && fault.round.is_none_or(|r| r == round)
+                && self.claim(i)
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True exactly once when `host` has a pending permanent kill for
+    /// `round`.
+    pub(crate) fn kill_due(&self, host: usize, round: u64) -> bool {
+        for (i, fault) in self.plan.faults.iter().enumerate() {
+            if matches!(fault.kind, FaultKind::KillHost)
                 && fault.from.is_none_or(|h| h == host)
                 && fault.round.is_none_or(|r| r == round)
                 && self.claim(i)
@@ -415,6 +454,19 @@ mod tests {
         assert!(!st.crash_due(0, 5));
         assert!(st.crash_due(1, 5));
         assert!(!st.crash_due(1, 5), "crash budget spent");
+    }
+
+    #[test]
+    fn kill_fires_once_at_round() {
+        let st = FaultState::new(FaultPlan::new().kill_host(2, 3));
+        assert!(!st.kill_due(2, 2));
+        assert!(!st.kill_due(1, 3));
+        assert!(st.kill_due(2, 3));
+        assert!(!st.kill_due(2, 3), "kill budget spent");
+        // Kills never affect the frame path.
+        let mut f = vec![0u8; 4];
+        let st = FaultState::new(FaultPlan::new().kill_host(0, 0));
+        assert_eq!(st.on_send(0, 1, 0, 0, 0, &mut f), SendAction::Deliver);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod wire;
 pub use clock::{Clock, RealClock};
 pub use cluster::{
     run_transport_host, Backend, Cluster, CommError, CrashSignal, HostCtx, HostError, HostStats,
-    SyncPhase,
+    ShrinkOutcome, SyncPhase, KILLED_EXIT_CODE,
 };
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use pool::WorkerPool;

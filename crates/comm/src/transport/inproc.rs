@@ -69,20 +69,31 @@ struct BarrierState {
     failed: Vec<bool>,
     suspected: Vec<bool>,
     here: Vec<bool>,
+    /// Hosts excluded by a membership shrink: no longer counted as
+    /// participants and never reported as casualties again.
+    excluded: Vec<bool>,
+    nexcluded: usize,
 }
 
 impl BarrierState {
     fn failure(&self) -> WaitBreak {
         WaitBreak::Failed {
-            failed: (0..self.failed.len()).filter(|&h| self.failed[h]).collect(),
+            failed: (0..self.failed.len())
+                .filter(|&h| self.failed[h] && !self.excluded[h])
+                .collect(),
             suspected: (0..self.suspected.len())
-                .filter(|&h| self.suspected[h])
+                .filter(|&h| self.suspected[h] && !self.excluded[h])
                 .collect(),
         }
     }
 
+    /// Hosts still participating after exclusions.
+    fn expected(&self) -> usize {
+        self.failed.len() - self.nexcluded
+    }
+
     fn any_failed(&self) -> bool {
-        self.live < self.failed.len()
+        self.live < self.expected()
     }
 }
 
@@ -96,6 +107,8 @@ impl FtBarrier {
                 failed: vec![false; hosts],
                 suspected: vec![false; hosts],
                 here: vec![false; hosts],
+                excluded: vec![false; hosts],
+                nexcluded: 0,
             }),
             cv: Condvar::new(),
         }
@@ -127,7 +140,7 @@ impl FtBarrier {
                     s.arrived -= 1;
                     s.here[host] = false;
                     let laggards = (0..s.here.len())
-                        .filter(|&h| h != host && !s.here[h] && !s.failed[h])
+                        .filter(|&h| h != host && !s.here[h] && !s.failed[h] && !s.excluded[h])
                         .collect();
                     return Err(WaitBreak::TimedOut { laggards });
                 }
@@ -151,8 +164,12 @@ impl FtBarrier {
 
     /// Records that `host` died; wakes all waiters so they observe the
     /// failure. Idempotent; upgrades a suspicion into a hard failure.
+    /// Ignored for excluded hosts — they are no longer participants.
     fn mark_failed(&self, host: usize) {
         let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.excluded[host] {
+            return;
+        }
         if s.failed[host] {
             s.suspected[host] = false;
             return;
@@ -164,10 +181,10 @@ impl FtBarrier {
 
     /// Records a heartbeat suspicion of `host`: like a failure, but
     /// reported as [`CommError::PeerDown`]. Idempotent; never downgrades a
-    /// hard failure.
+    /// hard failure. Ignored for excluded hosts.
     fn suspect(&self, host: usize) {
         let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if s.failed[host] {
+        if s.failed[host] || s.excluded[host] {
             return;
         }
         s.failed[host] = true;
@@ -176,12 +193,33 @@ impl FtBarrier {
         self.cv.notify_all();
     }
 
-    /// Resets the barrier to all-alive. Only sound when no host is waiting
-    /// on it — recovery guarantees this by healing under the [`Gate`] lock
-    /// while every live host is parked at the gate.
+    /// Removes `host` from the barrier's membership: it stops counting
+    /// toward completion and is cleared from the casualty lists. Called
+    /// under the gate lock by the shrink verdict.
+    fn exclude(&self, host: usize) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.excluded[host] {
+            return;
+        }
+        s.excluded[host] = true;
+        s.nexcluded += 1;
+        if s.failed[host] {
+            // `live` was already decremented when the failure landed.
+            s.failed[host] = false;
+            s.suspected[host] = false;
+        } else {
+            s.live -= 1;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Resets the barrier to all-members-alive (excluded hosts stay out).
+    /// Only sound when no host is waiting on it — recovery guarantees this
+    /// by healing under the [`Gate`] lock while every live host is parked
+    /// at the gate.
     fn heal(&self) {
         let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        s.live = s.failed.len();
+        s.live = s.expected();
         for f in &mut s.failed {
             *f = false;
         }
@@ -210,17 +248,36 @@ struct GateState {
     arrived: usize,
     generation: u64,
     departed: Vec<bool>,
+    /// Departed hosts not yet excluded by a shrink verdict; once a shrink
+    /// absorbs a departure this drops back to zero and gates work again.
     ndeparted: usize,
     here: Vec<bool>,
+    /// Hosts removed from the membership by a shrink verdict. Departed
+    /// flags stay set (so heartbeats keep skipping them) but they no
+    /// longer count as participants or pending departures.
+    excluded: Vec<bool>,
+    nexcluded: usize,
+    /// Shrink-gate arrivals, kept separate from the recovery gate so a
+    /// departure observed mid-shrink cannot corrupt ordinary alignment.
+    shrink_arrived: usize,
+    shrink_here: Vec<bool>,
+    shrink_gen: u64,
+    /// Verdict of the shrink generation that last completed.
+    shrink_verdict: Vec<usize>,
 }
 
 impl GateState {
     fn departure(&self) -> WaitBreak {
         WaitBreak::Departed {
             departed: (0..self.departed.len())
-                .filter(|&h| self.departed[h])
+                .filter(|&h| self.departed[h] && !self.excluded[h])
                 .collect(),
         }
+    }
+
+    /// Hosts that are full participants: neither departed nor excluded.
+    fn survivors(&self) -> usize {
+        self.departed.len() - self.nexcluded - self.ndeparted
     }
 }
 
@@ -233,6 +290,12 @@ impl Gate {
                 departed: vec![false; hosts],
                 ndeparted: 0,
                 here: vec![false; hosts],
+                excluded: vec![false; hosts],
+                nexcluded: 0,
+                shrink_arrived: 0,
+                shrink_here: vec![false; hosts],
+                shrink_gen: 0,
+                shrink_verdict: Vec::new(),
             }),
             cv: Condvar::new(),
         }
@@ -252,7 +315,7 @@ impl Gate {
         }
         s.arrived += 1;
         s.here[host] = true;
-        if s.arrived >= s.departed.len() - s.ndeparted {
+        if s.arrived >= s.survivors() {
             f();
             s.arrived = 0;
             s.here.iter_mut().for_each(|h| *h = false);
@@ -268,7 +331,7 @@ impl Gate {
                     s.arrived -= 1;
                     s.here[host] = false;
                     let laggards = (0..s.here.len())
-                        .filter(|&h| h != host && !s.here[h] && !s.departed[h])
+                        .filter(|&h| h != host && !s.here[h] && !s.departed[h] && !s.excluded[h])
                         .collect();
                     return Err(WaitBreak::TimedOut { laggards });
                 }
@@ -279,28 +342,107 @@ impl Gate {
                         .0
                 }
             };
-            if s.ndeparted > 0 {
-                return Err(s.departure());
-            }
             if s.generation != gen {
                 return Ok(());
+            }
+            if s.ndeparted > 0 {
+                // Withdraw the arrival: a stale count left behind here
+                // would let the post-shrink heal gate complete before
+                // every survivor has actually reset and re-arrived.
+                s.arrived -= 1;
+                s.here[host] = false;
+                return Err(s.departure());
             }
         }
     }
 
-    /// Records that `host` left the run for good. Idempotent.
+    /// Records that `host` left the run for good. Idempotent. Departures of
+    /// already-excluded hosts change nothing.
     fn mark_departed(&self, host: usize) {
         let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if s.departed[host] {
             return;
         }
         s.departed[host] = true;
-        s.ndeparted += 1;
+        if !s.excluded[host] {
+            s.ndeparted += 1;
+        }
         self.cv.notify_all();
     }
 
     fn is_departed(&self, host: usize) -> bool {
         self.state.lock().unwrap_or_else(|e| e.into_inner()).departed[host]
+    }
+
+    /// Departed-but-not-excluded hosts: the casualties a shrink would
+    /// absorb.
+    fn pending_departures(&self) -> Vec<usize> {
+        let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        (0..s.departed.len())
+            .filter(|&h| s.departed[h] && !s.excluded[h])
+            .collect()
+    }
+
+    /// The shrink gate: waits until every survivor has arrived, then the
+    /// finalizing host computes the verdict — all pending departures —
+    /// excludes those hosts (calling `exclude` for each, under the gate
+    /// lock, so the barrier shrinks atomically with the gate), and wakes
+    /// everyone with the identical sorted verdict.
+    ///
+    /// A departure that lands *while* survivors are waiting shrinks the
+    /// completion target; departure notifications re-run the completion
+    /// check, so the gate cannot deadlock on a second casualty.
+    fn shrink<F: Fn(usize)>(
+        &self,
+        host: usize,
+        deadline: &Deadline,
+        exclude: F,
+    ) -> Result<Vec<usize>, WaitBreak> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let gen = s.shrink_gen;
+        s.shrink_arrived += 1;
+        s.shrink_here[host] = true;
+        loop {
+            if s.shrink_arrived >= s.survivors() {
+                let verdict: Vec<usize> = (0..s.departed.len())
+                    .filter(|&h| s.departed[h] && !s.excluded[h])
+                    .collect();
+                for &h in &verdict {
+                    s.excluded[h] = true;
+                    exclude(h);
+                }
+                s.nexcluded += verdict.len();
+                s.ndeparted = 0;
+                s.shrink_verdict = verdict.clone();
+                s.shrink_arrived = 0;
+                s.shrink_here.iter_mut().for_each(|h| *h = false);
+                s.shrink_gen += 1;
+                self.cv.notify_all();
+                return Ok(verdict);
+            }
+            s = match deadline.remaining() {
+                None => self.cv.wait(s).unwrap_or_else(|e| e.into_inner()),
+                Some(rem) if rem.is_zero() => {
+                    s.shrink_arrived -= 1;
+                    s.shrink_here[host] = false;
+                    let laggards = (0..s.shrink_here.len())
+                        .filter(|&h| {
+                            h != host && !s.shrink_here[h] && !s.departed[h] && !s.excluded[h]
+                        })
+                        .collect();
+                    return Err(WaitBreak::TimedOut { laggards });
+                }
+                Some(rem) => {
+                    self.cv
+                        .wait_timeout(s, rem)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0
+                }
+            };
+            if s.shrink_gen != gen {
+                return Ok(s.shrink_verdict.clone());
+            }
+        }
     }
 }
 
@@ -521,6 +663,23 @@ impl Transport for InProcTransport {
         fab.gate
             .wait_then(self.host, deadline, || fab.barrier.heal())
             .map_err(|b| b.into_comm_error(deadline))
+    }
+
+    fn gate_shrink(&self, deadline: &Deadline) -> Result<Vec<usize>, CommError> {
+        let fab = &self.fabric;
+        fab.gate
+            .shrink(self.host, deadline, |h| fab.barrier.exclude(h))
+            .map_err(|b| b.into_comm_error(deadline))
+    }
+
+    fn shrink_heal(&self, deadline: &Deadline) -> Result<(), CommError> {
+        // Post-verdict the pending-departure count is zero, so the plain
+        // recovery gate (and its barrier heal) realigns the survivors.
+        self.gate_heal(deadline)
+    }
+
+    fn departed_hosts(&self) -> Vec<usize> {
+        self.fabric.gate.pending_departures()
     }
 
     fn silence(&self, d: Duration) {

@@ -276,6 +276,36 @@ pub trait Transport: Sync {
     /// again.
     fn gate_heal(&self, deadline: &Deadline) -> Result<(), CommError>;
 
+    /// Membership shrink, phase 1: waits until every *survivor* — every
+    /// host that is neither permanently departed nor already excluded by an
+    /// earlier shrink — has entered the shrink gate, then agrees on the
+    /// verdict: the set of departed-but-not-yet-excluded hosts. Those hosts
+    /// are excluded from every future collective (barriers, gates,
+    /// heartbeats) and the sorted verdict is returned identically on every
+    /// survivor. Backends that cannot shrink return
+    /// [`CommError::Protocol`].
+    fn gate_shrink(&self, _deadline: &Deadline) -> Result<Vec<usize>, CommError> {
+        Err(CommError::Protocol {
+            detail: "transport does not support membership shrink".to_string(),
+        })
+    }
+
+    /// Membership shrink, phase 2: waits for every survivor to finish
+    /// resetting its protocol state, then heals the failure machinery for
+    /// the reduced membership. Called after [`Transport::gate_shrink`] and
+    /// [`Transport::recover_reset`].
+    fn shrink_heal(&self, _deadline: &Deadline) -> Result<(), CommError> {
+        Ok(())
+    }
+
+    /// Hosts currently known to be permanently departed but not yet
+    /// excluded by a shrink verdict — the casualties a
+    /// [`CommError::MembershipLost`] should name. Empty when recovery is
+    /// still possible within the current membership.
+    fn departed_hosts(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
     /// Test hook: suppresses this host's heartbeats for `d`, simulating a
     /// host that has gone silent without crashing.
     fn silence(&self, d: Duration);

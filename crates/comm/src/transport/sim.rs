@@ -114,6 +114,8 @@ enum Blocked {
     Barrier { gen: u64 },
     /// In the recovery gate, generation `gen`.
     Gate { gen: u64 },
+    /// In the membership shrink gate, generation `gen`.
+    Shrink { gen: u64 },
     /// Virtual sleep `id` (distinguishes stale wake timers).
     Sleep { id: u64 },
 }
@@ -146,6 +148,12 @@ enum TimerKind {
     },
     /// Phase deadline for a host blocked in gate generation `gen`.
     GateDeadline {
+        host: usize,
+        gen: u64,
+        phase: &'static str,
+    },
+    /// Phase deadline for a host blocked in shrink generation `gen`.
+    ShrinkDeadline {
         host: usize,
         gen: u64,
         phase: &'static str,
@@ -213,8 +221,18 @@ struct SimState {
     gate_arrived: usize,
     gate_gen: u64,
     departed: Vec<bool>,
+    /// Departed hosts not yet excluded by a shrink.
     ndeparted: usize,
     gate_here: Vec<bool>,
+    // Membership shrink gate (mirrors the in-proc `Gate::shrink`).
+    /// Hosts excluded by an agreed shrink: they stay departed but no
+    /// longer count as participants anywhere.
+    excluded: Vec<bool>,
+    nexcluded: usize,
+    shrink_arrived: usize,
+    shrink_here: Vec<bool>,
+    shrink_gen: u64,
+    shrink_verdict: Vec<usize>,
     // Heartbeat ledger, in virtual nanoseconds.
     last_beat: Vec<u64>,
     silence_until: Vec<u64>,
@@ -222,8 +240,13 @@ struct SimState {
 }
 
 impl SimState {
+    /// Barrier participants: launched hosts minus the excluded.
+    fn expected(&self) -> usize {
+        self.failed.len() - self.nexcluded
+    }
+
     fn any_failed(&self) -> bool {
-        self.live < self.failed.len()
+        self.live < self.expected()
     }
 
     /// The failure verdict (mirrors the in-proc mapping): all-suspected is
@@ -243,7 +266,7 @@ impl SimState {
     fn departed_error(&self) -> CommError {
         CommError::HostFailure {
             hosts: (0..self.departed.len())
-                .filter(|&h| self.departed[h])
+                .filter(|&h| self.departed[h] && !self.excluded[h])
                 .collect(),
         }
     }
@@ -314,6 +337,12 @@ impl SimFabric {
                 departed: vec![false; hosts],
                 ndeparted: 0,
                 gate_here: vec![false; hosts],
+                excluded: vec![false; hosts],
+                nexcluded: 0,
+                shrink_arrived: 0,
+                shrink_here: vec![false; hosts],
+                shrink_gen: 0,
+                shrink_verdict: Vec::new(),
                 last_beat: vec![0; hosts],
                 silence_until: vec![0; hosts],
                 trace: Vec::new(),
@@ -366,9 +395,10 @@ impl SimFabric {
     }
 
     /// Records a heartbeat suspicion of `peer` (never downgrades a hard
-    /// failure) and breaks barrier waits.
+    /// failure) and breaks barrier waits. Excluded hosts are no longer
+    /// participants: suspecting one would corrupt the live count forever.
     fn suspect(&self, s: &mut SimState, peer: usize) {
-        if s.failed[peer] {
+        if s.failed[peer] || s.excluded[peer] {
             return;
         }
         s.failed[peer] = true;
@@ -458,7 +488,7 @@ impl SimFabric {
                     s.bar_arrived -= 1;
                     s.here[host] = false;
                     let laggards = (0..self.hosts)
-                        .filter(|&h| h != host && !s.here[h] && !s.failed[h])
+                        .filter(|&h| h != host && !s.here[h] && !s.failed[h] && !s.excluded[h])
                         .collect();
                     self.trace(s, host, "timeout", format!("phase={phase}"));
                     self.wake(s, host, Err(CommError::Timeout { phase, hosts: laggards }));
@@ -472,6 +502,19 @@ impl SimFabric {
                         .filter(|&h| h != host && !s.gate_here[h] && !s.departed[h])
                         .collect();
                     self.trace(s, host, "timeout", format!("phase={phase} at=gate"));
+                    self.wake(s, host, Err(CommError::Timeout { phase, hosts: laggards }));
+                }
+            }
+            TimerKind::ShrinkDeadline { host, gen, phase } => {
+                if s.status[host] == Status::Blocked(Blocked::Shrink { gen }) {
+                    s.shrink_arrived -= 1;
+                    s.shrink_here[host] = false;
+                    let laggards = (0..self.hosts)
+                        .filter(|&h| {
+                            h != host && !s.shrink_here[h] && !s.departed[h] && !s.excluded[h]
+                        })
+                        .collect();
+                    self.trace(s, host, "timeout", format!("phase={phase} at=shrink"));
                     self.wake(s, host, Err(CommError::Timeout { phase, hosts: laggards }));
                 }
             }
@@ -628,9 +671,9 @@ impl SimFabric {
         let kind = if heal { "gate_heal" } else { "gate_align" };
         let arrive_gen = s.gate_gen;
         self.trace(&mut s, host, kind, format!("gen={arrive_gen}"));
-        if s.gate_arrived >= self.hosts - s.ndeparted {
+        if s.gate_arrived >= self.hosts - s.nexcluded - s.ndeparted {
             if heal {
-                s.live = self.hosts;
+                s.live = self.hosts - s.nexcluded;
                 for f in &mut s.failed {
                     *f = false;
                 }
@@ -668,6 +711,79 @@ impl SimFabric {
             );
         }
         self.block(s, host, Blocked::Gate { gen })
+    }
+
+    /// Completes the shrink gate if every survivor has arrived: agrees the
+    /// verdict (departed-but-not-excluded hosts), excludes them from every
+    /// future collective, and releases the waiters. Called on every shrink
+    /// arrival *and* on every departure notification, since either event
+    /// can satisfy the survivor count.
+    fn try_finalize_shrink(&self, s: &mut SimState, actor: usize) -> bool {
+        let survivors = self.hosts - s.nexcluded - s.ndeparted;
+        if s.shrink_arrived == 0 || s.shrink_arrived < survivors {
+            return false;
+        }
+        let verdict: Vec<usize> = (0..self.hosts)
+            .filter(|&h| s.departed[h] && !s.excluded[h])
+            .collect();
+        for &h in &verdict {
+            s.excluded[h] = true;
+            s.nexcluded += 1;
+            if s.failed[h] {
+                // Its failure already decremented `live`; clearing the
+                // flags alongside the exclusion keeps live == expected.
+                s.failed[h] = false;
+                s.suspected[h] = false;
+            } else {
+                s.live -= 1;
+            }
+        }
+        s.ndeparted = 0;
+        s.shrink_verdict = verdict;
+        s.shrink_arrived = 0;
+        for h in &mut s.shrink_here {
+            *h = false;
+        }
+        s.shrink_gen += 1;
+        self.trace(
+            s,
+            actor,
+            "gate_shrink_complete",
+            format!("gen={} departed={:?}", s.shrink_gen, s.shrink_verdict),
+        );
+        for h in 0..self.hosts {
+            if matches!(s.status[h], Status::Blocked(Blocked::Shrink { .. })) {
+                self.wake(s, h, Ok(()));
+            }
+        }
+        true
+    }
+
+    /// Shrink-gate arrival + wait: returns the agreed departure verdict
+    /// once every survivor has arrived (see
+    /// [`super::Transport::gate_shrink`]).
+    fn shrink(&self, host: usize, deadline: &Deadline) -> Result<Vec<usize>, CommError> {
+        let mut s = self.lock();
+        s.shrink_arrived += 1;
+        s.shrink_here[host] = true;
+        let gen = s.shrink_gen;
+        self.trace(&mut s, host, "gate_shrink", format!("gen={gen}"));
+        if self.try_finalize_shrink(&mut s, host) {
+            return Ok(s.shrink_verdict.clone());
+        }
+        if let Some(at) = deadline.at_nanos() {
+            self.push_timer(
+                &mut s,
+                at,
+                TimerKind::ShrinkDeadline {
+                    host,
+                    gen,
+                    phase: deadline.phase(),
+                },
+            );
+        }
+        self.block(s, host, Blocked::Shrink { gen })?;
+        Ok(self.lock().shrink_verdict.clone())
     }
 }
 
@@ -765,6 +881,9 @@ impl Transport for SimTransport {
     fn mark_failed(&self) {
         let fab = &self.fabric;
         let mut s = fab.lock();
+        if s.excluded[self.host] {
+            return;
+        }
         if s.failed[self.host] {
             s.suspected[self.host] = false;
             return;
@@ -778,7 +897,7 @@ impl Transport for SimTransport {
     fn mark_departed(&self) {
         let fab = &self.fabric;
         let mut s = fab.lock();
-        if s.departed[self.host] {
+        if s.departed[self.host] || s.excluded[self.host] {
             return;
         }
         s.departed[self.host] = true;
@@ -787,9 +906,17 @@ impl Transport for SimTransport {
         let err = s.departed_error();
         for h in 0..fab.hosts {
             if matches!(s.status[h], Status::Blocked(Blocked::Gate { .. })) {
+                // Withdraw the waiter's arrival along with the error:
+                // a stale count would let the post-shrink heal gate
+                // complete before every survivor has re-arrived.
+                s.gate_arrived -= 1;
+                s.gate_here[h] = false;
                 fab.wake(&mut s, h, Err(err.clone()));
             }
         }
+        // A departure can be the event that completes a pending shrink
+        // gate (the survivors were all waiting on this host's verdict).
+        fab.try_finalize_shrink(&mut s, self.host);
     }
 
     fn gate_align(&self, deadline: &Deadline) -> Result<(), CommError> {
@@ -813,6 +940,21 @@ impl Transport for SimTransport {
 
     fn gate_heal(&self, deadline: &Deadline) -> Result<(), CommError> {
         self.fabric.gate(self.host, deadline, true)
+    }
+
+    fn gate_shrink(&self, deadline: &Deadline) -> Result<Vec<usize>, CommError> {
+        self.fabric.shrink(self.host, deadline)
+    }
+
+    fn shrink_heal(&self, deadline: &Deadline) -> Result<(), CommError> {
+        self.fabric.gate(self.host, deadline, true)
+    }
+
+    fn departed_hosts(&self) -> Vec<usize> {
+        let s = self.fabric.lock();
+        (0..self.fabric.hosts)
+            .filter(|&h| s.departed[h] && !s.excluded[h])
+            .collect()
     }
 
     fn silence(&self, d: Duration) {

@@ -50,6 +50,12 @@ const TAG_HB: u8 = 5;
 const TAG_FAILED: u8 = 6;
 const TAG_DEPARTED: u8 = 7;
 const TAG_GATE: u8 = 8;
+/// Membership-shrink gate arrival (`gen u64`): the sender is a survivor
+/// agreeing to exclude the currently departed hosts. A permanently dead
+/// host never announces, so the verdict is observed symmetrically: every
+/// survivor completes only once it has seen every non-excluded peer
+/// either announce this generation or depart.
+const TAG_SHRINK: u8 = 9;
 
 /// Upper bound on a single stream message body; anything larger means a
 /// corrupted length header, and the connection is dropped.
@@ -72,12 +78,19 @@ struct State {
     failed: Vec<bool>,
     suspected: Vec<bool>,
     departed: Vec<bool>,
+    /// Peers excluded by an agreed membership shrink: permanently gone,
+    /// no longer counted by any collective and never written to again.
+    excluded: Vec<bool>,
+    /// Highest shrink generation announced by each peer.
+    shrink_seen: Vec<u64>,
     /// Current failure epoch; `FAILED(e)` is honored only if `e >= epoch`.
     epoch: u64,
     /// This host's completed barrier generation.
     bar_gen: u64,
     /// This host's completed gate generation (never reset).
     gate_gen: u64,
+    /// This host's completed shrink generation (never reset).
+    shrink_gen: u64,
     /// This host's completed missing-sync generation.
     miss_gen: u64,
 }
@@ -93,9 +106,12 @@ impl State {
             failed: vec![false; hosts],
             suspected: vec![false; hosts],
             departed: vec![false; hosts],
+            excluded: vec![false; hosts],
+            shrink_seen: vec![0; hosts],
             epoch: 0,
             bar_gen: 0,
             gate_gen: 0,
+            shrink_gen: 0,
             miss_gen: 0,
         }
     }
@@ -103,12 +119,14 @@ impl State {
     /// The failure verdict, if any host has failed: all-suspected maps to
     /// `PeerDown`, anything harder to `HostFailure`.
     fn failure(&self) -> Option<CommError> {
-        let failed: Vec<usize> = (0..self.failed.len()).filter(|&h| self.failed[h]).collect();
+        let failed: Vec<usize> = (0..self.failed.len())
+            .filter(|&h| self.failed[h] && !self.excluded[h])
+            .collect();
         if failed.is_empty() {
             return None;
         }
         let suspected: Vec<usize> = (0..self.suspected.len())
-            .filter(|&h| self.suspected[h])
+            .filter(|&h| self.suspected[h] && !self.excluded[h])
             .collect();
         Some(if !suspected.is_empty() && suspected.len() == failed.len() {
             CommError::PeerDown { hosts: suspected }
@@ -215,13 +233,18 @@ fn apply(inner: &Inner, peer: usize, tag: u8, body: Vec<u8>) {
         TAG_HB => {}
         TAG_FAILED => {
             if let Some(e) = u64_at(&body) {
-                if e >= st.epoch {
+                if e >= st.epoch && !st.excluded[peer] {
                     st.failed[peer] = true;
                     st.suspected[peer] = false;
                 }
             }
         }
         TAG_DEPARTED => st.departed[peer] = true,
+        TAG_SHRINK => {
+            if let Some(g) = u64_at(&body) {
+                st.shrink_seen[peer] = st.shrink_seen[peer].max(g);
+            }
+        }
         _ => {}
     }
     drop(st);
@@ -322,6 +345,15 @@ fn heartbeat_loop(inner: Arc<Inner>, hb: super::HeartbeatConfig) {
 /// Writes one tagged message to `peer`, reconnecting (client side) or
 /// waiting for the acceptor to restore the link (server side) on failure.
 fn send_on(inner: &Arc<Inner>, peer: usize, tag: u8, body: &[u8]) {
+    {
+        // Never write to a gone peer: reviving a permanently dead host's
+        // socket burns the whole reconnect budget per message and can
+        // re-fail a healed mesh.
+        let st = inner.lock();
+        if st.departed[peer] || st.excluded[peer] {
+            return;
+        }
+    }
     let mut buf = Vec::with_capacity(5 + body.len());
     buf.push(tag);
     buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -345,6 +377,12 @@ fn revive(inner: &Arc<Inner>, peer: usize, buf: &[u8]) {
     for _ in 0..8 {
         if inner.shutdown.load(Ordering::Relaxed) {
             return;
+        }
+        {
+            let st = inner.lock();
+            if st.departed[peer] || st.excluded[peer] {
+                return;
+            }
         }
         if peer < inner.host {
             // We are the client for this pair: reconnect and re-handshake.
@@ -630,7 +668,7 @@ impl Transport for TcpTransport {
             deadline,
             |st| {
                 let done = (0..st.barrier_seen.len())
-                    .all(|p| p == me || st.barrier_seen[p] >= arrival);
+                    .all(|p| p == me || st.excluded[p] || st.barrier_seen[p] >= arrival);
                 if done {
                     st.bar_gen = arrival;
                 }
@@ -638,7 +676,9 @@ impl Transport for TcpTransport {
             },
             |st| {
                 (0..st.barrier_seen.len())
-                    .filter(|&p| p != me && st.barrier_seen[p] < arrival && !st.failed[p])
+                    .filter(|&p| {
+                        p != me && st.barrier_seen[p] < arrival && !st.failed[p] && !st.excluded[p]
+                    })
                     .collect()
             },
         )
@@ -653,11 +693,17 @@ impl Transport for TcpTransport {
         self.wait_for(
             deadline,
             |st| {
-                (0..st.missing.len()).all(|p| p == me || st.missing[p].contains_key(&gen))
+                (0..st.missing.len())
+                    .all(|p| p == me || st.excluded[p] || st.missing[p].contains_key(&gen))
             },
             |st| {
                 (0..st.missing.len())
-                    .filter(|&p| p != me && !st.missing[p].contains_key(&gen) && !st.failed[p])
+                    .filter(|&p| {
+                        p != me
+                            && !st.missing[p].contains_key(&gen)
+                            && !st.failed[p]
+                            && !st.excluded[p]
+                    })
                     .collect()
             },
         )?;
@@ -666,6 +712,8 @@ impl Transport for TcpTransport {
             .map(|p| {
                 if p == me {
                     missing
+                } else if st.excluded[p] {
+                    false
                 } else {
                     st.missing[p][&gen]
                 }
@@ -719,6 +767,120 @@ impl Transport for TcpTransport {
         self.gate_wait(deadline, true)
     }
 
+    fn gate_shrink(&self, deadline: &Deadline) -> Result<Vec<usize>, CommError> {
+        let me = self.inner.host;
+        let arrival = self.inner.lock().shrink_gen + 1;
+        self.broadcast(TAG_SHRINK, &arrival.to_le_bytes());
+        let mut st = self.inner.lock();
+        loop {
+            // A dead host never announces a shrink generation, so
+            // completion requires observing its departure locally: with a
+            // single casualty every survivor agrees on exactly that host.
+            // (Simultaneous casualties may split across verdicts; the
+            // stragglers surface as a fresh MembershipLost and shrink in a
+            // following round.)
+            let done = (0..self.inner.hosts).all(|p| {
+                p == me || st.excluded[p] || st.departed[p] || st.shrink_seen[p] >= arrival
+            });
+            if done {
+                let verdict: Vec<usize> = (0..self.inner.hosts)
+                    .filter(|&p| st.departed[p] && !st.excluded[p])
+                    .collect();
+                st.shrink_gen = arrival;
+                for &p in &verdict {
+                    st.excluded[p] = true;
+                    st.failed[p] = false;
+                    st.suspected[p] = false;
+                }
+                return Ok(verdict);
+            }
+            st = match deadline.remaining() {
+                None => self.inner.cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+                Some(rem) if rem.is_zero() => {
+                    let laggards = (0..self.inner.hosts)
+                        .filter(|&p| {
+                            p != me
+                                && st.shrink_seen[p] < arrival
+                                && !st.departed[p]
+                                && !st.excluded[p]
+                        })
+                        .collect();
+                    return Err(CommError::Timeout {
+                        phase: deadline.phase(),
+                        hosts: laggards,
+                    });
+                }
+                Some(rem) => {
+                    self.inner
+                        .cv
+                        .wait_timeout(st, rem)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0
+                }
+            };
+        }
+    }
+
+    fn shrink_heal(&self, deadline: &Deadline) -> Result<(), CommError> {
+        // A second round of the shrink-generation gate, not the recovery
+        // gate: every survivor already announced `gate_gen + 1` during the
+        // alignment attempt that surfaced the departure (the attempt
+        // errored without advancing `gate_gen`), so a gate-based heal
+        // would complete instantly off those stale announcements — before
+        // peers have reset — and frames sent after it could be wiped by a
+        // peer's late `recover_reset`. Shrink generations are announced
+        // only from inside `recover_shrink` and have no abort path, so an
+        // announcement of `shrink_gen + 1` proves the peer finished its
+        // reset and entered the heal.
+        let me = self.inner.host;
+        let arrival = self.inner.lock().shrink_gen + 1;
+        self.broadcast(TAG_SHRINK, &arrival.to_le_bytes());
+        let mut st = self.inner.lock();
+        loop {
+            let done = (0..self.inner.hosts).all(|p| {
+                p == me || st.excluded[p] || st.departed[p] || st.shrink_seen[p] >= arrival
+            });
+            if done {
+                st.shrink_gen = arrival;
+                st.epoch += 1;
+                st.failed.iter_mut().for_each(|f| *f = false);
+                st.suspected.iter_mut().for_each(|f| *f = false);
+                return Ok(());
+            }
+            st = match deadline.remaining() {
+                None => self.inner.cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+                Some(rem) if rem.is_zero() => {
+                    let laggards = (0..self.inner.hosts)
+                        .filter(|&p| {
+                            p != me
+                                && st.shrink_seen[p] < arrival
+                                && !st.departed[p]
+                                && !st.excluded[p]
+                        })
+                        .collect();
+                    return Err(CommError::Timeout {
+                        phase: deadline.phase(),
+                        hosts: laggards,
+                    });
+                }
+                Some(rem) => {
+                    self.inner
+                        .cv
+                        .wait_timeout(st, rem)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0
+                }
+            };
+        }
+    }
+
+    fn departed_hosts(&self) -> Vec<usize> {
+        let st = self.inner.lock();
+        (0..self.inner.hosts)
+            .filter(|&p| st.departed[p] && !st.excluded[p])
+            .collect()
+    }
+
     fn silence(&self, d: Duration) {
         let until = self.inner.now_nanos() + d.as_nanos() as u64;
         self.inner.silence_until.store(until, Ordering::Relaxed);
@@ -739,13 +901,13 @@ impl TcpTransport {
         let mut st = self.inner.lock();
         loop {
             let gone: Vec<usize> = (0..self.inner.hosts)
-                .filter(|&p| st.departed[p])
+                .filter(|&p| st.departed[p] && !st.excluded[p])
                 .collect();
             if !gone.is_empty() {
                 return Err(CommError::HostFailure { hosts: gone });
             }
-            let done =
-                (0..self.inner.hosts).all(|p| p == me || st.gate_seen[p] >= arrival);
+            let done = (0..self.inner.hosts)
+                .all(|p| p == me || st.excluded[p] || st.gate_seen[p] >= arrival);
             if done {
                 st.gate_gen = arrival;
                 if heal {
@@ -759,7 +921,7 @@ impl TcpTransport {
                 None => self.inner.cv.wait(st).unwrap_or_else(|e| e.into_inner()),
                 Some(rem) if rem.is_zero() => {
                     let laggards = (0..self.inner.hosts)
-                        .filter(|&p| p != me && st.gate_seen[p] < arrival)
+                        .filter(|&p| p != me && st.gate_seen[p] < arrival && !st.excluded[p])
                         .collect();
                     return Err(CommError::Timeout {
                         phase: deadline.phase(),

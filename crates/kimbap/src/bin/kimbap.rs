@@ -64,11 +64,12 @@ usage:
   kimbap stats FILE
   kimbap run <cc-sv|cc-lp|cc-sclp|mis|msf|louvain|leiden> FILE
              [--hosts N] [--threads N] [--transport inproc|tcp]
-             [--faults none|drop|corrupt|crash] [--seed N]
-             [--port-base N] [--out FILE]
+             [--faults none|drop|corrupt|crash|kill] [--seed N]
+             [--allow-shrink] [--port-base N] [--out FILE]
   kimbap sim [--algo <cc-sv|cc-lp|cc-sclp|mis|msf|louvain|leiden>]
              [--seed N] [--seeds N] [--hosts N] [--threads N]
-             [--scale N] [--ef N] [--trace FILE] [--out FILE]
+             [--scale N] [--ef N] [--allow-shrink]
+             [--trace FILE] [--out FILE]
   kimbap compile FILE.kv [--no-opt]
 
 graphs are stored in the kimbap binary format (.kg) or may be text edge
@@ -85,7 +86,13 @@ stalls), and every scheduling decision, so the same seed reproduces the
 same run byte for byte. Each seed must either converge to the fault-free
 reference labels or surface a communication failure — anything else (and
 any divergence) fails with the exact command that replays it. --seeds N
-fuzzes N consecutive seeds; --trace dumps the event schedule as JSONL.";
+fuzzes N consecutive seeds; --trace dumps the event schedule as JSONL.
+
+--allow-shrink survives permanent host loss: the survivors agree the dead
+host out of the membership, re-partition over the shrunk cluster, and
+re-converge. With --faults kill (or the kill-bearing seeds of the sim
+fuzz plans) the victim exits mid-run and the remaining hosts must still
+produce the fault-free output.";
 
 type CliResult = Result<(), String>;
 
@@ -173,6 +180,10 @@ fn fault_plan(name: &str, seed: u64, hosts: usize) -> Result<FaultPlan, String> 
             .with_seed(seed)
             .corrupt_rate(0.02),
         "crash" => FaultPlan::new().crash_host(1, 2),
+        // Permanent loss: host 1 dies at round 2 and never comes back —
+        // in process mode the worker exits with KILLED_EXIT_CODE. Only
+        // recoverable under --allow-shrink.
+        "kill" => FaultPlan::new().kill_host(1, 2),
         other => return Err(format!("unknown fault plan '{other}'")),
     })
 }
@@ -190,7 +201,11 @@ fn run_cc(algo: &str, dg: &kimbap_dist::DistGraph, ctx: &HostCtx) -> Vec<(NodeId
 /// Launches `hosts` worker processes of this same binary connected over
 /// TCP loopback, waits for all of them, and collects their per-host
 /// master labels. Workers write `node label` lines to per-host files in
-/// a temp directory; any worker exiting non-zero fails the whole run.
+/// a temp directory; any worker exiting non-zero fails the whole run —
+/// except, under `allow_shrink`, a worker dying with
+/// [`kimbap_comm::KILLED_EXIT_CODE`]: that is the injected permanent
+/// loss, and the survivors' re-sharded outputs cover every node.
+#[allow(clippy::too_many_arguments)]
 fn run_tcp_cc(
     algo: &str,
     path: &str,
@@ -199,6 +214,7 @@ fn run_tcp_cc(
     port_base: u16,
     faults: &str,
     seed: u64,
+    allow_shrink: bool,
 ) -> Result<Vec<Vec<(NodeId, u64)>>, String> {
     let exe = std::env::current_exe().map_err(|e| format!("locate own binary: {e}"))?;
     let dir = std::env::temp_dir().join(format!("kimbap-tcp-{}", std::process::id()));
@@ -206,8 +222,8 @@ fn run_tcp_cc(
     let mut children = Vec::with_capacity(hosts);
     for h in 0..hosts {
         let part = dir.join(format!("host{h}.txt"));
-        let child = std::process::Command::new(&exe)
-            .arg("_worker")
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("_worker")
             .arg(algo)
             .arg(path)
             .args(["--hosts", &hosts.to_string()])
@@ -216,15 +232,21 @@ fn run_tcp_cc(
             .args(["--port-base", &port_base.to_string()])
             .args(["--faults", faults])
             .args(["--seed", &seed.to_string()])
-            .args(["--out", part.to_str().ok_or("non-UTF-8 temp dir")?])
-            .spawn()
-            .map_err(|e| format!("spawn worker {h}: {e}"))?;
+            .args(["--out", part.to_str().ok_or("non-UTF-8 temp dir")?]);
+        if allow_shrink {
+            cmd.arg("--allow-shrink");
+        }
+        let child = cmd.spawn().map_err(|e| format!("spawn worker {h}: {e}"))?;
         children.push((h, child));
     }
     let mut failed = Vec::new();
+    let mut killed = vec![false; hosts];
     for (h, mut child) in children {
         let status = child.wait().map_err(|e| format!("wait worker {h}: {e}"))?;
-        if !status.success() {
+        if allow_shrink && status.code() == Some(kimbap_comm::KILLED_EXIT_CODE) {
+            killed[h] = true;
+            println!("worker {h} was killed; survivors shrank past it");
+        } else if !status.success() {
             failed.push(format!("worker {h} exited with {status}"));
         }
     }
@@ -232,7 +254,10 @@ fn run_tcp_cc(
         return Err(failed.join("; "));
     }
     let mut per_host = Vec::with_capacity(hosts);
-    for h in 0..hosts {
+    for (h, &was_killed) in killed.iter().enumerate() {
+        if was_killed {
+            continue;
+        }
         let part = dir.join(format!("host{h}.txt"));
         let body = std::fs::read_to_string(&part)
             .map_err(|e| format!("read {}: {e}", part.display()))?;
@@ -262,13 +287,23 @@ fn cmd_worker(args: &[String]) -> CliResult {
     let faults = flag(args, "--faults").unwrap_or_else(|| "none".into());
     let seed: u64 = flag_num(args, "--seed", 1)?;
     let out = flag(args, "--out").ok_or("missing --out")?;
+    let allow_shrink = args.iter().any(|a| a == "--allow-shrink");
     let g = load_graph(&path)?;
     let parts = partition(&g, Policy::CartesianVertexCut, hosts);
     let plan = fault_plan(&faults, seed, hosts)?;
     let transport = TcpTransport::bind(host, hosts, port_base, TransportConfig::default())
         .map_err(|e| format!("host {host}: bind tcp transport: {e}"))?;
     let vals = run_transport_host(&transport, threads, plan, |ctx| {
-        ctx.run_recovering(|ctx| run_cc(&algo, &parts[ctx.host()], ctx))
+        if allow_shrink {
+            // Elastic: re-partition from the live membership on every
+            // attempt, so after a shrink the survivors cover all nodes.
+            ctx.run_elastic(|ctx| {
+                let parts = partition(&g, Policy::CartesianVertexCut, ctx.num_hosts());
+                run_cc(&algo, &parts[ctx.host()], ctx)
+            })
+        } else {
+            ctx.run_recovering(|ctx| run_cc(&algo, &parts[ctx.host()], ctx))
+        }
     })
     .map_err(|e| format!("host {host}: {e}"))?;
     let f = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
@@ -290,21 +325,60 @@ enum HostValues<R> {
     Aborted(String),
 }
 
-fn host_values<R>(res: Vec<Result<R, HostError>>) -> Result<HostValues<R>, String> {
+fn host_values<R>(res: Vec<Result<R, HostError>>, elastic: bool) -> Result<HostValues<R>, String> {
     let mut vals = Vec::with_capacity(res.len());
+    let mut aborted = None;
     for r in res {
         match r {
             Ok(v) => vals.push(v),
+            // Under --allow-shrink the killed host is an *expected*
+            // casualty: it aborts with its own permanent-loss error while
+            // the survivors shrink past it, so its result is skipped
+            // rather than treated as the run's outcome.
+            Err(e) if elastic && e.message.starts_with("permanent host loss") => {}
             Err(e)
                 if e.message.starts_with("communication failed")
-                    || e.message.starts_with("injected crash") =>
+                    || e.message.starts_with("injected crash")
+                    || e.message.starts_with("permanent host loss")
+                    || e.message.contains("membership lost") =>
             {
-                return Ok(HostValues::Aborted(e.to_string()));
+                aborted = Some(e.to_string());
             }
             Err(e) => return Err(format!("non-communication host panic: {e}")),
         }
     }
-    Ok(HostValues::All(vals))
+    match aborted {
+        Some(m) => Ok(HostValues::Aborted(m)),
+        None if vals.is_empty() => Ok(HostValues::Aborted("every host was killed".into())),
+        None => Ok(HostValues::All(vals)),
+    }
+}
+
+/// Runs `f` once per host under `plan`. In elastic mode each attempt
+/// re-partitions from the live membership (inside [`HostCtx::run_elastic`])
+/// so a shrink re-converges on the survivors; otherwise the partition is
+/// fixed up front and transient faults recover in place.
+fn run_hosts<R: Send>(
+    elastic: bool,
+    g: &Graph,
+    policy: Policy,
+    cluster: &Cluster,
+    plan: FaultPlan,
+    f: impl Fn(&kimbap_dist::DistGraph, &HostCtx) -> R + Sync,
+) -> Vec<Result<R, HostError>> {
+    if elastic {
+        cluster.try_run_with_faults(plan, |ctx| {
+            ctx.run_elastic(|ctx| {
+                let parts = partition(g, policy, ctx.num_hosts());
+                f(&parts[ctx.host()], ctx)
+            })
+        })
+    } else {
+        let parts = partition(g, policy, cluster.num_hosts());
+        cluster.try_run_with_faults(plan, |ctx| {
+            ctx.run_recovering(|ctx| f(&parts[ctx.host()], ctx))
+        })
+    }
 }
 
 /// What one simulated run produced.
@@ -326,27 +400,31 @@ fn sim_outcome(
     g: &Graph,
     cluster: &Cluster,
     plan: FaultPlan,
+    elastic: bool,
 ) -> Result<SimOutcome, String> {
     let policy = match algo {
         "louvain" | "leiden" => Policy::EdgeCutBlocked,
         _ => Policy::CartesianVertexCut,
     };
-    let parts = partition(g, policy, cluster.num_hosts());
     let b = NpmBuilder::default();
     let n = g.num_nodes();
     Ok(match algo {
         "cc-sv" | "cc-lp" | "cc-sclp" => {
-            match host_values(cluster.try_run_with_faults(plan, |ctx| {
-                ctx.run_recovering(|ctx| run_cc(algo, &parts[ctx.host()], ctx))
-            }))? {
+            match host_values(
+                run_hosts(elastic, g, policy, cluster, plan, |dg, ctx| {
+                    run_cc(algo, dg, ctx)
+                }),
+                elastic,
+            )? {
                 HostValues::Aborted(m) => SimOutcome::Aborted(m),
                 HostValues::All(ph) => SimOutcome::Labels(merge_master_values(n, ph)),
             }
         }
         "mis" => {
-            match host_values(cluster.try_run_with_faults(plan, |ctx| {
-                ctx.run_recovering(|ctx| mis(&parts[ctx.host()], ctx, &b))
-            }))? {
+            match host_values(
+                run_hosts(elastic, g, policy, cluster, plan, |dg, ctx| mis(dg, ctx, &b)),
+                elastic,
+            )? {
                 HostValues::Aborted(m) => SimOutcome::Aborted(m),
                 HostValues::All(ph) => {
                     let set = merge_master_values(n, ph);
@@ -356,9 +434,10 @@ fn sim_outcome(
             }
         }
         "msf" => {
-            match host_values(cluster.try_run_with_faults(plan, |ctx| {
-                ctx.run_recovering(|ctx| msf(&parts[ctx.host()], ctx, &b))
-            }))? {
+            match host_values(
+                run_hosts(elastic, g, policy, cluster, plan, |dg, ctx| msf(dg, ctx, &b)),
+                elastic,
+            )? {
                 HostValues::Aborted(m) => SimOutcome::Aborted(m),
                 HostValues::All(ph) => {
                     let (mut edges, total) = kimbap_algos::msf::merge_forest(ph);
@@ -373,16 +452,16 @@ fn sim_outcome(
         }
         "louvain" | "leiden" => {
             let cfg = LouvainConfig::default();
-            match host_values(cluster.try_run_with_faults(plan, |ctx| {
-                ctx.run_recovering(|ctx| {
-                    let dg = &parts[ctx.host()];
+            match host_values(
+                run_hosts(elastic, g, policy, cluster, plan, |dg, ctx| {
                     if algo == "louvain" {
                         louvain(dg, ctx, &b, &cfg)
                     } else {
                         leiden(dg, ctx, &b, &cfg)
                     }
-                })
-            }))? {
+                }),
+                elastic,
+            )? {
                 HostValues::Aborted(m) => SimOutcome::Aborted(m),
                 HostValues::All(ph) => {
                     let labels = compose_labels(n, &ph);
@@ -409,6 +488,7 @@ fn run_sim_seed(
     threads: usize,
     scale: u32,
     ef: usize,
+    allow_shrink: bool,
     trace_path: Option<&str>,
     out: Option<&str>,
 ) -> Result<(SimOutcome, usize), String> {
@@ -423,6 +503,7 @@ fn run_sim_seed(
         &g,
         &Cluster::with_threads(hosts, threads),
         FaultPlan::new(),
+        false,
     )? {
         SimOutcome::Labels(l) => l,
         SimOutcome::Aborted(m) => return Err(format!("fault-free baseline aborted: {m}")),
@@ -432,12 +513,37 @@ fn run_sim_seed(
     {
         return Err("in-proc labels diverge from the single-threaded reference".into());
     }
+    // A fired kill makes the survivors finish on the shrunk membership.
+    // Algorithms whose output depends on the partition (louvain/leiden)
+    // then legitimately converge to the fault-free output of a cluster
+    // one host smaller, so that baseline is accepted too.
+    let shrunk_baseline = if allow_shrink && simfuzz::kill_victim(seed, hosts).is_some() {
+        match sim_outcome(
+            algo,
+            &g,
+            &Cluster::with_threads(hosts - 1, threads),
+            FaultPlan::new(),
+            false,
+        )? {
+            SimOutcome::Labels(l) => Some(l),
+            SimOutcome::Aborted(m) => {
+                return Err(format!("fault-free shrunk baseline aborted: {m}"))
+            }
+        }
+    } else {
+        None
+    };
+    let plan = if allow_shrink {
+        simfuzz::random_kill_plan(seed, hosts)
+    } else {
+        simfuzz::random_fault_plan(seed, hosts)
+    };
     let sink = new_trace_sink();
     let cluster = Cluster::with_threads(hosts, threads)
         .sim(seed)
         .with_transport_config(simfuzz::sim_transport_config())
         .with_trace_sink(sink.clone());
-    let outcome = sim_outcome(algo, &g, &cluster, simfuzz::random_fault_plan(seed, hosts))?;
+    let outcome = sim_outcome(algo, &g, &cluster, plan, allow_shrink)?;
     let trace = std::mem::take(&mut *sink.lock());
     if let Some(path) = trace_path {
         let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
@@ -447,7 +553,7 @@ fn run_sim_seed(
         }
     }
     if let SimOutcome::Labels(labels) = &outcome {
-        if *labels != baseline {
+        if *labels != baseline && shrunk_baseline.as_deref() != Some(labels.as_slice()) {
             return Err("labels diverge from the fault-free baseline".into());
         }
         if let Some(path) = out {
@@ -472,6 +578,7 @@ fn cmd_sim(args: &[String]) -> CliResult {
     let ef: usize = flag_num(args, "--ef", 4)?;
     let seed: u64 = flag_num(args, "--seed", 1)?;
     let nseeds: u64 = flag_num(args, "--seeds", 1)?;
+    let allow_shrink = args.iter().any(|a| a == "--allow-shrink");
     let trace_path = flag(args, "--trace");
     let out = flag(args, "--out");
     let t = Instant::now();
@@ -479,7 +586,7 @@ fn cmd_sim(args: &[String]) -> CliResult {
     for s in seed..seed.saturating_add(nseeds) {
         let replay = format!(
             "replay: {}",
-            simfuzz::replay_command(&algo, s, hosts, threads, scale, ef)
+            simfuzz::replay_command(&algo, s, hosts, threads, scale, ef, allow_shrink)
         );
         let (outcome, events) = run_sim_seed(
             &algo,
@@ -488,6 +595,7 @@ fn cmd_sim(args: &[String]) -> CliResult {
             threads,
             scale,
             ef,
+            allow_shrink,
             trace_path.as_deref(),
             out.as_deref(),
         )
@@ -520,12 +628,19 @@ fn cmd_run(args: &[String]) -> CliResult {
     let seed: u64 = flag_num(args, "--seed", 1)?;
     let port_base: u16 = flag_num(args, "--port-base", 46000)?;
     let out = flag(args, "--out");
+    let allow_shrink = args.iter().any(|a| a == "--allow-shrink");
     let is_cc = matches!(algo.as_str(), "cc-sv" | "cc-lp" | "cc-sclp");
     if !matches!(transport.as_str(), "inproc" | "tcp") {
         return Err(format!("unknown transport '{transport}'"));
     }
-    if (transport == "tcp" || faults != "none" || out.is_some()) && !is_cc {
-        return Err("--transport tcp, --faults, and --out support cc-* algorithms only".into());
+    if (transport == "tcp" || faults != "none" || out.is_some() || allow_shrink) && !is_cc {
+        return Err(
+            "--transport tcp, --faults, --allow-shrink, and --out support cc-* algorithms only"
+                .into(),
+        );
+    }
+    if faults == "kill" && !allow_shrink {
+        return Err("--faults kill is only survivable with --allow-shrink".into());
     }
     let g = load_graph(&path)?;
     println!("input: {}", GraphStats::of(&g));
@@ -541,7 +656,28 @@ fn cmd_run(args: &[String]) -> CliResult {
     match algo.as_str() {
         "cc-sv" | "cc-lp" | "cc-sclp" => {
             let per_host = if transport == "tcp" {
-                run_tcp_cc(&algo, &path, hosts, threads, port_base, &faults, seed)?
+                run_tcp_cc(
+                    &algo, &path, hosts, threads, port_base, &faults, seed, allow_shrink,
+                )?
+            } else if allow_shrink {
+                let plan = fault_plan(&faults, seed, hosts)?;
+                let res = cluster.try_run_with_faults(plan, |ctx| {
+                    ctx.run_elastic(|ctx| {
+                        let parts = partition(&g, policy, ctx.num_hosts());
+                        run_cc(&algo, &parts[ctx.host()], ctx)
+                    })
+                });
+                let mut per_host = Vec::new();
+                for (h, r) in res.into_iter().enumerate() {
+                    match r {
+                        Ok(v) => per_host.push(v),
+                        Err(e) if e.message.starts_with("permanent host loss") => {
+                            println!("host {h} was killed; survivors shrank past it");
+                        }
+                        Err(e) => return Err(format!("host {h}: {e}")),
+                    }
+                }
+                per_host
             } else {
                 let plan = fault_plan(&faults, seed, hosts)?;
                 cluster.run_with_faults(plan, |ctx| {

@@ -36,6 +36,12 @@ pub struct EngineConfig {
     /// checkpoint replay, instead of wedging the round forever behind a
     /// hung peer. `None` (the default) waits indefinitely.
     pub phase_timeout: Option<Duration>,
+    /// Survive permanent host loss: replicate every checkpoint to the ring
+    /// successor and, when recovery alignment reports permanently departed
+    /// hosts, raise a [`ShrinkSignal`] (caught by
+    /// [`crate::elastic::run_plan_elastic`]) carrying the durable state
+    /// instead of propagating a terminal error.
+    pub allow_shrink: bool,
 }
 
 impl Default for EngineConfig {
@@ -44,6 +50,7 @@ impl Default for EngineConfig {
             variant: Variant::SgrCfGar,
             sparse: true,
             phase_timeout: None,
+            allow_shrink: false,
         }
     }
 }
@@ -87,6 +94,108 @@ struct Checkpoint {
     /// Activity records accumulated at checkpoint time; a restore
     /// truncates back to here so replayed rounds are not double-counted.
     activity_len: usize,
+}
+
+/// A checkpoint in partition-independent form: explicit master pairs per
+/// map, scalar-reducer locals, and the round counter. This is what one
+/// host ships to its replication ring successor at every checkpoint, and
+/// what a survivor re-shards onto the new ownership after a membership
+/// shrink.
+#[derive(Debug, Clone)]
+pub struct DurableState {
+    /// Per map: `(global id, value)` for every master of the originating
+    /// host's shard, in deterministic (ascending id) order.
+    pub maps: Vec<Vec<(NodeId, u64)>>,
+    /// Per scalar reducer: the originating host's local contribution.
+    pub reducers: Vec<u64>,
+    /// Round counter at the checkpoint.
+    pub rounds: u64,
+}
+
+/// Re-sharded state a survivor installs before resuming on the shrunk
+/// membership: the union of surviving shards and adopted replicas, routed
+/// to this host's new masters.
+#[derive(Debug, Clone)]
+pub struct AdoptedState {
+    /// Per map: value for every master this host owns under the new
+    /// partition.
+    pub maps: Vec<std::collections::HashMap<NodeId, u64>>,
+    /// This host's scalar-reducer locals (the adopter's include the
+    /// departed predecessor's share).
+    pub reducers: Vec<u64>,
+    /// Round counter to resume from.
+    pub rounds: u64,
+}
+
+/// Panic payload raised instead of a terminal error when (with
+/// [`EngineConfig::allow_shrink`]) recovery alignment reports permanently
+/// departed hosts. Carries everything the elastic driver needs to shrink
+/// the membership and resume from the last checkpoint.
+pub struct ShrinkSignal {
+    /// Index of the top-level program item that was executing, when it was
+    /// a directly resumable loop; `None` (nested in a `DoWhileScalar`, or
+    /// outside any loop) forces a full restart on the survivors.
+    pub top_idx: Option<usize>,
+    /// This host's own durable state at the last checkpoint.
+    pub state: DurableState,
+    /// The ring predecessor's durable state from the last replication
+    /// exchange, if one completed.
+    pub replica: Option<DurableState>,
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn take_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let b = buf.get(*pos..*pos + 8)?;
+    *pos += 8;
+    Some(u64::from_le_bytes(b.try_into().unwrap()))
+}
+
+fn encode_state(s: &DurableState) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, s.rounds);
+    put_u64(&mut buf, s.reducers.len() as u64);
+    for &r in &s.reducers {
+        put_u64(&mut buf, r);
+    }
+    put_u64(&mut buf, s.maps.len() as u64);
+    for m in &s.maps {
+        put_u64(&mut buf, m.len() as u64);
+        for &(k, v) in m {
+            put_u64(&mut buf, k as u64);
+            put_u64(&mut buf, v);
+        }
+    }
+    buf
+}
+
+fn decode_state(buf: &[u8]) -> Option<DurableState> {
+    let mut pos = 0;
+    let rounds = take_u64(buf, &mut pos)?;
+    let nred = take_u64(buf, &mut pos)? as usize;
+    let mut reducers = Vec::with_capacity(nred.min(1 << 16));
+    for _ in 0..nred {
+        reducers.push(take_u64(buf, &mut pos)?);
+    }
+    let nmaps = take_u64(buf, &mut pos)? as usize;
+    let mut maps = Vec::with_capacity(nmaps.min(1 << 16));
+    for _ in 0..nmaps {
+        let len = take_u64(buf, &mut pos)? as usize;
+        let mut pairs = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            let k = take_u64(buf, &mut pos)? as NodeId;
+            let v = take_u64(buf, &mut pos)?;
+            pairs.push((k, v));
+        }
+        maps.push(pairs);
+    }
+    (pos == buf.len()).then_some(DurableState {
+        maps,
+        reducers,
+        rounds,
+    })
 }
 
 /// Per-host output of a program run.
@@ -142,6 +251,13 @@ pub struct Engine<'g> {
     rounds: u64,
     config: EngineConfig,
     activity: Vec<RoundActivity>,
+    /// The ring predecessor's durable state from the last replication
+    /// exchange (with [`EngineConfig::allow_shrink`]).
+    replica: Option<DurableState>,
+    /// Index of the top-level program item currently executing, when it is
+    /// directly under the program body (nested bodies clear it): the
+    /// resume point a [`ShrinkSignal`] reports.
+    top_cursor: Option<usize>,
 }
 
 impl<'g> Engine<'g> {
@@ -171,14 +287,27 @@ impl<'g> Engine<'g> {
             rounds: 0,
             config,
             activity: Vec::new(),
+            replica: None,
+            top_cursor: None,
         }
     }
 
     /// Runs the program to completion and returns the master values of
     /// every map. Collective.
-    pub fn run(mut self, ctx: &HostCtx) -> EngineOutput {
+    pub fn run(self, ctx: &HostCtx) -> EngineOutput {
+        self.run_from(ctx, 0)
+    }
+
+    /// Runs the program starting at top-level item `start`: 0 for a fresh
+    /// run; the [`ShrinkSignal`]'s resume point after [`Engine::adopt`]
+    /// installed re-sharded state on a shrunk membership. Collective.
+    pub fn run_from(mut self, ctx: &HostCtx, start: usize) -> EngineOutput {
         let body = self.plan.body.clone();
-        self.exec_tops(ctx, &body);
+        for (i, t) in body.iter().enumerate().skip(start) {
+            self.top_cursor = Some(i);
+            self.exec_top(ctx, t);
+        }
+        self.top_cursor = None;
         let map_values = self
             .maps
             .iter()
@@ -200,7 +329,16 @@ impl<'g> Engine<'g> {
     }
 
     fn exec_tops(&mut self, ctx: &HostCtx, tops: &[CompiledTop]) {
+        // Nested bodies (`DoWhileScalar`) are not resumable mid-iteration:
+        // clear the cursor so a shrink inside one forces a full restart.
+        self.top_cursor = None;
         for t in tops {
+            self.exec_top(ctx, t);
+        }
+    }
+
+    fn exec_top(&mut self, ctx: &HostCtx, t: &CompiledTop) {
+        {
             match t {
                 CompiledTop::InitMap { map, value } => {
                     let value = value.clone();
@@ -241,6 +379,67 @@ impl<'g> Engine<'g> {
         }
     }
 
+    /// Converts `cp` to its partition-independent form (explicit master
+    /// pairs instead of shard-relative offsets).
+    fn globalize(&self, cp: &Checkpoint) -> DurableState {
+        DurableState {
+            maps: self
+                .maps
+                .iter()
+                .zip(&cp.maps)
+                .map(|(m, s)| m.globalize_snapshot(s))
+                .collect(),
+            reducers: cp.reducers.clone(),
+            rounds: cp.rounds,
+        }
+    }
+
+    /// Ships this host's checkpoint (globalized) to its ring successor and
+    /// installs the predecessor's as the local replica. Collective; runs
+    /// inside the loop's recovery scope, so a crash mid-exchange rewinds
+    /// and re-replicates like any failed round.
+    fn replicate(&mut self, ctx: &HostCtx, cp: &Checkpoint) {
+        let k = ctx.num_hosts();
+        if k < 2 {
+            return;
+        }
+        ctx.set_deadline(Deadline::maybe("replicate", self.config.phase_timeout));
+        let me = ctx.host();
+        let mut out = vec![Vec::new(); k];
+        out[(me + 1) % k] = encode_state(&self.globalize(cp));
+        let recv = ctx.exchange(out);
+        self.replica = decode_state(&recv[(me + k - 1) % k]);
+        ctx.set_deadline(Deadline::none());
+    }
+
+    /// Installs re-sharded durable state: every map's masters from the
+    /// routed tables, the scalar-reducer locals, and the round counter.
+    /// The next executed loop pins mirrors and replays from this state
+    /// exactly as from a checkpoint restore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the re-shard left one of this host's masters without a
+    /// value (the elastic driver's coverage check prevents this).
+    pub fn adopt(&mut self, state: &AdoptedState) {
+        assert_eq!(
+            state.maps.len(),
+            self.maps.len(),
+            "adopted state from a different program"
+        );
+        for (m, table) in self.maps.iter_mut().zip(&state.maps) {
+            m.init_masters(&|g| {
+                *table
+                    .get(&g)
+                    .unwrap_or_else(|| panic!("re-shard left master {g} without a value"))
+            });
+        }
+        for (r, &v) in self.reducers.iter().zip(&state.reducers) {
+            r.set(v);
+        }
+        self.rounds = state.rounds;
+    }
+
     /// Rewinds the engine to `cp` (after [`HostCtx::recover_align`] has
     /// healed the fabric).
     fn restore(&mut self, cp: &Checkpoint) {
@@ -257,11 +456,23 @@ impl<'g> Engine<'g> {
     fn exec_loop(&mut self, ctx: &HostCtx, l: &CompiledLoop, repeat: bool) {
         let mut cp = self.checkpoint();
         let mut need_pin = true;
+        // Replication runs at the top of the protected step, so a crash
+        // anywhere inside rewinds both the round and the replica exchange
+        // together; after a restore it re-ships the restored checkpoint so
+        // the successor's replica matches what survivors would replay.
+        let mut replicate_due = self.config.allow_shrink;
         let mut recoveries = 0u32;
         loop {
-            match catch_unwind(AssertUnwindSafe(|| self.loop_step(ctx, l, repeat, need_pin))) {
+            let step = catch_unwind(AssertUnwindSafe(|| {
+                if replicate_due {
+                    self.replicate(ctx, &cp);
+                }
+                self.loop_step(ctx, l, repeat, need_pin)
+            }));
+            match step {
                 Ok(done) => {
                     need_pin = false;
+                    replicate_due = self.config.allow_shrink;
                     cp = self.checkpoint();
                     if done {
                         break;
@@ -274,12 +485,30 @@ impl<'g> Engine<'g> {
                     if recoveries >= MAX_RECOVERIES || !payload.is::<CrashSignal>() {
                         resume_unwind(payload);
                     }
+                    // A killed host must depart, not recover.
+                    if matches!(
+                        payload.downcast_ref::<CrashSignal>(),
+                        Some(CrashSignal::Killed { .. })
+                    ) {
+                        resume_unwind(payload);
+                    }
                     recoveries += 1;
                     if ctx.recover_align().is_err() {
+                        if self.config.allow_shrink && !ctx.pending_departures().is_empty() {
+                            // Permanent loss: hand the elastic driver this
+                            // host's durable state (plus the predecessor's
+                            // replica) to re-shard onto the survivors.
+                            resume_unwind(Box::new(ShrinkSignal {
+                                top_idx: self.top_cursor,
+                                state: self.globalize(&cp),
+                                replica: self.replica.take(),
+                            }));
+                        }
                         resume_unwind(payload);
                     }
                     self.restore(&cp);
                     need_pin = true;
+                    replicate_due = self.config.allow_shrink;
                 }
             }
         }

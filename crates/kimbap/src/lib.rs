@@ -34,6 +34,7 @@
 //!     .all(|&(_, v)| v == 0));
 //! ```
 
+pub mod elastic;
 pub mod engine;
 pub mod simfuzz;
 

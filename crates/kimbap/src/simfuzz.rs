@@ -48,6 +48,41 @@ pub fn random_fault_plan(seed: u64, hosts: usize) -> FaultPlan {
     plan
 }
 
+/// The permanent-kill a seed's elastic fuzz plan carries, if any: about
+/// 40% of seeds kill one non-zero host within the first few rounds. Pure
+/// function of the seed; [`random_kill_plan`] injects exactly this kill,
+/// and the launcher uses it to pick the right convergence baseline (a
+/// fired kill makes the run finish on the shrunk membership).
+pub fn kill_victim(seed: u64, hosts: usize) -> Option<(usize, u64)> {
+    let mut z = seed ^ 0x1057_4057;
+    if hosts >= 2 && splitmix(&mut z) % 100 < 40 {
+        let h = 1 + (splitmix(&mut z) as usize) % (hosts - 1);
+        let round = 1 + splitmix(&mut z) % 4;
+        Some((h, round))
+    } else {
+        None
+    }
+}
+
+/// Derives the fault plan an elastic (`--allow-shrink`) fuzz run injects
+/// for `seed`: the usual background frame noise plus, for the seeds
+/// [`kill_victim`] selects, a permanent host kill — so crash → shrink →
+/// re-converge interleavings are seed-fuzzable and replayable.
+pub fn random_kill_plan(seed: u64, hosts: usize) -> FaultPlan {
+    let mut z = seed ^ 0xe1a5_71c5;
+    let mut rate = |hi: u64| (splitmix(&mut z) % hi) as f64 / 1000.0;
+    let mut plan = FaultPlan::new()
+        .with_seed(seed ^ 0x0bad_cafe)
+        .drop_rate(rate(30))
+        .duplicate_rate(rate(20))
+        .corrupt_rate(rate(20))
+        .delay_rate(rate(50));
+    if let Some((h, round)) = kill_victim(seed, hosts) {
+        plan = plan.kill_host(h, round);
+    }
+    plan
+}
+
 /// The transport configuration simulated fuzz runs use: a fast heartbeat
 /// (10 ms interval, 80 ms suspicion) so injected stalls are detected —
 /// both delays elapse on the virtual clock, costing microseconds of wall
@@ -67,10 +102,12 @@ pub fn replay_command(
     threads: usize,
     scale: u32,
     ef: usize,
+    allow_shrink: bool,
 ) -> String {
+    let shrink = if allow_shrink { " --allow-shrink" } else { "" };
     format!(
         "kimbap sim --algo {algo} --seed {seed} --hosts {hosts} --threads {threads} \
-         --scale {scale} --ef {ef} --trace trace.jsonl"
+         --scale {scale} --ef {ef}{shrink} --trace trace.jsonl"
     )
 }
 
@@ -94,6 +131,20 @@ mod tests {
             .map(|s| format!("{:?}", random_fault_plan(s, 3)))
             .collect::<std::collections::HashSet<_>>();
         assert!(distinct.len() > 32, "plans should differ across seeds");
+    }
+
+    #[test]
+    fn kill_plans_are_deterministic_and_cover_both_modes() {
+        // The CI fuzz smoke runs seeds 1..=25: a healthy mix of seeds
+        // with and without a permanent kill must fall in that window.
+        let kills = (1..=25).filter(|&s| kill_victim(s, 4).is_some()).count();
+        assert!((5..=20).contains(&kills), "skewed kill coverage: {kills}/25");
+        for seed in 0..32 {
+            assert_eq!(
+                format!("{:?}", random_kill_plan(seed, 4)),
+                format!("{:?}", random_kill_plan(seed, 4))
+            );
+        }
     }
 
     #[test]

@@ -227,6 +227,95 @@ fn louvain_survives_frame_faults() {
     assert_eq!(louvain_result(&g, &inproc(), plan), baseline);
 }
 
+/// Runs `f` elastically (partition recomputed from the live membership on
+/// every attempt) and returns the survivors' values, skipping the killed
+/// hosts' own permanent-loss aborts. Any other host error is a bug.
+fn run_elastic_survivors<R: Send>(
+    g: &kimbap_graph::Graph,
+    cluster: &Cluster,
+    plan: FaultPlan,
+    policy: Policy,
+    f: impl Fn(&kimbap_dist::DistGraph, &kimbap_comm::HostCtx) -> R + Sync,
+) -> Vec<R> {
+    let res = cluster.try_run_with_faults(plan, |ctx| {
+        ctx.run_elastic(|ctx| {
+            let parts = partition(g, policy, ctx.num_hosts());
+            f(&parts[ctx.host()], ctx)
+        })
+    });
+    res.into_iter()
+        .enumerate()
+        .filter_map(|(h, r)| match r {
+            Ok(v) => Some(v),
+            Err(e) if e.message.starts_with("permanent host loss") => None,
+            Err(e) => panic!("host {h}: {e}"),
+        })
+        .collect()
+}
+
+/// Crash-then-shrink matrix: host 1 is permanently killed mid-run on the
+/// simulation backend, the two survivors agree it out of the membership,
+/// re-partition, and re-converge. cc_lp / msf / mis outputs are
+/// partition-independent, so they must equal the fault-free run of the
+/// full cluster; louvain's merge order tracks the partition, so its
+/// baseline is the fault-free run of the surviving two-host cluster
+/// (full-restart semantics make that the exact expectation).
+#[test]
+fn shrink_matrix_smoke() {
+    let g = gen::rmat(6, 4, 9);
+    let gw = gen::with_random_weights(&g, 1 << 16, 9 ^ 0x5eed);
+    let n = g.num_nodes();
+    let b = NpmBuilder::default();
+    let kill = || FaultPlan::new().kill_host(1, 2);
+    let sim = || Cluster::with_threads(HOSTS, 2).sim(SIM_SEED);
+
+    let cc_baseline = cc_lp_labels(&g, &inproc(), FaultPlan::new(), true);
+    let run_cc = || {
+        let ph = run_elastic_survivors(&g, &sim(), kill(), Policy::EdgeCutBlocked, |dg, ctx| {
+            cc_lp(dg, ctx, &b)
+        });
+        assert_eq!(ph.len(), HOSTS - 1, "exactly the victim must be lost");
+        merge_master_values(n, ph)
+    };
+    let cc_first = run_cc();
+    assert_eq!(cc_first, cc_baseline, "cc diverged after shrink");
+    // Same seed, same kill, same schedule: the degraded run is
+    // byte-reproducible.
+    assert_eq!(run_cc(), cc_first, "shrunk cc run is not seed-reproducible");
+
+    let msf_baseline = msf_forest(&gw, &inproc(), FaultPlan::new());
+    let ph = run_elastic_survivors(&gw, &sim(), kill(), Policy::CartesianVertexCut, |dg, ctx| {
+        algos::msf(dg, ctx, &b)
+    });
+    let (mut edges, total) = msf::merge_forest(ph);
+    edges.sort_unstable();
+    assert_eq!((edges, total), msf_baseline, "msf diverged after shrink");
+
+    let mis_baseline = mis_set(&g, &inproc(), FaultPlan::new());
+    let ph = run_elastic_survivors(&g, &sim(), kill(), Policy::CartesianVertexCut, |dg, ctx| {
+        algos::mis(dg, ctx, &b)
+    });
+    assert_eq!(
+        merge_master_values(n, ph),
+        mis_baseline,
+        "mis diverged after shrink"
+    );
+
+    let cfg = algos::LouvainConfig::default();
+    let parts2 = partition(&g, Policy::EdgeCutBlocked, HOSTS - 1);
+    let base2 = Cluster::with_threads(HOSTS - 1, 2)
+        .run(|ctx| algos::louvain(&parts2[ctx.host()], ctx, &b, &cfg));
+    let expected = algos::compose_labels(n, &base2);
+    let ph = run_elastic_survivors(&g, &sim(), kill(), Policy::EdgeCutBlocked, |dg, ctx| {
+        algos::louvain(dg, ctx, &b, &cfg)
+    });
+    assert_eq!(
+        algos::compose_labels(n, &ph),
+        expected,
+        "louvain diverged after shrink"
+    );
+}
+
 /// The fixed-seed fault matrix run by scripts/ci.sh: three plans (drops,
 /// corruption, mid-run crash) x four algorithms (cc_lp, louvain, msf,
 /// mis), executed on the deterministic simulation backend against

@@ -94,6 +94,48 @@ fn sim_cc_lp(
     Ok(Some(merge_master_values(g.num_nodes(), vals)))
 }
 
+/// The elastic variant: permanent host loss is survivable, so the killed
+/// host's own abort is an expected casualty and the survivors' merged
+/// labels are the outcome. `Ok(None)` means a host surfaced a clean
+/// communication failure (`MembershipLost` when the shrink could not be
+/// agreed, or a plain timeout) instead of converging.
+fn sim_cc_lp_elastic(
+    g: &kimbap_graph::Graph,
+    plan: FaultPlan,
+    sim_seed: u64,
+) -> Result<Option<Vec<u64>>, String> {
+    let b = NpmBuilder::default();
+    let cluster = Cluster::with_threads(HOSTS, 1)
+        .sim(sim_seed)
+        .with_transport_config(simfuzz::sim_transport_config());
+    let res = cluster.try_run_with_faults(plan, |ctx| {
+        ctx.run_elastic(|ctx| {
+            let parts = partition(g, Policy::CartesianVertexCut, ctx.num_hosts());
+            cc_lp(&parts[ctx.host()], ctx, &b)
+        })
+    });
+    let mut vals = Vec::with_capacity(HOSTS);
+    let mut surfaced = false;
+    for r in res {
+        match r {
+            Ok(v) => vals.push(v),
+            Err(e) if e.message.starts_with("permanent host loss") => {}
+            Err(e)
+                if e.message.starts_with("communication failed")
+                    || e.message.starts_with("injected crash")
+                    || e.message.contains("membership lost") =>
+            {
+                surfaced = true;
+            }
+            Err(e) => return Err(format!("non-communication panic: {e}")),
+        }
+    }
+    if surfaced || vals.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(merge_master_values(g.num_nodes(), vals)))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -123,13 +165,55 @@ proptest! {
     /// the printed `kimbap sim` command.
     #[test]
     fn cli_fuzz_seed_converges_or_surfaces(seed in 0u64..=u64::MAX) {
-        let replay = simfuzz::replay_command("cc-lp", seed, HOSTS, 1, 6, 4);
+        let replay = simfuzz::replay_command("cc-lp", seed, HOSTS, 1, 6, 4, false);
         let g = gen::rmat(6, 4, seed);
         let plan = simfuzz::random_fault_plan(seed, HOSTS);
         match sim_cc_lp(&g, Policy::CartesianVertexCut, plan, seed) {
             Ok(Some(labels)) => {
                 prop_assert_eq!(labels, refcheck::connected_components(&g),
                     "labels diverged from reference; replay: {}", replay);
+            }
+            Ok(None) => {}
+            Err(bug) => panic!("{bug}; replay: {replay}"),
+        }
+    }
+
+    /// Permanent loss at an ARBITRARY time: whatever host is killed at
+    /// whatever round under whatever schedule, an elastic run either
+    /// shrinks past it and converges to the reference labels, or
+    /// surfaces a clean membership-lost failure — never a hang, never a
+    /// silent divergence, never an unexplained panic.
+    #[test]
+    fn killed_host_shrinks_and_converges_or_surfaces(
+        victim in 1usize..HOSTS,
+        round in 1u64..6,
+        sim_seed in 0u64..=u64::MAX,
+        graph_seed in 0u64..32,
+    ) {
+        let g = gen::rmat(6, 4, graph_seed);
+        let plan = FaultPlan::new().kill_host(victim, round);
+        match sim_cc_lp_elastic(&g, plan, sim_seed) {
+            Ok(Some(labels)) => {
+                prop_assert_eq!(labels, refcheck::connected_components(&g),
+                    "survivor labels diverged from reference");
+            }
+            Ok(None) => {} // surfaced membership loss — acceptable
+            Err(bug) => panic!("{bug}"),
+        }
+    }
+
+    /// The elastic CLI fuzz path: seed-derived kill-bearing plans
+    /// (`random_kill_plan`) must shrink-and-converge or surface, and the
+    /// printed `kimbap sim --allow-shrink` command replays them exactly.
+    #[test]
+    fn cli_elastic_fuzz_seed_shrinks_or_surfaces(seed in 0u64..=u64::MAX) {
+        let replay = simfuzz::replay_command("cc-lp", seed, HOSTS, 1, 6, 4, true);
+        let g = gen::rmat(6, 4, seed);
+        let plan = simfuzz::random_kill_plan(seed, HOSTS);
+        match sim_cc_lp_elastic(&g, plan, seed) {
+            Ok(Some(labels)) => {
+                prop_assert_eq!(labels, refcheck::connected_components(&g),
+                    "survivor labels diverged from reference; replay: {}", replay);
             }
             Ok(None) => {}
             Err(bug) => panic!("{bug}; replay: {replay}"),

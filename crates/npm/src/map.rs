@@ -799,6 +799,42 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
         self.updated.store(false, Ordering::Relaxed);
     }
 
+    /// Expands a snapshot of **this host's** shard into explicit
+    /// `(node, value)` pairs — the partition-independent form a host ships
+    /// to its replication successor, and the form a survivor re-shards
+    /// under a recomputed ownership after a membership shrink. Dense
+    /// offsets are decoded through the shared ownership; sharded maps are
+    /// flattened. The order is deterministic (ascending node id), so
+    /// replicated payloads are byte-stable across runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dense snapshot's length does not match this host's
+    /// master count (snapshot from a different shard or node space).
+    pub fn globalize_snapshot(&self, snap: &MapSnapshot<T>) -> Vec<(NodeId, T)> {
+        match snap {
+            MapSnapshot::Dense(vals) => {
+                assert_eq!(
+                    vals.len(),
+                    self.key_own.num_masters(self.host),
+                    "snapshot from a different shard"
+                );
+                self.key_own
+                    .masters(self.host)
+                    .zip(vals.iter().copied())
+                    .collect()
+            }
+            MapSnapshot::Sharded(shards) => {
+                let mut pairs: Vec<(NodeId, T)> = shards
+                    .iter()
+                    .flat_map(|s| s.iter().map(|(&k, &v)| (k, v)))
+                    .collect();
+                pairs.sort_unstable_by_key(|p| p.0);
+                pairs
+            }
+        }
+    }
+
     /// Resets every CF transient (thread buffers, combine cells, owned
     /// pairs), keeping allocations.
     fn clear_partials(&mut self) {

@@ -31,6 +31,9 @@ echo "==> simulation fuzz smoke (seed-replayable; failures print a replay cmd)"
 ./target/release/kimbap sim --algo cc-lp --seeds 50
 ./target/release/kimbap sim --algo msf --seeds 50
 
+echo "==> elastic fuzz smoke (kill-bearing plans; survivors must shrink+converge)"
+./target/release/kimbap sim --algo cc-lp --seeds 25 --hosts 4 --allow-shrink
+
 echo "==> TCP-loopback smoke (multi-process kimbap bin vs in-proc, diffed)"
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
@@ -43,6 +46,15 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
     --out "$SMOKE_DIR/tcp.txt"
 diff "$SMOKE_DIR/inproc.txt" "$SMOKE_DIR/tcp.txt"
 echo "    in-proc and TCP labels identical"
+
+echo "==> TCP kill smoke (worker 1 killed mid-run; survivors' output diffed)"
+./target/release/kimbap run cc-lp "$SMOKE_DIR/g.kg" --hosts 4 --threads 2 \
+    --out "$SMOKE_DIR/clean.txt"
+./target/release/kimbap run cc-lp "$SMOKE_DIR/g.kg" --hosts 4 --threads 2 \
+    --transport tcp --port-base 46900 --faults kill --allow-shrink \
+    --out "$SMOKE_DIR/degraded.txt"
+diff "$SMOKE_DIR/clean.txt" "$SMOKE_DIR/degraded.txt"
+echo "    degraded (3-host) and fault-free (4-host) labels identical"
 
 echo "==> bench harness smoke (tiny graph, JSON records)"
 scripts/bench.sh --smoke
