@@ -45,7 +45,8 @@ fn record_run_to(path: &str, bench: &str, case: &str, system: &str, hosts: usize
                 "\"membership_changes\":{},\"degraded_rounds\":{},",
                 "\"resharded_keys\":{},",
                 "\"request_compute_secs\":{:.6},\"request_sync_secs\":{:.6},",
-                "\"reduce_compute_secs\":{:.6},\"reduce_sync_secs\":{:.6}}}"
+                "\"reduce_compute_secs\":{:.6},\"reduce_sync_secs\":{:.6},",
+                "\"overlap_secs\":{:.6},\"chunks_sent\":{},\"chunk_retransmits\":{}}}"
             ),
             escape(bench),
             escape(case),
@@ -66,6 +67,9 @@ fn record_run_to(path: &str, bench: &str, case: &str, system: &str, hosts: usize
             s.request_sync_secs,
             s.reduce_compute_secs,
             s.reduce_sync_secs,
+            s.overlap_secs,
+            s.chunks_sent,
+            s.chunk_retransmits,
         ),
     );
 }
@@ -179,6 +183,9 @@ mod tests {
             degraded_rounds: 5,
             resharded_keys: 128,
             reduce_sync_secs: 0.125,
+            overlap_secs: 0.0625,
+            chunks_sent: 96,
+            chunk_retransmits: 2,
             ..RunStats::default()
         };
         record_run_to(path_s, "fig11", "road/cc_sv", "sgr_cf_gar", 4, &stats);
@@ -218,6 +225,8 @@ mod tests {
         assert!(lines[0]
             .contains("\"membership_changes\":1,\"degraded_rounds\":5,\"resharded_keys\":128"));
         assert!(lines[0].contains("\"reduce_sync_secs\":0.125000"));
+        assert!(lines[0]
+            .contains("\"overlap_secs\":0.062500,\"chunks_sent\":96,\"chunk_retransmits\":2"));
         assert!(lines[1].contains("\\\"quoted\\\""));
         assert!(lines[1].contains("\"ns_per_iter\":3524165.0"));
         assert!(lines[2].starts_with("{\"bench\":\"frontier_cclp\""));

@@ -1,11 +1,16 @@
 //! The cluster runtime: hosts, transports, and failure-aware collectives.
 //!
-//! Every inter-host payload travels inside a checksummed frame
-//! ([`crate::wire::frame_payload`]); receivers validate length and CRC and
-//! re-request damaged or missing frames from the sender's retained outbox,
-//! so a [`crate::FaultPlan`] dropping, duplicating, delaying, or corrupting
-//! frames is survived transparently (visible only in
-//! [`HostStats::retransmits`]). Host crashes are survived too: a panicking
+//! Every inter-host payload travels as a stream of bounded, checksummed
+//! chunk frames ([`crate::wire::frame_chunk`]); receivers validate length
+//! and CRC per chunk, reassemble by chunk index, and re-request exactly
+//! the damaged or missing chunks ([`RetxRequest`]) from the sender's
+//! retained outbox, so a [`crate::FaultPlan`] dropping, duplicating,
+//! delaying, or corrupting frames is survived transparently (visible only
+//! in [`HostStats::retransmits`]). Exchanges are split-phase: payloads can
+//! be posted chunk-by-chunk while compute continues
+//! ([`HostCtx::exchange_start`] / [`ExchangeTicket::post`] /
+//! [`HostCtx::exchange_finish`]), overlapping serialization and wire I/O
+//! with the round body. Host crashes are survived too: a panicking
 //! host marks itself failed so sibling hosts observe
 //! [`CommError::HostFailure`] instead of deadlocking, and
 //! [`HostCtx::run_recovering`] restarts all hosts from a consistent state.
@@ -29,8 +34,8 @@ use crate::pool::WorkerPool;
 use crate::transport::inproc::{InProcFabric, InProcTransport};
 use crate::transport::sim::{SimFabric, SimTransport, TraceSink};
 use crate::transport::tcp::TcpTransport;
-use crate::transport::{Backoff, Deadline, Transport, TransportConfig};
-use crate::wire::{encode_slice, frame_payload, parse_frame, Wire};
+use crate::transport::{Backoff, Deadline, RetxRequest, Transport, TransportConfig};
+use crate::wire::{encode_slice, frame_chunk, parse_chunk, Wire, CHUNK_PAYLOAD};
 use parking_lot::Mutex;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -99,6 +104,17 @@ pub struct HostStats {
     /// departed host's state (engines report these via
     /// [`HostCtx::add_resharded_keys`]).
     pub resharded_keys: u64,
+    /// Physical chunk frames sent to other hosts (data chunks plus one
+    /// stream terminator per destination per exchange; first transmissions
+    /// only — re-sends count in `chunk_retransmits`).
+    pub chunks_sent: u64,
+    /// Chunk frames re-sent after a receiver reported loss or corruption.
+    pub chunk_retransmits: u64,
+    /// Nanoseconds a split-phase exchange had chunks on the wire while the
+    /// host kept computing (from the first [`ExchangeTicket::post`] to the
+    /// matching [`HostCtx::exchange_finish`]); zero for blocking
+    /// [`HostCtx::exchange`] calls.
+    pub overlap_nanos: u64,
 }
 
 /// The four phases of one NPM BSP round (Fig. 6 of the paper), used to
@@ -145,6 +161,12 @@ impl HostStats {
         self.membership_changes = self.membership_changes.max(other.membership_changes);
         self.degraded_rounds = self.degraded_rounds.max(other.degraded_rounds);
         self.resharded_keys += other.resharded_keys;
+        // Chunk frames are traffic: sum. Overlap, like the phase times,
+        // answers "how long did the cluster hide wire I/O behind compute"
+        // — the slowest host gates the round, so max.
+        self.chunks_sent += other.chunks_sent;
+        self.chunk_retransmits += other.chunk_retransmits;
+        self.overlap_nanos = self.overlap_nanos.max(other.overlap_nanos);
     }
 }
 
@@ -648,6 +670,7 @@ where
         send_seq: (0..num_hosts).map(|_| AtomicU64::new(0)).collect(),
         recv_seq: (0..num_hosts).map(|_| AtomicU64::new(0)).collect(),
         round: AtomicU64::new(0),
+        pipelined: std::sync::atomic::AtomicBool::new(true),
         deadline: Mutex::new(Deadline::none()),
         member_mask: AtomicU64::new(full_mask(num_hosts)),
         generation: AtomicU64::new(0),
@@ -704,9 +727,9 @@ pub struct HostCtx<'a> {
     faults: Arc<FaultState>,
     pool: WorkerPool,
     stats: StatCells,
-    /// `outbox[to]`: the last frame sent to `to`, retained for
-    /// retransmission.
-    outbox: Vec<Mutex<Vec<u8>>>,
+    /// `outbox[to]`: the chunk frames of the last exchange sent to `to`
+    /// (indexed by chunk, terminator last), retained for retransmission.
+    outbox: Vec<Mutex<Vec<Vec<u8>>>>,
     /// `delayed[to]`: frames a `DelayFrame` fault held back; flushed to the
     /// transport at the start of this host's next exchange, where their
     /// stale sequence numbers get them ignored.
@@ -717,6 +740,10 @@ pub struct HostCtx<'a> {
     recv_seq: Vec<AtomicU64>,
     /// This host's published BSP round (for fault matching).
     round: AtomicU64,
+    /// Whether engines should overlap reduce-sync with compute (see
+    /// [`HostCtx::pipelined`]); advisory — the split-phase collectives
+    /// themselves always work.
+    pipelined: std::sync::atomic::AtomicBool,
     /// Ambient phase deadline applied by the unsuffixed collectives; the
     /// engine re-stamps it each phase from `EngineConfig::phase_timeout`.
     deadline: Mutex<Deadline>,
@@ -749,6 +776,9 @@ struct StatCells {
     membership_changes: AtomicU64,
     degraded_rounds: AtomicU64,
     resharded_keys: AtomicU64,
+    chunks_sent: AtomicU64,
+    chunk_retransmits: AtomicU64,
+    overlap_nanos: AtomicU64,
 }
 
 impl<'a> HostCtx<'a> {
@@ -932,31 +962,39 @@ impl<'a> HostCtx<'a> {
         r
     }
 
-    /// Sends one frame through the fault injector at the transport
+    /// Sends one chunk frame through the fault injector at the transport
     /// boundary.
-    fn transmit(&self, to: usize, round: u64, seq: u64, attempt: u32, mut frame: Vec<u8>) {
+    fn transmit(&self, to: usize, round: u64, seq: u64, chunk: u32, attempt: u32, mut frame: Vec<u8>) {
         match self
             .faults
-            .on_send(self.host, to, round, seq, attempt, &mut frame)
+            .on_send(self.host, to, round, seq, chunk, attempt, &mut frame)
         {
             SendAction::Drop => {
-                self.transport
-                    .note("fault_drop", format!("to={to} seq={seq} attempt={attempt}"));
+                self.transport.note(
+                    "fault_drop",
+                    format!("to={to} seq={seq} chunk={chunk} attempt={attempt}"),
+                );
             }
             SendAction::Duplicate => {
-                self.transport
-                    .note("fault_dup", format!("to={to} seq={seq} attempt={attempt}"));
+                self.transport.note(
+                    "fault_dup",
+                    format!("to={to} seq={seq} chunk={chunk} attempt={attempt}"),
+                );
                 self.transport.send(to, frame.clone());
                 self.transport.send(to, frame);
             }
             SendAction::Delay => {
-                self.transport
-                    .note("fault_delay", format!("to={to} seq={seq} attempt={attempt}"));
+                self.transport.note(
+                    "fault_delay",
+                    format!("to={to} seq={seq} chunk={chunk} attempt={attempt}"),
+                );
                 self.delayed[to].lock().push(frame);
             }
             SendAction::Corrupt => {
-                self.transport
-                    .note("fault_corrupt", format!("to={to} seq={seq} attempt={attempt}"));
+                self.transport.note(
+                    "fault_corrupt",
+                    format!("to={to} seq={seq} chunk={chunk} attempt={attempt}"),
+                );
                 self.transport.send(to, frame);
             }
             SendAction::Deliver => self.transport.send(to, frame),
@@ -1013,14 +1051,16 @@ impl<'a> HostCtx<'a> {
 
     /// Failure-aware all-to-all exchange under the ambient deadline.
     ///
-    /// Each payload is framed with a sequence number, length, and CRC32.
-    /// Receivers accept exactly the next sequence number per sender —
-    /// duplicates, stale delayed frames, and corrupted frames are all
-    /// rejected — and missing frames are re-requested from the sender's
-    /// retained outbox with jittered exponential backoff. The retry
-    /// decision is made collectively (all hosts read the same missing-flags
-    /// snapshot), so either every host completes the exchange or every host
-    /// returns the same [`CommError::FrameLoss`].
+    /// Each payload travels as bounded chunk frames, every chunk carrying
+    /// the exchange's sequence number, its chunk index, a length, and a
+    /// CRC32. Receivers accept exactly the next sequence number per sender
+    /// — duplicates, stale delayed frames, and corrupted frames are all
+    /// rejected — reassemble by chunk index, and re-request exactly the
+    /// missing chunks from the sender's retained outbox with jittered
+    /// exponential backoff. The retry decision is made collectively (all
+    /// hosts read the same missing-flags snapshot), so either every host
+    /// completes the exchange or every host returns the same
+    /// [`CommError::FrameLoss`].
     pub fn try_exchange(&self, outgoing: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, CommError> {
         self.try_exchange_by(outgoing, &self.deadline())
     }
@@ -1031,12 +1071,11 @@ impl<'a> HostCtx<'a> {
         outgoing: Vec<Vec<u8>>,
         deadline: &Deadline,
     ) -> Result<Vec<Vec<u8>>, CommError> {
-        // Buffers, results, and indices are all **logical**: position `r`
-        // talks to the host of logical rank `r` in the current membership.
-        // The physical arrays (outbox, sequence numbers, transport sends)
-        // keep their launch-time indexing underneath.
-        let members = self.members();
-        let k = members.len();
+        // The blocking exchange is the degenerate split-phase one: post
+        // everything, then finish immediately. The wire streams are
+        // identical by construction, which is what the pipelined-vs-serial
+        // differential tests pin down.
+        let k = self.num_hosts();
         if outgoing.len() != k {
             return Err(CommError::Protocol {
                 detail: format!(
@@ -1045,10 +1084,51 @@ impl<'a> HostCtx<'a> {
                 ),
             });
         }
+        let ticket = self.start_ticket(false)?;
+        for (li, payload) in outgoing.into_iter().enumerate() {
+            ticket.post(li, payload);
+        }
+        self.try_exchange_finish_by(ticket, deadline)
+    }
+
+    /// Opens a split-phase all-to-all exchange: returns a ticket that
+    /// accepts per-destination payloads ([`ExchangeTicket::post`]) while
+    /// this host keeps computing, and is completed by
+    /// [`HostCtx::exchange_finish`]. Posted payloads are serialized into
+    /// chunk frames and handed to the transport immediately, so wire I/O
+    /// overlaps whatever runs between `post` and `finish`.
+    ///
+    /// Every host must pair each `exchange_start` with exactly one
+    /// `exchange_finish` (the finish contains barriers), and no other
+    /// collective may run between them.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a recoverable [`CrashSignal`] on communication failure
+    /// (see [`HostCtx::try_exchange_start`] for the non-panicking form).
+    pub fn exchange_start(&self) -> ExchangeTicket<'_, 'a> {
+        let r = self.try_exchange_start();
+        self.unwrap_comm(r)
+    }
+
+    /// Failure-aware form of [`HostCtx::exchange_start`].
+    pub fn try_exchange_start(&self) -> Result<ExchangeTicket<'_, 'a>, CommError> {
+        self.start_ticket(true)
+    }
+
+    /// Shared ticket construction; `track_overlap` distinguishes genuinely
+    /// split-phase callers from the blocking wrapper so
+    /// [`HostStats::overlap_nanos`] measures only real overlap.
+    fn start_ticket(&self, track_overlap: bool) -> Result<ExchangeTicket<'_, 'a>, CommError> {
+        // Buffers, results, and indices are all **logical**: position `r`
+        // talks to the host of logical rank `r` in the current membership.
+        // The physical arrays (outbox, sequence numbers, transport sends)
+        // keep their launch-time indexing underneath.
+        let members = self.members();
+        let k = members.len();
         self.check_faults();
         let t = clock::now_nanos();
         let me = self.host;
-        let round = self.current_round();
 
         // Flush frames a DelayFrame fault held back from an earlier
         // exchange. Their sequence numbers are stale by now, so receivers
@@ -1062,37 +1142,112 @@ impl<'a> HostCtx<'a> {
                 self.transport.send(to, frame);
             }
         }
+        self.add_comm_nanos(clock::now_nanos().saturating_sub(t));
+        Ok(ExchangeTicket {
+            ctx: self,
+            members,
+            round: self.current_round(),
+            track_overlap,
+            inner: Mutex::new(TicketInner {
+                result: vec![Vec::new(); k],
+                posted: vec![false; k],
+                data_chunks: vec![0; k],
+                first_post_nanos: None,
+            }),
+        })
+    }
 
-        let mut result: Vec<Vec<u8>> = vec![Vec::new(); k];
-        let mut got = vec![false; k];
+    /// Completes a split-phase exchange under the ambient deadline: sends
+    /// each destination's stream terminator, then blocks until every
+    /// host's chunks have arrived (or the collective fails as a unit).
+    /// Returns the buffers received from every member host (indexed by
+    /// logical rank), empty buffers included; destinations never posted
+    /// send an empty payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ticket came from a different [`HostCtx`], and with a
+    /// recoverable [`CrashSignal`] on communication failure (see
+    /// [`HostCtx::try_exchange_finish`] for the non-panicking form).
+    pub fn exchange_finish(&self, ticket: ExchangeTicket<'_, '_>) -> Vec<Vec<u8>> {
+        let r = self.try_exchange_finish(ticket);
+        self.unwrap_comm(r)
+    }
 
-        for (li, payload) in outgoing.into_iter().enumerate() {
-            let to = members[li];
+    /// Failure-aware form of [`HostCtx::exchange_finish`].
+    pub fn try_exchange_finish(
+        &self,
+        ticket: ExchangeTicket<'_, '_>,
+    ) -> Result<Vec<Vec<u8>>, CommError> {
+        self.try_exchange_finish_by(ticket, &self.deadline())
+    }
+
+    /// [`HostCtx::try_exchange_finish`] with an explicit [`Deadline`].
+    pub fn try_exchange_finish_by(
+        &self,
+        ticket: ExchangeTicket<'_, '_>,
+        deadline: &Deadline,
+    ) -> Result<Vec<Vec<u8>>, CommError> {
+        assert!(
+            std::ptr::eq(ticket.ctx as *const HostCtx, self as *const HostCtx),
+            "exchange_finish called with a ticket from a different host context"
+        );
+        let t = clock::now_nanos();
+        let me = self.host;
+        let round = ticket.round;
+        let members = ticket.members;
+        let k = members.len();
+        let TicketInner {
+            mut result,
+            posted,
+            data_chunks,
+            first_post_nanos,
+        } = ticket.inner.into_inner();
+        if ticket.track_overlap {
+            if let Some(t0) = first_post_nanos {
+                self.stats
+                    .overlap_nanos
+                    .fetch_add(t.saturating_sub(t0), Ordering::Relaxed);
+            }
+        }
+
+        // Terminators: one empty LAST chunk per remote destination, closing
+        // the stream (and implicitly sending an empty payload to any
+        // destination never posted). This is also where the per-exchange
+        // sequence number is consumed.
+        for (li, &to) in members.iter().enumerate() {
             if to == me {
-                // Self-delivery is a local memcpy: no frame, no stats.
-                result[li] = payload;
-                got[li] = true;
                 continue;
             }
-            if !payload.is_empty() {
-                self.stats.messages.fetch_add(1, Ordering::Relaxed);
-                self.stats
-                    .bytes
-                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
-            }
             let seq = self.send_seq[to].fetch_add(1, Ordering::Relaxed);
-            let frame = frame_payload(seq, &payload);
-            *self.outbox[to].lock() = frame.clone();
-            self.transmit(to, round, seq, 0, frame);
+            let term = data_chunks[li];
+            let frame = frame_chunk(seq, term, true, &[]);
+            {
+                let mut ob = self.outbox[to].lock();
+                if !posted[li] {
+                    // Never posted: drop the previous exchange's retained
+                    // chunks so retransmit indices match this stream.
+                    ob.clear();
+                }
+                ob.push(frame.clone());
+            }
+            self.stats.chunks_sent.fetch_add(1, Ordering::Relaxed);
+            self.transmit(to, round, seq, term, 0, frame);
         }
 
         self.note_err(self.transport.barrier(deadline))?;
 
+        // Reassembly state per source: chunks by index, and the terminator
+        // index once seen.
+        let mut got: Vec<bool> = members.iter().map(|&from| from == me).collect();
+        let mut parts: Vec<Vec<Option<Vec<u8>>>> = vec![Vec::new(); k];
+        let mut last_idx: Vec<Option<u32>> = vec![None; k];
+
         let mut attempt: u32 = 0;
         let mut backoff = Backoff::retransmit(me);
         loop {
-            // Drain everything that arrived; accept only the expected
-            // sequence number with a valid checksum.
+            // Drain everything that arrived; accept only chunks of the
+            // expected sequence number with a valid checksum.
             for (li, &from) in members.iter().enumerate() {
                 if from == me {
                     continue;
@@ -1103,11 +1258,18 @@ impl<'a> HostCtx<'a> {
                 }
                 let want = self.recv_seq[from].load(Ordering::Relaxed);
                 for frame in &arrived {
-                    match parse_frame(frame) {
-                        Ok((seq, payload)) if seq == want => {
-                            result[li] = payload.to_vec();
-                            got[li] = true;
-                            break;
+                    match parse_chunk(frame) {
+                        Ok((h, payload)) if h.seq == want => {
+                            let idx = h.chunk as usize;
+                            if parts[li].len() <= idx {
+                                parts[li].resize_with(idx + 1, || None);
+                            }
+                            if parts[li][idx].is_none() {
+                                parts[li][idx] = Some(payload.to_vec());
+                            }
+                            if h.last {
+                                last_idx[li] = Some(h.chunk);
+                            }
                         }
                         Ok(_) => {} // duplicate or stale: ignore
                         Err(_) => {
@@ -1115,8 +1277,41 @@ impl<'a> HostCtx<'a> {
                         }
                     }
                 }
+                // Complete when the terminator index is known and every
+                // chunk up to it is present; concatenate in index order.
+                if let Some(last) = last_idx[li] {
+                    let last = last as usize;
+                    if parts[li].len() > last
+                        && parts[li][..=last].iter().all(|c| c.is_some())
+                    {
+                        let total = parts[li][..=last]
+                            .iter()
+                            .map(|c| c.as_ref().map_or(0, Vec::len))
+                            .sum();
+                        let mut buf = Vec::with_capacity(total);
+                        for c in parts[li][..=last].iter_mut() {
+                            buf.append(c.as_mut().expect("chunk checked present"));
+                        }
+                        result[li] = buf;
+                        got[li] = true;
+                    }
+                }
                 if !got[li] {
-                    self.transport.request_retx(from);
+                    // Ask for exactly what is missing — everything while
+                    // the terminator is unknown, else the index gaps.
+                    let req = match last_idx[li] {
+                        None => RetxRequest::All,
+                        Some(last) => RetxRequest::Chunks(
+                            (0..=last)
+                                .filter(|&i| {
+                                    parts[li]
+                                        .get(i as usize)
+                                        .is_none_or(|c| c.is_none())
+                                })
+                                .collect(),
+                        ),
+                    };
+                    self.transport.request_retx(from, req);
                 }
             }
             let still_missing = !got.iter().all(|&g| g);
@@ -1139,11 +1334,33 @@ impl<'a> HostCtx<'a> {
             }
             attempt += 1;
             backoff.sleep();
-            for requester in self.transport.take_retx_requests() {
-                let frame = self.outbox[requester].lock().clone();
-                let seq = self.send_seq[requester].load(Ordering::Relaxed) - 1;
+            for (requester, req) in self.transport.take_retx_requests() {
+                let seq = self.send_seq[requester]
+                    .load(Ordering::Relaxed)
+                    .wrapping_sub(1);
+                let frames: Vec<(u32, Vec<u8>)> = {
+                    let ob = self.outbox[requester].lock();
+                    match &req {
+                        RetxRequest::All => ob
+                            .iter()
+                            .enumerate()
+                            .map(|(i, f)| (i as u32, f.clone()))
+                            .collect(),
+                        RetxRequest::Chunks(idxs) => idxs
+                            .iter()
+                            .filter_map(|&i| {
+                                ob.get(i as usize).map(|f| (i, f.clone()))
+                            })
+                            .collect(),
+                    }
+                };
                 self.stats.retransmits.fetch_add(1, Ordering::Relaxed);
-                self.transmit(requester, round, seq, attempt, frame);
+                self.stats
+                    .chunk_retransmits
+                    .fetch_add(frames.len() as u64, Ordering::Relaxed);
+                for (idx, frame) in frames {
+                    self.transmit(requester, round, seq, idx, attempt, frame);
+                }
             }
             // Barrier before re-draining: retransmissions are complete
             // everywhere before any host re-checks its inbox.
@@ -1157,6 +1374,19 @@ impl<'a> HostCtx<'a> {
         }
         self.add_comm_nanos(clock::now_nanos().saturating_sub(t));
         Ok(result)
+    }
+
+    /// Whether engines should pipeline reduce-sync (overlap serialization
+    /// and wire I/O with compute) on this host. Defaults to `true`; the
+    /// engine clears it for rounds that must replay bit-identically from a
+    /// checkpoint (see `--no-pipeline`).
+    pub fn pipelined(&self) -> bool {
+        self.pipelined.load(Ordering::Relaxed)
+    }
+
+    /// Sets the advisory pipelining flag read by [`HostCtx::pipelined`].
+    pub fn set_pipelined(&self, on: bool) {
+        self.pipelined.store(on, Ordering::Relaxed);
     }
 
     /// All-reduce over one wire value per host: every host receives
@@ -1461,6 +1691,9 @@ impl<'a> HostCtx<'a> {
             membership_changes: self.stats.membership_changes.load(Ordering::Relaxed),
             degraded_rounds: self.stats.degraded_rounds.load(Ordering::Relaxed),
             resharded_keys: self.stats.resharded_keys.load(Ordering::Relaxed),
+            chunks_sent: self.stats.chunks_sent.load(Ordering::Relaxed),
+            chunk_retransmits: self.stats.chunk_retransmits.load(Ordering::Relaxed),
+            overlap_nanos: self.stats.overlap_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -1484,6 +1717,9 @@ impl<'a> HostCtx<'a> {
         self.stats.membership_changes.store(0, Ordering::Relaxed);
         self.stats.degraded_rounds.store(0, Ordering::Relaxed);
         self.stats.resharded_keys.store(0, Ordering::Relaxed);
+        self.stats.chunks_sent.store(0, Ordering::Relaxed);
+        self.stats.chunk_retransmits.store(0, Ordering::Relaxed);
+        self.stats.overlap_nanos.store(0, Ordering::Relaxed);
     }
 
     /// Attributes `nanos` of wall-clock time to one NPM round phase. Called
@@ -1527,6 +1763,125 @@ impl<'a> HostCtx<'a> {
     /// departed host's state (engines report these after a shrink).
     pub fn add_resharded_keys(&self, keys: u64) {
         self.stats.resharded_keys.fetch_add(keys, Ordering::Relaxed);
+    }
+}
+
+/// A split-phase all-to-all exchange in flight.
+///
+/// Created by [`HostCtx::exchange_start`], fed by
+/// [`ExchangeTicket::post`] — callable from worker-pool threads, so
+/// per-destination serialization itself runs in parallel — and completed
+/// by [`HostCtx::exchange_finish`]. Between `post` and `finish` the posted
+/// chunks are on the wire while the host computes; that window is
+/// [`HostStats::overlap_nanos`].
+pub struct ExchangeTicket<'c, 'h> {
+    ctx: &'c HostCtx<'h>,
+    /// Physical ids of the membership this exchange runs over (snapshot
+    /// from start, so a logical rank means the same host in post/finish).
+    members: Vec<usize>,
+    /// The BSP round published when the exchange started (for fault
+    /// matching; the whole stream belongs to one round).
+    round: u64,
+    /// False for the blocking [`HostCtx::exchange`] wrapper, whose
+    /// post-to-finish window is not real overlap.
+    track_overlap: bool,
+    inner: Mutex<TicketInner>,
+}
+
+/// Mutable ticket state, behind one mutex so `post` is callable
+/// concurrently from pool workers.
+struct TicketInner {
+    /// Self-delivered payloads by logical rank (remote slots are filled by
+    /// finish).
+    result: Vec<Vec<u8>>,
+    /// Which logical ranks have been posted (each at most once).
+    posted: Vec<bool>,
+    /// Data chunks posted per logical rank — the terminator's index.
+    data_chunks: Vec<u32>,
+    /// When the first remote chunk hit the wire, for overlap accounting.
+    first_post_nanos: Option<u64>,
+}
+
+impl ExchangeTicket<'_, '_> {
+    /// Number of member hosts this exchange spans (one post slot each).
+    pub fn num_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Posts the payload destined for logical rank `to`: serializes it
+    /// into bounded chunk frames and hands them to the transport
+    /// immediately, so the bytes travel while the caller keeps computing.
+    /// Destinations not posted before finish send an empty payload.
+    /// Callable from worker-pool threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range or was already posted.
+    pub fn post(&self, to: usize, payload: Vec<u8>) {
+        let t = clock::now_nanos();
+        let ctx = self.ctx;
+        assert!(
+            to < self.members.len(),
+            "post: rank {to} out of range for {} members",
+            self.members.len()
+        );
+        let dest = self.members[to];
+        {
+            let mut inner = self.inner.lock();
+            assert!(!inner.posted[to], "post: rank {to} posted twice");
+            inner.posted[to] = true;
+            if dest == ctx.host {
+                // Self-delivery is a local memcpy: no frames, no stats.
+                inner.result[to] = payload;
+                return;
+            }
+        }
+        // Traffic stats count the logical payload once, not its chunks, so
+        // the fault-free volume stays comparable across chunk sizes.
+        if !payload.is_empty() {
+            ctx.stats.messages.fetch_add(1, Ordering::Relaxed);
+            ctx.stats
+                .bytes
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        }
+        let seq = ctx.send_seq[dest].load(Ordering::Relaxed);
+        let n_chunks = payload.len().div_ceil(CHUNK_PAYLOAD) as u32;
+        let mut frames = Vec::with_capacity(n_chunks as usize);
+        for idx in 0..n_chunks {
+            let lo = idx as usize * CHUNK_PAYLOAD;
+            let hi = (lo + CHUNK_PAYLOAD).min(payload.len());
+            frames.push(frame_chunk(seq, idx, false, &payload[lo..hi]));
+        }
+        {
+            // Retain for retransmission; the terminator is appended by
+            // finish.
+            let mut ob = ctx.outbox[dest].lock();
+            ob.clear();
+            ob.extend(frames.iter().cloned());
+        }
+        ctx.stats
+            .chunks_sent
+            .fetch_add(n_chunks as u64, Ordering::Relaxed);
+        for (idx, frame) in frames.into_iter().enumerate() {
+            ctx.transmit(dest, self.round, seq, idx as u32, 0, frame);
+        }
+        {
+            let mut inner = self.inner.lock();
+            inner.data_chunks[to] = n_chunks;
+            if n_chunks > 0 && inner.first_post_nanos.is_none() {
+                inner.first_post_nanos = Some(t);
+            }
+        }
+        ctx.add_comm_nanos(clock::now_nanos().saturating_sub(t));
+    }
+}
+
+impl std::fmt::Debug for ExchangeTicket<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExchangeTicket")
+            .field("members", &self.members)
+            .field("round", &self.round)
+            .finish()
     }
 }
 
@@ -1665,6 +2020,95 @@ mod tests {
         assert_eq!(sums, vec![1000, 1000]);
     }
 
+    // ----- split-phase exchange -------------------------------------------
+
+    /// One split-phase exchange per host with per-destination payloads of
+    /// `sizes` bytes, finished after "compute"; returns what each host
+    /// received, flattened to (host, from, len, first_byte).
+    fn split_phase_roundtrip(c: &Cluster, sizes: &[usize]) -> Vec<Vec<Vec<u8>>> {
+        let sizes = sizes.to_vec();
+        c.run(move |ctx| {
+            let ticket = ctx.exchange_start();
+            for to in 0..ctx.num_hosts() {
+                let len = sizes[to % sizes.len()];
+                ticket.post(to, vec![(ctx.host() * 16 + to) as u8; len]);
+            }
+            // Simulated overlapped compute between post and finish.
+            std::hint::black_box((0..1000u64).sum::<u64>());
+            ctx.exchange_finish(ticket)
+        })
+    }
+
+    #[test]
+    fn split_phase_matches_blocking_exchange() {
+        // Payloads straddling every chunk boundary: empty, tiny, one byte
+        // short of a chunk, exactly one chunk, one byte over.
+        let sizes = [
+            0,
+            1,
+            crate::wire::CHUNK_PAYLOAD - 1,
+            crate::wire::CHUNK_PAYLOAD,
+            crate::wire::CHUNK_PAYLOAD + 1,
+            3 * crate::wire::CHUNK_PAYLOAD + 17,
+        ];
+        let blocking = Cluster::new(3).run(|ctx| {
+            let outgoing = (0..ctx.num_hosts())
+                .map(|to| vec![(ctx.host() * 16 + to) as u8; sizes[to % sizes.len()]])
+                .collect();
+            ctx.exchange(outgoing)
+        });
+        for c in [Cluster::new(3), Cluster::new(3).tcp(), Cluster::new(3).sim(3)] {
+            let split = split_phase_roundtrip(&c, &sizes);
+            assert_eq!(split, blocking, "split-phase diverged on {:?}", c.backend());
+        }
+    }
+
+    #[test]
+    fn split_phase_overlap_is_counted_only_for_split_calls() {
+        let stats = Cluster::new(2).run(|ctx| {
+            // Blocking exchange: no overlap window.
+            ctx.exchange((0..2).map(|_| vec![1u8; 64]).collect());
+            let before = ctx.stats().overlap_nanos;
+            let ticket = ctx.exchange_start();
+            for to in 0..2 {
+                ticket.post(to, vec![2u8; 64]);
+            }
+            ctx.exchange_finish(ticket);
+            (before, ctx.stats())
+        });
+        for (before, s) in stats {
+            assert_eq!(before, 0, "blocking exchange must not count overlap");
+            assert!(s.overlap_nanos > 0, "split-phase exchange must count overlap");
+            // 2 exchanges x 1 remote dest x (1 data chunk + terminator).
+            assert_eq!(s.chunks_sent, 4);
+            assert_eq!(s.chunk_retransmits, 0);
+        }
+    }
+
+    #[test]
+    fn multi_chunk_payloads_survive_chunk_targeted_drops() {
+        // Drop the k-th chunk of a 3-chunk payload (plus its terminator on
+        // another link) and make sure reassembly re-requests exactly them.
+        let len = 2 * crate::wire::CHUNK_PAYLOAD + 100; // chunks 0,1,2 + term 3
+        let plan = FaultPlan::new().drop_chunk(0, 1, 0, 1).drop_chunk(1, 2, 0, 3);
+        let res = Cluster::new(3).run_with_faults(plan, move |ctx| {
+            let outgoing = (0..3)
+                .map(|to| vec![(ctx.host() * 16 + to) as u8; len])
+                .collect();
+            let received = ctx.exchange(outgoing);
+            let ok = (0..3).all(|from| {
+                received[from] == vec![(from * 16 + ctx.host()) as u8; len]
+            });
+            (ok, ctx.stats())
+        });
+        assert!(res.iter().all(|r| r.0));
+        let retx: u64 = res.iter().map(|r| r.1.chunk_retransmits).sum();
+        assert!(retx >= 2, "both dropped chunks should be re-sent, got {retx}");
+        // The re-requests are chunk-precise: far fewer frames re-sent than
+        // the 4-frame streams they repair.
+        assert!(retx <= 6, "retransmission should not resend whole streams");
+    }
+
     // ----- fault tolerance ------------------------------------------------
 
     /// The exchange every fault test runs: host h sends h*10+to to host to.
@@ -1757,6 +2201,7 @@ mod tests {
             from: Some(0),
             to: Some(1),
             round: None,
+            chunk: None,
             times: u32::MAX,
         });
         let res = Cluster::new(2).try_run_with_faults(plan, |ctx| {

@@ -63,15 +63,20 @@ pub struct Fault {
     pub to: Option<usize>,
     /// BSP round to fire in; `None` matches any round.
     pub round: Option<u64>,
+    /// Chunk index within the exchange payload to fire on; `None` matches
+    /// any chunk. Lets plans target a specific chunk boundary (e.g. drop
+    /// only the k-th chunk of a large payload, or the stream terminator).
+    pub chunk: Option<u32>,
     /// How many times the fault fires before it is spent.
     pub times: u32,
 }
 
 impl Fault {
-    fn matches(&self, from: usize, to: usize, round: u64) -> bool {
+    fn matches(&self, from: usize, to: usize, round: u64, chunk: u32) -> bool {
         self.from.is_none_or(|f| f == from)
             && self.to.is_none_or(|t| t == to)
             && self.round.is_none_or(|r| r == round)
+            && self.chunk.is_none_or(|c| c == chunk)
     }
 }
 
@@ -128,6 +133,7 @@ impl FaultPlan {
             from: Some(from),
             to: Some(to),
             round: Some(round),
+            chunk: None,
             times: 1,
         })
     }
@@ -154,6 +160,20 @@ impl FaultPlan {
         self.pair_fault(FaultKind::CorruptFrame { bit }, from, to, round)
     }
 
+    /// Drops the chunk with index `chunk` of one `from -> to` exchange
+    /// payload in `round` — targeting a chunk boundary instead of the whole
+    /// payload, so partial-payload recovery is exercised.
+    pub fn drop_chunk(self, from: usize, to: usize, round: u64, chunk: u32) -> Self {
+        self.fault(Fault {
+            kind: FaultKind::DropFrame,
+            from: Some(from),
+            to: Some(to),
+            round: Some(round),
+            chunk: Some(chunk),
+            times: 1,
+        })
+    }
+
     /// Crashes `host` when it enters its first collective of `round`.
     pub fn crash_host(self, host: usize, round: u64) -> Self {
         self.fault(Fault {
@@ -161,6 +181,7 @@ impl FaultPlan {
             from: Some(host),
             to: None,
             round: Some(round),
+            chunk: None,
             times: 1,
         })
     }
@@ -175,6 +196,7 @@ impl FaultPlan {
             from: Some(host),
             to: None,
             round: Some(round),
+            chunk: None,
             times: 1,
         })
     }
@@ -189,6 +211,7 @@ impl FaultPlan {
             from: Some(host),
             to: None,
             round: Some(round),
+            chunk: None,
             times: 1,
         })
     }
@@ -282,14 +305,17 @@ impl FaultState {
             .is_ok()
     }
 
-    /// Decides the fate of a frame from `from` to `to`, mutating it in
-    /// place for corruption faults. Self-sends are never faulted.
+    /// Decides the fate of a chunk frame from `from` to `to` (`chunk` is
+    /// its index within the exchange payload), mutating it in place for
+    /// corruption faults. Self-sends are never faulted.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_send(
         &self,
         from: usize,
         to: usize,
         round: u64,
         seq: u64,
+        chunk: u32,
         attempt: u32,
         frame: &mut [u8],
     ) -> SendAction {
@@ -301,7 +327,7 @@ impl FaultState {
             if matches!(
                 fault.kind,
                 FaultKind::CrashHost | FaultKind::KillHost | FaultKind::StallHost { .. }
-            ) || !fault.matches(from, to, round)
+            ) || !fault.matches(from, to, round, chunk)
             {
                 continue;
             }
@@ -332,7 +358,8 @@ impl FaultState {
                 self.plan
                     .seed
                     .wrapping_add(mix((from as u64) << 40 | (to as u64) << 20 | attempt as u64))
-                    .wrapping_add(mix(seq.wrapping_mul(0x2545_F491_4F6C_DD1D))),
+                    .wrapping_add(mix(seq.wrapping_mul(0x2545_F491_4F6C_DD1D)))
+                    .wrapping_add(mix(0x6368_756e_6b00_0000 | chunk as u64)),
             );
             let r = unit(h);
             if r < self.plan.drop_rate {
@@ -415,7 +442,7 @@ mod tests {
         let st = FaultState::new(FaultPlan::new());
         let mut frame = vec![0u8; 8];
         for seq in 0..100 {
-            assert_eq!(st.on_send(0, 1, 0, seq, 0, &mut frame), SendAction::Deliver);
+            assert_eq!(st.on_send(0, 1, 0, seq, 0, 0, &mut frame), SendAction::Deliver);
         }
         assert_eq!(frame, vec![0u8; 8]);
     }
@@ -425,18 +452,18 @@ mod tests {
         let st = FaultState::new(FaultPlan::new().drop_frame(0, 1, 3));
         let mut f = vec![0u8; 4];
         // Wrong round, wrong pair: deliver.
-        assert_eq!(st.on_send(0, 1, 2, 0, 0, &mut f), SendAction::Deliver);
-        assert_eq!(st.on_send(1, 0, 3, 0, 0, &mut f), SendAction::Deliver);
+        assert_eq!(st.on_send(0, 1, 2, 0, 0, 0, &mut f), SendAction::Deliver);
+        assert_eq!(st.on_send(1, 0, 3, 0, 0, 0, &mut f), SendAction::Deliver);
         // Match: drop, but only the first time.
-        assert_eq!(st.on_send(0, 1, 3, 1, 0, &mut f), SendAction::Drop);
-        assert_eq!(st.on_send(0, 1, 3, 2, 1, &mut f), SendAction::Deliver);
+        assert_eq!(st.on_send(0, 1, 3, 1, 0, 0, &mut f), SendAction::Drop);
+        assert_eq!(st.on_send(0, 1, 3, 2, 0, 1, &mut f), SendAction::Deliver);
     }
 
     #[test]
     fn corruption_mutates_frame() {
         let st = FaultState::new(FaultPlan::new().corrupt_frame(0, 1, 0, 9));
         let mut f = vec![0u8; 4];
-        assert_eq!(st.on_send(0, 1, 0, 0, 0, &mut f), SendAction::Corrupt);
+        assert_eq!(st.on_send(0, 1, 0, 0, 0, 0, &mut f), SendAction::Corrupt);
         assert_eq!(f, vec![0, 2, 0, 0]); // bit 9 = byte 1, bit 1
     }
 
@@ -444,7 +471,19 @@ mod tests {
     fn self_sends_never_faulted() {
         let st = FaultState::new(FaultPlan::new().drop_rate(0.999999).with_seed(1));
         let mut f = vec![0u8; 4];
-        assert_eq!(st.on_send(2, 2, 0, 0, 0, &mut f), SendAction::Deliver);
+        assert_eq!(st.on_send(2, 2, 0, 0, 0, 0, &mut f), SendAction::Deliver);
+    }
+
+    #[test]
+    fn chunk_targeted_drop_fires_only_on_that_chunk() {
+        let st = FaultState::new(FaultPlan::new().drop_chunk(0, 1, 2, 3));
+        let mut f = vec![0u8; 4];
+        // Wrong chunk, wrong round: deliver.
+        assert_eq!(st.on_send(0, 1, 2, 0, 2, 0, &mut f), SendAction::Deliver);
+        assert_eq!(st.on_send(0, 1, 1, 0, 3, 0, &mut f), SendAction::Deliver);
+        // Matching chunk: drop, once.
+        assert_eq!(st.on_send(0, 1, 2, 0, 3, 0, &mut f), SendAction::Drop);
+        assert_eq!(st.on_send(0, 1, 2, 0, 3, 1, &mut f), SendAction::Deliver);
     }
 
     #[test]
@@ -466,7 +505,7 @@ mod tests {
         // Kills never affect the frame path.
         let mut f = vec![0u8; 4];
         let st = FaultState::new(FaultPlan::new().kill_host(0, 0));
-        assert_eq!(st.on_send(0, 1, 0, 0, 0, &mut f), SendAction::Deliver);
+        assert_eq!(st.on_send(0, 1, 0, 0, 0, 0, &mut f), SendAction::Deliver);
     }
 
     #[test]
@@ -482,10 +521,10 @@ mod tests {
         let mut fa = vec![0u8; 16];
         let mut fb = vec![0u8; 16];
         let fate_a: Vec<_> = (0..256)
-            .map(|s| a.on_send(0, 1, 0, s, 0, &mut fa))
+            .map(|s| a.on_send(0, 1, 0, s, 0, 0, &mut fa))
             .collect();
         let fate_b: Vec<_> = (0..256)
-            .map(|s| b.on_send(0, 1, 0, s, 0, &mut fb))
+            .map(|s| b.on_send(0, 1, 0, s, 0, 0, &mut fb))
             .collect();
         assert_eq!(fate_a, fate_b, "identical seeds, identical schedules");
         assert_eq!(fa, fb, "identical corruption under identical seeds");
@@ -496,7 +535,7 @@ mod tests {
         let c = FaultState::new(plan.with_seed(8));
         let mut fc = vec![0u8; 16];
         let fate_c: Vec<_> = (0..256)
-            .map(|s| c.on_send(0, 1, 0, s, 0, &mut fc))
+            .map(|s| c.on_send(0, 1, 0, s, 0, 0, &mut fc))
             .collect();
         assert_ne!(fate_a, fate_c, "different seeds diverge");
         // delay_rate = 0 leaves the drop/dup/corrupt schedule untouched:
@@ -509,7 +548,7 @@ mod tests {
         let d = FaultState::new(base);
         let mut fd = vec![0u8; 16];
         let fate_d: Vec<_> = (0..256)
-            .map(|s| d.on_send(0, 1, 0, s, 0, &mut fd))
+            .map(|s| d.on_send(0, 1, 0, s, 0, 0, &mut fd))
             .collect();
         for (x, y) in fate_a.iter().zip(fate_d.iter()) {
             if *x != SendAction::Delay {
@@ -526,8 +565,8 @@ mod tests {
         let a = FaultState::new(plan.clone());
         let b = FaultState::new(plan);
         let mut f = vec![0u8; 4];
-        let fate_a: Vec<_> = (0..64).map(|s| a.on_send(0, 1, 0, s, 0, &mut f)).collect();
-        let fate_b: Vec<_> = (0..64).map(|s| b.on_send(0, 1, 0, s, 0, &mut f)).collect();
+        let fate_a: Vec<_> = (0..64).map(|s| a.on_send(0, 1, 0, s, 0, 0, &mut f)).collect();
+        let fate_b: Vec<_> = (0..64).map(|s| b.on_send(0, 1, 0, s, 0, 0, &mut f)).collect();
         assert_eq!(fate_a, fate_b, "same plan, same fates");
         assert!(fate_a.contains(&SendAction::Drop));
         assert!(fate_a.contains(&SendAction::Deliver));
@@ -535,7 +574,7 @@ mod tests {
         // all dropped seqs, at least one retransmit survives.
         let retries_survive = (0..64)
             .filter(|&s| fate_a[s as usize] == SendAction::Drop)
-            .any(|s| a.on_send(0, 1, 0, s, 1, &mut f) == SendAction::Deliver);
+            .any(|s| a.on_send(0, 1, 0, s, 0, 1, &mut f) == SendAction::Deliver);
         assert!(retries_survive);
     }
 }

@@ -14,6 +14,11 @@ use std::thread::JoinHandle;
 
 type Job = Arc<dyn Fn(usize) + Send + Sync>;
 
+/// Smallest sub-chunk a worker claims from a `par_for` cursor, and the
+/// largest range served inline by the calling thread instead of fanning
+/// out to the pool.
+const MIN_GRAIN: usize = 256;
+
 enum Msg {
     Run(Job),
     Shutdown,
@@ -100,6 +105,7 @@ impl WorkerPool {
     }
 
     /// Number of worker threads.
+    #[inline]
     pub fn threads(&self) -> usize {
         self.threads
     }
@@ -109,6 +115,7 @@ impl WorkerPool {
     /// # Panics
     ///
     /// Panics if a worker thread has panicked and disconnected.
+    #[inline]
     pub fn run<F>(&self, job: F)
     where
         F: Fn(usize) + Send + Sync,
@@ -117,6 +124,17 @@ impl WorkerPool {
             job(0);
             return;
         }
+        self.run_broadcast(job);
+    }
+
+    /// The cold fan-out path of [`WorkerPool::run`]: ships the job to every
+    /// worker and blocks on their acks. Split out so the hot single-thread
+    /// and small-range paths in the `#[inline]` trampolines above/below
+    /// stay tiny at the call site.
+    fn run_broadcast<F>(&self, job: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
         // SAFETY-free trick: we erase the closure's lifetime by boxing a
         // wrapper that we fully wait out before returning, so the borrow
         // cannot escape this call.
@@ -144,6 +162,7 @@ impl WorkerPool {
     /// # Panics
     ///
     /// Panics if a worker thread has panicked and disconnected.
+    #[inline]
     pub fn run_map<R, F>(&self, f: F) -> Vec<R>
     where
         R: Send,
@@ -166,6 +185,10 @@ impl WorkerPool {
     /// Splits `range` into dynamically scheduled chunks and runs `f(tid,
     /// chunk)` across the pool. Dynamic scheduling balances skewed work
     /// (power-law graphs make static splits pathological).
+    ///
+    /// The inline fast-path threshold is decided ONCE per call, before any
+    /// fan-out; per-sub-chunk iterations only pay the cursor claim.
+    #[inline]
     pub fn par_for<F>(&self, range: Range<usize>, f: F)
     where
         F: Fn(usize, Range<usize>) + Send + Sync,
@@ -175,23 +198,19 @@ impl WorkerPool {
         if n == 0 {
             return;
         }
-        if self.threads == 1 {
-            f(0, start..start + n);
-            return;
-        }
         // A range no larger than one chunk would be claimed whole by the
         // first worker anyway; run it inline and skip the fan-out/ack
         // round-trip entirely. Tiny sparse frontiers hit this constantly.
         // (`run`/`run_map` must NOT take this shortcut: their contract is
         // that every thread id participates — e.g. request-sync bucketing
         // scans a word chunk per tid.)
-        if n <= 256 {
+        if self.threads == 1 || n <= MIN_GRAIN {
             f(0, start..start + n);
             return;
         }
-        let grain = (n / (self.threads * 8)).max(256);
+        let grain = (n / (self.threads * 8)).max(MIN_GRAIN);
         let cursor = AtomicUsize::new(0);
-        self.run(|tid| loop {
+        self.run_broadcast(|tid| loop {
             let lo = cursor.fetch_add(grain, Ordering::Relaxed);
             if lo >= n {
                 break;

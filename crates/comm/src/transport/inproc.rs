@@ -7,7 +7,7 @@
 //! synchronization structure. Deadlines and the heartbeat detector are
 //! opt-in layers on the same primitives.
 
-use super::{Deadline, Transport, TransportConfig};
+use super::{Deadline, RetxRequest, Transport, TransportConfig};
 use crate::clock;
 use crate::cluster::CommError;
 use parking_lot::Mutex;
@@ -454,8 +454,9 @@ pub struct InProcFabric {
     cfg: TransportConfig,
     /// `mailboxes[to][from]` holds frames in flight from `from` to `to`.
     mailboxes: Vec<Vec<Mutex<Vec<Vec<u8>>>>>,
-    /// `retx[sender][requester]`: requester asks sender to re-send.
-    retx: Vec<Vec<AtomicBool>>,
+    /// `retx[sender][requester]`: what the requester asks the sender to
+    /// re-send (merged across requests until the sender collects them).
+    retx: Vec<Vec<Mutex<Option<RetxRequest>>>>,
     /// Per-host "I am still missing a frame" flag, read collectively.
     missing: Vec<AtomicBool>,
     barrier: FtBarrier,
@@ -482,7 +483,7 @@ impl InProcFabric {
                 .map(|_| (0..hosts).map(|_| Mutex::new(Vec::new())).collect())
                 .collect(),
             retx: (0..hosts)
-                .map(|_| (0..hosts).map(|_| AtomicBool::new(false)).collect())
+                .map(|_| (0..hosts).map(|_| Mutex::new(None)).collect())
                 .collect(),
             missing: (0..hosts).map(|_| AtomicBool::new(false)).collect(),
             barrier: FtBarrier::new(hosts),
@@ -599,13 +600,22 @@ impl Transport for InProcTransport {
         std::mem::take(&mut *self.fabric.mailboxes[self.host][from].lock())
     }
 
-    fn request_retx(&self, from: usize) {
-        self.fabric.retx[from][self.host].store(true, Ordering::Relaxed);
+    fn request_retx(&self, from: usize, req: RetxRequest) {
+        let mut cell = self.fabric.retx[from][self.host].lock();
+        match &mut *cell {
+            Some(cur) => cur.merge(req),
+            None => *cell = Some(req),
+        }
     }
 
-    fn take_retx_requests(&self) -> Vec<usize> {
+    fn take_retx_requests(&self) -> Vec<(usize, RetxRequest)> {
         (0..self.fabric.hosts)
-            .filter(|&r| self.fabric.retx[self.host][r].swap(false, Ordering::Relaxed))
+            .filter_map(|r| {
+                self.fabric.retx[self.host][r]
+                    .lock()
+                    .take()
+                    .map(|req| (r, req))
+            })
             .collect()
     }
 
@@ -648,7 +658,7 @@ impl Transport for InProcTransport {
         // together the hosts cover every cell.
         for h in 0..fab.hosts {
             fab.mailboxes[me][h].lock().clear();
-            fab.retx[me][h].store(false, Ordering::Relaxed);
+            *fab.retx[me][h].lock() = None;
         }
         fab.missing[me].store(false, Ordering::Relaxed);
         // A recovering host is alive by definition: refresh its beat so a

@@ -211,6 +211,36 @@ impl TransportConfig {
     }
 }
 
+/// What a receiver asks a sender to re-send for the current exchange.
+///
+/// With chunked payloads the retransmit granularity is per chunk: a
+/// receiver that knows exactly which chunk indices it is missing asks for
+/// just those, and a receiver that has not yet seen the stream terminator
+/// (so cannot know the full extent) asks for everything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetxRequest {
+    /// Re-send every retained chunk of the current exchange.
+    All,
+    /// Re-send just these chunk indices (sorted, deduplicated).
+    Chunks(Vec<u32>),
+}
+
+impl RetxRequest {
+    /// Merges another request into this one: `All` absorbs everything;
+    /// two chunk lists take their sorted union.
+    pub fn merge(&mut self, other: RetxRequest) {
+        match (&mut *self, other) {
+            (RetxRequest::All, _) => {}
+            (_, RetxRequest::All) => *self = RetxRequest::All,
+            (RetxRequest::Chunks(mine), RetxRequest::Chunks(theirs)) => {
+                mine.extend(theirs);
+                mine.sort_unstable();
+                mine.dedup();
+            }
+        }
+    }
+}
+
 /// Moves framed bytes between hosts and implements the collective
 /// synchronization primitives the exchange protocol is built on.
 ///
@@ -237,12 +267,14 @@ pub trait Transport: Sync {
     /// Takes every frame that has arrived from `from`.
     fn drain(&self, from: usize) -> Vec<Vec<u8>>;
 
-    /// Asks `from` to re-send its retained frame for this host.
-    fn request_retx(&self, from: usize);
+    /// Asks `from` to re-send retained chunks of its current exchange
+    /// payload for this host. Requests accumulate on the sender side via
+    /// [`RetxRequest::merge`] until collected.
+    fn request_retx(&self, from: usize, req: RetxRequest);
 
-    /// The peers that asked this host to re-send since the last call
-    /// (clearing the requests).
-    fn take_retx_requests(&self) -> Vec<usize>;
+    /// The peers that asked this host to re-send since the last call,
+    /// with their merged requests (clearing the requests).
+    fn take_retx_requests(&self) -> Vec<(usize, RetxRequest)>;
 
     /// Failure-aware barrier over all hosts, bounded by `deadline`.
     fn barrier(&self, deadline: &Deadline) -> Result<(), CommError>;
@@ -339,6 +371,17 @@ mod tests {
         std::thread::sleep(Duration::from_millis(5));
         assert!(d.expired());
         assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn retx_requests_merge_to_all_or_sorted_union() {
+        let mut r = RetxRequest::Chunks(vec![3, 1]);
+        r.merge(RetxRequest::Chunks(vec![2, 3]));
+        assert_eq!(r, RetxRequest::Chunks(vec![1, 2, 3]));
+        r.merge(RetxRequest::All);
+        assert_eq!(r, RetxRequest::All);
+        r.merge(RetxRequest::Chunks(vec![9]));
+        assert_eq!(r, RetxRequest::All);
     }
 
     #[test]

@@ -42,7 +42,7 @@
 //! same seed produce identical traces; a diff of two traces is a diff of
 //! two schedules.
 
-use super::{Deadline, Transport, TransportConfig};
+use super::{Deadline, RetxRequest, Transport, TransportConfig};
 use crate::clock::Clock;
 use crate::cluster::CommError;
 use crate::fault::mix;
@@ -207,8 +207,8 @@ struct SimState {
     /// in virtual time; ordering and interleaving come from the seeded
     /// scheduler, loss/delay/reordering from the fault plan above).
     mailboxes: Vec<Vec<Vec<Vec<u8>>>>,
-    /// `retx[sender][requester]`.
-    retx: Vec<Vec<bool>>,
+    /// `retx[sender][requester]`: merged pending re-send requests.
+    retx: Vec<Vec<Option<RetxRequest>>>,
     missing: Vec<bool>,
     // Failure-aware barrier (mirrors the in-proc `FtBarrier`).
     bar_arrived: usize,
@@ -324,7 +324,7 @@ impl SimFabric {
                 mailboxes: (0..hosts)
                     .map(|_| (0..hosts).map(|_| Vec::new()).collect())
                     .collect(),
-                retx: (0..hosts).map(|_| vec![false; hosts]).collect(),
+                retx: (0..hosts).map(|_| vec![None; hosts]).collect(),
                 missing: vec![false; hosts],
                 bar_arrived: 0,
                 bar_gen: 0,
@@ -845,17 +845,29 @@ impl Transport for SimTransport {
         std::mem::take(&mut self.fabric.lock().mailboxes[self.host][from])
     }
 
-    fn request_retx(&self, from: usize) {
+    fn request_retx(&self, from: usize, req: RetxRequest) {
         let fab = &self.fabric;
         let mut s = fab.lock();
-        fab.trace(&mut s, self.host, "retx_request", format!("from={from}"));
-        s.retx[from][self.host] = true;
+        let what = match &req {
+            RetxRequest::All => "all".to_string(),
+            RetxRequest::Chunks(c) => format!("chunks={c:?}"),
+        };
+        fab.trace(
+            &mut s,
+            self.host,
+            "retx_request",
+            format!("from={from} {what}"),
+        );
+        match &mut s.retx[from][self.host] {
+            Some(cur) => cur.merge(req),
+            cell => *cell = Some(req),
+        }
     }
 
-    fn take_retx_requests(&self) -> Vec<usize> {
+    fn take_retx_requests(&self) -> Vec<(usize, RetxRequest)> {
         let mut s = self.fabric.lock();
         (0..self.fabric.hosts)
-            .filter(|&r| std::mem::take(&mut s.retx[self.host][r]))
+            .filter_map(|r| s.retx[self.host][r].take().map(|req| (r, req)))
             .collect()
     }
 
@@ -929,7 +941,7 @@ impl Transport for SimTransport {
         let me = self.host;
         for h in 0..fab.hosts {
             s.mailboxes[me][h].clear();
-            s.retx[me][h] = false;
+            s.retx[me][h] = None;
         }
         s.missing[me] = false;
         // A recovering host is alive: refresh its beat so the silence

@@ -14,7 +14,9 @@
 //! * `MISSING(gen u64, flag u8)` — the collective retransmission verdict;
 //!   flags are keyed by generation in a per-peer map so a fast host's next
 //!   verdict can never overwrite one a slow host has not read yet.
-//! * `RETX` — peer asks us to re-send our retained frame.
+//! * `RETX(kind u8, ...)` — peer asks us to re-send retained chunks of the
+//!   current exchange: kind 0 means everything, kind 1 carries an explicit
+//!   `count u32` + `u32` chunk-index list.
 //! * `FAILED(epoch u64)` — sender crashed; stamped with its failure epoch
 //!   so a stale notice cannot re-fail a healed mesh.
 //! * `DEPARTED` — sender finished for good (clean exit or unrecoverable
@@ -32,10 +34,10 @@
 //! synchronizes on them. Healing bumps the failure epoch, which
 //! invalidates any `FAILED` notice from before the heal.
 
-use super::{Backoff, Deadline, Transport, TransportConfig};
+use super::{Backoff, Deadline, RetxRequest, Transport, TransportConfig};
 use crate::clock;
 use crate::cluster::CommError;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -73,8 +75,8 @@ struct State {
     gate_seen: Vec<u64>,
     /// Missing-flag announcements per peer, keyed by generation.
     missing: Vec<BTreeMap<u64, bool>>,
-    /// Peers that asked us to retransmit.
-    retx: Vec<bool>,
+    /// What each peer asked us to re-send (merged until collected).
+    retx: Vec<Option<RetxRequest>>,
     failed: Vec<bool>,
     suspected: Vec<bool>,
     departed: Vec<bool>,
@@ -102,7 +104,7 @@ impl State {
             barrier_seen: vec![0; hosts],
             gate_seen: vec![0; hosts],
             missing: vec![BTreeMap::new(); hosts],
-            retx: vec![false; hosts],
+            retx: vec![None; hosts],
             failed: vec![false; hosts],
             suspected: vec![false; hosts],
             departed: vec![false; hosts],
@@ -136,6 +138,52 @@ impl State {
     }
 }
 
+/// Outgoing messages for one peer, drained by that peer's writer thread.
+struct SendQueue {
+    pending: VecDeque<Vec<u8>>,
+    /// Teardown: the writer drains what is pending, then exits; new
+    /// messages are dropped.
+    stop: bool,
+    /// The link was declared dead (revive exhausted); messages are dropped
+    /// immediately instead of burning the reconnect budget each.
+    dead: bool,
+}
+
+/// One peer's outgoing side: the connection write half plus the send
+/// queue its dedicated writer thread drains.
+///
+/// Splitting the queue from the socket is what keeps one slow peer from
+/// stalling the whole scatter: `send` only appends to `queue` (never
+/// touches the socket), and each peer's writer makes progress
+/// independently with bounded, readiness-style writes.
+struct PeerLink {
+    /// Write half of the connection. Taken by the writer thread for the
+    /// duration of a write, so the acceptor can install a replacement
+    /// without blocking behind a wedged socket.
+    conn: StdMutex<Option<TcpStream>>,
+    queue: StdMutex<SendQueue>,
+    /// Signals the writer thread: new message, new connection, or stop.
+    ready: Condvar,
+    /// Set once any connection to this peer has been installed (mesh
+    /// setup waits on it).
+    connected: AtomicBool,
+}
+
+impl PeerLink {
+    fn new() -> Self {
+        PeerLink {
+            conn: StdMutex::new(None),
+            queue: StdMutex::new(SendQueue {
+                pending: VecDeque::new(),
+                stop: false,
+                dead: false,
+            }),
+            ready: Condvar::new(),
+            connected: AtomicBool::new(false),
+        }
+    }
+}
+
 struct Inner {
     host: usize,
     hosts: usize,
@@ -143,16 +191,19 @@ struct Inner {
     ports: Vec<u16>,
     state: StdMutex<State>,
     cv: Condvar,
-    /// Per-peer write handles, locked independently of `state`: a socket
+    /// Per-peer outgoing links, locked independently of `state`: a socket
     /// write may block on a full send buffer, and holding the state lock
     /// across it would wedge our readers and deadlock the mesh.
-    writers: Vec<StdMutex<Option<TcpStream>>>,
+    links: Vec<PeerLink>,
     shutdown: AtomicBool,
     /// Clock-nanoseconds of the last message from each peer.
     last_rx: Vec<AtomicU64>,
     /// Heartbeats are suppressed until this time (hang-simulation hook).
     silence_until: AtomicU64,
     threads: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Writer threads, joined before `shutdown` is set so pending control
+    /// notices (DEPARTED) still reach the wire during teardown.
+    tx_threads: StdMutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl Inner {
@@ -209,6 +260,40 @@ fn reader_loop(inner: Arc<Inner>, peer: usize, mut stream: TcpStream) {
     inner.cv.notify_all();
 }
 
+fn encode_retx(req: &RetxRequest) -> Vec<u8> {
+    match req {
+        RetxRequest::All => vec![0],
+        RetxRequest::Chunks(chunks) => {
+            let mut body = Vec::with_capacity(5 + chunks.len() * 4);
+            body.push(1);
+            body.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
+            for c in chunks {
+                body.extend_from_slice(&c.to_le_bytes());
+            }
+            body
+        }
+    }
+}
+
+fn decode_retx(body: &[u8]) -> Option<RetxRequest> {
+    match body.first()? {
+        0 => Some(RetxRequest::All),
+        1 => {
+            let n = u32::from_le_bytes(body.get(1..5)?.try_into().ok()?) as usize;
+            let rest = body.get(5..)?;
+            if rest.len() != n * 4 {
+                return None;
+            }
+            Some(RetxRequest::Chunks(
+                rest.chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("sized chunk")))
+                    .collect(),
+            ))
+        }
+        _ => None,
+    }
+}
+
 fn apply(inner: &Inner, peer: usize, tag: u8, body: Vec<u8>) {
     let u64_at = |b: &[u8]| -> Option<u64> { Some(u64::from_le_bytes(b.get(..8)?.try_into().ok()?)) };
     let mut st = inner.lock();
@@ -229,7 +314,15 @@ fn apply(inner: &Inner, peer: usize, tag: u8, body: Vec<u8>) {
                 st.missing[peer].insert(g, flag != 0);
             }
         }
-        TAG_RETX => st.retx[peer] = true,
+        TAG_RETX => {
+            // A malformed body is treated as "re-send everything": over-asking
+            // is always safe.
+            let req = decode_retx(&body).unwrap_or(RetxRequest::All);
+            match &mut st.retx[peer] {
+                Some(cur) => cur.merge(req),
+                cell => *cell = Some(req),
+            }
+        }
         TAG_HB => {}
         TAG_FAILED => {
             if let Some(e) = u64_at(&body) {
@@ -260,11 +353,15 @@ fn handshake_connect(inner: &Inner, peer: usize) -> io::Result<TcpStream> {
 }
 
 /// Installs `stream` as the connection to `peer`: write half into the
-/// writer slot, read half into a fresh reader thread.
+/// link's connection slot (waking the writer thread), read half into a
+/// fresh reader thread.
 fn install(inner: &Arc<Inner>, peer: usize, stream: TcpStream) {
     let reader = stream.try_clone().expect("tcp stream clone");
     inner.last_rx[peer].store(inner.now_nanos(), Ordering::Relaxed);
-    *inner.writers[peer].lock().unwrap_or_else(|e| e.into_inner()) = Some(stream);
+    let link = &inner.links[peer];
+    *link.conn.lock().unwrap_or_else(|e| e.into_inner()) = Some(stream);
+    link.connected.store(true, Ordering::Relaxed);
+    link.ready.notify_all();
     let inner2 = inner.clone();
     let handle = std::thread::Builder::new()
         .name(format!("kimbap-tcp-rx-{}-{peer}", inner.host))
@@ -342,8 +439,9 @@ fn heartbeat_loop(inner: Arc<Inner>, hb: super::HeartbeatConfig) {
     }
 }
 
-/// Writes one tagged message to `peer`, reconnecting (client side) or
-/// waiting for the acceptor to restore the link (server side) on failure.
+/// Enqueues one tagged message for `peer`. Returns immediately: the
+/// peer's writer thread moves the bytes, so a slow or wedged peer never
+/// stalls the caller (or the scatter to other peers).
 fn send_on(inner: &Arc<Inner>, peer: usize, tag: u8, body: &[u8]) {
     {
         // Never write to a gone peer: reviving a permanently dead host's
@@ -358,30 +456,103 @@ fn send_on(inner: &Arc<Inner>, peer: usize, tag: u8, body: &[u8]) {
     buf.push(tag);
     buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
     buf.extend_from_slice(body);
-    {
-        let guard = inner.writers[peer].lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(s) = guard.as_ref() {
-            if { s }.write_all(&buf).is_ok() {
-                return;
-            }
-        }
+    let link = &inner.links[peer];
+    let mut q = link.queue.lock().unwrap_or_else(|e| e.into_inner());
+    if q.stop || q.dead {
+        return;
     }
-    revive(inner, peer, &buf);
+    q.pending.push_back(buf);
+    drop(q);
+    link.ready.notify_all();
 }
 
-/// Re-establishes the connection to `peer` with exponential backoff and
-/// decorrelated jitter, then retries the write once per attempt. Marks the
-/// peer failed if the link cannot be restored.
-fn revive(inner: &Arc<Inner>, peer: usize, buf: &[u8]) {
+/// How long each bounded socket write waits for readiness before
+/// returning `WouldBlock` and letting the writer re-check shutdown.
+const WRITE_TICK: Duration = Duration::from_millis(20);
+
+/// Writes all of `buf` with bounded, readiness-style writes: `SO_SNDTIMEO`
+/// turns a full send buffer into a `WouldBlock` tick instead of an
+/// unbounded block, so the writer thread stays responsive to shutdown and
+/// teardown never wedges on a stalled peer.
+fn write_all_ready(inner: &Inner, peer: usize, stream: &TcpStream, buf: &[u8]) -> bool {
+    let _ = stream.set_write_timeout(Some(WRITE_TICK));
+    let mut off = 0;
+    let mut stalled_ticks = 0u32;
+    while off < buf.len() {
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return false;
+        }
+        match { stream }.write(&buf[off..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                off += n;
+                stalled_ticks = 0;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                stalled_ticks += 1;
+                // During teardown a peer that stays unwritable for ~5s is
+                // abandoned so Drop can finish joining the writer.
+                let stopping = inner.links[peer]
+                    .queue
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .stop;
+                if stopping && stalled_ticks > 250 {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// One attempt to write `buf` on the currently installed connection. The
+/// stream is taken out of the slot for the write (so the acceptor can
+/// install a replacement concurrently) and put back on success; a failed
+/// stream is dropped so the next attempt reconnects fresh.
+fn try_write(inner: &Inner, peer: usize, buf: &[u8]) -> bool {
+    let taken = inner.links[peer]
+        .conn
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take();
+    let Some(stream) = taken else {
+        return false;
+    };
+    let ok = write_all_ready(inner, peer, &stream, buf);
+    if ok {
+        let mut slot = inner.links[peer].conn.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(stream);
+        }
+    }
+    ok
+}
+
+/// Writes `buf` to `peer`, re-establishing the connection with
+/// exponential backoff and decorrelated jitter on failure. Returns false
+/// once the link is considered permanently dead.
+fn write_or_revive(inner: &Arc<Inner>, peer: usize, buf: &[u8]) -> bool {
+    if try_write(inner, peer, buf) {
+        return true;
+    }
     let mut backoff = Backoff::reconnect(inner.host);
     for _ in 0..8 {
         if inner.shutdown.load(Ordering::Relaxed) {
-            return;
+            return true;
         }
         {
             let st = inner.lock();
             if st.departed[peer] || st.excluded[peer] {
-                return;
+                return true;
             }
         }
         if peer < inner.host {
@@ -390,24 +561,57 @@ fn revive(inner: &Arc<Inner>, peer: usize, buf: &[u8]) {
                 install(inner, peer, stream);
             }
         }
-        // Server side (or post-reconnect): use whatever writer is present —
-        // the acceptor installs replacements as the peer redials.
-        {
-            let guard = inner.writers[peer].lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(s) = guard.as_ref() {
-                if { s }.write_all(buf).is_ok() {
-                    return;
-                }
-            }
+        // Server side (or post-reconnect): use whatever connection is
+        // present — the acceptor installs replacements as the peer redials.
+        if try_write(inner, peer, buf) {
+            return true;
         }
         backoff.sleep();
     }
-    let mut st = inner.lock();
-    if !st.failed[peer] {
-        st.failed[peer] = true;
+    false
+}
+
+/// Drains `peer`'s send queue: one writer thread per peer, so per-peer
+/// FIFO order is preserved while peers make progress independently. A
+/// write failure that survives the revive loop is surfaced to the failure
+/// detector immediately (instead of waiting for a heartbeat timeout), and
+/// the queue is declared dead so later messages are dropped cheaply.
+fn writer_loop(inner: Arc<Inner>, peer: usize) {
+    let link = &inner.links[peer];
+    loop {
+        let buf = {
+            let mut q = link.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(buf) = q.pending.pop_front() {
+                    break buf;
+                }
+                if q.stop {
+                    return;
+                }
+                q = link.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        if write_or_revive(&inner, peer, &buf) {
+            continue;
+        }
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        // The link is dead: tell the failure detector now — collective
+        // waits break with HostFailure instead of hanging until the
+        // heartbeat monitor notices the silence.
+        {
+            let mut q = link.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.dead = true;
+            q.pending.clear();
+        }
+        let mut st = inner.lock();
+        if !st.failed[peer] {
+            st.failed[peer] = true;
+        }
+        drop(st);
+        inner.cv.notify_all();
     }
-    drop(st);
-    inner.cv.notify_all();
 }
 
 impl TcpTransport {
@@ -431,7 +635,7 @@ impl TcpTransport {
             ports: ports.to_vec(),
             state: StdMutex::new(State::new(num_hosts)),
             cv: Condvar::new(),
-            writers: (0..num_hosts).map(|_| StdMutex::new(None)).collect(),
+            links: (0..num_hosts).map(|_| PeerLink::new()).collect(),
             shutdown: AtomicBool::new(false),
             // Seed liveness with "now": the clock epoch is process global,
             // so zero would read as ancient silence to the detector.
@@ -440,6 +644,7 @@ impl TcpTransport {
                 .collect(),
             silence_until: AtomicU64::new(0),
             threads: StdMutex::new(Vec::new()),
+            tx_threads: StdMutex::new(Vec::new()),
         });
         {
             let inner2 = inner.clone();
@@ -449,6 +654,19 @@ impl TcpTransport {
                 .expect("failed to spawn tcp acceptor");
             inner
                 .threads
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(handle);
+        }
+        // One writer thread per peer drains that peer's send queue.
+        for peer in (0..num_hosts).filter(|&p| p != host) {
+            let inner2 = inner.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("kimbap-tcp-tx-{host}-{peer}"))
+                .spawn(move || writer_loop(inner2, peer))
+                .expect("failed to spawn tcp writer");
+            inner
+                .tx_threads
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .push(handle);
@@ -476,12 +694,9 @@ impl TcpTransport {
         // Wait for the server side of each pair (installed by the acceptor).
         let start = clock::now_nanos();
         loop {
-            let connected = (0..num_hosts).filter(|&p| p != host).all(|p| {
-                inner.writers[p]
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .is_some()
-            });
+            let connected = (0..num_hosts)
+                .filter(|&p| p != host)
+                .all(|p| inner.links[p].connected.load(Ordering::Relaxed));
             if connected {
                 break;
             }
@@ -570,9 +785,28 @@ impl std::fmt::Debug for TcpTransport {
 
 impl Drop for TcpTransport {
     fn drop(&mut self) {
+        // Phase 1: stop the send queues. Writers drain what is already
+        // pending (the DEPARTED notice must reach the wire) and exit;
+        // `shutdown` stays unset so in-flight writes complete.
+        for link in &self.inner.links {
+            link.queue.lock().unwrap_or_else(|e| e.into_inner()).stop = true;
+            link.ready.notify_all();
+        }
+        let writers = std::mem::take(
+            &mut *self
+                .inner
+                .tx_threads
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for h in writers {
+            let _ = h.join();
+        }
+        // Phase 2: tear down the sockets and the reader/acceptor/heartbeat
+        // threads.
         self.inner.shutdown.store(true, Ordering::Relaxed);
-        for w in &self.inner.writers {
-            if let Some(s) = w.lock().unwrap_or_else(|e| e.into_inner()).take() {
+        for link in &self.inner.links {
+            if let Some(s) = link.conn.lock().unwrap_or_else(|e| e.into_inner()).take() {
                 let _ = s.shutdown(Shutdown::Both);
             }
         }
@@ -649,14 +883,14 @@ impl Transport for TcpTransport {
         std::mem::take(&mut self.inner.lock().inbox[from])
     }
 
-    fn request_retx(&self, from: usize) {
-        send_on(&self.inner, from, TAG_RETX, &[]);
+    fn request_retx(&self, from: usize, req: RetxRequest) {
+        send_on(&self.inner, from, TAG_RETX, &encode_retx(&req));
     }
 
-    fn take_retx_requests(&self) -> Vec<usize> {
+    fn take_retx_requests(&self) -> Vec<(usize, RetxRequest)> {
         let mut st = self.inner.lock();
         (0..self.inner.hosts)
-            .filter(|&r| std::mem::take(&mut st.retx[r]))
+            .filter_map(|r| st.retx[r].take().map(|req| (r, req)))
             .collect()
     }
 
@@ -749,12 +983,20 @@ impl Transport for TcpTransport {
             m.clear();
         }
         for r in &mut st.retx {
-            *r = false;
+            *r = None;
         }
         st.barrier_seen.iter_mut().for_each(|g| *g = 0);
         st.bar_gen = 0;
         st.miss_gen = 0;
         drop(st);
+        // Recovery means no live traffic is in flight: drop stale queued
+        // frames and give dead-declared links a fresh chance — the peer
+        // may only have stalled, and the heal is about to re-admit it.
+        for link in &self.inner.links {
+            let mut q = link.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.pending.clear();
+            q.dead = false;
+        }
         // A recovering host is alive: refresh peer liveness so the stall
         // that triggered recovery is not immediately re-flagged.
         let now = self.inner.now_nanos();

@@ -1,8 +1,17 @@
 //! Property-based tests for the simulated cluster's collectives.
 
 use kimbap_comm::wire::{decode_slice, encode_slice, frame_payload, parse_frame};
-use kimbap_comm::{Cluster, FaultPlan};
+use kimbap_comm::{Cluster, FaultPlan, CHUNK_PAYLOAD};
 use proptest::prelude::*;
+
+/// Deterministic per-link payload: a function of (from, to, len, fill) so
+/// every backend and both collective flavours can be checked against the
+/// same expected bytes without sharing state.
+fn link_payload(from: usize, to: usize, len: usize, fill: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| fill.wrapping_add((from * 31 + to * 7 + i) as u8))
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -160,6 +169,55 @@ proptest! {
 
         // Pure garbage (no magic, random lengths) never panics.
         prop_assert!(parse_frame(&garbage).is_err() || garbage == frame);
+    }
+
+    /// Differential check for the split-phase collectives: on every
+    /// backend (in-proc, TCP loopback, deterministic sim), an
+    /// `exchange_start`/`post`/`exchange_finish` sequence returns results
+    /// byte-for-byte identical to the blocking `exchange` of the same
+    /// payloads — and both match the independently computed expectation.
+    /// Payload sizes are drawn from the chunk-boundary set
+    /// {0, 1, C−1, C, C+1} (C = [`CHUNK_PAYLOAD`]) so single-chunk,
+    /// exact-fit, and straddling streams are all exercised.
+    #[test]
+    fn split_phase_equals_blocking_on_all_backends(
+        hosts in 2usize..4,
+        pick in prop::collection::vec(0usize..5, 2..4),
+        fill in 0u8..=255,
+    ) {
+        let boundary = [0, 1, CHUNK_PAYLOAD - 1, CHUNK_PAYLOAD, CHUNK_PAYLOAD + 1];
+        let sizes: Vec<usize> = pick.iter().map(|&i| boundary[i]).collect();
+        let len_for = |from: usize, to: usize| sizes[(from + to) % sizes.len()];
+        let expected: Vec<Vec<Vec<u8>>> = (0..hosts)
+            .map(|me| {
+                (0..hosts)
+                    .map(|from| link_payload(from, me, len_for(from, me), fill))
+                    .collect()
+            })
+            .collect();
+        for c in [
+            Cluster::new(hosts),
+            Cluster::new(hosts).tcp(),
+            Cluster::new(hosts).sim(fill as u64 + 1),
+        ] {
+            let blocking = c.run(|ctx| {
+                let me = ctx.host();
+                let outgoing = (0..hosts)
+                    .map(|to| link_payload(me, to, len_for(me, to), fill))
+                    .collect();
+                ctx.exchange(outgoing)
+            });
+            prop_assert_eq!(&blocking, &expected);
+            let split = c.run(|ctx| {
+                let me = ctx.host();
+                let ticket = ctx.exchange_start();
+                for to in 0..hosts {
+                    ticket.post(to, link_payload(me, to, len_for(me, to), fill));
+                }
+                ctx.exchange_finish(ticket)
+            });
+            prop_assert_eq!(&split, &expected);
+        }
     }
 
     /// Exchanges complete with correct contents under seeded random frame

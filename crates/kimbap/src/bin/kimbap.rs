@@ -65,10 +65,10 @@ usage:
   kimbap run <cc-sv|cc-lp|cc-sclp|mis|msf|louvain|leiden> FILE
              [--hosts N] [--threads N] [--transport inproc|tcp]
              [--faults none|drop|corrupt|crash|kill] [--seed N]
-             [--allow-shrink] [--port-base N] [--out FILE]
+             [--allow-shrink] [--no-pipeline] [--port-base N] [--out FILE]
   kimbap sim [--algo <cc-sv|cc-lp|cc-sclp|mis|msf|louvain|leiden>]
              [--seed N] [--seeds N] [--hosts N] [--threads N]
-             [--scale N] [--ef N] [--allow-shrink]
+             [--scale N] [--ef N] [--allow-shrink] [--no-pipeline]
              [--trace FILE] [--out FILE]
   kimbap compile FILE.kv [--no-opt]
 
@@ -87,6 +87,12 @@ same run byte for byte. Each seed must either converge to the fault-free
 reference labels or surface a communication failure — anything else (and
 any divergence) fails with the exact command that replays it. --seeds N
 fuzzes N consecutive seeds; --trace dumps the event schedule as JSONL.
+
+reduce-sync rounds pipeline by default: hosts hand outgoing buffers to
+the wire as they are serialized and overlap local reduction with
+delivery. --no-pipeline falls back to the plain blocking collectives;
+both modes produce byte-identical outputs for the same seed, which the
+CI smoke diffs.
 
 --allow-shrink survives permanent host loss: the survivors agree the dead
 host out of the membership, re-partition over the shrunk cluster, and
@@ -215,6 +221,7 @@ fn run_tcp_cc(
     faults: &str,
     seed: u64,
     allow_shrink: bool,
+    pipelined: bool,
 ) -> Result<Vec<Vec<(NodeId, u64)>>, String> {
     let exe = std::env::current_exe().map_err(|e| format!("locate own binary: {e}"))?;
     let dir = std::env::temp_dir().join(format!("kimbap-tcp-{}", std::process::id()));
@@ -235,6 +242,9 @@ fn run_tcp_cc(
             .args(["--out", part.to_str().ok_or("non-UTF-8 temp dir")?]);
         if allow_shrink {
             cmd.arg("--allow-shrink");
+        }
+        if !pipelined {
+            cmd.arg("--no-pipeline");
         }
         let child = cmd.spawn().map_err(|e| format!("spawn worker {h}: {e}"))?;
         children.push((h, child));
@@ -288,12 +298,14 @@ fn cmd_worker(args: &[String]) -> CliResult {
     let seed: u64 = flag_num(args, "--seed", 1)?;
     let out = flag(args, "--out").ok_or("missing --out")?;
     let allow_shrink = args.iter().any(|a| a == "--allow-shrink");
+    let pipelined = !args.iter().any(|a| a == "--no-pipeline");
     let g = load_graph(&path)?;
     let parts = partition(&g, Policy::CartesianVertexCut, hosts);
     let plan = fault_plan(&faults, seed, hosts)?;
     let transport = TcpTransport::bind(host, hosts, port_base, TransportConfig::default())
         .map_err(|e| format!("host {host}: bind tcp transport: {e}"))?;
     let vals = run_transport_host(&transport, threads, plan, |ctx| {
+        ctx.set_pipelined(pipelined);
         if allow_shrink {
             // Elastic: re-partition from the live membership on every
             // attempt, so after a shrink the survivors cover all nodes.
@@ -358,8 +370,10 @@ fn host_values<R>(res: Vec<Result<R, HostError>>, elastic: bool) -> Result<HostV
 /// re-partitions from the live membership (inside [`HostCtx::run_elastic`])
 /// so a shrink re-converges on the survivors; otherwise the partition is
 /// fixed up front and transient faults recover in place.
+#[allow(clippy::too_many_arguments)]
 fn run_hosts<R: Send>(
     elastic: bool,
+    pipelined: bool,
     g: &Graph,
     policy: Policy,
     cluster: &Cluster,
@@ -368,6 +382,7 @@ fn run_hosts<R: Send>(
 ) -> Vec<Result<R, HostError>> {
     if elastic {
         cluster.try_run_with_faults(plan, |ctx| {
+            ctx.set_pipelined(pipelined);
             ctx.run_elastic(|ctx| {
                 let parts = partition(g, policy, ctx.num_hosts());
                 f(&parts[ctx.host()], ctx)
@@ -376,6 +391,7 @@ fn run_hosts<R: Send>(
     } else {
         let parts = partition(g, policy, cluster.num_hosts());
         cluster.try_run_with_faults(plan, |ctx| {
+            ctx.set_pipelined(pipelined);
             ctx.run_recovering(|ctx| f(&parts[ctx.host()], ctx))
         })
     }
@@ -401,6 +417,7 @@ fn sim_outcome(
     cluster: &Cluster,
     plan: FaultPlan,
     elastic: bool,
+    pipelined: bool,
 ) -> Result<SimOutcome, String> {
     let policy = match algo {
         "louvain" | "leiden" => Policy::EdgeCutBlocked,
@@ -411,7 +428,7 @@ fn sim_outcome(
     Ok(match algo {
         "cc-sv" | "cc-lp" | "cc-sclp" => {
             match host_values(
-                run_hosts(elastic, g, policy, cluster, plan, |dg, ctx| {
+                run_hosts(elastic, pipelined, g, policy, cluster, plan, |dg, ctx| {
                     run_cc(algo, dg, ctx)
                 }),
                 elastic,
@@ -422,7 +439,9 @@ fn sim_outcome(
         }
         "mis" => {
             match host_values(
-                run_hosts(elastic, g, policy, cluster, plan, |dg, ctx| mis(dg, ctx, &b)),
+                run_hosts(elastic, pipelined, g, policy, cluster, plan, |dg, ctx| {
+                    mis(dg, ctx, &b)
+                }),
                 elastic,
             )? {
                 HostValues::Aborted(m) => SimOutcome::Aborted(m),
@@ -435,7 +454,9 @@ fn sim_outcome(
         }
         "msf" => {
             match host_values(
-                run_hosts(elastic, g, policy, cluster, plan, |dg, ctx| msf(dg, ctx, &b)),
+                run_hosts(elastic, pipelined, g, policy, cluster, plan, |dg, ctx| {
+                    msf(dg, ctx, &b)
+                }),
                 elastic,
             )? {
                 HostValues::Aborted(m) => SimOutcome::Aborted(m),
@@ -453,7 +474,7 @@ fn sim_outcome(
         "louvain" | "leiden" => {
             let cfg = LouvainConfig::default();
             match host_values(
-                run_hosts(elastic, g, policy, cluster, plan, |dg, ctx| {
+                run_hosts(elastic, pipelined, g, policy, cluster, plan, |dg, ctx| {
                     if algo == "louvain" {
                         louvain(dg, ctx, &b, &cfg)
                     } else {
@@ -489,6 +510,7 @@ fn run_sim_seed(
     scale: u32,
     ef: usize,
     allow_shrink: bool,
+    pipelined: bool,
     trace_path: Option<&str>,
     out: Option<&str>,
 ) -> Result<(SimOutcome, usize), String> {
@@ -504,6 +526,7 @@ fn run_sim_seed(
         &Cluster::with_threads(hosts, threads),
         FaultPlan::new(),
         false,
+        pipelined,
     )? {
         SimOutcome::Labels(l) => l,
         SimOutcome::Aborted(m) => return Err(format!("fault-free baseline aborted: {m}")),
@@ -524,6 +547,7 @@ fn run_sim_seed(
             &Cluster::with_threads(hosts - 1, threads),
             FaultPlan::new(),
             false,
+            pipelined,
         )? {
             SimOutcome::Labels(l) => Some(l),
             SimOutcome::Aborted(m) => {
@@ -543,7 +567,7 @@ fn run_sim_seed(
         .sim(seed)
         .with_transport_config(simfuzz::sim_transport_config())
         .with_trace_sink(sink.clone());
-    let outcome = sim_outcome(algo, &g, &cluster, plan, allow_shrink)?;
+    let outcome = sim_outcome(algo, &g, &cluster, plan, allow_shrink, pipelined)?;
     let trace = std::mem::take(&mut *sink.lock());
     if let Some(path) = trace_path {
         let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
@@ -579,6 +603,7 @@ fn cmd_sim(args: &[String]) -> CliResult {
     let seed: u64 = flag_num(args, "--seed", 1)?;
     let nseeds: u64 = flag_num(args, "--seeds", 1)?;
     let allow_shrink = args.iter().any(|a| a == "--allow-shrink");
+    let pipelined = !args.iter().any(|a| a == "--no-pipeline");
     let trace_path = flag(args, "--trace");
     let out = flag(args, "--out");
     let t = Instant::now();
@@ -596,6 +621,7 @@ fn cmd_sim(args: &[String]) -> CliResult {
             scale,
             ef,
             allow_shrink,
+            pipelined,
             trace_path.as_deref(),
             out.as_deref(),
         )
@@ -629,6 +655,7 @@ fn cmd_run(args: &[String]) -> CliResult {
     let port_base: u16 = flag_num(args, "--port-base", 46000)?;
     let out = flag(args, "--out");
     let allow_shrink = args.iter().any(|a| a == "--allow-shrink");
+    let pipelined = !args.iter().any(|a| a == "--no-pipeline");
     let is_cc = matches!(algo.as_str(), "cc-sv" | "cc-lp" | "cc-sclp");
     if !matches!(transport.as_str(), "inproc" | "tcp") {
         return Err(format!("unknown transport '{transport}'"));
@@ -658,10 +685,12 @@ fn cmd_run(args: &[String]) -> CliResult {
             let per_host = if transport == "tcp" {
                 run_tcp_cc(
                     &algo, &path, hosts, threads, port_base, &faults, seed, allow_shrink,
+                    pipelined,
                 )?
             } else if allow_shrink {
                 let plan = fault_plan(&faults, seed, hosts)?;
                 let res = cluster.try_run_with_faults(plan, |ctx| {
+                    ctx.set_pipelined(pipelined);
                     ctx.run_elastic(|ctx| {
                         let parts = partition(&g, policy, ctx.num_hosts());
                         run_cc(&algo, &parts[ctx.host()], ctx)
@@ -681,6 +710,7 @@ fn cmd_run(args: &[String]) -> CliResult {
             } else {
                 let plan = fault_plan(&faults, seed, hosts)?;
                 cluster.run_with_faults(plan, |ctx| {
+                    ctx.set_pipelined(pipelined);
                     ctx.run_recovering(|ctx| run_cc(&algo, &parts[ctx.host()], ctx))
                 })
             };
@@ -698,7 +728,10 @@ fn cmd_run(args: &[String]) -> CliResult {
             println!("{} components in {:.2?}", comps.len(), t.elapsed());
         }
         "mis" => {
-            let per_host = cluster.run(|ctx| mis(&parts[ctx.host()], ctx, &b));
+            let per_host = cluster.run(|ctx| {
+                ctx.set_pipelined(pipelined);
+                mis(&parts[ctx.host()], ctx, &b)
+            });
             let set = merge_master_values(g.num_nodes(), per_host);
             println!(
                 "independent set of {} nodes in {:.2?}",
@@ -707,7 +740,10 @@ fn cmd_run(args: &[String]) -> CliResult {
             );
         }
         "msf" => {
-            let per_host = cluster.run(|ctx| msf(&parts[ctx.host()], ctx, &b));
+            let per_host = cluster.run(|ctx| {
+                ctx.set_pipelined(pipelined);
+                msf(&parts[ctx.host()], ctx, &b)
+            });
             let (edges, total) = kimbap_algos::msf::merge_forest(per_host);
             println!(
                 "forest: {} edges, weight {total}, in {:.2?}",
@@ -718,6 +754,7 @@ fn cmd_run(args: &[String]) -> CliResult {
         "louvain" | "leiden" => {
             let cfg = LouvainConfig::default();
             let results = cluster.run(|ctx| {
+                ctx.set_pipelined(pipelined);
                 let dg = &parts[ctx.host()];
                 if algo == "louvain" {
                     louvain(dg, ctx, &b, &cfg)

@@ -42,6 +42,13 @@ pub struct EngineConfig {
     /// [`crate::elastic::run_plan_elastic`]) carrying the durable state
     /// instead of propagating a terminal error.
     pub allow_shrink: bool,
+    /// Overlap reduce-sync serialization and wire I/O with compute via
+    /// split-phase chunked exchanges (on by default; `--no-pipeline` turns
+    /// it off). Pin rounds — the first round and post-recovery replays —
+    /// and checkpoint-replication exchanges always run non-pipelined, so
+    /// recovery replays the simplest possible schedule. Results are
+    /// byte-identical either way.
+    pub pipelined: bool,
 }
 
 impl Default for EngineConfig {
@@ -51,6 +58,7 @@ impl Default for EngineConfig {
             sparse: true,
             phase_timeout: None,
             allow_shrink: false,
+            pipelined: true,
         }
     }
 }
@@ -404,6 +412,9 @@ impl<'g> Engine<'g> {
             return;
         }
         ctx.set_deadline(Deadline::maybe("replicate", self.config.phase_timeout));
+        // Checkpoint traffic is durable state: keep it on the plain
+        // blocking schedule regardless of the pipelining config.
+        ctx.set_pipelined(false);
         let me = ctx.host();
         let mut out = vec![Vec::new(); k];
         out[(me + 1) % k] = encode_state(&self.globalize(cp));
@@ -521,6 +532,10 @@ impl<'g> Engine<'g> {
     /// round and after a recovery); returns `true` when the loop is done.
     fn loop_step(&mut self, ctx: &HostCtx, l: &CompiledLoop, repeat: bool, pin: bool) -> bool {
         let timeout = self.config.phase_timeout;
+        // Pin rounds (first round and post-recovery replays) run
+        // non-pipelined: recovery replays the simplest schedule while the
+        // fabric is freshly healed. Steady-state rounds follow the config.
+        ctx.set_pipelined(self.config.pipelined && !pin);
         if pin {
             ctx.set_deadline(Deadline::maybe("pin_mirrors", timeout));
             for m in &l.pinned_maps {

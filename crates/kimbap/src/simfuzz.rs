@@ -45,7 +45,32 @@ pub fn random_fault_plan(seed: u64, hosts: usize) -> FaultPlan {
             plan = plan.stall_host(h, round, millis);
         }
     }
+    if let Some((from, to, round, chunk)) = chunk_drop(seed, hosts) {
+        plan = plan.drop_chunk(from, to, round, chunk);
+    }
     plan
+}
+
+/// The chunk-boundary fault a seed's fuzz plans carry, if any: about a
+/// third of seeds drop the `k`-th wire chunk of one directed link in an
+/// early round, so the 50-seed smoke exercises partial-stream reassembly
+/// and chunk-targeted retransmit (not just whole-frame loss). Returns
+/// `(from, to, round, chunk)`. Derived from its own splitmix salt so it
+/// composes with the other seed-derived draws without perturbing them.
+pub fn chunk_drop(seed: u64, hosts: usize) -> Option<(usize, usize, u64, u32)> {
+    let mut z = seed ^ 0xc41c_0b0a;
+    if hosts >= 2 && splitmix(&mut z) % 100 < 35 {
+        let from = (splitmix(&mut z) as usize) % hosts;
+        let to = (from + 1 + (splitmix(&mut z) as usize) % (hosts - 1)) % hosts;
+        let round = 1 + splitmix(&mut z) % 3;
+        // Low indices hit both the first data chunk and the stream's
+        // terminator chunk on small payloads; an index past the stream
+        // end is a harmless no-op, preserving plan determinism.
+        let chunk = (splitmix(&mut z) % 4) as u32;
+        Some((from, to, round, chunk))
+    } else {
+        None
+    }
 }
 
 /// The permanent-kill a seed's elastic fuzz plan carries, if any: about
@@ -79,6 +104,9 @@ pub fn random_kill_plan(seed: u64, hosts: usize) -> FaultPlan {
         .delay_rate(rate(50));
     if let Some((h, round)) = kill_victim(seed, hosts) {
         plan = plan.kill_host(h, round);
+    }
+    if let Some((from, to, round, chunk)) = chunk_drop(seed, hosts) {
+        plan = plan.drop_chunk(from, to, round, chunk);
     }
     plan
 }
@@ -145,6 +173,24 @@ mod tests {
                 format!("{:?}", random_kill_plan(seed, 4))
             );
         }
+    }
+
+    #[test]
+    fn chunk_drops_are_deterministic_and_well_formed() {
+        // The CI fuzz smoke runs seeds 1..=25: a healthy share of them
+        // must carry a chunk-targeted drop so partial-stream recovery is
+        // exercised, and the derived link must always be a remote pair.
+        let hits = (1..=25).filter(|&s| chunk_drop(s, 4).is_some()).count();
+        assert!((5..=18).contains(&hits), "skewed chunk-drop coverage: {hits}/25");
+        for seed in 0..64 {
+            assert_eq!(chunk_drop(seed, 4), chunk_drop(seed, 4));
+            if let Some((from, to, round, chunk)) = chunk_drop(seed, 4) {
+                assert!(from < 4 && to < 4 && from != to);
+                assert!((1..=3).contains(&round));
+                assert!(chunk < 4);
+            }
+        }
+        assert_eq!(chunk_drop(7, 1), None, "no peers, no chunk faults");
     }
 
     #[test]

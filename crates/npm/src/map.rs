@@ -943,6 +943,111 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
         outgoing
     }
 
+    /// Folds the locally retained CF pairs (`local_pairs`) onto canonical
+    /// values — the gather half that needs no network data, so the
+    /// pipelined reduce-sync runs it while posted chunks are still on the
+    /// wire. (SGR variants keep `local_pairs` empty; this is then a cheap
+    /// no-op region.)
+    fn gather_locals(&mut self, ctx: &HostCtx) {
+        self.gather_fold(ctx, &[], true);
+    }
+
+    /// Folds pairs from every received buffer onto canonical values — the
+    /// wire half of the gather.
+    fn gather_received(&mut self, ctx: &HostCtx, received: &[Vec<u8>]) {
+        self.gather_fold(ctx, received, false);
+    }
+
+    /// Gather-reduce: threads own disjoint key ranges and fold pairs onto
+    /// canonical values — the locally retained CF pairs when `locals`,
+    /// plus matching pairs from every buffer in `received`. Split in two
+    /// calls so the local half can overlap a split-phase exchange; per key
+    /// the fold order stays locals-then-received-in-host-order, exactly
+    /// like the fused loop it replaced, so pipelining never changes
+    /// results.
+    fn gather_fold(&mut self, ctx: &HostCtx, received: &[Vec<u8>], locals: bool) {
+        let n = self.key_own.num_nodes();
+        let op = self.op;
+        let threads = self.threads;
+        let host = self.host;
+        let key_own = self.key_own;
+        let fast = self.fast_own;
+        let updated_any = &self.updated;
+        let local_pairs = &self.local_pairs;
+        match &mut self.canonical {
+            Canonical::Dense { vals, updated } => {
+                let slice = SharedSlice::new(vals.as_mut_slice());
+                let updated = &*updated;
+                ctx.pool().run(|tid| {
+                    let apply = |k: NodeId, v: T| {
+                        debug_assert_eq!(key_own.owner(k), host);
+                        let off = fast.local_offset(k).expect("gather key not owned") as usize;
+                        // SAFETY: `off` is unique to this thread's key
+                        // range for the duration of this parallel region.
+                        unsafe {
+                            let old = *slice.read_at(off);
+                            let new = op.combine(old, v);
+                            if new != old {
+                                slice.write_at(off, new);
+                                updated.set(off);
+                                updated_any.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    };
+                    if locals {
+                        // SAFETY: distinct tids per worker.
+                        let mine = unsafe { local_pairs.slot(tid) };
+                        for &(k, v) in mine.iter() {
+                            debug_assert_eq!(range_owner(k, threads, n), tid);
+                            apply(k, v);
+                        }
+                        mine.clear();
+                    }
+                    for buf in received {
+                        for (k, v) in iter_decoded::<(NodeId, T)>(buf) {
+                            if range_owner(k, threads, n) != tid {
+                                continue;
+                            }
+                            apply(k, v);
+                        }
+                    }
+                });
+            }
+            Canonical::Sharded { shards } => {
+                let shards = &*shards;
+                ctx.pool().run(|tid| {
+                    let mut shard = shards[tid].lock();
+                    let mut apply = |k: NodeId, v: T| {
+                        debug_assert_eq!(key_own.owner(k), host);
+                        let old = shard.get(&k).copied().unwrap_or_else(|| op.identity());
+                        let new = op.combine(old, v);
+                        if new != old {
+                            shard.insert(k, new);
+                            updated_any.store(true, Ordering::Relaxed);
+                        }
+                    };
+                    if locals {
+                        // SAFETY: distinct tids per worker.
+                        let mine = unsafe { local_pairs.slot(tid) };
+                        for &(k, v) in mine.iter() {
+                            debug_assert_eq!(range_owner(k, threads, n), tid);
+                            apply(k, v);
+                        }
+                        mine.clear();
+                    }
+                    for buf in received {
+                        for (k, v) in iter_decoded::<(NodeId, T)>(buf) {
+                            if range_owner(k, threads, n) != tid {
+                                continue;
+                            }
+                            apply(k, v);
+                        }
+                    }
+                });
+            }
+        }
+    }
+
     /// SGR-only scatter half of reduce-sync: the shared sharded map is
     /// already combined; serialize every pair per owner host (including
     /// this host — self-delivery is an uncounted memcpy).
@@ -1221,7 +1326,6 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
 
     fn reduce_sync(&mut self, ctx: &HostCtx) {
         self.flush_pending_sets(ctx);
-        let n = self.key_own.num_nodes();
 
         // Scatter: combine thread partials over disjoint key ranges and
         // serialize (key, value) pairs per owner host.
@@ -1231,86 +1335,37 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
             self.shared_scatter(ctx)
         };
 
-        let received = ctx.exchange(outgoing);
-
-        // Gather-reduce: threads own disjoint key ranges, fold their
-        // locally retained pairs (CF fast path) plus matching pairs from
-        // every received buffer onto canonical values.
-        let op = self.op;
-        let threads = self.threads;
-        let host = self.host;
-        let key_own = self.key_own;
-        let fast = self.fast_own;
-        let updated_any = &self.updated;
-        let local_pairs = &self.local_pairs;
-        match &mut self.canonical {
-            Canonical::Dense { vals, updated } => {
-                let slice = SharedSlice::new(vals.as_mut_slice());
-                let updated = &*updated;
-                ctx.pool().run(|tid| {
-                    let apply = |k: NodeId, v: T| {
-                        debug_assert_eq!(key_own.owner(k), host);
-                        let off = fast.local_offset(k).expect("gather key not owned") as usize;
-                        // SAFETY: `off` is unique to this thread's key
-                        // range for the duration of this parallel region.
-                        unsafe {
-                            let old = *slice.read_at(off);
-                            let new = op.combine(old, v);
-                            if new != old {
-                                slice.write_at(off, new);
-                                updated.set(off);
-                                updated_any.store(true, Ordering::Relaxed);
-                            }
-                        }
-                    };
-                    // SAFETY: distinct tids per worker.
-                    let mine = unsafe { local_pairs.slot(tid) };
-                    for &(k, v) in mine.iter() {
-                        debug_assert_eq!(range_owner(k, threads, n), tid);
-                        apply(k, v);
-                    }
-                    mine.clear();
-                    for buf in &received {
-                        for (k, v) in iter_decoded::<(NodeId, T)>(buf) {
-                            if range_owner(k, threads, n) != tid {
-                                continue;
-                            }
-                            apply(k, v);
-                        }
+        // Pipelined reduce-sync: open a split-phase exchange, post the
+        // per-destination buffers (in parallel — posting serializes into
+        // chunk frames and ships them immediately), fold the locally
+        // retained CF pairs while those chunks travel, and only then block
+        // for the peers' buffers. The serial path runs the same two gather
+        // halves in the same order, so both modes produce byte-identical
+        // results for the same inputs (each key sees local-then-received
+        // folds either way).
+        let received = if ctx.pipelined() {
+            let ticket = ctx.exchange_start();
+            {
+                let per_dest: Vec<Mutex<Option<Vec<u8>>>> =
+                    outgoing.into_iter().map(|b| Mutex::new(Some(b))).collect();
+                let ticket = &ticket;
+                let per_dest = &per_dest;
+                let threads = self.threads;
+                ctx.pool().run(move |tid| {
+                    for to in (tid..per_dest.len()).step_by(threads) {
+                        let payload = per_dest[to].lock().take().expect("dest posted twice");
+                        ticket.post(to, payload);
                     }
                 });
             }
-            Canonical::Sharded { shards } => {
-                let shards = &*shards;
-                ctx.pool().run(|tid| {
-                    let mut shard = shards[tid].lock();
-                    let mut apply = |k: NodeId, v: T| {
-                        debug_assert_eq!(key_own.owner(k), host);
-                        let old = shard.get(&k).copied().unwrap_or_else(|| op.identity());
-                        let new = op.combine(old, v);
-                        if new != old {
-                            shard.insert(k, new);
-                            updated_any.store(true, Ordering::Relaxed);
-                        }
-                    };
-                    // SAFETY: distinct tids per worker.
-                    let mine = unsafe { local_pairs.slot(tid) };
-                    for &(k, v) in mine.iter() {
-                        debug_assert_eq!(range_owner(k, threads, n), tid);
-                        apply(k, v);
-                    }
-                    mine.clear();
-                    for buf in &received {
-                        for (k, v) in iter_decoded::<(NodeId, T)>(buf) {
-                            if range_owner(k, threads, n) != tid {
-                                continue;
-                            }
-                            apply(k, v);
-                        }
-                    }
-                });
-            }
-        }
+            self.gather_locals(ctx);
+            ctx.exchange_finish(ticket)
+        } else {
+            let received = ctx.exchange(outgoing);
+            self.gather_locals(ctx);
+            received
+        };
+        self.gather_received(ctx, &received);
 
         // Cached remote properties are now stale: drop them.
         if self.pinned && !self.variant.partition_aware() {
