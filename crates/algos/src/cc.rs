@@ -41,16 +41,21 @@ pub fn cc_lp<B: MapBuilder>(dg: &DistGraph, ctx: &HostCtx, b: &B) -> Vec<(NodeId
         ctx.par_for(0..dg.num_local_nodes(), |tid, range| {
             for lid in range {
                 let lid = lid as u32;
-                if dg.degree(lid) == 0 {
+                // One block lookup serves both the skip test and the scan
+                // (degree() would decode the compressed header twice), and
+                // targets() skips weight bytes entirely — CC never reads
+                // them.
+                let targets = dg.targets(lid);
+                if targets.len() == 0 {
                     continue;
                 }
                 let my = l.read(dg.local_to_global(lid));
-                for (dst, _) in dg.edges(lid) {
+                targets.for_each(|dst| {
                     let dst_g = dg.local_to_global(dst);
                     if my < l.read(dst_g) {
                         l.reduce(tid, dst_g, my);
                     }
-                }
+                });
             }
         });
         label.reduce_sync(ctx);
@@ -81,17 +86,18 @@ fn hook<M: NodePropMap<u64>>(
         ctx.par_for(0..dg.num_local_nodes(), |tid, range| {
             for lid in range {
                 let lid = lid as u32;
-                if dg.degree(lid) == 0 {
+                let targets = dg.targets(lid);
+                if targets.len() == 0 {
                     continue;
                 }
                 let src_parent = p.read(dg.local_to_global(lid));
-                for (dst, _) in dg.edges(lid) {
+                targets.for_each(|dst| {
                     let dst_parent = p.read(dg.local_to_global(dst));
                     if src_parent > dst_parent {
                         work_done.reduce(true);
                         p.reduce(tid, src_parent as NodeId, dst_parent);
                     }
-                }
+                });
             }
         });
         parent.reduce_sync(ctx);
@@ -179,16 +185,21 @@ pub fn cc_sclp<B: MapBuilder>(dg: &DistGraph, ctx: &HostCtx, b: &B) -> Vec<(Node
         ctx.par_for(0..dg.num_local_nodes(), |tid, range| {
             for lid in range {
                 let lid = lid as u32;
-                if dg.degree(lid) == 0 {
+                // One block lookup serves both the skip test and the scan
+                // (degree() would decode the compressed header twice), and
+                // targets() skips weight bytes entirely — CC never reads
+                // them.
+                let targets = dg.targets(lid);
+                if targets.len() == 0 {
                     continue;
                 }
                 let my = l.read(dg.local_to_global(lid));
-                for (dst, _) in dg.edges(lid) {
+                targets.for_each(|dst| {
                     let dst_g = dg.local_to_global(dst);
                     if my < l.read(dst_g) {
                         l.reduce(tid, dst_g, my);
                     }
-                }
+                });
             }
         });
         label.reduce_sync(ctx);

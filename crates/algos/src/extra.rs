@@ -33,14 +33,15 @@ pub fn bfs<B: MapBuilder>(
         ctx.par_for(0..dg.num_local_nodes(), |tid, range| {
             for lid in range {
                 let lid = lid as u32;
-                if dg.degree(lid) == 0 {
+                let targets = dg.targets(lid);
+                if targets.len() == 0 {
                     continue;
                 }
                 let my = d.read(dg.local_to_global(lid));
                 if my == UNREACHED {
                     continue;
                 }
-                for (dst, _) in dg.edges(lid) {
+                for dst in targets {
                     let dst_g = dg.local_to_global(dst);
                     if my + 1 < d.read(dst_g) {
                         d.reduce(tid, dst_g, my + 1);
@@ -80,14 +81,15 @@ pub fn sssp<B: MapBuilder>(
         ctx.par_for(0..dg.num_local_nodes(), |tid, range| {
             for lid in range {
                 let lid = lid as u32;
-                if dg.degree(lid) == 0 {
+                let edges = dg.edges(lid);
+                if edges.len() == 0 {
                     continue;
                 }
                 let my = d.read(dg.local_to_global(lid));
                 if my == UNREACHED {
                     continue;
                 }
-                for (dst, w) in dg.edges(lid) {
+                for (dst, w) in edges {
                     let dst_g = dg.local_to_global(dst);
                     let cand = my.saturating_add(w);
                     if cand < d.read(dst_g) {
@@ -159,12 +161,13 @@ pub fn pagerank<B: MapBuilder>(
             ctx.par_for(0..dg.num_local_nodes(), |tid, range| {
                 for lid in range {
                     let lid = lid as u32;
-                    if dg.degree(lid) == 0 {
+                    let targets = dg.targets(lid);
+                    if targets.len() == 0 {
                         continue;
                     }
                     let g = dg.local_to_global(lid);
                     let share = r.read(g) / d.read(g).max(1);
-                    for (dst, _) in dg.edges(lid) {
+                    for dst in targets {
                         c.reduce(tid, dg.local_to_global(dst), share);
                     }
                 }
@@ -212,7 +215,7 @@ mod tests {
         dist[source as usize] = 0;
         let mut q = VecDeque::from([source]);
         while let Some(u) = q.pop_front() {
-            for &v in g.neighbors(u) {
+            for &v in g.neighbors(u).iter() {
                 if dist[v as usize] == UNREACHED {
                     dist[v as usize] = dist[u as usize] + 1;
                     q.push_back(v);

@@ -172,8 +172,32 @@ pub(crate) fn local_moving<'g, B: MapBuilder>(
     let n = cur.num_global_nodes();
     let masters = cur.num_masters();
 
-    // k[u]: weighted degree of each master (OEC: all edges local).
-    let k: Vec<u64> = (0..masters as u32).map(|m| cur.weighted_degree(m)).collect();
+    // k[u]: weighted degree of each master. Pure OEC stores all of a
+    // node's edges at its master, so a local sum suffices; with split
+    // hubs the fragments live on other hosts, so recover the full value
+    // with a Sum reduction over every proxy's local fragment, keyed by
+    // global id (one extra collective, only in hub mode).
+    let k: Vec<u64> = if cur.has_split_hubs() {
+        let kmap = b.build::<u64, Sum>(cur, ctx, Sum);
+        {
+            let km = &kmap;
+            ctx.par_for(0..cur.num_local_nodes(), |tid, range| {
+                for l in range {
+                    let w = cur.weighted_degree(l as u32);
+                    if w > 0 {
+                        km.reduce(tid, cur.local_to_global(l as u32), w);
+                    }
+                }
+            });
+        }
+        let mut kmap = kmap;
+        kmap.reduce_sync(ctx);
+        (0..masters)
+            .map(|m| kmap.read(cur.local_to_global(m as u32)))
+            .collect()
+    } else {
+        (0..masters as u32).map(|m| cur.weighted_degree(m)).collect()
+    };
 
     // Current community of each master, host-local; mirrored through the
     // `comm` map for neighbor reads.
@@ -233,7 +257,10 @@ pub(crate) fn local_moving<'g, B: MapBuilder>(
         comm_tot.request_sync(ctx);
 
         // (3) Decide moves: best modularity gain, ties to the smallest
-        // community id; strict improvement required.
+        // community id; strict improvement required. Masters decide; with
+        // split hubs a hub master sees only its local edge fragment, so
+        // its gain estimate is an approximation (community totals and the
+        // reported modularity stay exact).
         moves.set(0);
         let decisions: Vec<parking_lot::Mutex<Vec<(usize, u64)>>> =
             (0..ctx.threads()).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
@@ -249,7 +276,8 @@ pub(crate) fn local_moving<'g, B: MapBuilder>(
                 let mut out = Vec::new();
                 for m in range {
                     let lid = m as u32;
-                    if cur.degree(lid) == 0 || kk[m] == 0 {
+                    let edges = cur.edges(lid);
+                    if edges.len() == 0 || kk[m] == 0 {
                         continue;
                     }
                     // Only a deterministic pseudo-random half of the nodes
@@ -267,13 +295,14 @@ pub(crate) fn local_moving<'g, B: MapBuilder>(
                     let my_comm = cc[m];
                     let ku = kk[m] as f64;
                     w_to.clear();
-                    for (dst, w) in cur.edges(lid) {
+                    let gu = cur.local_to_global(lid);
+                    edges.for_each(|(dst, w)| {
                         let gv = cur.local_to_global(dst);
-                        if gv == cur.local_to_global(lid) {
-                            continue; // self-loop: stays internal anywhere
+                        if gv != gu {
+                            // self-loops stay internal anywhere
+                            *w_to.entry(cm.read(gv)).or_default() += w;
                         }
-                        *w_to.entry(cm.read(gv)).or_default() += w;
-                    }
+                    });
                     // Score of staying (community totals exclude u itself).
                     let stay_w = *w_to.get(&my_comm).unwrap_or(&0) as f64;
                     let stay_tot = (ct.read(my_comm as NodeId) - kk[m] as i64) as f64;
@@ -352,25 +381,40 @@ pub(crate) fn modularity_of<B: MapBuilder>(
     }
     comm_tot.reduce_sync(ctx);
 
-    // Internal weight per community (for modularity).
+    // Internal weight per community (for modularity). Every local edge is
+    // stored at exactly one proxy, so summing over masters covers all
+    // edges under pure OEC; with split hubs the mirror fragments carry
+    // edges too, so the loop widens to every proxy (a mirror's community
+    // is its pinned broadcast value).
+    let span = if cur.has_split_hubs() {
+        cur.num_local_nodes()
+    } else {
+        masters
+    };
     let mut internal = b.build::<u64, Sum>(cur, ctx, Sum);
     {
         let (cm, int) = (&comm, &internal);
         let cc = &cur_comm;
-        ctx.par_for(0..masters, |tid, range| {
-            for m in range {
-                let lid = m as u32;
-                for (dst, w) in cur.edges(lid) {
-                    let gv = cur.local_to_global(dst);
-                    let cv = if (gv as usize) == cur.local_to_global(lid) as usize {
-                        cc[m]
-                    } else {
-                        cm.read(gv)
-                    };
-                    if cv == cc[m] {
-                        int.reduce(tid, cc[m] as NodeId, w);
-                    }
+        ctx.par_for(0..span, |tid, range| {
+            for l in range {
+                let lid = l as u32;
+                let edges = cur.edges(lid);
+                if l >= masters && edges.len() == 0 {
+                    continue;
                 }
+                let cu = if l < masters {
+                    cc[l]
+                } else {
+                    cm.read(cur.local_to_global(lid))
+                };
+                let gu = cur.local_to_global(lid);
+                edges.for_each(|(dst, w)| {
+                    let gv = cur.local_to_global(dst);
+                    let cv = if gv == gu { cu } else { cm.read(gv) };
+                    if cv == cu {
+                        int.reduce(tid, cu as NodeId, w);
+                    }
+                });
             }
         });
     }
@@ -464,16 +508,32 @@ pub(crate) fn aggregate<B: MapBuilder>(
         newid.set(g, offset + rank as u64);
     }
 
-    // Every master needs the coarse id of its own community and of each
-    // neighbor's community.
+    // Every proxy with local edges needs the coarse id of its own
+    // community and of each neighbor's community. Under pure OEC only
+    // masters carry edges; with split hubs the mirror fragments do too —
+    // skipping them would drop their edges from the coarse graph.
+    let span = if cur.has_split_hubs() {
+        cur.num_local_nodes()
+    } else {
+        masters
+    };
     {
         let (ni, cm) = (&newid, comm);
         let cc = cur_comm;
-        ctx.par_for(0..masters, |_tid, range| {
-            for m in range {
-                let lid = m as u32;
-                ni.request(cc[m] as NodeId);
-                for (dst, _) in cur.edges(lid) {
+        ctx.par_for(0..span, |_tid, range| {
+            for l in range {
+                let lid = l as u32;
+                let edges = cur.edges(lid);
+                if l >= masters && edges.len() == 0 {
+                    continue;
+                }
+                let cu = if l < masters {
+                    cc[l]
+                } else {
+                    cm.read(cur.local_to_global(lid))
+                };
+                ni.request(cu as NodeId);
+                for (dst, _) in edges {
                     ni.request(cm.read(cur.local_to_global(dst)) as NodeId);
                 }
             }
@@ -497,15 +557,24 @@ pub(crate) fn aggregate<B: MapBuilder>(
         let (ni, cm) = (&newid, comm);
         let cc = cur_comm;
         let agg = &agg;
-        ctx.par_for(0..masters, |_tid, range| {
+        ctx.par_for(0..span, |_tid, range| {
             let mut local: HashMap<(NodeId, NodeId), Weight> = HashMap::new();
-            for m in range {
-                let lid = m as u32;
-                let cu = ni.read(cc[m] as NodeId) as NodeId;
-                for (dst, w) in cur.edges(lid) {
+            for l in range {
+                let lid = l as u32;
+                let edges = cur.edges(lid);
+                if l >= masters && edges.len() == 0 {
+                    continue;
+                }
+                let cu_comm = if l < masters {
+                    cc[l]
+                } else {
+                    cm.read(cur.local_to_global(lid))
+                };
+                let cu = ni.read(cu_comm as NodeId) as NodeId;
+                for (dst, w) in edges {
                     let gv = cur.local_to_global(dst);
                     let cv_comm = if gv == cur.local_to_global(lid) {
-                        cc[m]
+                        cu_comm
                     } else {
                         cm.read(gv)
                     };
@@ -657,6 +726,29 @@ mod tests {
         assert!((q - q_ref).abs() < 1e-9);
         // Better than the trivial all-singleton partition (Q < 0) and the
         // one-community partition (Q = 0 at best).
+        assert!(q > 0.0, "q = {q}");
+    }
+
+    #[test]
+    fn hub_split_louvain_reports_exact_modularity() {
+        // Partition with hub splitting: mirrors carry hub edge fragments,
+        // exercising the widened k / modularity / aggregation paths. The
+        // reported modularity must still match a single-machine reference
+        // computation on the composed labels.
+        let g = gen::rmat(7, 8, 13);
+        let hosts = 4;
+        let mut pcfg = kimbap_dist::PartitionCfg::new(Policy::EdgeCutBlocked, hosts);
+        pcfg.hub_degree_threshold = Some(16);
+        let parts = kimbap_dist::partition_cfg(&g, &pcfg);
+        assert!(parts[0].has_split_hubs(), "test graph must have hubs");
+        let b = NpmBuilder::default();
+        let cfg = LouvainConfig::default();
+        let results = Cluster::with_threads(hosts, 2)
+            .run(|ctx| louvain(&parts[ctx.host()], ctx, &b, &cfg));
+        let labels = compose_labels(g.num_nodes(), &results);
+        let q = results[0].modularity;
+        let q_ref = refcheck::modularity(&g, &labels);
+        assert!((q - q_ref).abs() < 1e-9, "q={q} ref={q_ref}");
         assert!(q > 0.0, "q = {q}");
     }
 

@@ -65,14 +65,15 @@ pub fn mis<B: MapBuilder>(dg: &DistGraph, ctx: &HostCtx, b: &B) -> Vec<(NodeId, 
             ctx.par_for(0..dg.num_local_nodes(), |tid, range| {
                 for lid in range {
                     let lid = lid as u32;
-                    if dg.degree(lid) == 0 {
+                    let targets = dg.targets(lid);
+                    if targets.len() == 0 {
                         continue;
                     }
                     let g = dg.local_to_global(lid);
                     if s.read(g) != UNDECIDED {
                         continue;
                     }
-                    for (dst, _) in dg.edges(lid) {
+                    for dst in targets {
                         let dst_g = dg.local_to_global(dst);
                         if s.read(dst_g) == UNDECIDED {
                             bm.reduce(tid, g, priority(d.read(dst_g), dst_g));
@@ -106,13 +107,14 @@ pub fn mis<B: MapBuilder>(dg: &DistGraph, ctx: &HostCtx, b: &B) -> Vec<(NodeId, 
             ctx.par_for(0..dg.num_local_nodes(), |tid, range| {
                 for lid in range {
                     let lid = lid as u32;
-                    if dg.degree(lid) == 0 {
+                    let targets = dg.targets(lid);
+                    if targets.len() == 0 {
                         continue;
                     }
                     if s.read(dg.local_to_global(lid)) != IN_SET {
                         continue;
                     }
-                    for (dst, _) in dg.edges(lid) {
+                    for dst in targets {
                         let dst_g = dg.local_to_global(dst);
                         if s.read(dst_g) == UNDECIDED {
                             s.reduce(tid, dst_g, OUT);

@@ -67,12 +67,13 @@ pub fn msf<B: MapBuilder>(dg: &DistGraph, ctx: &HostCtx, b: &B) -> MsfHostResult
             ctx.par_for(0..dg.num_local_nodes(), |tid, range| {
                 for lid in range {
                     let lid = lid as u32;
-                    if dg.degree(lid) == 0 {
+                    let edges = dg.edges(lid);
+                    if edges.len() == 0 {
                         continue;
                     }
                     let gu = dg.local_to_global(lid);
                     let pu = p.read(gu);
-                    for (dst, w) in dg.edges(lid) {
+                    for (dst, w) in edges {
                         let gv = dg.local_to_global(dst);
                         let pv = p.read(gv);
                         if pu != pv {

@@ -89,7 +89,7 @@ pub fn check_mis(g: &Graph, in_set: &[bool]) -> Result<(), String> {
     assert_eq!(in_set.len(), g.num_nodes());
     for u in g.nodes() {
         if in_set[u as usize] {
-            for v in g.neighbors(u) {
+            for v in g.neighbors(u).iter() {
                 if *v != u && in_set[*v as usize] {
                     return Err(format!("adjacent nodes {u} and {v} both in set"));
                 }

@@ -26,7 +26,7 @@ pub fn cc_lp(g: &Graph, threads: usize) -> Vec<u64> {
         pool.par_for(0..g.num_nodes(), |_tid, range| {
             for u in range {
                 let my = labels[u].load(Ordering::Relaxed);
-                for &v in g.neighbors(u as NodeId) {
+                for &v in g.neighbors(u as NodeId).iter() {
                     let old = labels[v as usize].fetch_min(my, Ordering::Relaxed);
                     if my < old {
                         changed.store(true, Ordering::Relaxed);
@@ -50,7 +50,7 @@ pub fn cc_sv(g: &Graph, threads: usize) -> Vec<u64> {
         pool.par_for(0..g.num_nodes(), |_tid, range| {
             for u in range {
                 let pu = load(u);
-                for &v in g.neighbors(u as NodeId) {
+                for &v in g.neighbors(u as NodeId).iter() {
                     let pv = load(v as usize);
                     if pu > pv {
                         let old = parent[pu as usize].fetch_min(pv, Ordering::Relaxed);
@@ -189,7 +189,7 @@ pub fn mis(g: &Graph, threads: usize) -> Vec<bool> {
                     .compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed)
                     .is_ok()
                 {
-                    for &v in g.neighbors(u) {
+                    for &v in g.neighbors(u).iter() {
                         let _ = state[v as usize].compare_exchange(
                             0,
                             2,

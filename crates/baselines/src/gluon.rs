@@ -69,7 +69,7 @@ impl<'g> GluonMinProp<'g> {
     /// Reduce-sync: changed mirror values are shipped to their masters and
     /// min-combined there. Collective.
     pub fn reduce_sync(&mut self, ctx: &HostCtx) {
-        let own = *self.dg.ownership();
+        let own = self.dg.ownership().clone();
         let outgoing: Vec<Vec<u8>> = (0..ctx.num_hosts())
             .map(|peer| {
                 if peer == ctx.host() {

@@ -127,7 +127,7 @@ fn run_level(
 ) -> (f64, bool, Vec<(NodeId, NodeId, u64)>, usize) {
     let masters = cur.num_masters();
     let num_local = cur.num_local_nodes();
-    let own = *cur.ownership();
+    let own = cur.ownership().clone();
     let hosts = ctx.num_hosts();
     let k: Vec<u64> = (0..masters as u32).map(|m| cur.weighted_degree(m)).collect();
 

@@ -12,7 +12,7 @@ use kimbap_algos as algos;
 use kimbap_algos::{LouvainConfig, NpmBuilder};
 use kimbap_baselines::{mckv::McBuilder, vite};
 use kimbap_bench::{json, print_row, print_title, run_timed, threads_per_host, Inputs};
-use kimbap_dist::{partition, Policy};
+use kimbap_dist::{partition_cfg, PartitionCfg, Policy};
 use kimbap_graph::Graph;
 use kimbap_npm::Variant;
 
@@ -33,7 +33,19 @@ fn smoke() -> bool {
 fn bench(name: &str, app: &str, g: &Graph, hosts: usize) {
     let threads = threads_per_host();
     let cfg = LouvainConfig::default();
-    let ec = partition(g, Policy::EdgeCutBlocked, hosts);
+    // Compressed local CSRs, like the CLI's read-only default: the records'
+    // graph_bytes show the footprint win and secs must hold the runtime.
+    // KIMBAP_BENCH_RAW keeps the raw arrays for an apples-to-apples
+    // storage-tier comparison on the same machine.
+    let ec = partition_cfg(
+        g,
+        &PartitionCfg {
+            policy: Policy::EdgeCutBlocked,
+            hosts,
+            compressed: std::env::var("KIMBAP_BENCH_RAW").is_err(),
+            hub_degree_threshold: None,
+        },
+    );
 
     let row = |system: &str, secs: f64, comp: f64, comm: f64, overlapped: bool| {
         let (c1, c2) = if overlapped {

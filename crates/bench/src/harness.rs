@@ -53,6 +53,16 @@ pub struct RunStats {
     /// Individual chunks re-sent on targeted retransmit requests (sum
     /// over hosts; zero in fault-free runs).
     pub chunk_retransmits: u64,
+    /// Local graph storage, summed over hosts (raw CSR arrays or the
+    /// compressed tier's blocks — whatever the partitions carry).
+    pub graph_bytes: u64,
+    /// The largest single host's local graph storage — the number hub
+    /// splitting is meant to cap on power-law inputs.
+    pub max_host_graph_bytes: u64,
+    /// Peak resident set of the bench process (`VmHWM`), in bytes; 0 on
+    /// platforms without `/proc`. All simulated hosts share the process,
+    /// so this is a cluster-wide high-water mark.
+    pub peak_rss_bytes: u64,
 }
 
 impl RunStats {
@@ -60,6 +70,26 @@ impl RunStats {
     pub fn comp_secs(&self) -> f64 {
         (self.secs - self.comm_secs).max(0.0)
     }
+}
+
+/// This process's peak resident set (`VmHWM` from `/proc/self/status`),
+/// in bytes; 0 where that interface doesn't exist.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
 }
 
 /// Runs `f` SPMD over the pre-partitioned graph and measures it.
@@ -106,6 +136,13 @@ pub fn run_timed<R: Send>(
         stats.chunk_retransmits += s.chunk_retransmits;
         out.push(r);
     }
+    stats.graph_bytes = parts.iter().map(|p| p.size_bytes() as u64).sum();
+    stats.max_host_graph_bytes = parts
+        .iter()
+        .map(|p| p.size_bytes() as u64)
+        .max()
+        .unwrap_or(0);
+    stats.peak_rss_bytes = peak_rss_bytes();
     (out, stats)
 }
 

@@ -46,7 +46,9 @@ fn record_run_to(path: &str, bench: &str, case: &str, system: &str, hosts: usize
                 "\"resharded_keys\":{},",
                 "\"request_compute_secs\":{:.6},\"request_sync_secs\":{:.6},",
                 "\"reduce_compute_secs\":{:.6},\"reduce_sync_secs\":{:.6},",
-                "\"overlap_secs\":{:.6},\"chunks_sent\":{},\"chunk_retransmits\":{}}}"
+                "\"overlap_secs\":{:.6},\"chunks_sent\":{},\"chunk_retransmits\":{},",
+                "\"graph_bytes\":{},\"max_host_graph_bytes\":{},",
+                "\"peak_rss_bytes\":{}}}"
             ),
             escape(bench),
             escape(case),
@@ -70,6 +72,49 @@ fn record_run_to(path: &str, bench: &str, case: &str, system: &str, hosts: usize
             s.overlap_secs,
             s.chunks_sent,
             s.chunk_retransmits,
+            s.graph_bytes,
+            s.max_host_graph_bytes,
+            s.peak_rss_bytes,
+        ),
+    );
+}
+
+/// One storage-footprint measurement from the `max_graph_size` bench: no
+/// timings, just how many bytes a graph (or its per-host partitions) cost
+/// on a given storage tier.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRecord {
+    /// Hosts the graph was partitioned over (1 = whole graph, unsplit).
+    pub hosts: usize,
+    /// Edges in the graph (for the bytes-per-edge division).
+    pub num_edges: u64,
+    /// Storage bytes, summed over hosts.
+    pub graph_bytes: u64,
+    /// The largest single host's storage bytes.
+    pub max_host_graph_bytes: u64,
+    /// Process peak RSS after building, in bytes.
+    pub peak_rss_bytes: u64,
+}
+
+fn record_size_to(path: &str, bench: &str, case: &str, system: &str, r: &SizeRecord) {
+    let bpe = r.graph_bytes as f64 / (r.num_edges.max(1)) as f64;
+    append_line(
+        path,
+        &format!(
+            concat!(
+                "{{\"bench\":\"{}\",\"case\":\"{}\",\"system\":\"{}\",\"hosts\":{},",
+                "\"num_edges\":{},\"graph_bytes\":{},\"max_host_graph_bytes\":{},",
+                "\"bytes_per_edge\":{:.3},\"peak_rss_bytes\":{}}}"
+            ),
+            escape(bench),
+            escape(case),
+            escape(system),
+            r.hosts,
+            r.num_edges,
+            r.graph_bytes,
+            r.max_host_graph_bytes,
+            bpe,
+            r.peak_rss_bytes,
         ),
     );
 }
@@ -151,6 +196,14 @@ pub fn record_micro(bench: &str, case: &str, ns_per_iter: f64) {
     }
 }
 
+/// Records one storage-footprint measurement if `KIMBAP_BENCH_JSON` is
+/// set.
+pub fn record_size(bench: &str, case: &str, system: &str, r: &SizeRecord) {
+    if let Ok(path) = std::env::var(ENV_JSON) {
+        record_size_to(&path, bench, case, system, r);
+    }
+}
+
 /// Records a per-round activity trace for one measured case if
 /// `KIMBAP_BENCH_JSON` is set.
 pub fn record_rounds(bench: &str, case: &str, system: &str, hosts: usize, rounds: &[RoundRecord]) {
@@ -186,10 +239,26 @@ mod tests {
             overlap_secs: 0.0625,
             chunks_sent: 96,
             chunk_retransmits: 2,
+            graph_bytes: 4096,
+            max_host_graph_bytes: 1536,
+            peak_rss_bytes: 65536,
             ..RunStats::default()
         };
         record_run_to(path_s, "fig11", "road/cc_sv", "sgr_cf_gar", 4, &stats);
         record_micro_to(path_s, "micro_npm", "reduce_compute/\"quoted\"", 3524165.0);
+        record_size_to(
+            path_s,
+            "max_graph_size",
+            "social_unit",
+            "compressed",
+            &SizeRecord {
+                hosts: 1,
+                num_edges: 1000,
+                graph_bytes: 3210,
+                max_host_graph_bytes: 3210,
+                peak_rss_bytes: 131072,
+            },
+        );
         record_rounds_to(
             path_s,
             "frontier_cclp",
@@ -216,7 +285,7 @@ mod tests {
 
         let body = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = body.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         assert!(lines[0].starts_with("{\"bench\":\"fig11\""));
         assert!(lines[0].contains("\"hosts\":4"));
         assert!(lines[0].contains("\"messages\":42"));
@@ -227,11 +296,17 @@ mod tests {
         assert!(lines[0].contains("\"reduce_sync_secs\":0.125000"));
         assert!(lines[0]
             .contains("\"overlap_secs\":0.062500,\"chunks_sent\":96,\"chunk_retransmits\":2"));
+        assert!(lines[0].contains(
+            "\"graph_bytes\":4096,\"max_host_graph_bytes\":1536,\"peak_rss_bytes\":65536"
+        ));
         assert!(lines[1].contains("\\\"quoted\\\""));
         assert!(lines[1].contains("\"ns_per_iter\":3524165.0"));
-        assert!(lines[2].starts_with("{\"bench\":\"frontier_cclp\""));
-        assert!(lines[2].contains("\"rounds\":[{\"round\":1,"));
-        assert!(lines[2].contains("\"active\":37,\"total\":512,\"sparse\":true"));
+        assert!(lines[2].starts_with("{\"bench\":\"max_graph_size\""));
+        assert!(lines[2].contains("\"num_edges\":1000,\"graph_bytes\":3210"));
+        assert!(lines[2].contains("\"bytes_per_edge\":3.210"));
+        assert!(lines[3].starts_with("{\"bench\":\"frontier_cclp\""));
+        assert!(lines[3].contains("\"rounds\":[{\"round\":1,"));
+        assert!(lines[3].contains("\"active\":37,\"total\":512,\"sparse\":true"));
         std::fs::remove_file(&path).unwrap();
     }
 }

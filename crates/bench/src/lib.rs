@@ -18,5 +18,5 @@ pub mod harness;
 pub mod inputs;
 pub mod json;
 
-pub use harness::{print_row, print_title, run_timed, RunStats};
+pub use harness::{peak_rss_bytes, print_row, print_title, run_timed, RunStats};
 pub use inputs::{threads_per_host, Inputs};

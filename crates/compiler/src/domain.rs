@@ -1,0 +1,289 @@
+//! Value-domain certification: which maps can use a compact storage
+//! layout.
+//!
+//! The node-property map stores master (and mirror) properties in dense
+//! 8-byte tables. Many maps never hold values that need 8 bytes:
+//! connected-components labels are node ids, MIS states are `{0, 1, 2}`.
+//! This pass proves an upper bound on every value a map can hold, by a
+//! fixed-point dataflow over the program's value sources:
+//!
+//! * `InitMap` / `Reduce` value expressions, evaluated in an abstract
+//!   domain where `Node`/`EdgeDst` are bounded by the node space,
+//!   constants by themselves, comparisons by 1, and arithmetic is
+//!   unbounded (it wraps);
+//! * map reads feed the source map's current domain back in (labels
+//!   propagate through `Min` chains without widening);
+//! * `Min`-selective operators keep the join of their sources, while
+//!   accumulating operators (`Sum`) widen to unbounded as soon as any
+//!   reduce targets the map.
+//!
+//! The reduction identity is deliberately *outside* the certified bound:
+//! `Min`'s `u64::MAX` identity round-trips through every compact layout's
+//! reserved all-ones sentinel (see `kimbap_npm::table`), so a bound of
+//! "values are node ids" certifies a `u32` layout even though unwritten
+//! masters read back as `u64::MAX`.
+
+use crate::ir::{BinOp, Expr, Program, Stmt, TopStmt};
+use kimbap_npm::DynReduceOp;
+
+/// The certified domain of a map's non-identity values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueDomain {
+    /// Every value is `≤ max(max_const, n − 1 if node)` where `n` is the
+    /// number of nodes (known only at run time).
+    Bounded {
+        /// Values include node ids (bounded by the node space).
+        node: bool,
+        /// Largest constant-derived value.
+        max_const: u64,
+    },
+    /// No bound could be proven (arithmetic, edge weights, `Sum` maps).
+    Unbounded,
+}
+
+impl ValueDomain {
+    /// The concrete bound once the node count is known, or `None` when
+    /// unbounded.
+    pub fn bound(self, num_nodes: usize) -> Option<u64> {
+        match self {
+            ValueDomain::Bounded { node, max_const } => {
+                let node_max = if node { num_nodes.saturating_sub(1) as u64 } else { 0 };
+                Some(node_max.max(max_const))
+            }
+            ValueDomain::Unbounded => None,
+        }
+    }
+
+    fn join(self, other: ValueDomain) -> ValueDomain {
+        match (self, other) {
+            (
+                ValueDomain::Bounded { node: a, max_const: x },
+                ValueDomain::Bounded { node: b, max_const: y },
+            ) => ValueDomain::Bounded {
+                node: a || b,
+                max_const: x.max(y),
+            },
+            _ => ValueDomain::Unbounded,
+        }
+    }
+}
+
+/// The bottom element: joins as the identity. Sound as the initial state
+/// because a map's pre-write content is the reduction identity, which the
+/// compact layouts represent via the sentinel (`u64::MAX`) or as zero.
+const BOT: ValueDomain = ValueDomain::Bounded {
+    node: false,
+    max_const: 0,
+};
+
+// `maps` is threaded for map-read expressions, which the surface syntax
+// routes through `Var` today; keeping the parameter keeps every call site
+// ready for direct map reads.
+#[allow(clippy::only_used_in_recursion)]
+fn expr_domain(e: &Expr, vars: &[ValueDomain], maps: &[ValueDomain]) -> ValueDomain {
+    match e {
+        Expr::Const(c) => ValueDomain::Bounded {
+            node: false,
+            max_const: *c,
+        },
+        Expr::Node | Expr::EdgeDst => ValueDomain::Bounded {
+            node: true,
+            max_const: 0,
+        },
+        Expr::EdgeWeight => ValueDomain::Unbounded,
+        Expr::Var(v) => vars.get(*v).copied().unwrap_or(ValueDomain::Unbounded),
+        Expr::Bin(op, a, b) => {
+            let (da, db) = (expr_domain(a, vars, maps), expr_domain(b, vars, maps));
+            match op {
+                BinOp::Lt | BinOp::Gt | BinOp::Ne | BinOp::Eq => ValueDomain::Bounded {
+                    node: false,
+                    max_const: 1,
+                },
+                // min(a, b) is bounded by either operand's bound.
+                BinOp::Min => match (da, db) {
+                    (ValueDomain::Bounded { .. }, _) => da,
+                    (_, ValueDomain::Bounded { .. }) => db,
+                    _ => ValueDomain::Unbounded,
+                },
+                // Wrapping arithmetic escapes any bound.
+                BinOp::Add | BinOp::Sub | BinOp::Mul => ValueDomain::Unbounded,
+            }
+        }
+    }
+}
+
+/// `true` if the operator only ever *selects* one of its inputs, so the
+/// map's content domain is the join of its source domains. Accumulating
+/// operators (`Sum`) grow beyond every source.
+fn selective(op: DynReduceOp) -> bool {
+    matches!(op, DynReduceOp::Min | DynReduceOp::Max)
+}
+
+fn walk_stmts(
+    stmts: &[Stmt],
+    vars: &mut Vec<ValueDomain>,
+    doms: &mut [ValueDomain],
+    ops: &[DynReduceOp],
+) {
+    for s in stmts {
+        match s {
+            Stmt::Let { dst, value } => {
+                let d = expr_domain(value, vars, doms);
+                vars[*dst] = d;
+            }
+            Stmt::Read { dst, map, .. } => {
+                // A read observes the map's content or its identity; the
+                // identity is sentinel-representable, so the content
+                // domain is the right abstraction for storage purposes.
+                vars[*dst] = doms[*map];
+            }
+            Stmt::Reduce { map, value, .. } => {
+                let src = if selective(ops[*map]) {
+                    expr_domain(value, vars, doms)
+                } else {
+                    ValueDomain::Unbounded
+                };
+                doms[*map] = doms[*map].join(src);
+            }
+            Stmt::Request { .. } | Stmt::ReduceScalar { .. } => {}
+            Stmt::If { then, .. } => walk_stmts(then, vars, doms, ops),
+            Stmt::ForEdges { body } => walk_stmts(body, vars, doms, ops),
+        }
+    }
+}
+
+fn walk_tops(
+    tops: &[TopStmt],
+    num_vars: usize,
+    doms: &mut [ValueDomain],
+    ops: &[DynReduceOp],
+) {
+    for t in tops {
+        match t {
+            TopStmt::InitMap { map, value } => {
+                let d = expr_domain(value, &[], doms);
+                doms[*map] = doms[*map].join(d);
+            }
+            // Reset writes the identity, which is outside the bound.
+            TopStmt::ResetMap { .. } | TopStmt::SetScalar { .. } => {}
+            TopStmt::ParForOnce { body } => {
+                let mut vars = vec![ValueDomain::Unbounded; num_vars];
+                walk_stmts(body, &mut vars, doms, ops);
+            }
+            TopStmt::While(w) => {
+                let mut vars = vec![ValueDomain::Unbounded; num_vars];
+                walk_stmts(&w.body, &mut vars, doms, ops);
+            }
+            TopStmt::DoWhileScalar { body, .. } => walk_tops(body, num_vars, doms, ops),
+        }
+    }
+}
+
+/// Certifies the value domain of every map in `p` (indexed by `MapId`).
+///
+/// Runs the dataflow to a fixed point; the domain lattice is finite (node
+/// flag × the constants appearing in the program × unbounded), so this
+/// terminates. Conservative: anything the analysis cannot bound is
+/// [`ValueDomain::Unbounded`] and keeps the native 8-byte layout.
+pub fn certify_domains(p: &Program) -> Vec<ValueDomain> {
+    let ops: Vec<DynReduceOp> = p.maps.iter().map(|m| m.op).collect();
+    let mut doms = vec![BOT; p.maps.len()];
+    loop {
+        let before = doms.clone();
+        walk_tops(&p.body, p.num_vars, &mut doms, &ops);
+        if doms == before {
+            return doms;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+
+    #[test]
+    fn cc_labels_are_node_bounded() {
+        for p in [programs::cc_lp(), programs::cc_sv(), programs::cc_sclp()] {
+            let doms = certify_domains(&p);
+            assert_eq!(
+                doms[0],
+                ValueDomain::Bounded {
+                    node: true,
+                    max_const: 0
+                },
+                "{}",
+                p.name
+            );
+            assert_eq!(doms[0].bound(1 << 20), Some((1 << 20) - 1));
+        }
+    }
+
+    #[test]
+    fn mis_state_is_tiny_and_others_native() {
+        let doms = certify_domains(&programs::mis());
+        // degree: Sum-reduced → unbounded.
+        assert_eq!(doms[0], ValueDomain::Unbounded);
+        // state: Max over constants {1, 2} → bounded by 2.
+        assert_eq!(
+            doms[1],
+            ValueDomain::Bounded {
+                node: false,
+                max_const: 2
+            }
+        );
+        assert_eq!(doms[1].bound(1000), Some(2));
+        // best: priorities built by Mul/Add → unbounded.
+        assert_eq!(doms[2], ValueDomain::Unbounded);
+    }
+
+    #[test]
+    fn min_of_unbounded_and_node_stays_bounded() {
+        use crate::ir::{Expr, MapDecl, Program};
+        use kimbap_npm::DynReduceOp;
+        let p = Program {
+            name: "t",
+            maps: vec![MapDecl {
+                op: DynReduceOp::Min,
+                name: "m",
+            }],
+            num_reducers: 0,
+            num_vars: 0,
+            body: vec![TopStmt::InitMap {
+                map: 0,
+                value: Expr::bin(
+                    BinOp::Min,
+                    Expr::bin(BinOp::Mul, Expr::Node, Expr::Node),
+                    Expr::Node,
+                ),
+            }],
+        };
+        assert_eq!(
+            certify_domains(&p)[0],
+            ValueDomain::Bounded {
+                node: true,
+                max_const: 0
+            }
+        );
+    }
+
+    #[test]
+    fn read_feedback_propagates_through_min_chains() {
+        // cc-lp's reduce value is a read of the same map: the fixed point
+        // must keep it node-bounded rather than widening.
+        let doms = certify_domains(&programs::cc_lp());
+        assert_ne!(doms[0], ValueDomain::Unbounded);
+    }
+
+    #[test]
+    fn sketches_certify_without_panicking() {
+        for p in [
+            programs::louvain_sketch(),
+            programs::leiden_sketch(),
+            programs::msf_sketch(),
+        ] {
+            let doms = certify_domains(&p);
+            assert_eq!(doms.len(), p.maps.len());
+        }
+    }
+}

@@ -4,6 +4,7 @@ use crate::ownership::Ownership;
 use crate::policy::Policy;
 use kimbap_comm::wire::{encode_slice, iter_decoded};
 use kimbap_comm::HostCtx;
+use kimbap_graph::store::{EdgeIter, GraphStore, NeighborsRef, TargetIter};
 use kimbap_graph::{Graph, NodeId, Weight};
 use std::fmt;
 
@@ -27,10 +28,8 @@ pub struct DistGraph {
     /// sorted by global id.
     l2g: Vec<NodeId>,
     num_masters: usize,
-    /// Local CSR.
-    offsets: Vec<u64>,
-    targets: Vec<LocalId>,
-    weights: Vec<Weight>,
+    /// Local CSR over proxy ids — raw arrays or the compressed tier.
+    store: GraphStore,
     /// Transpose of the local CSR: for each proxy, the local sources of
     /// its in-edges. Maps an updated node to the dependents that read it
     /// through `ForEdges` — the fan-in the frontier scheduler follows.
@@ -93,7 +92,34 @@ impl DistGraph {
 
     /// Number of directed edges stored on this host.
     pub fn num_local_edges(&self) -> usize {
-        self.targets.len()
+        self.store.num_edges()
+    }
+
+    /// `true` if the local CSR is stored on the compressed tier.
+    pub fn is_compressed(&self) -> bool {
+        self.store.is_compressed()
+    }
+
+    /// `true` if this partition split any hub's edge list across hosts —
+    /// when set, mirrors may carry out-edges and algorithms that assumed
+    /// the pure edge-cut invariant must consult all proxies' edges.
+    pub fn has_split_hubs(&self) -> bool {
+        self.policy.splits_hubs() && self.ownership.has_hubs()
+    }
+
+    /// In-memory bytes of this host's partition: the local CSR store plus
+    /// the transpose, id maps, and mirror metadata.
+    pub fn size_bytes(&self) -> usize {
+        self.store.size_bytes()
+            + self.in_offsets.capacity() * std::mem::size_of::<u64>()
+            + self.in_sources.capacity() * std::mem::size_of::<LocalId>()
+            + self.l2g.capacity() * std::mem::size_of::<NodeId>()
+            + self.mirror_slot_of.capacity() * std::mem::size_of::<u32>()
+            + self
+                .mirrors_on_peer
+                .iter()
+                .map(|v| v.capacity() * std::mem::size_of::<NodeId>())
+                .sum::<usize>()
     }
 
     /// Global id of local proxy `l`.
@@ -159,18 +185,17 @@ impl DistGraph {
     ///
     /// Panics if `l` is out of range.
     pub fn degree(&self, l: LocalId) -> usize {
-        let l = l as usize;
-        (self.offsets[l + 1] - self.offsets[l]) as usize
+        self.store.degree(l)
     }
 
-    /// Local out-neighbors of proxy `l`.
+    /// Local out-neighbors of proxy `l` — borrowed on the raw tier,
+    /// decoded into a per-thread scratch buffer on the compressed tier.
     ///
     /// # Panics
     ///
     /// Panics if `l` is out of range.
-    pub fn neighbors(&self, l: LocalId) -> &[LocalId] {
-        let l = l as usize;
-        &self.targets[self.offsets[l] as usize..self.offsets[l + 1] as usize]
+    pub fn neighbors(&self, l: LocalId) -> NeighborsRef<'_> {
+        self.store.neighbors(l)
     }
 
     /// Iterates `(local_neighbor, weight)` of proxy `l`'s out-edges.
@@ -178,13 +203,18 @@ impl DistGraph {
     /// # Panics
     ///
     /// Panics if `l` is out of range.
-    pub fn edges(&self, l: LocalId) -> impl Iterator<Item = (LocalId, Weight)> + '_ {
-        let l = l as usize;
-        let r = self.offsets[l] as usize..self.offsets[l + 1] as usize;
-        self.targets[r.clone()]
-            .iter()
-            .copied()
-            .zip(self.weights[r].iter().copied())
+    pub fn edges(&self, l: LocalId) -> EdgeIter<'_> {
+        self.store.edges(l)
+    }
+
+    /// Iterates just the targets of `l`'s local out-edges — the path for
+    /// weight-blind algorithms (no weight decode on the compressed tier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn targets(&self, l: LocalId) -> TargetIter<'_> {
+        self.store.targets(l)
     }
 
     /// In-degree of local proxy `l` (edges of the local CSR ending at `l`).
@@ -216,10 +246,7 @@ impl DistGraph {
     ///
     /// Panics if `l` is out of range.
     pub fn weighted_degree(&self, l: LocalId) -> u64 {
-        let l = l as usize;
-        self.weights[self.offsets[l] as usize..self.offsets[l + 1] as usize]
-            .iter()
-            .sum()
+        self.store.weighted_degree(l)
     }
 
     /// Sorted global ids of this host's masters that have mirrors on peer
@@ -244,8 +271,36 @@ impl fmt::Debug for DistGraph {
     }
 }
 
+/// Storage and placement knobs for [`partition_cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionCfg {
+    /// Edge-assignment policy.
+    pub policy: Policy,
+    /// Number of hosts.
+    pub hosts: usize,
+    /// Store each host's local CSR on the compressed tier.
+    pub compressed: bool,
+    /// Split the edge lists of nodes with degree above this threshold
+    /// across hosts (only for policies where [`Policy::splits_hubs`]).
+    /// `None` = no hub splitting.
+    pub hub_degree_threshold: Option<usize>,
+}
+
+impl PartitionCfg {
+    /// Raw storage, no hub splitting — the classic [`partition`] behavior.
+    pub fn new(policy: Policy, hosts: usize) -> Self {
+        PartitionCfg {
+            policy,
+            hosts,
+            compressed: false,
+            hub_degree_threshold: None,
+        }
+    }
+}
+
 /// Partitions `graph` across `num_hosts` hosts under `policy`, producing one
-/// [`DistGraph`] per host (indexed by host id).
+/// [`DistGraph`] per host (indexed by host id). Raw storage, no hub
+/// splitting; see [`partition_cfg`] for the knobs.
 ///
 /// Construction is deterministic. Like the paper, partitioning time is not
 /// part of any measured experiment, so this single-pass global construction
@@ -256,9 +311,29 @@ impl fmt::Debug for DistGraph {
 ///
 /// Panics if `num_hosts == 0`.
 pub fn partition(graph: &Graph, policy: Policy, num_hosts: usize) -> Vec<DistGraph> {
+    partition_cfg(graph, &PartitionCfg::new(policy, num_hosts))
+}
+
+/// [`partition`] with storage/placement knobs: compressed local CSRs
+/// and/or degree-aware hub splitting.
+///
+/// # Panics
+///
+/// Panics if `cfg.hosts == 0`.
+pub fn partition_cfg(graph: &Graph, cfg: &PartitionCfg) -> Vec<DistGraph> {
+    let (policy, num_hosts) = (cfg.policy, cfg.hosts);
     assert!(num_hosts > 0, "need at least one host");
     let n = graph.num_nodes();
-    let own = policy.ownership(n, num_hosts);
+    let mut own = policy.ownership(n, num_hosts);
+    if let Some(thresh) = cfg.hub_degree_threshold {
+        if policy.splits_hubs() && num_hosts > 1 {
+            let hubs: Vec<NodeId> = graph
+                .nodes()
+                .filter(|&u| graph.degree(u) > thresh)
+                .collect();
+            own = own.with_hubs(hubs);
+        }
+    }
 
     // Pass 1: assign every directed edge to a host.
     let mut host_edges: Vec<Vec<(NodeId, NodeId, Weight)>> = vec![Vec::new(); num_hosts];
@@ -270,7 +345,7 @@ pub fn partition(graph: &Graph, policy: Policy, num_hosts: usize) -> Vec<DistGra
     let mut parts: Vec<DistGraph> = host_edges
         .into_iter()
         .enumerate()
-        .map(|(h, edges)| build_part(h, own, policy, &edges))
+        .map(|(h, edges)| build_part(h, &own, policy, &edges, cfg.compressed))
         .collect();
 
     // Pass 3: tell each owner which peers mirror its masters (in a real
@@ -297,9 +372,10 @@ pub fn partition(graph: &Graph, policy: Policy, num_hosts: usize) -> Vec<DistGra
 /// the mirror-list exchange (callers fill `mirrors_on_peer`).
 fn build_part(
     h: usize,
-    own: Ownership,
+    own: &Ownership,
     policy: Policy,
     edges: &[(NodeId, NodeId, Weight)],
+    compressed: bool,
 ) -> DistGraph {
     let num_hosts = own.num_hosts();
     let num_masters = own.num_masters(h);
@@ -359,15 +435,20 @@ fn build_part(
         mirror_slot_of[g as usize] = slot as u32;
     }
 
-    DistGraph {
-        host: h,
-        ownership: own,
-        policy,
-        l2g,
-        num_masters,
+    let store = GraphStore::Raw {
         offsets,
         targets,
         weights,
+    };
+    let store = if compressed { store.compressed() } else { store };
+
+    DistGraph {
+        host: h,
+        ownership: own.clone(),
+        policy,
+        l2g,
+        num_masters,
+        store,
         in_offsets,
         in_sources,
         mirrors_on_peer: vec![Vec::new(); num_hosts],
@@ -443,7 +524,9 @@ pub fn assemble_dist_graph(
         }
     });
 
-    let mut dg = build_part(host, own, policy, &my_edges);
+    // Coarse/assembled graphs stay on the raw tier with no hub table:
+    // they are rebuilt every level and read once.
+    let mut dg = build_part(host, &own, policy, &my_edges, false);
 
     // Mirror-list exchange: tell each node's owner that we mirror it.
     let outgoing = (0..num_hosts)
@@ -582,7 +665,7 @@ mod tests {
                 let mut expected: Vec<Vec<LocalId>> =
                     vec![Vec::new(); p.num_local_nodes()];
                 for s in p.local_nodes() {
-                    for &d in p.neighbors(s) {
+                    for &d in p.neighbors(s).iter() {
                         expected[d as usize].push(s);
                     }
                 }
@@ -633,9 +716,7 @@ mod tests {
                 assert_eq!(a.num_mirrors(), r.num_mirrors());
                 assert_eq!(a.num_local_edges(), r.num_local_edges());
                 assert_eq!(a.l2g, r.l2g);
-                assert_eq!(a.offsets, r.offsets);
-                assert_eq!(a.targets, r.targets);
-                assert_eq!(a.weights, r.weights);
+                assert_eq!(a.store, r.store);
                 assert_eq!(a.mirrors_on_peer, r.mirrors_on_peer);
             }
         }
@@ -660,6 +741,117 @@ mod tests {
         });
         let l1 = out[0][0];
         assert_eq!(l1.1, 10); // two hosts x weight 5
+    }
+
+    #[test]
+    fn compressed_partition_is_indistinguishable() {
+        let g = gen::rmat(7, 4, 6);
+        for policy in [Policy::EdgeCutBlocked, Policy::CartesianVertexCut] {
+            let raw = partition(&g, policy, 3);
+            let mut cfg = PartitionCfg::new(policy, 3);
+            cfg.compressed = true;
+            let comp = partition_cfg(&g, &cfg);
+            for (r, c) in raw.iter().zip(&comp) {
+                assert!(c.is_compressed() && !r.is_compressed());
+                assert_eq!(r.l2g, c.l2g);
+                assert_eq!(r.num_local_edges(), c.num_local_edges());
+                for l in r.local_nodes() {
+                    assert_eq!(r.degree(l), c.degree(l));
+                    assert_eq!(&r.neighbors(l)[..], &c.neighbors(l)[..]);
+                    assert_eq!(
+                        r.edges(l).collect::<Vec<_>>(),
+                        c.edges(l).collect::<Vec<_>>()
+                    );
+                    assert_eq!(r.in_neighbors(l), c.in_neighbors(l));
+                    assert_eq!(r.weighted_degree(l), c.weighted_degree(l));
+                }
+                assert_eq!(r.mirrors_on_peer, c.mirrors_on_peer);
+                assert!(c.size_bytes() < r.size_bytes());
+            }
+        }
+    }
+
+    fn hub_cfg(hosts: usize, thresh: usize) -> PartitionCfg {
+        let mut cfg = PartitionCfg::new(Policy::EdgeCutBlocked, hosts);
+        cfg.hub_degree_threshold = Some(thresh);
+        cfg
+    }
+
+    #[test]
+    fn hub_split_conserves_edges_and_masters() {
+        let g = gen::rmat(8, 8, 4);
+        let parts = partition_cfg(&g, &hub_cfg(4, 32));
+        assert!(parts[0].has_split_hubs());
+        let total: usize = parts.iter().map(|p| p.num_local_edges()).sum();
+        assert_eq!(total, g.num_edges());
+        let total_masters: usize = parts.iter().map(|p| p.num_masters()).sum();
+        assert_eq!(total_masters, g.num_nodes());
+        // Every local edge still mirrors a real global edge.
+        for p in &parts {
+            for l in p.local_nodes() {
+                for (t, w) in p.edges(l) {
+                    let (gu, gv) = (p.local_to_global(l), p.local_to_global(t));
+                    assert!(g.edges(gu).any(|(x, xw)| x == gv && xw == w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hub_split_scatters_hub_edges_to_neighbor_owners() {
+        let g = gen::rmat(8, 8, 4);
+        let thresh = 32;
+        let parts = partition_cfg(&g, &hub_cfg(4, thresh));
+        let own = parts[0].ownership().clone();
+        for p in &parts {
+            for l in p.local_nodes() {
+                let gu = p.local_to_global(l);
+                if own.is_hub(gu) {
+                    // Every stored out-edge of a hub ends at a locally
+                    // owned master.
+                    for (t, _) in p.edges(l) {
+                        let gv = p.local_to_global(t);
+                        assert_eq!(
+                            own.owner(gv),
+                            p.host(),
+                            "hub {gu} edge to {gv} on wrong host"
+                        );
+                    }
+                } else if !p.is_master(l) {
+                    // Non-hub mirrors keep the OEC invariant.
+                    assert_eq!(p.degree(l), 0, "non-hub OEC mirror with out-edges");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hub_split_reduces_max_host_edges() {
+        // A star graph: one hub, everything at its owner without splitting.
+        let mut b = kimbap_graph::GraphBuilder::new();
+        for v in 1..200u32 {
+            b.add_edge(0, v, 1);
+        }
+        let g = b.symmetric(true).build();
+        let no_hub = partition(&g, Policy::EdgeCutBlocked, 4);
+        let hub = partition_cfg(&g, &hub_cfg(4, 16));
+        let max_edges = |ps: &[DistGraph]| {
+            ps.iter().map(|p| p.num_local_edges()).max().unwrap()
+        };
+        assert!(
+            max_edges(&hub) * 2 < max_edges(&no_hub),
+            "hub {} vs no-hub {}",
+            max_edges(&hub),
+            max_edges(&no_hub)
+        );
+    }
+
+    #[test]
+    fn single_host_never_splits_hubs() {
+        let g = gen::rmat(7, 8, 4);
+        let parts = partition_cfg(&g, &hub_cfg(1, 4));
+        assert!(!parts[0].has_split_hubs());
+        assert_eq!(parts[0].num_local_edges(), g.num_edges());
     }
 
     #[test]

@@ -41,6 +41,8 @@ pub mod dist_graph;
 pub mod ownership;
 pub mod policy;
 
-pub use dist_graph::{assemble_dist_graph, partition, DistGraph, LocalId};
-pub use ownership::Ownership;
+pub use dist_graph::{
+    assemble_dist_graph, partition, partition_cfg, DistGraph, LocalId, PartitionCfg,
+};
+pub use ownership::{Ownership, Scheme};
 pub use policy::Policy;

@@ -1,27 +1,15 @@
 //! The node → owning-host map.
 
 use kimbap_graph::NodeId;
+use std::sync::Arc;
 
-/// Maps every global node id to the host that owns its master proxy, and to
-/// a dense per-host *master offset*.
+/// The arithmetic half of an [`Ownership`]: how global ids map to hosts.
 ///
 /// Both variants are pure arithmetic — no lookup tables — which is what lets
 /// the node-property map locate any master property with one division
 /// (the locality half of the paper's GAR optimization).
-///
-/// # Example
-///
-/// ```
-/// use kimbap_dist::Ownership;
-///
-/// let own = Ownership::blocked(10, 3); // hosts own [0,4) [4,8) [8,10)
-/// assert_eq!(own.owner(5), 1);
-/// assert_eq!(own.master_offset(5), 1);
-/// assert_eq!(own.num_masters(2), 2);
-/// assert_eq!(own.master_at(1, 1), 5);
-/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Ownership {
+pub enum Scheme {
     /// Contiguous blocks of `ceil(n / hosts)` nodes per host.
     Blocked {
         /// Total node count.
@@ -40,6 +28,36 @@ pub enum Ownership {
     },
 }
 
+/// Maps every global node id to the host that owns its master proxy, and to
+/// a dense per-host *master offset*, plus an optional *hub table*: a sorted
+/// list of high-degree nodes whose edge lists the partitioner splits across
+/// hosts (PowerLyra-style hybrid cut) instead of concentrating on the
+/// master's host.
+///
+/// The hub table does **not** change `owner`/`master_offset` arithmetic —
+/// hubs keep their master where the scheme says — it only changes where
+/// edges land (see `Policy::assign`). Cloning is cheap: the table is shared
+/// behind an `Arc`.
+///
+/// # Example
+///
+/// ```
+/// use kimbap_dist::Ownership;
+///
+/// let own = Ownership::blocked(10, 3); // hosts own [0,4) [4,8) [8,10)
+/// assert_eq!(own.owner(5), 1);
+/// assert_eq!(own.master_offset(5), 1);
+/// assert_eq!(own.num_masters(2), 2);
+/// assert_eq!(own.master_at(1, 1), 5);
+/// assert!(!own.has_hubs());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ownership {
+    scheme: Scheme,
+    /// Sorted global ids of hub nodes; empty = no hub splitting.
+    hubs: Arc<[NodeId]>,
+}
+
 impl Ownership {
     /// Blocked ownership over `n` nodes and `hosts` hosts.
     ///
@@ -48,7 +66,10 @@ impl Ownership {
     /// Panics if `hosts == 0`.
     pub fn blocked(n: usize, hosts: usize) -> Self {
         assert!(hosts > 0, "need at least one host");
-        Ownership::Blocked { n, hosts }
+        Ownership {
+            scheme: Scheme::Blocked { n, hosts },
+            hubs: Arc::from([]),
+        }
     }
 
     /// Modulo-hashed ownership over `n` nodes and `hosts` hosts.
@@ -58,27 +79,71 @@ impl Ownership {
     /// Panics if `hosts == 0`.
     pub fn hashed(n: usize, hosts: usize) -> Self {
         assert!(hosts > 0, "need at least one host");
-        Ownership::Hashed { n, hosts }
+        Ownership {
+            scheme: Scheme::Hashed { n, hosts },
+            hubs: Arc::from([]),
+        }
+    }
+
+    /// This ownership with `hubs` marked for edge-list splitting. The list
+    /// is sorted and deduplicated here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any hub id is out of range.
+    pub fn with_hubs(&self, mut hubs: Vec<NodeId>) -> Self {
+        hubs.sort_unstable();
+        hubs.dedup();
+        if let Some(&last) = hubs.last() {
+            assert!(
+                (last as usize) < self.num_nodes(),
+                "hub id {last} out of range"
+            );
+        }
+        Ownership {
+            scheme: self.scheme,
+            hubs: hubs.into(),
+        }
+    }
+
+    /// The arithmetic id→host scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// `true` if any node is marked as a hub.
+    pub fn has_hubs(&self) -> bool {
+        !self.hubs.is_empty()
+    }
+
+    /// The sorted hub table.
+    pub fn hubs(&self) -> &[NodeId] {
+        &self.hubs
+    }
+
+    /// `true` if `g` is in the hub table.
+    pub fn is_hub(&self, g: NodeId) -> bool {
+        self.hubs.binary_search(&g).is_ok()
     }
 
     /// Total number of nodes.
     pub fn num_nodes(&self) -> usize {
-        match *self {
-            Ownership::Blocked { n, .. } | Ownership::Hashed { n, .. } => n,
+        match self.scheme {
+            Scheme::Blocked { n, .. } | Scheme::Hashed { n, .. } => n,
         }
     }
 
     /// Number of hosts.
     pub fn num_hosts(&self) -> usize {
-        match *self {
-            Ownership::Blocked { hosts, .. } | Ownership::Hashed { hosts, .. } => hosts,
+        match self.scheme {
+            Scheme::Blocked { hosts, .. } | Scheme::Hashed { hosts, .. } => hosts,
         }
     }
 
     fn block(&self) -> usize {
-        match *self {
-            Ownership::Blocked { n, hosts } => n.div_ceil(hosts).max(1),
-            Ownership::Hashed { .. } => unreachable!("hashed ownership has no block"),
+        match self.scheme {
+            Scheme::Blocked { n, hosts } => n.div_ceil(hosts).max(1),
+            Scheme::Hashed { .. } => unreachable!("hashed ownership has no block"),
         }
     }
 
@@ -90,9 +155,9 @@ impl Ownership {
     pub fn owner(&self, g: NodeId) -> usize {
         let g = g as usize;
         assert!(g < self.num_nodes(), "node {g} out of range");
-        match *self {
-            Ownership::Blocked { .. } => g / self.block(),
-            Ownership::Hashed { hosts, .. } => g % hosts,
+        match self.scheme {
+            Scheme::Blocked { .. } => g / self.block(),
+            Scheme::Hashed { hosts, .. } => g % hosts,
         }
     }
 
@@ -105,9 +170,9 @@ impl Ownership {
     pub fn master_offset(&self, g: NodeId) -> usize {
         let g = g as usize;
         assert!(g < self.num_nodes(), "node {g} out of range");
-        match *self {
-            Ownership::Blocked { .. } => g % self.block(),
-            Ownership::Hashed { hosts, .. } => g / hosts,
+        match self.scheme {
+            Scheme::Blocked { .. } => g % self.block(),
+            Scheme::Hashed { hosts, .. } => g / hosts,
         }
     }
 
@@ -118,12 +183,12 @@ impl Ownership {
     /// Panics if `h >= num_hosts()`.
     pub fn num_masters(&self, h: usize) -> usize {
         assert!(h < self.num_hosts(), "host {h} out of range");
-        match *self {
-            Ownership::Blocked { n, .. } => {
+        match self.scheme {
+            Scheme::Blocked { n, .. } => {
                 let b = self.block();
                 n.saturating_sub(h * b).min(b)
             }
-            Ownership::Hashed { n, hosts } => {
+            Scheme::Hashed { n, hosts } => {
                 if h < n % hosts {
                     n / hosts + 1
                 } else {
@@ -141,9 +206,9 @@ impl Ownership {
     /// Panics if `h` or `i` is out of range.
     pub fn master_at(&self, h: usize, i: usize) -> NodeId {
         assert!(i < self.num_masters(h), "master index {i} out of range");
-        match *self {
-            Ownership::Blocked { .. } => (h * self.block() + i) as NodeId,
-            Ownership::Hashed { hosts, .. } => (i * hosts + h) as NodeId,
+        match self.scheme {
+            Scheme::Blocked { .. } => (h * self.block() + i) as NodeId,
+            Scheme::Hashed { hosts, .. } => (i * hosts + h) as NodeId,
         }
     }
 
@@ -201,6 +266,25 @@ mod tests {
     fn hashed_strides() {
         let own = Ownership::hashed(10, 3);
         assert_eq!(own.masters(1).collect::<Vec<_>>(), vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn hub_table_is_sorted_and_queryable() {
+        let own = Ownership::blocked(10, 3).with_hubs(vec![7, 2, 7]);
+        assert!(own.has_hubs());
+        assert_eq!(own.hubs(), &[2, 7]);
+        assert!(own.is_hub(2));
+        assert!(own.is_hub(7));
+        assert!(!own.is_hub(3));
+        // Masters/offsets are untouched by the hub table.
+        assert_eq!(own.owner(7), Ownership::blocked(10, 3).owner(7));
+        assert_eq!(own.master_offset(7), Ownership::blocked(10, 3).master_offset(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "hub id 10 out of range")]
+    fn hub_out_of_range_panics() {
+        Ownership::blocked(10, 3).with_hubs(vec![10]);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Compressed-sparse-row graph representation.
 
+use crate::store::{EdgeIter, GraphStore, NeighborsRef, SizeBreakdown, WeightsRef};
 use std::fmt;
 
 /// Identifier of a node in a graph. Node ids are dense: a graph with `n`
@@ -16,6 +17,10 @@ pub type Weight = u64;
 
 /// An immutable directed graph in compressed-sparse-row form, with one
 /// weight per edge.
+///
+/// The adjacency lives in a [`GraphStore`]: either raw CSR arrays or a
+/// delta+varint compressed tier ([`Graph::compress`]) — every accessor
+/// works identically on both.
 ///
 /// All algorithms in this workspace treat the graph as *symmetric* (every
 /// edge has its reverse present); [`crate::GraphBuilder`] enforces that when
@@ -36,12 +41,7 @@ pub type Weight = u64;
 /// ```
 #[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
-    /// `offsets[u]..offsets[u+1]` is the range of `u`'s out-edges.
-    offsets: Vec<u64>,
-    /// Destination of each edge, grouped by source, sorted within a source.
-    targets: Vec<NodeId>,
-    /// Weight of each edge, parallel to `targets`.
-    weights: Vec<Weight>,
+    store: GraphStore,
 }
 
 impl Graph {
@@ -73,21 +73,54 @@ impl Graph {
             "edge target out of range"
         );
         Graph {
-            offsets,
-            targets,
-            weights,
+            store: GraphStore::Raw {
+                offsets,
+                targets,
+                weights,
+            },
         }
+    }
+
+    /// Wraps an already-validated store.
+    pub fn from_store(store: GraphStore) -> Self {
+        Graph { store }
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &GraphStore {
+        &self.store
+    }
+
+    /// This graph re-encoded on the compressed tier. Neighbor blocks are
+    /// sorted during encoding, so an unsorted-within-source raw graph will
+    /// come back with each node's edges sorted.
+    pub fn compress(&self) -> Graph {
+        Graph {
+            store: self.store.compressed(),
+        }
+    }
+
+    /// This graph re-materialized on the raw tier.
+    pub fn decompress(&self) -> Graph {
+        Graph {
+            store: self.store.decompressed(),
+        }
+    }
+
+    /// `true` if backed by the compressed tier.
+    pub fn is_compressed(&self) -> bool {
+        self.store.is_compressed()
     }
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.offsets.len() - 1
+        self.store.num_nodes()
     }
 
     /// Number of *directed* edges. A symmetric graph stores both directions
     /// of each undirected edge, so this is twice the undirected edge count.
     pub fn num_edges(&self) -> usize {
-        self.targets.len()
+        self.store.num_edges()
     }
 
     /// Out-degree of `u`.
@@ -96,18 +129,17 @@ impl Graph {
     ///
     /// Panics if `u` is out of range.
     pub fn degree(&self, u: NodeId) -> usize {
-        let (s, e) = self.edge_range(u);
-        e - s
+        self.store.degree(u)
     }
 
-    /// Neighbors of `u`, sorted ascending.
+    /// Neighbors of `u`, sorted ascending. Borrowed on the raw tier;
+    /// decoded into a per-thread scratch buffer on the compressed tier.
     ///
     /// # Panics
     ///
     /// Panics if `u` is out of range.
-    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
-        let (s, e) = self.edge_range(u);
-        &self.targets[s..e]
+    pub fn neighbors(&self, u: NodeId) -> NeighborsRef<'_> {
+        self.store.neighbors(u)
     }
 
     /// Weights of `u`'s out-edges, parallel to [`Graph::neighbors`].
@@ -115,9 +147,8 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `u` is out of range.
-    pub fn edge_weights(&self, u: NodeId) -> &[Weight] {
-        let (s, e) = self.edge_range(u);
-        &self.weights[s..e]
+    pub fn edge_weights(&self, u: NodeId) -> WeightsRef<'_> {
+        self.store.edge_weights(u)
     }
 
     /// Iterates `(neighbor, weight)` pairs of `u`'s out-edges.
@@ -125,11 +156,8 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `u` is out of range.
-    pub fn edges(&self, u: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
-        self.neighbors(u)
-            .iter()
-            .copied()
-            .zip(self.edge_weights(u).iter().copied())
+    pub fn edges(&self, u: NodeId) -> EdgeIter<'_> {
+        self.store.edges(u)
     }
 
     /// Sum of the weights of `u`'s out-edges (the *weighted degree* used by
@@ -139,12 +167,12 @@ impl Graph {
     ///
     /// Panics if `u` is out of range.
     pub fn weighted_degree(&self, u: NodeId) -> u64 {
-        self.edge_weights(u).iter().sum()
+        self.store.weighted_degree(u)
     }
 
     /// Total weight of all directed edges.
     pub fn total_weight(&self) -> u64 {
-        self.weights.iter().sum()
+        self.store.total_weight()
     }
 
     /// Maximum out-degree over all nodes, or 0 for the empty graph.
@@ -168,30 +196,19 @@ impl Graph {
 
     /// Returns `true` if every edge `(u, v, w)` has a reverse `(v, u, w)`.
     pub fn is_symmetric(&self) -> bool {
-        self.all_edges().all(|(u, v, w)| {
-            self.edges(v).any(|(t, tw)| t == u && tw == w)
-        })
+        self.all_edges()
+            .all(|(u, v, w)| self.edges(v).any(|(t, tw)| t == u && tw == w))
     }
 
-    /// Approximate in-memory size in bytes (offsets + targets + weights).
+    /// In-memory size in bytes, including per-component allocations and
+    /// struct overhead (see [`Graph::size_breakdown`]).
     pub fn size_bytes(&self) -> usize {
-        self.offsets.len() * 8 + self.targets.len() * 4 + self.weights.len() * 8
+        self.store.size_bytes()
     }
 
-    /// The raw CSR offsets array (length `num_nodes() + 1`).
-    pub fn offsets(&self) -> &[u64] {
-        &self.offsets
-    }
-
-    /// The raw CSR targets array.
-    pub fn targets(&self) -> &[NodeId] {
-        &self.targets
-    }
-
-    fn edge_range(&self, u: NodeId) -> (usize, usize) {
-        let u = u as usize;
-        assert!(u < self.num_nodes(), "node {u} out of range");
-        (self.offsets[u] as usize, self.offsets[u + 1] as usize)
+    /// Per-component byte accounting of the backing store.
+    pub fn size_breakdown(&self) -> SizeBreakdown {
+        self.store.size_breakdown()
     }
 }
 
@@ -200,6 +217,7 @@ impl fmt::Debug for Graph {
         f.debug_struct("Graph")
             .field("num_nodes", &self.num_nodes())
             .field("num_edges", &self.num_edges())
+            .field("compressed", &self.is_compressed())
             .finish()
     }
 }
@@ -227,6 +245,31 @@ mod tests {
         assert_eq!(g.total_weight(), 6);
         assert_eq!(g.max_degree(), 2);
         assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn compressed_tier_matches_raw() {
+        let g = triangle();
+        let c = g.compress();
+        assert!(c.is_compressed());
+        assert_eq!(g.num_edges(), c.num_edges());
+        for u in g.nodes() {
+            assert_eq!(&g.neighbors(u)[..], &c.neighbors(u)[..]);
+            assert_eq!(&g.edge_weights(u)[..], &c.edge_weights(u)[..]);
+        }
+        assert_eq!(c.decompress(), g);
+        assert!(c.size_bytes() < g.size_bytes());
+    }
+
+    #[test]
+    fn size_bytes_counts_offsets_and_struct() {
+        let g = Graph::from_csr(vec![0], vec![], vec![]);
+        let b = g.size_breakdown();
+        // Even an empty graph holds the one-entry offsets array plus the
+        // container itself.
+        assert!(b.offsets >= 8);
+        assert!(b.struct_bytes > 0);
+        assert_eq!(g.size_bytes(), b.total());
     }
 
     #[test]

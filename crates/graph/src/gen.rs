@@ -192,6 +192,23 @@ pub fn with_random_weights(g: &Graph, max_weight: Weight, seed: u64) -> Graph {
     b.symmetric(true).build()
 }
 
+/// Returns a copy of `g` with every edge weight set to 1 — the storage
+/// shape of weight-oblivious workloads (connected components, MIS), and
+/// the shape that triggers the compressed tier's no-weight-array fast
+/// path. Note the generators above can produce non-unit weights even from
+/// unit input because [`GraphBuilder`] sums merged parallel edges.
+pub fn with_unit_weights(g: &Graph) -> Graph {
+    let mut offsets = Vec::with_capacity(g.num_nodes() + 1);
+    offsets.push(0u64);
+    let mut targets = Vec::with_capacity(g.num_edges());
+    for u in g.nodes() {
+        targets.extend_from_slice(&g.neighbors(u));
+        offsets.push(targets.len() as u64);
+    }
+    let weights = vec![1; targets.len()];
+    Graph::from_csr(offsets, targets, weights)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -84,14 +84,23 @@ pub fn write_binary<W: Write>(g: &Graph, mut w: W) -> io::Result<()> {
     w.write_all(MAGIC)?;
     w.write_all(&(g.num_nodes() as u64).to_le_bytes())?;
     w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
-    for &o in g.offsets() {
-        w.write_all(&o.to_le_bytes())?;
-    }
-    for &t in g.targets() {
-        w.write_all(&t.to_le_bytes())?;
+    // Stream the CSR arrays from the accessors rather than the backing
+    // store, so compressed graphs serialize to the same format (their
+    // blocks decode in sorted order, which is CSR order for graphs built
+    // by GraphBuilder).
+    let mut off = 0u64;
+    w.write_all(&off.to_le_bytes())?;
+    for u in g.nodes() {
+        off += g.degree(u) as u64;
+        w.write_all(&off.to_le_bytes())?;
     }
     for u in g.nodes() {
-        for wt in g.edge_weights(u) {
+        for &t in g.neighbors(u).iter() {
+            w.write_all(&t.to_le_bytes())?;
+        }
+    }
+    for u in g.nodes() {
+        for &wt in g.edge_weights(u).iter() {
             w.write_all(&wt.to_le_bytes())?;
         }
     }
@@ -192,6 +201,16 @@ mod tests {
         write_binary(&g, &mut buf).unwrap();
         let g2 = read_binary(&buf[..]).unwrap();
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_write_is_tier_independent() {
+        let g = gen::rmat(7, 4, 11);
+        let mut raw_buf = Vec::new();
+        write_binary(&g, &mut raw_buf).unwrap();
+        let mut comp_buf = Vec::new();
+        write_binary(&g.compress(), &mut comp_buf).unwrap();
+        assert_eq!(raw_buf, comp_buf);
     }
 
     #[test]

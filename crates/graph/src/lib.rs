@@ -25,11 +25,15 @@
 //! ```
 
 pub mod builder;
+pub mod compressed;
 pub mod csr;
 pub mod gen;
 pub mod io;
 pub mod stats;
+pub mod store;
 
 pub use builder::GraphBuilder;
+pub use compressed::CompressedGraph;
 pub use csr::{Graph, NodeId, Weight};
 pub use stats::GraphStats;
+pub use store::{GraphStore, SizeBreakdown};

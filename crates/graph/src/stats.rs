@@ -24,18 +24,40 @@ pub struct GraphStats {
     pub num_edges: usize,
     /// Maximum out-degree.
     pub max_degree: usize,
-    /// Approximate CSR size in bytes.
+    /// In-memory size in bytes (all components + struct overhead).
     pub size_bytes: usize,
+    /// Bytes in the offsets array (raw) or sampled block index (compressed).
+    pub offsets_bytes: usize,
+    /// Bytes in the targets array (raw) or topology varints (compressed).
+    pub targets_bytes: usize,
+    /// Bytes in the weights array (raw) or weight varints (compressed).
+    pub weights_bytes: usize,
+    /// Whether the graph is stored on the compressed tier.
+    pub compressed: bool,
 }
 
 impl GraphStats {
     /// Computes statistics for `g`.
     pub fn of(g: &Graph) -> Self {
+        let b = g.size_breakdown();
         GraphStats {
             num_nodes: g.num_nodes(),
             num_edges: g.num_edges(),
             max_degree: g.max_degree(),
-            size_bytes: g.size_bytes(),
+            size_bytes: b.total(),
+            offsets_bytes: b.offsets,
+            targets_bytes: b.targets,
+            weights_bytes: b.weights,
+            compressed: g.is_compressed(),
+        }
+    }
+
+    /// Average stored bytes per directed edge, or 0.0 for an edgeless graph.
+    pub fn bytes_per_edge(&self) -> f64 {
+        if self.num_edges == 0 {
+            0.0
+        } else {
+            self.size_bytes as f64 / self.num_edges as f64
         }
     }
 
@@ -53,12 +75,18 @@ impl fmt::Display for GraphStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "|V|={} |E|={} |E|/|V|={:.1} max-deg={} size={}B",
+            "|V|={} |E|={} |E|/|V|={:.1} max-deg={} size={}B \
+             (off={} tgt={} wt={}) {:.2}B/edge{}",
             self.num_nodes,
             self.num_edges,
             self.avg_degree(),
             self.max_degree,
-            self.size_bytes
+            self.size_bytes,
+            self.offsets_bytes,
+            self.targets_bytes,
+            self.weights_bytes,
+            self.bytes_per_edge(),
+            if self.compressed { " [compressed]" } else { "" }
         )
     }
 }
@@ -77,6 +105,28 @@ mod tests {
         assert_eq!(s.max_degree, 4);
         assert!(s.avg_degree() > 2.0);
         assert!(s.to_string().contains("|V|=9"));
+    }
+
+    #[test]
+    fn components_sum_and_compressed_budget() {
+        let g = gen::rmat(10, 8, 2);
+        let s = GraphStats::of(&g);
+        assert!(!s.compressed);
+        assert_eq!(
+            s.size_bytes,
+            s.offsets_bytes
+                + s.targets_bytes
+                + s.weights_bytes
+                + std::mem::size_of::<crate::GraphStore>()
+        );
+        // The headline budget: unit-weight R-MAT under 4 B/edge and at
+        // least 2.5x smaller than raw CSR.
+        let unit = gen::with_unit_weights(&g);
+        let cs = GraphStats::of(&unit.compress());
+        assert!(cs.compressed);
+        assert_eq!(cs.weights_bytes, 0, "unit weights store no weight bytes");
+        assert!(cs.bytes_per_edge() < 4.0, "{:.2} B/edge", cs.bytes_per_edge());
+        assert!(cs.size_bytes * 5 < s.size_bytes * 2);
     }
 
     #[test]
@@ -115,7 +165,7 @@ pub fn approx_diameter(g: &Graph, start: crate::NodeId) -> usize {
         let mut q = std::collections::VecDeque::from([s]);
         let (mut far, mut far_d) = (s, 0);
         while let Some(u) = q.pop_front() {
-            for &v in g.neighbors(u) {
+            for &v in g.neighbors(u).iter() {
                 if dist[v as usize] == usize::MAX {
                     dist[v as usize] = dist[u as usize] + 1;
                     if dist[v as usize] > far_d {

@@ -68,4 +68,57 @@ proptest! {
         prop_assert!(g.num_edges() <= 2 * ef * (1 << scale));
         prop_assert!(g.is_symmetric());
     }
+
+    // Differential: the compressed tier must answer every accessor exactly
+    // like raw CSR, on arbitrary graphs (degree-0 nodes included — ids up
+    // to 63 with as few as 0 edges leave isolated tails).
+    #[test]
+    fn compressed_tier_is_indistinguishable(edges in edge_list()) {
+        let g = from_edges(edges);
+        let c = g.compress();
+        prop_assert!(c.is_compressed());
+        prop_assert_eq!(g.num_nodes(), c.num_nodes());
+        prop_assert_eq!(g.num_edges(), c.num_edges());
+        prop_assert_eq!(g.total_weight(), c.total_weight());
+        prop_assert_eq!(g.max_degree(), c.max_degree());
+        for u in g.nodes() {
+            prop_assert_eq!(g.degree(u), c.degree(u));
+            prop_assert_eq!(&g.neighbors(u)[..], &c.neighbors(u)[..]);
+            prop_assert_eq!(&g.edge_weights(u)[..], &c.edge_weights(u)[..]);
+            prop_assert_eq!(
+                g.edges(u).collect::<Vec<_>>(),
+                c.edges(u).collect::<Vec<_>>()
+            );
+            prop_assert_eq!(g.weighted_degree(u), c.weighted_degree(u));
+        }
+        prop_assert_eq!(c.decompress(), g);
+    }
+
+    // Weight extremes: u64::MAX weights and a max-degree hub (node 0
+    // linked to everyone) survive the varint roundtrip.
+    #[test]
+    fn compressed_survives_hubs_and_weight_extremes(
+        n in 2u32..80,
+        extreme in prop::collection::vec(prop::bool::ANY, 1..80),
+    ) {
+        let mut b = GraphBuilder::new();
+        for v in 1..n {
+            let w = if extreme[(v as usize - 1) % extreme.len()] {
+                u64::MAX >> 10 // huge, but total_weight must not overflow
+            } else {
+                1
+            };
+            b.add_edge(0, v, w);
+        }
+        let g = b.symmetric(true).build();
+        let c = g.compress();
+        prop_assert_eq!(g.max_degree(), n as usize - 1);
+        for u in g.nodes() {
+            prop_assert_eq!(
+                g.edges(u).collect::<Vec<_>>(),
+                c.edges(u).collect::<Vec<_>>()
+            );
+        }
+        prop_assert_eq!(c.total_weight(), g.total_weight());
+    }
 }

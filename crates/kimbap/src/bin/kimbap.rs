@@ -28,6 +28,7 @@ use kimbap_comm::{
     new_trace_sink, run_transport_host, HostError, TcpTransport, TransportConfig,
 };
 use kimbap_compiler::{classify_program, compile, frontend, OptLevel};
+use kimbap_dist::{partition_cfg, PartitionCfg};
 use kimbap_graph::io;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -60,24 +61,26 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   kimbap gen --kind <rmat|grid|er> [--scale N] [--ef N] [--rows N] [--cols N]
-             [--nodes N] [--edges N] [--seed N] [--weights MAX] --out FILE
+             [--nodes N] [--edges N] [--seed N] [--weights MAX]
+             [--unit-weights] --out FILE
   kimbap stats FILE
   kimbap run <cc-sv|cc-lp|cc-sclp|mis|msf|louvain|leiden> FILE
              [--hosts N] [--threads N] [--transport inproc|tcp]
              [--faults none|drop|corrupt|crash|kill] [--seed N]
              [--allow-shrink] [--no-pipeline] [--port-base N] [--out FILE]
+             [--raw] [--hub-threshold N]
   kimbap sim [--algo <cc-sv|cc-lp|cc-sclp|mis|msf|louvain|leiden>]
              [--seed N] [--seeds N] [--hosts N] [--threads N]
              [--scale N] [--ef N] [--allow-shrink] [--no-pipeline]
-             [--trace FILE] [--out FILE]
+             [--trace FILE] [--out FILE] [--raw] [--hub-threshold N]
   kimbap compile FILE.kv [--no-opt]
 
 graphs are stored in the kimbap binary format (.kg) or may be text edge
 lists; vertex programs (.kv) use the surface syntax of kimbap-compiler's
 frontend. --transport tcp spawns one worker process per host over TCP
-loopback; --faults/--out (connected-components algorithms only) inject a
-seeded fault plan and write one label per node for diffing across
-transports.
+loopback; --faults (connected-components algorithms only) injects a
+seeded fault plan; --out (cc-* and louvain/leiden) writes one label per
+node for diffing across transports and storage tiers.
 
 kimbap sim replays a fully deterministic multi-host schedule on the
 discrete-event simulation backend: the seed fixes the R-MAT input graph,
@@ -98,7 +101,14 @@ CI smoke diffs.
 host out of the membership, re-partition over the shrunk cluster, and
 re-converge. With --faults kill (or the kill-bearing seeds of the sim
 fuzz plans) the victim exits mid-run and the remaining hosts must still
-produce the fault-free output.";
+produce the fault-free output.
+
+runs are read-only over the graph, so each host stores its local CSR on
+the compressed tier (delta+varint neighbor blocks) by default; --raw
+keeps the uncompressed arrays. --hub-threshold N splits the edge lists
+of nodes with degree > N across hosts on hub-splitting policies. Both
+knobs change only memory/traffic, never outputs: the CI smoke diffs
+compressed against raw labels.";
 
 type CliResult = Result<(), String>;
 
@@ -112,6 +122,39 @@ fn flag_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Re
     match flag(args, name) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v}")),
+    }
+}
+
+/// Graph-storage knobs shared by `run`, `sim`, and the TCP workers:
+/// compressed local CSRs (the default — every run is read-only over the
+/// graph) and degree-aware hub splitting.
+#[derive(Clone, Copy)]
+struct StoreOpts {
+    compressed: bool,
+    hub_threshold: Option<usize>,
+}
+
+impl StoreOpts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        Ok(StoreOpts {
+            compressed: !args.iter().any(|a| a == "--raw"),
+            hub_threshold: match flag(args, "--hub-threshold") {
+                None => None,
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| format!("bad value for --hub-threshold: {v}"))?,
+                ),
+            },
+        })
+    }
+
+    fn cfg(self, policy: Policy, hosts: usize) -> PartitionCfg {
+        PartitionCfg {
+            policy,
+            hosts,
+            compressed: self.compressed,
+            hub_degree_threshold: self.hub_threshold,
+        }
     }
 }
 
@@ -151,6 +194,12 @@ fn cmd_gen(args: &[String]) -> CliResult {
         let maxw: u64 = maxw.parse().map_err(|_| "bad --weights")?;
         g = gen::with_random_weights(&g, maxw, seed ^ WEIGHT_SEED_SALT);
     }
+    // Generators merge parallel edges by summing weights, so even "plain"
+    // R-MAT graphs carry weights > 1; this forces every weight back to 1
+    // (the compressed tier then stores no weight bytes at all).
+    if args.iter().any(|a| a == "--unit-weights") {
+        g = gen::with_unit_weights(&g);
+    }
     let f = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
     io::write_binary(&g, BufWriter::new(f)).map_err(|e| e.to_string())?;
     println!("wrote {} ({})", out, GraphStats::of(&g));
@@ -165,6 +214,15 @@ fn cmd_stats(args: &[String]) -> CliResult {
     let g = load_graph(path)?;
     println!("{}", GraphStats::of(&g));
     println!("symmetric: {}", g.is_symmetric());
+    if !g.is_compressed() {
+        let c = GraphStats::of(&g.compress());
+        println!(
+            "compressed: {} bytes ({:.2} B/edge, {:.2}x smaller)",
+            c.size_bytes,
+            c.bytes_per_edge(),
+            GraphStats::of(&g).size_bytes as f64 / c.size_bytes as f64
+        );
+    }
     Ok(())
 }
 
@@ -222,6 +280,7 @@ fn run_tcp_cc(
     seed: u64,
     allow_shrink: bool,
     pipelined: bool,
+    store: StoreOpts,
 ) -> Result<Vec<Vec<(NodeId, u64)>>, String> {
     let exe = std::env::current_exe().map_err(|e| format!("locate own binary: {e}"))?;
     let dir = std::env::temp_dir().join(format!("kimbap-tcp-{}", std::process::id()));
@@ -245,6 +304,12 @@ fn run_tcp_cc(
         }
         if !pipelined {
             cmd.arg("--no-pipeline");
+        }
+        if !store.compressed {
+            cmd.arg("--raw");
+        }
+        if let Some(t) = store.hub_threshold {
+            cmd.args(["--hub-threshold", &t.to_string()]);
         }
         let child = cmd.spawn().map_err(|e| format!("spawn worker {h}: {e}"))?;
         children.push((h, child));
@@ -299,8 +364,9 @@ fn cmd_worker(args: &[String]) -> CliResult {
     let out = flag(args, "--out").ok_or("missing --out")?;
     let allow_shrink = args.iter().any(|a| a == "--allow-shrink");
     let pipelined = !args.iter().any(|a| a == "--no-pipeline");
+    let store = StoreOpts::parse(args)?;
     let g = load_graph(&path)?;
-    let parts = partition(&g, Policy::CartesianVertexCut, hosts);
+    let parts = partition_cfg(&g, &store.cfg(Policy::CartesianVertexCut, hosts));
     let plan = fault_plan(&faults, seed, hosts)?;
     let transport = TcpTransport::bind(host, hosts, port_base, TransportConfig::default())
         .map_err(|e| format!("host {host}: bind tcp transport: {e}"))?;
@@ -310,7 +376,8 @@ fn cmd_worker(args: &[String]) -> CliResult {
             // Elastic: re-partition from the live membership on every
             // attempt, so after a shrink the survivors cover all nodes.
             ctx.run_elastic(|ctx| {
-                let parts = partition(&g, Policy::CartesianVertexCut, ctx.num_hosts());
+                let parts =
+                    partition_cfg(&g, &store.cfg(Policy::CartesianVertexCut, ctx.num_hosts()));
                 run_cc(&algo, &parts[ctx.host()], ctx)
             })
         } else {
@@ -376,6 +443,7 @@ fn run_hosts<R: Send>(
     pipelined: bool,
     g: &Graph,
     policy: Policy,
+    store: StoreOpts,
     cluster: &Cluster,
     plan: FaultPlan,
     f: impl Fn(&kimbap_dist::DistGraph, &HostCtx) -> R + Sync,
@@ -384,12 +452,12 @@ fn run_hosts<R: Send>(
         cluster.try_run_with_faults(plan, |ctx| {
             ctx.set_pipelined(pipelined);
             ctx.run_elastic(|ctx| {
-                let parts = partition(g, policy, ctx.num_hosts());
+                let parts = partition_cfg(g, &store.cfg(policy, ctx.num_hosts()));
                 f(&parts[ctx.host()], ctx)
             })
         })
     } else {
-        let parts = partition(g, policy, cluster.num_hosts());
+        let parts = partition_cfg(g, &store.cfg(policy, cluster.num_hosts()));
         cluster.try_run_with_faults(plan, |ctx| {
             ctx.set_pipelined(pipelined);
             ctx.run_recovering(|ctx| f(&parts[ctx.host()], ctx))
@@ -411,6 +479,7 @@ enum SimOutcome {
 /// Structural validity (MIS independence/maximality, community labels)
 /// is checked against the single-threaded reference right here; exact
 /// output equality is the caller's job.
+#[allow(clippy::too_many_arguments)]
 fn sim_outcome(
     algo: &str,
     g: &Graph,
@@ -418,6 +487,7 @@ fn sim_outcome(
     plan: FaultPlan,
     elastic: bool,
     pipelined: bool,
+    store: StoreOpts,
 ) -> Result<SimOutcome, String> {
     let policy = match algo {
         "louvain" | "leiden" => Policy::EdgeCutBlocked,
@@ -428,7 +498,7 @@ fn sim_outcome(
     Ok(match algo {
         "cc-sv" | "cc-lp" | "cc-sclp" => {
             match host_values(
-                run_hosts(elastic, pipelined, g, policy, cluster, plan, |dg, ctx| {
+                run_hosts(elastic, pipelined, g, policy, store, cluster, plan, |dg, ctx| {
                     run_cc(algo, dg, ctx)
                 }),
                 elastic,
@@ -439,7 +509,7 @@ fn sim_outcome(
         }
         "mis" => {
             match host_values(
-                run_hosts(elastic, pipelined, g, policy, cluster, plan, |dg, ctx| {
+                run_hosts(elastic, pipelined, g, policy, store, cluster, plan, |dg, ctx| {
                     mis(dg, ctx, &b)
                 }),
                 elastic,
@@ -454,7 +524,7 @@ fn sim_outcome(
         }
         "msf" => {
             match host_values(
-                run_hosts(elastic, pipelined, g, policy, cluster, plan, |dg, ctx| {
+                run_hosts(elastic, pipelined, g, policy, store, cluster, plan, |dg, ctx| {
                     msf(dg, ctx, &b)
                 }),
                 elastic,
@@ -474,7 +544,7 @@ fn sim_outcome(
         "louvain" | "leiden" => {
             let cfg = LouvainConfig::default();
             match host_values(
-                run_hosts(elastic, pipelined, g, policy, cluster, plan, |dg, ctx| {
+                run_hosts(elastic, pipelined, g, policy, store, cluster, plan, |dg, ctx| {
                     if algo == "louvain" {
                         louvain(dg, ctx, &b, &cfg)
                     } else {
@@ -511,6 +581,7 @@ fn run_sim_seed(
     ef: usize,
     allow_shrink: bool,
     pipelined: bool,
+    store: StoreOpts,
     trace_path: Option<&str>,
     out: Option<&str>,
 ) -> Result<(SimOutcome, usize), String> {
@@ -527,6 +598,7 @@ fn run_sim_seed(
         FaultPlan::new(),
         false,
         pipelined,
+        store,
     )? {
         SimOutcome::Labels(l) => l,
         SimOutcome::Aborted(m) => return Err(format!("fault-free baseline aborted: {m}")),
@@ -548,6 +620,7 @@ fn run_sim_seed(
             FaultPlan::new(),
             false,
             pipelined,
+            store,
         )? {
             SimOutcome::Labels(l) => Some(l),
             SimOutcome::Aborted(m) => {
@@ -567,7 +640,7 @@ fn run_sim_seed(
         .sim(seed)
         .with_transport_config(simfuzz::sim_transport_config())
         .with_trace_sink(sink.clone());
-    let outcome = sim_outcome(algo, &g, &cluster, plan, allow_shrink, pipelined)?;
+    let outcome = sim_outcome(algo, &g, &cluster, plan, allow_shrink, pipelined, store)?;
     let trace = std::mem::take(&mut *sink.lock());
     if let Some(path) = trace_path {
         let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
@@ -604,6 +677,7 @@ fn cmd_sim(args: &[String]) -> CliResult {
     let nseeds: u64 = flag_num(args, "--seeds", 1)?;
     let allow_shrink = args.iter().any(|a| a == "--allow-shrink");
     let pipelined = !args.iter().any(|a| a == "--no-pipeline");
+    let store = StoreOpts::parse(args)?;
     let trace_path = flag(args, "--trace");
     let out = flag(args, "--out");
     let t = Instant::now();
@@ -622,6 +696,7 @@ fn cmd_sim(args: &[String]) -> CliResult {
             ef,
             allow_shrink,
             pipelined,
+            store,
             trace_path.as_deref(),
             out.as_deref(),
         )
@@ -644,6 +719,16 @@ fn cmd_sim(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Writes one value per line (the diffable label dump behind `--out`).
+fn write_lines<T: std::fmt::Display>(out: &str, vals: &[T]) -> Result<(), String> {
+    let f = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    let mut w = BufWriter::new(f);
+    for v in vals {
+        writeln!(w, "{v}").map_err(|e| format!("write {out}: {e}"))?;
+    }
+    Ok(())
+}
+
 fn cmd_run(args: &[String]) -> CliResult {
     let algo = args.first().ok_or("missing algorithm")?.clone();
     let path = args.get(1).ok_or("missing FILE")?.clone();
@@ -656,15 +741,18 @@ fn cmd_run(args: &[String]) -> CliResult {
     let out = flag(args, "--out");
     let allow_shrink = args.iter().any(|a| a == "--allow-shrink");
     let pipelined = !args.iter().any(|a| a == "--no-pipeline");
+    let store = StoreOpts::parse(args)?;
     let is_cc = matches!(algo.as_str(), "cc-sv" | "cc-lp" | "cc-sclp");
     if !matches!(transport.as_str(), "inproc" | "tcp") {
         return Err(format!("unknown transport '{transport}'"));
     }
-    if (transport == "tcp" || faults != "none" || out.is_some() || allow_shrink) && !is_cc {
+    if (transport == "tcp" || faults != "none" || allow_shrink) && !is_cc {
         return Err(
-            "--transport tcp, --faults, --allow-shrink, and --out support cc-* algorithms only"
-                .into(),
+            "--transport tcp, --faults, and --allow-shrink support cc-* algorithms only".into(),
         );
+    }
+    if out.is_some() && !is_cc && !matches!(algo.as_str(), "louvain" | "leiden") {
+        return Err("--out supports cc-* and louvain/leiden only".into());
     }
     if faults == "kill" && !allow_shrink {
         return Err("--faults kill is only survivable with --allow-shrink".into());
@@ -676,7 +764,12 @@ fn cmd_run(args: &[String]) -> CliResult {
         "louvain" | "leiden" => Policy::EdgeCutBlocked,
         _ => Policy::CartesianVertexCut,
     };
-    let parts = partition(&g, policy, hosts);
+    let parts = partition_cfg(&g, &store.cfg(policy, hosts));
+    println!(
+        "storage: {} ({} local bytes over {hosts} host(s))",
+        if store.compressed { "compressed" } else { "raw" },
+        parts.iter().map(|p| p.size_bytes()).sum::<usize>()
+    );
     let b = NpmBuilder::default();
     let cluster = Cluster::with_threads(hosts, threads);
     let t = Instant::now();
@@ -685,14 +778,14 @@ fn cmd_run(args: &[String]) -> CliResult {
             let per_host = if transport == "tcp" {
                 run_tcp_cc(
                     &algo, &path, hosts, threads, port_base, &faults, seed, allow_shrink,
-                    pipelined,
+                    pipelined, store,
                 )?
             } else if allow_shrink {
                 let plan = fault_plan(&faults, seed, hosts)?;
                 let res = cluster.try_run_with_faults(plan, |ctx| {
                     ctx.set_pipelined(pipelined);
                     ctx.run_elastic(|ctx| {
-                        let parts = partition(&g, policy, ctx.num_hosts());
+                        let parts = partition_cfg(&g, &store.cfg(policy, ctx.num_hosts()));
                         run_cc(&algo, &parts[ctx.host()], ctx)
                     })
                 });
@@ -716,11 +809,7 @@ fn cmd_run(args: &[String]) -> CliResult {
             };
             let labels = merge_master_values(g.num_nodes(), per_host);
             if let Some(out) = &out {
-                let f = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
-                let mut w = BufWriter::new(f);
-                for label in &labels {
-                    writeln!(w, "{label}").map_err(|e| format!("write {out}: {e}"))?;
-                }
+                write_lines(out, &labels)?;
             }
             let mut comps = labels;
             comps.sort_unstable();
@@ -763,6 +852,9 @@ fn cmd_run(args: &[String]) -> CliResult {
                 }
             });
             let labels = compose_labels(g.num_nodes(), &results);
+            if let Some(out) = &out {
+                write_lines(out, &labels)?;
+            }
             let mut comms = labels.clone();
             comms.sort_unstable();
             comms.dedup();

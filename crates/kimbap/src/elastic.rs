@@ -150,7 +150,7 @@ fn reshard(
 
     // Route every contributed pair to its owner under the re-partitioned
     // graph. Pairs are `(map, key, value)` triples of little-endian u64s.
-    let own = *partition(g, policy, new_n)[me].ownership();
+    let own = partition(g, policy, new_n)[me].ownership().clone();
     let mut out: Vec<Vec<u8>> = vec![Vec::new(); new_n];
     let encode = |state: &DurableState, out: &mut Vec<Vec<u8>>| {
         for (m, pairs) in state.maps.iter().enumerate() {

@@ -14,7 +14,9 @@ use kimbap_compiler::transform::{CompiledLoop, CompiledProgram, CompiledTop};
 use kimbap_compiler::ReadDep;
 use kimbap_dist::{DistGraph, LocalId};
 use kimbap_graph::NodeId;
-use kimbap_npm::{ChangedKeys, DynReduceOp, MapSnapshot, NodePropMap, Npm, SumReducer, Variant};
+use kimbap_npm::{
+    ChangedKeys, DynReduceOp, MapLayout, MapSnapshot, NodePropMap, Npm, SumReducer, Variant,
+};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
@@ -282,10 +284,23 @@ impl<'g> Engine<'g> {
         plan: &'g CompiledProgram,
         config: EngineConfig,
     ) -> Self {
+        // Back each map with the tightest storage layout its certified
+        // value domain allows (n is only known here): node-id labels pack
+        // to u32, tiny constant domains bitpack, everything else stays
+        // native. Only the GAR variant has dense tables to pack.
+        let n = dg.num_global_nodes();
         let maps = plan
             .maps
             .iter()
-            .map(|d| Npm::with_variant(dg, ctx, d.op, config.variant))
+            .zip(&plan.value_domains)
+            .map(|(d, dom)| {
+                let layout = if config.variant.partition_aware() {
+                    MapLayout::for_bound(dom.bound(n))
+                } else {
+                    MapLayout::Native
+                };
+                Npm::with_layout(dg, ctx, d.op, config.variant, layout)
+            })
             .collect();
         Engine {
             dg,
@@ -304,6 +319,17 @@ impl<'g> Engine<'g> {
     /// every map. Collective.
     pub fn run(self, ctx: &HostCtx) -> EngineOutput {
         self.run_from(ctx, 0)
+    }
+
+    /// The storage layout chosen for each map (certified-domain packing).
+    pub fn map_layouts(&self) -> Vec<MapLayout> {
+        self.maps.iter().map(|m| m.layout()).collect()
+    }
+
+    /// Heap bytes of every map's dense master/mirror value tables on this
+    /// host — the memory the compact layouts shrink.
+    pub fn map_table_bytes(&self) -> usize {
+        self.maps.iter().map(|m| m.table_bytes()).sum()
     }
 
     /// Runs the program starting at top-level item `start`: 0 for a fresh
@@ -940,6 +966,52 @@ mod tests {
             v
         };
         assert_eq!(get(&a), get(&b));
+    }
+
+    #[test]
+    fn certified_domains_pack_cc_labels() {
+        let g = gen::rmat(7, 4, 31);
+        let expected = kimbap_algos::refcheck::connected_components(&g);
+        let plan = compile(&programs::cc_lp(), OptLevel::Full);
+        let parts = partition(&g, Policy::EdgeCutBlocked, 2);
+        let outs = Cluster::with_threads(2, 2).run(|ctx| {
+            let dg = &parts[ctx.host()];
+            let eng = Engine::new(dg, ctx, &plan);
+            // 128 node-id labels fit in 8 bits (255 is the sentinel).
+            assert_eq!(eng.map_layouts(), vec![MapLayout::Bits(8)]);
+            let native: Npm<u64, DynReduceOp> = Npm::with_layout(
+                dg,
+                ctx,
+                plan.maps[0].op,
+                EngineConfig::default().variant,
+                MapLayout::Native,
+            );
+            assert!(
+                eng.map_table_bytes() * 4 <= native.table_bytes(),
+                "packed tables ({}B) not 4x under native ({}B)",
+                eng.map_table_bytes(),
+                native.table_bytes()
+            );
+            eng.run(ctx)
+        });
+        // Results through the packed tables match the reference.
+        assert_eq!(merged_map0(g.num_nodes(), &outs), expected);
+    }
+
+    #[test]
+    fn mis_packs_only_the_state_map() {
+        let plan = compile(&programs::mis(), OptLevel::Full);
+        let parts = partition(&gen::rmat(6, 3, 5), Policy::EdgeCutBlocked, 2);
+        Cluster::with_threads(2, 1).run(|ctx| {
+            let eng = Engine::new(&parts[ctx.host()], ctx, &plan);
+            // degree (Sum) and best (arithmetic priorities) stay native;
+            // state ∈ {0, 1, 2} bitpacks.
+            assert_eq!(
+                eng.map_layouts(),
+                vec![MapLayout::Native, MapLayout::Bits(2), MapLayout::Native]
+            );
+            eng.run(ctx)
+        });
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::bitset::ConcurrentBitset;
 use crate::ops::ReduceOp;
 use crate::partial::{PartialBuf, ThreadOwned};
+use crate::table::{MapLayout, ValueTable, WordValue};
 use crate::value::PropValue;
 use kimbap_comm::wire::{decode_slice, encode_slice, iter_decoded};
 use kimbap_comm::HostCtx;
@@ -10,7 +11,6 @@ use kimbap_dist::{DistGraph, Ownership};
 use kimbap_graph::NodeId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Which of the paper's runtime designs backs a map (§6.4).
@@ -233,55 +233,18 @@ pub enum MapSnapshot<T> {
 type BucketCell<T> = Mutex<Vec<(NodeId, T)>>;
 
 /// Canonical (master) property storage.
-enum Canonical<T> {
-    /// GAR: dense vector indexed by master offset + per-master update bits
+enum Canonical<T: PropValue> {
+    /// GAR: dense table indexed by master offset + per-master update bits
     /// (shared by the broadcast temporal invariant and the frontier delta
-    /// view).
+    /// view). The table's [`MapLayout`] packs certified small-domain
+    /// values (node-id labels, MIS states) below 8 bytes per master.
     Dense {
-        vals: Vec<T>,
+        vals: ValueTable<T>,
         updated: ConcurrentBitset,
     },
     /// Non-GAR: hash maps sharded by disjoint key range (one shard per pool
     /// thread, so the gather-reduce stays conflict-free).
     Sharded { shards: Vec<Mutex<HashMap<NodeId, T>>> },
-}
-
-/// A mutable slice writable from multiple threads at *disjoint* indices.
-struct SharedSlice<'a, T> {
-    ptr: *mut T,
-    len: usize,
-    _marker: PhantomData<&'a mut [T]>,
-}
-
-// SAFETY: callers guarantee disjoint index sets per thread (enforced by the
-// key-range partition in reduce_sync's gather phase).
-unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
-unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
-
-impl<'a, T> SharedSlice<'a, T> {
-    fn new(slice: &'a mut [T]) -> Self {
-        SharedSlice {
-            ptr: slice.as_mut_ptr(),
-            len: slice.len(),
-            _marker: PhantomData,
-        }
-    }
-
-    /// # Safety
-    ///
-    /// No two threads may pass the same `i` during one parallel region.
-    unsafe fn read_at(&self, i: usize) -> &T {
-        debug_assert!(i < self.len);
-        unsafe { &*self.ptr.add(i) }
-    }
-
-    /// # Safety
-    ///
-    /// No two threads may pass the same `i` during one parallel region.
-    unsafe fn write_at(&self, i: usize, v: T) {
-        debug_assert!(i < self.len);
-        unsafe { *self.ptr.add(i) = v }
-    }
 }
 
 /// Disjoint-range assignment of global keys to `parts` workers.
@@ -311,8 +274,8 @@ enum FastOwn {
 impl FastOwn {
     fn new(own: &Ownership, host: usize) -> Self {
         let len = own.num_masters(host) as u32;
-        match *own {
-            Ownership::Blocked { .. } => {
+        match own.scheme() {
+            kimbap_dist::Scheme::Blocked { .. } => {
                 let lo = if len == 0 {
                     // A host past the end of a short node space owns
                     // nothing; any `lo` works with `len == 0`.
@@ -322,7 +285,7 @@ impl FastOwn {
                 };
                 FastOwn::Block { lo, len }
             }
-            Ownership::Hashed { hosts, .. } => FastOwn::Mod {
+            kimbap_dist::Scheme::Hashed { hosts, .. } => FastOwn::Mod {
                 hosts: hosts as u32,
                 host: host as u32,
             },
@@ -377,8 +340,9 @@ pub struct Npm<'g, T: PropValue, Op: ReduceOp<T>> {
     /// GAR: dense mirror-value table indexed by the partition's mirror
     /// slot, with presence bits. O(1) reads for materialized mirrors; the
     /// paper's sorted-pair form survives only on the wire. Empty without
-    /// GAR.
-    mirror_vals: Vec<T>,
+    /// GAR. Shares the canonical table's [`MapLayout`], so a certified
+    /// compact layout shrinks master *and* mirror bytes together.
+    mirror_vals: ValueTable<T>,
     mirror_has: Vec<bool>,
     requests: ConcurrentBitset,
     /// CF: per-thread lock-free partial buffers (dense local range +
@@ -445,19 +409,52 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
     /// Creates a map with an explicit runtime [`Variant`] (for the §6.4
     /// ablations).
     pub fn with_variant(dg: &'g DistGraph, ctx: &HostCtx, op: Op, variant: Variant) -> Self {
+        Self::build(dg, ctx, op, variant, |len, init| {
+            ValueTable::native(len, init)
+        })
+    }
+
+    /// Creates a map whose dense master and mirror tables use `layout` —
+    /// valid only when the caller (normally the compiler's value-domain
+    /// certification) has established that every non-identity value the
+    /// map will hold fits the layout's domain; the tables assert this on
+    /// every store. Non-partition-aware variants ignore the layout (their
+    /// canonical storage is sharded hash maps).
+    pub fn with_layout(
+        dg: &'g DistGraph,
+        ctx: &HostCtx,
+        op: Op,
+        variant: Variant,
+        layout: MapLayout,
+    ) -> Self
+    where
+        T: WordValue,
+    {
+        Self::build(dg, ctx, op, variant, |len, init| {
+            ValueTable::with_layout(layout, len, init)
+        })
+    }
+
+    fn build(
+        dg: &'g DistGraph,
+        ctx: &HostCtx,
+        op: Op,
+        variant: Variant,
+        make_table: impl Fn(usize, T) -> ValueTable<T>,
+    ) -> Self {
         let n = dg.num_global_nodes();
         let host = ctx.host();
         let num_hosts = ctx.num_hosts();
         let threads = ctx.threads();
         let key_own = if variant.partition_aware() {
-            *dg.ownership()
+            dg.ownership().clone()
         } else {
             Ownership::hashed(n, num_hosts)
         };
         let canonical = if variant.partition_aware() {
             let m = key_own.num_masters(host);
             Canonical::Dense {
-                vals: vec![op.identity(); m],
+                vals: make_table(m, op.identity()),
                 updated: ConcurrentBitset::new(m),
             }
         } else {
@@ -484,9 +481,9 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
         };
         let (mirror_vals, mirror_has) = if variant.partition_aware() {
             let m = dg.num_mirrors();
-            (vec![op.identity(); m], vec![false; m])
+            (make_table(m, op.identity()), vec![false; m])
         } else {
-            (Vec::new(), Vec::new())
+            (make_table(0, op.identity()), Vec::new())
         };
         let fast_own = FastOwn::new(&key_own, host);
         let cf_local = if variant.conflict_free() {
@@ -537,6 +534,27 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
         self.variant
     }
 
+    /// The layout of the dense master/mirror tables ([`MapLayout::Native`]
+    /// for the sharded non-GAR backends, whose canonical storage has no
+    /// dense table to pack).
+    pub fn layout(&self) -> MapLayout {
+        match &self.canonical {
+            Canonical::Dense { vals, .. } => vals.layout(),
+            Canonical::Sharded { .. } => MapLayout::Native,
+        }
+    }
+
+    /// Heap bytes of the dense master and mirror value tables — the
+    /// storage a compact [`MapLayout`] shrinks. Zero for the sharded
+    /// backends (their canonical bytes live in hash maps).
+    pub fn table_bytes(&self) -> usize {
+        let canonical = match &self.canonical {
+            Canonical::Dense { vals, .. } => vals.heap_bytes(),
+            Canonical::Sharded { .. } => 0,
+        };
+        canonical + self.mirror_vals.heap_bytes()
+    }
+
     /// The map's reduction operator.
     pub fn op(&self) -> Op {
         self.op
@@ -571,7 +589,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
     fn canonical_get(&self, key: NodeId) -> T {
         debug_assert_eq!(self.key_own.owner(key), self.host);
         match &self.canonical {
-            Canonical::Dense { vals, .. } => vals[self.key_own.master_offset(key)],
+            Canonical::Dense { vals, .. } => vals.get(self.key_own.master_offset(key)),
             Canonical::Sharded { shards } => {
                 let shard = range_owner(key, self.threads, self.key_own.num_nodes());
                 shards[shard]
@@ -587,7 +605,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
         debug_assert_eq!(self.key_own.owner(key), self.host);
         match &mut self.canonical {
             Canonical::Dense { vals, .. } => {
-                vals[self.key_own.master_offset(key)] = value;
+                vals.set(self.key_own.master_offset(key), value);
             }
             Canonical::Sharded { shards } => {
                 let shard = range_owner(key, self.threads, self.key_own.num_nodes());
@@ -736,7 +754,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
     /// reconstructible there.
     pub fn snapshot(&self) -> MapSnapshot<T> {
         match &self.canonical {
-            Canonical::Dense { vals, .. } => MapSnapshot::Dense(vals.clone()),
+            Canonical::Dense { vals, .. } => MapSnapshot::Dense(vals.to_vec()),
             Canonical::Sharded { shards } => {
                 MapSnapshot::Sharded(shards.iter().map(|s| s.lock().clone()).collect())
             }
@@ -870,7 +888,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
         let threads = self.threads;
         let op = self.op;
         let fast = self.fast_own;
-        let key_own = self.key_own;
+        let key_own = self.key_own.clone();
         let num_hosts = self.num_hosts;
         let host = self.host;
         let prev_bytes = self.prev_out_bytes.clone();
@@ -970,13 +988,14 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
         let op = self.op;
         let threads = self.threads;
         let host = self.host;
-        let key_own = self.key_own;
+        let key_own = self.key_own.clone();
         let fast = self.fast_own;
         let updated_any = &self.updated;
         let local_pairs = &self.local_pairs;
         match &mut self.canonical {
             Canonical::Dense { vals, updated } => {
-                let slice = SharedSlice::new(vals.as_mut_slice());
+                let table = vals.shared();
+                let table = &table;
                 let updated = &*updated;
                 ctx.pool().run(|tid| {
                     let apply = |k: NodeId, v: T| {
@@ -985,10 +1004,10 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
                         // SAFETY: `off` is unique to this thread's key
                         // range for the duration of this parallel region.
                         unsafe {
-                            let old = *slice.read_at(off);
+                            let old = table.get_at(off);
                             let new = op.combine(old, v);
                             if new != old {
-                                slice.write_at(off, new);
+                                table.set_at(off, new);
                                 updated.set(off);
                                 updated_any.store(true, Ordering::Relaxed);
                             }
@@ -1063,7 +1082,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
             .map(|&b| Mutex::new(Vec::with_capacity(b)))
             .collect();
         {
-            let key_own = self.key_own;
+            let key_own = self.key_own.clone();
             let threads = self.threads;
             let combined = &combined;
             let per_host = &per_host;
@@ -1114,10 +1133,10 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> Npm<'g, T, Op> {
         if let Some(slot) = self.dg.mirror_slot(key) {
             let slot = slot as usize;
             if self.mirror_has[slot] {
-                if self.mirror_vals[slot] != value {
+                if self.mirror_vals.get(slot) != value {
                     self.changed_remote.push(key);
                 }
-                self.mirror_vals[slot] = value;
+                self.mirror_vals.set(slot, value);
             }
         }
     }
@@ -1171,7 +1190,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
                     self.master_reads.fetch_add(1, Ordering::Relaxed);
                 }
                 return match &self.canonical {
-                    Canonical::Dense { vals, .. } => vals[off as usize],
+                    Canonical::Dense { vals, .. } => vals.get(off as usize),
                     Canonical::Sharded { .. } => unreachable!("GAR canonical is dense"),
                 };
             }
@@ -1183,7 +1202,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
                     if self.count_reads {
                         self.remote_reads.fetch_add(1, Ordering::Relaxed);
                     }
-                    return self.mirror_vals[slot];
+                    return self.mirror_vals.get(slot);
                 }
             }
             // Requested keys without a mirror proxy (trans-vertex
@@ -1267,7 +1286,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
         // chunk-order concatenation keeps every per-host list sorted.
         let keys_by_owner: Vec<Vec<NodeId>> = {
             let requests = &self.requests;
-            let key_own = self.key_own;
+            let key_own = self.key_own.clone();
             let num_hosts = self.num_hosts;
             let num_words = requests.num_words();
             let chunk = num_words.div_ceil(self.threads).max(1);
@@ -1308,7 +1327,7 @@ impl<'g, T: PropValue, Op: ReduceOp<T>> NodePropMap<T> for Npm<'g, T, Op> {
             let mut spill: Vec<(NodeId, T)> = Vec::new();
             for (k, v) in pairs {
                 if let Some(slot) = self.dg.mirror_slot(k) {
-                    self.mirror_vals[slot as usize] = v;
+                    self.mirror_vals.set(slot as usize, v);
                     self.mirror_has[slot as usize] = true;
                 } else {
                     spill.push((k, v));
@@ -1718,6 +1737,66 @@ mod tests {
             }
         }
         out
+    }
+
+    #[test]
+    fn compact_layouts_match_native_and_shrink_tables() {
+        use crate::table::MapLayout;
+        // Same workload as the variant-parity test, but swapping the dense
+        // table layout: results must be identical, bytes must shrink.
+        let g = gen::rmat(6, 4, 9);
+        let n = g.num_nodes();
+        let parts = partition(&g, Policy::EdgeCutBlocked, 3);
+        let run = |layout: MapLayout| {
+            let parts = &parts;
+            let per_host = Cluster::with_threads(3, 2).run(|ctx| {
+                let dg = &parts[ctx.host()];
+                let mut npm: Npm<u64, Min> =
+                    Npm::with_layout(dg, ctx, Min, Variant::SgrCfGar, layout);
+                assert_eq!(npm.layout(), layout);
+                npm.init_masters(&|g| g as u64);
+                npm.pin_mirrors(ctx);
+                ctx.par_for(0..n, |tid, range| {
+                    for i in range {
+                        npm.reduce(tid, i as NodeId, ((i * 7 + ctx.host() * 13) % 600) as u64);
+                    }
+                });
+                npm.reduce_sync(ctx);
+                npm.broadcast_sync(ctx);
+                // Snapshot/restore must round-trip through the packed
+                // representation (the checkpoint path).
+                let snap = npm.snapshot();
+                npm.restore(&snap);
+                npm.pin_mirrors(ctx);
+                let mirrors: Vec<u64> =
+                    dg.mirror_globals().iter().map(|&m| npm.read(m)).collect();
+                let masters: Vec<(NodeId, u64)> = (0..npm.key_own.num_masters(ctx.host()))
+                    .map(|i| {
+                        let g = npm.key_own.master_at(ctx.host(), i);
+                        (g, npm.canonical_get(g))
+                    })
+                    .collect();
+                (masters, mirrors, npm.table_bytes())
+            });
+            per_host
+        };
+        let native = run(MapLayout::Native);
+        for layout in [MapLayout::U32, MapLayout::Bits(16)] {
+            let packed = run(layout);
+            for (h, (nat, pck)) in native.iter().zip(&packed).enumerate() {
+                assert_eq!(nat.0, pck.0, "host {h} masters diverged under {layout}");
+                assert_eq!(nat.1, pck.1, "host {h} mirrors diverged under {layout}");
+                // Bits(16) rounds up to whole u64 words, so small tables
+                // land just under the ideal 4x.
+                let shrink = if layout == MapLayout::U32 { 2 } else { 3 };
+                assert!(
+                    pck.2 * shrink <= nat.2,
+                    "host {h}: {layout} tables ({}B) not {shrink}x under native ({}B)",
+                    pck.2,
+                    nat.2
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,616 @@
+//! Compact backing storage for dense master/mirror value tables.
+//!
+//! The paper's node-property map stores every master property in a dense
+//! `Vec<T>` (and mirrors likewise). For label-typed maps that is 8 bytes
+//! per node even when the compiler can certify the value domain fits in
+//! 32 bits (connected-components labels are node ids) or in a couple of
+//! bits (MIS states are `{0, 1, 2}`). [`ValueTable`] keeps the dense
+//! addressing but lets the map choose a packed representation per
+//! [`MapLayout`], halving (or better) master+mirror table bytes where the
+//! domain allows.
+//!
+//! # The sentinel contract
+//!
+//! Both compact layouts reserve their all-ones pattern as a sentinel that
+//! round-trips `u64::MAX` — the identity of `Min` reductions. A layout is
+//! therefore valid for a map when every *other* value the map can hold is
+//! strictly below the sentinel (`< u32::MAX` for [`MapLayout::U32`],
+//! `< 2^w − 1` for [`MapLayout::Bits`]). The compiler's value-domain
+//! certification (`kimbap-compiler`) establishes this bound statically;
+//! the table still asserts it on every store, so a mis-certified program
+//! panics instead of silently truncating.
+
+use crate::value::PropValue;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Property types that round-trip through a `u64` word — the gate on
+/// compact layouts. Implemented for the integer property types the
+/// compiled-program engine uses; maps over other types (tuples, floats)
+/// always use the native layout.
+pub trait WordValue: PropValue {
+    /// The value as a word.
+    fn to_word(self) -> u64;
+    /// Inverse of [`WordValue::to_word`].
+    fn from_word(w: u64) -> Self;
+}
+
+impl WordValue for u64 {
+    fn to_word(self) -> u64 {
+        self
+    }
+
+    fn from_word(w: u64) -> Self {
+        w
+    }
+}
+
+impl WordValue for u32 {
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+
+    fn from_word(w: u64) -> Self {
+        debug_assert!(w == u64::MAX || w <= u32::MAX as u64);
+        w as u32
+    }
+}
+
+/// How a dense value table is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MapLayout {
+    /// One `T` per entry (the paper's layout; always valid).
+    #[default]
+    Native,
+    /// One `u32` per entry; `u64::MAX ↔ u32::MAX` sentinel. Valid when
+    /// every non-identity value is `< u32::MAX` — e.g. node-id labels.
+    U32,
+    /// `width` bits per entry packed into `u64` words; the all-ones field
+    /// is the `u64::MAX` sentinel. `width` must divide 64 (1, 2, 4, 8,
+    /// 16, 32) so no field straddles a word. Valid when every
+    /// non-identity value is `< 2^width − 1` — e.g. MIS's 3-state map at
+    /// `width = 2`.
+    Bits(u32),
+}
+
+impl MapLayout {
+    /// The tightest layout for a map whose non-identity values are
+    /// certified `≤ bound` (`None` = uncertified → native). `u64::MAX`
+    /// (the `Min` identity) is representable under every layout via the
+    /// sentinel, so it is deliberately outside `bound`.
+    pub fn for_bound(bound: Option<u64>) -> MapLayout {
+        let Some(bound) = bound else {
+            return MapLayout::Native;
+        };
+        for width in [1u32, 2, 4, 8, 16] {
+            if bound < (1u64 << width) - 1 {
+                return MapLayout::Bits(width);
+            }
+        }
+        if bound < u32::MAX as u64 {
+            MapLayout::U32
+        } else {
+            MapLayout::Native
+        }
+    }
+
+    /// Bits per stored entry (native counts `size_of::<u64>()`; callers
+    /// with a differently sized `T` should use [`ValueTable::heap_bytes`]).
+    pub fn bits_per_entry(self) -> u32 {
+        match self {
+            MapLayout::Native => 64,
+            MapLayout::U32 => 32,
+            MapLayout::Bits(w) => w,
+        }
+    }
+}
+
+impl std::fmt::Display for MapLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapLayout::Native => f.write_str("native"),
+            MapLayout::U32 => f.write_str("u32"),
+            MapLayout::Bits(w) => write!(f, "bits{w}"),
+        }
+    }
+}
+
+fn pack_u32(w: u64) -> u32 {
+    if w == u64::MAX {
+        u32::MAX
+    } else {
+        assert!(
+            w < u32::MAX as u64,
+            "value {w} outside the certified u32 layout domain"
+        );
+        w as u32
+    }
+}
+
+fn unpack_u32(p: u32) -> u64 {
+    if p == u32::MAX {
+        u64::MAX
+    } else {
+        p as u64
+    }
+}
+
+fn pack_bits(w: u64, mask: u64) -> u64 {
+    if w == u64::MAX {
+        mask
+    } else {
+        assert!(w < mask, "value {w} outside the certified {mask:#x}-mask bit layout domain");
+        w
+    }
+}
+
+fn unpack_bits(field: u64, mask: u64) -> u64 {
+    if field == mask {
+        u64::MAX
+    } else {
+        field
+    }
+}
+
+/// A dense, index-addressed value table with a choice of packed backing
+/// stores (see the module docs). The API mirrors the `Vec<T>` operations
+/// the node-property map uses: indexed get/set, fill, and whole-table
+/// import/export for checkpoints.
+pub struct ValueTable<T: PropValue> {
+    repr: Repr<T>,
+}
+
+enum Repr<T> {
+    Native(Vec<T>),
+    U32 {
+        words: Vec<u32>,
+        to: fn(T) -> u64,
+        from: fn(u64) -> T,
+    },
+    Bits {
+        /// Atomic so the gather-reduce can CAS sub-word fields whose
+        /// word is shared across the threads' disjoint index ranges.
+        words: Vec<AtomicU64>,
+        width: u32,
+        len: usize,
+        to: fn(T) -> u64,
+        from: fn(u64) -> T,
+    },
+}
+
+fn to_word_of<T: WordValue>(v: T) -> u64 {
+    v.to_word()
+}
+
+fn from_word_of<T: WordValue>(w: u64) -> T {
+    T::from_word(w)
+}
+
+impl<T: PropValue> ValueTable<T> {
+    /// A native (`Vec<T>`) table of `len` copies of `init` — valid for
+    /// every property type.
+    pub fn native(len: usize, init: T) -> Self {
+        ValueTable {
+            repr: Repr::Native(vec![init; len]),
+        }
+    }
+
+    /// A table in the given layout. Compact layouts require a word-typed
+    /// property; `init` (normally the reduction identity) must be
+    /// representable, which every layout guarantees for `u64::MAX` and
+    /// for values within the certified bound.
+    pub fn with_layout(layout: MapLayout, len: usize, init: T) -> Self
+    where
+        T: WordValue,
+    {
+        let repr = match layout {
+            MapLayout::Native => Repr::Native(vec![init; len]),
+            MapLayout::U32 => Repr::U32 {
+                words: vec![pack_u32(init.to_word()); len],
+                to: to_word_of::<T>,
+                from: from_word_of::<T>,
+            },
+            MapLayout::Bits(width) => {
+                assert!(
+                    width > 0 && width < 64 && 64 % width == 0,
+                    "bit width {width} must divide 64"
+                );
+                let mask = (1u64 << width) - 1;
+                let field = pack_bits(init.to_word(), mask);
+                let mut word = 0u64;
+                for i in 0..(64 / width) {
+                    word |= field << (i * width);
+                }
+                let nwords = (len as u64 * width as u64).div_ceil(64) as usize;
+                Repr::Bits {
+                    words: (0..nwords).map(|_| AtomicU64::new(word)).collect(),
+                    width,
+                    len,
+                    to: to_word_of::<T>,
+                    from: from_word_of::<T>,
+                }
+            }
+        };
+        ValueTable { repr }
+    }
+
+    /// The layout this table stores under.
+    pub fn layout(&self) -> MapLayout {
+        match &self.repr {
+            Repr::Native(_) => MapLayout::Native,
+            Repr::U32 { .. } => MapLayout::U32,
+            Repr::Bits { width, .. } => MapLayout::Bits(*width),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Native(v) => v.len(),
+            Repr::U32 { words, .. } => words.len(),
+            Repr::Bits { len, .. } => *len,
+        }
+    }
+
+    /// `true` if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Heap bytes behind the table (capacity-based, like the graph's size
+    /// accounting).
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Native(v) => v.capacity() * std::mem::size_of::<T>(),
+            Repr::U32 { words, .. } => words.capacity() * 4,
+            Repr::Bits { words, .. } => words.capacity() * 8,
+        }
+    }
+
+    /// The value at `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        match &self.repr {
+            Repr::Native(v) => v[i],
+            Repr::U32 { words, from, .. } => from(unpack_u32(words[i])),
+            Repr::Bits {
+                words,
+                width,
+                len,
+                from,
+                ..
+            } => {
+                assert!(i < *len);
+                let bit = i as u64 * *width as u64;
+                let mask = (1u64 << *width) - 1;
+                let word = words[(bit / 64) as usize].load(Ordering::Relaxed);
+                from(unpack_bits((word >> (bit % 64)) & mask, mask))
+            }
+        }
+    }
+
+    /// Stores `v` at `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: T) {
+        match &mut self.repr {
+            Repr::Native(vals) => vals[i] = v,
+            Repr::U32 { words, to, .. } => words[i] = pack_u32(to(v)),
+            Repr::Bits {
+                words,
+                width,
+                len,
+                to,
+                ..
+            } => {
+                assert!(i < *len);
+                let bit = i as u64 * *width as u64;
+                let mask = (1u64 << *width) - 1;
+                let field = pack_bits(to(v), mask);
+                let word = words[(bit / 64) as usize].get_mut();
+                let shift = bit % 64;
+                *word = (*word & !(mask << shift)) | (field << shift);
+            }
+        }
+    }
+
+    /// Sets every entry to `v`.
+    pub fn fill(&mut self, v: T) {
+        match &mut self.repr {
+            Repr::Native(vals) => vals.fill(v),
+            Repr::U32 { words, to, .. } => words.fill(pack_u32(to(v))),
+            Repr::Bits {
+                words, width, to, ..
+            } => {
+                let mask = (1u64 << *width) - 1;
+                let field = pack_bits(to(v), mask);
+                let mut word = 0u64;
+                for i in 0..(64 / *width) {
+                    word |= field << (i * *width);
+                }
+                for w in words.iter_mut() {
+                    *w.get_mut() = word;
+                }
+            }
+        }
+    }
+
+    /// Exports the table as the `Vec<T>` checkpoints and the wire use.
+    pub fn to_vec(&self) -> Vec<T> {
+        match &self.repr {
+            Repr::Native(v) => v.clone(),
+            _ => (0..self.len()).map(|i| self.get(i)).collect(),
+        }
+    }
+
+    /// Imports `src` (e.g. a checkpoint snapshot) over the whole table.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ or a value violates the layout's
+    /// certified domain.
+    pub fn copy_from_slice(&mut self, src: &[T]) {
+        assert_eq!(self.len(), src.len(), "table/source length mismatch");
+        match &mut self.repr {
+            Repr::Native(vals) => vals.copy_from_slice(src),
+            _ => {
+                for (i, &v) in src.iter().enumerate() {
+                    self.set(i, v);
+                }
+            }
+        }
+    }
+
+    /// A view for the gather-reduce's disjoint-index concurrent writes.
+    pub fn shared(&mut self) -> SharedTable<'_, T> {
+        let repr = match &mut self.repr {
+            Repr::Native(v) => SharedRepr::Native {
+                ptr: v.as_mut_ptr(),
+                len: v.len(),
+            },
+            Repr::U32 { words, to, from } => SharedRepr::U32 {
+                ptr: words.as_mut_ptr(),
+                len: words.len(),
+                to: *to,
+                from: *from,
+            },
+            Repr::Bits {
+                words,
+                width,
+                len,
+                to,
+                from,
+            } => SharedRepr::Bits {
+                words,
+                width: *width,
+                len: *len,
+                to: *to,
+                from: *from,
+            },
+        };
+        SharedTable {
+            repr,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: PropValue> std::fmt::Debug for ValueTable<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ValueTable")
+            .field("layout", &self.layout())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// A [`ValueTable`] view writable from multiple threads at *disjoint*
+/// indices — the compact-layout generalization of the map's shared-slice
+/// gather. Packed layouts may share a backing word between two threads'
+/// index ranges: `U32` words are still written whole (4-byte stores don't
+/// tear neighboring entries), and `Bits` fields go through a CAS so
+/// concurrent sub-word updates merge instead of clobbering.
+pub struct SharedTable<'a, T: PropValue> {
+    repr: SharedRepr<'a, T>,
+    _marker: std::marker::PhantomData<&'a mut ()>,
+}
+
+enum SharedRepr<'a, T> {
+    Native {
+        ptr: *mut T,
+        len: usize,
+    },
+    U32 {
+        ptr: *mut u32,
+        len: usize,
+        to: fn(T) -> u64,
+        from: fn(u64) -> T,
+    },
+    Bits {
+        words: &'a [AtomicU64],
+        width: u32,
+        len: usize,
+        to: fn(T) -> u64,
+        from: fn(u64) -> T,
+    },
+}
+
+// SAFETY: callers guarantee disjoint index sets per thread (the key-range
+// partition in reduce_sync's gather phase); word-sharing across ranges is
+// handled per-variant as documented on `SharedTable`.
+unsafe impl<T: Send> Sync for SharedRepr<'_, T> {}
+unsafe impl<T: Send> Send for SharedRepr<'_, T> {}
+
+impl<T: PropValue> SharedTable<'_, T> {
+    /// # Safety
+    ///
+    /// No two threads may pass the same `i` during one parallel region.
+    #[inline]
+    pub unsafe fn get_at(&self, i: usize) -> T {
+        match &self.repr {
+            SharedRepr::Native { ptr, len } => {
+                debug_assert!(i < *len);
+                unsafe { *ptr.add(i) }
+            }
+            SharedRepr::U32 { ptr, len, from, .. } => {
+                debug_assert!(i < *len);
+                from(unpack_u32(unsafe { *ptr.add(i) }))
+            }
+            SharedRepr::Bits {
+                words,
+                width,
+                len,
+                from,
+                ..
+            } => {
+                debug_assert!(i < *len);
+                let bit = i as u64 * *width as u64;
+                let mask = (1u64 << *width) - 1;
+                let word = words[(bit / 64) as usize].load(Ordering::Relaxed);
+                from(unpack_bits((word >> (bit % 64)) & mask, mask))
+            }
+        }
+    }
+
+    /// # Safety
+    ///
+    /// No two threads may pass the same `i` during one parallel region.
+    #[inline]
+    pub unsafe fn set_at(&self, i: usize, v: T) {
+        match &self.repr {
+            SharedRepr::Native { ptr, len } => {
+                debug_assert!(i < *len);
+                unsafe { *ptr.add(i) = v }
+            }
+            SharedRepr::U32 { ptr, len, to, .. } => {
+                debug_assert!(i < *len);
+                unsafe { *ptr.add(i) = pack_u32(to(v)) }
+            }
+            SharedRepr::Bits {
+                words,
+                width,
+                len,
+                to,
+                ..
+            } => {
+                debug_assert!(i < *len);
+                let bit = i as u64 * *width as u64;
+                let mask = (1u64 << *width) - 1;
+                let field = pack_bits(to(v), mask);
+                let shift = bit % 64;
+                // CAS merge: this entry's field is exclusive to the
+                // caller, but the word may interleave other threads'
+                // concurrent fields.
+                words[(bit / 64) as usize]
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |w| {
+                        Some((w & !(mask << shift)) | (field << shift))
+                    })
+                    .expect("fetch_update closure never fails");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_resolution_tightens_with_bound() {
+        assert_eq!(MapLayout::for_bound(None), MapLayout::Native);
+        assert_eq!(MapLayout::for_bound(Some(0)), MapLayout::Bits(1));
+        assert_eq!(MapLayout::for_bound(Some(2)), MapLayout::Bits(2));
+        assert_eq!(MapLayout::for_bound(Some(200)), MapLayout::Bits(8));
+        assert_eq!(MapLayout::for_bound(Some(65_000)), MapLayout::Bits(16));
+        assert_eq!(MapLayout::for_bound(Some(1 << 20)), MapLayout::U32);
+        assert_eq!(
+            MapLayout::for_bound(Some(u32::MAX as u64)),
+            MapLayout::Native
+        );
+    }
+
+    #[test]
+    fn all_layouts_roundtrip_values_and_sentinel() {
+        for layout in [
+            MapLayout::Native,
+            MapLayout::U32,
+            MapLayout::Bits(2),
+            MapLayout::Bits(16),
+        ] {
+            let dom = match layout {
+                MapLayout::Bits(w) => (1u64 << w) - 2,
+                _ => 1000,
+            };
+            let mut t: ValueTable<u64> = ValueTable::with_layout(layout, 100, u64::MAX);
+            assert_eq!(t.len(), 100);
+            assert!((0..100).all(|i| t.get(i) == u64::MAX), "{layout}");
+            for i in 0..100 {
+                t.set(i, (i as u64) % (dom + 1));
+            }
+            t.set(7, u64::MAX);
+            for i in 0..100 {
+                let want = if i == 7 { u64::MAX } else { (i as u64) % (dom + 1) };
+                assert_eq!(t.get(i), want, "{layout} idx {i}");
+            }
+            let v = t.to_vec();
+            let mut t2: ValueTable<u64> = ValueTable::with_layout(layout, 100, 0);
+            t2.copy_from_slice(&v);
+            assert!((0..100).all(|i| t2.get(i) == t.get(i)));
+        }
+    }
+
+    #[test]
+    fn compact_layouts_shrink_heap_bytes() {
+        let native: ValueTable<u64> = ValueTable::native(1024, 0);
+        let u32t: ValueTable<u64> = ValueTable::with_layout(MapLayout::U32, 1024, 0);
+        let bits2: ValueTable<u64> = ValueTable::with_layout(MapLayout::Bits(2), 1024, 0);
+        assert_eq!(native.heap_bytes(), 8 * 1024);
+        assert_eq!(u32t.heap_bytes(), 4 * 1024); // half of native
+        assert_eq!(bits2.heap_bytes(), 2 * 1024 / 8); // 1/32 of native
+    }
+
+    #[test]
+    fn fill_spans_word_tails() {
+        let mut t: ValueTable<u64> = ValueTable::with_layout(MapLayout::Bits(2), 33, 0);
+        t.fill(2);
+        assert!((0..33).all(|i| t.get(i) == 2));
+        t.fill(u64::MAX);
+        assert!((0..33).all(|i| t.get(i) == u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the certified")]
+    fn out_of_domain_store_panics() {
+        let mut t: ValueTable<u64> = ValueTable::with_layout(MapLayout::Bits(2), 8, 0);
+        t.set(0, 3); // 3 is the width-2 sentinel pattern, reserved
+    }
+
+    #[test]
+    fn shared_view_bits_cas_merges_neighbors() {
+        // Two "threads" interleave on fields of the same backing word.
+        let mut t: ValueTable<u64> = ValueTable::with_layout(MapLayout::Bits(2), 64, 0);
+        {
+            let shared = t.shared();
+            std::thread::scope(|s| {
+                let sh = &shared;
+                s.spawn(move || {
+                    for i in (0..64).step_by(2) {
+                        unsafe { sh.set_at(i, 1) };
+                    }
+                });
+                s.spawn(move || {
+                    for i in (1..64).step_by(2) {
+                        unsafe { sh.set_at(i, 2) };
+                    }
+                });
+            });
+        }
+        assert!((0..64).all(|i| t.get(i) == if i % 2 == 0 { 1 } else { 2 }));
+    }
+
+    #[test]
+    fn u32_table_roundtrips_u32_values() {
+        let mut t: ValueTable<u32> = ValueTable::with_layout(MapLayout::Bits(8), 10, 0);
+        t.set(3, 200);
+        assert_eq!(t.get(3), 200);
+        assert_eq!(t.to_vec()[3], 200);
+    }
+}

@@ -24,6 +24,7 @@ export KIMBAP_BENCH_JSON="$TMP_JSONL"
 if [ "$SMOKE" = 1 ]; then
     export KIMBAP_SCALE=tiny KIMBAP_SKIP_MC=1 KIMBAP_HOSTS_MEDIUM=2 KIMBAP_BENCH_SMOKE=1
     cargo bench -q -p kimbap-bench --bench fig11_runtime_variants
+    cargo bench -q -p kimbap-bench --bench max_graph_size
     # The frontier bench asserts internally that rounds after round 2 ran a
     # strict subset of the node space; here we additionally check that its
     # records made it into the JSONL with the sparse flag set.
@@ -49,6 +50,22 @@ if [ "$SMOKE" = 1 ]; then
         echo "bench smoke: serial ablation should report zero overlap" >&2
         exit 1
     fi
+    # Compressed storage tier: every run record must carry the footprint
+    # columns, and the size records must show compressed beating raw.
+    if ! grep '"bench":"fig11_runtime_variants"' "$TMP_JSONL" \
+            | grep -q '"graph_bytes":[1-9][0-9]*,"max_host_graph_bytes":[1-9]'; then
+        echo "bench smoke: run records missing graph_bytes columns" >&2
+        exit 1
+    fi
+    if ! grep -q '"bench":"max_graph_size".*"system":"compressed".*"bytes_per_edge"' "$TMP_JSONL"; then
+        echo "bench smoke: no compressed size record emitted" >&2
+        exit 1
+    fi
+    if ! grep '"bench":"fig11_runtime_variants"' "$TMP_JSONL" \
+            | grep -q '"peak_rss_bytes":[1-9]'; then
+        echo "bench smoke: peak_rss_bytes not recorded" >&2
+        exit 1
+    fi
     lines=$(wc -l < "$TMP_JSONL")
     if [ "$lines" -lt 1 ]; then
         echo "bench smoke: no JSON records produced" >&2
@@ -62,8 +79,15 @@ cargo bench -q -p kimbap-bench --bench micro_npm
 cargo bench -q -p kimbap-bench --bench fig11_runtime_variants
 cargo bench -q -p kimbap-bench --bench table3_single_host
 cargo bench -q -p kimbap-bench --bench frontier_cclp
+cargo bench -q -p kimbap-bench --bench max_graph_size
 
+# Never clobber an already-tracked file from an earlier run the same day.
 OUT="BENCH_$(date +%F).json"
+n=2
+while [ -e "$OUT" ]; do
+    OUT="BENCH_$(date +%F).$n.json"
+    n=$((n + 1))
+done
 {
     echo "{"
     echo "  \"date\": \"$(date +%F)\","

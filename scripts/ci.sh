@@ -75,6 +75,41 @@ echo "==> TCP kill smoke (worker 1 killed mid-run; survivors' output diffed)"
 diff "$SMOKE_DIR/clean.txt" "$SMOKE_DIR/degraded.txt"
 echo "    degraded (3-host) and fault-free (4-host) labels identical"
 
+echo "==> compressed-vs-raw smoke (cc-lp + louvain, inproc and sim, diffed)"
+./target/release/kimbap run cc-lp "$SMOKE_DIR/g.kg" --hosts 3 --threads 2 \
+    --seed 1 --out "$SMOKE_DIR/cc-comp.txt"
+./target/release/kimbap run cc-lp "$SMOKE_DIR/g.kg" --hosts 3 --threads 2 \
+    --seed 1 --raw --out "$SMOKE_DIR/cc-raw.txt"
+diff "$SMOKE_DIR/cc-comp.txt" "$SMOKE_DIR/cc-raw.txt"
+./target/release/kimbap run louvain "$SMOKE_DIR/g.kg" --hosts 3 --threads 2 \
+    --out "$SMOKE_DIR/lv-comp.txt"
+./target/release/kimbap run louvain "$SMOKE_DIR/g.kg" --hosts 3 --threads 2 \
+    --raw --out "$SMOKE_DIR/lv-raw.txt"
+diff "$SMOKE_DIR/lv-comp.txt" "$SMOKE_DIR/lv-raw.txt"
+./target/release/kimbap sim --algo cc-lp --seed 5 --hosts 3 \
+    --out "$SMOKE_DIR/sim-cc-comp.txt"
+./target/release/kimbap sim --algo cc-lp --seed 5 --hosts 3 --raw \
+    --out "$SMOKE_DIR/sim-cc-raw.txt"
+diff "$SMOKE_DIR/sim-cc-comp.txt" "$SMOKE_DIR/sim-cc-raw.txt"
+./target/release/kimbap sim --algo louvain --seed 5 --hosts 3 \
+    --out "$SMOKE_DIR/sim-lv-comp.txt"
+./target/release/kimbap sim --algo louvain --seed 5 --hosts 3 --raw \
+    --out "$SMOKE_DIR/sim-lv-raw.txt"
+diff "$SMOKE_DIR/sim-lv-comp.txt" "$SMOKE_DIR/sim-lv-raw.txt"
+echo "    compressed and raw storage tiers produce identical outputs"
+
+echo "==> bytes-per-edge budget (unit-weight R-MAT must compress < 4 B/edge)"
+./target/release/kimbap gen --kind rmat --scale 10 --ef 8 --seed 7 \
+    --unit-weights --out "$SMOKE_DIR/unit.kg"
+stats_line=$(./target/release/kimbap stats "$SMOKE_DIR/unit.kg" | grep '^compressed:')
+echo "    $stats_line"
+bpe=$(echo "$stats_line" | sed -n 's/.*(\([0-9.]*\) B\/edge.*/\1/p')
+ratio=$(echo "$stats_line" | sed -n 's/.* \([0-9.]*\)x smaller.*/\1/p')
+awk -v b="$bpe" 'BEGIN { exit !(b != "" && b < 4.0) }' \
+    || { echo "bytes/edge budget blown: $bpe >= 4.0" >&2; exit 1; }
+awk -v r="$ratio" 'BEGIN { exit !(r != "" && r >= 2.5) }' \
+    || { echo "compression ratio too low: ${ratio}x < 2.5x" >&2; exit 1; }
+
 echo "==> bench harness smoke (tiny graph, JSON records)"
 scripts/bench.sh --smoke
 
