@@ -35,6 +35,12 @@ pub struct RunStats {
     /// Master keys received from other hosts by re-shard exchanges after
     /// a shrink (sum over hosts).
     pub resharded_keys: u64,
+    /// Hosts admitted into the membership by grow agreements (max over
+    /// hosts: every participant of the same grow counts it once).
+    pub joins: u64,
+    /// Master keys received from other hosts by grow re-shard exchanges
+    /// after a join (sum over hosts).
+    pub grow_resharded_keys: u64,
     /// Seconds in the request-compute phase (max over hosts; zero unless
     /// the workload reports phases).
     pub request_compute_secs: f64,
@@ -125,6 +131,8 @@ pub fn run_timed<R: Send>(
         stats.membership_changes = stats.membership_changes.max(s.membership_changes);
         stats.degraded_rounds = stats.degraded_rounds.max(s.degraded_rounds);
         stats.resharded_keys += s.resharded_keys;
+        stats.joins = stats.joins.max(s.joins);
+        stats.grow_resharded_keys += s.grow_resharded_keys;
         stats.request_compute_secs =
             stats.request_compute_secs.max(s.request_compute_nanos as f64 / 1e9);
         stats.request_sync_secs = stats.request_sync_secs.max(s.request_sync_nanos as f64 / 1e9);

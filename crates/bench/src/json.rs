@@ -44,6 +44,7 @@ fn record_run_to(path: &str, bench: &str, case: &str, system: &str, hosts: usize
                 "\"heartbeat_suspicions\":{},\"timeout_aborts\":{},",
                 "\"membership_changes\":{},\"degraded_rounds\":{},",
                 "\"resharded_keys\":{},",
+                "\"joins\":{},\"grow_resharded_keys\":{},",
                 "\"request_compute_secs\":{:.6},\"request_sync_secs\":{:.6},",
                 "\"reduce_compute_secs\":{:.6},\"reduce_sync_secs\":{:.6},",
                 "\"overlap_secs\":{:.6},\"chunks_sent\":{},\"chunk_retransmits\":{},",
@@ -65,6 +66,8 @@ fn record_run_to(path: &str, bench: &str, case: &str, system: &str, hosts: usize
             s.membership_changes,
             s.degraded_rounds,
             s.resharded_keys,
+            s.joins,
+            s.grow_resharded_keys,
             s.request_compute_secs,
             s.request_sync_secs,
             s.reduce_compute_secs,
@@ -235,6 +238,8 @@ mod tests {
             membership_changes: 1,
             degraded_rounds: 5,
             resharded_keys: 128,
+            joins: 1,
+            grow_resharded_keys: 64,
             reduce_sync_secs: 0.125,
             overlap_secs: 0.0625,
             chunks_sent: 96,
@@ -293,6 +298,7 @@ mod tests {
         assert!(lines[0].contains("\"heartbeat_suspicions\":0,\"timeout_aborts\":0"));
         assert!(lines[0]
             .contains("\"membership_changes\":1,\"degraded_rounds\":5,\"resharded_keys\":128"));
+        assert!(lines[0].contains("\"joins\":1,\"grow_resharded_keys\":64"));
         assert!(lines[0].contains("\"reduce_sync_secs\":0.125000"));
         assert!(lines[0]
             .contains("\"overlap_secs\":0.062500,\"chunks_sent\":96,\"chunk_retransmits\":2"));

@@ -104,6 +104,13 @@ pub struct HostStats {
     /// departed host's state (engines report these via
     /// [`HostCtx::add_resharded_keys`]).
     pub resharded_keys: u64,
+    /// Hosts admitted by grow agreements this host took part in (one per
+    /// admitted host; see [`HostCtx::recover_grow`]).
+    pub joins: u64,
+    /// Master keys this host sent or received while re-sharding onto a
+    /// grown membership (engines report these via
+    /// [`HostCtx::add_grow_resharded_keys`]).
+    pub grow_resharded_keys: u64,
     /// Physical chunk frames sent to other hosts (data chunks plus one
     /// stream terminator per destination per exchange; first transmissions
     /// only — re-sends count in `chunk_retransmits`).
@@ -161,6 +168,10 @@ impl HostStats {
         self.membership_changes = self.membership_changes.max(other.membership_changes);
         self.degraded_rounds = self.degraded_rounds.max(other.degraded_rounds);
         self.resharded_keys += other.resharded_keys;
+        // Joins, like shrinks, are cluster-wide events every member counts
+        // once: max. Grow re-shard keys are per-host transfer work: sum.
+        self.joins = self.joins.max(other.joins);
+        self.grow_resharded_keys += other.grow_resharded_keys;
         // Chunk frames are traffic: sum. Overlap, like the phase times,
         // answers "how long did the cluster hide wire I/O behind compute"
         // — the slowest host gates the round, so max.
@@ -320,6 +331,25 @@ pub struct ShrinkOutcome {
     /// The old membership size.
     pub old_count: usize,
     /// The new membership generation (bumped by this shrink).
+    pub generation: u64,
+}
+
+/// The agreed outcome of a membership grow ([`HostCtx::recover_grow`] /
+/// [`HostCtx::join_cluster`]): who was admitted and where this host stood
+/// in the pre-grow membership, so re-shard code can route master keys to
+/// the expanded owner set deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrowOutcome {
+    /// Physical host ids admitted by this grow (empty when the gate fired
+    /// after every knocker retracted or died).
+    pub joined: Vec<usize>,
+    /// This host's logical rank in the pre-grow membership, or
+    /// `old_count` for a host that joined in this very grow (it owned
+    /// nothing before).
+    pub my_old_rank: usize,
+    /// The pre-grow membership size.
+    pub old_count: usize,
+    /// The new membership generation (bumped by this grow).
     pub generation: u64,
 }
 
@@ -536,10 +566,15 @@ impl Cluster {
         // One FaultState shared by every host, whichever backend carries
         // the bytes: the same seeded plan fires the same schedule over the
         // in-proc fabric and the TCP loopback mesh.
+        let latent = plan.latent_hosts();
         let faults = Arc::new(FaultState::new(plan));
         match self.backend {
             Backend::InProc => {
-                let fabric = Arc::new(InProcFabric::new(self.num_hosts, self.transport_cfg.clone()));
+                let fabric = Arc::new(InProcFabric::new_with_latent(
+                    self.num_hosts,
+                    self.transport_cfg.clone(),
+                    &latent,
+                ));
                 std::thread::scope(|scope| {
                     let mut handles = Vec::with_capacity(self.num_hosts);
                     for host in 0..self.num_hosts {
@@ -575,12 +610,13 @@ impl Cluster {
                         let f = &f;
                         let threads = self.threads_per_host;
                         let num_hosts = self.num_hosts;
+                        let latent = latent.clone();
                         handles.push(
                             std::thread::Builder::new()
                                 .name(format!("kimbap-host-{host}"))
                                 .spawn_scoped(scope, move || {
-                                    let transport = TcpTransport::with_listener(
-                                        host, num_hosts, listener, &ports, cfg,
+                                    let transport = TcpTransport::with_listener_with_latent(
+                                        host, num_hosts, listener, &ports, cfg, &latent,
                                     )
                                     .expect("failed to build tcp loopback mesh");
                                     run_host(&transport, threads, faults, |ctx| f(ctx))
@@ -595,10 +631,11 @@ impl Cluster {
                 })
             }
             Backend::Sim { seed } => {
-                let fabric = Arc::new(SimFabric::new(
+                let fabric = Arc::new(SimFabric::new_with_latent(
                     self.num_hosts,
                     self.transport_cfg.clone(),
                     seed,
+                    &latent,
                 ));
                 let results = std::thread::scope(|scope| {
                     let mut handles = Vec::with_capacity(self.num_hosts);
@@ -658,9 +695,22 @@ where
 {
     let host = transport.host();
     let num_hosts = transport.num_hosts();
+    // Latent hosts (declared joiners) are capacity, not members: they are
+    // masked out of the initial membership and only enter via a grow
+    // agreement. `initial_members` is the degradation baseline — a cluster
+    // launched with latent capacity is not "degraded" merely because the
+    // capacity has not joined yet.
+    let latent = transport.latent_hosts();
+    let mut init_mask = full_mask(num_hosts);
+    for &h in &latent {
+        if h < 64 {
+            init_mask &= !(1u64 << h);
+        }
+    }
     let ctx = HostCtx {
         host,
         num_hosts,
+        initial_members: num_hosts - latent.len(),
         transport,
         faults,
         pool: WorkerPool::new(threads),
@@ -672,7 +722,7 @@ where
         round: AtomicU64::new(0),
         pipelined: std::sync::atomic::AtomicBool::new(true),
         deadline: Mutex::new(Deadline::none()),
-        member_mask: AtomicU64::new(full_mask(num_hosts)),
+        member_mask: AtomicU64::new(init_mask),
         generation: AtomicU64::new(0),
     };
     let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
@@ -723,6 +773,9 @@ where
 pub struct HostCtx<'a> {
     host: usize,
     num_hosts: usize,
+    /// Members at launch (`num_hosts` minus declared latent joiners): the
+    /// baseline [`HostCtx::degraded`] compares against.
+    initial_members: usize,
     transport: &'a dyn Transport,
     faults: Arc<FaultState>,
     pool: WorkerPool,
@@ -747,12 +800,14 @@ pub struct HostCtx<'a> {
     /// Ambient phase deadline applied by the unsuffixed collectives; the
     /// engine re-stamps it each phase from `EngineConfig::phase_timeout`.
     deadline: Mutex<Deadline>,
-    /// Bitmask of physical host ids still in the membership (bit `h` set ⇔
-    /// host `h` is a member). Starts full; [`HostCtx::recover_shrink`]
-    /// clears departed hosts' bits. Clusters of more than 64 hosts run with
-    /// a saturated mask and cannot shrink.
+    /// Bitmask of physical host ids currently in the membership (bit `h`
+    /// set ⇔ host `h` is a member). Starts full minus declared latent
+    /// joiners; [`HostCtx::recover_shrink`] clears departed hosts' bits
+    /// and [`HostCtx::recover_grow`] sets admitted ones. Clusters of more
+    /// than 64 hosts run with a saturated mask and cannot change
+    /// membership.
     member_mask: AtomicU64,
-    /// Membership generation: bumped once per agreed shrink.
+    /// Membership generation: bumped once per agreed shrink or grow.
     generation: AtomicU64,
 }
 
@@ -776,6 +831,8 @@ struct StatCells {
     membership_changes: AtomicU64,
     degraded_rounds: AtomicU64,
     resharded_keys: AtomicU64,
+    joins: AtomicU64,
+    grow_resharded_keys: AtomicU64,
     chunks_sent: AtomicU64,
     chunk_retransmits: AtomicU64,
     overlap_nanos: AtomicU64,
@@ -832,9 +889,11 @@ impl<'a> HostCtx<'a> {
         self.transport.departed_hosts()
     }
 
-    /// Whether the membership has shrunk below the launched cluster size.
+    /// Whether the membership has shrunk below the launch-time member
+    /// count (latent capacity that never joined does not count as
+    /// degradation, and a join can lift a shrunk cluster back to health).
     fn degraded(&self) -> bool {
-        self.member_mask.load(Ordering::Relaxed) != full_mask(self.num_hosts)
+        self.num_hosts() < self.initial_members
     }
 
     /// Number of intra-host compute threads.
@@ -1635,6 +1694,149 @@ impl<'a> HostCtx<'a> {
         })
     }
 
+    /// Whether this host is currently in the membership. `false` for a
+    /// declared latent joiner that has not yet been admitted by
+    /// [`HostCtx::join_cluster`] (and for a host excluded by a shrink
+    /// verdict it somehow survived, which cannot happen under the normal
+    /// harness).
+    pub fn is_member(&self) -> bool {
+        in_mask(self.member_mask.load(Ordering::Relaxed), self.host)
+    }
+
+    /// The fault plan's declared join delay for this host, if it launches
+    /// latent ([`crate::FaultPlan::join_host`]).
+    pub fn join_delay(&self) -> Option<std::time::Duration> {
+        self.faults.join_delay(self.host)
+    }
+
+    /// Physical ids of latent hosts currently knocking to join. Members
+    /// poll this (cheap, lock-only) once per round to decide when to stop
+    /// at a grow gate.
+    pub fn pending_joins(&self) -> Vec<usize> {
+        self.transport.pending_joiners()
+    }
+
+    /// Applies an agreed grow verdict to this host's membership view and
+    /// heals the transport onto the expanded host set. Shared tail of
+    /// [`HostCtx::recover_grow`] and [`HostCtx::join_cluster`].
+    fn apply_grow_verdict(
+        &self,
+        verdict: crate::transport::GrowVerdict,
+        my_old_rank: usize,
+        old_count: usize,
+    ) -> Result<GrowOutcome, CommError> {
+        self.member_mask.store(verdict.members, Ordering::Relaxed);
+        // Every participant (member or joiner) lands on the same
+        // generation: one past the highest generation any participant
+        // carried into the gate.
+        let generation = verdict.generation + 1;
+        self.generation.store(generation, Ordering::Relaxed);
+        self.stats.membership_changes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .joins
+            .fetch_add(verdict.joined.len() as u64, Ordering::Relaxed);
+        // Clear protocol state exactly like a shrink: sequence numbers and
+        // retained outboxes restart from zero on the new membership.
+        for h in 0..self.num_hosts {
+            self.outbox[h].lock().clear();
+            self.delayed[h].lock().clear();
+            self.send_seq[h].store(0, Ordering::Relaxed);
+            self.recv_seq[h].store(0, Ordering::Relaxed);
+        }
+        self.round.store(0, Ordering::Relaxed);
+        self.transport.recover_reset();
+        self.transport.grow_heal(&Deadline::none())?;
+        Ok(GrowOutcome {
+            joined: verdict.joined,
+            my_old_rank,
+            old_count,
+            generation,
+        })
+    }
+
+    /// Agrees a membership grow with the other members, admitting every
+    /// latent host currently knocking ([`HostCtx::pending_joins`]), and
+    /// heals the transport onto the expanded host set. The mirror of
+    /// [`HostCtx::recover_shrink`]: the admitted hosts enter every future
+    /// collective, the membership generation is bumped, and logical ranks
+    /// are re-compacted over the expanded membership.
+    ///
+    /// Must be called by **every** member at the same point in the round
+    /// structure (it contains barriers); the joiners concurrently sit in
+    /// [`HostCtx::join_cluster`]. The gate is bounded — a joiner that
+    /// crashes mid-knock cannot wedge the members (the verdict may then
+    /// admit nobody, which is reported as a normal outcome with an empty
+    /// `joined`).
+    pub fn recover_grow(&self) -> Result<GrowOutcome, CommError> {
+        if self.num_hosts > 64 {
+            return Err(CommError::Protocol {
+                detail: "membership grow supports at most 64 hosts".to_string(),
+            });
+        }
+        self.set_deadline(Deadline::none());
+        let my_old_rank = self.host();
+        let old_count = self.num_hosts();
+        let deadline = Deadline::after("grow", std::time::Duration::from_secs(30));
+        let verdict = self.transport.gate_grow(&deadline, self.generation())?;
+        self.apply_grow_verdict(verdict, my_old_rank, old_count)
+    }
+
+    /// Joins a running cluster from a latent host: knocks over the
+    /// transport, waits for the members to cut a grow verdict at their next
+    /// round boundary, and heals onto the agreed membership. Retries with
+    /// decorrelated-jitter backoff until `deadline` expires, then gives up
+    /// with a typed [`CommError::Timeout`] — a joiner never hangs silently
+    /// and its give-up never aborts the members' run (a retracted knock
+    /// simply drops out of the next verdict).
+    pub fn join_cluster(&self, deadline: &Deadline) -> Result<GrowOutcome, CommError> {
+        if self.num_hosts > 64 {
+            return Err(CommError::Protocol {
+                detail: "membership grow supports at most 64 hosts".to_string(),
+            });
+        }
+        self.set_deadline(Deadline::none());
+        let mut backoff = Backoff::reconnect(self.host);
+        loop {
+            // Knock with a bounded per-attempt window so a stalled cluster
+            // (e.g. mid-recovery) is retried rather than waited on forever.
+            let window = std::time::Duration::from_secs(2);
+            let attempt = match deadline.remaining() {
+                Some(rem) if rem.is_zero() => {
+                    return Err(CommError::Timeout {
+                        phase: "join",
+                        hosts: vec![],
+                    })
+                }
+                Some(rem) => Deadline::after("join", window.min(rem)),
+                None => Deadline::after("join", window),
+            };
+            match self.transport.gate_grow(&attempt, 0) {
+                Ok(verdict) => {
+                    // The joiner owned nothing before: its "old rank" is
+                    // one past the old membership, which had
+                    // `members - joined` hosts.
+                    let old_count = (0..self.num_hosts)
+                        .filter(|&h| in_mask(verdict.members, h))
+                        .count()
+                        - verdict.joined.len();
+                    return self.apply_grow_verdict(verdict, old_count, old_count);
+                }
+                Err(err) => {
+                    if deadline.expired() {
+                        return Err(CommError::Timeout {
+                            phase: "join",
+                            hosts: match err {
+                                CommError::Timeout { hosts, .. } => hosts,
+                                _ => vec![],
+                            },
+                        });
+                    }
+                    crate::clock::sleep(backoff.next_delay());
+                }
+            }
+        }
+    }
+
     /// Runs `f` like [`HostCtx::run_recovering`], additionally surviving
     /// **permanent** host loss: when recovery within the current membership
     /// is impossible ([`CommError::MembershipLost`]), the survivors agree a
@@ -1691,6 +1893,8 @@ impl<'a> HostCtx<'a> {
             membership_changes: self.stats.membership_changes.load(Ordering::Relaxed),
             degraded_rounds: self.stats.degraded_rounds.load(Ordering::Relaxed),
             resharded_keys: self.stats.resharded_keys.load(Ordering::Relaxed),
+            joins: self.stats.joins.load(Ordering::Relaxed),
+            grow_resharded_keys: self.stats.grow_resharded_keys.load(Ordering::Relaxed),
             chunks_sent: self.stats.chunks_sent.load(Ordering::Relaxed),
             chunk_retransmits: self.stats.chunk_retransmits.load(Ordering::Relaxed),
             overlap_nanos: self.stats.overlap_nanos.load(Ordering::Relaxed),
@@ -1717,6 +1921,8 @@ impl<'a> HostCtx<'a> {
         self.stats.membership_changes.store(0, Ordering::Relaxed);
         self.stats.degraded_rounds.store(0, Ordering::Relaxed);
         self.stats.resharded_keys.store(0, Ordering::Relaxed);
+        self.stats.joins.store(0, Ordering::Relaxed);
+        self.stats.grow_resharded_keys.store(0, Ordering::Relaxed);
         self.stats.chunks_sent.store(0, Ordering::Relaxed);
         self.stats.chunk_retransmits.store(0, Ordering::Relaxed);
         self.stats.overlap_nanos.store(0, Ordering::Relaxed);
@@ -1757,6 +1963,12 @@ impl<'a> HostCtx<'a> {
     pub fn add_traffic(&self, messages: u64, bytes: u64) {
         self.stats.messages.fetch_add(messages, Ordering::Relaxed);
         self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records master keys sent or received while re-sharding onto a grown
+    /// membership (engines report these after a join).
+    pub fn add_grow_resharded_keys(&self, keys: u64) {
+        self.stats.grow_resharded_keys.fetch_add(keys, Ordering::Relaxed);
     }
 
     /// Records master keys adopted or redistributed while re-sharding a
@@ -2600,6 +2812,153 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    // ----- live host join / membership grow -------------------------------
+
+    /// One BSP round of the membership-independent partitioned sum, folded
+    /// into `acc` (the body of `partitioned_sum`, factored so grow tests
+    /// can run different round ranges before and after a join).
+    fn sum_rounds(ctx: &HostCtx, rounds: std::ops::RangeInclusive<u64>, acc: &mut u64) {
+        for round in rounds {
+            ctx.set_round(round);
+            let k = ctx.num_hosts();
+            let me = ctx.host();
+            let local: u64 = (0..1000u64)
+                .filter(|v| (*v as usize) % k == me)
+                .map(|v| v.wrapping_mul(round))
+                .sum();
+            *acc = acc.wrapping_mul(31).wrapping_add(
+                ctx.all_reduce_u64(local, |a, b| a.wrapping_add(b)),
+            );
+        }
+    }
+
+    /// Per-round all-reduced total of the partitioned sum (membership
+    /// independent: every key is owned by exactly one member).
+    fn round_total(round: u64) -> u64 {
+        (0..1000u64).map(|v| v.wrapping_mul(round)).sum()
+    }
+
+    fn assert_grow_admits(cluster: Cluster) {
+        // A 4-host static baseline: because each round's all-reduce total
+        // is membership independent, members that live through the grow
+        // must still fold the exact same four totals.
+        let baseline = Cluster::new(4).run(partitioned_sum);
+        let plan = FaultPlan::new().join_host(3, 50);
+        let res = cluster.try_run_with_faults(plan, |ctx| {
+            let mut acc = 0u64;
+            if ctx.is_member() {
+                sum_rounds(ctx, 1..=2, &mut acc);
+                // Stop at the grow gate once the newcomer knocks.
+                while ctx.pending_joins().is_empty() {
+                    clock::sleep(Duration::from_millis(5));
+                }
+                let outcome = ctx.recover_grow().expect("grow agreement failed");
+                assert_eq!(outcome.joined, vec![3]);
+                assert_eq!(outcome.old_count, 3);
+                sum_rounds(ctx, 3..=4, &mut acc);
+            } else {
+                if let Some(d) = ctx.join_delay() {
+                    clock::sleep(d);
+                }
+                let outcome = ctx
+                    .join_cluster(&Deadline::after("join", Duration::from_secs(60)))
+                    .expect("join failed");
+                assert!(outcome.joined.contains(&ctx.physical_host()));
+                assert_eq!(outcome.old_count, 3);
+                sum_rounds(ctx, 3..=4, &mut acc);
+            }
+            (acc, ctx.stats(), ctx.members(), ctx.generation())
+        });
+        for (h, r) in res.iter().enumerate().take(3) {
+            let (v, stats, members, generation) =
+                r.as_ref().unwrap_or_else(|e| panic!("member {h}: {e}"));
+            assert_eq!(*v, baseline[0], "member {h} diverged after grow");
+            assert_eq!(members, &vec![0, 1, 2, 3]);
+            assert_eq!(*generation, 1);
+            assert_eq!(stats.membership_changes, 1);
+            assert_eq!(stats.joins, 1);
+            assert_eq!(stats.degraded_rounds, 0, "latent capacity is not degradation");
+        }
+        let (v, stats, members, generation) =
+            res[3].as_ref().unwrap_or_else(|e| panic!("joiner: {e}"));
+        assert_eq!(*v, round_total(3).wrapping_mul(31).wrapping_add(round_total(4)));
+        assert_eq!(members, &vec![0, 1, 2, 3]);
+        assert_eq!(*generation, 1);
+        assert_eq!(stats.membership_changes, 1);
+        assert_eq!(stats.joins, 1);
+    }
+
+    #[test]
+    fn latent_host_joins_inproc() {
+        assert_grow_admits(Cluster::new(4));
+    }
+
+    #[test]
+    fn latent_host_joins_sim() {
+        assert_grow_admits(Cluster::new(4).sim(123));
+    }
+
+    #[test]
+    fn latent_host_joins_tcp_loopback() {
+        assert_grow_admits(Cluster::new(4).tcp());
+    }
+
+    #[test]
+    fn latent_host_join_is_seed_reproducible() {
+        let run = || {
+            Cluster::new(4)
+                .sim(131)
+                .try_run_with_faults(FaultPlan::new().join_host(3, 40), |ctx| {
+                    let mut acc = 0u64;
+                    if ctx.is_member() {
+                        sum_rounds(ctx, 1..=2, &mut acc);
+                        while ctx.pending_joins().is_empty() {
+                            clock::sleep(Duration::from_millis(5));
+                        }
+                        ctx.recover_grow().expect("grow agreement failed");
+                    } else {
+                        if let Some(d) = ctx.join_delay() {
+                            clock::sleep(d);
+                        }
+                        ctx.join_cluster(&Deadline::after("join", Duration::from_secs(60)))
+                            .expect("join failed");
+                    }
+                    sum_rounds(ctx, 3..=4, &mut acc);
+                    (acc, ctx.members(), ctx.generation())
+                })
+                .into_iter()
+                .map(|r| r.map_err(|e| e.message))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn joiner_gives_up_with_typed_timeout() {
+        // Nobody ever stops at a grow gate: the joiner must give up with a
+        // typed timeout instead of hanging, and the members must finish
+        // their run untouched.
+        let plan = FaultPlan::new().join_host(2, 1);
+        let res = Cluster::new(3).sim(17).try_run_with_faults(plan, |ctx| {
+            if ctx.is_member() {
+                Ok(partitioned_sum(ctx))
+            } else {
+                Err(ctx
+                    .join_cluster(&Deadline::after("join", Duration::from_millis(400)))
+                    .expect_err("join against deaf members must time out"))
+            }
+        });
+        let baseline = Cluster::new(3).run(partitioned_sum);
+        for (h, r) in res.iter().enumerate().take(2) {
+            let v = r.as_ref().unwrap().as_ref().unwrap();
+            assert_eq!(*v, baseline[0], "member {h} was disturbed by the knock");
+        }
+        match res[2].as_ref().unwrap() {
+            Err(CommError::Timeout { phase, .. }) => assert_eq!(*phase, "join"),
+            other => panic!("expected typed join timeout, got {other:?}"),
+        }
     }
 
     #[test]

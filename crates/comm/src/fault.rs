@@ -104,6 +104,11 @@ pub struct FaultPlan {
     pub(crate) duplicate_rate: f64,
     pub(crate) corrupt_rate: f64,
     pub(crate) delay_rate: f64,
+    /// Hosts that start latent and knock to join mid-run: `(host,
+    /// delay_ms)`. Not a fault per se, but part of the same deterministic
+    /// schedule: the cluster reserves the host as capacity and the host
+    /// begins knocking after the delay.
+    pub(crate) joins: Vec<(usize, u64)>,
 }
 
 impl FaultPlan {
@@ -216,6 +221,31 @@ impl FaultPlan {
         })
     }
 
+    /// Declares `host` as a late joiner: the cluster starts with it latent
+    /// (reserved capacity, not a member), and the host begins knocking on
+    /// the grow gate `delay_ms` after the run starts. Requires the run to
+    /// opt into growing (`EngineConfig::allow_grow` / `--allow-grow`);
+    /// without it the host knocks forever and times out.
+    pub fn join_host(mut self, host: usize, delay_ms: u64) -> Self {
+        self.joins.push((host, delay_ms));
+        self
+    }
+
+    /// The hosts declared latent by [`FaultPlan::join_host`], i.e. the
+    /// capacity that starts outside the membership.
+    pub fn latent_hosts(&self) -> Vec<usize> {
+        self.joins.iter().map(|&(h, _)| h).collect()
+    }
+
+    /// How long `host` waits before its first knock, if it is a declared
+    /// joiner.
+    pub fn join_delay(&self, host: usize) -> Option<std::time::Duration> {
+        self.joins
+            .iter()
+            .find(|&&(h, _)| h == host)
+            .map(|&(_, ms)| std::time::Duration::from_millis(ms))
+    }
+
     /// Seeds the random background faults (irrelevant if all rates are 0).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -292,6 +322,12 @@ impl FaultState {
     pub(crate) fn new(plan: FaultPlan) -> Self {
         let fired = plan.faults.iter().map(|_| AtomicU32::new(0)).collect();
         FaultState { plan, fired }
+    }
+
+    /// The plan's declared join delay for `host` (see
+    /// [`FaultPlan::join_delay`]).
+    pub(crate) fn join_delay(&self, host: usize) -> Option<std::time::Duration> {
+        self.plan.join_delay(host)
     }
 
     /// Tries to claim one firing of fault `i`; false once the budget is

@@ -39,12 +39,14 @@ pub mod wire;
 
 pub use clock::{Clock, RealClock};
 pub use cluster::{
-    run_transport_host, Backend, Cluster, CommError, CrashSignal, ExchangeTicket, HostCtx,
-    HostError, HostStats, ShrinkOutcome, SyncPhase, KILLED_EXIT_CODE,
+    run_transport_host, Backend, Cluster, CommError, CrashSignal, ExchangeTicket, GrowOutcome,
+    HostCtx, HostError, HostStats, ShrinkOutcome, SyncPhase, KILLED_EXIT_CODE,
 };
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use pool::WorkerPool;
 pub use transport::sim::{new_trace_sink, SimTransport, TraceEvent, TraceSink};
 pub use transport::tcp::TcpTransport;
-pub use transport::{Backoff, Deadline, HeartbeatConfig, RetxRequest, Transport, TransportConfig};
+pub use transport::{
+    Backoff, Deadline, GrowVerdict, HeartbeatConfig, RetxRequest, Transport, TransportConfig,
+};
 pub use wire::{ChunkHeader, FrameError, Wire, CHUNK_PAYLOAD};

@@ -7,7 +7,7 @@
 //! synchronization structure. Deadlines and the heartbeat detector are
 //! opt-in layers on the same primitives.
 
-use super::{Deadline, RetxRequest, Transport, TransportConfig};
+use super::{Deadline, GrowVerdict, RetxRequest, Transport, TransportConfig};
 use crate::clock;
 use crate::cluster::CommError;
 use parking_lot::Mutex;
@@ -98,17 +98,23 @@ impl BarrierState {
 }
 
 impl FtBarrier {
-    fn new(hosts: usize) -> Self {
+    /// Creates the barrier; `latent` hosts start excluded (not counted as
+    /// participants) until a grow verdict re-admits them.
+    fn new(hosts: usize, latent: &[usize]) -> Self {
+        let mut excluded = vec![false; hosts];
+        for &h in latent {
+            excluded[h] = true;
+        }
         FtBarrier {
             state: StdMutex::new(BarrierState {
                 arrived: 0,
                 generation: 0,
-                live: hosts,
+                live: hosts - latent.len(),
                 failed: vec![false; hosts],
                 suspected: vec![false; hosts],
                 here: vec![false; hosts],
-                excluded: vec![false; hosts],
-                nexcluded: 0,
+                excluded,
+                nexcluded: latent.len(),
             }),
             cv: Condvar::new(),
         }
@@ -213,6 +219,23 @@ impl FtBarrier {
         self.cv.notify_all();
     }
 
+    /// Re-admits an excluded `host` into the barrier's membership — the
+    /// inverse of [`FtBarrier::exclude`], called under the gate lock by a
+    /// grow verdict. The host starts counting toward completion again.
+    fn include(&self, host: usize) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !s.excluded[host] {
+            return;
+        }
+        s.excluded[host] = false;
+        s.nexcluded -= 1;
+        s.failed[host] = false;
+        s.suspected[host] = false;
+        s.here[host] = false;
+        s.live += 1;
+        self.cv.notify_all();
+    }
+
     /// Resets the barrier to all-members-alive (excluded hosts stay out).
     /// Only sound when no host is waiting on it — recovery guarantees this
     /// by healing under the [`Gate`] lock while every live host is parked
@@ -264,6 +287,19 @@ struct GateState {
     shrink_gen: u64,
     /// Verdict of the shrink generation that last completed.
     shrink_verdict: Vec<usize>,
+    /// Latent capacity: hosts that are part of the fabric's address space
+    /// but not members until a grow admits them. Latent hosts are also
+    /// `excluded` (so every existing collective skips them); the flag
+    /// distinguishes "waiting to join" from "removed by a shrink".
+    latent: Vec<bool>,
+    /// Grow-gate arrivals (members and knocking candidates alike), kept
+    /// separate from the recovery and shrink gates.
+    grow_here: Vec<bool>,
+    grow_gen: u64,
+    /// Highest membership generation announced by this grow's arrivals.
+    grow_max_gen: u64,
+    /// Verdict of the grow generation that last completed.
+    grow_verdict: GrowVerdict,
 }
 
 impl GateState {
@@ -279,10 +315,30 @@ impl GateState {
     fn survivors(&self) -> usize {
         self.departed.len() - self.nexcluded - self.ndeparted
     }
+
+    /// Member arrivals at the grow gate (latent candidates not counted).
+    fn grow_members_here(&self) -> usize {
+        (0..self.grow_here.len())
+            .filter(|&h| self.grow_here[h] && !self.latent[h])
+            .count()
+    }
+
+    /// Live candidates knocking at the grow gate.
+    fn grow_candidates(&self) -> Vec<usize> {
+        (0..self.grow_here.len())
+            .filter(|&h| self.grow_here[h] && self.latent[h] && !self.departed[h])
+            .collect()
+    }
 }
 
 impl Gate {
-    fn new(hosts: usize) -> Self {
+    fn new(hosts: usize, latent: &[usize]) -> Self {
+        let mut excluded = vec![false; hosts];
+        let mut latent_flags = vec![false; hosts];
+        for &h in latent {
+            excluded[h] = true;
+            latent_flags[h] = true;
+        }
         Gate {
             state: StdMutex::new(GateState {
                 arrived: 0,
@@ -290,12 +346,21 @@ impl Gate {
                 departed: vec![false; hosts],
                 ndeparted: 0,
                 here: vec![false; hosts],
-                excluded: vec![false; hosts],
-                nexcluded: 0,
+                excluded,
+                nexcluded: latent.len(),
                 shrink_arrived: 0,
                 shrink_here: vec![false; hosts],
                 shrink_gen: 0,
                 shrink_verdict: Vec::new(),
+                latent: latent_flags,
+                grow_here: vec![false; hosts],
+                grow_gen: 0,
+                grow_max_gen: 0,
+                grow_verdict: GrowVerdict {
+                    joined: Vec::new(),
+                    members: 0,
+                    generation: 0,
+                },
             }),
             cv: Condvar::new(),
         }
@@ -444,6 +509,88 @@ impl Gate {
             }
         }
     }
+
+    /// Latent hosts currently knocking at the grow gate.
+    fn pending_joiners(&self) -> Vec<usize> {
+        let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.grow_candidates()
+    }
+
+    /// The grow gate: members arrive with their current membership
+    /// generation, latent candidates arrive to knock. Once every member
+    /// *and* at least one live candidate are here, the finalizing host
+    /// re-admits the candidates (calling `include` for each under the gate
+    /// lock, so the barrier grows atomically with the gate) and wakes
+    /// everyone with the identical verdict.
+    ///
+    /// Error paths — deadline expiry, a member departing mid-wait —
+    /// withdraw the caller's arrival, so a crash during a join can never
+    /// leave a stale arrival that lets a later grow complete early.
+    fn grow<F: Fn(usize)>(
+        &self,
+        host: usize,
+        deadline: &Deadline,
+        my_generation: u64,
+        include: F,
+    ) -> Result<GrowVerdict, WaitBreak> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.ndeparted > 0 {
+            return Err(s.departure());
+        }
+        let gen = s.grow_gen;
+        s.grow_here[host] = true;
+        s.grow_max_gen = s.grow_max_gen.max(my_generation);
+        loop {
+            let candidates = s.grow_candidates();
+            if s.grow_members_here() >= s.survivors() && !candidates.is_empty() {
+                for &h in &candidates {
+                    s.excluded[h] = false;
+                    s.nexcluded -= 1;
+                    s.latent[h] = false;
+                    include(h);
+                }
+                let members = (0..s.departed.len())
+                    .filter(|&h| !s.excluded[h] && !s.departed[h])
+                    .fold(0u64, |m, h| m | (1 << h));
+                let verdict = GrowVerdict {
+                    joined: candidates,
+                    members,
+                    generation: s.grow_max_gen,
+                };
+                s.grow_verdict = verdict.clone();
+                s.grow_here.iter_mut().for_each(|h| *h = false);
+                s.grow_max_gen = 0;
+                s.grow_gen += 1;
+                self.cv.notify_all();
+                return Ok(verdict);
+            }
+            s = match deadline.remaining() {
+                None => self.cv.wait(s).unwrap_or_else(|e| e.into_inner()),
+                Some(rem) if rem.is_zero() => {
+                    s.grow_here[host] = false;
+                    let laggards = (0..s.grow_here.len())
+                        .filter(|&h| {
+                            h != host && !s.grow_here[h] && !s.departed[h] && !s.excluded[h]
+                        })
+                        .collect();
+                    return Err(WaitBreak::TimedOut { laggards });
+                }
+                Some(rem) => {
+                    self.cv
+                        .wait_timeout(s, rem)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0
+                }
+            };
+            if s.grow_gen != gen {
+                return Ok(s.grow_verdict.clone());
+            }
+            if s.ndeparted > 0 {
+                s.grow_here[host] = false;
+                return Err(s.departure());
+            }
+        }
+    }
 }
 
 /// Shared state between the in-process hosts: framed mailboxes,
@@ -467,11 +614,21 @@ pub struct InProcFabric {
     /// Per-host silence deadline (clock-nanoseconds) for the
     /// hang-simulation test hook.
     silence_until: Vec<AtomicU64>,
+    /// Hosts configured as latent capacity at construction (immutable —
+    /// the *initial* member set is `0..hosts` minus these).
+    initial_latent: Vec<usize>,
 }
 
 impl InProcFabric {
     /// Creates the shared fabric for `hosts` in-process hosts.
     pub fn new(hosts: usize, cfg: TransportConfig) -> Self {
+        Self::new_with_latent(hosts, cfg, &[])
+    }
+
+    /// Creates the shared fabric for `hosts` slots of which `latent` start
+    /// as non-member capacity: they take part in no collective until a
+    /// grow gate admits them.
+    pub fn new_with_latent(hosts: usize, cfg: TransportConfig, latent: &[usize]) -> Self {
         // Seed the beat ledger with "now": the clock's epoch is process
         // global, so a zero ledger would read as an ancient silence and
         // trip the detector before the first real beat.
@@ -486,10 +643,11 @@ impl InProcFabric {
                 .map(|_| (0..hosts).map(|_| Mutex::new(None)).collect())
                 .collect(),
             missing: (0..hosts).map(|_| AtomicBool::new(false)).collect(),
-            barrier: FtBarrier::new(hosts),
-            gate: Gate::new(hosts),
+            barrier: FtBarrier::new(hosts, latent),
+            gate: Gate::new(hosts, latent),
             last_beat: (0..hosts).map(|_| AtomicU64::new(now)).collect(),
             silence_until: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
+            initial_latent: latent.to_vec(),
         }
     }
 
@@ -686,6 +844,29 @@ impl Transport for InProcTransport {
         // Post-verdict the pending-departure count is zero, so the plain
         // recovery gate (and its barrier heal) realigns the survivors.
         self.gate_heal(deadline)
+    }
+
+    fn gate_grow(&self, deadline: &Deadline, my_generation: u64) -> Result<GrowVerdict, CommError> {
+        let fab = &self.fabric;
+        fab.gate
+            .grow(self.host, deadline, my_generation, |h| {
+                fab.barrier.include(h)
+            })
+            .map_err(|b| b.into_comm_error(deadline))
+    }
+
+    fn grow_heal(&self, deadline: &Deadline) -> Result<(), CommError> {
+        // Post-verdict the joiners count as survivors, so the plain
+        // recovery gate (and its barrier heal) aligns the grown set.
+        self.gate_heal(deadline)
+    }
+
+    fn pending_joiners(&self) -> Vec<usize> {
+        self.fabric.gate.pending_joiners()
+    }
+
+    fn latent_hosts(&self) -> Vec<usize> {
+        self.fabric.initial_latent.clone()
     }
 
     fn departed_hosts(&self) -> Vec<usize> {

@@ -241,6 +241,26 @@ impl RetxRequest {
     }
 }
 
+/// The agreed outcome of a membership grow: which latent hosts were
+/// admitted, what the post-grow member set is, and the generation the
+/// expanded cluster continues from.
+///
+/// Every participant of the same grow gate — survivors and joiners alike
+/// — receives an identical verdict. The member mask is authoritative: a
+/// joiner has no way to know which hosts earlier shrinks removed (or
+/// earlier grows added), so it adopts the mask instead of deriving one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrowVerdict {
+    /// Physical ids of the hosts admitted by this grow, sorted.
+    pub joined: Vec<usize>,
+    /// Post-grow member mask (bit `h` set ⇔ physical host `h` is a
+    /// member), including the newly admitted hosts.
+    pub members: u64,
+    /// The highest membership generation any participant had completed
+    /// before this grow; everyone continues at `generation + 1`.
+    pub generation: u64,
+}
+
 /// Moves framed bytes between hosts and implements the collective
 /// synchronization primitives the exchange protocol is built on.
 ///
@@ -335,6 +355,45 @@ pub trait Transport: Sync {
     /// [`CommError::MembershipLost`] should name. Empty when recovery is
     /// still possible within the current membership.
     fn departed_hosts(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Membership grow, phase 1: a generation-stamped agreement admitting
+    /// latent hosts. Members call it with their current membership
+    /// generation at a round boundary; a latent host calls it (with
+    /// generation 0) to knock — the call *is* its admission request. The
+    /// gate completes when every member has arrived and at least one
+    /// candidate is knocking; the identical [`GrowVerdict`] is returned to
+    /// every participant. Error paths (deadline expiry, a member dying
+    /// mid-wait) withdraw the caller's gate arrival so a crash during a
+    /// join cannot wedge the remaining participants. Backends that cannot
+    /// grow return [`CommError::Protocol`].
+    fn gate_grow(&self, _deadline: &Deadline, _my_generation: u64) -> Result<GrowVerdict, CommError> {
+        Err(CommError::Protocol {
+            detail: "transport does not support membership grow".to_string(),
+        })
+    }
+
+    /// Membership grow, phase 2: waits for every post-grow member (old
+    /// members plus the admitted joiners) to finish resetting its protocol
+    /// state, then heals the failure machinery for the expanded
+    /// membership. Called after [`Transport::gate_grow`] and
+    /// [`Transport::recover_reset`].
+    fn grow_heal(&self, _deadline: &Deadline) -> Result<(), CommError> {
+        Ok(())
+    }
+
+    /// Latent hosts currently knocking at the grow gate — what a member's
+    /// per-round grow vote observes. Empty on backends without grow
+    /// support.
+    fn pending_joiners(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Hosts configured as latent capacity: part of the mesh's address
+    /// space but not members until a grow admits them. Empty on backends
+    /// without grow support.
+    fn latent_hosts(&self) -> Vec<usize> {
         Vec::new()
     }
 

@@ -42,7 +42,7 @@
 //! same seed produce identical traces; a diff of two traces is a diff of
 //! two schedules.
 
-use super::{Deadline, RetxRequest, Transport, TransportConfig};
+use super::{Deadline, GrowVerdict, RetxRequest, Transport, TransportConfig};
 use crate::clock::Clock;
 use crate::cluster::CommError;
 use crate::fault::mix;
@@ -116,6 +116,8 @@ enum Blocked {
     Gate { gen: u64 },
     /// In the membership shrink gate, generation `gen`.
     Shrink { gen: u64 },
+    /// In the membership grow gate, generation `gen`.
+    Grow { gen: u64 },
     /// Virtual sleep `id` (distinguishes stale wake timers).
     Sleep { id: u64 },
 }
@@ -154,6 +156,12 @@ enum TimerKind {
     },
     /// Phase deadline for a host blocked in shrink generation `gen`.
     ShrinkDeadline {
+        host: usize,
+        gen: u64,
+        phase: &'static str,
+    },
+    /// Phase deadline for a host blocked in grow generation `gen`.
+    GrowDeadline {
         host: usize,
         gen: u64,
         phase: &'static str,
@@ -233,6 +241,15 @@ struct SimState {
     shrink_here: Vec<bool>,
     shrink_gen: u64,
     shrink_verdict: Vec<usize>,
+    // Membership grow gate (mirrors the in-proc `Gate::grow`).
+    /// Latent capacity: hosts excluded at construction that become members
+    /// only once a grow verdict admits them.
+    latent: Vec<bool>,
+    grow_here: Vec<bool>,
+    grow_gen: u64,
+    /// Highest membership generation announced by this grow's arrivals.
+    grow_max_gen: u64,
+    grow_verdict: GrowVerdict,
     // Heartbeat ledger, in virtual nanoseconds.
     last_beat: Vec<u64>,
     silence_until: Vec<u64>,
@@ -270,6 +287,20 @@ impl SimState {
                 .collect(),
         }
     }
+
+    /// Member arrivals at the grow gate (latent candidates not counted).
+    fn grow_members_here(&self) -> usize {
+        (0..self.grow_here.len())
+            .filter(|&h| self.grow_here[h] && !self.latent[h])
+            .count()
+    }
+
+    /// Live candidates knocking at the grow gate.
+    fn grow_candidates(&self) -> Vec<usize> {
+        (0..self.grow_here.len())
+            .filter(|&h| self.grow_here[h] && self.latent[h] && !self.departed[h])
+            .collect()
+    }
 }
 
 /// The shared discrete-event fabric behind [`SimTransport`]: the virtual
@@ -280,6 +311,8 @@ pub struct SimFabric {
     cfg: TransportConfig,
     state: StdMutex<SimState>,
     cv: Condvar,
+    /// Hosts configured as latent capacity at construction.
+    initial_latent: Vec<usize>,
 }
 
 impl std::fmt::Debug for SimFabric {
@@ -306,9 +339,24 @@ impl SimFabric {
     /// Creates the fabric for `hosts` cooperatively scheduled hosts,
     /// interleaved by `seed`.
     pub fn new(hosts: usize, cfg: TransportConfig, seed: u64) -> Self {
+        Self::new_with_latent(hosts, cfg, seed, &[])
+    }
+
+    /// Creates the fabric for `hosts` slots of which `latent` start as
+    /// non-member capacity: they take part in no collective until a grow
+    /// gate admits them. Join timing, like everything else here, is a
+    /// pure function of the seed and the hosts' virtual sleeps.
+    pub fn new_with_latent(hosts: usize, cfg: TransportConfig, seed: u64, latent: &[usize]) -> Self {
+        let mut excluded = vec![false; hosts];
+        let mut latent_flags = vec![false; hosts];
+        for &h in latent {
+            excluded[h] = true;
+            latent_flags[h] = true;
+        }
         SimFabric {
             hosts,
             cfg,
+            initial_latent: latent.to_vec(),
             state: StdMutex::new(SimState {
                 now: 0,
                 rng: mix(seed ^ 0x73696d_u64),
@@ -328,7 +376,7 @@ impl SimFabric {
                 missing: vec![false; hosts],
                 bar_arrived: 0,
                 bar_gen: 0,
-                live: hosts,
+                live: hosts - latent.len(),
                 failed: vec![false; hosts],
                 suspected: vec![false; hosts],
                 here: vec![false; hosts],
@@ -337,12 +385,21 @@ impl SimFabric {
                 departed: vec![false; hosts],
                 ndeparted: 0,
                 gate_here: vec![false; hosts],
-                excluded: vec![false; hosts],
-                nexcluded: 0,
+                excluded,
+                nexcluded: latent.len(),
                 shrink_arrived: 0,
                 shrink_here: vec![false; hosts],
                 shrink_gen: 0,
                 shrink_verdict: Vec::new(),
+                latent: latent_flags,
+                grow_here: vec![false; hosts],
+                grow_gen: 0,
+                grow_max_gen: 0,
+                grow_verdict: GrowVerdict {
+                    joined: Vec::new(),
+                    members: 0,
+                    generation: 0,
+                },
                 last_beat: vec![0; hosts],
                 silence_until: vec![0; hosts],
                 trace: Vec::new(),
@@ -515,6 +572,21 @@ impl SimFabric {
                         })
                         .collect();
                     self.trace(s, host, "timeout", format!("phase={phase} at=shrink"));
+                    self.wake(s, host, Err(CommError::Timeout { phase, hosts: laggards }));
+                }
+            }
+            TimerKind::GrowDeadline { host, gen, phase } => {
+                if s.status[host] == Status::Blocked(Blocked::Grow { gen }) {
+                    // Withdraw the arrival: a stale knock (or member
+                    // arrival) from a host that gave up must not let a
+                    // later grow complete early.
+                    s.grow_here[host] = false;
+                    let laggards = (0..self.hosts)
+                        .filter(|&h| {
+                            h != host && !s.grow_here[h] && !s.departed[h] && !s.excluded[h]
+                        })
+                        .collect();
+                    self.trace(s, host, "timeout", format!("phase={phase} at=grow"));
                     self.wake(s, host, Err(CommError::Timeout { phase, hosts: laggards }));
                 }
             }
@@ -785,6 +857,86 @@ impl SimFabric {
         self.block(s, host, Blocked::Shrink { gen })?;
         Ok(self.lock().shrink_verdict.clone())
     }
+
+    /// Completes the grow gate if every member has arrived and at least
+    /// one live candidate is knocking: admits the candidates into every
+    /// collective, records the verdict, and releases the waiters.
+    fn try_finalize_grow(&self, s: &mut SimState, actor: usize) -> bool {
+        let survivors = self.hosts - s.nexcluded - s.ndeparted;
+        let candidates = s.grow_candidates();
+        if s.grow_members_here() < survivors || candidates.is_empty() {
+            return false;
+        }
+        for &h in &candidates {
+            s.excluded[h] = false;
+            s.nexcluded -= 1;
+            s.latent[h] = false;
+            s.failed[h] = false;
+            s.suspected[h] = false;
+            s.here[h] = false;
+            s.live += 1;
+        }
+        let members = (0..self.hosts)
+            .filter(|&h| !s.excluded[h] && !s.departed[h])
+            .fold(0u64, |m, h| m | (1 << h));
+        s.grow_verdict = GrowVerdict {
+            joined: candidates,
+            members,
+            generation: s.grow_max_gen,
+        };
+        for h in &mut s.grow_here {
+            *h = false;
+        }
+        s.grow_max_gen = 0;
+        s.grow_gen += 1;
+        self.trace(
+            s,
+            actor,
+            "gate_grow_complete",
+            format!(
+                "gen={} joined={:?} members={:#x}",
+                s.grow_gen, s.grow_verdict.joined, members
+            ),
+        );
+        for h in 0..self.hosts {
+            if matches!(s.status[h], Status::Blocked(Blocked::Grow { .. })) {
+                self.wake(s, h, Ok(()));
+            }
+        }
+        true
+    }
+
+    /// Grow-gate arrival + wait: members announce their membership
+    /// generation, latent candidates knock; everyone receives the agreed
+    /// [`GrowVerdict`] once all members and at least one candidate are
+    /// here (see [`super::Transport::gate_grow`]).
+    fn grow(&self, host: usize, deadline: &Deadline, my_gen: u64) -> Result<GrowVerdict, CommError> {
+        let mut s = self.lock();
+        if s.ndeparted > 0 {
+            return Err(s.departed_error());
+        }
+        s.grow_here[host] = true;
+        s.grow_max_gen = s.grow_max_gen.max(my_gen);
+        let gen = s.grow_gen;
+        let kind = if s.latent[host] { "join" } else { "gate_grow" };
+        self.trace(&mut s, host, kind, format!("gen={gen} my_gen={my_gen}"));
+        if self.try_finalize_grow(&mut s, host) {
+            return Ok(s.grow_verdict.clone());
+        }
+        if let Some(at) = deadline.at_nanos() {
+            self.push_timer(
+                &mut s,
+                at,
+                TimerKind::GrowDeadline {
+                    host,
+                    gen,
+                    phase: deadline.phase(),
+                },
+            );
+        }
+        self.block(s, host, Blocked::Grow { gen })?;
+        Ok(self.lock().grow_verdict.clone())
+    }
 }
 
 /// One host's handle to the shared [`SimFabric`]. Only valid under
@@ -929,6 +1081,15 @@ impl Transport for SimTransport {
         // A departure can be the event that completes a pending shrink
         // gate (the survivors were all waiting on this host's verdict).
         fab.try_finalize_shrink(&mut s, self.host);
+        // Grow waiters abort (withdrawing their arrival): the membership
+        // must shrink before another grow can be agreed.
+        let err = s.departed_error();
+        for h in 0..fab.hosts {
+            if matches!(s.status[h], Status::Blocked(Blocked::Grow { .. })) {
+                s.grow_here[h] = false;
+                fab.wake(&mut s, h, Err(err.clone()));
+            }
+        }
     }
 
     fn gate_align(&self, deadline: &Deadline) -> Result<(), CommError> {
@@ -960,6 +1121,22 @@ impl Transport for SimTransport {
 
     fn shrink_heal(&self, deadline: &Deadline) -> Result<(), CommError> {
         self.fabric.gate(self.host, deadline, true)
+    }
+
+    fn gate_grow(&self, deadline: &Deadline, my_generation: u64) -> Result<GrowVerdict, CommError> {
+        self.fabric.grow(self.host, deadline, my_generation)
+    }
+
+    fn grow_heal(&self, deadline: &Deadline) -> Result<(), CommError> {
+        self.fabric.gate(self.host, deadline, true)
+    }
+
+    fn pending_joiners(&self) -> Vec<usize> {
+        self.fabric.lock().grow_candidates()
+    }
+
+    fn latent_hosts(&self) -> Vec<usize> {
+        self.fabric.initial_latent.clone()
     }
 
     fn departed_hosts(&self) -> Vec<usize> {

@@ -34,7 +34,7 @@
 //! synchronizes on them. Healing bumps the failure epoch, which
 //! invalidates any `FAILED` notice from before the heal.
 
-use super::{Backoff, Deadline, RetxRequest, Transport, TransportConfig};
+use super::{Backoff, Deadline, GrowVerdict, RetxRequest, Transport, TransportConfig};
 use crate::clock;
 use crate::cluster::CommError;
 use std::collections::{BTreeMap, VecDeque};
@@ -58,6 +58,26 @@ const TAG_GATE: u8 = 8;
 /// survivor completes only once it has seen every non-excluded peer
 /// either announce this generation or depart.
 const TAG_SHRINK: u8 = 9;
+/// Join knock from a latent host (`arrival u64`): the sender asks to be
+/// admitted by the next grow gate. `arrival == 0` retracts a pending
+/// knock (sent when the joiner's deadline expires), so a joiner that gave
+/// up cannot be "admitted" in absentia by a later grow.
+const TAG_JOIN: u8 = 10;
+/// Membership-grow gate arrival (`gen u64, ctx_gen u64`): a member agrees
+/// to admit the currently knocking candidates, announcing its own
+/// membership generation so the verdict can carry the maximum. Also used
+/// (with `ctx_gen == 0`) as the post-verdict heal round, mirroring the
+/// two-round `TAG_SHRINK` scheme: grow generations are announced only
+/// from inside the grow path and the heal round has no abort between
+/// reset and announcement, so an announcement of `grow_gen + 1` after a
+/// verdict proves the peer finished its reset.
+const TAG_GROW: u8 = 11;
+/// Grow verdict broadcast by the grow leader — the lowest-id member —
+/// once every member has arrived and at least one candidate is knocking:
+/// `gen u64, joined_mask u64, member_mask u64, max_ctx_gen u64`. A
+/// leader-decided verdict keeps a double-join race from splitting the
+/// verdict across members.
+const TAG_GROW_VERDICT: u8 = 12;
 
 /// Upper bound on a single stream message body; anything larger means a
 /// corrupted length header, and the connection is dropped.
@@ -83,8 +103,22 @@ struct State {
     /// Peers excluded by an agreed membership shrink: permanently gone,
     /// no longer counted by any collective and never written to again.
     excluded: Vec<bool>,
+    /// Latent capacity: peers that are part of the mesh's address space
+    /// but not members until a grow admits them. Like `excluded` they are
+    /// bystanders to every collective, but they can come back.
+    latent: Vec<bool>,
+    /// Latent peers with an outstanding join knock.
+    join_pending: Vec<bool>,
     /// Highest shrink generation announced by each peer.
     shrink_seen: Vec<u64>,
+    /// Highest grow generation announced by each peer.
+    grow_seen: Vec<u64>,
+    /// Highest membership (context) generation announced by each peer's
+    /// grow arrivals.
+    grow_ctx_gen: Vec<u64>,
+    /// The latest grow verdict applied: `(gen, joined_mask, member_mask,
+    /// max_ctx_gen)`.
+    last_verdict: Option<(u64, u64, u64, u64)>,
     /// Current failure epoch; `FAILED(e)` is honored only if `e >= epoch`.
     epoch: u64,
     /// This host's completed barrier generation.
@@ -93,12 +127,19 @@ struct State {
     gate_gen: u64,
     /// This host's completed shrink generation (never reset).
     shrink_gen: u64,
+    /// This host's completed grow generation (never reset; advanced by
+    /// applied verdicts and heal rounds).
+    grow_gen: u64,
     /// This host's completed missing-sync generation.
     miss_gen: u64,
 }
 
 impl State {
-    fn new(hosts: usize) -> Self {
+    fn new(hosts: usize, latent: &[usize]) -> Self {
+        let mut latent_flags = vec![false; hosts];
+        for &h in latent {
+            latent_flags[h] = true;
+        }
         State {
             inbox: vec![Vec::new(); hosts],
             barrier_seen: vec![0; hosts],
@@ -109,32 +150,63 @@ impl State {
             suspected: vec![false; hosts],
             departed: vec![false; hosts],
             excluded: vec![false; hosts],
+            latent: latent_flags,
+            join_pending: vec![false; hosts],
             shrink_seen: vec![0; hosts],
+            grow_seen: vec![0; hosts],
+            grow_ctx_gen: vec![0; hosts],
+            last_verdict: None,
             epoch: 0,
             bar_gen: 0,
             gate_gen: 0,
             shrink_gen: 0,
+            grow_gen: 0,
             miss_gen: 0,
         }
+    }
+
+    /// True for peers that take no part in collectives: shrink-excluded
+    /// hosts and latent capacity that has not joined yet.
+    fn bystander(&self, p: usize) -> bool {
+        self.excluded[p] || self.latent[p]
     }
 
     /// The failure verdict, if any host has failed: all-suspected maps to
     /// `PeerDown`, anything harder to `HostFailure`.
     fn failure(&self) -> Option<CommError> {
         let failed: Vec<usize> = (0..self.failed.len())
-            .filter(|&h| self.failed[h] && !self.excluded[h])
+            .filter(|&h| self.failed[h] && !self.bystander(h))
             .collect();
         if failed.is_empty() {
             return None;
         }
         let suspected: Vec<usize> = (0..self.suspected.len())
-            .filter(|&h| self.suspected[h] && !self.excluded[h])
+            .filter(|&h| self.suspected[h] && !self.bystander(h))
             .collect();
         Some(if !suspected.is_empty() && suspected.len() == failed.len() {
             CommError::PeerDown { hosts: suspected }
         } else {
             CommError::HostFailure { hosts: failed }
         })
+    }
+
+    /// Applies a grow verdict: admits the `joined_mask` hosts into every
+    /// future collective and records the verdict for waiters. Idempotent
+    /// per generation.
+    fn apply_verdict(&mut self, gen: u64, joined_mask: u64, member_mask: u64, max_ctx: u64) {
+        if gen <= self.grow_gen {
+            return;
+        }
+        self.grow_gen = gen;
+        for p in 0..self.latent.len() {
+            if joined_mask & (1 << p) != 0 {
+                self.latent[p] = false;
+                self.join_pending[p] = false;
+                self.failed[p] = false;
+                self.suspected[p] = false;
+            }
+        }
+        self.last_verdict = Some((gen, joined_mask, member_mask, max_ctx));
     }
 }
 
@@ -189,6 +261,8 @@ struct Inner {
     hosts: usize,
     cfg: TransportConfig,
     ports: Vec<u16>,
+    /// Hosts that start latent (join capacity), as passed at construction.
+    initial_latent: Vec<usize>,
     state: StdMutex<State>,
     cv: Condvar,
     /// Per-peer outgoing links, locked independently of `state`: a socket
@@ -338,6 +412,36 @@ fn apply(inner: &Inner, peer: usize, tag: u8, body: Vec<u8>) {
                 st.shrink_seen[peer] = st.shrink_seen[peer].max(g);
             }
         }
+        TAG_JOIN => {
+            if let Some(a) = u64_at(&body) {
+                if a == 0 {
+                    st.join_pending[peer] = false;
+                } else if st.latent[peer] && !st.departed[peer] {
+                    st.join_pending[peer] = true;
+                }
+            }
+        }
+        TAG_GROW => {
+            let ctx = body
+                .get(8..16)
+                .and_then(|b| b.try_into().ok())
+                .map(u64::from_le_bytes);
+            if let (Some(g), Some(cg)) = (u64_at(&body), ctx) {
+                st.grow_seen[peer] = st.grow_seen[peer].max(g);
+                st.grow_ctx_gen[peer] = st.grow_ctx_gen[peer].max(cg);
+            }
+        }
+        TAG_GROW_VERDICT => {
+            let field = |i: usize| -> Option<u64> {
+                body.get(i * 8..i * 8 + 8)
+                    .and_then(|b| b.try_into().ok())
+                    .map(u64::from_le_bytes)
+            };
+            if let (Some(g), Some(jm), Some(mm), Some(mc)) = (field(0), field(1), field(2), field(3))
+            {
+                st.apply_verdict(g, jm, mm, mc);
+            }
+        }
         _ => {}
     }
     drop(st);
@@ -421,7 +525,7 @@ fn heartbeat_loop(inner: Arc<Inner>, hb: super::HeartbeatConfig) {
         let mut st = inner.lock();
         let mut woke = false;
         for peer in 0..inner.hosts {
-            if peer == inner.host || st.failed[peer] || st.departed[peer] {
+            if peer == inner.host || st.failed[peer] || st.departed[peer] || st.latent[peer] {
                 continue;
             }
             let seen = inner.last_rx[peer].load(Ordering::Relaxed);
@@ -446,9 +550,10 @@ fn send_on(inner: &Arc<Inner>, peer: usize, tag: u8, body: &[u8]) {
     {
         // Never write to a gone peer: reviving a permanently dead host's
         // socket burns the whole reconnect budget per message and can
-        // re-fail a healed mesh.
+        // re-fail a healed mesh. Latent peers that have not knocked yet
+        // are equally unreachable — their process may not even exist.
         let st = inner.lock();
-        if st.departed[peer] || st.excluded[peer] {
+        if st.departed[peer] || st.excluded[peer] || (st.latent[peer] && !st.join_pending[peer]) {
             return;
         }
     }
@@ -626,14 +731,34 @@ impl TcpTransport {
         ports: &[u16],
         cfg: TransportConfig,
     ) -> io::Result<Self> {
+        TcpTransport::with_listener_with_latent(host, num_hosts, listener, ports, cfg, &[])
+    }
+
+    /// Like [`TcpTransport::with_listener`], but with `latent` hosts that
+    /// are addressable capacity rather than members: they take no part in
+    /// collectives until a grow admits them. A latent host constructing
+    /// its own transport dials every member up front (whatever the id
+    /// order — it is always the late side of the pair); members do not
+    /// wait for latent peers to show up.
+    pub fn with_listener_with_latent(
+        host: usize,
+        num_hosts: usize,
+        listener: TcpListener,
+        ports: &[u16],
+        cfg: TransportConfig,
+        latent: &[usize],
+    ) -> io::Result<Self> {
         assert!(num_hosts <= 255, "tcp transport addresses hosts by one byte");
         assert_eq!(ports.len(), num_hosts);
+        let is_latent = |p: usize| latent.contains(&p);
+        let joiner = is_latent(host);
         let inner = Arc::new(Inner {
             host,
             hosts: num_hosts,
             cfg,
             ports: ports.to_vec(),
-            state: StdMutex::new(State::new(num_hosts)),
+            initial_latent: latent.to_vec(),
+            state: StdMutex::new(State::new(num_hosts, latent)),
             cv: Condvar::new(),
             links: (0..num_hosts).map(|_| PeerLink::new()).collect(),
             shutdown: AtomicBool::new(false),
@@ -671,8 +796,16 @@ impl TcpTransport {
                 .unwrap_or_else(|e| e.into_inner())
                 .push(handle);
         }
-        // Client side of each pair: the higher id dials the lower.
-        for peer in 0..host {
+        // Client side of each pair: the higher id dials the lower. A
+        // joiner is the late side of every pair regardless of id order,
+        // so it dials every member; members never dial latent peers (the
+        // process may not exist yet).
+        let dialees: Vec<usize> = if joiner {
+            (0..num_hosts).filter(|&p| !is_latent(p)).collect()
+        } else {
+            (0..host).filter(|&p| !is_latent(p)).collect()
+        };
+        for peer in dialees {
             let mut backoff = Backoff::reconnect(host);
             let start = clock::now_nanos();
             loop {
@@ -691,11 +824,12 @@ impl TcpTransport {
                 }
             }
         }
-        // Wait for the server side of each pair (installed by the acceptor).
+        // Wait for the server side of each pair (installed by the
+        // acceptor); latent peers connect later, at their own join.
         let start = clock::now_nanos();
         loop {
             let connected = (0..num_hosts)
-                .filter(|&p| p != host)
+                .filter(|&p| p != host && !is_latent(p))
                 .all(|p| inner.links[p].connected.load(Ordering::Relaxed));
             if connected {
                 break;
@@ -733,6 +867,20 @@ impl TcpTransport {
         port_base: u16,
         cfg: TransportConfig,
     ) -> io::Result<Self> {
+        TcpTransport::bind_with_latent(host, num_hosts, port_base, cfg, &[])
+    }
+
+    /// Like [`TcpTransport::bind`], but with `latent` hosts (see
+    /// [`TcpTransport::with_listener_with_latent`]). A late-spawned
+    /// `_worker` process joining a running cluster binds its own listener
+    /// here and dials every member.
+    pub fn bind_with_latent(
+        host: usize,
+        num_hosts: usize,
+        port_base: u16,
+        cfg: TransportConfig,
+        latent: &[usize],
+    ) -> io::Result<Self> {
         let ports: Vec<u16> = (0..num_hosts)
             .map(|h| {
                 port_base
@@ -754,7 +902,7 @@ impl TcpTransport {
                 Err(_) => std::thread::sleep(Duration::from_millis(50)),
             }
         };
-        TcpTransport::with_listener(host, num_hosts, listener, &ports, cfg)
+        TcpTransport::with_listener_with_latent(host, num_hosts, listener, &ports, cfg, latent)
     }
 
     /// Binds one loopback listener per host on ephemeral ports; returns
@@ -902,7 +1050,7 @@ impl Transport for TcpTransport {
             deadline,
             |st| {
                 let done = (0..st.barrier_seen.len())
-                    .all(|p| p == me || st.excluded[p] || st.barrier_seen[p] >= arrival);
+                    .all(|p| p == me || st.bystander(p) || st.barrier_seen[p] >= arrival);
                 if done {
                     st.bar_gen = arrival;
                 }
@@ -911,7 +1059,7 @@ impl Transport for TcpTransport {
             |st| {
                 (0..st.barrier_seen.len())
                     .filter(|&p| {
-                        p != me && st.barrier_seen[p] < arrival && !st.failed[p] && !st.excluded[p]
+                        p != me && st.barrier_seen[p] < arrival && !st.failed[p] && !st.bystander(p)
                     })
                     .collect()
             },
@@ -928,7 +1076,7 @@ impl Transport for TcpTransport {
             deadline,
             |st| {
                 (0..st.missing.len())
-                    .all(|p| p == me || st.excluded[p] || st.missing[p].contains_key(&gen))
+                    .all(|p| p == me || st.bystander(p) || st.missing[p].contains_key(&gen))
             },
             |st| {
                 (0..st.missing.len())
@@ -936,7 +1084,7 @@ impl Transport for TcpTransport {
                         p != me
                             && !st.missing[p].contains_key(&gen)
                             && !st.failed[p]
-                            && !st.excluded[p]
+                            && !st.bystander(p)
                     })
                     .collect()
             },
@@ -946,7 +1094,7 @@ impl Transport for TcpTransport {
             .map(|p| {
                 if p == me {
                     missing
-                } else if st.excluded[p] {
+                } else if st.bystander(p) {
                     false
                 } else {
                     st.missing[p][&gen]
@@ -990,11 +1138,16 @@ impl Transport for TcpTransport {
         st.miss_gen = 0;
         drop(st);
         // Recovery means no live traffic is in flight: drop stale queued
-        // frames and give dead-declared links a fresh chance — the peer
-        // may only have stalled, and the heal is about to re-admit it.
+        // data-path frames and give dead-declared links a fresh chance —
+        // the peer may only have stalled, and the heal is about to
+        // re-admit it. Membership agreement frames (shrink/join/grow
+        // announcements and the grow verdict) must survive the purge: the
+        // grow leader resets its own protocol state immediately after
+        // cutting a verdict its peers may not have received yet.
         for link in &self.inner.links {
             let mut q = link.queue.lock().unwrap_or_else(|e| e.into_inner());
-            q.pending.clear();
+            q.pending
+                .retain(|f| f.first().is_some_and(|&t| t >= TAG_SHRINK));
             q.dead = false;
         }
         // A recovering host is alive: refresh peer liveness so the stall
@@ -1022,11 +1175,11 @@ impl Transport for TcpTransport {
             // stragglers surface as a fresh MembershipLost and shrink in a
             // following round.)
             let done = (0..self.inner.hosts).all(|p| {
-                p == me || st.excluded[p] || st.departed[p] || st.shrink_seen[p] >= arrival
+                p == me || st.bystander(p) || st.departed[p] || st.shrink_seen[p] >= arrival
             });
             if done {
                 let verdict: Vec<usize> = (0..self.inner.hosts)
-                    .filter(|&p| st.departed[p] && !st.excluded[p])
+                    .filter(|&p| st.departed[p] && !st.bystander(p))
                     .collect();
                 st.shrink_gen = arrival;
                 for &p in &verdict {
@@ -1044,7 +1197,7 @@ impl Transport for TcpTransport {
                             p != me
                                 && st.shrink_seen[p] < arrival
                                 && !st.departed[p]
-                                && !st.excluded[p]
+                                && !st.bystander(p)
                         })
                         .collect();
                     return Err(CommError::Timeout {
@@ -1080,7 +1233,7 @@ impl Transport for TcpTransport {
         let mut st = self.inner.lock();
         loop {
             let done = (0..self.inner.hosts).all(|p| {
-                p == me || st.excluded[p] || st.departed[p] || st.shrink_seen[p] >= arrival
+                p == me || st.bystander(p) || st.departed[p] || st.shrink_seen[p] >= arrival
             });
             if done {
                 st.shrink_gen = arrival;
@@ -1097,7 +1250,7 @@ impl Transport for TcpTransport {
                             p != me
                                 && st.shrink_seen[p] < arrival
                                 && !st.departed[p]
-                                && !st.excluded[p]
+                                && !st.bystander(p)
                         })
                         .collect();
                     return Err(CommError::Timeout {
@@ -1119,8 +1272,80 @@ impl Transport for TcpTransport {
     fn departed_hosts(&self) -> Vec<usize> {
         let st = self.inner.lock();
         (0..self.inner.hosts)
-            .filter(|&p| st.departed[p] && !st.excluded[p])
+            .filter(|&p| st.departed[p] && !st.bystander(p))
             .collect()
+    }
+
+    fn gate_grow(&self, deadline: &Deadline, my_generation: u64) -> Result<GrowVerdict, CommError> {
+        if self.inner.lock().latent[self.inner.host] {
+            self.grow_knock(deadline)
+        } else {
+            self.grow_member(deadline, my_generation)
+        }
+    }
+
+    fn grow_heal(&self, deadline: &Deadline) -> Result<(), CommError> {
+        // A second round of the grow-generation gate, mirroring
+        // `shrink_heal`: grow generations are announced only from inside
+        // the grow path with no abort between reset and announcement, so
+        // an announcement of `grow_gen + 1` proves the peer finished its
+        // reset. The recovery gate cannot be reused here — the joiner's
+        // gate generation starts at zero while members' have advanced, and
+        // stale `TAG_GATE` announcements from the aborted round could
+        // complete a gate-based heal before peers have reset.
+        let me = self.inner.host;
+        let arrival = self.inner.lock().grow_gen + 1;
+        let mut body = arrival.to_le_bytes().to_vec();
+        body.extend_from_slice(&0u64.to_le_bytes());
+        self.broadcast(TAG_GROW, &body);
+        let mut st = self.inner.lock();
+        loop {
+            let done = (0..self.inner.hosts).all(|p| {
+                p == me || st.bystander(p) || st.departed[p] || st.grow_seen[p] >= arrival
+            });
+            if done {
+                st.grow_gen = arrival;
+                st.epoch += 1;
+                st.failed.iter_mut().for_each(|f| *f = false);
+                st.suspected.iter_mut().for_each(|f| *f = false);
+                return Ok(());
+            }
+            st = match deadline.remaining() {
+                None => self.inner.cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+                Some(rem) if rem.is_zero() => {
+                    let laggards = (0..self.inner.hosts)
+                        .filter(|&p| {
+                            p != me
+                                && st.grow_seen[p] < arrival
+                                && !st.departed[p]
+                                && !st.bystander(p)
+                        })
+                        .collect();
+                    return Err(CommError::Timeout {
+                        phase: deadline.phase(),
+                        hosts: laggards,
+                    });
+                }
+                Some(rem) => {
+                    self.inner
+                        .cv
+                        .wait_timeout(st, rem)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0
+                }
+            };
+        }
+    }
+
+    fn pending_joiners(&self) -> Vec<usize> {
+        let st = self.inner.lock();
+        (0..self.inner.hosts)
+            .filter(|&p| st.latent[p] && st.join_pending[p] && !st.departed[p])
+            .collect()
+    }
+
+    fn latent_hosts(&self) -> Vec<usize> {
+        self.inner.initial_latent.clone()
     }
 
     fn silence(&self, d: Duration) {
@@ -1143,13 +1368,13 @@ impl TcpTransport {
         let mut st = self.inner.lock();
         loop {
             let gone: Vec<usize> = (0..self.inner.hosts)
-                .filter(|&p| st.departed[p] && !st.excluded[p])
+                .filter(|&p| st.departed[p] && !st.bystander(p))
                 .collect();
             if !gone.is_empty() {
                 return Err(CommError::HostFailure { hosts: gone });
             }
             let done = (0..self.inner.hosts)
-                .all(|p| p == me || st.excluded[p] || st.gate_seen[p] >= arrival);
+                .all(|p| p == me || st.bystander(p) || st.gate_seen[p] >= arrival);
             if done {
                 st.gate_gen = arrival;
                 if heal {
@@ -1163,7 +1388,174 @@ impl TcpTransport {
                 None => self.inner.cv.wait(st).unwrap_or_else(|e| e.into_inner()),
                 Some(rem) if rem.is_zero() => {
                     let laggards = (0..self.inner.hosts)
-                        .filter(|&p| p != me && st.gate_seen[p] < arrival && !st.excluded[p])
+                        .filter(|&p| p != me && st.gate_seen[p] < arrival && !st.bystander(p))
+                        .collect();
+                    return Err(CommError::Timeout {
+                        phase: deadline.phase(),
+                        hosts: laggards,
+                    });
+                }
+                Some(rem) => {
+                    self.inner
+                        .cv
+                        .wait_timeout(st, rem)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0
+                }
+            };
+        }
+    }
+
+    /// The joiner's side of the grow gate: knock (`TAG_JOIN`) and wait for
+    /// a verdict that admits us. Suspicion accumulated while knocking is
+    /// meaningless (we are not a member yet), so the wait ignores failure
+    /// flags; on timeout the knock is retracted so a later grow cannot
+    /// admit us in absentia.
+    fn grow_knock(&self, deadline: &Deadline) -> Result<GrowVerdict, CommError> {
+        let me = self.inner.host;
+        {
+            let mut st = self.inner.lock();
+            for p in 0..self.inner.hosts {
+                if !st.departed[p] {
+                    st.failed[p] = false;
+                    st.suspected[p] = false;
+                }
+            }
+        }
+        self.broadcast(TAG_JOIN, &1u64.to_le_bytes());
+        let mut st = self.inner.lock();
+        loop {
+            if let Some((_, joined_mask, member_mask, max_ctx)) = st.last_verdict {
+                if joined_mask & (1u64 << me) != 0 {
+                    let joined = (0..self.inner.hosts)
+                        .filter(|&p| joined_mask & (1u64 << p) != 0)
+                        .collect();
+                    return Ok(GrowVerdict {
+                        joined,
+                        members: member_mask,
+                        generation: max_ctx,
+                    });
+                }
+            }
+            // Every member gone means the cluster exited (or died) while
+            // we were knocking: no verdict will ever come.
+            let gone: Vec<usize> = (0..self.inner.hosts)
+                .filter(|&p| p != me && !st.latent[p] && !st.excluded[p] && st.departed[p])
+                .collect();
+            let members_left = (0..self.inner.hosts)
+                .any(|p| p != me && !st.latent[p] && !st.excluded[p] && !st.departed[p]);
+            if !members_left {
+                return Err(CommError::HostFailure { hosts: gone });
+            }
+            st = match deadline.remaining() {
+                None => self.inner.cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+                Some(rem) if rem.is_zero() => {
+                    let laggards = (0..self.inner.hosts)
+                        .filter(|&p| p != me && !st.bystander(p) && !st.departed[p])
+                        .collect();
+                    drop(st);
+                    self.broadcast(TAG_JOIN, &0u64.to_le_bytes());
+                    return Err(CommError::Timeout {
+                        phase: deadline.phase(),
+                        hosts: laggards,
+                    });
+                }
+                Some(rem) => {
+                    self.inner
+                        .cv
+                        .wait_timeout(st, rem)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0
+                }
+            };
+        }
+    }
+
+    /// The member's side of the grow gate: announce the round, then wait
+    /// for the verdict. The leader — the lowest-id live member — cuts the
+    /// verdict once every member has announced this round, admitting every
+    /// candidate with an unretracted knock (possibly none, so a candidate
+    /// that died or gave up mid-gate cannot wedge the gate), and
+    /// broadcasts it so a double-join race cannot split the verdict.
+    fn grow_member(
+        &self,
+        deadline: &Deadline,
+        my_generation: u64,
+    ) -> Result<GrowVerdict, CommError> {
+        let me = self.inner.host;
+        let hosts = self.inner.hosts;
+        let arrival = self.inner.lock().grow_gen + 1;
+        let mut body = arrival.to_le_bytes().to_vec();
+        body.extend_from_slice(&my_generation.to_le_bytes());
+        self.broadcast(TAG_GROW, &body);
+        let mut st = self.inner.lock();
+        loop {
+            if let Some(err) = st.failure() {
+                return Err(err);
+            }
+            let gone: Vec<usize> = (0..hosts)
+                .filter(|&p| st.departed[p] && !st.bystander(p))
+                .collect();
+            if !gone.is_empty() {
+                return Err(CommError::HostFailure { hosts: gone });
+            }
+            if st.grow_gen >= arrival {
+                // The verdict was applied (leader broadcast reached us).
+                let (_, joined_mask, member_mask, max_ctx) =
+                    st.last_verdict.expect("grow generation without verdict");
+                let joined = (0..hosts)
+                    .filter(|&p| joined_mask & (1u64 << p) != 0)
+                    .collect();
+                return Ok(GrowVerdict {
+                    joined,
+                    members: member_mask,
+                    generation: max_ctx.max(my_generation),
+                });
+            }
+            let leader = (0..hosts).find(|&p| !st.bystander(p) && !st.departed[p]);
+            if leader == Some(me) {
+                let all_in = (0..hosts).all(|p| {
+                    p == me || st.bystander(p) || st.departed[p] || st.grow_seen[p] >= arrival
+                });
+                if all_in {
+                    let joined: Vec<usize> = (0..hosts)
+                        .filter(|&p| st.latent[p] && st.join_pending[p] && !st.departed[p])
+                        .collect();
+                    let joined_mask = joined.iter().fold(0u64, |m, &p| m | (1u64 << p));
+                    let member_mask = (0..hosts)
+                        .filter(|&p| !st.excluded[p] && !st.latent[p] && !st.departed[p])
+                        .fold(joined_mask, |m, p| m | (1u64 << p));
+                    let max_ctx = (0..hosts)
+                        .filter(|&p| p != me && !st.bystander(p) && !st.departed[p])
+                        .map(|p| st.grow_ctx_gen[p])
+                        .max()
+                        .unwrap_or(0)
+                        .max(my_generation);
+                    st.apply_verdict(arrival, joined_mask, member_mask, max_ctx);
+                    drop(st);
+                    let mut vb = Vec::with_capacity(32);
+                    vb.extend_from_slice(&arrival.to_le_bytes());
+                    vb.extend_from_slice(&joined_mask.to_le_bytes());
+                    vb.extend_from_slice(&member_mask.to_le_bytes());
+                    vb.extend_from_slice(&max_ctx.to_le_bytes());
+                    self.broadcast(TAG_GROW_VERDICT, &vb);
+                    return Ok(GrowVerdict {
+                        joined,
+                        members: member_mask,
+                        generation: max_ctx,
+                    });
+                }
+            }
+            st = match deadline.remaining() {
+                None => self.inner.cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+                Some(rem) if rem.is_zero() => {
+                    let laggards = (0..hosts)
+                        .filter(|&p| {
+                            p != me
+                                && st.grow_seen[p] < arrival
+                                && !st.departed[p]
+                                && !st.bystander(p)
+                        })
                         .collect();
                     return Err(CommError::Timeout {
                         phase: deadline.phase(),

@@ -18,6 +18,8 @@
 //! values after all workers exit. The same seeded `--faults` plans run on
 //! either transport and must produce identical labels.
 
+use kimbap::elastic::{join_plan_elastic, run_plan_elastic};
+use kimbap::engine::EngineConfig;
 use kimbap::prelude::*;
 use kimbap::simfuzz;
 use kimbap_algos::{
@@ -25,15 +27,15 @@ use kimbap_algos::{
     NpmBuilder,
 };
 use kimbap_comm::{
-    new_trace_sink, run_transport_host, HostError, TcpTransport, TransportConfig,
+    new_trace_sink, run_transport_host, Deadline, HostError, TcpTransport, TransportConfig,
 };
-use kimbap_compiler::{classify_program, compile, frontend, OptLevel};
+use kimbap_compiler::{classify_program, compile, frontend, programs, OptLevel};
 use kimbap_dist::{partition_cfg, PartitionCfg};
 use kimbap_graph::io;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,13 +68,14 @@ usage:
   kimbap stats FILE
   kimbap run <cc-sv|cc-lp|cc-sclp|mis|msf|louvain|leiden> FILE
              [--hosts N] [--threads N] [--transport inproc|tcp]
-             [--faults none|drop|corrupt|crash|kill] [--seed N]
-             [--allow-shrink] [--no-pipeline] [--port-base N] [--out FILE]
-             [--raw] [--hub-threshold N]
+             [--faults none|drop|corrupt|crash|kill|join] [--seed N]
+             [--allow-shrink] [--allow-grow] [--no-pipeline]
+             [--port-base N] [--out FILE] [--raw] [--hub-threshold N]
   kimbap sim [--algo <cc-sv|cc-lp|cc-sclp|mis|msf|louvain|leiden>]
              [--seed N] [--seeds N] [--hosts N] [--threads N]
-             [--scale N] [--ef N] [--allow-shrink] [--no-pipeline]
-             [--trace FILE] [--out FILE] [--raw] [--hub-threshold N]
+             [--scale N] [--ef N] [--allow-shrink] [--allow-grow]
+             [--no-pipeline] [--trace FILE] [--out FILE] [--raw]
+             [--hub-threshold N]
   kimbap compile FILE.kv [--no-opt]
 
 graphs are stored in the kimbap binary format (.kg) or may be text edge
@@ -102,6 +105,14 @@ host out of the membership, re-partition over the shrunk cluster, and
 re-converge. With --faults kill (or the kill-bearing seeds of the sim
 fuzz plans) the victim exits mid-run and the remaining hosts must still
 produce the fault-free output.
+
+--allow-grow (cc-lp only) runs the compiled elastic engine and accepts a
+live host join mid-run: the members stop at a round boundary, admit the
+newcomer, re-shard the master maps over the expanded ownership, and
+resume. --faults join declares one spare host that knocks ~50 ms in; on
+--transport tcp it is a real worker process spawned late. kimbap sim
+--allow-grow draws seeded churn plans (joins, kills, both) and checks
+every interleaving converges to the fault-free labels.
 
 runs are read-only over the graph, so each host stores its local CSR on
 the compressed tier (delta+varint neighbor blocks) by default; --raw
@@ -248,8 +259,52 @@ fn fault_plan(name: &str, seed: u64, hosts: usize) -> Result<FaultPlan, String> 
         // in process mode the worker exits with KILLED_EXIT_CODE. Only
         // recoverable under --allow-shrink.
         "kill" => FaultPlan::new().kill_host(1, 2),
+        // Live join: the highest capacity slot starts latent and knocks
+        // 50 ms into the run. Only admittable under --allow-grow, where
+        // the launcher sizes the cluster one past --hosts for it.
+        "join" => FaultPlan::new().join_host(hosts - 1, 50),
         other => return Err(format!("unknown fault plan '{other}'")),
     })
+}
+
+/// Runs the compiled cc-lp program on the elastic engine from one host's
+/// context — the `--allow-grow` path shared by the in-proc, TCP-worker,
+/// and sim launchers. Members enter through [`run_plan_elastic`] with
+/// join detection armed; a latent host sleeps out its declared delay and
+/// knocks through [`join_plan_elastic`]. A joiner that gives up (the
+/// members finished first) contributes no masters, which is benign: the
+/// members' outputs still cover every node.
+fn run_grow_cc(g: &Graph, ctx: &HostCtx) -> Vec<(NodeId, u64)> {
+    let prog = compile(&programs::cc_lp(), OptLevel::Full);
+    let config = EngineConfig {
+        allow_grow: true,
+        ..EngineConfig::default()
+    };
+    let out = if ctx.is_member() {
+        Some(run_plan_elastic(
+            g,
+            Policy::EdgeCutBlocked,
+            &prog,
+            config,
+            ctx,
+        ))
+    } else {
+        join_plan_elastic(
+            g,
+            Policy::EdgeCutBlocked,
+            &prog,
+            config,
+            ctx,
+            &Deadline::after("join", Duration::from_secs(10)),
+        )
+    };
+    match out {
+        Some(o) => o.map_values.into_iter().next().unwrap_or_default(),
+        None => {
+            println!("joiner gave up: the members finished before admission");
+            Vec::new()
+        }
+    }
 }
 
 /// Runs one cc-family algorithm SPMD on the calling host's context.
@@ -279,6 +334,7 @@ fn run_tcp_cc(
     faults: &str,
     seed: u64,
     allow_shrink: bool,
+    allow_grow: bool,
     pipelined: bool,
     store: StoreOpts,
 ) -> Result<Vec<Vec<(NodeId, u64)>>, String> {
@@ -287,6 +343,12 @@ fn run_tcp_cc(
     std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
     let mut children = Vec::with_capacity(hosts);
     for h in 0..hosts {
+        // The join plan's latent slot is a genuinely late process: the
+        // members' workers are already running their first rounds when
+        // the joiner is spawned and knocks on the live cluster.
+        if faults == "join" && h == hosts - 1 {
+            std::thread::sleep(Duration::from_millis(50));
+        }
         let part = dir.join(format!("host{h}.txt"));
         let mut cmd = std::process::Command::new(&exe);
         cmd.arg("_worker")
@@ -301,6 +363,9 @@ fn run_tcp_cc(
             .args(["--out", part.to_str().ok_or("non-UTF-8 temp dir")?]);
         if allow_shrink {
             cmd.arg("--allow-shrink");
+        }
+        if allow_grow {
+            cmd.arg("--allow-grow");
         }
         if !pipelined {
             cmd.arg("--no-pipeline");
@@ -363,16 +428,38 @@ fn cmd_worker(args: &[String]) -> CliResult {
     let seed: u64 = flag_num(args, "--seed", 1)?;
     let out = flag(args, "--out").ok_or("missing --out")?;
     let allow_shrink = args.iter().any(|a| a == "--allow-shrink");
+    let allow_grow = args.iter().any(|a| a == "--allow-grow");
     let pipelined = !args.iter().any(|a| a == "--no-pipeline");
     let store = StoreOpts::parse(args)?;
     let g = load_graph(&path)?;
     let parts = partition_cfg(&g, &store.cfg(Policy::CartesianVertexCut, hosts));
     let plan = fault_plan(&faults, seed, hosts)?;
-    let transport = TcpTransport::bind(host, hosts, port_base, TransportConfig::default())
-        .map_err(|e| format!("host {host}: bind tcp transport: {e}"))?;
+    let latent = plan.latent_hosts();
+    let transport = match TcpTransport::bind_with_latent(
+        host,
+        hosts,
+        port_base,
+        TransportConfig::default(),
+        &latent,
+    ) {
+        Ok(t) => t,
+        // A late-spawned joiner that cannot reach any member (they
+        // finished and closed their listeners first) gives up benignly:
+        // the members' outputs already cover every node.
+        Err(e) if latent.contains(&host) => {
+            println!("joiner could not reach the cluster ({e}); giving up");
+            File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
+            return Ok(());
+        }
+        Err(e) => return Err(format!("host {host}: bind tcp transport: {e}")),
+    };
     let vals = run_transport_host(&transport, threads, plan, |ctx| {
         ctx.set_pipelined(pipelined);
-        if allow_shrink {
+        if allow_grow {
+            // The compiled elastic engine recovers, shrinks, and grows
+            // on its own checkpoints — no closure-level retry wrapper.
+            run_grow_cc(&g, ctx)
+        } else if allow_shrink {
             // Elastic: re-partition from the live membership on every
             // attempt, so after a shrink the survivors cover all nodes.
             ctx.run_elastic(|ctx| {
@@ -580,11 +667,15 @@ fn run_sim_seed(
     scale: u32,
     ef: usize,
     allow_shrink: bool,
+    allow_grow: bool,
     pipelined: bool,
     store: StoreOpts,
     trace_path: Option<&str>,
     out: Option<&str>,
 ) -> Result<(SimOutcome, usize), String> {
+    if allow_grow && algo != "cc-lp" {
+        return Err("--allow-grow runs the compiled elastic engine: cc-lp only".into());
+    }
     let mut g = gen::rmat(scale, ef, seed);
     if algo == "msf" {
         g = gen::with_random_weights(&g, 1 << 16, seed ^ WEIGHT_SEED_SALT);
@@ -630,17 +721,35 @@ fn run_sim_seed(
     } else {
         None
     };
-    let plan = if allow_shrink {
+    let plan = if allow_grow {
+        simfuzz::random_churn_plan(seed, hosts)
+    } else if allow_shrink {
         simfuzz::random_kill_plan(seed, hosts)
     } else {
         simfuzz::random_fault_plan(seed, hosts)
     };
+    // A churn plan's joiner occupies one spare capacity slot past the
+    // member count; seeds without a join run at plain capacity.
+    let capacity = hosts + plan.latent_hosts().len();
     let sink = new_trace_sink();
-    let cluster = Cluster::with_threads(hosts, threads)
+    let cluster = Cluster::with_threads(capacity, threads)
         .sim(seed)
         .with_transport_config(simfuzz::sim_transport_config())
         .with_trace_sink(sink.clone());
-    let outcome = sim_outcome(algo, &g, &cluster, plan, allow_shrink, pipelined, store)?;
+    let outcome = if allow_grow {
+        match host_values(
+            cluster.try_run_with_faults(plan, |ctx| {
+                ctx.set_pipelined(pipelined);
+                run_grow_cc(&g, ctx)
+            }),
+            true,
+        )? {
+            HostValues::Aborted(m) => SimOutcome::Aborted(m),
+            HostValues::All(ph) => SimOutcome::Labels(merge_master_values(g.num_nodes(), ph)),
+        }
+    } else {
+        sim_outcome(algo, &g, &cluster, plan, allow_shrink, pipelined, store)?
+    };
     let trace = std::mem::take(&mut *sink.lock());
     if let Some(path) = trace_path {
         let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
@@ -676,6 +785,7 @@ fn cmd_sim(args: &[String]) -> CliResult {
     let seed: u64 = flag_num(args, "--seed", 1)?;
     let nseeds: u64 = flag_num(args, "--seeds", 1)?;
     let allow_shrink = args.iter().any(|a| a == "--allow-shrink");
+    let allow_grow = args.iter().any(|a| a == "--allow-grow");
     let pipelined = !args.iter().any(|a| a == "--no-pipeline");
     let store = StoreOpts::parse(args)?;
     let trace_path = flag(args, "--trace");
@@ -685,7 +795,7 @@ fn cmd_sim(args: &[String]) -> CliResult {
     for s in seed..seed.saturating_add(nseeds) {
         let replay = format!(
             "replay: {}",
-            simfuzz::replay_command(&algo, s, hosts, threads, scale, ef, allow_shrink)
+            simfuzz::replay_command(&algo, s, hosts, threads, scale, ef, allow_shrink, allow_grow)
         );
         let (outcome, events) = run_sim_seed(
             &algo,
@@ -695,6 +805,7 @@ fn cmd_sim(args: &[String]) -> CliResult {
             scale,
             ef,
             allow_shrink,
+            allow_grow,
             pipelined,
             store,
             trace_path.as_deref(),
@@ -740,6 +851,7 @@ fn cmd_run(args: &[String]) -> CliResult {
     let port_base: u16 = flag_num(args, "--port-base", 46000)?;
     let out = flag(args, "--out");
     let allow_shrink = args.iter().any(|a| a == "--allow-shrink");
+    let allow_grow = args.iter().any(|a| a == "--allow-grow");
     let pipelined = !args.iter().any(|a| a == "--no-pipeline");
     let store = StoreOpts::parse(args)?;
     let is_cc = matches!(algo.as_str(), "cc-sv" | "cc-lp" | "cc-sclp");
@@ -757,6 +869,16 @@ fn cmd_run(args: &[String]) -> CliResult {
     if faults == "kill" && !allow_shrink {
         return Err("--faults kill is only survivable with --allow-shrink".into());
     }
+    if allow_grow && algo != "cc-lp" {
+        return Err("--allow-grow runs the compiled elastic engine: cc-lp only".into());
+    }
+    if faults == "join" && !allow_grow {
+        return Err("--faults join is only admittable with --allow-grow".into());
+    }
+    // The join plan's latent host occupies one capacity slot past the
+    // requested member count: the cluster starts computing on --hosts
+    // members and grows into the spare when the joiner knocks.
+    let capacity = if faults == "join" { hosts + 1 } else { hosts };
     let g = load_graph(&path)?;
     println!("input: {}", GraphStats::of(&g));
 
@@ -777,9 +899,26 @@ fn cmd_run(args: &[String]) -> CliResult {
         "cc-sv" | "cc-lp" | "cc-sclp" => {
             let per_host = if transport == "tcp" {
                 run_tcp_cc(
-                    &algo, &path, hosts, threads, port_base, &faults, seed, allow_shrink,
-                    pipelined, store,
+                    &algo, &path, capacity, threads, port_base, &faults, seed, allow_shrink,
+                    allow_grow, pipelined, store,
                 )?
+            } else if allow_grow {
+                let plan = fault_plan(&faults, seed, capacity)?;
+                let res = Cluster::with_threads(capacity, threads).try_run_with_faults(plan, |ctx| {
+                    ctx.set_pipelined(pipelined);
+                    run_grow_cc(&g, ctx)
+                });
+                let mut per_host = Vec::new();
+                for (h, r) in res.into_iter().enumerate() {
+                    match r {
+                        Ok(v) => per_host.push(v),
+                        Err(e) if e.message.starts_with("permanent host loss") => {
+                            println!("host {h} was killed; survivors shrank past it");
+                        }
+                        Err(e) => return Err(format!("host {h}: {e}")),
+                    }
+                }
+                per_host
             } else if allow_shrink {
                 let plan = fault_plan(&faults, seed, hosts)?;
                 let res = cluster.try_run_with_faults(plan, |ctx| {

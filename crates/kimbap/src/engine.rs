@@ -44,6 +44,12 @@ pub struct EngineConfig {
     /// [`crate::elastic::run_plan_elastic`]) carrying the durable state
     /// instead of propagating a terminal error.
     pub allow_shrink: bool,
+    /// Admit latent hosts mid-run: every round the members vote (one
+    /// all-reduce) on whether any latent host is knocking to join, and a
+    /// positive vote raises a [`GrowSignal`] (caught by
+    /// [`crate::elastic::run_plan_elastic`]) at that round boundary so
+    /// every member stops at the grow gate together.
+    pub allow_grow: bool,
     /// Overlap reduce-sync serialization and wire I/O with compute via
     /// split-phase chunked exchanges (on by default; `--no-pipeline` turns
     /// it off). Pin rounds — the first round and post-recovery replays —
@@ -60,6 +66,7 @@ impl Default for EngineConfig {
             sparse: true,
             phase_timeout: None,
             allow_shrink: false,
+            allow_grow: false,
             pipelined: true,
         }
     }
@@ -151,6 +158,21 @@ pub struct ShrinkSignal {
     /// The ring predecessor's durable state from the last replication
     /// exchange, if one completed.
     pub replica: Option<DurableState>,
+}
+
+/// Panic payload raised at a round boundary when (with
+/// [`EngineConfig::allow_grow`]) the members' per-round vote observes a
+/// latent host knocking to join. Carries everything the elastic driver
+/// needs to agree the grow and re-shard the masters onto the expanded
+/// membership. No replica rides along: nobody died, every member
+/// re-shards its own live state.
+pub struct GrowSignal {
+    /// Index of the top-level program item that was executing, when it was
+    /// a directly resumable loop; `None` forces a full restart on the
+    /// grown membership.
+    pub top_idx: Option<usize>,
+    /// This host's own durable state at the last checkpoint.
+    pub state: DurableState,
 }
 
 fn put_u64(buf: &mut Vec<u8>, v: u64) {
@@ -501,6 +523,21 @@ impl<'g> Engine<'g> {
         let mut recoveries = 0u32;
         loop {
             let step = catch_unwind(AssertUnwindSafe(|| {
+                if self.config.allow_grow {
+                    // Synchronized join detection: one host acting on its
+                    // local view of a knock would desync the collectives,
+                    // so every member votes and all stop at the same round
+                    // boundary.
+                    let knocking = u64::from(!ctx.pending_joins().is_empty());
+                    if ctx.all_reduce_u64(knocking, |a, b| a.max(b)) != 0 {
+                        // resume_unwind, not panic_any: this is control
+                        // flow, and the panic hook must not print it.
+                        resume_unwind(Box::new(GrowSignal {
+                            top_idx: self.top_cursor,
+                            state: self.globalize(&cp),
+                        }));
+                    }
+                }
                 if replicate_due {
                     self.replicate(ctx, &cp);
                 }

@@ -111,6 +111,42 @@ pub fn random_kill_plan(seed: u64, hosts: usize) -> FaultPlan {
     plan
 }
 
+/// The live join a seed's churn fuzz plan carries, if any: about half
+/// the seeds spawn one latent host (the cluster's spare capacity slot,
+/// index `hosts`) that knocks `delay_ms` into the run. Pure function of
+/// the seed; [`random_churn_plan`] injects exactly this join, and the
+/// launcher uses it to pick the right convergence baseline (an admitted
+/// join makes the run finish on the grown membership).
+pub fn join_entry(seed: u64, hosts: usize) -> Option<(usize, u64)> {
+    let mut z = seed ^ 0x6a01_4b0b;
+    if hosts >= 2 && splitmix(&mut z) % 100 < 50 {
+        // Delay 0 or 1 ms of virtual time: small graphs finish in a few
+        // virtual milliseconds, so this lands the knock mid-run for most
+        // seeds and past the finish line for a few — both interleavings
+        // (admission and benign give-up) stay in the fuzzed population.
+        let delay_ms = splitmix(&mut z) % 2;
+        Some((hosts, delay_ms))
+    } else {
+        None
+    }
+}
+
+/// Derives the fault plan a churn (`--allow-shrink --allow-grow`) fuzz
+/// run injects for `seed`: the usual background frame noise, the
+/// permanent kill [`kill_victim`] selects (~40% of seeds), and the live
+/// join [`join_entry`] selects (~50% of seeds). The two draws are
+/// independent, so the seed population covers join-only, kill-only,
+/// join-then-kill, kill-then-join, and quiet runs — every grow/shrink
+/// interleaving the elastic engine must survive, each replayable by
+/// seed.
+pub fn random_churn_plan(seed: u64, hosts: usize) -> FaultPlan {
+    let mut plan = random_kill_plan(seed, hosts);
+    if let Some((h, delay_ms)) = join_entry(seed, hosts) {
+        plan = plan.join_host(h, delay_ms);
+    }
+    plan
+}
+
 /// The transport configuration simulated fuzz runs use: a fast heartbeat
 /// (10 ms interval, 80 ms suspicion) so injected stalls are detected —
 /// both delays elapse on the virtual clock, costing microseconds of wall
@@ -123,6 +159,7 @@ pub fn sim_transport_config() -> TransportConfig {
 }
 
 /// The exact CLI invocation that replays one simulated fuzz seed.
+#[allow(clippy::too_many_arguments)]
 pub fn replay_command(
     algo: &str,
     seed: u64,
@@ -131,11 +168,13 @@ pub fn replay_command(
     scale: u32,
     ef: usize,
     allow_shrink: bool,
+    allow_grow: bool,
 ) -> String {
     let shrink = if allow_shrink { " --allow-shrink" } else { "" };
+    let grow = if allow_grow { " --allow-grow" } else { "" };
     format!(
         "kimbap sim --algo {algo} --seed {seed} --hosts {hosts} --threads {threads} \
-         --scale {scale} --ef {ef}{shrink} --trace trace.jsonl"
+         --scale {scale} --ef {ef}{shrink}{grow} --trace trace.jsonl"
     )
 }
 
@@ -191,6 +230,35 @@ mod tests {
             }
         }
         assert_eq!(chunk_drop(7, 1), None, "no peers, no chunk faults");
+    }
+
+    #[test]
+    fn churn_plans_are_deterministic_and_cover_all_interleavings() {
+        // The CI churn fuzz runs seeds 1..=25: that window must contain
+        // joins, kills, AND at least a few seeds drawing both at once
+        // (the join-then-kill / kill-then-join interleavings the grow
+        // and shrink recovery paths have to compose under).
+        let joins = (1..=25).filter(|&s| join_entry(s, 4).is_some()).count();
+        assert!((8..=20).contains(&joins), "skewed join coverage: {joins}/25");
+        let both = (1..=25)
+            .filter(|&s| join_entry(s, 4).is_some() && kill_victim(s, 4).is_some())
+            .count();
+        assert!(both >= 2, "no seeds mix a join with a kill: {both}/25");
+        for seed in 0..32 {
+            assert_eq!(
+                format!("{:?}", random_churn_plan(seed, 4)),
+                format!("{:?}", random_churn_plan(seed, 4))
+            );
+            if let Some((h, delay_ms)) = join_entry(seed, 4) {
+                assert_eq!(h, 4, "the joiner is the spare capacity slot");
+                assert!(delay_ms <= 1);
+                assert_eq!(
+                    random_churn_plan(seed, 4).latent_hosts(),
+                    vec![4],
+                    "the churn plan must declare the joiner latent"
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,12 +6,16 @@
 //! never silently diverge. Failures print the `kimbap sim` command that
 //! replays the offending schedule.
 
+use kimbap::elastic::{join_plan_elastic, run_plan_elastic};
+use kimbap::engine::EngineConfig;
 use kimbap::simfuzz;
 use kimbap_algos::{cc::cc_lp, merge_master_values, refcheck, NpmBuilder};
-use kimbap_comm::{Cluster, FaultPlan};
+use kimbap_comm::{Cluster, Deadline, FaultPlan};
+use kimbap_compiler::{compile, programs, OptLevel};
 use kimbap_dist::{partition, Policy};
 use kimbap_graph::gen;
 use proptest::prelude::*;
+use std::time::Duration;
 
 const HOSTS: usize = 3;
 
@@ -136,6 +140,63 @@ fn sim_cc_lp_elastic(
     Ok(Some(merge_master_values(g.num_nodes(), vals)))
 }
 
+/// The churn variant: the compiled elastic engine with grow armed, on a
+/// cluster sized one past the members when the plan carries a latent
+/// joiner. Members may shrink past a kill AND admit the joiner in the
+/// same run; a joiner that gives up (the members finished first)
+/// contributes no masters, which is benign. Outcome classification
+/// matches [`sim_cc_lp_elastic`].
+fn sim_cc_lp_churn(
+    g: &kimbap_graph::Graph,
+    plan: FaultPlan,
+    sim_seed: u64,
+) -> Result<Option<Vec<u64>>, String> {
+    let prog = compile(&programs::cc_lp(), OptLevel::Full);
+    let capacity = HOSTS + plan.latent_hosts().len();
+    let cluster = Cluster::with_threads(capacity, 1)
+        .sim(sim_seed)
+        .with_transport_config(simfuzz::sim_transport_config());
+    let res = cluster.try_run_with_faults(plan, |ctx| {
+        let config = EngineConfig {
+            allow_grow: true,
+            ..EngineConfig::default()
+        };
+        if ctx.is_member() {
+            Some(run_plan_elastic(g, Policy::EdgeCutBlocked, &prog, config, ctx))
+        } else {
+            join_plan_elastic(
+                g,
+                Policy::EdgeCutBlocked,
+                &prog,
+                config,
+                ctx,
+                &Deadline::after("join", Duration::from_secs(30)),
+            )
+        }
+    });
+    let mut vals = Vec::with_capacity(capacity);
+    let mut surfaced = false;
+    for r in res {
+        match r {
+            Ok(Some(out)) => vals.push(out.map_values.into_iter().next().unwrap_or_default()),
+            Ok(None) => {} // joiner gave up cleanly — no masters to merge
+            Err(e) if e.message.starts_with("permanent host loss") => {}
+            Err(e)
+                if e.message.starts_with("communication failed")
+                    || e.message.starts_with("injected crash")
+                    || e.message.contains("membership lost") =>
+            {
+                surfaced = true;
+            }
+            Err(e) => return Err(format!("non-communication panic: {e}")),
+        }
+    }
+    if surfaced || vals.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(merge_master_values(g.num_nodes(), vals)))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -165,7 +226,7 @@ proptest! {
     /// the printed `kimbap sim` command.
     #[test]
     fn cli_fuzz_seed_converges_or_surfaces(seed in 0u64..=u64::MAX) {
-        let replay = simfuzz::replay_command("cc-lp", seed, HOSTS, 1, 6, 4, false);
+        let replay = simfuzz::replay_command("cc-lp", seed, HOSTS, 1, 6, 4, false, false);
         let g = gen::rmat(6, 4, seed);
         let plan = simfuzz::random_fault_plan(seed, HOSTS);
         match sim_cc_lp(&g, Policy::CartesianVertexCut, plan, seed) {
@@ -207,13 +268,35 @@ proptest! {
     /// printed `kimbap sim --allow-shrink` command replays them exactly.
     #[test]
     fn cli_elastic_fuzz_seed_shrinks_or_surfaces(seed in 0u64..=u64::MAX) {
-        let replay = simfuzz::replay_command("cc-lp", seed, HOSTS, 1, 6, 4, true);
+        let replay = simfuzz::replay_command("cc-lp", seed, HOSTS, 1, 6, 4, true, false);
         let g = gen::rmat(6, 4, seed);
         let plan = simfuzz::random_kill_plan(seed, HOSTS);
         match sim_cc_lp_elastic(&g, plan, seed) {
             Ok(Some(labels)) => {
                 prop_assert_eq!(labels, refcheck::connected_components(&g),
                     "survivor labels diverged from reference; replay: {}", replay);
+            }
+            Ok(None) => {}
+            Err(bug) => panic!("{bug}; replay: {replay}"),
+        }
+    }
+
+    /// The churn CLI fuzz path: seed-derived mixed join/kill plans
+    /// (`random_churn_plan`) run the compiled elastic engine through
+    /// every membership interleaving — join-only, kill-only, both, or
+    /// quiet — and the final merged labels must still equal the
+    /// static-membership reference (or the run surfaces a clean
+    /// failure). The printed `kimbap sim --allow-shrink --allow-grow`
+    /// command replays the schedule exactly.
+    #[test]
+    fn cli_churn_fuzz_seed_grows_shrinks_or_surfaces(seed in 0u64..=u64::MAX) {
+        let replay = simfuzz::replay_command("cc-lp", seed, HOSTS, 1, 6, 4, true, true);
+        let g = gen::rmat(6, 4, seed);
+        let plan = simfuzz::random_churn_plan(seed, HOSTS);
+        match sim_cc_lp_churn(&g, plan, seed) {
+            Ok(Some(labels)) => {
+                prop_assert_eq!(labels, refcheck::connected_components(&g),
+                    "churned labels diverged from reference; replay: {}", replay);
             }
             Ok(None) => {}
             Err(bug) => panic!("{bug}; replay: {replay}"),

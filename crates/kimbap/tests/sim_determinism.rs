@@ -76,6 +76,72 @@ fn louvain_replays_byte_identical_trace() {
     assert_eq!(t1, t2, "louvain replay must be byte-identical");
 }
 
+/// A live join racing a permanent kill — the gnarliest interleaving the
+/// elastic engine supports (the knock can land while the survivors are
+/// mid-shrink) — is still a pure function of the seed: two runs replay
+/// byte-identical traces and identical labels.
+#[test]
+fn join_during_recovery_replays_byte_identical_trace() {
+    use kimbap::elastic::{join_plan_elastic, run_plan_elastic};
+    use kimbap::engine::EngineConfig;
+    use kimbap_comm::Deadline;
+    use kimbap_compiler::{compile, programs, OptLevel};
+
+    let g = gen::rmat(6, 4, 9);
+    let run = || {
+        let prog = compile(&programs::cc_lp(), OptLevel::Full);
+        // Host 1 dies at round 2 while the spare slot knocks from the
+        // very start: join and shrink recovery race by construction.
+        let plan = FaultPlan::new().kill_host(1, 2).join_host(HOSTS, 0);
+        let sink = new_trace_sink();
+        let cluster = Cluster::with_threads(HOSTS + 1, 1)
+            .sim(23)
+            .with_transport_config(simfuzz::sim_transport_config())
+            .with_trace_sink(sink.clone());
+        let res = cluster.try_run_with_faults(plan, |ctx| {
+            let config = EngineConfig {
+                allow_grow: true,
+                ..EngineConfig::default()
+            };
+            if ctx.is_member() {
+                Some(run_plan_elastic(&g, Policy::EdgeCutBlocked, &prog, config, ctx))
+            } else {
+                join_plan_elastic(
+                    &g,
+                    Policy::EdgeCutBlocked,
+                    &prog,
+                    config,
+                    ctx,
+                    &Deadline::after("join", std::time::Duration::from_secs(30)),
+                )
+            }
+        });
+        let mut vals = Vec::new();
+        for (h, r) in res.into_iter().enumerate() {
+            match r {
+                Ok(Some(out)) => vals.push(out.map_values.into_iter().next().unwrap_or_default()),
+                Ok(None) => {} // joiner gave up cleanly
+                Err(e) if e.message.starts_with("permanent host loss") => {
+                    assert_eq!(h, 1, "only the planned victim may die");
+                }
+                Err(e) => panic!("host {h}: {e}"),
+            }
+        }
+        let labels = merge_master_values(g.num_nodes(), vals);
+        let trace = std::mem::take(&mut *sink.lock());
+        (labels, trace.iter().map(TraceEvent::to_json).collect::<Vec<_>>())
+    };
+    let (l1, t1) = run();
+    let (l2, t2) = run();
+    assert_eq!(
+        l1,
+        refcheck::connected_components(&g),
+        "churned labels must match the reference"
+    );
+    assert_eq!(l1, l2, "same seed must produce identical labels under churn");
+    assert_eq!(t1, t2, "join-during-recovery replay must be byte-identical");
+}
+
 #[test]
 fn different_seed_changes_schedule_but_not_labels() {
     let g = gen::rmat(6, 4, 9);

@@ -66,6 +66,14 @@ if [ "$SMOKE" = 1 ]; then
         echo "bench smoke: peak_rss_bytes not recorded" >&2
         exit 1
     fi
+    # Elastic membership counters: every run record must serialize the
+    # join columns (zero in fault-free runs, but always present so the
+    # perf history can diff churn experiments).
+    if ! grep '"bench":"fig11_runtime_variants"' "$TMP_JSONL" \
+            | grep -q '"joins":[0-9][0-9]*,"grow_resharded_keys":[0-9]'; then
+        echo "bench smoke: run records missing joins/grow_resharded_keys columns" >&2
+        exit 1
+    fi
     lines=$(wc -l < "$TMP_JSONL")
     if [ "$lines" -lt 1 ]; then
         echo "bench smoke: no JSON records produced" >&2

@@ -34,6 +34,9 @@ echo "==> simulation fuzz smoke (seed-replayable; failures print a replay cmd)"
 echo "==> elastic fuzz smoke (kill-bearing plans; survivors must shrink+converge)"
 ./target/release/kimbap sim --algo cc-lp --seeds 25 --hosts 4 --allow-shrink
 
+echo "==> churn fuzz smoke (seeded join/kill plans; every interleaving must converge)"
+./target/release/kimbap sim --algo cc-lp --seeds 25 --hosts 4 --allow-shrink --allow-grow
+
 echo "==> TCP-loopback smoke (multi-process kimbap bin vs in-proc, diffed)"
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
@@ -74,6 +77,19 @@ echo "==> TCP kill smoke (worker 1 killed mid-run; survivors' output diffed)"
     --out "$SMOKE_DIR/degraded.txt"
 diff "$SMOKE_DIR/clean.txt" "$SMOKE_DIR/degraded.txt"
 echo "    degraded (3-host) and fault-free (4-host) labels identical"
+
+echo "==> TCP grow smoke (a real worker process joins mid-run; output diffed)"
+# A grid graph's diameter keeps cc-lp running long enough for the
+# late-spawned joiner worker to knock mid-computation.
+./target/release/kimbap gen --kind grid --rows 150 --cols 150 --seed 9 \
+    --out "$SMOKE_DIR/grid.kg"
+./target/release/kimbap run cc-lp "$SMOKE_DIR/grid.kg" --hosts 3 --threads 2 \
+    --out "$SMOKE_DIR/grid-clean.txt"
+./target/release/kimbap run cc-lp "$SMOKE_DIR/grid.kg" --hosts 3 --threads 2 \
+    --transport tcp --port-base 47200 --faults join --allow-grow \
+    --out "$SMOKE_DIR/grid-grown.txt"
+diff "$SMOKE_DIR/grid-clean.txt" "$SMOKE_DIR/grid-grown.txt"
+echo "    grown (3 -> 4 host) and fault-free labels identical"
 
 echo "==> compressed-vs-raw smoke (cc-lp + louvain, inproc and sim, diffed)"
 ./target/release/kimbap run cc-lp "$SMOKE_DIR/g.kg" --hosts 3 --threads 2 \
