@@ -54,7 +54,7 @@ impl Default for LouvainConfig {
 }
 
 /// Per-host output of [`louvain`] / [`fn@crate::leiden`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CommunityResult {
     /// For each level: this host's `(node id at that level, coarse id at
     /// the next level)` for its masters. Compose across hosts and levels

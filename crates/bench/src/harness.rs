@@ -59,6 +59,14 @@ pub struct RunStats {
     /// Individual chunks re-sent on targeted retransmit requests (sum
     /// over hosts; zero in fault-free runs).
     pub chunk_retransmits: u64,
+    /// Serve-layer result-cache hits (sum over hosts; zero unless a
+    /// serving layer answered queries from its cache).
+    pub cache_hits: u64,
+    /// Serve-layer result-cache misses (sum over hosts).
+    pub cache_misses: u64,
+    /// Serve-layer result-cache evictions, capacity or epoch-purge (sum
+    /// over hosts).
+    pub cache_evictions: u64,
     /// Local graph storage, summed over hosts (raw CSR arrays or the
     /// compressed tier's blocks — whatever the partitions carry).
     pub graph_bytes: u64,
@@ -142,6 +150,9 @@ pub fn run_timed<R: Send>(
         stats.overlap_secs = stats.overlap_secs.max(s.overlap_nanos as f64 / 1e9);
         stats.chunks_sent += s.chunks_sent;
         stats.chunk_retransmits += s.chunk_retransmits;
+        stats.cache_hits += s.cache_hits;
+        stats.cache_misses += s.cache_misses;
+        stats.cache_evictions += s.cache_evictions;
         out.push(r);
     }
     stats.graph_bytes = parts.iter().map(|p| p.size_bytes() as u64).sum();

@@ -48,6 +48,7 @@ fn record_run_to(path: &str, bench: &str, case: &str, system: &str, hosts: usize
                 "\"request_compute_secs\":{:.6},\"request_sync_secs\":{:.6},",
                 "\"reduce_compute_secs\":{:.6},\"reduce_sync_secs\":{:.6},",
                 "\"overlap_secs\":{:.6},\"chunks_sent\":{},\"chunk_retransmits\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},",
                 "\"graph_bytes\":{},\"max_host_graph_bytes\":{},",
                 "\"peak_rss_bytes\":{}}}"
             ),
@@ -75,6 +76,9 @@ fn record_run_to(path: &str, bench: &str, case: &str, system: &str, hosts: usize
             s.overlap_secs,
             s.chunks_sent,
             s.chunk_retransmits,
+            s.cache_hits,
+            s.cache_misses,
+            s.cache_evictions,
             s.graph_bytes,
             s.max_host_graph_bytes,
             s.peak_rss_bytes,
@@ -244,6 +248,9 @@ mod tests {
             overlap_secs: 0.0625,
             chunks_sent: 96,
             chunk_retransmits: 2,
+            cache_hits: 7,
+            cache_misses: 3,
+            cache_evictions: 1,
             graph_bytes: 4096,
             max_host_graph_bytes: 1536,
             peak_rss_bytes: 65536,
@@ -302,6 +309,7 @@ mod tests {
         assert!(lines[0].contains("\"reduce_sync_secs\":0.125000"));
         assert!(lines[0]
             .contains("\"overlap_secs\":0.062500,\"chunks_sent\":96,\"chunk_retransmits\":2"));
+        assert!(lines[0].contains("\"cache_hits\":7,\"cache_misses\":3,\"cache_evictions\":1"));
         assert!(lines[0].contains(
             "\"graph_bytes\":4096,\"max_host_graph_bytes\":1536,\"peak_rss_bytes\":65536"
         ));

@@ -122,6 +122,16 @@ pub struct HostStats {
     /// matching [`HostCtx::exchange_finish`]); zero for blocking
     /// [`HostCtx::exchange`] calls.
     pub overlap_nanos: u64,
+    /// Serve-layer result-cache lookups answered from the cache (schedulers
+    /// report these via [`HostCtx::add_cache_events`]; zero if no serving
+    /// layer runs).
+    pub cache_hits: u64,
+    /// Serve-layer result-cache lookups that missed and forced a fresh
+    /// computation.
+    pub cache_misses: u64,
+    /// Serve-layer result-cache entries evicted (capacity pressure or a
+    /// graph-epoch bump).
+    pub cache_evictions: u64,
 }
 
 /// The four phases of one NPM BSP round (Fig. 6 of the paper), used to
@@ -178,6 +188,10 @@ impl HostStats {
         self.chunks_sent += other.chunks_sent;
         self.chunk_retransmits += other.chunk_retransmits;
         self.overlap_nanos = self.overlap_nanos.max(other.overlap_nanos);
+        // Cache events are per-host work, like traffic: sum.
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
     }
 }
 
@@ -380,6 +394,15 @@ static PROCESS_PER_HOST: std::sync::atomic::AtomicBool =
 /// [`crate::FaultKind::KillHost`]); launchers treat it as an injected
 /// permanent loss rather than a harness bug.
 pub const KILLED_EXIT_CODE: i32 = 86;
+
+/// Round-band stride a serving layer uses to tag collectives with the job
+/// they belong to: job `k` publishes rounds in `[k * JOB_ROUND_STRIDE,
+/// (k + 1) * JOB_ROUND_STRIDE)` via [`HostCtx::set_round`], so
+/// round-targeted faults and traces can address "round `r` of job `k`"
+/// without ambiguity across a multi-job schedule. Algorithms that advance
+/// rounds relatively (`set_round(current_round() + 1)`) compose with the
+/// band for free.
+pub const JOB_ROUND_STRIDE: u64 = 1 << 32;
 
 /// Best-effort extraction of a panic payload's message.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -722,6 +745,7 @@ where
         round: AtomicU64::new(0),
         pipelined: std::sync::atomic::AtomicBool::new(true),
         deadline: Mutex::new(Deadline::none()),
+        job_deadline: Mutex::new(None),
         member_mask: AtomicU64::new(init_mask),
         generation: AtomicU64::new(0),
     };
@@ -800,6 +824,13 @@ pub struct HostCtx<'a> {
     /// Ambient phase deadline applied by the unsuffixed collectives; the
     /// engine re-stamps it each phase from `EngineConfig::phase_timeout`.
     deadline: Mutex<Deadline>,
+    /// Job-scoped deadline a serving layer stamps around one scheduled
+    /// job ([`HostCtx::set_job_deadline`]). While set, [`HostCtx::deadline`]
+    /// returns the *earlier* of the ambient and job deadlines, so a job's
+    /// budget bounds every collective the job runs — including engine
+    /// phases that re-stamp their own ambient deadline. Recovery alignment
+    /// is immune: those gates pass an explicit unbounded deadline.
+    job_deadline: Mutex<Option<Deadline>>,
     /// Bitmask of physical host ids currently in the membership (bit `h`
     /// set ⇔ host `h` is a member). Starts full minus declared latent
     /// joiners; [`HostCtx::recover_shrink`] clears departed hosts' bits
@@ -836,6 +867,9 @@ struct StatCells {
     chunks_sent: AtomicU64,
     chunk_retransmits: AtomicU64,
     overlap_nanos: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
 }
 
 impl<'a> HostCtx<'a> {
@@ -937,9 +971,35 @@ impl<'a> HostCtx<'a> {
         *self.deadline.lock() = deadline;
     }
 
-    /// The current ambient phase deadline.
+    /// Stamps (or clears) the job-scoped deadline a serving layer applies
+    /// around one scheduled job. While set, [`HostCtx::deadline`] clamps to
+    /// the earlier of the ambient and job deadlines — so the job's budget
+    /// escalates through the same timeout → [`CommError::Timeout`] →
+    /// recovery path as a phase deadline, even inside engines that
+    /// re-stamp the ambient deadline per phase.
+    pub fn set_job_deadline(&self, deadline: Option<Deadline>) {
+        *self.job_deadline.lock() = deadline;
+    }
+
+    /// The current effective phase deadline: the ambient deadline, clamped
+    /// to the job-scoped deadline when one is stamped (whichever expires
+    /// first wins).
     pub fn deadline(&self) -> Deadline {
-        *self.deadline.lock()
+        let ambient = *self.deadline.lock();
+        match *self.job_deadline.lock() {
+            None => ambient,
+            Some(job) => match (ambient.at_nanos(), job.at_nanos()) {
+                (None, _) => job,
+                (_, None) => ambient,
+                (Some(a), Some(j)) => {
+                    if j < a {
+                        job
+                    } else {
+                        ambient
+                    }
+                }
+            },
+        }
     }
 
     /// Test hook: suppresses this host's heartbeats for `d`, as a hung
@@ -1898,6 +1958,9 @@ impl<'a> HostCtx<'a> {
             chunks_sent: self.stats.chunks_sent.load(Ordering::Relaxed),
             chunk_retransmits: self.stats.chunk_retransmits.load(Ordering::Relaxed),
             overlap_nanos: self.stats.overlap_nanos.load(Ordering::Relaxed),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.stats.cache_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -1926,6 +1989,9 @@ impl<'a> HostCtx<'a> {
         self.stats.chunks_sent.store(0, Ordering::Relaxed);
         self.stats.chunk_retransmits.store(0, Ordering::Relaxed);
         self.stats.overlap_nanos.store(0, Ordering::Relaxed);
+        self.stats.cache_hits.store(0, Ordering::Relaxed);
+        self.stats.cache_misses.store(0, Ordering::Relaxed);
+        self.stats.cache_evictions.store(0, Ordering::Relaxed);
     }
 
     /// Attributes `nanos` of wall-clock time to one NPM round phase. Called
@@ -1975,6 +2041,14 @@ impl<'a> HostCtx<'a> {
     /// departed host's state (engines report these after a shrink).
     pub fn add_resharded_keys(&self, keys: u64) {
         self.stats.resharded_keys.fetch_add(keys, Ordering::Relaxed);
+    }
+
+    /// Records serve-layer result-cache events (a scheduler reports one
+    /// hit or miss per job lookup, and any evictions its inserts caused).
+    pub fn add_cache_events(&self, hits: u64, misses: u64, evictions: u64) {
+        self.stats.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.stats.cache_misses.fetch_add(misses, Ordering::Relaxed);
+        self.stats.cache_evictions.fetch_add(evictions, Ordering::Relaxed);
     }
 }
 

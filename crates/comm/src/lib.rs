@@ -40,7 +40,7 @@ pub mod wire;
 pub use clock::{Clock, RealClock};
 pub use cluster::{
     run_transport_host, Backend, Cluster, CommError, CrashSignal, ExchangeTicket, GrowOutcome,
-    HostCtx, HostError, HostStats, ShrinkOutcome, SyncPhase, KILLED_EXIT_CODE,
+    HostCtx, HostError, HostStats, ShrinkOutcome, SyncPhase, JOB_ROUND_STRIDE, KILLED_EXIT_CODE,
 };
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use pool::WorkerPool;

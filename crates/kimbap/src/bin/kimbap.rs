@@ -21,6 +21,7 @@
 use kimbap::elastic::{join_plan_elastic, run_plan_elastic};
 use kimbap::engine::EngineConfig;
 use kimbap::prelude::*;
+use kimbap::serve::{self, Algo, HostServer, JobReport, JobSpec, JobStatus};
 use kimbap::simfuzz;
 use kimbap_algos::{
     cc, compose_labels, leiden, louvain, merge_master_values, mis, msf, refcheck, LouvainConfig,
@@ -44,6 +45,9 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("serve-sim") => cmd_serve_sim(&args[1..]),
         Some("_worker") => cmd_worker(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         _ => {
@@ -76,6 +80,12 @@ usage:
              [--scale N] [--ef N] [--allow-shrink] [--allow-grow]
              [--no-pipeline] [--trace FILE] [--out FILE] [--raw]
              [--hub-threshold N]
+  kimbap serve FILE [--hosts N] [--threads N] [--jobs FILE] [--job SPEC]...
+               [--cache-capacity N] [--out-dir DIR] [--raw]
+               [--hub-threshold N]
+  kimbap submit --jobs FILE SPEC
+  kimbap serve-sim [--seed N] [--seeds N] [--hosts N] [--threads N]
+                   [--scale N] [--ef N] [--raw] [--hub-threshold N]
   kimbap compile FILE.kv [--no-opt]
 
 graphs are stored in the kimbap binary format (.kg) or may be text edge
@@ -119,7 +129,28 @@ the compressed tier (delta+varint neighbor blocks) by default; --raw
 keeps the uncompressed arrays. --hub-threshold N splits the edge lists
 of nodes with degree > N across hosts on hub-splitting policies. Both
 knobs change only memory/traffic, never outputs: the CI smoke diffs
-compressed against raw labels.";
+compressed against raw labels.
+
+kimbap serve keeps one partitioned graph resident and runs a whole batch
+of analytics jobs over it. A job SPEC is
+algo[,prio=N][,deadline-ms=N][,params=N][,host=N] — for example
+'louvain,prio=3,deadline-ms=500'; params is an opaque query tag (equal
+(algo,params) pairs share one cached result) and host picks the
+admission queue the job enters (round-robin by default). kimbap submit
+appends a validated SPEC to a jobs file that serve later drains via
+--jobs. Jobs run in an agreed order (priority desc, tightest deadline
+first, then submission provenance) identical on every host; repeated
+queries are answered from a per-host result cache keyed by (graph
+epoch, algorithm, params), and a job that exceeds its deadline is
+marked missed by agreement instead of wedging the batch.
+
+kimbap serve-sim fuzzes the scheduler the way kimbap sim fuzzes one
+algorithm: the seed fixes the graph, a 3-8 job mix (random priorities,
+deadlines, duplicate submissions, submitting hosts), and a fault plan
+that can land one crash or stall inside a specific job's round band.
+Every completed job must match the same job run serially on a fault-
+free cluster, byte for byte; anything else fails with the exact
+serve-sim command that replays it.";
 
 type CliResult = Result<(), String>;
 
@@ -820,6 +851,367 @@ fn cmd_sim(args: &[String]) -> CliResult {
             SimOutcome::Aborted(m) => {
                 aborted += 1;
                 println!("seed {s}: surfaced failure ({events} events): {m}");
+            }
+        }
+    }
+    println!(
+        "{nseeds} seed(s) in {:.2?}: {converged} converged, {aborted} surfaced failures, 0 diverged",
+        t.elapsed()
+    );
+    Ok(())
+}
+
+/// Every occurrence of a repeated flag, in order (`--job` may be given
+/// many times).
+fn flag_all(args: &[String], name: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
+}
+
+/// Parses one job SPEC: `algo[,prio=N][,deadline-ms=N][,params=N][,host=N]`.
+/// Returns the explicit admission host, if any, alongside the spec.
+fn parse_job_spec(s: &str) -> Result<(Option<usize>, JobSpec), String> {
+    let mut fields = s.split(',');
+    let algo_name = fields.next().ok_or_else(|| format!("empty job spec '{s}'"))?;
+    let algo =
+        Algo::parse(algo_name).ok_or_else(|| format!("unknown algorithm '{algo_name}' in '{s}'"))?;
+    let mut spec = JobSpec::new(algo);
+    let mut host = None;
+    for field in fields {
+        let (key, val) = field
+            .split_once('=')
+            .ok_or_else(|| format!("malformed field '{field}' in '{s}'"))?;
+        let num: u64 = val
+            .parse()
+            .map_err(|_| format!("bad value '{val}' for {key} in '{s}'"))?;
+        match key {
+            "prio" => spec.priority = num.min(255) as u8,
+            "deadline-ms" => spec.deadline = Some(Duration::from_millis(num)),
+            "params" => spec.params = num,
+            "host" => host = Some(num as usize),
+            other => return Err(format!("unknown field '{other}' in '{s}'")),
+        }
+    }
+    Ok((host, spec))
+}
+
+/// Collects the batch's job specs from `--jobs FILE` lines (blank lines
+/// and `#` comments skipped) followed by repeated `--job SPEC` flags.
+fn collect_jobs(args: &[String]) -> Result<Vec<(Option<usize>, JobSpec)>, String> {
+    let mut jobs = Vec::new();
+    if let Some(path) = flag(args, "--jobs") {
+        let body =
+            std::fs::read_to_string(&path).map_err(|e| format!("read jobs file {path}: {e}"))?;
+        for line in body.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            jobs.push(parse_job_spec(line)?);
+        }
+    }
+    for spec in flag_all(args, "--job") {
+        jobs.push(parse_job_spec(&spec)?);
+    }
+    Ok(jobs)
+}
+
+/// Distributes collected jobs onto per-host admission queues: an explicit
+/// `host=N` field pins the job, everything else round-robins.
+fn admission_queues(
+    jobs: Vec<(Option<usize>, JobSpec)>,
+    hosts: usize,
+) -> Result<Vec<Vec<JobSpec>>, String> {
+    let mut queues = vec![Vec::new(); hosts];
+    let mut rr = 0;
+    for (pin, spec) in jobs {
+        let h = match pin {
+            Some(h) if h >= hosts => {
+                return Err(format!("job pinned to host {h}, but only {hosts} host(s)"))
+            }
+            Some(h) => h,
+            None => {
+                let h = rr;
+                rr = (rr + 1) % hosts;
+                h
+            }
+        };
+        queues[h].push(spec);
+    }
+    Ok(queues)
+}
+
+/// One line summarizing a merged job output, in the algorithm's terms.
+fn describe_output(algo: Algo, merged: &[u64]) -> String {
+    match algo {
+        Algo::Msf => format!(
+            "forest: {} edges, weight {}",
+            merged.get(1).copied().unwrap_or(0),
+            merged.first().copied().unwrap_or(0)
+        ),
+        Algo::Mis => format!(
+            "independent set of {} nodes",
+            merged.iter().filter(|&&x| x == 1).count()
+        ),
+        _ => {
+            let mut comps = merged.to_vec();
+            comps.sort_unstable();
+            comps.dedup();
+            format!("{} components", comps.len())
+        }
+    }
+}
+
+/// One agreed job with its cross-host-merged canonical fingerprint
+/// (`None` for deadline-missed jobs).
+type MergedReport = (JobReport, Option<Vec<u64>>);
+
+/// Checks every host returned the same agreed schedule and statuses, then
+/// merges each completed job's per-host outputs into its canonical
+/// fingerprint.
+fn merge_reports(n: usize, per_host: Vec<Vec<JobReport>>) -> Result<Vec<MergedReport>, String> {
+    let first = per_host.first().ok_or("no host produced reports")?;
+    for (h, reports) in per_host.iter().enumerate() {
+        if reports.len() != first.len() {
+            return Err(format!(
+                "host {h} scheduled {} job(s), host 0 scheduled {}",
+                reports.len(),
+                first.len()
+            ));
+        }
+        for (k, (r, r0)) in reports.iter().zip(first).enumerate() {
+            if r.job != r0.job || r.status != r0.status {
+                return Err(format!("hosts disagree on job {k}: {r:?} vs {r0:?}"));
+            }
+        }
+    }
+    let jobs = first.len();
+    let mut merged = Vec::with_capacity(jobs);
+    for k in 0..jobs {
+        let report = per_host[0][k].clone();
+        let fp = if report.output.is_some() {
+            let outs = per_host
+                .iter()
+                .map(|r| r[k].output.clone().expect("statuses agree"))
+                .collect();
+            Some(serve::merge_job_outputs(report.job.spec.algo, n, outs))
+        } else {
+            None
+        };
+        merged.push((report, fp));
+    }
+    Ok(merged)
+}
+
+/// Default result-cache capacity for `serve` sessions: comfortably more
+/// than one batch's distinct queries, small enough that long sessions see
+/// evictions.
+const SERVE_CACHE_CAPACITY: usize = 32;
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("missing FILE")?.clone();
+    let hosts: usize = flag_num(args, "--hosts", 2)?;
+    let threads: usize = flag_num(args, "--threads", 2)?;
+    let capacity: usize = flag_num(args, "--cache-capacity", SERVE_CACHE_CAPACITY)?;
+    let out_dir = flag(args, "--out-dir");
+    let store = StoreOpts::parse(args)?;
+    let jobs = collect_jobs(args)?;
+    if jobs.is_empty() {
+        return Err("no jobs: give --jobs FILE and/or --job SPEC".into());
+    }
+    let queues = admission_queues(jobs, hosts)?;
+    let g = load_graph(&path)?;
+    let n = g.num_nodes();
+    println!("input: {}", GraphStats::of(&g));
+    // One resident partition serves every algorithm, so the policy must
+    // be one they all accept: edge-cut with blocked ownership.
+    let parts = partition_cfg(&g, &store.cfg(Policy::EdgeCutBlocked, hosts));
+    println!(
+        "resident: {} local bytes over {hosts} host(s), cache capacity {capacity}",
+        parts.iter().map(|p| p.size_bytes()).sum::<usize>()
+    );
+    let t = Instant::now();
+    let cluster = Cluster::with_threads(hosts, threads);
+    let q = &queues;
+    let p = &parts;
+    let results = cluster.run(|ctx| {
+        let mut server = HostServer::new(capacity);
+        let reports = server.serve_batch(ctx, &p[ctx.host()], &q[ctx.host()]);
+        (reports, ctx.stats())
+    });
+    let elapsed = t.elapsed();
+    let (reports, stats): (Vec<_>, Vec<HostStats>) = results.into_iter().unzip();
+    let merged = merge_reports(n, reports)?;
+    let total = merged.len();
+    for (k, (report, fp)) in merged.iter().enumerate() {
+        let spec = report.job.spec;
+        let what = match (&report.status, fp) {
+            (JobStatus::DeadlineMissed, _) => "deadline missed".to_string(),
+            (JobStatus::Completed { cached }, Some(fp)) => format!(
+                "{}{}",
+                describe_output(spec.algo, fp),
+                if *cached { " (cached)" } else { "" }
+            ),
+            (JobStatus::Completed { .. }, None) => unreachable!("completed jobs carry output"),
+        };
+        println!(
+            "job {k}: {} prio={} params={} from host {}: {what}",
+            spec.algo.name(),
+            spec.priority,
+            spec.params,
+            report.job.submitter
+        );
+        if let (Some(dir), Some(fp)) = (&out_dir, fp) {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+            write_lines(&format!("{dir}/job{k}-{}.txt", spec.algo.name()), fp)?;
+        }
+    }
+    let mut agg = HostStats::default();
+    for s in &stats {
+        agg.merge(s);
+    }
+    println!(
+        "{total} job(s) in {elapsed:.2?}: cache {} hit(s), {} miss(es), {} eviction(s)",
+        agg.cache_hits, agg.cache_misses, agg.cache_evictions
+    );
+    Ok(())
+}
+
+fn cmd_submit(args: &[String]) -> CliResult {
+    let jobs = flag(args, "--jobs").ok_or("missing --jobs FILE")?;
+    // The SPEC is the one positional argument left after removing the
+    // --jobs flag and its value.
+    let jobs_at = args.iter().position(|a| a == "--jobs").unwrap();
+    let spec = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| i != jobs_at && i != jobs_at + 1 && !a.starts_with("--"))
+        .map(|(_, a)| a.clone())
+        .next()
+        .ok_or("missing SPEC")?;
+    // Validate before appending so a bad spec never poisons the queue
+    // file a later serve drains.
+    parse_job_spec(&spec)?;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&jobs)
+        .map_err(|e| format!("open {jobs}: {e}"))?;
+    writeln!(f, "{spec}").map_err(|e| format!("write {jobs}: {e}"))?;
+    println!("queued '{spec}' in {jobs}");
+    Ok(())
+}
+
+/// What one simulated serve seed produced.
+enum ServeSimOutcome {
+    /// Converged: per-job verdicts all checked out. Carries
+    /// `(computed, cached, missed)` counts.
+    Converged(usize, usize, usize),
+    /// Surfaced a communication failure instead of converging.
+    Aborted(String),
+}
+
+/// Runs one serve fuzz seed end-to-end: seed-derived graph, job mix, and
+/// fault plan; serial fault-free baselines per distinct query; then the
+/// faulted scheduled run on the sim backend, diffing every completed
+/// job's merged output against its baseline.
+fn run_serve_seed(
+    seed: u64,
+    hosts: usize,
+    threads: usize,
+    scale: u32,
+    ef: usize,
+    store: StoreOpts,
+) -> Result<ServeSimOutcome, String> {
+    let g = gen::rmat(scale, ef, seed);
+    let n = g.num_nodes();
+    let parts = partition_cfg(&g, &store.cfg(Policy::EdgeCutBlocked, hosts));
+    let mix = simfuzz::serve_job_mix(seed, hosts);
+    let mut queues = vec![Vec::new(); hosts];
+    for &(h, spec) in &mix {
+        queues[h].push(spec);
+    }
+    // Serial fault-free baselines, one per distinct algorithm in the mix
+    // (params never change execution, so they share a baseline).
+    let mut baselines: std::collections::HashMap<Algo, Vec<u64>> = Default::default();
+    let serial = Cluster::with_threads(hosts, threads);
+    for &(_, spec) in &mix {
+        baselines
+            .entry(spec.algo)
+            .or_insert_with(|| serve::serial_reference(n, &parts, &serial, spec.algo));
+    }
+    let plan = simfuzz::serve_fault_plan(seed, hosts, mix.len());
+    let cluster = Cluster::with_threads(hosts, threads)
+        .sim(seed)
+        .with_transport_config(simfuzz::sim_transport_config());
+    let q = &queues;
+    let p = &parts;
+    let res = cluster.try_run_with_faults(plan, |ctx| {
+        let mut server = HostServer::new(SERVE_CACHE_CAPACITY);
+        server.serve_batch(ctx, &p[ctx.host()], &q[ctx.host()])
+    });
+    match host_values(res, false)? {
+        HostValues::Aborted(m) => Ok(ServeSimOutcome::Aborted(m)),
+        HostValues::All(per_host) => {
+            let merged = merge_reports(n, per_host)?;
+            let (mut computed, mut cached, mut missed) = (0, 0, 0);
+            for (k, (report, fp)) in merged.iter().enumerate() {
+                match (&report.status, fp) {
+                    (JobStatus::DeadlineMissed, _) => missed += 1,
+                    (JobStatus::Completed { cached: c }, Some(fp)) => {
+                        if *c {
+                            cached += 1;
+                        } else {
+                            computed += 1;
+                        }
+                        let base = &baselines[&report.job.spec.algo];
+                        if fp != base {
+                            return Err(format!(
+                                "job {k} ({}) diverges from its serial baseline",
+                                report.job.spec.algo.name()
+                            ));
+                        }
+                    }
+                    (JobStatus::Completed { .. }, None) => {
+                        return Err(format!("job {k} completed without output"))
+                    }
+                }
+            }
+            Ok(ServeSimOutcome::Converged(computed, cached, missed))
+        }
+    }
+}
+
+fn cmd_serve_sim(args: &[String]) -> CliResult {
+    let hosts: usize = flag_num(args, "--hosts", 3)?;
+    let threads: usize = flag_num(args, "--threads", 1)?;
+    let scale: u32 = flag_num(args, "--scale", 6)?;
+    let ef: usize = flag_num(args, "--ef", 4)?;
+    let seed: u64 = flag_num(args, "--seed", 1)?;
+    let nseeds: u64 = flag_num(args, "--seeds", 1)?;
+    let store = StoreOpts::parse(args)?;
+    let t = Instant::now();
+    let (mut converged, mut aborted) = (0u64, 0u64);
+    for s in seed..seed.saturating_add(nseeds) {
+        let replay = format!(
+            "replay: {}",
+            simfuzz::serve_replay_command(s, hosts, threads, scale, ef)
+        );
+        let outcome = run_serve_seed(s, hosts, threads, scale, ef, store)
+            .map_err(|e| format!("seed {s}: {e}\n{replay}"))?;
+        match outcome {
+            ServeSimOutcome::Converged(computed, cached, missed) => {
+                converged += 1;
+                println!(
+                    "seed {s}: converged ({computed} computed, {cached} cached, {missed} missed)"
+                );
+            }
+            ServeSimOutcome::Aborted(m) => {
+                aborted += 1;
+                println!("seed {s}: surfaced failure: {m}");
             }
         }
     }

@@ -57,6 +57,12 @@ pub struct EngineConfig {
     /// recovery replays the simplest possible schedule. Results are
     /// byte-identical either way.
     pub pipelined: bool,
+    /// Offset added to every round the engine publishes via
+    /// [`kimbap_comm::HostCtx::set_round`]. A serving layer sets this to
+    /// `job_index * JOB_ROUND_STRIDE` so round-targeted faults and traces
+    /// address "round `r` of job `k`" even when many engine runs share one
+    /// `HostCtx`. Zero (the default) preserves the single-job numbering.
+    pub round_base: u64,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +74,7 @@ impl Default for EngineConfig {
             allow_shrink: false,
             allow_grow: false,
             pipelined: true,
+            round_base: 0,
         }
     }
 }
@@ -606,7 +613,7 @@ impl<'g> Engine<'g> {
             }
         }
         self.rounds += 1;
-        ctx.set_round(self.rounds);
+        ctx.set_round(self.config.round_base + self.rounds);
 
         // Consume the previous round's changed-key delta into a frontier
         // *before* opening the next tracking window. Pin rounds (first

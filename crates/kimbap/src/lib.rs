@@ -36,6 +36,7 @@
 
 pub mod elastic;
 pub mod engine;
+pub mod serve;
 pub mod simfuzz;
 
 /// One-stop imports for applications built on Kimbap.

@@ -1,0 +1,754 @@
+//! `kimbap serve`: multi-tenant job scheduling over resident graphs.
+//!
+//! A single `kimbap run` loads the graph, executes one algorithm, and
+//! exits; the NPM design only pays off when many analytics queries
+//! amortize one resident partitioned graph. This module turns the engine
+//! into that long-lived server: each host keeps its `DistGraph` partition
+//! resident in a [`HostServer`], accepts a local admission queue of
+//! [`JobSpec`]s (algorithm, opaque params tag, priority, deadline), and
+//! executes them under an **agreed schedule** so every host runs the same
+//! jobs in the same order.
+//!
+//! The moving parts, in the order a batch flows through them:
+//!
+//! * **Admission → agreement.** Hosts submit jobs independently, so no
+//!   host sees the global queue. [`HostServer::serve_batch`] starts with
+//!   one all-to-all exchange of the local queues; every host then sorts
+//!   the union by `(priority desc, deadline budget asc, submitter, seq)`
+//!   and executes that canonical order. No coordinator, one collective.
+//! * **Result cache.** Keyed by `(graph epoch, algorithm, params)` with
+//!   bounded LRU capacity. Because the schedule and the cache operations
+//!   are identical on every host, the per-host caches stay in lockstep —
+//!   a hit on one host is a hit on all, so a cached job completes without
+//!   a single collective. Hit/miss/eviction counts surface in
+//!   [`kimbap_comm::HostStats`] and the tracked bench JSON.
+//! * **Deadline escalation.** A job deadline is stamped into the
+//!   [`HostCtx`] as a *job-scoped* deadline that clamps every collective
+//!   the job runs (see [`HostCtx::set_job_deadline`]); expiry escalates
+//!   through the existing timeout → crash-signal → recovery path. At the
+//!   next attempt the hosts agree (min all-reduce) which job ran out of
+//!   budget, mark it [`JobStatus::DeadlineMissed`], and skip it.
+//! * **Recovery.** The whole batch runs inside one
+//!   [`HostCtx::run_recovering`] region and the result cache doubles as
+//!   the checkpoint: after a crash the schedule replays from the top and
+//!   every already-completed job replays as a cache hit, so recovery cost
+//!   is proportional to the interrupted job, not the whole batch.
+//! * **Job-banded rounds.** Job `k` publishes BSP rounds in the band
+//!   `k * JOB_ROUND_STRIDE ..`, so round-targeted fault plans and traces
+//!   can address "round `r` of job `k`" across a multi-job schedule.
+//!
+//! The differential obligation (tested by `serve_differential.rs` and the
+//! `kimbap serve-sim` fuzz loop): a batch served concurrently from many
+//! hosts' queues is byte-identical, job for job, to the same jobs run
+//! serially.
+
+use crate::engine::{Engine, EngineConfig};
+use kimbap_algos::louvain::CommunityResult;
+use kimbap_algos::msf::MsfHostResult;
+use kimbap_algos::{
+    cc, compose_labels, leiden, louvain, merge_master_values, mis, msf, LouvainConfig, NpmBuilder,
+};
+use kimbap_comm::{Cluster, Deadline, HostCtx, JOB_ROUND_STRIDE};
+use kimbap_compiler::{compile, programs, CompiledProgram, OptLevel};
+use kimbap_dist::DistGraph;
+use kimbap_graph::NodeId;
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::HashSet;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// The analytics algorithms a serve job can request.
+///
+/// All of them run on the server's single resident partition (the serve
+/// CLI partitions with [`kimbap_dist::Policy::EdgeCutBlocked`], the one
+/// policy every algorithm accepts), so switching algorithms never
+/// repartitions the graph. `cc-sv` runs through the compiled-plan engine
+/// — exercising the engine's job-context plumbing ([`EngineConfig::round_base`])
+/// — the rest through the hand-written implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// Connected components, Shiloach–Vishkin (compiled engine plan).
+    CcSv,
+    /// Connected components, label propagation.
+    CcLp,
+    /// Connected components, short-cutting label propagation.
+    CcSclp,
+    /// Maximal independent set.
+    Mis,
+    /// Minimum spanning forest.
+    Msf,
+    /// Louvain community detection.
+    Louvain,
+    /// Leiden community detection.
+    Leiden,
+}
+
+impl Algo {
+    /// Parses the CLI spelling (the same names `kimbap run` accepts).
+    pub fn parse(s: &str) -> Option<Algo> {
+        Some(match s {
+            "cc-sv" => Algo::CcSv,
+            "cc-lp" => Algo::CcLp,
+            "cc-sclp" => Algo::CcSclp,
+            "mis" => Algo::Mis,
+            "msf" => Algo::Msf,
+            "louvain" => Algo::Louvain,
+            "leiden" => Algo::Leiden,
+            _ => return None,
+        })
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::CcSv => "cc-sv",
+            Algo::CcLp => "cc-lp",
+            Algo::CcSclp => "cc-sclp",
+            Algo::Mis => "mis",
+            Algo::Msf => "msf",
+            Algo::Louvain => "louvain",
+            Algo::Leiden => "leiden",
+        }
+    }
+
+    /// Stable wire/cache id.
+    fn id(self) -> u64 {
+        match self {
+            Algo::CcSv => 0,
+            Algo::CcLp => 1,
+            Algo::CcSclp => 2,
+            Algo::Mis => 3,
+            Algo::Msf => 4,
+            Algo::Louvain => 5,
+            Algo::Leiden => 6,
+        }
+    }
+
+    fn from_id(id: u64) -> Option<Algo> {
+        Some(match id {
+            0 => Algo::CcSv,
+            1 => Algo::CcLp,
+            2 => Algo::CcSclp,
+            3 => Algo::Mis,
+            4 => Algo::Msf,
+            5 => Algo::Louvain,
+            6 => Algo::Leiden,
+            _ => return None,
+        })
+    }
+}
+
+/// One submitted analytics job, as it sits in a host's admission queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Algorithm to run.
+    pub algo: Algo,
+    /// Opaque client tag: part of the cache key and the agreed order, not
+    /// interpreted by execution — two submissions with equal `(algo,
+    /// params)` are the *same query* and share one cached result.
+    pub params: u64,
+    /// Higher runs earlier in the agreed schedule.
+    pub priority: u8,
+    /// Wall-clock budget from the moment the job starts executing; a job
+    /// that exceeds it is marked [`JobStatus::DeadlineMissed`] rather
+    /// than wedging the batch. `None` waits as long as it takes.
+    pub deadline: Option<Duration>,
+}
+
+impl JobSpec {
+    /// A plain no-priority, no-deadline submission.
+    pub fn new(algo: Algo) -> JobSpec {
+        JobSpec {
+            algo,
+            params: 0,
+            priority: 0,
+            deadline: None,
+        }
+    }
+
+    /// The deadline in whole milliseconds (the wire/ordering granularity).
+    fn deadline_ms(&self) -> Option<u64> {
+        self.deadline.map(|d| d.as_millis() as u64)
+    }
+}
+
+/// A job placed into the agreed schedule: the spec plus its provenance
+/// (which host submitted it, at which position of that host's queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledJob {
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Logical rank of the submitting host.
+    pub submitter: usize,
+    /// Position in the submitter's local queue.
+    pub seq: usize,
+}
+
+/// One host's share of a completed job's result, in the algorithm's
+/// native shape. Merging across hosts stays caller-side (via
+/// [`merge_job_outputs`]) so the cache stores exactly what a fresh run
+/// produces — identical partials merge to identical outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutput {
+    /// Per-master `u64` values (the cc family).
+    Masters(Vec<(NodeId, u64)>),
+    /// Per-master set membership (MIS).
+    MisSet(Vec<(NodeId, bool)>),
+    /// This host's forest edges (MSF).
+    Forest(MsfHostResult),
+    /// This host's community mappings (Louvain/Leiden).
+    Communities(CommunityResult),
+}
+
+/// How one scheduled job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The job produced its output — freshly computed or served from the
+    /// result cache.
+    Completed {
+        /// True when the output came from the result cache.
+        cached: bool,
+    },
+    /// The job's deadline expired before it completed; the schedule
+    /// agreed to skip it and moved on.
+    DeadlineMissed,
+}
+
+impl JobStatus {
+    /// True for a completed job answered from the result cache.
+    pub fn is_cached(self) -> bool {
+        matches!(self, JobStatus::Completed { cached: true })
+    }
+}
+
+/// One host's record of one scheduled job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// The job, in agreed-schedule position.
+    pub job: ScheduledJob,
+    /// How it ended.
+    pub status: JobStatus,
+    /// This host's output partial (`None` iff the deadline was missed).
+    pub output: Option<JobOutput>,
+}
+
+/// Result-cache key: `(graph epoch, algorithm, params)`. The epoch is
+/// part of the key so bumping it (a graph swap) makes every older entry
+/// unreachable — stale results are structurally impossible to serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    epoch: u64,
+    algo: Algo,
+    params: u64,
+}
+
+/// Bounded LRU result cache. A `Vec` in recency order (most recent last)
+/// keeps iteration — and therefore eviction — deterministic, which the
+/// lockstep-cache invariant of [`HostServer::serve_batch`] relies on;
+/// serve capacities are small enough that the linear scan is noise next
+/// to running an algorithm.
+struct ResultCache {
+    capacity: usize,
+    entries: Vec<(CacheKey, JobOutput)>,
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    fn get(&mut self, key: &CacheKey) -> Option<JobOutput> {
+        let i = self.entries.iter().position(|(k, _)| k == key)?;
+        let e = self.entries.remove(i);
+        let out = e.1.clone();
+        self.entries.push(e);
+        Some(out)
+    }
+
+    /// Inserts (or refreshes) `key`, returning how many entries were
+    /// evicted to make room.
+    fn insert(&mut self, key: CacheKey, out: JobOutput) -> u64 {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(i);
+        }
+        self.entries.push((key, out));
+        let mut evicted = 0;
+        while self.entries.len() > self.capacity {
+            self.entries.remove(0);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Drops every entry older than `epoch`, returning the count.
+    fn purge_epochs_before(&mut self, epoch: u64) -> u64 {
+        let before = self.entries.len();
+        self.entries.retain(|(k, _)| k.epoch >= epoch);
+        (before - self.entries.len()) as u64
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// One host's long-lived serving state: the result cache and the graph
+/// epoch. Lives across batches (and across graph swaps) on the host's
+/// side of the cluster closure; the resident `DistGraph` itself is passed
+/// into [`HostServer::serve_batch`] by reference so the caller controls
+/// its lifetime.
+pub struct HostServer {
+    cache: ResultCache,
+    epoch: u64,
+}
+
+impl HostServer {
+    /// A fresh server at epoch 0 with a result cache bounded to
+    /// `cache_capacity` entries (minimum 1).
+    pub fn new(cache_capacity: usize) -> HostServer {
+        HostServer {
+            cache: ResultCache::new(cache_capacity),
+            epoch: 0,
+        }
+    }
+
+    /// The current graph epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Live entries in the result cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Advances the graph epoch — the caller does this exactly when it
+    /// swaps in a new resident graph. Every cache entry keyed to an older
+    /// epoch becomes unreachable immediately (and is purged, counted as
+    /// evictions, at the start of the next batch). All hosts must bump in
+    /// lockstep, like every other serve-side operation.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Serves one batch of jobs over the resident partition `dg`.
+    ///
+    /// Collective: every host calls this with its own `local` admission
+    /// queue, the schedules are agreed via one all-to-all exchange, and
+    /// every host returns reports in the same agreed order with the same
+    /// statuses. Faults (and deadline misses) recover inside this call;
+    /// it panics out only on a permanent kill or an exhausted recovery
+    /// budget, like any [`HostCtx::run_recovering`] region.
+    pub fn serve_batch(
+        &mut self,
+        ctx: &HostCtx,
+        dg: &DistGraph,
+        local: &[JobSpec],
+    ) -> Vec<JobReport> {
+        let epoch = self.epoch;
+        let cache = &mut self.cache;
+        // An epoch bump since the last batch leaves stale entries behind;
+        // purge them up front and count them as evictions.
+        let purged = cache.purge_epochs_before(epoch);
+        ctx.add_cache_events(0, 0, purged);
+        let b = NpmBuilder::default();
+        // Jobs (by schedule index) whose deadline the hosts agreed was
+        // missed, and the job the current attempt is executing. Both live
+        // outside the recovery closure so state survives replays.
+        let missed: RefCell<HashSet<usize>> = RefCell::new(HashSet::new());
+        let in_flight: Cell<Option<(usize, Deadline)>> = Cell::new(None);
+        ctx.run_recovering(|ctx| {
+            // A replayed attempt may still carry the aborted job's
+            // deadline — job-scoped or the ambient one an engine phase
+            // stamped before dying; clear both before the first collective.
+            ctx.set_job_deadline(None);
+            ctx.set_deadline(Deadline::none());
+            // Deadline escalation: if the previous attempt aborted inside
+            // a job whose budget has run out, agree (min all-reduce — any
+            // single expired host suffices) to mark it missed and skip it
+            // on this and every later attempt.
+            let candidate = match in_flight.take() {
+                Some((k, dl)) if dl.expired() => k as u64,
+                _ => u64::MAX,
+            };
+            let expired = ctx.all_reduce_u64(candidate, u64::min);
+            if expired != u64::MAX {
+                missed.borrow_mut().insert(expired as usize);
+            }
+            let schedule = agree_schedule(ctx, local);
+            let mut reports = Vec::with_capacity(schedule.len());
+            for (k, job) in schedule.into_iter().enumerate() {
+                if missed.borrow().contains(&k) {
+                    reports.push(JobReport {
+                        job,
+                        status: JobStatus::DeadlineMissed,
+                        output: None,
+                    });
+                    continue;
+                }
+                let key = CacheKey {
+                    epoch,
+                    algo: job.spec.algo,
+                    params: job.spec.params,
+                };
+                if let Some(out) = cache.get(&key) {
+                    // Lockstep caches: every host hits together, so a
+                    // cached job involves no collective at all. This is
+                    // also what makes the cache a free checkpoint — on a
+                    // replay, completed jobs take this path.
+                    ctx.add_cache_events(1, 0, 0);
+                    reports.push(JobReport {
+                        job,
+                        status: JobStatus::Completed { cached: true },
+                        output: Some(out),
+                    });
+                    continue;
+                }
+                ctx.add_cache_events(0, 1, 0);
+                // Band the job's rounds so fault plans and traces can
+                // address "round r of job k".
+                let band = k as u64 * JOB_ROUND_STRIDE;
+                ctx.set_round(band);
+                let dl = job
+                    .spec
+                    .deadline
+                    .map(|budget| Deadline::after("job", budget));
+                in_flight.set(Some((k, dl.unwrap_or_else(Deadline::none))));
+                ctx.set_job_deadline(dl);
+                let out = exec_algo(job.spec.algo, dg, ctx, &b, band);
+                ctx.set_job_deadline(None);
+                in_flight.set(None);
+                let evicted = cache.insert(key, out.clone());
+                ctx.add_cache_events(0, 0, evicted);
+                reports.push(JobReport {
+                    job,
+                    status: JobStatus::Completed { cached: false },
+                    output: Some(out),
+                });
+            }
+            reports
+        })
+    }
+}
+
+/// Agrees the batch schedule: one all-to-all exchange of the hosts' local
+/// queues, then a canonical sort every host computes identically —
+/// priority first (descending), then deadline budget (tightest first,
+/// `None` last), then submitter rank and queue position as the total
+/// tiebreak.
+fn agree_schedule(ctx: &HostCtx, local: &[JobSpec]) -> Vec<ScheduledJob> {
+    let me = ctx.host();
+    let hosts = ctx.num_hosts();
+    let mine = encode_jobs(local);
+    let outgoing = (0..hosts)
+        .map(|h| if h == me { Vec::new() } else { mine.clone() })
+        .collect();
+    let incoming = ctx.exchange(outgoing);
+    let mut all = Vec::new();
+    for (h, buf) in incoming.iter().enumerate() {
+        let specs = if h == me {
+            local.to_vec()
+        } else {
+            decode_jobs(buf)
+        };
+        for (seq, spec) in specs.into_iter().enumerate() {
+            all.push(ScheduledJob {
+                spec,
+                submitter: h,
+                seq,
+            });
+        }
+    }
+    all.sort_by_key(|j| {
+        (
+            Reverse(j.spec.priority),
+            j.spec.deadline_ms().unwrap_or(u64::MAX),
+            j.submitter,
+            j.seq,
+        )
+    });
+    all
+}
+
+/// Fixed-size wire records for the admission exchange: four `u64` words
+/// per job. CRC framing below already guards the bytes, so decode treats
+/// malformation as a protocol bug, not recoverable input.
+fn encode_jobs(jobs: &[JobSpec]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(jobs.len() * 32);
+    for j in jobs {
+        for w in [
+            j.algo.id(),
+            u64::from(j.priority),
+            j.params,
+            j.deadline_ms().unwrap_or(u64::MAX),
+        ] {
+            buf.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+    buf
+}
+
+fn decode_jobs(buf: &[u8]) -> Vec<JobSpec> {
+    assert!(buf.len().is_multiple_of(32), "malformed job-queue payload");
+    buf.chunks_exact(32)
+        .map(|c| {
+            let w = |i: usize| u64::from_le_bytes(c[i * 8..(i + 1) * 8].try_into().unwrap());
+            JobSpec {
+                algo: Algo::from_id(w(0)).expect("malformed job algo id"),
+                priority: w(1) as u8,
+                params: w(2),
+                deadline: match w(3) {
+                    u64::MAX => None,
+                    ms => Some(Duration::from_millis(ms)),
+                },
+            }
+        })
+        .collect()
+}
+
+/// The compiled CC-SV plan, shared by every serve job that requests it.
+static CC_SV_PLAN: OnceLock<CompiledProgram> = OnceLock::new();
+
+/// Runs one algorithm on this host's resident partition. `cc-sv` goes
+/// through the compiled-plan engine with [`EngineConfig::round_base`] set
+/// to the job's round band; the hand-written algorithms advance rounds
+/// relatively (`set_round(current_round() + 1)`), so the band the caller
+/// pre-stamped carries through on its own.
+fn exec_algo(algo: Algo, dg: &DistGraph, ctx: &HostCtx, b: &NpmBuilder, band: u64) -> JobOutput {
+    match algo {
+        Algo::CcSv => {
+            let plan = CC_SV_PLAN.get_or_init(|| compile(&programs::cc_sv(), OptLevel::Full));
+            let cfg = EngineConfig {
+                round_base: band,
+                ..EngineConfig::default()
+            };
+            let out = Engine::with_config(dg, ctx, plan, cfg).run(ctx);
+            JobOutput::Masters(out.map_values.into_iter().next().unwrap_or_default())
+        }
+        Algo::CcLp => JobOutput::Masters(cc::cc_lp(dg, ctx, b)),
+        Algo::CcSclp => JobOutput::Masters(cc::cc_sclp(dg, ctx, b)),
+        Algo::Mis => JobOutput::MisSet(mis(dg, ctx, b)),
+        Algo::Msf => JobOutput::Forest(msf(dg, ctx, b)),
+        Algo::Louvain => JobOutput::Communities(louvain(dg, ctx, b, &LouvainConfig::default())),
+        Algo::Leiden => JobOutput::Communities(leiden(dg, ctx, b, &LouvainConfig::default())),
+    }
+}
+
+/// Merges one job's per-host output partials into the canonical `u64`
+/// fingerprint the CLI writes and the differential suites diff: labels
+/// for the cc family and Louvain/Leiden, 0/1 membership for MIS, and
+/// `[total weight, edge count, (u, v, w)...]` with sorted edges for MSF.
+/// `n` is the graph's node count.
+pub fn merge_job_outputs(algo: Algo, n: usize, outs: Vec<JobOutput>) -> Vec<u64> {
+    match algo {
+        Algo::CcSv | Algo::CcLp | Algo::CcSclp => {
+            let ph = outs
+                .into_iter()
+                .map(|o| match o {
+                    JobOutput::Masters(v) => v,
+                    other => panic!("cc job produced {other:?}"),
+                })
+                .collect();
+            merge_master_values(n, ph)
+        }
+        Algo::Mis => {
+            let ph = outs
+                .into_iter()
+                .map(|o| match o {
+                    JobOutput::MisSet(v) => v,
+                    other => panic!("mis job produced {other:?}"),
+                })
+                .collect();
+            merge_master_values(n, ph)
+                .into_iter()
+                .map(u64::from)
+                .collect()
+        }
+        Algo::Msf => {
+            let ph = outs
+                .into_iter()
+                .map(|o| match o {
+                    JobOutput::Forest(f) => f,
+                    other => panic!("msf job produced {other:?}"),
+                })
+                .collect();
+            let (mut edges, total) = msf::merge_forest(ph);
+            edges.sort_unstable();
+            let mut fp = vec![total, edges.len() as u64];
+            for (u, v, w) in edges {
+                fp.extend([u as u64, v as u64, w]);
+            }
+            fp
+        }
+        Algo::Louvain | Algo::Leiden => {
+            let ph: Vec<CommunityResult> = outs
+                .into_iter()
+                .map(|o| match o {
+                    JobOutput::Communities(c) => c,
+                    other => panic!("community job produced {other:?}"),
+                })
+                .collect();
+            compose_labels(n, &ph).into_iter().map(u64::from).collect()
+        }
+    }
+}
+
+/// The serial baseline the differential suites compare against: one
+/// algorithm run alone on `cluster` (the `kimbap run` execution path,
+/// minus the CLI), canonicalized with [`merge_job_outputs`]. Uses the
+/// same per-host partitions the server holds resident, so
+/// partition-dependent outputs (Louvain's merge order) are comparable.
+pub fn serial_reference(n: usize, parts: &[DistGraph], cluster: &Cluster, algo: Algo) -> Vec<u64> {
+    let outs = cluster.run(|ctx| {
+        ctx.run_recovering(|ctx| exec_algo(algo, &parts[ctx.host()], ctx, &NpmBuilder::default(), 0))
+    });
+    merge_job_outputs(algo, n, outs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(params: u64) -> CacheKey {
+        CacheKey {
+            epoch: 0,
+            algo: Algo::CcLp,
+            params,
+        }
+    }
+
+    fn out(v: u64) -> JobOutput {
+        JobOutput::Masters(vec![(0, v)])
+    }
+
+    #[test]
+    fn cache_is_lru_and_bounded() {
+        let mut c = ResultCache::new(2);
+        assert_eq!(c.insert(key(1), out(1)), 0);
+        assert_eq!(c.insert(key(2), out(2)), 0);
+        // Touch 1 so 2 becomes the eviction victim.
+        assert_eq!(c.get(&key(1)), Some(out(1)));
+        assert_eq!(c.insert(key(3), out(3)), 1);
+        assert_eq!(c.get(&key(2)), None, "LRU victim must be gone");
+        assert_eq!(c.get(&key(1)), Some(out(1)));
+        assert_eq!(c.get(&key(3)), Some(out(3)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn cache_purges_stale_epochs() {
+        let mut c = ResultCache::new(8);
+        c.insert(key(1), out(1));
+        c.insert(
+            CacheKey {
+                epoch: 1,
+                algo: Algo::CcLp,
+                params: 1,
+            },
+            out(9),
+        );
+        assert_eq!(c.purge_epochs_before(1), 1);
+        assert_eq!(c.get(&key(1)), None, "epoch-0 entry must be purged");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn job_wire_roundtrip() {
+        let jobs = vec![
+            JobSpec {
+                algo: Algo::Louvain,
+                params: 7,
+                priority: 3,
+                deadline: Some(Duration::from_millis(250)),
+            },
+            JobSpec::new(Algo::CcSv),
+            JobSpec {
+                algo: Algo::Msf,
+                params: u64::MAX,
+                priority: 255,
+                deadline: None,
+            },
+        ];
+        assert_eq!(decode_jobs(&encode_jobs(&jobs)), jobs);
+        assert_eq!(decode_jobs(&[]), vec![]);
+    }
+
+    #[test]
+    fn algo_ids_roundtrip() {
+        for algo in [
+            Algo::CcSv,
+            Algo::CcLp,
+            Algo::CcSclp,
+            Algo::Mis,
+            Algo::Msf,
+            Algo::Louvain,
+            Algo::Leiden,
+        ] {
+            assert_eq!(Algo::from_id(algo.id()), Some(algo));
+            assert_eq!(Algo::parse(algo.name()), Some(algo));
+        }
+        assert_eq!(Algo::from_id(7), None);
+        assert_eq!(Algo::parse("bogus"), None);
+    }
+
+    #[test]
+    fn schedule_order_is_priority_deadline_then_provenance() {
+        // Single host: agreement degenerates to the canonical sort.
+        let jobs = vec![
+            JobSpec::new(Algo::CcLp),
+            JobSpec {
+                algo: Algo::Mis,
+                params: 0,
+                priority: 2,
+                deadline: Some(Duration::from_millis(500)),
+            },
+            JobSpec {
+                algo: Algo::Msf,
+                params: 0,
+                priority: 2,
+                deadline: Some(Duration::from_millis(100)),
+            },
+            JobSpec {
+                algo: Algo::Louvain,
+                params: 0,
+                priority: 2,
+                deadline: None,
+            },
+        ];
+        let orders = Cluster::new(1).run(|ctx| agree_schedule(ctx, &jobs));
+        let algos: Vec<Algo> = orders[0].iter().map(|j| j.spec.algo).collect();
+        // Priority 2 first — tightest deadline leading, deadline-less
+        // last — then the priority-0 submission.
+        assert_eq!(algos, vec![Algo::Msf, Algo::Mis, Algo::Louvain, Algo::CcLp]);
+        assert!(orders[0].iter().all(|j| j.submitter == 0));
+        assert_eq!(orders[0][0].seq, 2);
+    }
+
+    #[test]
+    fn schedules_agree_across_hosts() {
+        // Three hosts with different local queues must compute identical
+        // schedules, interleaved by priority before provenance.
+        let queues = vec![
+            vec![JobSpec::new(Algo::CcLp)],
+            vec![JobSpec {
+                algo: Algo::Mis,
+                params: 4,
+                priority: 9,
+                deadline: None,
+            }],
+            vec![JobSpec::new(Algo::CcSv), JobSpec::new(Algo::Louvain)],
+        ];
+        let q = &queues;
+        let schedules = Cluster::new(3).run(|ctx| agree_schedule(ctx, &q[ctx.host()]));
+        assert_eq!(schedules[0], schedules[1]);
+        assert_eq!(schedules[1], schedules[2]);
+        assert_eq!(schedules[0].len(), 4);
+        assert_eq!(schedules[0][0].spec.algo, Algo::Mis, "priority 9 first");
+        assert_eq!(schedules[0][0].submitter, 1);
+    }
+}

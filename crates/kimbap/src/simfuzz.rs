@@ -7,7 +7,8 @@
 //! command and the CLI reconstructs the identical run — same graph, same
 //! faults, same schedule — because both sides derive from this module.
 
-use kimbap_comm::{FaultPlan, HeartbeatConfig, TransportConfig};
+use crate::serve::{Algo, JobSpec};
+use kimbap_comm::{FaultPlan, HeartbeatConfig, TransportConfig, JOB_ROUND_STRIDE};
 use std::time::Duration;
 
 /// One splitmix64 step: advances `z` and returns a well-mixed draw.
@@ -147,6 +148,105 @@ pub fn random_churn_plan(seed: u64, hosts: usize) -> FaultPlan {
     plan
 }
 
+/// The algorithm pool serve fuzz job mixes draw from. Deliberately spans
+/// the execution paths the scheduler multiplexes: hand-written label
+/// propagation, the compiled-plan engine (`cc-sv`), a round-free
+/// algorithm (`mis`, which never advances the job's round band), and the
+/// multi-level Louvain pipeline.
+const SERVE_ALGOS: [Algo; 4] = [Algo::CcLp, Algo::CcSv, Algo::Mis, Algo::Louvain];
+
+/// Derives the job mix a serve fuzz run submits for `seed`: 3–8 jobs,
+/// each tagged with the host whose admission queue receives it. About a
+/// third of jobs past the first duplicate an earlier `(algo, params)`
+/// pair — exercising the result cache mid-schedule — and about a quarter
+/// carry a deadline, a third of those tight enough (1–3 virtual ms) to
+/// expire even on a fault-free run, the rest generous (200–1000 ms) so
+/// they fire mainly when a seeded stall lands inside that job's band.
+/// Pure function of the seed, so a replay reconstructs the identical
+/// queue on every host.
+pub fn serve_job_mix(seed: u64, hosts: usize) -> Vec<(usize, JobSpec)> {
+    let mut z = seed ^ 0x5e44_e10b;
+    let n = 3 + (splitmix(&mut z) % 6) as usize;
+    let mut jobs: Vec<(usize, JobSpec)> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let dup = !jobs.is_empty() && splitmix(&mut z) % 100 < 35;
+        let (algo, params) = if dup {
+            let prev = jobs[(splitmix(&mut z) as usize) % jobs.len()].1;
+            (prev.algo, prev.params)
+        } else {
+            let algo = SERVE_ALGOS[(splitmix(&mut z) as usize) % SERVE_ALGOS.len()];
+            (algo, splitmix(&mut z) % 4)
+        };
+        let priority = (splitmix(&mut z) % 4) as u8;
+        let deadline = if splitmix(&mut z) % 100 < 25 {
+            let ms = if splitmix(&mut z).is_multiple_of(3) {
+                1 + splitmix(&mut z) % 3
+            } else {
+                200 + splitmix(&mut z) % 800
+            };
+            Some(Duration::from_millis(ms))
+        } else {
+            None
+        };
+        let host = (splitmix(&mut z) as usize) % hosts;
+        jobs.push((
+            host,
+            JobSpec {
+                algo,
+                params,
+                priority,
+                deadline,
+            },
+        ));
+    }
+    jobs
+}
+
+/// Derives the fault plan a serve fuzz run injects for `seed`: the usual
+/// background frame noise plus, for ~40% of seeds, one mid-stream crash
+/// or stall targeted at an early round *inside a random job's round
+/// band* (`k * JOB_ROUND_STRIDE + r`), so scheduler interleavings get
+/// fuzzed against faults landing in specific jobs — including jobs that
+/// never publish a round in that band (the fault then stays a harmless
+/// no-op, which is itself an interleaving worth covering).
+pub fn serve_fault_plan(seed: u64, hosts: usize, jobs: usize) -> FaultPlan {
+    let mut z = seed ^ 0x5e4f_a017;
+    let mut rate = |hi: u64| (splitmix(&mut z) % hi) as f64 / 1000.0;
+    let mut plan = FaultPlan::new()
+        .with_seed(seed ^ 0x0bad_cafe)
+        .drop_rate(rate(30))
+        .duplicate_rate(rate(20))
+        .corrupt_rate(rate(20))
+        .delay_rate(rate(50));
+    if hosts >= 2 && jobs > 0 && splitmix(&mut z) % 100 < 40 {
+        let k = splitmix(&mut z) % jobs as u64;
+        let round = k * JOB_ROUND_STRIDE + 1 + splitmix(&mut z) % 3;
+        if splitmix(&mut z).is_multiple_of(2) {
+            let h = 1 + (splitmix(&mut z) as usize) % (hosts - 1);
+            plan = plan.crash_host(h, round);
+        } else {
+            let h = (splitmix(&mut z) as usize) % hosts;
+            let millis = (150 + splitmix(&mut z) % 350) as u32;
+            plan = plan.stall_host(h, round, millis);
+        }
+    }
+    plan
+}
+
+/// The exact CLI invocation that replays one serve fuzz seed.
+pub fn serve_replay_command(
+    seed: u64,
+    hosts: usize,
+    threads: usize,
+    scale: u32,
+    ef: usize,
+) -> String {
+    format!(
+        "kimbap serve-sim --seed {seed} --hosts {hosts} --threads {threads} \
+         --scale {scale} --ef {ef}"
+    )
+}
+
 /// The transport configuration simulated fuzz runs use: a fast heartbeat
 /// (10 ms interval, 80 ms suspicion) so injected stalls are detected —
 /// both delays elapse on the virtual clock, costing microseconds of wall
@@ -259,6 +359,67 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn serve_job_mixes_are_deterministic_with_healthy_coverage() {
+        // The CI serve fuzz runs seeds 1..=25: that window must contain
+        // duplicate submissions (cache hits mid-schedule), deadlines of
+        // both flavours, and every algorithm in the pool.
+        let mut dup_seeds = 0;
+        let mut tight = 0;
+        let mut generous = 0;
+        let mut algos = std::collections::HashSet::new();
+        for seed in 1..=25u64 {
+            let mix = serve_job_mix(seed, 3);
+            assert_eq!(mix, serve_job_mix(seed, 3), "mix must be seed-pure");
+            assert!((3..=8).contains(&mix.len()));
+            let mut seen = std::collections::HashSet::new();
+            let mut dups = false;
+            for (host, job) in &mix {
+                assert!(*host < 3);
+                algos.insert(job.algo);
+                dups |= !seen.insert((job.algo, job.params));
+                match job.deadline {
+                    Some(d) if d <= Duration::from_millis(3) => tight += 1,
+                    Some(_) => generous += 1,
+                    None => {}
+                }
+            }
+            dup_seeds += usize::from(dups);
+        }
+        // Deliberate dups plus accidental (algo, params) collisions make
+        // duplicate-rich mixes the norm — exactly what the cache wants.
+        assert!(dup_seeds >= 8, "skewed dup coverage: {dup_seeds}/25");
+        assert!(tight >= 2, "no tight deadlines in the CI window: {tight}");
+        assert!(generous >= 2, "no generous deadlines in the CI window: {generous}");
+        assert_eq!(algos.len(), SERVE_ALGOS.len(), "algo pool not covered");
+    }
+
+    #[test]
+    fn serve_fault_plans_are_deterministic_and_banded() {
+        // A healthy share of the CI window must carry the mid-stream
+        // crash-or-stall, and it must land inside some job's round band.
+        let mut structured = 0;
+        for seed in 1..=25u64 {
+            let jobs = serve_job_mix(seed, 3).len();
+            let plan = serve_fault_plan(seed, 3, jobs);
+            assert_eq!(
+                format!("{plan:?}"),
+                format!("{:?}", serve_fault_plan(seed, 3, jobs))
+            );
+            let debug = format!("{plan:?}");
+            if debug.contains("Crash") || debug.contains("Stall") {
+                structured += 1;
+            }
+        }
+        assert!(
+            (4..=18).contains(&structured),
+            "skewed serve fault coverage: {structured}/25"
+        );
+        // Single host: background noise only, no one to crash against.
+        let lone = format!("{:?}", serve_fault_plan(7, 1, 5));
+        assert!(!lone.contains("Crash") && !lone.contains("Stall"));
     }
 
     #[test]

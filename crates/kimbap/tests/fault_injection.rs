@@ -15,6 +15,9 @@
 //! backend: every matrix cell is simultaneously a recovery check and a
 //! cross-backend conformance check.
 
+mod common;
+
+use common::{cc_lp_labels, inproc, louvain_result, mis_set, msf_forest, run_elastic_survivors, HOSTS};
 use kimbap::engine::Engine;
 use kimbap_algos::{self as algos, cc::cc_lp, merge_master_values, msf, NpmBuilder};
 use kimbap_comm::{Cluster, FaultPlan};
@@ -22,110 +25,38 @@ use kimbap_compiler::{compile, programs, OptLevel};
 use kimbap_dist::{partition, Policy};
 use kimbap_graph::gen;
 
-const HOSTS: usize = 3;
-
 /// Scheduler seed for matrix runs on the simulation backend.
 const SIM_SEED: u64 = 7;
-
-/// Runs cc_lp on `cluster` under `plan` and returns the merged labels.
-fn cc_lp_labels(
-    g: &kimbap_graph::Graph,
-    cluster: &Cluster,
-    plan: FaultPlan,
-    recovering: bool,
-) -> Vec<u64> {
-    let parts = partition(g, Policy::EdgeCutBlocked, HOSTS);
-    let b = NpmBuilder::default();
-    let per_host = cluster.run_with_faults(plan, |ctx| {
-        if recovering {
-            ctx.run_recovering(|ctx| cc_lp(&parts[ctx.host()], ctx, &b))
-        } else {
-            cc_lp(&parts[ctx.host()], ctx, &b)
-        }
-    });
-    merge_master_values(g.num_nodes(), per_host)
-}
-
-/// Runs louvain under `plan` (always inside `run_recovering`) and returns
-/// (composed labels, modularity bits).
-fn louvain_result(g: &kimbap_graph::Graph, cluster: &Cluster, plan: FaultPlan) -> (Vec<u32>, u64) {
-    let parts = partition(g, Policy::EdgeCutBlocked, HOSTS);
-    let b = NpmBuilder::default();
-    let cfg = algos::LouvainConfig::default();
-    let results = cluster.run_with_faults(plan, |ctx| {
-        ctx.run_recovering(|ctx| algos::louvain(&parts[ctx.host()], ctx, &b, &cfg))
-    });
-    let modularity = results[0].modularity;
-    let labels = algos::compose_labels(g.num_nodes(), &results);
-    (labels, modularity.to_bits())
-}
-
-/// Runs msf under `plan` inside `run_recovering` and returns the
-/// canonical (sorted edges, total weight) forest.
-fn msf_forest(
-    g: &kimbap_graph::Graph,
-    cluster: &Cluster,
-    plan: FaultPlan,
-) -> (Vec<(u32, u32, u64)>, u64) {
-    let parts = partition(g, Policy::CartesianVertexCut, HOSTS);
-    let b = NpmBuilder::default();
-    let per_host = cluster.run_with_faults(plan, |ctx| {
-        ctx.run_recovering(|ctx| algos::msf(&parts[ctx.host()], ctx, &b))
-    });
-    let (mut edges, total) = msf::merge_forest(per_host);
-    edges.sort_unstable();
-    (edges, total)
-}
-
-/// Runs mis under `plan` inside `run_recovering` and returns the merged
-/// membership vector.
-fn mis_set(g: &kimbap_graph::Graph, cluster: &Cluster, plan: FaultPlan) -> Vec<bool> {
-    let parts = partition(g, Policy::CartesianVertexCut, HOSTS);
-    let b = NpmBuilder::default();
-    let per_host = cluster.run_with_faults(plan, |ctx| {
-        ctx.run_recovering(|ctx| algos::mis(&parts[ctx.host()], ctx, &b))
-    });
-    merge_master_values(g.num_nodes(), per_host)
-}
-
-fn inproc() -> Cluster {
-    Cluster::with_threads(HOSTS, 2)
-}
 
 #[test]
 fn cc_lp_survives_targeted_frame_faults() {
     let g = gen::rmat(7, 4, 31);
-    let baseline = cc_lp_labels(&g, &inproc(), FaultPlan::new(), false);
+    let (baseline, _) = cc_lp_labels(&g, &inproc(), FaultPlan::new(), false);
     // One of each frame fault, spread over early rounds and host pairs.
     let plan = FaultPlan::new()
         .drop_frame(0, 1, 1)
         .duplicate_frame(2, 0, 1)
         .delay_frame(1, 2, 2)
         .corrupt_frame(2, 1, 2, 123);
-    let faulted = cc_lp_labels(&g, &inproc(), plan, false);
+    let (faulted, _) = cc_lp_labels(&g, &inproc(), plan, false);
     assert_eq!(faulted, baseline);
 }
 
 #[test]
 fn cc_lp_reports_retransmits_under_drops() {
     let g = gen::grid_road(6, 6, 3);
-    let parts = partition(&g, Policy::EdgeCutBlocked, HOSTS);
-    let b = NpmBuilder::default();
     let plan = FaultPlan::new().drop_frame(0, 1, 1).corrupt_frame(1, 0, 1, 9);
-    let retx = Cluster::new(HOSTS).run_with_faults(plan, |ctx| {
-        cc_lp(&parts[ctx.host()], ctx, &b);
-        ctx.stats().retransmits
-    });
+    let (_, retx) = cc_lp_labels(&g, &Cluster::new(HOSTS), plan, false);
     assert!(
-        retx.iter().sum::<u64>() >= 2,
-        "dropped and corrupted frames must be retransmitted, got {retx:?}"
+        retx >= 2,
+        "dropped and corrupted frames must be retransmitted, got {retx}"
     );
 }
 
 #[test]
 fn cc_lp_survives_random_fault_soup() {
     let g = gen::rmat(6, 4, 9);
-    let baseline = cc_lp_labels(&g, &inproc(), FaultPlan::new(), false);
+    let (baseline, _) = cc_lp_labels(&g, &inproc(), FaultPlan::new(), false);
     for seed in [1u64, 42, 1337] {
         let plan = FaultPlan::new()
             .with_seed(seed)
@@ -133,7 +64,7 @@ fn cc_lp_survives_random_fault_soup() {
             .duplicate_rate(0.03)
             .corrupt_rate(0.03);
         assert_eq!(
-            cc_lp_labels(&g, &inproc(), plan, false),
+            cc_lp_labels(&g, &inproc(), plan, false).0,
             baseline,
             "seed {seed} diverged"
         );
@@ -143,10 +74,10 @@ fn cc_lp_survives_random_fault_soup() {
 #[test]
 fn cc_lp_recovers_from_mid_run_crash() {
     let g = gen::rmat(7, 4, 31);
-    let baseline = cc_lp_labels(&g, &inproc(), FaultPlan::new(), false);
+    let (baseline, _) = cc_lp_labels(&g, &inproc(), FaultPlan::new(), false);
     // Host 1 crashes entering round 2; all hosts replay from the top.
     let plan = FaultPlan::new().crash_host(1, 2);
-    let recovered = cc_lp_labels(&g, &inproc(), plan, true);
+    let (recovered, _) = cc_lp_labels(&g, &inproc(), plan, true);
     assert_eq!(recovered, baseline);
 }
 
@@ -227,32 +158,6 @@ fn louvain_survives_frame_faults() {
     assert_eq!(louvain_result(&g, &inproc(), plan), baseline);
 }
 
-/// Runs `f` elastically (partition recomputed from the live membership on
-/// every attempt) and returns the survivors' values, skipping the killed
-/// hosts' own permanent-loss aborts. Any other host error is a bug.
-fn run_elastic_survivors<R: Send>(
-    g: &kimbap_graph::Graph,
-    cluster: &Cluster,
-    plan: FaultPlan,
-    policy: Policy,
-    f: impl Fn(&kimbap_dist::DistGraph, &kimbap_comm::HostCtx) -> R + Sync,
-) -> Vec<R> {
-    let res = cluster.try_run_with_faults(plan, |ctx| {
-        ctx.run_elastic(|ctx| {
-            let parts = partition(g, policy, ctx.num_hosts());
-            f(&parts[ctx.host()], ctx)
-        })
-    });
-    res.into_iter()
-        .enumerate()
-        .filter_map(|(h, r)| match r {
-            Ok(v) => Some(v),
-            Err(e) if e.message.starts_with("permanent host loss") => None,
-            Err(e) => panic!("host {h}: {e}"),
-        })
-        .collect()
-}
-
 /// Crash-then-shrink matrix: host 1 is permanently killed mid-run on the
 /// simulation backend, the two survivors agree it out of the membership,
 /// re-partition, and re-converge. cc_lp / msf / mis outputs are
@@ -269,7 +174,7 @@ fn shrink_matrix_smoke() {
     let kill = || FaultPlan::new().kill_host(1, 2);
     let sim = || Cluster::with_threads(HOSTS, 2).sim(SIM_SEED);
 
-    let cc_baseline = cc_lp_labels(&g, &inproc(), FaultPlan::new(), true);
+    let (cc_baseline, _) = cc_lp_labels(&g, &inproc(), FaultPlan::new(), true);
     let run_cc = || {
         let ph = run_elastic_survivors(&g, &sim(), kill(), Policy::EdgeCutBlocked, |dg, ctx| {
             cc_lp(dg, ctx, &b)
@@ -336,10 +241,10 @@ fn fault_matrix_smoke() {
     };
     let sim = || Cluster::with_threads(HOSTS, 2).sim(SIM_SEED);
 
-    let cc_baseline = cc_lp_labels(&g, &inproc(), FaultPlan::new(), true);
+    let (cc_baseline, _) = cc_lp_labels(&g, &inproc(), FaultPlan::new(), true);
     for (i, plan) in plans().into_iter().enumerate() {
         assert_eq!(
-            cc_lp_labels(&g, &sim(), plan, true),
+            cc_lp_labels(&g, &sim(), plan, true).0,
             cc_baseline,
             "cc diverged under plan {i}"
         );

@@ -6,6 +6,9 @@
 //! never silently diverge. Failures print the `kimbap sim` command that
 //! replays the offending schedule.
 
+mod common;
+
+use common::{comm_rooted, maybe, permanent_loss, HOSTS};
 use kimbap::elastic::{join_plan_elastic, run_plan_elastic};
 use kimbap::engine::EngineConfig;
 use kimbap::simfuzz;
@@ -17,27 +20,12 @@ use kimbap_graph::gen;
 use proptest::prelude::*;
 use std::time::Duration;
 
-const HOSTS: usize = 3;
-
 fn policies() -> impl Strategy<Value = Policy> {
     prop_oneof![
         Just(Policy::EdgeCutBlocked),
         Just(Policy::EdgeCutIncoming),
         Just(Policy::EdgeCutHashed),
         Just(Policy::CartesianVertexCut),
-    ]
-}
-
-/// `Some(inner)` half the time, `None` the other half — the vendored
-/// proptest has no `prop::option`, so build it from a weighted union.
-fn maybe<S>(inner: S) -> impl Strategy<Value = Option<S::Value>>
-where
-    S: Strategy + 'static,
-    S::Value: Clone + 'static,
-{
-    prop_oneof![
-        Just(None),
-        inner.prop_map(Some).boxed(),
     ]
 }
 
@@ -86,10 +74,7 @@ fn sim_cc_lp(
     for r in res {
         match r {
             Ok(v) => vals.push(v),
-            Err(e)
-                if e.message.starts_with("communication failed")
-                    || e.message.starts_with("injected crash") =>
-            {
+            Err(e) if comm_rooted(&e.message) => {
                 return Ok(None);
             }
             Err(e) => return Err(format!("non-communication panic: {e}")),
@@ -123,12 +108,8 @@ fn sim_cc_lp_elastic(
     for r in res {
         match r {
             Ok(v) => vals.push(v),
-            Err(e) if e.message.starts_with("permanent host loss") => {}
-            Err(e)
-                if e.message.starts_with("communication failed")
-                    || e.message.starts_with("injected crash")
-                    || e.message.contains("membership lost") =>
-            {
+            Err(e) if permanent_loss(&e.message) => {}
+            Err(e) if comm_rooted(&e.message) => {
                 surfaced = true;
             }
             Err(e) => return Err(format!("non-communication panic: {e}")),
@@ -180,12 +161,8 @@ fn sim_cc_lp_churn(
         match r {
             Ok(Some(out)) => vals.push(out.map_values.into_iter().next().unwrap_or_default()),
             Ok(None) => {} // joiner gave up cleanly — no masters to merge
-            Err(e) if e.message.starts_with("permanent host loss") => {}
-            Err(e)
-                if e.message.starts_with("communication failed")
-                    || e.message.starts_with("injected crash")
-                    || e.message.contains("membership lost") =>
-            {
+            Err(e) if permanent_loss(&e.message) => {}
+            Err(e) if comm_rooted(&e.message) => {
                 surfaced = true;
             }
             Err(e) => return Err(format!("non-communication panic: {e}")),

@@ -1,0 +1,177 @@
+//! Cache correctness for the serve layer: repeated identical submissions
+//! must be answered from the result cache (visible as `cache_hits` in
+//! `HostStats`), a graph-epoch bump must invalidate every older entry —
+//! a stale result must never be served for the new resident graph — and
+//! capacity pressure must surface as eviction counts.
+
+mod common;
+
+use common::HOSTS;
+use kimbap::serve::{self, Algo, HostServer, JobSpec};
+use kimbap_comm::Cluster;
+use kimbap_dist::{partition, DistGraph, Policy};
+use kimbap_graph::{gen, Graph};
+use proptest::prelude::*;
+
+fn parts_of(g: &Graph) -> Vec<DistGraph> {
+    partition(g, Policy::EdgeCutBlocked, HOSTS)
+}
+
+fn cluster() -> Cluster {
+    Cluster::with_threads(HOSTS, 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any sequence of submissions over a small param space: the first
+    /// occurrence of each distinct `(algo, params)` query computes, every
+    /// repeat hits the cache, and every job's output equals the serial
+    /// reference regardless of where in the sequence it ran.
+    #[test]
+    fn repeats_hit_cache_and_match_serial(
+        params in proptest::collection::vec(0u64..3, 1..8),
+        algo_pick in 0usize..3,
+        graph_seed in 0u64..16,
+    ) {
+        let algo = [Algo::CcLp, Algo::Mis, Algo::Louvain][algo_pick];
+        let g = gen::rmat(6, 4, graph_seed);
+        let n = g.num_nodes();
+        let parts = parts_of(&g);
+        let reference = serve::serial_reference(n, &parts, &cluster(), algo);
+        let jobs: Vec<JobSpec> = params
+            .iter()
+            .map(|&p| JobSpec { params: p, ..JobSpec::new(algo) })
+            .collect();
+        let distinct = {
+            let mut d: Vec<u64> = params.clone();
+            d.sort_unstable();
+            d.dedup();
+            d.len() as u64
+        };
+        // All jobs through host 0's queue; every host serves the batch.
+        let mut queues = vec![Vec::new(); HOSTS];
+        queues[0] = jobs;
+        let q = &queues;
+        let p = &parts;
+        let results = cluster().run(|ctx| {
+            let mut server = HostServer::new(16);
+            let reports = server.serve_batch(ctx, &p[ctx.host()], &q[ctx.host()]);
+            (reports, ctx.stats())
+        });
+        for (h, (reports, stats)) in results.iter().enumerate() {
+            prop_assert_eq!(
+                (stats.cache_hits, stats.cache_misses),
+                (params.len() as u64 - distinct, distinct),
+                "host {} cache counters", h
+            );
+            for report in reports {
+                let out = report.output.clone().expect("fault-free jobs complete");
+                prop_assert_eq!(&report.job.spec.algo, &algo);
+                // Per-host partials merged below; here just check status
+                // consistency: a repeat is cached, a first sight is not.
+                let _ = out;
+            }
+        }
+        // Merge each job across hosts and diff against the reference.
+        for k in 0..params.len() {
+            let outs = results
+                .iter()
+                .map(|(r, _)| r[k].output.clone().expect("completed"))
+                .collect();
+            prop_assert_eq!(
+                serve::merge_job_outputs(algo, n, outs),
+                reference.clone(),
+                "job {} diverged", k
+            );
+        }
+    }
+}
+
+/// Epoch semantics end to end: the same query served twice at epoch 0
+/// hits the cache; after `bump_epoch` plus a resident-graph swap the
+/// query recomputes against the NEW graph — the old entry is purged
+/// (counted as an eviction) and its stale result is never served.
+#[test]
+fn epoch_bump_never_serves_stale_results() {
+    let g_a = gen::rmat(6, 4, 1);
+    let g_b = gen::rmat(6, 4, 2);
+    let (n_a, n_b) = (g_a.num_nodes(), g_b.num_nodes());
+    let parts_a = parts_of(&g_a);
+    let parts_b = parts_of(&g_b);
+    let ref_a = serve::serial_reference(n_a, &parts_a, &cluster(), Algo::CcLp);
+    let ref_b = serve::serial_reference(n_b, &parts_b, &cluster(), Algo::CcLp);
+    assert_ne!(ref_a, ref_b, "distinct graphs must give distinct labels");
+    let job = vec![JobSpec::new(Algo::CcLp)];
+    let (pa, pb, j) = (&parts_a, &parts_b, &job);
+    let results = cluster().run(|ctx| {
+        let mut server = HostServer::new(8);
+        let queue = if ctx.host() == 0 { j.as_slice() } else { &[] };
+        let r1 = server.serve_batch(ctx, &pa[ctx.host()], queue);
+        let r2 = server.serve_batch(ctx, &pa[ctx.host()], queue);
+        // The resident graph is swapped: epoch must be bumped in
+        // lockstep, making every epoch-0 cache entry unreachable.
+        server.bump_epoch();
+        let r3 = server.serve_batch(ctx, &pb[ctx.host()], queue);
+        (r1, r2, r3, ctx.stats())
+    });
+    let merged = |batch: usize, n: usize| {
+        let outs = results
+            .iter()
+            .map(|(r1, r2, r3, _)| {
+                let r = match batch {
+                    0 => r1,
+                    1 => r2,
+                    _ => r3,
+                };
+                r[0].output.clone().expect("completed")
+            })
+            .collect();
+        serve::merge_job_outputs(Algo::CcLp, n, outs)
+    };
+    assert_eq!(merged(0, n_a), ref_a, "epoch-0 compute");
+    assert_eq!(merged(1, n_a), ref_a, "epoch-0 repeat");
+    assert_eq!(
+        merged(2, n_b),
+        ref_b,
+        "post-bump query must be answered from the NEW graph, never the stale cache"
+    );
+    for (h, (r1, r2, r3, stats)) in results.iter().enumerate() {
+        assert!(!r1[0].status.is_cached() && r2[0].status.is_cached());
+        assert!(
+            !r3[0].status.is_cached(),
+            "host {h}: stale epoch-0 result served after bump"
+        );
+        assert_eq!(stats.cache_hits, 1, "host {h}: only the epoch-0 repeat hits");
+        assert_eq!(stats.cache_misses, 2, "host {h}: both epochs compute once");
+        assert!(
+            stats.cache_evictions >= 1,
+            "host {h}: the stale entry's purge must be counted"
+        );
+    }
+}
+
+/// Capacity pressure: a capacity-1 cache thrashed by two alternating
+/// queries evicts on every insert past the first and never hits.
+#[test]
+fn capacity_evictions_are_counted() {
+    let g = gen::rmat(6, 4, 3);
+    let parts = parts_of(&g);
+    let jobs = vec![
+        JobSpec { params: 0, ..JobSpec::new(Algo::CcLp) },
+        JobSpec { params: 1, ..JobSpec::new(Algo::CcLp) },
+        JobSpec { params: 0, ..JobSpec::new(Algo::CcLp) },
+    ];
+    let (p, j) = (&parts, &jobs);
+    let results = cluster().run(|ctx| {
+        let mut server = HostServer::new(1);
+        let queue = if ctx.host() == 0 { j.as_slice() } else { &[] };
+        server.serve_batch(ctx, &p[ctx.host()], queue);
+        ctx.stats()
+    });
+    for (h, stats) in results.iter().enumerate() {
+        assert_eq!(stats.cache_hits, 0, "host {h}: capacity 1 cannot hold both");
+        assert_eq!(stats.cache_misses, 3, "host {h}");
+        assert_eq!(stats.cache_evictions, 2, "host {h}");
+    }
+}

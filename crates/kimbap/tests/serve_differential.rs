@@ -1,0 +1,215 @@
+//! Serve-vs-serial differential suite: a batch of jobs submitted
+//! concurrently through the serve scheduler must produce byte-identical
+//! per-job outputs to the same jobs run serially (the `kimbap run`
+//! execution path), across algorithms (cc-lp, louvain, mis, plus the
+//! engine-run cc-sv) and local backends (in-proc and the deterministic
+//! simulation). Also pins the agreed-schedule ordering rules and the
+//! cache-hit accounting the scheduler reports through `HostStats`.
+
+mod common;
+
+use common::HOSTS;
+use kimbap::serve::{self, Algo, HostServer, JobReport, JobSpec, JobStatus};
+use kimbap_comm::{Cluster, HostStats};
+use kimbap_dist::{partition, DistGraph, Policy};
+use kimbap_graph::{gen, Graph};
+use std::time::Duration;
+
+fn graph() -> Graph {
+    gen::rmat(7, 4, 21)
+}
+
+/// The resident partition every serve test shares: edge-cut blocked, the
+/// one policy all algorithms accept, identical for the scheduled runs
+/// and their serial baselines so partition-dependent outputs (louvain's
+/// merge order) are directly comparable.
+fn resident_parts(g: &Graph) -> Vec<DistGraph> {
+    partition(g, Policy::EdgeCutBlocked, HOSTS)
+}
+
+/// The two local backends the differential runs on. The sim cluster is
+/// seeded, so its interleavings differ from in-proc while staying
+/// reproducible.
+fn backends() -> [(&'static str, Cluster); 2] {
+    [
+        ("inproc", Cluster::with_threads(HOSTS, 2)),
+        ("sim", Cluster::with_threads(HOSTS, 1).sim(0x5e44)),
+    ]
+}
+
+/// Serves one batch (fault-free) and returns per-host reports and stats.
+fn serve_batch_on(
+    cluster: &Cluster,
+    parts: &[DistGraph],
+    queues: &[Vec<JobSpec>],
+) -> (Vec<Vec<JobReport>>, Vec<HostStats>) {
+    let results = cluster.run(|ctx| {
+        let mut server = HostServer::new(16);
+        let reports = server.serve_batch(ctx, &parts[ctx.host()], &queues[ctx.host()]);
+        (reports, ctx.stats())
+    });
+    results.into_iter().unzip()
+}
+
+/// Asserts every host returned the same schedule and statuses, then
+/// merges each job's per-host outputs into its canonical fingerprint.
+fn merged_jobs(n: usize, per_host: &[Vec<JobReport>]) -> Vec<(JobReport, Vec<u64>)> {
+    let first = &per_host[0];
+    for (h, reports) in per_host.iter().enumerate() {
+        assert_eq!(reports.len(), first.len(), "host {h} schedule length");
+        for (k, (r, r0)) in reports.iter().zip(first).enumerate() {
+            assert_eq!(r.job, r0.job, "host {h} disagrees on job {k}");
+            assert_eq!(r.status, r0.status, "host {h} disagrees on job {k} status");
+        }
+    }
+    (0..first.len())
+        .map(|k| {
+            let outs = per_host
+                .iter()
+                .map(|r| r[k].output.clone().expect("fault-free jobs complete"))
+                .collect();
+            let fp = serve::merge_job_outputs(first[k].job.spec.algo, n, outs);
+            (first[k].clone(), fp)
+        })
+        .collect()
+}
+
+/// Round-robins `jobs` across the hosts' admission queues.
+fn round_robin(jobs: &[JobSpec]) -> Vec<Vec<JobSpec>> {
+    let mut queues = vec![Vec::new(); HOSTS];
+    for (i, &spec) in jobs.iter().enumerate() {
+        queues[i % HOSTS].push(spec);
+    }
+    queues
+}
+
+/// Five submissions of one algorithm over two distinct param tags, on
+/// both backends: every job's merged output must equal the serial
+/// reference, and the three repeated queries must be served from the
+/// cache (2 computed + 3 cached on every host).
+#[test]
+fn repeated_jobs_match_serial_and_hit_cache() {
+    let g = graph();
+    let n = g.num_nodes();
+    let parts = resident_parts(&g);
+    for algo in [Algo::CcLp, Algo::Louvain, Algo::Mis] {
+        let reference = serve::serial_reference(n, &parts, &Cluster::with_threads(HOSTS, 2), algo);
+        let jobs: Vec<JobSpec> = [0u64, 1, 0, 1, 0]
+            .into_iter()
+            .map(|params| JobSpec {
+                params,
+                ..JobSpec::new(algo)
+            })
+            .collect();
+        for (name, cluster) in backends() {
+            let (per_host, stats) = serve_batch_on(&cluster, &parts, &round_robin(&jobs));
+            let merged = merged_jobs(n, &per_host);
+            assert_eq!(merged.len(), 5);
+            let mut cached = 0;
+            for (k, (report, fp)) in merged.iter().enumerate() {
+                assert_eq!(
+                    fp,
+                    &reference,
+                    "{} job {k} diverged from serial on {name}",
+                    algo.name()
+                );
+                if report.status == (JobStatus::Completed { cached: true }) {
+                    cached += 1;
+                }
+            }
+            assert_eq!(cached, 3, "{} on {name}: repeats must be cached", algo.name());
+            for (h, s) in stats.iter().enumerate() {
+                assert_eq!(
+                    (s.cache_hits, s.cache_misses),
+                    (3, 2),
+                    "{} on {name}: host {h} cache counters",
+                    algo.name()
+                );
+            }
+        }
+    }
+}
+
+/// A mixed batch — every algorithm family at once, including the
+/// engine-run cc-sv, with a duplicate mid-stream — must give each job
+/// exactly its own serial output on both backends.
+#[test]
+fn mixed_batch_matches_serial_per_job() {
+    let g = graph();
+    let n = g.num_nodes();
+    let parts = resident_parts(&g);
+    let jobs = vec![
+        JobSpec::new(Algo::CcLp),
+        JobSpec::new(Algo::CcSv),
+        JobSpec::new(Algo::Mis),
+        JobSpec::new(Algo::Louvain),
+        JobSpec::new(Algo::CcLp), // duplicate: must be served from cache
+    ];
+    let serial = Cluster::with_threads(HOSTS, 2);
+    for (name, cluster) in backends() {
+        let (per_host, stats) = serve_batch_on(&cluster, &parts, &round_robin(&jobs));
+        let merged = merged_jobs(n, &per_host);
+        assert_eq!(merged.len(), jobs.len());
+        for (k, (report, fp)) in merged.iter().enumerate() {
+            let reference = serve::serial_reference(n, &parts, &serial, report.job.spec.algo);
+            assert_eq!(
+                fp,
+                &reference,
+                "job {k} ({}) diverged from serial on {name}",
+                report.job.spec.algo.name()
+            );
+        }
+        let hits: u64 = stats.iter().map(|s| s.cache_hits).sum();
+        assert_eq!(hits, HOSTS as u64, "one cached job, hit on every host");
+    }
+}
+
+/// The agreed schedule follows (priority desc, tightest deadline first,
+/// submitter, seq) — identically on both backends — regardless of which
+/// host submitted what.
+#[test]
+fn schedule_order_is_canonical_across_backends() {
+    let g = graph();
+    let parts = resident_parts(&g);
+    // Host 0 submits a low-priority job first; host 2 a high-priority
+    // one; host 1 two mid-priority jobs with different deadlines.
+    let queues = vec![
+        vec![JobSpec::new(Algo::CcLp)],
+        vec![
+            JobSpec {
+                priority: 1,
+                deadline: Some(Duration::from_secs(60)),
+                ..JobSpec::new(Algo::Mis)
+            },
+            JobSpec {
+                priority: 1,
+                deadline: Some(Duration::from_secs(1)),
+                params: 7,
+                ..JobSpec::new(Algo::CcLp)
+            },
+        ],
+        vec![JobSpec {
+            priority: 5,
+            ..JobSpec::new(Algo::Louvain)
+        }],
+    ];
+    for (name, cluster) in backends() {
+        let (per_host, _) = serve_batch_on(&cluster, &parts, &queues);
+        let order: Vec<(usize, usize)> = per_host[0]
+            .iter()
+            .map(|r| (r.job.submitter, r.job.seq))
+            .collect();
+        // priority 5 first; then the two priority-1 jobs, tighter
+        // deadline leading; the deadline-less priority-0 job last.
+        assert_eq!(
+            order,
+            vec![(2, 0), (1, 1), (1, 0), (0, 0)],
+            "schedule order on {name}"
+        );
+        for reports in &per_host[1..] {
+            let other: Vec<(usize, usize)> =
+                reports.iter().map(|r| (r.job.submitter, r.job.seq)).collect();
+            assert_eq!(other, order, "hosts disagree on {name}");
+        }
+    }
+}

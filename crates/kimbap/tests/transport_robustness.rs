@@ -16,15 +16,16 @@
 //!   real transports stay covered without paying every wall-clock stall
 //!   twice.
 
+mod common;
+
+use common::{cc_lp_labels, louvain_result as louvain_labels, msf_forest, HOSTS};
 use kimbap::engine::{Engine, EngineConfig};
-use kimbap_algos::{self as algos, cc::cc_lp, merge_master_values, msf, NpmBuilder};
+use kimbap_algos::merge_master_values;
 use kimbap_comm::{Cluster, FaultPlan, HeartbeatConfig, TransportConfig};
 use kimbap_compiler::{compile, programs, OptLevel};
 use kimbap_dist::{partition, Policy};
 use kimbap_graph::gen;
 use std::time::Duration;
-
-const HOSTS: usize = 3;
 
 /// Scheduler seed for the simulation backend in the conformance matrix;
 /// conformance must hold for any seed, this pins one for reproducibility.
@@ -53,50 +54,6 @@ fn matrix_plans() -> [FaultPlan; 3] {
     ]
 }
 
-/// cc_lp labels plus the cluster-wide retransmission count.
-fn cc_lp_labels(g: &kimbap_graph::Graph, cluster: &Cluster, plan: FaultPlan) -> (Vec<u64>, u64) {
-    let parts = partition(g, Policy::EdgeCutBlocked, HOSTS);
-    let b = NpmBuilder::default();
-    let per_host = cluster.run_with_faults(plan, |ctx| {
-        let labels = ctx.run_recovering(|ctx| cc_lp(&parts[ctx.host()], ctx, &b));
-        (labels, ctx.stats().retransmits)
-    });
-    let retransmits = per_host.iter().map(|(_, r)| r).sum();
-    let labels = merge_master_values(
-        g.num_nodes(),
-        per_host.into_iter().map(|(l, _)| l).collect(),
-    );
-    (labels, retransmits)
-}
-
-fn louvain_labels(g: &kimbap_graph::Graph, cluster: &Cluster, plan: FaultPlan) -> (Vec<u32>, u64) {
-    let parts = partition(g, Policy::EdgeCutBlocked, HOSTS);
-    let b = NpmBuilder::default();
-    let cfg = algos::LouvainConfig::default();
-    let results = cluster.run_with_faults(plan, |ctx| {
-        ctx.run_recovering(|ctx| algos::louvain(&parts[ctx.host()], ctx, &b, &cfg))
-    });
-    let modularity = results[0].modularity.to_bits();
-    (algos::compose_labels(g.num_nodes(), &results), modularity)
-}
-
-/// The minimum spanning forest as a canonical (sorted edges, total
-/// weight) pair.
-fn msf_forest(
-    g: &kimbap_graph::Graph,
-    cluster: &Cluster,
-    plan: FaultPlan,
-) -> (Vec<(u32, u32, u64)>, u64) {
-    let parts = partition(g, Policy::CartesianVertexCut, HOSTS);
-    let b = NpmBuilder::default();
-    let per_host = cluster.run_with_faults(plan, |ctx| {
-        ctx.run_recovering(|ctx| algos::msf(&parts[ctx.host()], ctx, &b))
-    });
-    let (mut edges, total) = msf::merge_forest(per_host);
-    edges.sort_unstable();
-    (edges, total)
-}
-
 /// The PR's acceptance matrix: three seeded plans x three algorithms must
 /// produce identical output on the in-proc, TCP-loopback, and simulation
 /// backends — and the frame-injecting plans must actually exercise the
@@ -106,12 +63,12 @@ fn fault_matrix_is_transport_invariant() {
     let g = gen::rmat(6, 4, 9);
     let gw = gen::with_random_weights(&g, 1 << 16, 9 ^ 0x5eed);
     let baseline = Cluster::with_threads(HOSTS, 2);
-    let (cc_baseline, _) = cc_lp_labels(&g, &baseline, FaultPlan::new());
+    let (cc_baseline, _) = cc_lp_labels(&g, &baseline, FaultPlan::new(), true);
     let louvain_baseline = louvain_labels(&g, &baseline, FaultPlan::new());
     let msf_baseline = msf_forest(&gw, &baseline, FaultPlan::new());
     for (name, cluster) in backends() {
         for (i, plan) in matrix_plans().into_iter().enumerate() {
-            let (labels, retransmits) = cc_lp_labels(&g, &cluster, plan);
+            let (labels, retransmits) = cc_lp_labels(&g, &cluster, plan, true);
             assert_eq!(labels, cc_baseline, "cc diverged under plan {i} on {name}");
             if i == 0 {
                 // The drop plan removes a frame outright: repair must go

@@ -74,6 +74,15 @@ if [ "$SMOKE" = 1 ]; then
         echo "bench smoke: run records missing joins/grow_resharded_keys columns" >&2
         exit 1
     fi
+    # Serving layer: the mixed job stream repeats queries, so its record
+    # must show real cache hits — a hitless run means the result cache
+    # (or its HostStats accounting) is broken.
+    cargo bench -q -p kimbap-bench --bench serve_throughput
+    if ! grep '"bench":"serve_throughput"' "$TMP_JSONL" \
+            | grep -q '"cache_hits":[1-9]'; then
+        echo "bench smoke: serve_throughput recorded no cache hits" >&2
+        exit 1
+    fi
     lines=$(wc -l < "$TMP_JSONL")
     if [ "$lines" -lt 1 ]; then
         echo "bench smoke: no JSON records produced" >&2
@@ -88,6 +97,7 @@ cargo bench -q -p kimbap-bench --bench fig11_runtime_variants
 cargo bench -q -p kimbap-bench --bench table3_single_host
 cargo bench -q -p kimbap-bench --bench frontier_cclp
 cargo bench -q -p kimbap-bench --bench max_graph_size
+cargo bench -q -p kimbap-bench --bench serve_throughput
 
 # Never clobber an already-tracked file from an earlier run the same day.
 OUT="BENCH_$(date +%F).json"

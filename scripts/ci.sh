@@ -37,6 +37,9 @@ echo "==> elastic fuzz smoke (kill-bearing plans; survivors must shrink+converge
 echo "==> churn fuzz smoke (seeded join/kill plans; every interleaving must converge)"
 ./target/release/kimbap sim --algo cc-lp --seeds 25 --hosts 4 --allow-shrink --allow-grow
 
+echo "==> serve scheduler fuzz smoke (seeded job mixes + banded faults; per-job diff vs serial)"
+./target/release/kimbap serve-sim --seeds 25 --hosts 3
+
 echo "==> TCP-loopback smoke (multi-process kimbap bin vs in-proc, diffed)"
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
